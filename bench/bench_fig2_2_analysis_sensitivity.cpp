@@ -1,0 +1,131 @@
+//===- bench/bench_fig2_2_analysis_sensitivity.cpp - Figure 2.2 ----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 2.2 / §2.1: the fragility of analysis-based parallelization. We
+/// present the compiler pipeline with three variants of the same loop and
+/// report the plan the static planner reaches:
+///
+///   affine     — a[j] updated with constant-offset indices: DOALL
+///   indirect   — a[idx[j]] through an index array: only speculation left
+///   reduction  — a[0] accumulated: provably sequential (None)
+///
+/// This is the gap runtime information closes: the profiler measures what
+/// the may-dependences actually do, and DOMORE/SPECCROSS act on that.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepProfiler.h"
+#include "analysis/PDG.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "transform/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace cip;
+using namespace cip::ir;
+using namespace cip::transform;
+
+namespace {
+
+enum class BodyKind { Affine, Indirect, Reduction };
+
+Function *buildLoop(Module &M, BodyKind Kind, const char *Name) {
+  GlobalArray *A = M.getArray("a") ? M.getArray("a")
+                                   : M.createArray("a", 64);
+  GlobalArray *Idx = M.getArray("idx") ? M.getArray("idx")
+                                       : M.createArray("idx", 64);
+  Function *F = M.createFunction(Name, 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(H);
+  B.setInsertPoint(H);
+  Instruction *J = B.phi("j");
+  Instruction *C = B.cmp(Opcode::CmpLT, J, B.constant(64), "c");
+  B.condBr(C, Body, Exit);
+  B.setInsertPoint(Body);
+  switch (Kind) {
+  case BodyKind::Affine: {
+    Instruction *V = B.load(A, J, "v");
+    B.store(A, J, B.add(V, B.constant(1), "v2"));
+    break;
+  }
+  case BodyKind::Indirect: {
+    Instruction *Target = B.load(Idx, J, "target");
+    Instruction *V = B.load(A, Target, "v");
+    B.store(A, Target, B.add(V, B.constant(1), "v2"));
+    break;
+  }
+  case BodyKind::Reduction: {
+    Instruction *V = B.load(A, B.constant(0), "v");
+    B.store(A, B.constant(0), B.add(V, J, "v2"));
+    break;
+  }
+  }
+  Instruction *JN = B.add(J, B.constant(1), "jn");
+  B.br(H);
+  B.setInsertPoint(Exit);
+  B.ret(B.constant(0));
+  J->addIncoming(B.constant(0), Entry);
+  J->addIncoming(JN, Body);
+  assert(verifyFunction(*F) && "fixture must verify");
+  return F;
+}
+
+const char *planName(LoopPlan P) {
+  switch (P) {
+  case LoopPlan::Doall:
+    return "DOALL";
+  case LoopPlan::SpecDoall:
+    return "Spec-DOALL";
+  case LoopPlan::None:
+    return "None (sequential)";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 2.2 / §2.1: sensitivity of analysis-based "
+              "parallelization ===\n\n");
+  std::printf("%-12s  %-20s  %s\n", "variant", "static plan", "reason");
+  std::printf("---------------------------------------------------------"
+              "---------------\n");
+  const struct {
+    BodyKind Kind;
+    const char *Label;
+    const char *FnName;
+  } Variants[] = {
+      {BodyKind::Affine, "affine", "affine_loop"},
+      {BodyKind::Indirect, "indirect", "indirect_loop"},
+      {BodyKind::Reduction, "reduction", "reduction_loop"},
+  };
+
+  Module M;
+  for (const auto &V : Variants) {
+    Function *F = buildLoop(M, V.Kind, V.FnName);
+    CFG G(*F);
+    DominatorTree DT(G, false), PDT(G, true);
+    LoopInfo LI(G, DT);
+    analysis::PDG Pdg(*F, G, PDT, LI, *LI.topLevelLoops().front());
+    const PlanResult P = planLoop(Pdg, G);
+    std::printf("%-12s  %-20s  %s\n", V.Label, planName(P.Plan),
+                P.Reason.c_str());
+  }
+  std::printf("---------------------------------------------------------"
+              "---------------\n");
+  std::printf("(the paper's Fig 2.2: moving from static to dynamic arrays "
+              "flips DOALL to sequential;\n the indirect variant is where "
+              "runtime information — DOMORE/SPECCROSS — recovers the "
+              "parallelism)\n");
+  return 0;
+}

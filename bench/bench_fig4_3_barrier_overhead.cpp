@@ -1,0 +1,61 @@
+//===- bench/bench_fig4_3_barrier_overhead.cpp - Figure 4.3 --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4.3: the fraction of parallel execution time spent idling at
+/// barrier synchronizations for the eight SPECCROSS benchmarks, at 8 and 24
+/// threads. Barrier overhead is the total time threads sit at barriers
+/// waiting for the slowest thread, over total thread-time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+int main() {
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+  const std::vector<std::string> Names = {
+      "cg",     "equake",  "fdtd",    "fluidanimate2",
+      "jacobi", "llubench", "loopdep", "symm"};
+  const std::vector<unsigned> ThreadCounts = {8, 24};
+
+  std::printf("=== Figure 4.3: barrier overhead as %% of parallel "
+              "execution ===\n\n");
+  std::printf("%-16s", "workload");
+  for (unsigned T : ThreadCounts)
+    std::printf("  %3uT barrier%%", T);
+  std::printf("\n");
+  printRule();
+
+  for (const std::string &Name : Names) {
+    auto W = makeWorkload(Name, S);
+    if (!W)
+      return 1;
+    std::printf("%-16s", W->name());
+    for (unsigned T : ThreadCounts) {
+      double BestPct = 100.0;
+      for (unsigned R = 0; R < Reps; ++R) {
+        W->reset();
+        const harness::ExecResult E = harness::runBarrier(*W, T);
+        const double TotalThreadNanos = E.Seconds * 1e9 * T;
+        const double Pct =
+            100.0 * static_cast<double>(E.BarrierIdleNanos) /
+            TotalThreadNanos;
+        BestPct = std::min(BestPct, Pct);
+      }
+      std::printf("  %12.1f", BestPct);
+    }
+    std::printf("\n");
+  }
+  printRule();
+  std::printf("(paper: >30%% for most programs, growing with thread "
+              "count — a 3.33x Amdahl cap)\n");
+  return 0;
+}

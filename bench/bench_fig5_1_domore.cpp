@@ -1,0 +1,72 @@
+//===- bench/bench_fig5_1_domore.cpp - Figure 5.1 reproduction -----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5.1(a)-(f): loop speedup of code parallelized with pthread
+/// barriers versus DOMORE, over the best sequential execution, across
+/// thread counts, for the six DOMORE benchmarks of Table 5.1. Also prints
+/// the headline geomean comparisons of §1.2 (DOMORE over barrier code and
+/// over sequential).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+int main() {
+  const auto Threads = benchThreads();
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+  const std::vector<std::string> Names = {"blackscholes",  "cg",
+                                          "eclat",         "fluidanimate1",
+                                          "llubench",      "symm"};
+
+  std::printf("=== Figure 5.1: pthread-barrier vs DOMORE loop speedup ===\n");
+  std::printf("(speedup over best sequential execution; %u reps min)\n\n",
+              Reps);
+
+  std::vector<double> DomoreOverBarrier;
+  std::vector<double> DomoreOverSeq;
+
+  for (const std::string &Name : Names) {
+    auto W = makeWorkload(Name, S);
+    if (!W) {
+      std::printf("unknown workload '%s'\n", Name.c_str());
+      return 1;
+    }
+    const double Seq = sequentialSeconds(*W, Reps);
+
+    std::vector<double> BarrierSp, DomoreSp;
+    for (unsigned T : Threads) {
+      BarrierSp.push_back(Seq / barrierSeconds(*W, T, Reps));
+      DomoreSp.push_back(Seq / domoreSeconds(*W, T, Reps));
+    }
+    printRule();
+    std::printf("%s  (seq %.3fs, plan %s)\n", W->name(), Seq,
+                W->innerLoopPlan());
+    printSeriesHeader("  series", Threads);
+    printSeriesRow("  pthread barrier", BarrierSp);
+    printSeriesRow("  DOMORE", DomoreSp);
+
+    const double BestBarrier =
+        *std::max_element(BarrierSp.begin(), BarrierSp.end());
+    const double BestDomore =
+        *std::max_element(DomoreSp.begin(), DomoreSp.end());
+    DomoreOverBarrier.push_back(BestDomore / BestBarrier);
+    DomoreOverSeq.push_back(BestDomore);
+  }
+
+  printRule();
+  std::printf("geomean best DOMORE speedup over sequential: %.2fx\n",
+              geomean(DomoreOverSeq));
+  std::printf("geomean best DOMORE over best barrier code:  %.2fx\n",
+              geomean(DomoreOverBarrier));
+  std::printf("(paper, 24 real cores: 3.2x and 2.1x)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- bench/bench_fig5_2_speccross.cpp - Figure 5.2 reproduction --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5.2(a)-(h): loop speedup of pthread-barrier parallelization vs
+/// SPECCROSS, over the best sequential execution, across thread counts, for
+/// the eight SPECCROSS benchmarks of Table 5.1. SPECCROSS runs the paper's
+/// full flow: a profiling pass on the train input picks the speculative
+/// range, then speculative execution uses it (§4.4). Also prints the §1.2
+/// headline geomeans.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+int main() {
+  const auto Threads = benchThreads();
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+  const std::vector<std::string> Names = {
+      "cg",     "equake",  "fdtd",    "fluidanimate2",
+      "jacobi", "llubench", "loopdep", "symm"};
+
+  std::printf("=== Figure 5.2: pthread-barrier vs SPECCROSS loop speedup ===\n");
+  std::printf("(speedup over best sequential execution; %u reps min)\n\n",
+              Reps);
+
+  std::vector<double> SpecOverSeq, BarrierOverSeq;
+
+  for (const std::string &Name : Names) {
+    auto W = makeWorkload(Name, S);
+    if (!W) {
+      std::printf("unknown workload '%s'\n", Name.c_str());
+      return 1;
+    }
+    const double Seq = sequentialSeconds(*W, Reps);
+
+    // Profile on the train input (always), as the paper does.
+    auto TrainW = makeWorkload(Name, Scale::Train);
+    speccross::ProfileResult Profile;
+    harness::profiledSpecDistance(*TrainW, 24, &Profile);
+
+    std::vector<double> BarrierSp, SpecSp;
+    for (unsigned T : Threads) {
+      const std::uint64_t Dist = Profile.recommendedSpecDistance(T);
+      BarrierSp.push_back(Seq / barrierSeconds(*W, T, Reps));
+      SpecSp.push_back(Seq / speccrossSeconds(*W, T, Reps, Dist));
+    }
+    printRule();
+    if (Profile.conflictFree())
+      std::printf("%s  (seq %.3fs, profiled conflict-free: unthrottled)\n",
+                  W->name(), Seq);
+    else
+      std::printf("%s  (seq %.3fs, profiled min dep distance %llu)\n",
+                  W->name(), Seq,
+                  static_cast<unsigned long long>(
+                      Profile.MinDependenceDistance));
+    printSeriesHeader("  series", Threads);
+    printSeriesRow("  pthread barrier", BarrierSp);
+    printSeriesRow("  SPECCROSS", SpecSp);
+
+    BarrierOverSeq.push_back(
+        *std::max_element(BarrierSp.begin(), BarrierSp.end()));
+    SpecOverSeq.push_back(*std::max_element(SpecSp.begin(), SpecSp.end()));
+  }
+
+  printRule();
+  std::printf("geomean best SPECCROSS speedup over sequential: %.2fx\n",
+              geomean(SpecOverSeq));
+  std::printf("geomean best barrier speedup over sequential:   %.2fx\n",
+              geomean(BarrierOverSeq));
+  std::printf("(paper, 24 real cores: 4.6x vs 1.3x)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/bench_fig5_6_fluidanimate.cpp - Figure 5.6 case study -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5.6 / §5.4: the FLUIDANIMATE case study. The paper compares five
+/// parallelizations of the whole-frame loop; this reproduction maps them to:
+///
+///   LOCALWRITE + Barrier   -> pthread-barrier executor (owner-partitioned
+///                             tasks are what LOCALWRITE leaves behind)
+///   LOCALWRITE + SpecCross -> SPECCROSS with profiled throttle
+///   DOMORE + Barrier       -> DOMORE engine with owner-compute policy and
+///                             dedicated scheduler (no cross-invocation
+///                             speculation; conflicts synchronized)
+///   DOMORE + SpecCross     -> the §3.4 duplicated-scheduler DOMORE, which
+///                             is the form that composes with SPECCROSS
+///   MANUAL (DOANY+Barrier) -> barrier executor at the paper-reported
+///                             power-of-two thread counts only
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+int main() {
+  const auto Threads = benchThreads();
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+
+  auto W = makeWorkload("fluidanimate2", S);
+  if (!W)
+    return 1;
+  const double Seq = sequentialSeconds(*W, Reps);
+  auto TrainW = makeWorkload("fluidanimate2", Scale::Train);
+  speccross::ProfileResult Profile;
+  harness::profiledSpecDistance(*TrainW, 24, &Profile);
+
+  std::printf("=== Figure 5.6: FLUIDANIMATE whole-frame loop, five "
+              "parallelizations ===\n");
+  std::printf("(seq %.3fs; profiled min dep distance %llu ~ Table 5.3's "
+              "54)\n\n", Seq,
+              static_cast<unsigned long long>(
+                  Profile.MinDependenceDistance));
+
+  std::vector<double> LwBarrier, LwSpec, DomBarrier, DomSpec, Manual;
+  for (unsigned T : Threads) {
+    LwBarrier.push_back(Seq / barrierSeconds(*W, T, Reps));
+    const std::uint64_t Dist = Profile.recommendedSpecDistance(T);
+    LwSpec.push_back(Seq / speccrossSeconds(*W, T, Reps, Dist));
+    DomBarrier.push_back(
+        Seq / domoreSeconds(*W, T, Reps, domore::PolicyKind::OwnerCompute));
+    DomSpec.push_back(Seq / minSeconds(Reps, [&] {
+                        W->reset();
+                        return harness::runDomoreDuplicated(
+                                   *W, T, domore::PolicyKind::OwnerCompute)
+                            .Seconds;
+                      }));
+    // The manual DOANY parallelization only supports power-of-two threads.
+    const bool Pow2 = (T & (T - 1)) == 0;
+    Manual.push_back(Pow2 ? Seq / minSeconds(Reps, [&] {
+                       W->reset();
+                       return harness::runBarrierDoany(*W, T).Seconds;
+                     })
+                          : 0.0);
+  }
+
+  printSeriesHeader("series", Threads);
+  printSeriesRow("LOCALWRITE+Barrier", LwBarrier);
+  printSeriesRow("LOCALWRITE+SpecX", LwSpec);
+  printSeriesRow("DOMORE+Barrier", DomBarrier);
+  printSeriesRow("DOMORE+SpecCross", DomSpec);
+  printSeriesRow("MANUAL(DOANY+Bar)", Manual);
+  printRule();
+  std::printf("(paper: DOMORE+SpecCross composition performs best; "
+              "0.00x marks unsupported thread counts)\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- bench/bench_micro_primitives.cpp - Runtime primitive costs --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks for the runtime primitives both systems
+/// are built from: the lock-free SPSC queue (DOMORE's scheduler/worker
+/// channel), the shadow-memory lookup/update (conflict detection), access
+/// signatures (SPECCROSS's misspeculation detection), the barriers being
+/// replaced, and checkpoint snapshots (rollback cost). These are the
+/// constants behind every figure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domore/ShadowMemory.h"
+#include "speccross/Checkpoint.h"
+#include "speccross/Signature.h"
+#include "support/Barrier.h"
+#include "support/SPSCQueue.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace cip;
+
+static void BM_SPSCQueuePingPong(benchmark::State &State) {
+  SPSCQueue<std::uint64_t> Q(1024);
+  std::atomic<bool> Stop{false};
+  std::thread Consumer([&] {
+    std::uint64_t V;
+    while (!Stop.load(std::memory_order_acquire))
+      while (Q.tryConsume(V))
+        benchmark::DoNotOptimize(V);
+  });
+  std::uint64_t I = 0;
+  for (auto _ : State)
+    Q.produce(I++);
+  Stop.store(true, std::memory_order_release);
+  Consumer.join();
+  State.SetItemsProcessed(static_cast<std::int64_t>(I));
+}
+BENCHMARK(BM_SPSCQueuePingPong);
+
+static void BM_ShadowDenseUpdateLookup(benchmark::State &State) {
+  domore::DenseShadowMemory S(1 << 16);
+  std::uint64_t A = 0;
+  for (auto _ : State) {
+    S.update(A & 0xffff, 1, static_cast<std::int64_t>(A));
+    benchmark::DoNotOptimize(S.lookup((A * 7) & 0xffff));
+    ++A;
+  }
+}
+BENCHMARK(BM_ShadowDenseUpdateLookup);
+
+static void BM_ShadowHashUpdateLookup(benchmark::State &State) {
+  domore::HashShadowMemory S(1 << 12);
+  std::uint64_t A = 0;
+  for (auto _ : State) {
+    S.update(A & 0xfff, 1, static_cast<std::int64_t>(A));
+    benchmark::DoNotOptimize(S.lookup((A * 7) & 0xfff));
+    ++A;
+  }
+}
+BENCHMARK(BM_ShadowHashUpdateLookup);
+
+static void BM_RangeSignature(benchmark::State &State) {
+  speccross::RangeSignature A, B;
+  for (std::uint64_t I = 0; I < 16; ++I)
+    B.add(1000 + I);
+  std::uint64_t X = 0;
+  for (auto _ : State) {
+    A.clear();
+    A.add(X);
+    A.add(X + 8);
+    benchmark::DoNotOptimize(A.overlaps(B));
+    ++X;
+  }
+}
+BENCHMARK(BM_RangeSignature);
+
+static void BM_BloomSignature(benchmark::State &State) {
+  speccross::BloomSignature A, B;
+  for (std::uint64_t I = 0; I < 16; ++I)
+    B.add(1000 + I * 37);
+  std::uint64_t X = 0;
+  for (auto _ : State) {
+    A.clear();
+    A.add(X);
+    A.add(X + 8);
+    benchmark::DoNotOptimize(A.overlaps(B));
+    ++X;
+  }
+}
+BENCHMARK(BM_BloomSignature);
+
+template <typename BarrierT> static void barrierBench(benchmark::State &State) {
+  constexpr unsigned Threads = 2;
+  BarrierT Bar(Threads);
+  std::atomic<bool> Stop{false};
+  // The peer checks the stop flag only *after* each wait, so its wait count
+  // always pairs one-to-one with the main thread's (timing waits plus the
+  // single post-Stop wait) — no thread can be left stranded at the barrier.
+  std::thread Peer([&] {
+    while (true) {
+      Bar.wait();
+      if (Stop.load(std::memory_order_acquire))
+        break;
+    }
+  });
+  for (auto _ : State)
+    Bar.wait();
+  Stop.store(true, std::memory_order_release);
+  Bar.wait(); // pairs with the peer's final wait, which then sees Stop
+  Peer.join();
+}
+
+static void BM_PthreadBarrier(benchmark::State &State) {
+  barrierBench<PthreadBarrier>(State);
+}
+BENCHMARK(BM_PthreadBarrier);
+
+static void BM_SpinBarrier(benchmark::State &State) {
+  barrierBench<SpinBarrier>(State);
+}
+BENCHMARK(BM_SpinBarrier);
+
+static void BM_CheckpointSnapshot(benchmark::State &State) {
+  std::vector<double> Data(static_cast<std::size_t>(State.range(0)));
+  speccross::CheckpointRegistry Reg;
+  Reg.registerBuffer(Data);
+  for (auto _ : State)
+    Reg.takeSnapshot();
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(Data.size()) * 8);
+}
+BENCHMARK(BM_CheckpointSnapshot)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

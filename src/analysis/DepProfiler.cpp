@@ -1,0 +1,73 @@
+//===- analysis/DepProfiler.cpp - Runtime dependence profiling -----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepProfiler.h"
+
+#include <unordered_map>
+
+using namespace cip;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+LoopNestProfile analysis::profileLoopNest(
+    const Function &F, const std::vector<std::int64_t> &Args,
+    MemoryState &Mem,
+    const std::unordered_map<
+        std::string,
+        std::function<std::int64_t(const std::vector<std::int64_t> &)>>
+        &Extra) {
+  LoopNestProfile P;
+
+  struct LastAccess {
+    std::uint64_t Invocation;
+    std::uint64_t Iteration; // global
+  };
+  // Keyed by (array, index) — arrays are disjoint storage.
+  std::unordered_map<const GlobalArray *,
+                     std::unordered_map<std::int64_t, LastAccess>>
+      Last;
+
+  std::uint64_t CurInv = 0;  // 1-based once the first marker fires
+  std::uint64_t CurIter = 0; // global, 1-based
+  bool CurInvSawCrossDep = false;
+
+  InterpOptions Options;
+  Options.Natives = Extra;
+  Options.Natives["cip.invocation"] = [&](const std::vector<std::int64_t> &) {
+    if (CurInv > 0 && CurInvSawCrossDep)
+      ++P.InvocationsWithCrossDep;
+    ++CurInv;
+    CurInvSawCrossDep = false;
+    return 0;
+  };
+  Options.Natives["cip.iteration"] = [&](const std::vector<std::int64_t> &) {
+    ++CurIter;
+    return 0;
+  };
+  Options.AccessTrace = [&](const GlobalArray *A, std::int64_t Index, bool) {
+    if (CurInv == 0 || CurIter == 0)
+      return; // accesses outside the instrumented nest
+    auto &PerArray = Last[A];
+    auto [It, Inserted] =
+        PerArray.try_emplace(Index, LastAccess{CurInv, CurIter});
+    if (!Inserted) {
+      if (It->second.Invocation != CurInv) {
+        ++P.CrossInvocationDeps;
+        CurInvSawCrossDep = true;
+        P.MinIterationDistance =
+            std::min(P.MinIterationDistance, CurIter - It->second.Iteration);
+      }
+      It->second = LastAccess{CurInv, CurIter};
+    }
+  };
+
+  P.Exec = interpret(F, Args, Mem, Options);
+  if (CurInv > 0 && CurInvSawCrossDep)
+    ++P.InvocationsWithCrossDep;
+  P.Invocations = CurInv;
+  P.Iterations = CurIter;
+  return P;
+}

@@ -1,0 +1,182 @@
+//===- analysis/IndexExpr.cpp - Affine index analysis --------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IndexExpr.h"
+
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+std::optional<InductionVar>
+analysis::findInductionVar(const Loop &L, const CFG &G) {
+  const BasicBlock *Header = L.header();
+  for (const auto &Inst : Header->instructions()) {
+    if (Inst->opcode() != Opcode::Phi)
+      break;
+    if (Inst->numOperands() != 2)
+      continue;
+    // One incoming from outside (init), one from a latch (step).
+    for (unsigned InLoop = 0; InLoop < 2; ++InLoop) {
+      const BasicBlock *In = Inst->incomingBlock(InLoop);
+      if (!L.contains(In))
+        continue;
+      const auto *StepInst = dyn_cast<Instruction>(Inst->operand(InLoop));
+      if (!StepInst || StepInst->opcode() != Opcode::Add)
+        continue;
+      const Value *A = StepInst->operand(0);
+      const Value *B = StepInst->operand(1);
+      const Constant *C = nullptr;
+      if (A == Inst.get())
+        C = dyn_cast<Constant>(B);
+      else if (B == Inst.get())
+        C = dyn_cast<Constant>(A);
+      if (!C)
+        continue;
+      InductionVar IV;
+      IV.Phi = Inst.get();
+      IV.Step = C->value();
+      IV.Init = Inst->operand(1 - InLoop);
+      return IV;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// True if \p V is invariant with respect to \p L (defined outside it).
+bool isInvariant(const Value *V, const Loop &L) {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // constants, arguments, arrays
+  return !L.contains(I->parent());
+}
+
+IndexExpr combine(const IndexExpr &A, const IndexExpr &B, bool Negate) {
+  if (!A.Valid || !B.Valid)
+    return IndexExpr::invalid();
+  IndexExpr R;
+  R.Valid = true;
+  R.Offset = A.Offset + (Negate ? -B.Offset : B.Offset);
+  // IV terms.
+  R.IV = A.IV;
+  R.Scale = A.Scale;
+  if (B.IV) {
+    const std::int64_t BS = Negate ? -B.Scale : B.Scale;
+    if (!R.IV) {
+      R.IV = B.IV;
+      R.Scale = BS;
+    } else if (R.IV == B.IV) {
+      R.Scale += BS;
+      if (R.Scale == 0)
+        R.IV = nullptr;
+    } else {
+      return IndexExpr::invalid(); // two distinct IVs
+    }
+  }
+  // Symbolic terms: at most one, and never negated (we cannot cancel).
+  R.Sym = A.Sym;
+  if (B.Sym) {
+    if (Negate || R.Sym)
+      return IndexExpr::invalid();
+    R.Sym = B.Sym;
+  }
+  return R;
+}
+
+} // namespace
+
+IndexExpr analysis::analyzeIndex(const Value *Index, const Loop &L,
+                                 const InductionVar &IV) {
+  if (const auto *C = dyn_cast<Constant>(Index))
+    return IndexExpr::constant(C->value());
+  if (Index == static_cast<const Value *>(IV.Phi)) {
+    IndexExpr E;
+    E.Valid = true;
+    E.IV = IV.Phi;
+    E.Scale = 1;
+    return E;
+  }
+  if (isInvariant(Index, L)) {
+    IndexExpr E;
+    E.Valid = true;
+    E.Sym = Index;
+    return E;
+  }
+  const auto *I = dyn_cast<Instruction>(Index);
+  if (!I)
+    return IndexExpr::invalid();
+  switch (I->opcode()) {
+  case Opcode::Add:
+    return combine(analyzeIndex(I->operand(0), L, IV),
+                   analyzeIndex(I->operand(1), L, IV), /*Negate=*/false);
+  case Opcode::Sub:
+    return combine(analyzeIndex(I->operand(0), L, IV),
+                   analyzeIndex(I->operand(1), L, IV), /*Negate=*/true);
+  case Opcode::Mul: {
+    const IndexExpr A = analyzeIndex(I->operand(0), L, IV);
+    const IndexExpr B = analyzeIndex(I->operand(1), L, IV);
+    if (!A.Valid || !B.Valid)
+      return IndexExpr::invalid();
+    // Only constant * affine (no symbolic products).
+    const IndexExpr *K = nullptr, *X = nullptr;
+    if (!A.IV && !A.Sym) {
+      K = &A;
+      X = &B;
+    } else if (!B.IV && !B.Sym) {
+      K = &B;
+      X = &A;
+    } else {
+      return IndexExpr::invalid();
+    }
+    if (X->Sym)
+      return IndexExpr::invalid();
+    IndexExpr R;
+    R.Valid = true;
+    R.IV = X->IV;
+    R.Scale = X->Scale * K->Offset;
+    R.Offset = X->Offset * K->Offset;
+    if (R.Scale == 0)
+      R.IV = nullptr;
+    return R;
+  }
+  default:
+    return IndexExpr::invalid();
+  }
+}
+
+DepTest analysis::testDependence(const IndexExpr &A, const IndexExpr &B) {
+  if (!A.Valid || !B.Valid)
+    return DepTest::May;
+  // Symbolic terms must match to say anything beyond "may".
+  if (A.Sym != B.Sym)
+    return DepTest::May;
+  // ZIV: no induction variable on either side.
+  if (!A.IV && !B.IV)
+    return A.Offset == B.Offset ? DepTest::Carried : DepTest::NoDep;
+  // SIV over a shared IV.
+  if (A.IV && B.IV && A.IV == B.IV) {
+    if (A.Scale == B.Scale) {
+      // Strong SIV: s*i1 + d1 == s*i2 + d2  =>  i2 - i1 = (d1-d2)/s.
+      const std::int64_t Delta = A.Offset - B.Offset;
+      if (A.Scale == 0)
+        return Delta == 0 ? DepTest::Carried : DepTest::NoDep;
+      if (Delta % A.Scale != 0)
+        return DepTest::NoDep;
+      return Delta == 0 ? DepTest::IntraOnly : DepTest::Carried;
+    }
+    return DepTest::May; // weak SIV: give up
+  }
+  // One side varies with the IV, the other does not: they coincide for at
+  // most one iteration -> loop-carried unless divisibility rules it out.
+  const IndexExpr &Var = A.IV ? A : B;
+  const IndexExpr &Fix = A.IV ? B : A;
+  if (Var.Scale != 0 && (Fix.Offset - Var.Offset) % Var.Scale != 0)
+    return DepTest::NoDep;
+  return DepTest::Carried;
+}

@@ -1,0 +1,82 @@
+//===- analysis/IndexExpr.h - Affine index analysis ------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SCEV-lite affine form for array indices: Scale * IV + Offset [+ Sym],
+/// where IV is a recognized loop induction variable and Sym an optional
+/// loop-invariant symbolic term. The PDG's memory disambiguation runs a
+/// classic ZIV/strong-SIV test on these forms; anything it cannot prove it
+/// reports as a may-dependence — the conservatism of static analysis that
+/// Ch. 2 of the dissertation identifies as the reason runtime information
+/// is needed at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_ANALYSIS_INDEXEXPR_H
+#define CIP_ANALYSIS_INDEXEXPR_H
+
+#include "ir/IR.h"
+#include "ir/LoopInfo.h"
+
+#include <optional>
+
+namespace cip {
+namespace analysis {
+
+/// Recognizes the canonical induction variable of \p L: a phi in the header
+/// whose in-loop incoming value is phi + constant. Returns the phi and the
+/// step, or nullopt.
+struct InductionVar {
+  const ir::Instruction *Phi = nullptr;
+  std::int64_t Step = 0;
+  const ir::Value *Init = nullptr;
+};
+
+std::optional<InductionVar> findInductionVar(const ir::Loop &L,
+                                             const ir::CFG &G);
+
+/// Affine index form. Valid shapes:
+///   Offset                                  (IV == null, Sym == null)
+///   Scale*IV + Offset                       (Sym == null)
+///   Sym + Offset, Scale*IV + Sym + Offset   (Sym loop-invariant value)
+struct IndexExpr {
+  bool Valid = false;
+  const ir::Instruction *IV = nullptr; // the induction phi, or null
+  std::int64_t Scale = 0;
+  const ir::Value *Sym = nullptr; // loop-invariant symbolic term, or null
+  std::int64_t Offset = 0;
+
+  static IndexExpr invalid() { return IndexExpr(); }
+  static IndexExpr constant(std::int64_t C) {
+    IndexExpr E;
+    E.Valid = true;
+    E.Offset = C;
+    return E;
+  }
+};
+
+/// Analyzes \p Index as an affine expression around \p L's induction
+/// variable \p IV. Values defined outside \p L are treated as symbolic
+/// invariants. Returns an invalid expression when the shape is not affine.
+IndexExpr analyzeIndex(const ir::Value *Index, const ir::Loop &L,
+                       const InductionVar &IV);
+
+/// Dependence classification between two accesses to the same array with
+/// affine indices, relative to the analyzed loop.
+enum class DepTest {
+  NoDep,        // provably never the same address
+  IntraOnly,    // same address only within one iteration
+  Carried,      // same address across iterations (distance known or not)
+  May,          // cannot disprove anything
+};
+
+/// Runs the ZIV / strong-SIV test on two index expressions.
+DepTest testDependence(const IndexExpr &A, const IndexExpr &B);
+
+} // namespace analysis
+} // namespace cip
+
+#endif // CIP_ANALYSIS_INDEXEXPR_H

@@ -1,0 +1,184 @@
+//===- analysis/PDG.cpp - Program dependence graph ------------------------==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PDG.h"
+
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+PDG::PDG(const Function &F, const CFG &G, const DominatorTree &PDT,
+         const LoopInfo &LI, const Loop &Scope)
+    : F(F), Scope(Scope) {
+  assert(PDT.isPostDominatorTree() && "PDG needs the post-dominator tree");
+  for (const auto &BB : F.blocks()) {
+    if (!Scope.contains(BB.get()))
+      continue;
+    for (const auto &Inst : BB->instructions()) {
+      NodeIndex[Inst.get()] = static_cast<unsigned>(Nodes.size());
+      Nodes.push_back(Inst.get());
+    }
+  }
+  addRegisterEdges();
+  addMemoryEdges(G, LI);
+  addControlEdges(G, PDT);
+}
+
+void PDG::addRegisterEdges() {
+  for (const Instruction *Use : Nodes) {
+    for (unsigned I = 0; I < Use->numOperands(); ++I) {
+      const auto *Def = dyn_cast<Instruction>(Use->operand(I));
+      if (!Def || !NodeIndex.count(Def))
+        continue;
+      DepEdge E;
+      E.Src = Def;
+      E.Dst = Use;
+      E.Kind = DepKind::Register;
+      // A header phi consuming an in-scope value through a latch edge is
+      // the loop-carried register dependence (e.g., the induction update).
+      E.LoopCarried = Use->opcode() == Opcode::Phi &&
+                      Use->parent() == Scope.header() &&
+                      Scope.contains(Use->incomingBlock(I));
+      Edges.push_back(E);
+    }
+  }
+}
+
+void PDG::addMemoryEdges(const CFG &G, const LoopInfo &LI) {
+  // Gather memory accesses with their innermost-loop affine index forms.
+  struct Access {
+    const Instruction *I;
+    const GlobalArray *Array;
+    IndexExpr Idx;       // relative to the scope loop's IV
+    IndexExpr InnerIdx;  // relative to the innermost containing loop's IV
+    const Loop *Inner;
+  };
+  const auto ScopeIV = findInductionVar(Scope, G);
+
+  std::vector<Access> Accesses;
+  for (const Instruction *I : Nodes) {
+    if (!I->accessesMemory())
+      continue;
+    Access A;
+    A.I = I;
+    A.Array = cast<GlobalArray>(I->operand(0));
+    const Value *Index = I->operand(1);
+    A.Idx = ScopeIV ? analyzeIndex(Index, Scope, *ScopeIV)
+                    : IndexExpr::invalid();
+    A.Inner = LI.loopFor(I->parent());
+    if (A.Inner && A.Inner != &Scope) {
+      const auto InnerIV = findInductionVar(*A.Inner, G);
+      A.InnerIdx = InnerIV ? analyzeIndex(Index, *A.Inner, *InnerIV)
+                           : IndexExpr::invalid();
+    } else {
+      A.InnerIdx = A.Idx;
+    }
+    Accesses.push_back(A);
+  }
+
+  for (const Access &A : Accesses) {
+    for (const Access &B : Accesses) {
+      if (A.Array != B.Array)
+        continue;
+      if (!A.I->mayWriteMemory() && !B.I->mayWriteMemory())
+        continue;
+      if (A.I == B.I && !A.I->mayWriteMemory())
+        continue;
+
+      // Test with respect to the scope loop.
+      const DepTest ScopeTest = testDependence(A.Idx, B.Idx);
+      if (ScopeTest == DepTest::NoDep)
+        continue;
+      // Same-instruction pairs only matter when carried.
+      if (A.I == B.I && ScopeTest == DepTest::IntraOnly)
+        continue;
+      // Intra-iteration dependences flow in program order only; carried or
+      // unprovable dependences can flow either way across iterations, so
+      // both ordered pairs produce an edge — that is what closes the
+      // update() cycle of Fig 3.1(c) in the PDG.
+      if (ScopeTest == DepTest::IntraOnly &&
+          NodeIndex[A.I] > NodeIndex[B.I])
+        continue;
+
+      DepEdge E;
+      E.Src = A.I;
+      E.Dst = B.I;
+      E.Kind = DepKind::Memory;
+      E.LoopCarried =
+          ScopeTest == DepTest::Carried || ScopeTest == DepTest::May;
+      // Cross-invocation view. Accesses in *different* inner loops run in
+      // different invocations by construction, so any dependence between
+      // them crosses an invocation boundary. Within one inner loop, the
+      // dependence crosses invocations if it is carried by the outer scope
+      // and the inner-loop index analysis cannot localize it.
+      if (A.Inner && B.Inner && A.Inner != &Scope && B.Inner != &Scope) {
+        if (A.Inner != B.Inner) {
+          E.CrossInvocation = true;
+        } else {
+          const DepTest InnerTest = testDependence(A.InnerIdx, B.InnerIdx);
+          E.CrossInvocation = InnerTest != DepTest::NoDep && E.LoopCarried;
+        }
+      }
+      Edges.push_back(E);
+    }
+  }
+}
+
+void PDG::addControlEdges(const CFG &G, const DominatorTree &PDT) {
+  // Ferrante-style: for branch A with successor S, every block on the
+  // post-dominator path from S up to (exclusive) ipdom(A) is control
+  // dependent on A.
+  for (const Instruction *Branch : Nodes) {
+    if (!Branch->isBranch() || Branch->numSuccessors() < 2)
+      continue;
+    const BasicBlock *A = Branch->parent();
+    const BasicBlock *StopAt = PDT.idom(A);
+    for (unsigned SI = 0; SI < Branch->numSuccessors(); ++SI) {
+      for (BasicBlock *B = Branch->successor(SI); B && B != StopAt;
+           B = PDT.idom(B)) {
+        if (!Scope.contains(B))
+          break;
+        for (const auto &Inst : B->instructions()) {
+          if (Inst.get() == Branch)
+            continue;
+          DepEdge E;
+          E.Src = Branch;
+          E.Dst = Inst.get();
+          E.Kind = DepKind::Control;
+          // A branch controlling its own block's re-execution (loop exit
+          // condition) is the carried control dependence.
+          E.LoopCarried = B == Scope.header() || B == A;
+          Edges.push_back(E);
+        }
+      }
+    }
+  }
+}
+
+std::vector<const DepEdge *>
+PDG::edgesFrom(const Instruction *I) const {
+  std::vector<const DepEdge *> Out;
+  for (const DepEdge &E : Edges)
+    if (E.Src == I)
+      Out.push_back(&E);
+  return Out;
+}
+
+bool PDG::hasLoopCarriedMemoryDep() const {
+  for (const DepEdge &E : Edges)
+    if (E.Kind == DepKind::Memory && E.LoopCarried)
+      return true;
+  return false;
+}
+
+bool PDG::hasCrossInvocationMemoryDep() const {
+  for (const DepEdge &E : Edges)
+    if (E.Kind == DepKind::Memory && E.CrossInvocation)
+      return true;
+  return false;
+}

@@ -1,0 +1,133 @@
+//===- analysis/SCC.cpp - Strongly connected components of a PDG ---------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SCC.h"
+
+#include <algorithm>
+
+using namespace cip;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+DagScc::DagScc(const PDG &G) {
+  const auto &Nodes = G.nodes();
+  std::unordered_map<const Instruction *, std::vector<const Instruction *>>
+      Adj;
+  std::unordered_set<const Instruction *> SelfLoop;
+  for (const DepEdge &E : G.edges()) {
+    if (E.Src == E.Dst) {
+      SelfLoop.insert(E.Src);
+      continue;
+    }
+    Adj[E.Src].push_back(E.Dst);
+  }
+
+  // Iterative Tarjan.
+  struct NodeState {
+    unsigned Index = ~0u;
+    unsigned LowLink = 0;
+    bool OnStack = false;
+  };
+  std::unordered_map<const Instruction *, NodeState> State;
+  std::vector<const Instruction *> Stack;
+  unsigned NextIndex = 0;
+
+  struct WorkItem {
+    const Instruction *Node;
+    std::size_t ChildPos;
+  };
+
+  for (const Instruction *Root : Nodes) {
+    if (State[Root].Index != ~0u)
+      continue;
+    std::vector<WorkItem> Work{{Root, 0}};
+    State[Root].Index = State[Root].LowLink = NextIndex++;
+    State[Root].OnStack = true;
+    Stack.push_back(Root);
+    while (!Work.empty()) {
+      WorkItem &W = Work.back();
+      const auto &Children = Adj[W.Node];
+      if (W.ChildPos < Children.size()) {
+        const Instruction *Child = Children[W.ChildPos++];
+        NodeState &CS = State[Child];
+        if (CS.Index == ~0u) {
+          CS.Index = CS.LowLink = NextIndex++;
+          CS.OnStack = true;
+          Stack.push_back(Child);
+          Work.push_back({Child, 0});
+        } else if (CS.OnStack) {
+          State[W.Node].LowLink = std::min(State[W.Node].LowLink, CS.Index);
+        }
+        continue;
+      }
+      // All children done: close the component if this is a root.
+      const NodeState &NS = State[W.Node];
+      if (NS.LowLink == NS.Index) {
+        std::vector<const Instruction *> Comp;
+        while (true) {
+          const Instruction *Top = Stack.back();
+          Stack.pop_back();
+          State[Top].OnStack = false;
+          Comp.push_back(Top);
+          CompOf[Top] = static_cast<unsigned>(Components.size());
+          if (Top == W.Node)
+            break;
+        }
+        std::reverse(Comp.begin(), Comp.end());
+        Cyclic.push_back(Comp.size() > 1 ||
+                         SelfLoop.count(Comp.front()) != 0);
+        Components.push_back(std::move(Comp));
+      }
+      const Instruction *Done = W.Node;
+      Work.pop_back();
+      if (!Work.empty())
+        State[Work.back().Node].LowLink =
+            std::min(State[Work.back().Node].LowLink, State[Done].LowLink);
+    }
+  }
+
+  // Condensed edges, deduplicated.
+  std::unordered_set<std::uint64_t> Seen;
+  for (const DepEdge &E : G.edges()) {
+    const unsigned A = CompOf[E.Src];
+    const unsigned B = CompOf[E.Dst];
+    if (A == B)
+      continue;
+    const std::uint64_t Key = (static_cast<std::uint64_t>(A) << 32) | B;
+    if (Seen.insert(Key).second)
+      DagEdges.emplace_back(A, B);
+  }
+}
+
+std::vector<unsigned> DagScc::successors(unsigned C) const {
+  std::vector<unsigned> Out;
+  for (const auto &[A, B] : DagEdges)
+    if (A == C)
+      Out.push_back(B);
+  return Out;
+}
+
+std::vector<unsigned> DagScc::topoOrder() const {
+  const unsigned N = numComponents();
+  std::vector<unsigned> InDegree(N, 0);
+  for (const auto &[A, B] : DagEdges)
+    ++InDegree[B];
+  std::vector<unsigned> Ready;
+  for (unsigned C = 0; C < N; ++C)
+    if (InDegree[C] == 0)
+      Ready.push_back(C);
+  std::vector<unsigned> Order;
+  while (!Ready.empty()) {
+    const unsigned C = Ready.back();
+    Ready.pop_back();
+    Order.push_back(C);
+    for (unsigned S : successors(C))
+      if (--InDegree[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Order.size() == N && "condensation is not acyclic");
+  return Order;
+}

@@ -1,0 +1,75 @@
+//===- analysis/SCC.h - Strongly connected components of a PDG -*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan's algorithm over PDG nodes plus the condensed DAG-SCC
+/// (Fig 3.6(c)). The DOMORE partitioner assigns whole SCCs to the scheduler
+/// or worker threads and repairs worker->scheduler backedges at DAG-SCC
+/// granularity (§3.3.1); DSWP-style reasoning (Ch. 2) also lives at this
+/// granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_ANALYSIS_SCC_H
+#define CIP_ANALYSIS_SCC_H
+
+#include "analysis/PDG.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cip {
+namespace analysis {
+
+/// The SCC condensation of a PDG.
+class DagScc {
+public:
+  explicit DagScc(const PDG &G);
+
+  unsigned numComponents() const {
+    return static_cast<unsigned>(Components.size());
+  }
+
+  /// Instructions of component \p C.
+  const std::vector<const ir::Instruction *> &component(unsigned C) const {
+    assert(C < Components.size() && "component index out of range");
+    return Components[C];
+  }
+
+  /// Component containing \p I.
+  unsigned componentOf(const ir::Instruction *I) const {
+    auto It = CompOf.find(I);
+    assert(It != CompOf.end() && "instruction not in the PDG");
+    return It->second;
+  }
+
+  /// Condensed edges (no self-loops, deduplicated).
+  const std::vector<std::pair<unsigned, unsigned>> &edges() const {
+    return DagEdges;
+  }
+
+  /// Successor components of \p C in the DAG.
+  std::vector<unsigned> successors(unsigned C) const;
+
+  /// True if component \p C contains a dependence cycle (more than one
+  /// instruction, or a self-edge in the PDG).
+  bool isCyclic(unsigned C) const { return Cyclic[C]; }
+
+  /// Components in a topological order of the DAG.
+  std::vector<unsigned> topoOrder() const;
+
+private:
+  std::vector<std::vector<const ir::Instruction *>> Components;
+  std::unordered_map<const ir::Instruction *, unsigned> CompOf;
+  std::vector<std::pair<unsigned, unsigned>> DagEdges;
+  std::vector<bool> Cyclic;
+};
+
+} // namespace analysis
+} // namespace cip
+
+#endif // CIP_ANALYSIS_SCC_H

@@ -1,0 +1,267 @@
+//===- domore/DomoreRuntime.cpp - DOMORE scheduler/worker engine ---------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+
+#include "support/Backoff.h"
+#include "support/ThreadGroup.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <memory>
+
+using namespace cip;
+using namespace cip::domore;
+
+namespace {
+
+/// One slot of the `latestFinished` status array (§3.2.3), padded so that
+/// each worker publishes its progress on a private cache line.
+struct alignas(CacheLineBytes) ProgressSlot {
+  std::atomic<std::int64_t> LatestFinished{-1};
+};
+
+/// Message the scheduler forwards to a worker queue. Three kinds, matching
+/// the paper's protocol:
+///  * Sync: "wait until worker DepTid has finished combined iteration Iter"
+///  * Work: "you may now run iteration (Invocation, LocalIter), whose
+///    combined number is Iter" — the (NO_SYNC, iterNum) token plus payload
+///  * End:  the END_TOKEN broadcast when the outer loop finishes
+struct Message {
+  enum KindTy : std::uint32_t { Sync, Work, End };
+
+  KindTy Kind = End;
+  std::uint32_t DepTid = 0;
+  std::int64_t Iter = -1;
+  std::uint32_t Invocation = 0;
+  std::uint64_t LocalIter = 0;
+};
+
+/// Spin-waits until \p Slot reports completion of combined iteration
+/// \p Iter or beyond.
+void waitForIteration(const ProgressSlot &Slot, std::int64_t Iter) {
+  Backoff B;
+  while (Slot.LatestFinished.load(std::memory_order_acquire) < Iter)
+    B.pause();
+}
+
+/// Looks up every address of the current iteration in \p Shadow, emits sync
+/// conditions for cross-worker conflicts via \p EmitSync, and records the
+/// new accessor. Shared by both shadow implementations and both engine
+/// variants.
+template <typename ShadowT, typename EmitSyncFn>
+std::uint64_t detectAndRecord(ShadowT &Shadow,
+                              const std::vector<std::uint64_t> &Addrs,
+                              std::uint32_t Tid, std::int64_t Iter,
+                              EmitSyncFn &&EmitSync) {
+  std::uint64_t Conflicts = 0;
+  for (std::uint64_t Addr : Addrs) {
+    const ShadowEntry Prev = Shadow.lookup(Addr);
+    if (Prev.valid() && Prev.Tid != Tid) {
+      EmitSync(Prev.Tid, Prev.Iter);
+      ++Conflicts;
+    }
+    Shadow.update(Addr, Tid, Iter);
+  }
+  return Conflicts;
+}
+
+std::unique_ptr<SchedulePolicy> makePolicy(const LoopNest &Nest,
+                                           const DomoreConfig &Config) {
+  switch (Config.Policy) {
+  case PolicyKind::RoundRobin:
+    return std::make_unique<RoundRobinPolicy>(Config.NumWorkers);
+  case PolicyKind::OwnerCompute:
+    assert(Nest.AddressSpaceSize > 0 &&
+           "owner-compute needs a dense address space");
+    return std::make_unique<OwnerComputePolicy>(Config.NumWorkers,
+                                                Nest.AddressSpaceSize);
+  case PolicyKind::HashOwner:
+    return std::make_unique<HashOwnerPolicy>(Config.NumWorkers);
+  }
+  CIP_UNREACHABLE("unknown policy kind");
+}
+
+/// The scheduler thread body: Algorithm 1 plus iteration dispatch.
+template <typename ShadowT>
+void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
+                  ShadowT &Shadow, SchedulePolicy &Policy,
+                  std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues,
+                  std::vector<ProgressSlot> &Progress, DomoreStats &Stats) {
+  std::vector<std::uint64_t> Addrs;
+  std::int64_t Combined = 0;
+  Stopwatch Busy;
+
+  for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
+    // Before running the sequential outer-loop code, respect dependences
+    // from in-flight iterations onto the scheduler partition's own writes.
+    if (Nest.PrologueAddresses) {
+      Addrs.clear();
+      Nest.PrologueAddresses(Inv, Addrs);
+      for (std::uint64_t Addr : Addrs) {
+        const ShadowEntry Prev = Shadow.lookup(Addr);
+        if (!Prev.valid())
+          continue;
+        waitForIteration(Progress[Prev.Tid], Prev.Iter);
+        ++Stats.PrologueWaits;
+      }
+    }
+
+    Busy.start();
+    const std::size_t NumIters = Nest.BeginInvocation(Inv);
+    Busy.stop();
+
+    for (std::size_t It = 0; It < NumIters; ++It) {
+      Busy.start();
+      Addrs.clear();
+      Nest.ComputeAddr(Inv, It, Addrs);
+      const std::uint32_t Tid = Policy.pick(Combined, Addrs);
+      SPSCQueue<Message> &Q = *Queues[Tid];
+      Stats.SyncConditions += detectAndRecord(
+          Shadow, Addrs, Tid, Combined,
+          [&Q](std::uint32_t DepTid, std::int64_t DepIter) {
+            Q.produce(Message{Message::Sync, DepTid, DepIter, 0, 0});
+          });
+      Busy.stop();
+      Q.produce(Message{Message::Work, /*DepTid=*/0, Combined, Inv, It});
+      ++Combined;
+    }
+    ++Stats.Invocations;
+  }
+
+  for (auto &Q : Queues)
+    Q->produce(Message{Message::End, 0, -1, 0, 0});
+
+  Stats.Iterations = static_cast<std::uint64_t>(Combined);
+  Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
+}
+
+/// The worker thread body: Algorithm 2.
+void runWorker(const LoopNest &Nest, std::uint32_t Tid,
+               SPSCQueue<Message> &Queue, std::vector<ProgressSlot> &Progress) {
+  while (true) {
+    const Message M = Queue.consume();
+    switch (M.Kind) {
+    case Message::End:
+      return;
+    case Message::Sync:
+      assert(M.DepTid != Tid && "scheduler never syncs a worker on itself");
+      waitForIteration(Progress[M.DepTid], M.Iter);
+      break;
+    case Message::Work:
+      Nest.Work(M.Invocation, M.LocalIter);
+      Progress[Tid].LatestFinished.store(M.Iter, std::memory_order_release);
+      break;
+    }
+  }
+}
+
+template <typename ShadowT>
+DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
+                          ShadowT &Shadow) {
+  assert(Nest.BeginInvocation && Nest.ComputeAddr && Nest.Work &&
+         "incomplete loop nest description");
+  assert(Config.NumWorkers > 0 && "need at least one worker");
+
+  DomoreStats Stats;
+  std::unique_ptr<SchedulePolicy> Policy = makePolicy(Nest, Config);
+
+  std::vector<std::unique_ptr<SPSCQueue<Message>>> Queues;
+  for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
+    Queues.push_back(
+        std::make_unique<SPSCQueue<Message>>(Config.QueueCapacity));
+  std::vector<ProgressSlot> Progress(Config.NumWorkers);
+
+  const double Begin = static_cast<double>(nowNanos());
+  runThreads(Config.NumWorkers + 1, [&](unsigned ThreadIdx) {
+    if (ThreadIdx == Config.NumWorkers)
+      runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats);
+    else
+      runWorker(Nest, ThreadIdx, *Queues[ThreadIdx], Progress);
+  });
+  Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+  return Stats;
+}
+
+} // namespace
+
+DomoreStats domore::runDomore(const LoopNest &Nest,
+                              const DomoreConfig &Config) {
+  if (Nest.AddressSpaceSize > 0) {
+    DenseShadowMemory Shadow(Nest.AddressSpaceSize);
+    return runWithShadow(Nest, Config, Shadow);
+  }
+  HashShadowMemory Shadow;
+  return runWithShadow(Nest, Config, Shadow);
+}
+
+DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
+                                        const DomoreConfig &Config) {
+  assert(Nest.BeginInvocation && Nest.ComputeAddr && Nest.Work &&
+         "incomplete loop nest description");
+  assert(Config.NumWorkers > 0 && "need at least one worker");
+
+  DomoreStats Stats;
+  std::vector<ProgressSlot> Progress(Config.NumWorkers);
+  std::atomic<std::uint64_t> TotalSyncs{0};
+
+  const double Begin = static_cast<double>(nowNanos());
+  runThreads(Config.NumWorkers, [&](unsigned Tid) {
+    // Every worker redundantly executes the scheduler partition against a
+    // private shadow memory (Fig 3.9). Because all workers process the same
+    // deterministic iteration stream, their shadows agree, and each worker
+    // can locally decide which iterations it owns and which conditions to
+    // wait on. No queues are needed.
+    std::unique_ptr<SchedulePolicy> Policy = makePolicy(Nest, Config);
+    DenseShadowMemory DenseShadow(
+        Nest.AddressSpaceSize > 0 ? Nest.AddressSpaceSize : 1);
+    HashShadowMemory HashShadow;
+    const bool UseDense = Nest.AddressSpaceSize > 0;
+
+    std::vector<std::uint64_t> Addrs;
+    std::vector<std::pair<std::uint32_t, std::int64_t>> Waits;
+    std::int64_t Combined = 0;
+    std::uint64_t MySyncs = 0;
+
+    for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
+      const std::size_t NumIters = Nest.BeginInvocation(Inv);
+      for (std::size_t It = 0; It < NumIters; ++It) {
+        Addrs.clear();
+        Nest.ComputeAddr(Inv, It, Addrs);
+        const std::uint32_t Owner = Policy->pick(Combined, Addrs);
+        const bool Mine = Owner == Tid;
+        Waits.clear();
+        auto Emit = [&](std::uint32_t DepTid, std::int64_t DepIter) {
+          if (Mine && DepTid != Tid)
+            Waits.emplace_back(DepTid, DepIter);
+        };
+        if (UseDense)
+          MySyncs +=
+              detectAndRecord(DenseShadow, Addrs, Owner, Combined, Emit);
+        else
+          MySyncs += detectAndRecord(HashShadow, Addrs, Owner, Combined, Emit);
+        if (Mine) {
+          for (const auto &[DepTid, DepIter] : Waits)
+            waitForIteration(Progress[DepTid], DepIter);
+          Nest.Work(Inv, It);
+          Progress[Tid].LatestFinished.store(Combined,
+                                             std::memory_order_release);
+        }
+        ++Combined;
+      }
+    }
+    if (Tid == 0) {
+      Stats.Invocations = Nest.NumInvocations;
+      Stats.Iterations = static_cast<std::uint64_t>(Combined);
+    }
+    TotalSyncs.fetch_add(MySyncs, std::memory_order_relaxed);
+  });
+  Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+  // Every worker counted the same conflicts; report one worker's view.
+  Stats.SyncConditions =
+      TotalSyncs.load(std::memory_order_relaxed) / Config.NumWorkers;
+  return Stats;
+}

@@ -1,0 +1,129 @@
+//===- domore/DomoreRuntime.h - DOMORE scheduler/worker engine -*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DOMORE runtime engine (dissertation Ch. 3): a scheduler thread
+/// non-speculatively detects cross-iteration/cross-invocation dependences at
+/// runtime through shadow memory, dispatches inner-loop iterations to worker
+/// threads with a *combined* (cross-invocation) iteration number, and
+/// forwards point-to-point synchronization conditions so that only
+/// iterations that actually conflict ever wait. Global barriers between
+/// inner-loop invocations disappear entirely.
+///
+/// The engine consumes a \c LoopNest description — exactly the artifacts the
+/// DOMORE compiler transformation generates from a loop nest: a sequential
+/// outer-loop body (the scheduler partition), a computeAddr slice, and a
+/// worker body (see src/transform for the compiler that produces these from
+/// mini-IR automatically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_DOMORE_DOMORERUNTIME_H
+#define CIP_DOMORE_DOMORERUNTIME_H
+
+#include "domore/Schedule.h"
+#include "domore/ShadowMemory.h"
+#include "support/Compiler.h"
+#include "support/SPSCQueue.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cip {
+namespace domore {
+
+/// Description of a transformed loop nest. Mirrors the code the DOMORE
+/// compiler emits (Fig 3.7): the scheduler partition (outer-loop sequential
+/// code + computeAddr slice) and the worker partition (inner-loop body).
+struct LoopNest {
+  /// Number of outer-loop iterations, i.e., inner-loop invocations.
+  std::uint32_t NumInvocations = 0;
+
+  /// The scheduler partition of the outer-loop body. Runs sequentially in
+  /// the scheduler thread before invocation \p Inv is dispatched; returns
+  /// the number of inner-loop iterations of that invocation.
+  std::function<std::size_t(std::uint32_t Inv)> BeginInvocation;
+
+  /// The computeAddr slice (§3.3.4): appends to \p Addrs the abstract
+  /// addresses iteration (\p Inv, \p Iter) will access. Must be side-effect
+  /// free — the compiler's slicer enforces this; the runtime trusts it.
+  std::function<void(std::uint32_t Inv, std::size_t Iter,
+                     std::vector<std::uint64_t> &Addrs)>
+      ComputeAddr;
+
+  /// The worker partition: the inner-loop body for iteration
+  /// (\p Inv, \p Iter). Runs on whichever worker the policy picked.
+  std::function<void(std::uint32_t Inv, std::size_t Iter)> Work;
+
+  /// Optional: abstract addresses the scheduler partition itself writes
+  /// before invocation \p Inv. The scheduler waits for in-flight iterations
+  /// that touch them before running BeginInvocation, keeping
+  /// scheduler-side sequential code sound without global barriers.
+  std::function<void(std::uint32_t Inv, std::vector<std::uint64_t> &Addrs)>
+      PrologueAddresses;
+
+  /// Size of the abstract address space if dense shadow memory should be
+  /// used; 0 selects the hash-based shadow memory.
+  std::uint64_t AddressSpaceSize = 0;
+};
+
+/// Execution statistics, including the scheduler/worker busy ratio reported
+/// in Table 5.2.
+struct DomoreStats {
+  std::uint64_t Invocations = 0;
+  std::uint64_t Iterations = 0;
+  /// Point-to-point synchronization conditions produced (true conflicts
+  /// detected by the shadow memory).
+  std::uint64_t SyncConditions = 0;
+  /// Times the scheduler itself had to wait for in-flight iterations before
+  /// running sequential outer-loop code.
+  std::uint64_t PrologueWaits = 0;
+  /// Wall-clock seconds the scheduler thread spent busy (scheduling,
+  /// computeAddr, sequential code) vs. the whole parallel region.
+  double SchedulerBusySeconds = 0.0;
+  double TotalSeconds = 0.0;
+
+  /// Scheduler busy time as a percentage of the region — the
+  /// "% of Scheduler/Worker" column of Table 5.2.
+  double schedulerRatioPercent() const {
+    return TotalSeconds > 0.0
+               ? 100.0 * SchedulerBusySeconds / TotalSeconds
+               : 0.0;
+  }
+};
+
+/// Which scheduling policy the engine should construct.
+enum class PolicyKind { RoundRobin, OwnerCompute, HashOwner };
+
+/// Configuration for one DOMORE execution.
+struct DomoreConfig {
+  std::uint32_t NumWorkers = 2;
+  PolicyKind Policy = PolicyKind::RoundRobin;
+  /// Queue capacity per worker, in messages. Bounds scheduler run-ahead the
+  /// same way the paper's implementation bounds it by queue size.
+  std::size_t QueueCapacity = 4096;
+};
+
+/// Runs \p Nest under the DOMORE runtime engine with a dedicated scheduler
+/// thread and \c Config.NumWorkers worker threads (Algorithms 1 and 2).
+/// Blocks until the whole loop nest has executed. Returns statistics.
+DomoreStats runDomore(const LoopNest &Nest, const DomoreConfig &Config);
+
+/// Runs \p Nest under the §3.4 variant: the scheduler code is duplicated
+/// onto every worker thread (no separate scheduler thread, no queues; each
+/// worker redundantly computes the full schedule against a private shadow
+/// memory and executes only its own iterations). Requires the scheduler
+/// partition to be duplicable: BeginInvocation must be deterministic and
+/// race-free when executed concurrently by all workers.
+DomoreStats runDomoreDuplicated(const LoopNest &Nest,
+                                const DomoreConfig &Config);
+
+} // namespace domore
+} // namespace cip
+
+#endif // CIP_DOMORE_DOMORERUNTIME_H

@@ -1,0 +1,123 @@
+//===- domore/Schedule.h - Iteration scheduling policies -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iteration-to-worker scheduling policies for DOMORE (dissertation §3.3.3).
+/// DOMORE ships two policies — round-robin and memory-partition-based
+/// (LOCALWRITE owner-compute) — and is designed so "smarter" policies can be
+/// plugged in; this file keeps that shape with a small policy interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_DOMORE_SCHEDULE_H
+#define CIP_DOMORE_SCHEDULE_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <span>
+
+namespace cip {
+namespace domore {
+
+/// Abstract scheduling policy: maps a combined iteration number plus the
+/// iteration's address set to a worker thread id in [0, NumWorkers).
+class SchedulePolicy {
+public:
+  virtual ~SchedulePolicy() = default;
+
+  /// Picks the worker for combined iteration \p Iter whose computeAddr slice
+  /// produced \p Addrs.
+  virtual std::uint32_t pick(std::int64_t Iter,
+                             std::span<const std::uint64_t> Addrs) = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// Classic round-robin dispatch; ignores the address set.
+class RoundRobinPolicy final : public SchedulePolicy {
+public:
+  explicit RoundRobinPolicy(std::uint32_t NumWorkers)
+      : NumWorkers(NumWorkers) {
+    assert(NumWorkers > 0 && "need at least one worker");
+  }
+
+  std::uint32_t pick(std::int64_t Iter,
+                     std::span<const std::uint64_t> Addrs) override {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(Iter) % NumWorkers);
+  }
+
+  const char *name() const override { return "round-robin"; }
+
+private:
+  const std::uint32_t NumWorkers;
+};
+
+/// LOCALWRITE-style owner-compute: the abstract address space [0, SpaceSize)
+/// is block-partitioned across workers, and an iteration is scheduled to the
+/// owner of its first (primary) address. Where the classic LOCALWRITE
+/// transformation replicates an iteration on every owner, DOMORE only needs
+/// the primary owner: accesses to other workers' partitions are caught by
+/// the shadow memory and turned into point-to-point synchronization, which
+/// preserves soundness while eliminating LOCALWRITE's redundant computation
+/// (§3.3.3, §5.1 FLUIDANIMATE discussion).
+class OwnerComputePolicy final : public SchedulePolicy {
+public:
+  OwnerComputePolicy(std::uint32_t NumWorkers, std::uint64_t SpaceSize)
+      : NumWorkers(NumWorkers),
+        BlockSize((SpaceSize + NumWorkers - 1) / NumWorkers) {
+    assert(NumWorkers > 0 && "need at least one worker");
+    assert(SpaceSize > 0 && "owner-compute needs a non-empty address space");
+  }
+
+  std::uint32_t pick(std::int64_t Iter,
+                     std::span<const std::uint64_t> Addrs) override {
+    if (Addrs.empty())
+      return static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(Iter) % NumWorkers);
+    const std::uint32_t Owner =
+        static_cast<std::uint32_t>(Addrs.front() / BlockSize);
+    return Owner < NumWorkers ? Owner : NumWorkers - 1;
+  }
+
+  const char *name() const override { return "owner-compute"; }
+
+private:
+  const std::uint32_t NumWorkers;
+  const std::uint64_t BlockSize;
+};
+
+/// Hash-based owner policy for sparse address spaces: ownership by hashing
+/// the primary address. Spreads hot blocks at the cost of locality.
+class HashOwnerPolicy final : public SchedulePolicy {
+public:
+  explicit HashOwnerPolicy(std::uint32_t NumWorkers) : NumWorkers(NumWorkers) {
+    assert(NumWorkers > 0 && "need at least one worker");
+  }
+
+  std::uint32_t pick(std::int64_t Iter,
+                     std::span<const std::uint64_t> Addrs) override {
+    if (Addrs.empty())
+      return static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(Iter) % NumWorkers);
+    std::uint64_t H = Addrs.front();
+    H ^= H >> 33;
+    H *= 0xff51afd7ed558ccdULL;
+    H ^= H >> 33;
+    return static_cast<std::uint32_t>(H % NumWorkers);
+  }
+
+  const char *name() const override { return "hash-owner"; }
+
+private:
+  const std::uint32_t NumWorkers;
+};
+
+} // namespace domore
+} // namespace cip
+
+#endif // CIP_DOMORE_SCHEDULE_H

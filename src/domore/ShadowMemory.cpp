@@ -1,0 +1,69 @@
+//===- domore/ShadowMemory.cpp - Last-accessor shadow memory -------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domore/ShadowMemory.h"
+
+using namespace cip;
+using namespace cip::domore;
+
+HashShadowMemory::HashShadowMemory(std::size_t ExpectedEntries) {
+  std::size_t Cap = 16;
+  while (Cap < ExpectedEntries * 2)
+    Cap <<= 1;
+  Slots.resize(Cap);
+}
+
+ShadowEntry HashShadowMemory::lookup(std::uint64_t Addr) const {
+  assert(Addr != EmptyKey && "address collides with the empty sentinel");
+  const std::size_t Mask = Slots.size() - 1;
+  std::size_t Idx = hashAddr(Addr) & Mask;
+  while (true) {
+    const Slot &S = Slots[Idx];
+    if (S.Addr == Addr)
+      return S.Entry;
+    if (S.Addr == EmptyKey)
+      return ShadowEntry();
+    Idx = (Idx + 1) & Mask;
+  }
+}
+
+void HashShadowMemory::update(std::uint64_t Addr, std::uint32_t Tid,
+                              std::int64_t Iter) {
+  assert(Addr != EmptyKey && "address collides with the empty sentinel");
+  if (Live * 10 >= Slots.size() * 7)
+    grow();
+  const std::size_t Mask = Slots.size() - 1;
+  std::size_t Idx = hashAddr(Addr) & Mask;
+  while (true) {
+    Slot &S = Slots[Idx];
+    if (S.Addr == Addr) {
+      S.Entry = ShadowEntry{Tid, Iter};
+      return;
+    }
+    if (S.Addr == EmptyKey) {
+      S.Addr = Addr;
+      S.Entry = ShadowEntry{Tid, Iter};
+      ++Live;
+      return;
+    }
+    Idx = (Idx + 1) & Mask;
+  }
+}
+
+void HashShadowMemory::clear() {
+  for (auto &S : Slots)
+    S = Slot();
+  Live = 0;
+}
+
+void HashShadowMemory::grow() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, Slot());
+  Live = 0;
+  for (const Slot &S : Old)
+    if (S.Addr != EmptyKey)
+      update(S.Addr, S.Entry.Tid, S.Entry.Iter);
+}

@@ -1,0 +1,117 @@
+//===- domore/ShadowMemory.h - Last-accessor shadow memory -----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DOMORE scheduler's shadow memory (dissertation §3.2.1). Each entry
+/// maps an abstract address to the `(tid, iterNum)` of the most recent
+/// iteration scheduled to touch that address. The scheduler thread is the
+/// only accessor, so no synchronization is needed; what matters is exact
+/// lookup (a lossy map could *miss* a dependence, which would be unsound)
+/// and O(1) amortized updates, since every scheduled iteration probes it for
+/// every address in its computeAddr set.
+///
+/// Two implementations are provided behind one interface:
+///  * \c DenseShadowMemory — direct-indexed array for workloads whose
+///    abstract addresses are array element ids in a known range (every
+///    benchmark in Table 5.1 is of this form; this mirrors the paper's
+///    "shadow array").
+///  * \c HashShadowMemory — open-addressing exact-key hash table for
+///    pointer-shaped address spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_DOMORE_SHADOWMEMORY_H
+#define CIP_DOMORE_SHADOWMEMORY_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cip {
+namespace domore {
+
+/// The value stored per shadowed address: which worker thread was scheduled
+/// the most recent iteration touching the address, and that iteration's
+/// combined (cross-invocation) iteration number.
+struct ShadowEntry {
+  static constexpr std::int64_t InvalidIter = -1;
+
+  std::uint32_t Tid = 0;
+  std::int64_t Iter = InvalidIter;
+
+  bool valid() const { return Iter != InvalidIter; }
+};
+
+/// Direct-indexed shadow memory over abstract addresses [0, Size).
+class DenseShadowMemory {
+public:
+  explicit DenseShadowMemory(std::size_t Size) : Entries(Size) {}
+
+  /// Returns the last-accessor record for \p Addr (invalid if untouched).
+  ShadowEntry lookup(std::uint64_t Addr) const {
+    assert(Addr < Entries.size() && "shadow address out of range");
+    return Entries[Addr];
+  }
+
+  /// Records that combined iteration \p Iter, scheduled to \p Tid, accesses
+  /// \p Addr.
+  void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter) {
+    assert(Addr < Entries.size() && "shadow address out of range");
+    Entries[Addr] = ShadowEntry{Tid, Iter};
+  }
+
+  /// Forgets all recorded accesses.
+  void clear() {
+    for (auto &E : Entries)
+      E = ShadowEntry();
+  }
+
+  std::size_t size() const { return Entries.size(); }
+
+private:
+  std::vector<ShadowEntry> Entries;
+};
+
+/// Exact-key open-addressing (linear probing) shadow memory for sparse or
+/// pointer-shaped address spaces. Grows when 70% full. Never loses entries,
+/// so dependence detection stays sound.
+class HashShadowMemory {
+public:
+  explicit HashShadowMemory(std::size_t ExpectedEntries = 1024);
+
+  ShadowEntry lookup(std::uint64_t Addr) const;
+  void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter);
+  void clear();
+
+  std::size_t size() const { return Live; }
+
+private:
+  struct Slot {
+    std::uint64_t Addr = EmptyKey;
+    ShadowEntry Entry;
+  };
+
+  static constexpr std::uint64_t EmptyKey = ~std::uint64_t{0};
+
+  static std::uint64_t hashAddr(std::uint64_t A) {
+    // Fibonacci hashing; addresses are often sequential, so mix well.
+    A ^= A >> 33;
+    A *= 0xff51afd7ed558ccdULL;
+    A ^= A >> 33;
+    return A;
+  }
+
+  void grow();
+
+  std::vector<Slot> Slots;
+  std::size_t Live = 0;
+};
+
+} // namespace domore
+} // namespace cip
+
+#endif // CIP_DOMORE_SHADOWMEMORY_H

@@ -1,0 +1,234 @@
+//===- harness/Executor.cpp - Parallel execution strategies --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Executor.h"
+
+#include "support/Barrier.h"
+#include "support/ThreadGroup.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <mutex>
+
+using namespace cip;
+using namespace cip::harness;
+using namespace cip::workloads;
+
+ExecResult harness::runSequential(Workload &W) {
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
+    if (W.hasPrologue())
+      W.epochPrologue(E, /*Tid=*/0);
+    for (std::size_t T = 0, NT = W.numTasks(E); T < NT; ++T)
+      W.runTask(E, T);
+  }
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Checksum = W.checksum();
+  return R;
+}
+
+ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
+  assert(NumThreads > 0 && "need at least one thread");
+  ExecResult R;
+  InstrumentedBarrier<PthreadBarrier> Bar(NumThreads);
+  const bool DupPrologue = W.prologueDuplicable();
+  const std::uint64_t Begin = nowNanos();
+  runThreads(NumThreads, [&](unsigned Tid) {
+    for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
+      // The global synchronization between inner-loop invocations that
+      // DOMORE and SPECCROSS exist to remove.
+      Bar.wait(Tid);
+      if (W.hasPrologue()) {
+        if (DupPrologue) {
+          W.epochPrologue(E, Tid);
+        } else {
+          if (Tid == 0)
+            W.epochPrologue(E, 0);
+          Bar.wait(Tid);
+        }
+      }
+      for (std::size_t T = Tid, NT = W.numTasks(E); T < NT; T += NumThreads)
+        W.runTask(E, T);
+    }
+  });
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.BarrierIdleNanos = Bar.totalIdleNanos();
+  R.Checksum = W.checksum();
+  return R;
+}
+
+namespace {
+
+domore::LoopNest buildLoopNest(Workload &W) {
+  domore::LoopNest Nest;
+  Nest.NumInvocations = W.numEpochs();
+  Nest.AddressSpaceSize = W.addressSpaceSize();
+  Nest.BeginInvocation = [&W](std::uint32_t Inv) {
+    if (W.hasPrologue())
+      W.epochPrologue(Inv, /*Tid=*/0);
+    return W.numTasks(Inv);
+  };
+  Nest.ComputeAddr = [&W](std::uint32_t Inv, std::size_t It,
+                          std::vector<std::uint64_t> &Addrs) {
+    W.taskAddresses(Inv, It, Addrs);
+  };
+  Nest.Work = [&W](std::uint32_t Inv, std::size_t It) { W.runTask(Inv, It); };
+  if (W.hasPrologue())
+    Nest.PrologueAddresses = [&W](std::uint32_t Inv,
+                                  std::vector<std::uint64_t> &Addrs) {
+      W.prologueAddresses(Inv, Addrs);
+    };
+  return Nest;
+}
+
+} // namespace
+
+ExecResult harness::runDomore(Workload &W, unsigned NumThreads,
+                              domore::PolicyKind Policy,
+                              domore::DomoreStats *StatsOut) {
+  assert(NumThreads > 0 && "need at least one thread");
+  domore::LoopNest Nest = buildLoopNest(W);
+  domore::DomoreConfig Config;
+  Config.NumWorkers = NumThreads > 1 ? NumThreads - 1 : 1;
+  Config.Policy = Policy;
+
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  domore::DomoreStats Stats = domore::runDomore(Nest, Config);
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Checksum = W.checksum();
+  if (StatsOut)
+    *StatsOut = Stats;
+  return R;
+}
+
+ExecResult harness::runDomoreDuplicated(Workload &W, unsigned NumThreads,
+                                        domore::PolicyKind Policy,
+                                        domore::DomoreStats *StatsOut) {
+  assert(NumThreads > 0 && "need at least one thread");
+  assert(W.prologueDuplicable() &&
+         "the duplicated-scheduler variant requires a duplicable prologue");
+  domore::LoopNest Nest = buildLoopNest(W);
+  // Every worker runs the scheduler partition itself; BeginInvocation must
+  // therefore run the prologue per worker, not once.
+  domore::DomoreConfig Config;
+  Config.NumWorkers = NumThreads;
+  Config.Policy = Policy;
+
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  domore::DomoreStats Stats = domore::runDomoreDuplicated(Nest, Config);
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Checksum = W.checksum();
+  if (StatsOut)
+    *StatsOut = Stats;
+  return R;
+}
+
+speccross::SpecRegion
+harness::buildRegion(Workload &W, speccross::CheckpointRegistry &Registry) {
+  W.registerState(Registry);
+  speccross::SpecRegion Region;
+  Region.NumEpochs = W.numEpochs();
+  Region.NumTasks = [&W](std::uint32_t E) { return W.numTasks(E); };
+  Region.RunTask = [&W](std::uint32_t E, std::size_t T) { W.runTask(E, T); };
+  Region.TaskAddresses = [&W](std::uint32_t E, std::size_t T,
+                              std::vector<std::uint64_t> &Addrs) {
+    W.taskAddresses(E, T, Addrs);
+  };
+  if (W.hasPrologue()) {
+    assert(W.prologueDuplicable() &&
+           "SPECCROSS duplicates prologues onto every worker (§4.3)");
+    Region.EpochPrologue = [&W](std::uint32_t E, std::uint32_t Tid) {
+      W.epochPrologue(E, Tid);
+    };
+  }
+  Region.Checkpoints = &Registry;
+  return Region;
+}
+
+ExecResult harness::runSpecCross(Workload &W,
+                                 const speccross::SpecConfig &Config,
+                                 speccross::SpecMode Mode,
+                                 speccross::SpecStats *StatsOut) {
+  speccross::CheckpointRegistry Registry;
+  speccross::SpecRegion Region = buildRegion(W, Registry);
+
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  speccross::SpecStats Stats = speccross::runSpecCross(Region, Config, Mode);
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Checksum = W.checksum();
+  if (StatsOut)
+    *StatsOut = Stats;
+  return R;
+}
+
+std::uint64_t
+harness::profiledSpecDistance(Workload &W, unsigned NumWorkers,
+                              speccross::ProfileResult *ProfileOut) {
+  W.reset();
+  speccross::CheckpointRegistry Registry;
+  speccross::SpecRegion Region = buildRegion(W, Registry);
+  const speccross::ProfileResult P =
+      speccross::profileRegion(Region, NumWorkers);
+  if (ProfileOut)
+    *ProfileOut = P;
+  W.reset();
+  return P.recommendedSpecDistance(NumWorkers);
+}
+
+ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
+                                    unsigned NumLocks) {
+  assert(NumThreads > 0 && "need at least one thread");
+  assert(NumLocks > 0 && "need at least one lock");
+  ExecResult R;
+  InstrumentedBarrier<PthreadBarrier> Bar(NumThreads);
+  std::vector<std::unique_ptr<std::mutex>> Locks;
+  for (unsigned L = 0; L < NumLocks; ++L)
+    Locks.push_back(std::make_unique<std::mutex>());
+  const bool DupPrologue = W.prologueDuplicable();
+
+  const std::uint64_t Begin = nowNanos();
+  runThreads(NumThreads, [&](unsigned Tid) {
+    std::vector<std::uint64_t> Addrs;
+    std::vector<unsigned> Held;
+    for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
+      Bar.wait(Tid);
+      if (W.hasPrologue()) {
+        if (DupPrologue) {
+          W.epochPrologue(E, Tid);
+        } else {
+          if (Tid == 0)
+            W.epochPrologue(E, 0);
+          Bar.wait(Tid);
+        }
+      }
+      for (std::size_t T = Tid, NT = W.numTasks(E); T < NT;
+           T += NumThreads) {
+        // DOANY: guard the task with locks over its address set, acquired
+        // in ascending order so lock acquisition cannot deadlock.
+        Addrs.clear();
+        W.taskAddresses(E, T, Addrs);
+        Held.clear();
+        for (std::uint64_t A : Addrs)
+          Held.push_back(static_cast<unsigned>(A % NumLocks));
+        std::sort(Held.begin(), Held.end());
+        Held.erase(std::unique(Held.begin(), Held.end()), Held.end());
+        for (unsigned L : Held)
+          Locks[L]->lock();
+        W.runTask(E, T);
+        for (auto It = Held.rbegin(); It != Held.rend(); ++It)
+          Locks[*It]->unlock();
+      }
+    }
+  });
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.BarrierIdleNanos = Bar.totalIdleNanos();
+  R.Checksum = W.checksum();
+  return R;
+}

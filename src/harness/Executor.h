@@ -1,0 +1,103 @@
+//===- harness/Executor.h - Parallel execution strategies ------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four execution strategies the dissertation compares over one common
+/// workload description:
+///
+///  * sequential        — best single-threaded execution (the speedup base)
+///  * pthread barrier   — inner-loop parallelization with a global barrier
+///                        between invocations (the baseline of Figs 5.1/5.2)
+///  * DOMORE            — scheduler/worker runtime engine (Ch. 3)
+///  * SPECCROSS         — speculative barriers with a checker thread (Ch. 4)
+///
+/// Every strategy produces bit-identical workload checksums; the tests
+/// enforce that, which is the project's end-to-end soundness check for the
+/// two runtime systems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_HARNESS_EXECUTOR_H
+#define CIP_HARNESS_EXECUTOR_H
+
+#include "domore/DomoreRuntime.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "workloads/Workload.h"
+
+#include <cstdint>
+
+namespace cip {
+namespace harness {
+
+/// Result of one timed execution.
+struct ExecResult {
+  double Seconds = 0.0;
+  /// Total nanoseconds all threads idled at barriers (barrier strategies
+  /// only) — the quantity of Fig 4.3.
+  std::uint64_t BarrierIdleNanos = 0;
+  /// Post-execution workload checksum.
+  std::uint64_t Checksum = 0;
+};
+
+/// Runs the workload sequentially (epoch by epoch, task by task).
+ExecResult runSequential(workloads::Workload &W);
+
+/// Baseline parallelization: \p NumThreads workers, tasks split round-robin
+/// inside each epoch, a pthread barrier between epochs (and around
+/// non-duplicable prologues). Matches the paper's "Pthread Barrier" series.
+ExecResult runBarrier(workloads::Workload &W, unsigned NumThreads);
+
+/// DOANY-style baseline (§2.2, and the "manual" FLUIDANIMATE
+/// parallelization of Fig 5.6): like runBarrier, but every task acquires a
+/// lock on each abstract address it touches (sorted, from a fixed-size
+/// lock table) before executing. On inputs whose epochs are already
+/// conflict-free the locks are pure overhead — which is exactly the
+/// paper's point when comparing the manual DOANY version against
+/// LOCALWRITE and DOMORE.
+ExecResult runBarrierDoany(workloads::Workload &W, unsigned NumThreads,
+                           unsigned NumLocks = 64);
+
+/// DOMORE execution with \p NumThreads total threads: one scheduler plus
+/// NumThreads-1 workers (a single thread degenerates to one worker fed by
+/// an in-line scheduler). Returns the runtime engine's statistics in
+/// \p StatsOut when non-null.
+ExecResult runDomore(workloads::Workload &W, unsigned NumThreads,
+                     domore::PolicyKind Policy = domore::PolicyKind::RoundRobin,
+                     domore::DomoreStats *StatsOut = nullptr);
+
+/// DOMORE §3.4 variant: scheduler duplicated onto all \p NumThreads workers.
+ExecResult
+runDomoreDuplicated(workloads::Workload &W, unsigned NumThreads,
+                    domore::PolicyKind Policy = domore::PolicyKind::RoundRobin,
+                    domore::DomoreStats *StatsOut = nullptr);
+
+/// SPECCROSS execution with \p Config.NumWorkers workers plus one checker
+/// thread. Builds the region from the workload, registers its state for
+/// checkpointing, and runs it per \p Mode. Returns the runtime's statistics
+/// in \p StatsOut when non-null.
+ExecResult runSpecCross(workloads::Workload &W,
+                        const speccross::SpecConfig &Config,
+                        speccross::SpecMode Mode =
+                            speccross::SpecMode::Speculation,
+                        speccross::SpecStats *StatsOut = nullptr);
+
+/// Builds the SPECCROSS region description for \p W (without running it).
+/// \p Registry receives the workload's mutable state.
+speccross::SpecRegion buildRegion(workloads::Workload &W,
+                                  speccross::CheckpointRegistry &Registry);
+
+/// Profiles \p W (sequentially, from a reset state) and returns the
+/// recommended speculative distance for \p NumWorkers, mirroring the
+/// paper's profile-then-speculate flow (§4.4). Leaves the workload reset.
+std::uint64_t profiledSpecDistance(workloads::Workload &W,
+                                   unsigned NumWorkers,
+                                   speccross::ProfileResult *ProfileOut =
+                                       nullptr);
+
+} // namespace harness
+} // namespace cip
+
+#endif // CIP_HARNESS_EXECUTOR_H

@@ -1,0 +1,76 @@
+//===- harness/StagedLoop.cpp - DOACROSS and DSWP executors --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/StagedLoop.h"
+
+#include "support/Backoff.h"
+#include "support/SPSCQueue.h"
+#include "support/ThreadGroup.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+using namespace cip;
+using namespace cip::harness;
+
+double harness::runStagedSequential(const StagedLoop &L) {
+  assert(L.Traverse && L.Work && "incomplete staged loop");
+  const std::uint64_t Begin = nowNanos();
+  for (std::uint64_t I = 0; I < L.NumIterations; ++I)
+    L.Work(I, L.Traverse(I));
+  return static_cast<double>(nowNanos() - Begin) * 1e-9;
+}
+
+double harness::runDoacross(const StagedLoop &L, unsigned NumThreads) {
+  assert(L.Traverse && L.Work && "incomplete staged loop");
+  assert(NumThreads > 0 && "need at least one thread");
+
+  // The carried dependence is enforced with a turn counter: iteration i's
+  // traversal may run only after iteration i-1's completed. Everything
+  // after the traversal overlaps with other threads (Fig 2.5a).
+  alignas(CacheLineBytes) std::atomic<std::uint64_t> Turn{0};
+
+  const std::uint64_t Begin = nowNanos();
+  runThreads(NumThreads, [&](unsigned Tid) {
+    Backoff B;
+    for (std::uint64_t I = Tid; I < L.NumIterations; I += NumThreads) {
+      while (Turn.load(std::memory_order_acquire) != I)
+        B.pause();
+      const std::int64_t Token = L.Traverse(I);
+      Turn.store(I + 1, std::memory_order_release);
+      B.reset();
+      L.Work(I, Token);
+    }
+  });
+  return static_cast<double>(nowNanos() - Begin) * 1e-9;
+}
+
+double harness::runDswp(const StagedLoop &L, unsigned NumThreads) {
+  assert(L.Traverse && L.Work && "incomplete staged loop");
+  assert(NumThreads >= 2 && "DSWP needs a producer and at least one worker");
+  const unsigned NumWorkers = NumThreads - 1;
+
+  // One queue per work thread; tokens dealt round-robin. All cross-thread
+  // dependences flow producer -> workers (Fig 2.5b).
+  std::vector<std::unique_ptr<SPSCQueue<std::int64_t>>> Queues;
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Queues.push_back(std::make_unique<SPSCQueue<std::int64_t>>(4096));
+
+  const std::uint64_t Begin = nowNanos();
+  runThreads(NumThreads, [&](unsigned Tid) {
+    if (Tid == NumWorkers) {
+      // The sequential-stage thread.
+      for (std::uint64_t I = 0; I < L.NumIterations; ++I)
+        Queues[I % NumWorkers]->produce(L.Traverse(I));
+      return;
+    }
+    for (std::uint64_t I = Tid; I < L.NumIterations; I += NumWorkers)
+      L.Work(I, Queues[Tid]->consume());
+  });
+  return static_cast<double>(nowNanos() - Begin) * 1e-9;
+}

@@ -1,0 +1,64 @@
+//===- harness/StagedLoop.h - DOACROSS and DSWP executors ------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chapter 2 background techniques on the paper's running example
+/// (Fig 2.4): a sequential loop whose body splits into a *traversal* stage
+/// that forms a cross-iteration dependence cycle (node = node->next) and a
+/// *work* stage that is independent once the traversal's token is known.
+///
+///  * DOACROSS (Fig 2.5a): whole iterations round-robin across threads;
+///    each thread synchronizes on the previous iteration's traversal
+///    before running its own, putting the communication latency on the
+///    critical path.
+///  * DSWP / PS-DSWP (Fig 2.5b): the traversal stage runs on one thread
+///    for *all* iterations, streaming tokens through lock-free queues to
+///    one (DSWP) or several (parallel-stage DSWP) work threads — a
+///    pipeline whose cross-thread dependences flow one way only.
+///
+/// These executors ground the dissertation's taxonomy (Fig 1.5) and feed
+/// the Fig 2.5 benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_HARNESS_STAGEDLOOP_H
+#define CIP_HARNESS_STAGEDLOOP_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cip {
+namespace harness {
+
+/// A sequential loop split into a dependence-cycle stage and a parallel
+/// stage (see file comment).
+struct StagedLoop {
+  std::uint64_t NumIterations = 0;
+
+  /// The sequential stage: must execute in iteration order (it carries the
+  /// loop's dependence cycle). Returns the token the work stage consumes.
+  std::function<std::int64_t(std::uint64_t Iter)> Traverse;
+
+  /// The parallel stage: independent across iterations given its token.
+  std::function<void(std::uint64_t Iter, std::int64_t Token)> Work;
+};
+
+/// Reference execution: Traverse(i); Work(i) in order.
+double runStagedSequential(const StagedLoop &L);
+
+/// DOACROSS over \p NumThreads threads. Returns elapsed seconds.
+double runDoacross(const StagedLoop &L, unsigned NumThreads);
+
+/// (PS-)DSWP: one traversal thread plus NumThreads-1 work threads
+/// (NumThreads == 2 is classic two-stage DSWP). Returns elapsed seconds.
+double runDswp(const StagedLoop &L, unsigned NumThreads);
+
+} // namespace harness
+} // namespace cip
+
+#endif // CIP_HARNESS_STAGEDLOOP_H

@@ -1,0 +1,64 @@
+//===- ir/CFG.cpp - Control-flow graph utilities -------------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace cip;
+using namespace cip::ir;
+
+CFG::CFG(const Function &F) : F(F) {
+  // Successors come straight off the terminators; predecessors inverted.
+  for (const auto &BB : F.blocks()) {
+    auto &S = Succs[BB.get()];
+    if (const Instruction *Term = BB->terminator())
+      for (unsigned I = 0; I < Term->numSuccessors(); ++I)
+        S.push_back(Term->successor(I));
+    for (BasicBlock *Succ : S)
+      Preds[Succ].push_back(BB.get());
+    Preds.try_emplace(BB.get()); // ensure every block has an entry
+  }
+
+  // Iterative post-order DFS from the entry, then reverse.
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  std::vector<BasicBlock *> PostOrder;
+  BasicBlock *Entry = F.blocks().empty() ? nullptr : F.entry();
+  if (Entry) {
+    Stack.emplace_back(Entry, 0);
+    Visited.insert(Entry);
+    while (!Stack.empty()) {
+      auto &[BB, NextChild] = Stack.back();
+      const auto &S = Succs[BB];
+      if (NextChild < S.size()) {
+        BasicBlock *Child = S[NextChild++];
+        if (Visited.insert(Child).second)
+          Stack.emplace_back(Child, 0);
+      } else {
+        PostOrder.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+}
+
+const std::vector<BasicBlock *> &CFG::successors(const BasicBlock *BB) const {
+  auto It = Succs.find(BB);
+  assert(It != Succs.end() && "block not in this CFG");
+  return It->second;
+}
+
+const std::vector<BasicBlock *> &
+CFG::predecessors(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  assert(It != Preds.end() && "block not in this CFG");
+  return It->second;
+}

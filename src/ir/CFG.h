@@ -1,0 +1,59 @@
+//===- ir/CFG.h - Control-flow graph utilities -----------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor/successor maps and traversal orders over a Function's basic
+/// blocks, consumed by the dominator and loop analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_CFG_H
+#define CIP_IR_CFG_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace cip {
+namespace ir {
+
+/// Immutable CFG snapshot of a Function.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  const Function &function() const { return F; }
+
+  const std::vector<BasicBlock *> &successors(const BasicBlock *BB) const;
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const;
+
+  /// Blocks in reverse post-order from the entry. Unreachable blocks are
+  /// excluded.
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  /// Position of \p BB in the reverse post-order, or ~0u if unreachable.
+  unsigned rpoIndex(const BasicBlock *BB) const {
+    auto It = RPOIndex.find(BB);
+    return It == RPOIndex.end() ? ~0u : It->second;
+  }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPOIndex.count(BB) != 0;
+  }
+
+private:
+  const Function &F;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Succs;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::vector<BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *, unsigned> RPOIndex;
+};
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_CFG_H

@@ -1,0 +1,50 @@
+//===- ir/Casting.h - LLVM-style isa/cast/dyn_cast -------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: \c isa<T>(V), \c cast<T>(V), and
+/// \c dyn_cast<T>(V), dispatching through each class's \c classof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_CASTING_H
+#define CIP_IR_CASTING_H
+
+#include "support/Compiler.h"
+
+namespace cip {
+namespace ir {
+
+/// True if \p V is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return V && To::classof(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return V && To::classof(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_CASTING_H

@@ -1,0 +1,62 @@
+//===- ir/Cloning.cpp - Function cloning utilities ------------------------==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::ir;
+
+Function *ir::cloneFunction(Module &M, const Function &F,
+                            const std::string &NewName, CloneMap &Map) {
+  Function *NF = M.createFunction(NewName, F.numArgs());
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    Map.Values[F.arg(I)] = NF->arg(I);
+
+  // Pass 1: create blocks and instruction shells. Phis start empty (their
+  // incoming lists are rebuilt in pass 2); other instructions carry their
+  // original operands until remapping.
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *NB = NF->createBlock(BB->name());
+    Map.Blocks[BB.get()] = NB;
+    for (const auto &I : BB->instructions()) {
+      const bool IsPhi = I->opcode() == Opcode::Phi;
+      auto NI = std::make_unique<Instruction>(
+          I->opcode(), I->name(),
+          IsPhi ? std::vector<Value *>{} : I->operands());
+      NI->setCalleeName(I->calleeName());
+      NI->setQueueId(I->queueId());
+      Map.Values[I.get()] = NB->append(std::move(NI));
+    }
+  }
+
+  // Pass 2: remap operands, rebuild phi incoming lists, retarget branches.
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *NB = Map.block(BB.get());
+    for (std::size_t P = 0; P < BB->size(); ++P) {
+      const Instruction *OI = BB->instructions()[P].get();
+      auto *NI = static_cast<Instruction *>(Map.Values.at(OI));
+      if (OI->opcode() == Opcode::Phi) {
+        for (unsigned In = 0; In < OI->numOperands(); ++In)
+          NI->addIncoming(Map.value(OI->operand(In)),
+                          Map.block(OI->incomingBlock(In)));
+      } else {
+        for (unsigned OpIdx = 0; OpIdx < NI->numOperands(); ++OpIdx)
+          NI->setOperand(OpIdx, Map.value(OI->operand(OpIdx)));
+      }
+      if (OI->numSuccessors() > 0) {
+        std::vector<BasicBlock *> Succs;
+        for (unsigned S = 0; S < OI->numSuccessors(); ++S)
+          Succs.push_back(Map.block(OI->successor(S)));
+        NI->setSuccessors(std::move(Succs));
+      }
+      (void)NB;
+    }
+  }
+
+  return NF;
+}

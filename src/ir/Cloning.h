@@ -1,0 +1,54 @@
+//===- ir/Cloning.h - Function cloning utilities ---------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-cloning of functions with a value map, used by the MTCG code
+/// generator to materialize the scheduler partition from the original loop
+/// nest (§3.3.2 duplicates relevant blocks into each thread's function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_CLONING_H
+#define CIP_IR_CLONING_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+
+namespace cip {
+namespace ir {
+
+/// Map from original values/blocks to their clones.
+struct CloneMap {
+  std::unordered_map<const Value *, Value *> Values;
+  std::unordered_map<const BasicBlock *, BasicBlock *> Blocks;
+
+  Value *value(const Value *V) const {
+    auto It = Values.find(V);
+    return It == Values.end() ? const_cast<Value *>(V) : It->second;
+  }
+  BasicBlock *block(const BasicBlock *BB) const {
+    auto It = Blocks.find(BB);
+    assert(It != Blocks.end() && "block has no clone");
+    return It->second;
+  }
+  Instruction *instruction(const Instruction *I) const {
+    auto It = Values.find(I);
+    return It == Values.end() ? nullptr
+                              : static_cast<Instruction *>(It->second);
+  }
+};
+
+/// Clones \p F into a new function named \p NewName inside \p M. Arguments
+/// map to the new function's arguments; constants and global arrays are
+/// shared. Returns the clone; \p Map receives the correspondence.
+Function *cloneFunction(Module &M, const Function &F,
+                        const std::string &NewName, CloneMap &Map);
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_CLONING_H

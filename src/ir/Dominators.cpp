@@ -1,0 +1,116 @@
+//===- ir/Dominators.cpp - Dominator and post-dominator trees ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/Casting.h"
+
+#include <algorithm>
+
+using namespace cip;
+using namespace cip::ir;
+
+namespace {
+
+/// The CHK "intersect" walk over finger indices.
+unsigned intersect(unsigned A, unsigned B,
+                   const std::vector<unsigned> &IDomIdx) {
+  while (A != B) {
+    while (A > B)
+      A = IDomIdx[A];
+    while (B > A)
+      B = IDomIdx[B];
+  }
+  return A;
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const CFG &G, bool Post) : IsPost(Post) {
+  // Build the order and edge function for the chosen direction. For the
+  // post-dominator tree we walk the reverse CFG rooted at the unique exit.
+  std::vector<BasicBlock *> Order; // root first
+  if (!Post) {
+    Order = G.reversePostOrder();
+  } else {
+    // Find the unique exit (block whose terminator is Ret).
+    BasicBlock *Exit = nullptr;
+    for (BasicBlock *BB : G.reversePostOrder()) {
+      const Instruction *T = BB->terminator();
+      if (T && T->opcode() == Opcode::Ret) {
+        assert(!Exit && "post-dominators require a unique exit block");
+        Exit = BB;
+      }
+    }
+    assert(Exit && "post-dominators require a reachable Ret block");
+    // Post-order over the reverse graph from the exit, then reverse it.
+    std::vector<BasicBlock *> PostOrder;
+    std::unordered_map<const BasicBlock *, unsigned> State;
+    std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+    Stack.emplace_back(Exit, 0);
+    State[Exit] = 1;
+    while (!Stack.empty()) {
+      auto &[BB, Next] = Stack.back();
+      const auto &Preds = G.predecessors(BB);
+      if (Next < Preds.size()) {
+        BasicBlock *P = Preds[Next++];
+        if (!State.count(P)) {
+          State[P] = 1;
+          Stack.emplace_back(P, 0);
+        }
+      } else {
+        PostOrder.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+    Order.assign(PostOrder.rbegin(), PostOrder.rend());
+  }
+
+  if (Order.empty())
+    return;
+  Root = Order.front();
+
+  std::unordered_map<const BasicBlock *, unsigned> Index;
+  for (unsigned I = 0; I < Order.size(); ++I)
+    Index[Order[I]] = I;
+
+  // Iterate to a fixed point (CHK Fig. 3).
+  std::vector<unsigned> IDomIdx(Order.size(), ~0u);
+  IDomIdx[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < Order.size(); ++I) {
+      const auto &Edges =
+          Post ? G.successors(Order[I]) : G.predecessors(Order[I]);
+      unsigned NewIDom = ~0u;
+      for (BasicBlock *E : Edges) {
+        auto It = Index.find(E);
+        if (It == Index.end() || IDomIdx[It->second] == ~0u)
+          continue;
+        NewIDom = NewIDom == ~0u ? It->second
+                                 : intersect(NewIDom, It->second, IDomIdx);
+      }
+      if (NewIDom != ~0u && IDomIdx[I] != NewIDom) {
+        IDomIdx[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned I = 1; I < Order.size(); ++I)
+    if (IDomIdx[I] != ~0u)
+      IDom[Order[I]] = Order[IDomIdx[I]];
+  IDom[Root] = nullptr;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  for (const BasicBlock *X = B; X; X = idom(X))
+    if (X == A)
+      return true;
+  return false;
+}

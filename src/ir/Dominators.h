@@ -1,0 +1,65 @@
+//===- ir/Dominators.h - Dominator and post-dominator trees ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees via the Cooper–Harvey–Kennedy
+/// iterative algorithm over the reverse post-order. The loop analysis uses
+/// dominators to find back edges; the PDG builder uses post-dominators for
+/// control dependences; MTCG uses post-dominators to retarget branches whose
+/// original target is not replicated in a partition (§3.3.2 rule 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_DOMINATORS_H
+#define CIP_IR_DOMINATORS_H
+
+#include "ir/CFG.h"
+
+#include <unordered_map>
+
+namespace cip {
+namespace ir {
+
+/// Dominator tree (\c Post == false) or post-dominator tree (\c Post ==
+/// true; requires a unique exit block — the Verifier guarantees exactly one
+/// Ret).
+class DominatorTree {
+public:
+  DominatorTree(const CFG &G, bool Post);
+
+  /// Immediate dominator of \p BB; null for the root.
+  BasicBlock *idom(const BasicBlock *BB) const {
+    auto It = IDom.find(BB);
+    return It == IDom.end() ? nullptr : It->second;
+  }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  BasicBlock *root() const { return Root; }
+  bool isPostDominatorTree() const { return IsPost; }
+
+  /// The nearest block on the \p Post tree path from \p BB to the root that
+  /// is contained in \p Keep (per the predicate); null if none.
+  template <typename Pred>
+  BasicBlock *nearestAncestorSatisfying(const BasicBlock *BB,
+                                        Pred &&Keep) const {
+    for (BasicBlock *A = idom(BB); A; A = idom(A))
+      if (Keep(A))
+        return A;
+    return nullptr;
+  }
+
+private:
+  bool IsPost;
+  BasicBlock *Root = nullptr;
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+};
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_DOMINATORS_H

@@ -1,0 +1,86 @@
+//===- ir/IR.cpp - Mini-IR core classes ----------------------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+using namespace cip;
+using namespace cip::ir;
+
+Value::~Value() = default;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Produce:
+    return "produce";
+  case Opcode::Consume:
+    return "consume";
+  }
+  CIP_UNREACHABLE("unknown opcode");
+}
+
+Function::Function(std::string Name, Module *Parent, unsigned NumArgs)
+    : Name(std::move(Name)), Parent(Parent) {
+  Args.reserve(NumArgs);
+  for (unsigned I = 0; I < NumArgs; ++I)
+    Args.push_back(
+        std::make_unique<Argument>("arg" + std::to_string(I), I));
+}
+
+Constant *Module::getConstant(std::int64_t V) {
+  for (const auto &C : Constants)
+    if (C->value() == V)
+      return C.get();
+  Constants.push_back(std::make_unique<Constant>(V));
+  return Constants.back().get();
+}

@@ -1,0 +1,386 @@
+//===- ir/IR.h - Mini-IR core classes --------------------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small SSA intermediate representation standing in for the LLVM IR the
+/// paper's compiler operates on. It is deliberately minimal — one 64-bit
+/// integer value type, named global arrays for memory — but structurally
+/// faithful: functions of basic blocks of instructions, phi nodes, explicit
+/// loads/stores with array+index addressing, conditional branches, calls,
+/// and the produce/consume communication primitives the DOMORE MTCG
+/// transformation inserts (§3.3.2). The analyses (CFG, dominators, loop
+/// forest, PDG) and transformations (partitioning, slicing, MTCG, region
+/// planning) in src/analysis and src/transform all operate on this IR, and
+/// the interpreter in ir/Interp.h executes it — including multi-threaded
+/// execution of MTCG-produced scheduler/worker pairs.
+///
+/// LLVM-style RTTI: every Value carries a ValueKind and classof() methods;
+/// use isa<>/cast<>/dyn_cast<> from ir/Casting.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_IR_H
+#define CIP_IR_IR_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace ir {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Root of the value hierarchy.
+class Value {
+public:
+  enum ValueKind {
+    VK_Constant,
+    VK_Argument,
+    VK_GlobalArray,
+    VK_Instruction,
+  };
+
+  Value(ValueKind Kind, std::string Name)
+      : Kind(Kind), Name(std::move(Name)) {}
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+private:
+  const ValueKind Kind;
+  std::string Name;
+};
+
+/// A 64-bit integer constant, uniqued by the Module.
+class Constant final : public Value {
+public:
+  explicit Constant(std::int64_t V)
+      : Value(VK_Constant, std::to_string(V)), Val(V) {}
+
+  std::int64_t value() const { return Val; }
+
+  static bool classof(const Value *V) { return V->kind() == VK_Constant; }
+
+private:
+  const std::int64_t Val;
+};
+
+/// A formal parameter of a Function.
+class Argument final : public Value {
+public:
+  Argument(std::string Name, unsigned Index)
+      : Value(VK_Argument, std::move(Name)), Index(Index) {}
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) { return V->kind() == VK_Argument; }
+
+private:
+  const unsigned Index;
+};
+
+/// A named global array of 64-bit integers — the only form of memory.
+class GlobalArray final : public Value {
+public:
+  GlobalArray(std::string Name, std::size_t Size)
+      : Value(VK_GlobalArray, std::move(Name)), Size(Size) {}
+
+  std::size_t size() const { return Size; }
+
+  static bool classof(const Value *V) { return V->kind() == VK_GlobalArray; }
+
+private:
+  const std::size_t Size;
+};
+
+/// Instruction opcodes. Produce/Consume/ConsumeToken are the queue
+/// primitives MTCG inserts; Call invokes a registered native function.
+enum class Opcode {
+  // Arithmetic / logic (two operands).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Comparisons (two operands, produce 0/1).
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Select(cond, a, b).
+  Select,
+  // Phi: operands are incoming values; incoming blocks tracked separately.
+  Phi,
+  // Load(array, index) -> value; Store(array, index, value).
+  Load,
+  Store,
+  // Br(target) / CondBr(cond, ifTrue, ifFalse) / Ret(value?).
+  Br,
+  CondBr,
+  Ret,
+  // Call(callee name; operands are arguments) -> value.
+  Call,
+  // Produce(queueId, value): enqueue. Consume(queueId) -> value.
+  Produce,
+  Consume,
+};
+
+/// Returns a human-readable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// An SSA instruction. Operand lists are owned as raw pointers into the
+/// Module's value tables (the Module owns all Values).
+class Instruction final : public Value {
+public:
+  Instruction(Opcode Op, std::string Name, std::vector<Value *> Operands)
+      : Value(VK_Instruction, std::move(Name)), Op(Op),
+        Operands(std::move(Operands)) {}
+
+  Opcode opcode() const { return Op; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  /// Appends an operand to a non-phi instruction (phis use addIncoming).
+  void addOperand(Value *V) {
+    assert(Op != Opcode::Phi && "use addIncoming for phi operands");
+    Operands.push_back(V);
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Phi bookkeeping: incoming block for operand \p I.
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(Op == Opcode::Phi && I < Incoming.size() && "not a phi operand");
+    return Incoming[I];
+  }
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(Op == Opcode::Phi && "addIncoming on non-phi");
+    Operands.push_back(V);
+    Incoming.push_back(BB);
+  }
+
+  /// Redirects phi incoming edges from \p Old to \p New (edge splitting).
+  void replaceIncomingBlock(BasicBlock *Old, BasicBlock *New) {
+    assert(Op == Opcode::Phi && "replaceIncomingBlock on non-phi");
+    for (BasicBlock *&BB : Incoming)
+      if (BB == Old)
+        BB = New;
+  }
+
+  /// Branch targets (Br: 1, CondBr: 2, others: 0).
+  BasicBlock *successor(unsigned I) const {
+    assert(I < Successors.size() && "successor index out of range");
+    return Successors[I];
+  }
+  unsigned numSuccessors() const {
+    return static_cast<unsigned>(Successors.size());
+  }
+  void setSuccessors(std::vector<BasicBlock *> Succs) {
+    Successors = std::move(Succs);
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < Successors.size() && "successor index out of range");
+    Successors[I] = BB;
+  }
+
+  /// Callee name for Call instructions; queue id for Produce/Consume.
+  const std::string &calleeName() const { return Callee; }
+  void setCalleeName(std::string N) { Callee = std::move(N); }
+  std::uint32_t queueId() const { return QueueId; }
+  void setQueueId(std::uint32_t Q) { QueueId = Q; }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+  bool isBranch() const { return Op == Opcode::Br || Op == Opcode::CondBr; }
+  bool mayReadMemory() const { return Op == Opcode::Load; }
+  bool mayWriteMemory() const { return Op == Opcode::Store; }
+  bool accessesMemory() const { return mayReadMemory() || mayWriteMemory(); }
+  /// True if the instruction produces an SSA value usable by others.
+  bool producesValue() const {
+    return !isTerminator() && Op != Opcode::Store && Op != Opcode::Produce;
+  }
+
+  static bool classof(const Value *V) { return V->kind() == VK_Instruction; }
+
+private:
+  const Opcode Op;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> Incoming; // phi only, parallel to Operands
+  std::vector<BasicBlock *> Successors;
+  BasicBlock *Parent = nullptr;
+  std::string Callee;
+  std::uint32_t QueueId = 0;
+};
+
+/// A basic block: a named list of instructions ending in one terminator.
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &name() const { return Name; }
+  Function *parent() const { return Parent; }
+
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Inserts \p I before position \p Pos (0-based).
+  Instruction *insert(std::size_t Pos, std::unique_ptr<Instruction> I) {
+    assert(Pos <= Insts.size() && "insert position out of range");
+    I->setParent(this);
+    auto It = Insts.insert(Insts.begin() + static_cast<std::ptrdiff_t>(Pos),
+                           std::move(I));
+    return It->get();
+  }
+
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+
+  /// Removes and destroys the instruction at position \p Pos. The caller
+  /// must have eliminated all uses first.
+  void erase(std::size_t Pos) {
+    assert(Pos < Insts.size() && "erase position out of range");
+    Insts.erase(Insts.begin() + static_cast<std::ptrdiff_t>(Pos));
+  }
+
+  Instruction *terminator() const {
+    return Insts.empty() || !Insts.back()->isTerminator()
+               ? nullptr
+               : Insts.back().get();
+  }
+
+  bool empty() const { return Insts.empty(); }
+  std::size_t size() const { return Insts.size(); }
+
+  /// Position of \p I within the block, or size() if absent.
+  std::size_t positionOf(const Instruction *I) const {
+    for (std::size_t P = 0; P < Insts.size(); ++P)
+      if (Insts[P].get() == I)
+        return P;
+    return Insts.size();
+  }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+/// A function: an entry block plus the rest, and formal arguments.
+class Function {
+public:
+  Function(std::string Name, Module *Parent, unsigned NumArgs);
+
+  const std::string &name() const { return Name; }
+  Module *parent() const { return Parent; }
+
+  BasicBlock *createBlock(std::string BlockName) {
+    Blocks.push_back(
+        std::make_unique<BasicBlock>(std::move(BlockName), this));
+    return Blocks.back().get();
+  }
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  Argument *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+
+private:
+  std::string Name;
+  Module *Parent;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<std::unique_ptr<Argument>> Args;
+};
+
+/// Top-level container owning functions, arrays, and uniqued constants.
+class Module {
+public:
+  Function *createFunction(std::string Name, unsigned NumArgs) {
+    Functions.push_back(
+        std::make_unique<Function>(std::move(Name), this, NumArgs));
+    return Functions.back().get();
+  }
+
+  Function *getFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  GlobalArray *createArray(std::string Name, std::size_t Size) {
+    Arrays.push_back(std::make_unique<GlobalArray>(std::move(Name), Size));
+    return Arrays.back().get();
+  }
+
+  GlobalArray *getArray(const std::string &Name) const {
+    for (const auto &A : Arrays)
+      if (A->name() == Name)
+        return A.get();
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<GlobalArray>> &arrays() const {
+    return Arrays;
+  }
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Returns the uniqued constant for \p V.
+  Constant *getConstant(std::int64_t V);
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalArray>> Arrays;
+  std::vector<std::unique_ptr<Constant>> Constants;
+};
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_IR_H

@@ -1,0 +1,120 @@
+//===- ir/IRBuilder.h - Convenience IR construction ------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that appends instructions to a current insertion block,
+/// mirroring llvm::IRBuilder. Used by tests, examples, and the MTCG
+/// transformation's code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_IRBUILDER_H
+#define CIP_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+namespace cip {
+namespace ir {
+
+/// See file comment.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *BB) { Block = BB; }
+  BasicBlock *insertBlock() const { return Block; }
+
+  Constant *constant(std::int64_t V) { return M.getConstant(V); }
+
+  Instruction *binary(Opcode Op, Value *L, Value *R, std::string Name) {
+    return append(Op, std::move(Name), {L, R});
+  }
+
+  Instruction *add(Value *L, Value *R, std::string Name) {
+    return binary(Opcode::Add, L, R, std::move(Name));
+  }
+  Instruction *sub(Value *L, Value *R, std::string Name) {
+    return binary(Opcode::Sub, L, R, std::move(Name));
+  }
+  Instruction *mul(Value *L, Value *R, std::string Name) {
+    return binary(Opcode::Mul, L, R, std::move(Name));
+  }
+  Instruction *rem(Value *L, Value *R, std::string Name) {
+    return binary(Opcode::Rem, L, R, std::move(Name));
+  }
+  Instruction *cmp(Opcode Op, Value *L, Value *R, std::string Name) {
+    assert(Op >= Opcode::CmpEQ && Op <= Opcode::CmpGE && "not a comparison");
+    return binary(Op, L, R, std::move(Name));
+  }
+
+  Instruction *select(Value *Cond, Value *A, Value *B, std::string Name) {
+    return append(Opcode::Select, std::move(Name), {Cond, A, B});
+  }
+
+  Instruction *phi(std::string Name) {
+    return append(Opcode::Phi, std::move(Name), {});
+  }
+
+  Instruction *load(GlobalArray *Array, Value *Index, std::string Name) {
+    return append(Opcode::Load, std::move(Name), {Array, Index});
+  }
+
+  Instruction *store(GlobalArray *Array, Value *Index, Value *V) {
+    return append(Opcode::Store, "", {Array, Index, V});
+  }
+
+  Instruction *br(BasicBlock *Target) {
+    Instruction *I = append(Opcode::Br, "", {});
+    I->setSuccessors({Target});
+    return I;
+  }
+
+  Instruction *condBr(Value *Cond, BasicBlock *IfTrue, BasicBlock *IfFalse) {
+    Instruction *I = append(Opcode::CondBr, "", {Cond});
+    I->setSuccessors({IfTrue, IfFalse});
+    return I;
+  }
+
+  Instruction *ret(Value *V = nullptr) {
+    return append(Opcode::Ret, "",
+                  V ? std::vector<Value *>{V} : std::vector<Value *>{});
+  }
+
+  Instruction *call(std::string Callee, std::vector<Value *> Args,
+                    std::string Name) {
+    Instruction *I = append(Opcode::Call, std::move(Name), std::move(Args));
+    I->setCalleeName(std::move(Callee));
+    return I;
+  }
+
+  Instruction *produce(std::uint32_t QueueId, Value *V) {
+    Instruction *I = append(Opcode::Produce, "", {V});
+    I->setQueueId(QueueId);
+    return I;
+  }
+
+  Instruction *consume(std::uint32_t QueueId, std::string Name) {
+    Instruction *I = append(Opcode::Consume, std::move(Name), {});
+    I->setQueueId(QueueId);
+    return I;
+  }
+
+private:
+  Instruction *append(Opcode Op, std::string Name,
+                      std::vector<Value *> Operands) {
+    assert(Block && "no insertion point set");
+    return Block->append(std::make_unique<Instruction>(Op, std::move(Name),
+                                                       std::move(Operands)));
+  }
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_IRBUILDER_H

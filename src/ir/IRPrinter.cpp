@@ -1,0 +1,72 @@
+//===- ir/IRPrinter.cpp - Textual IR dumping ------------------------------==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Casting.h"
+
+#include <sstream>
+
+using namespace cip;
+using namespace cip::ir;
+
+namespace {
+
+std::string ref(const Value *V) {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return std::to_string(C->value());
+  if (isa<GlobalArray>(V))
+    return "@" + V->name();
+  return "%" + V->name();
+}
+
+} // namespace
+
+std::string ir::printInstruction(const Instruction &I) {
+  std::ostringstream OS;
+  if (I.producesValue())
+    OS << "%" << I.name() << " = ";
+  OS << opcodeName(I.opcode());
+  if (I.opcode() == Opcode::Call)
+    OS << " @" << I.calleeName();
+  if (I.opcode() == Opcode::Produce || I.opcode() == Opcode::Consume)
+    OS << " q" << I.queueId();
+  bool First = true;
+  for (unsigned Op = 0; Op < I.numOperands(); ++Op) {
+    OS << (First ? " " : ", ") << ref(I.operand(Op));
+    if (I.opcode() == Opcode::Phi)
+      OS << " [" << I.incomingBlock(Op)->name() << "]";
+    First = false;
+  }
+  for (unsigned S = 0; S < I.numSuccessors(); ++S)
+    OS << (First && S == 0 ? " " : ", ") << "label "
+       << I.successor(S)->name();
+  return OS.str();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const auto &A : M.arrays())
+    OS << "array @" << A->name() << "[" << A->size() << "]\n";
+  for (const auto &F : M.functions())
+    OS << printFunction(*F);
+  return OS.str();
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func @" << F.name() << "(";
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    OS << (I ? ", " : "") << "%" << F.arg(I)->name();
+  OS << ") {\n";
+  for (const auto &BB : F.blocks()) {
+    OS << BB->name() << ":\n";
+    for (const auto &Inst : BB->instructions())
+      OS << "  " << printInstruction(*Inst) << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,36 @@
+//===- ir/IRPrinter.h - Textual IR dumping ---------------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and instructions as human-readable text, used by tests
+/// and the example pipelines to show the transformation outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_IRPRINTER_H
+#define CIP_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace cip {
+namespace ir {
+
+/// One-line rendering of \p I, e.g. "%sum = add %a, %b".
+std::string printInstruction(const Instruction &I);
+
+/// Full rendering of \p F with labeled blocks.
+std::string printFunction(const Function &F);
+
+/// Full rendering of \p M: array declarations then every function, in the
+/// syntax ir/Parser.h accepts (round-trippable).
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_IRPRINTER_H

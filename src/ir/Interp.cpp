@@ -1,0 +1,280 @@
+//===- ir/Interp.cpp - Mini-IR interpreter --------------------------------==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::ir;
+
+MemoryState::MemoryState(const Module &M) {
+  for (const auto &A : M.arrays()) {
+    Store.emplace(A.get(), std::vector<std::int64_t>(A->size(), 0));
+    Order.push_back(A.get());
+  }
+}
+
+std::int64_t MemoryState::load(const GlobalArray *A,
+                               std::int64_t Index) const {
+  const auto &Data = arrayData(A);
+  assert(Index >= 0 &&
+         static_cast<std::size_t>(Index) < Data.size() &&
+         "load out of bounds");
+  return Data[static_cast<std::size_t>(Index)];
+}
+
+void MemoryState::store(const GlobalArray *A, std::int64_t Index,
+                        std::int64_t V) {
+  auto &Data = arrayData(A);
+  assert(Index >= 0 &&
+         static_cast<std::size_t>(Index) < Data.size() &&
+         "store out of bounds");
+  Data[static_cast<std::size_t>(Index)] = V;
+}
+
+std::vector<std::int64_t> &MemoryState::arrayData(const GlobalArray *A) {
+  auto It = Store.find(A);
+  assert(It != Store.end() && "array not part of this memory state");
+  return It->second;
+}
+
+const std::vector<std::int64_t> &
+MemoryState::arrayData(const GlobalArray *A) const {
+  auto It = Store.find(A);
+  assert(It != Store.end() && "array not part of this memory state");
+  return It->second;
+}
+
+std::uint64_t MemoryState::digest() const {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (const GlobalArray *A : Order)
+    for (std::int64_t V : arrayData(A)) {
+      H ^= static_cast<std::uint64_t>(V);
+      H *= 0x100000001b3ULL;
+    }
+  return H;
+}
+
+QueueBus::QueueBus(std::uint32_t NumQueues, std::size_t Capacity) {
+  for (std::uint32_t I = 0; I < NumQueues; ++I)
+    Queues.push_back(std::make_unique<SPSCQueue<std::int64_t>>(Capacity));
+}
+
+void QueueBus::produce(std::uint32_t Queue, std::int64_t V) {
+  assert(Queue < Queues.size() && "queue id out of range");
+  Queues[Queue]->produce(V);
+}
+
+std::int64_t QueueBus::consume(std::uint32_t Queue) {
+  assert(Queue < Queues.size() && "queue id out of range");
+  return Queues[Queue]->consume();
+}
+
+namespace {
+
+class Frame {
+public:
+  std::int64_t get(const Value *V) const {
+    if (const auto *C = dyn_cast<Constant>(V))
+      return C->value();
+    auto It = Vals.find(V);
+    assert(It != Vals.end() && "read of undefined SSA value");
+    return It->second;
+  }
+
+  void set(const Value *V, std::int64_t X) { Vals[V] = X; }
+  bool has(const Value *V) const { return Vals.count(V) != 0; }
+
+private:
+  std::unordered_map<const Value *, std::int64_t> Vals;
+};
+
+std::int64_t evalBinary(Opcode Op, std::int64_t L, std::int64_t R,
+                        std::string &Error) {
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) +
+                                     static_cast<std::uint64_t>(R));
+  case Opcode::Sub:
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) -
+                                     static_cast<std::uint64_t>(R));
+  case Opcode::Mul:
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) *
+                                     static_cast<std::uint64_t>(R));
+  case Opcode::Div:
+    if (R == 0) {
+      Error = "division by zero";
+      return 0;
+    }
+    return L / R;
+  case Opcode::Rem:
+    if (R == 0) {
+      Error = "remainder by zero";
+      return 0;
+    }
+    return L % R;
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::Shl:
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(L)
+                                     << (R & 63));
+  case Opcode::Shr:
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) >>
+                                     (R & 63));
+  case Opcode::CmpEQ:
+    return L == R;
+  case Opcode::CmpNE:
+    return L != R;
+  case Opcode::CmpLT:
+    return L < R;
+  case Opcode::CmpLE:
+    return L <= R;
+  case Opcode::CmpGT:
+    return L > R;
+  case Opcode::CmpGE:
+    return L >= R;
+  default:
+    CIP_UNREACHABLE("not a binary opcode");
+  }
+}
+
+} // namespace
+
+InterpResult ir::interpret(const Function &F,
+                           const std::vector<std::int64_t> &Args,
+                           MemoryState &Mem, const InterpOptions &Options) {
+  InterpResult Result;
+  assert(Args.size() == F.numArgs() && "argument count mismatch");
+
+  Frame Regs;
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    Regs.set(F.arg(I), Args[I]);
+
+  const BasicBlock *Prev = nullptr;
+  const BasicBlock *Block = F.entry();
+  std::size_t IP = 0;
+
+  while (true) {
+    if (Result.ExecutedInsts >= Options.Fuel) {
+      Result.Error = "out of fuel";
+      return Result;
+    }
+    assert(IP < Block->size() && "fell off the end of a block");
+    const Instruction &I = *Block->instructions()[IP];
+    ++Result.ExecutedInsts;
+
+    switch (I.opcode()) {
+    case Opcode::Phi: {
+      // Evaluate all leading phis against Prev atomically (classic
+      // parallel-copy semantics): gather first, then commit.
+      std::vector<std::pair<const Instruction *, std::int64_t>> Updates;
+      std::size_t P = IP;
+      while (P < Block->size() &&
+             Block->instructions()[P]->opcode() == Opcode::Phi) {
+        const Instruction &Phi = *Block->instructions()[P];
+        bool Found = false;
+        for (unsigned In = 0; In < Phi.numOperands(); ++In)
+          if (Phi.incomingBlock(In) == Prev) {
+            Updates.emplace_back(&Phi, Regs.get(Phi.operand(In)));
+            Found = true;
+            break;
+          }
+        if (!Found) {
+          Result.Error = "phi '" + Phi.name() +
+                         "' has no incoming value for predecessor";
+          return Result;
+        }
+        ++P;
+      }
+      for (const auto &[Phi, V] : Updates)
+        Regs.set(Phi, V);
+      Result.ExecutedInsts += Updates.size() - 1;
+      IP = P;
+      continue;
+    }
+    case Opcode::Select:
+      Regs.set(&I, Regs.get(I.operand(0)) ? Regs.get(I.operand(1))
+                                          : Regs.get(I.operand(2)));
+      break;
+    case Opcode::Load: {
+      const auto *A = cast<GlobalArray>(I.operand(0));
+      const std::int64_t Index = Regs.get(I.operand(1));
+      if (Index < 0 || static_cast<std::size_t>(Index) >= A->size()) {
+        Result.Error = "load out of bounds on @" + A->name();
+        return Result;
+      }
+      if (Options.AccessTrace)
+        Options.AccessTrace(A, Index, /*IsStore=*/false);
+      Regs.set(&I, Mem.load(A, Index));
+      break;
+    }
+    case Opcode::Store: {
+      const auto *A = cast<GlobalArray>(I.operand(0));
+      const std::int64_t Index = Regs.get(I.operand(1));
+      if (Index < 0 || static_cast<std::size_t>(Index) >= A->size()) {
+        Result.Error = "store out of bounds on @" + A->name();
+        return Result;
+      }
+      if (Options.AccessTrace)
+        Options.AccessTrace(A, Index, /*IsStore=*/true);
+      Mem.store(A, Index, Regs.get(I.operand(2)));
+      break;
+    }
+    case Opcode::Br:
+      Prev = Block;
+      Block = I.successor(0);
+      IP = 0;
+      continue;
+    case Opcode::CondBr:
+      Prev = Block;
+      Block = Regs.get(I.operand(0)) ? I.successor(0) : I.successor(1);
+      IP = 0;
+      continue;
+    case Opcode::Ret:
+      Result.Completed = true;
+      if (I.numOperands() == 1)
+        Result.ReturnValue = Regs.get(I.operand(0));
+      return Result;
+    case Opcode::Call: {
+      auto It = Options.Natives.find(I.calleeName());
+      if (It == Options.Natives.end()) {
+        Result.Error = "call to unknown native '" + I.calleeName() + "'";
+        return Result;
+      }
+      std::vector<std::int64_t> CallArgs;
+      CallArgs.reserve(I.numOperands());
+      for (unsigned A = 0; A < I.numOperands(); ++A)
+        CallArgs.push_back(Regs.get(I.operand(A)));
+      Regs.set(&I, It->second(CallArgs));
+      break;
+    }
+    case Opcode::Produce:
+      assert(Options.Bus && "produce without a queue bus");
+      Options.Bus->produce(I.queueId(), Regs.get(I.operand(0)));
+      break;
+    case Opcode::Consume:
+      assert(Options.Bus && "consume without a queue bus");
+      Regs.set(&I, Options.Bus->consume(I.queueId()));
+      break;
+    default:
+      std::string Error;
+      const std::int64_t V = evalBinary(I.opcode(), Regs.get(I.operand(0)),
+                                        Regs.get(I.operand(1)), Error);
+      if (!Error.empty()) {
+        Result.Error = Error + " in '" + I.name() + "'";
+        return Result;
+      }
+      Regs.set(&I, V);
+      break;
+    }
+    ++IP;
+  }
+}

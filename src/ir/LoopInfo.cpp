@@ -1,0 +1,124 @@
+//===- ir/LoopInfo.cpp - Natural loop detection and nesting --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+
+using namespace cip;
+using namespace cip::ir;
+
+BasicBlock *Loop::preheader(const CFG &G) const {
+  BasicBlock *Pre = nullptr;
+  for (BasicBlock *P : G.predecessors(Header)) {
+    if (contains(P))
+      continue;
+    if (Pre)
+      return nullptr; // multiple out-of-loop predecessors
+    Pre = P;
+  }
+  if (Pre && G.successors(Pre).size() != 1)
+    return nullptr;
+  return Pre;
+}
+
+std::vector<BasicBlock *> Loop::exitingBlocks(const CFG &G) const {
+  std::vector<BasicBlock *> Exiting;
+  for (const BasicBlock *BB : Blocks)
+    for (BasicBlock *S : G.successors(BB))
+      if (!contains(S)) {
+        Exiting.push_back(const_cast<BasicBlock *>(BB));
+        break;
+      }
+  return Exiting;
+}
+
+std::vector<BasicBlock *> Loop::latches(const CFG &G) const {
+  std::vector<BasicBlock *> Latches;
+  for (BasicBlock *P : G.predecessors(Header))
+    if (contains(P))
+      Latches.push_back(P);
+  return Latches;
+}
+
+LoopInfo::LoopInfo(const CFG &G, const DominatorTree &DT) {
+  assert(!DT.isPostDominatorTree() && "LoopInfo needs forward dominators");
+
+  // Discover loops per back edge (tail -> header where header dominates
+  // tail), walking predecessors backwards from the tail.
+  std::unordered_map<const BasicBlock *, Loop *> HeaderLoop;
+  for (BasicBlock *BB : G.reversePostOrder()) {
+    for (BasicBlock *Succ : G.successors(BB)) {
+      if (!DT.dominates(Succ, BB))
+        continue;
+      Loop *&L = HeaderLoop[Succ];
+      if (!L) {
+        Storage.push_back(std::make_unique<Loop>(Succ));
+        L = Storage.back().get();
+      }
+      // Flood the loop body backwards from the latch.
+      std::vector<BasicBlock *> Work;
+      if (!L->contains(BB)) {
+        L->Blocks.insert(BB);
+        Work.push_back(BB);
+      }
+      while (!Work.empty()) {
+        BasicBlock *X = Work.back();
+        Work.pop_back();
+        if (X == Succ)
+          continue;
+        for (BasicBlock *P : G.predecessors(X))
+          if (G.isReachable(P) && !L->contains(P)) {
+            L->Blocks.insert(P);
+            Work.push_back(P);
+          }
+      }
+    }
+  }
+
+  // Establish nesting: sort loops by ascending block count; each loop's
+  // parent is the smallest strictly larger loop containing its header.
+  std::vector<Loop *> Loops;
+  for (const auto &L : Storage)
+    Loops.push_back(L.get());
+  std::sort(Loops.begin(), Loops.end(), [](const Loop *A, const Loop *B) {
+    return A->blocks().size() < B->blocks().size();
+  });
+  for (std::size_t I = 0; I < Loops.size(); ++I) {
+    for (std::size_t J = I + 1; J < Loops.size(); ++J) {
+      if (Loops[J]->contains(Loops[I]->header()) && Loops[J] != Loops[I]) {
+        Loops[I]->Parent = Loops[J];
+        Loops[J]->SubLoops.push_back(Loops[I]);
+        break;
+      }
+    }
+    if (!Loops[I]->Parent)
+      TopLevel.push_back(Loops[I]);
+  }
+
+  // Innermost-loop map: visit loops from outermost to innermost so inner
+  // assignments overwrite outer ones.
+  std::vector<Loop *> ByDepth = Loops;
+  std::sort(ByDepth.begin(), ByDepth.end(), [](const Loop *A, const Loop *B) {
+    return A->depth() < B->depth();
+  });
+  for (Loop *L : ByDepth)
+    for (const BasicBlock *BB : L->blocks())
+      InnermostLoop[BB] = L;
+}
+
+std::vector<Loop *> LoopInfo::allLoops() const {
+  std::vector<Loop *> All;
+  std::vector<Loop *> Work(TopLevel.rbegin(), TopLevel.rend());
+  while (!Work.empty()) {
+    Loop *L = Work.back();
+    Work.pop_back();
+    All.push_back(L);
+    for (Loop *S : L->subLoops())
+      Work.push_back(S);
+  }
+  return All;
+}

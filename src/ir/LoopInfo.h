@@ -1,0 +1,100 @@
+//===- ir/LoopInfo.h - Natural loop detection and nesting ------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from dominator-identified back edges, organized into a
+/// nesting forest. The SPECCROSS region detector (§4.3) looks for an
+/// outermost loop whose body is a sequence of parallelizable inner loops;
+/// DOMORE targets a loop nest whose inner loop is parallelizable (§3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_LOOPINFO_H
+#define CIP_IR_LOOPINFO_H
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace cip {
+namespace ir {
+
+/// One natural loop: header, blocks, latches, nesting links.
+class Loop {
+public:
+  Loop(BasicBlock *Header) : Header(Header) { Blocks.insert(Header); }
+
+  BasicBlock *header() const { return Header; }
+
+  bool contains(const BasicBlock *BB) const { return Blocks.count(BB) != 0; }
+  bool contains(const Loop *L) const {
+    for (const Loop *X = L; X; X = X->parentLoop())
+      if (X == this)
+        return true;
+    return false;
+  }
+
+  const std::unordered_set<const BasicBlock *> &blocks() const {
+    return Blocks;
+  }
+
+  Loop *parentLoop() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+
+  unsigned depth() const {
+    unsigned D = 1;
+    for (const Loop *P = Parent; P; P = P->Parent)
+      ++D;
+    return D;
+  }
+
+  /// The loop's single preheader: the unique out-of-loop predecessor of the
+  /// header, if its only successor is the header. Null otherwise.
+  BasicBlock *preheader(const CFG &G) const;
+
+  /// Blocks inside the loop with a branch leaving the loop.
+  std::vector<BasicBlock *> exitingBlocks(const CFG &G) const;
+
+  /// In-loop predecessors of the header (back-edge sources).
+  std::vector<BasicBlock *> latches(const CFG &G) const;
+
+private:
+  friend class LoopInfo;
+
+  BasicBlock *Header;
+  std::unordered_set<const BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// The loop forest of a function.
+class LoopInfo {
+public:
+  LoopInfo(const CFG &G, const DominatorTree &DT);
+
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const {
+    auto It = InnermostLoop.find(BB);
+    return It == InnermostLoop.end() ? nullptr : It->second;
+  }
+
+  /// All loops, outermost first within each nest.
+  std::vector<Loop *> allLoops() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Storage;
+  std::vector<Loop *> TopLevel;
+  std::unordered_map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_LOOPINFO_H

@@ -1,0 +1,380 @@
+//===- ir/Parser.cpp - Textual IR parsing ----------------------------------=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Casting.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace cip;
+using namespace cip::ir;
+
+namespace {
+
+/// One parsed operand, resolved after all instruction shells exist.
+struct OperandDesc {
+  enum KindTy { ValueRef, ArrayRef, ConstVal, Unset } Kind = Unset;
+  std::string Name;          // ValueRef / ArrayRef
+  std::int64_t Value = 0;    // ConstVal
+  std::string IncomingBlock; // set on phi operands: "[block]"
+};
+
+/// One parsed instruction line.
+struct InstDesc {
+  Opcode Op = Opcode::Ret;
+  std::string Result; // empty if none
+  std::string Callee;
+  std::uint32_t QueueId = 0;
+  std::vector<OperandDesc> Operands;
+  std::vector<std::string> Successors;
+  unsigned Line = 0;
+};
+
+std::optional<Opcode> opcodeFromName(const std::string &S) {
+  static const std::unordered_map<std::string, Opcode> Table = {
+      {"add", Opcode::Add},       {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},       {"div", Opcode::Div},
+      {"rem", Opcode::Rem},       {"and", Opcode::And},
+      {"or", Opcode::Or},         {"xor", Opcode::Xor},
+      {"shl", Opcode::Shl},       {"shr", Opcode::Shr},
+      {"cmpeq", Opcode::CmpEQ},   {"cmpne", Opcode::CmpNE},
+      {"cmplt", Opcode::CmpLT},   {"cmple", Opcode::CmpLE},
+      {"cmpgt", Opcode::CmpGT},   {"cmpge", Opcode::CmpGE},
+      {"select", Opcode::Select}, {"phi", Opcode::Phi},
+      {"load", Opcode::Load},     {"store", Opcode::Store},
+      {"br", Opcode::Br},         {"condbr", Opcode::CondBr},
+      {"ret", Opcode::Ret},       {"call", Opcode::Call},
+      {"produce", Opcode::Produce}, {"consume", Opcode::Consume},
+  };
+  auto It = Table.find(S);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+/// Splits one line into tokens: punctuation characters and runs of
+/// identifier characters. Commas are separators only.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::size_t I = 0;
+  while (I < Line.size()) {
+    const char C = Line[I];
+    if (std::isspace(static_cast<unsigned char>(C)) || C == ',') {
+      ++I;
+      continue;
+    }
+    if (isIdentChar(C) || (C == '-' && I + 1 < Line.size() &&
+                           std::isdigit(static_cast<unsigned char>(
+                               Line[I + 1])))) {
+      std::size_t J = I + (C == '-' ? 1 : 0);
+      while (J < Line.size() && isIdentChar(Line[J]))
+        ++J;
+      Tokens.push_back(Line.substr(I, J - I));
+      I = J;
+      continue;
+    }
+    Tokens.push_back(std::string(1, C));
+    ++I;
+  }
+  return Tokens;
+}
+
+bool isInteger(const std::string &S) {
+  if (S.empty())
+    return false;
+  std::size_t I = S[0] == '-' ? 1 : 0;
+  if (I == S.size())
+    return false;
+  for (; I < S.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+  return true;
+}
+
+/// Parser state for one module.
+class ParserImpl {
+public:
+  explicit ParserImpl(const std::string &Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    auto M = std::make_unique<Module>();
+    std::istringstream In(Text);
+    std::string Line;
+    unsigned LineNo = 0;
+
+    // Current function context.
+    Function *F = nullptr;
+    std::vector<std::pair<std::string, std::vector<InstDesc>>> Blocks;
+
+    auto Fail = [&](const std::string &Msg) {
+      R.Error = Msg;
+      R.ErrorLine = LineNo;
+      return std::move(R);
+    };
+
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      const auto Tokens = tokenize(Line);
+      if (Tokens.empty())
+        continue;
+
+      if (Tokens[0] == "array") {
+        // array @name [ N ]
+        if (F)
+          return Fail("array declaration inside a function");
+        if (Tokens.size() < 6 || Tokens[1] != "@" || Tokens[3] != "[" ||
+            !isInteger(Tokens[4]) || Tokens[5] != "]")
+          return Fail("malformed array declaration");
+        M->createArray(Tokens[2], std::stoull(Tokens[4]));
+        continue;
+      }
+
+      if (Tokens[0] == "func") {
+        if (F)
+          return Fail("nested function definition");
+        // func @name ( %a %b ) {
+        if (Tokens.size() < 5 || Tokens[1] != "@")
+          return Fail("malformed function header");
+        const std::string FName = Tokens[2];
+        std::vector<std::string> ArgNames;
+        std::size_t I = 3;
+        if (I >= Tokens.size() || Tokens[I] != "(")
+          return Fail("expected '(' in function header");
+        ++I;
+        while (I < Tokens.size() && Tokens[I] != ")") {
+          if (Tokens[I] == "%") {
+            if (I + 1 >= Tokens.size())
+              return Fail("dangling '%' in argument list");
+            ArgNames.push_back(Tokens[I + 1]);
+            I += 2;
+          } else {
+            return Fail("unexpected token in argument list");
+          }
+        }
+        if (I >= Tokens.size())
+          return Fail("unterminated argument list");
+        F = M->createFunction(FName,
+                              static_cast<unsigned>(ArgNames.size()));
+        for (unsigned A = 0; A < ArgNames.size(); ++A)
+          F->arg(A)->setName(ArgNames[A]);
+        Blocks.clear();
+        continue;
+      }
+
+      if (Tokens[0] == "}") {
+        if (!F)
+          return Fail("'}' outside a function");
+        if (const auto Err = materialize(*M, *F, Blocks))
+          return Fail(*Err);
+        F = nullptr;
+        continue;
+      }
+
+      if (!F)
+        return Fail("instruction outside a function");
+
+      // Block label: name ":"
+      if (Tokens.size() == 2 && Tokens[1] == ":") {
+        Blocks.emplace_back(Tokens[0], std::vector<InstDesc>());
+        continue;
+      }
+      if (Blocks.empty())
+        return Fail("instruction before the first block label");
+
+      InstDesc D;
+      D.Line = LineNo;
+      if (const auto Err = parseInstruction(Tokens, D))
+        return Fail(*Err);
+      Blocks.back().second.push_back(std::move(D));
+    }
+    if (F)
+      return Fail("unterminated function");
+    R.M = std::move(M);
+    return R;
+  }
+
+private:
+  std::optional<std::string>
+  parseInstruction(const std::vector<std::string> &Tokens, InstDesc &D) {
+    std::size_t I = 0;
+    // Optional "%res =" prefix.
+    if (Tokens[0] == "%" && Tokens.size() > 3 && Tokens[2] == "=") {
+      D.Result = Tokens[1];
+      I = 3;
+    }
+    if (I >= Tokens.size())
+      return "missing opcode";
+    const auto Op = opcodeFromName(Tokens[I]);
+    if (!Op)
+      return "unknown opcode '" + Tokens[I] + "'";
+    D.Op = *Op;
+    ++I;
+
+    if (D.Op == Opcode::Call) {
+      if (I + 1 >= Tokens.size() || Tokens[I] != "@")
+        return "call without a callee";
+      D.Callee = Tokens[I + 1];
+      I += 2;
+    }
+    if (D.Op == Opcode::Produce || D.Op == Opcode::Consume) {
+      if (I >= Tokens.size() || Tokens[I].size() < 2 || Tokens[I][0] != 'q' ||
+          !isInteger(Tokens[I].substr(1)))
+        return "produce/consume without a queue id";
+      D.QueueId = static_cast<std::uint32_t>(std::stoul(Tokens[I].substr(1)));
+      ++I;
+    }
+
+    while (I < Tokens.size()) {
+      const std::string &T = Tokens[I];
+      if (T == "label") {
+        if (I + 1 >= Tokens.size())
+          return "dangling 'label'";
+        D.Successors.push_back(Tokens[I + 1]);
+        I += 2;
+        continue;
+      }
+      if (T == "[") {
+        // Phi incoming block, attaches to the previous operand.
+        if (D.Operands.empty() || I + 2 >= Tokens.size() ||
+            Tokens[I + 2] != "]")
+          return "malformed phi incoming block";
+        D.Operands.back().IncomingBlock = Tokens[I + 1];
+        I += 3;
+        continue;
+      }
+      OperandDesc O;
+      if (T == "%") {
+        if (I + 1 >= Tokens.size())
+          return "dangling '%'";
+        O.Kind = OperandDesc::ValueRef;
+        O.Name = Tokens[I + 1];
+        I += 2;
+      } else if (T == "@") {
+        if (I + 1 >= Tokens.size())
+          return "dangling '@'";
+        O.Kind = OperandDesc::ArrayRef;
+        O.Name = Tokens[I + 1];
+        I += 2;
+      } else if (isInteger(T)) {
+        O.Kind = OperandDesc::ConstVal;
+        O.Value = std::stoll(T);
+        ++I;
+      } else {
+        return "unexpected token '" + T + "'";
+      }
+      D.Operands.push_back(std::move(O));
+    }
+    return std::nullopt;
+  }
+
+  /// Builds the function body from the block descriptors: shells first so
+  /// forward references resolve, then operands.
+  std::optional<std::string> materialize(
+      Module &M, Function &F,
+      const std::vector<std::pair<std::string, std::vector<InstDesc>>>
+          &Blocks) {
+    std::unordered_map<std::string, BasicBlock *> BlockOf;
+    std::unordered_map<std::string, Value *> ValueOf;
+    for (unsigned A = 0; A < F.numArgs(); ++A)
+      ValueOf[F.arg(A)->name()] = F.arg(A);
+
+    for (const auto &[Name, Insts] : Blocks) {
+      if (BlockOf.count(Name))
+        return "duplicate block label '" + Name + "'";
+      BlockOf[Name] = F.createBlock(Name);
+      (void)Insts;
+    }
+
+    // Shells, registering result names.
+    std::vector<Instruction *> Shells;
+    for (const auto &[Name, Insts] : Blocks) {
+      BasicBlock *BB = BlockOf[Name];
+      for (const InstDesc &D : Insts) {
+        auto Shell = std::make_unique<Instruction>(D.Op, D.Result,
+                                                   std::vector<Value *>{});
+        Shell->setCalleeName(D.Callee);
+        Shell->setQueueId(D.QueueId);
+        Instruction *I = BB->append(std::move(Shell));
+        Shells.push_back(I);
+        if (!D.Result.empty()) {
+          if (ValueOf.count(D.Result))
+            return "redefinition of '%" + D.Result + "'";
+          ValueOf[D.Result] = I;
+        }
+      }
+    }
+
+    // Resolve operands and successors.
+    std::size_t ShellIdx = 0;
+    for (const auto &[Name, Insts] : Blocks) {
+      (void)Name;
+      for (const InstDesc &D : Insts) {
+        Instruction *I = Shells[ShellIdx++];
+        for (const OperandDesc &O : D.Operands) {
+          Value *V = nullptr;
+          switch (O.Kind) {
+          case OperandDesc::ValueRef: {
+            auto It = ValueOf.find(O.Name);
+            if (It == ValueOf.end())
+              return "use of undefined value '%" + O.Name + "' (line " +
+                     std::to_string(D.Line) + ")";
+            V = It->second;
+            break;
+          }
+          case OperandDesc::ArrayRef:
+            V = M.getArray(O.Name);
+            if (!V)
+              return "use of undeclared array '@" + O.Name + "'";
+            break;
+          case OperandDesc::ConstVal:
+            V = M.getConstant(O.Value);
+            break;
+          case OperandDesc::Unset:
+            return "internal: unset operand";
+          }
+          if (D.Op == Opcode::Phi) {
+            auto BIt = BlockOf.find(O.IncomingBlock);
+            if (O.IncomingBlock.empty() || BIt == BlockOf.end())
+              return "phi operand without a valid incoming block (line " +
+                     std::to_string(D.Line) + ")";
+            I->addIncoming(V, BIt->second);
+          } else {
+            I->addOperand(V);
+          }
+        }
+        if (!D.Successors.empty()) {
+          std::vector<BasicBlock *> Succs;
+          for (const std::string &SName : D.Successors) {
+            auto BIt = BlockOf.find(SName);
+            if (BIt == BlockOf.end())
+              return "branch to unknown block '" + SName + "'";
+            Succs.push_back(BIt->second);
+          }
+          I->setSuccessors(std::move(Succs));
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  const std::string &Text;
+};
+
+} // namespace
+
+ParseResult ir::parseModule(const std::string &Text) {
+  return ParserImpl(Text).run();
+}

@@ -1,0 +1,54 @@
+//===- ir/Parser.h - Textual IR parsing ------------------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by ir/IRPrinter.h back into a Module,
+/// closing the round trip print(parse(text)) == text. Module-level syntax
+/// adds array declarations:
+///
+///   array @C[64]
+///   func @cg() {
+///   entry:
+///     br label header
+///   header:
+///     %i = phi 0 [entry], %i.next [latch]
+///     ...
+///   }
+///
+/// Value references may appear before their definitions (phis routinely
+/// do); the parser materializes instruction shells first and resolves
+/// operands in a second pass, like the cloner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_PARSER_H
+#define CIP_IR_PARSER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace cip {
+namespace ir {
+
+/// Result of parsing: the module, or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error; // empty on success
+  unsigned ErrorLine = 0;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Text as a module. Never throws; reports the first error with
+/// its 1-based line number.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_PARSER_H

@@ -1,0 +1,162 @@
+//===- ir/Verifier.cpp - IR structural verification -----------------------==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cip;
+using namespace cip::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Function &F, std::vector<std::string> *Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    checkBlocks();
+    if (Ok) {
+      const CFG G(F);
+      checkPhis(G);
+      checkSSADominance(G);
+    }
+    return Ok;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back(Msg);
+  }
+
+  void checkBlocks() {
+    if (F.blocks().empty()) {
+      fail("function '" + F.name() + "' has no blocks");
+      return;
+    }
+    std::unordered_set<const BasicBlock *> Owned;
+    for (const auto &BB : F.blocks())
+      Owned.insert(BB.get());
+
+    unsigned Rets = 0;
+    for (const auto &BB : F.blocks()) {
+      if (BB->empty() || !BB->instructions().back()->isTerminator()) {
+        fail("block '" + BB->name() + "' does not end in a terminator");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (std::size_t I = 0; I < BB->size(); ++I) {
+        const Instruction *Inst = BB->instructions()[I].get();
+        if (Inst->isTerminator() && I + 1 != BB->size())
+          fail("terminator not last in block '" + BB->name() + "'");
+        if (Inst->opcode() == Opcode::Phi) {
+          if (SeenNonPhi)
+            fail("phi '" + Inst->name() + "' not at start of block '" +
+                 BB->name() + "'");
+        } else {
+          SeenNonPhi = true;
+        }
+        if (Inst->opcode() == Opcode::Ret)
+          ++Rets;
+        for (unsigned S = 0; S < Inst->numSuccessors(); ++S)
+          if (!Owned.count(Inst->successor(S)))
+            fail("branch in block '" + BB->name() +
+                 "' targets a foreign block");
+        if (Inst->parent() != BB.get())
+          fail("instruction '" + Inst->name() + "' has a stale parent link");
+      }
+    }
+    if (Rets != 1)
+      fail("function '" + F.name() + "' must contain exactly one ret, has " +
+           std::to_string(Rets));
+  }
+
+  void checkPhis(const CFG &G) {
+    for (const auto &BB : F.blocks()) {
+      if (!G.isReachable(BB.get()))
+        continue;
+      const auto &Preds = G.predecessors(BB.get());
+      for (const auto &Inst : BB->instructions()) {
+        if (Inst->opcode() != Opcode::Phi)
+          continue;
+        if (Inst->numOperands() != Preds.size()) {
+          fail("phi '" + Inst->name() + "' has " +
+               std::to_string(Inst->numOperands()) + " incoming values but " +
+               std::to_string(Preds.size()) + " predecessors");
+          continue;
+        }
+        for (unsigned I = 0; I < Inst->numOperands(); ++I)
+          if (std::find(Preds.begin(), Preds.end(),
+                        Inst->incomingBlock(I)) == Preds.end())
+            fail("phi '" + Inst->name() +
+                 "' has an incoming block that is not a predecessor");
+      }
+    }
+  }
+
+  void checkSSADominance(const CFG &G) {
+    const DominatorTree DT(G, /*Post=*/false);
+    std::unordered_map<const Value *, const Instruction *> DefSite;
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        if (Inst->producesValue())
+          DefSite[Inst.get()] = Inst.get();
+
+    auto defDominatesUse = [&](const Instruction *Def, const Instruction *Use,
+                               unsigned OperandIdx) {
+      const BasicBlock *DefBB = Def->parent();
+      const BasicBlock *UseBB = Use->parent();
+      if (Use->opcode() == Opcode::Phi) {
+        // Phi uses happen at the end of the incoming block.
+        const BasicBlock *In = Use->incomingBlock(OperandIdx);
+        return DT.dominates(DefBB, In);
+      }
+      if (DefBB != UseBB)
+        return DT.dominates(DefBB, UseBB);
+      return DefBB->positionOf(Def) < UseBB->positionOf(Use);
+    };
+
+    for (const auto &BB : F.blocks()) {
+      if (!G.isReachable(BB.get()))
+        continue;
+      for (const auto &Inst : BB->instructions())
+        for (unsigned I = 0; I < Inst->numOperands(); ++I) {
+          const Value *Op = Inst->operand(I);
+          const auto *OpInst = dyn_cast<Instruction>(Op);
+          if (!OpInst)
+            continue; // constants, arguments, arrays are always available
+          auto It = DefSite.find(OpInst);
+          if (It == DefSite.end()) {
+            fail("instruction '" + Inst->name() +
+                 "' uses a non-value-producing instruction");
+            continue;
+          }
+          if (!defDominatesUse(OpInst, Inst.get(), I))
+            fail("use of '" + OpInst->name() + "' in '" + Inst->name() +
+                 "' is not dominated by its definition");
+        }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> *Errors;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, std::vector<std::string> *Errors) {
+  return VerifierImpl(F, Errors).run();
+}

@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR structural verification --------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA verification of mini-IR functions: every block ends
+/// in exactly one terminator, phis lead their block and mirror the
+/// predecessor list, every use is dominated by its definition, exactly one
+/// Ret exists (required by the post-dominator tree), and branch targets
+/// belong to the function. The transformations verify their outputs in
+/// tests, mirroring `opt -verify` discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_IR_VERIFIER_H
+#define CIP_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace ir {
+
+/// Verifies \p F; appends one message per problem to \p Errors. Returns
+/// true when the function is well-formed.
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors =
+                                           nullptr);
+
+} // namespace ir
+} // namespace cip
+
+#endif // CIP_IR_VERIFIER_H

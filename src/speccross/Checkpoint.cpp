@@ -1,0 +1,42 @@
+//===- speccross/Checkpoint.cpp - Cooperative memory checkpointing -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "speccross/Checkpoint.h"
+
+#include <cstring>
+
+using namespace cip;
+using namespace cip::speccross;
+
+void CheckpointRegistry::registerRegion(void *Ptr, std::size_t Bytes) {
+  assert(Ptr != nullptr && "cannot register a null region");
+  assert(Bytes > 0 && "cannot register an empty region");
+  Regions.push_back(
+      Region{static_cast<unsigned char *>(Ptr), Bytes, TotalBytes});
+  TotalBytes += Bytes;
+  SnapshotValid = false;
+}
+
+void CheckpointRegistry::clear() {
+  Regions.clear();
+  SnapshotStorage.clear();
+  TotalBytes = 0;
+  SnapshotValid = false;
+}
+
+void CheckpointRegistry::takeSnapshot() {
+  SnapshotStorage.resize(TotalBytes);
+  for (const Region &R : Regions)
+    std::memcpy(SnapshotStorage.data() + R.SnapshotOffset, R.Ptr, R.Bytes);
+  SnapshotValid = true;
+  ++Snapshots;
+}
+
+void CheckpointRegistry::restoreSnapshot() {
+  assert(SnapshotValid && "restore without a snapshot");
+  for (const Region &R : Regions)
+    std::memcpy(R.Ptr, SnapshotStorage.data() + R.SnapshotOffset, R.Bytes);
+}

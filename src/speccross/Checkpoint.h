@@ -1,0 +1,81 @@
+//===- speccross/Checkpoint.h - Cooperative memory checkpointing -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpoint/restore of the speculative region's mutable state
+/// (dissertation §4.2.2). The paper checkpoints by forking the whole process
+/// and recovering with kill/longjmp; forking from a multithreaded C++
+/// process is a portability minefield, so this reproduction substitutes a
+/// cooperative scheme with the same observable protocol and cost model:
+/// workloads *register* every mutable buffer the speculative region can
+/// write; taking a checkpoint copies the registered bytes aside (cost
+/// proportional to state size, like fork's eager page-table work plus COW
+/// traffic); restoring copies them back (recovery cost proportional to state
+/// size plus thread respawn, as measured in Fig 5.3). The substitution is
+/// recorded in DESIGN.md §2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SPECCROSS_CHECKPOINT_H
+#define CIP_SPECCROSS_CHECKPOINT_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cip {
+namespace speccross {
+
+/// Registry of mutable memory regions plus a one-deep snapshot buffer.
+class CheckpointRegistry {
+public:
+  /// Registers \p Bytes bytes starting at \p Ptr as mutable speculative
+  /// state. Call before the region starts executing.
+  void registerRegion(void *Ptr, std::size_t Bytes);
+
+  /// Convenience: registers the contents of a vector-like buffer.
+  template <typename T> void registerBuffer(std::vector<T> &Buf) {
+    if (!Buf.empty())
+      registerRegion(Buf.data(), Buf.size() * sizeof(T));
+  }
+
+  /// Drops all registered regions and the snapshot.
+  void clear();
+
+  /// Copies every registered region into the snapshot buffer, replacing any
+  /// previous snapshot.
+  void takeSnapshot();
+
+  /// Copies the snapshot back into the registered regions. A snapshot must
+  /// have been taken.
+  void restoreSnapshot();
+
+  bool hasSnapshot() const { return SnapshotValid; }
+  std::size_t totalBytes() const { return TotalBytes; }
+  std::size_t numRegions() const { return Regions.size(); }
+
+  /// Number of snapshots taken so far (checkpoint count for Fig 5.3).
+  std::uint64_t snapshotsTaken() const { return Snapshots; }
+
+private:
+  struct Region {
+    unsigned char *Ptr;
+    std::size_t Bytes;
+    std::size_t SnapshotOffset;
+  };
+
+  std::vector<Region> Regions;
+  std::vector<unsigned char> SnapshotStorage;
+  std::size_t TotalBytes = 0;
+  bool SnapshotValid = false;
+  std::uint64_t Snapshots = 0;
+};
+
+} // namespace speccross
+} // namespace cip
+
+#endif // CIP_SPECCROSS_CHECKPOINT_H

@@ -1,0 +1,175 @@
+//===- speccross/Signature.h - Memory access signatures --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access signatures for SPECCROSS misspeculation detection (dissertation
+/// §4.2.1). A signature is an approximate, conservative summary of the
+/// addresses a task accessed: signature overlap may report a false conflict
+/// (costing a rollback) but never misses a real one (soundness). SPECCROSS
+/// exposes signatures as a pluggable policy; two of the paper's schemes are
+/// provided:
+///  * \c RangeSignature — the paper's default: min/max accessed address.
+///    Excellent for clustered accesses (all Table 5.1 benchmarks).
+///  * \c BloomSignature — a small Bloom filter; lower false-positive rate
+///    for scattered access patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SPECCROSS_SIGNATURE_H
+#define CIP_SPECCROSS_SIGNATURE_H
+
+#include "support/Compiler.h"
+
+#include <array>
+#include <cstdint>
+
+namespace cip {
+namespace speccross {
+
+/// Range-based signature: tracks [Min, Max] of accessed abstract addresses.
+struct RangeSignature {
+  std::uint64_t Min = ~std::uint64_t{0};
+  std::uint64_t Max = 0;
+
+  /// Records an access to \p Addr.
+  void add(std::uint64_t Addr) {
+    if (Addr < Min)
+      Min = Addr;
+    if (Addr > Max)
+      Max = Addr;
+  }
+
+  bool empty() const { return Min > Max; }
+
+  /// Conservative conflict test: true if the two access summaries may share
+  /// an address.
+  bool overlaps(const RangeSignature &Other) const {
+    if (empty() || Other.empty())
+      return false;
+    return Min <= Other.Max && Other.Min <= Max;
+  }
+
+  void clear() { *this = RangeSignature(); }
+
+  static const char *schemeName() { return "range"; }
+};
+
+/// Bloom-filter signature with \p Words 64-bit words and two hash probes
+/// per address.
+template <unsigned Words = 4> struct BloomSignatureT {
+  std::array<std::uint64_t, Words> Bits{};
+
+  void add(std::uint64_t Addr) {
+    Bits[wordOf(hash1(Addr))] |= bitOf(hash1(Addr));
+    Bits[wordOf(hash2(Addr))] |= bitOf(hash2(Addr));
+  }
+
+  bool empty() const {
+    for (std::uint64_t W : Bits)
+      if (W != 0)
+        return false;
+    return true;
+  }
+
+  bool overlaps(const BloomSignatureT &Other) const {
+    for (unsigned I = 0; I < Words; ++I)
+      if ((Bits[I] & Other.Bits[I]) != 0)
+        return true;
+    return false;
+  }
+
+  void clear() { Bits.fill(0); }
+
+  static const char *schemeName() { return "bloom"; }
+
+private:
+  static std::uint64_t hash1(std::uint64_t A) {
+    A ^= A >> 33;
+    A *= 0xff51afd7ed558ccdULL;
+    A ^= A >> 33;
+    return A;
+  }
+
+  static std::uint64_t hash2(std::uint64_t A) {
+    A *= 0x9e3779b97f4a7c15ULL;
+    A ^= A >> 29;
+    return A;
+  }
+
+  static unsigned wordOf(std::uint64_t H) {
+    return static_cast<unsigned>(H % Words);
+  }
+
+  static std::uint64_t bitOf(std::uint64_t H) {
+    return std::uint64_t{1} << ((H >> 8) % 64);
+  }
+};
+
+using BloomSignature = BloomSignatureT<4>;
+
+/// Exact signature for tasks touching at most \p Cap addresses, degrading
+/// to a min/max range on overflow. Zero false positives in the common
+/// case, which makes it the right scheme for scattered accesses where the
+/// range signature over-approximates and a small Bloom filter's
+/// any-shared-bit intersection test false-positives too often. This is an
+/// instance of the paper's "users provide their own signature generators"
+/// extension point.
+template <unsigned Cap = 8> struct SmallSetSignatureT {
+  std::array<std::uint64_t, Cap> Addrs{};
+  std::uint32_t Count = 0;
+  bool Overflowed = false;
+  std::uint64_t Min = ~std::uint64_t{0};
+  std::uint64_t Max = 0;
+
+  void add(std::uint64_t Addr) {
+    if (Addr < Min)
+      Min = Addr;
+    if (Addr > Max)
+      Max = Addr;
+    if (Overflowed)
+      return;
+    for (std::uint32_t I = 0; I < Count; ++I)
+      if (Addrs[I] == Addr)
+        return;
+    if (Count == Cap) {
+      Overflowed = true;
+      return;
+    }
+    Addrs[Count++] = Addr;
+  }
+
+  bool empty() const { return Min > Max; }
+
+  bool overlaps(const SmallSetSignatureT &Other) const {
+    if (empty() || Other.empty())
+      return false;
+    if (Min > Other.Max || Other.Min > Max)
+      return false; // ranges disjoint: exact "no" either way
+    if (Overflowed || Other.Overflowed)
+      return true; // conservative range answer
+    for (std::uint32_t I = 0; I < Count; ++I)
+      for (std::uint32_t J = 0; J < Other.Count; ++J)
+        if (Addrs[I] == Other.Addrs[J])
+          return true;
+    return false;
+  }
+
+  void clear() { *this = SmallSetSignatureT(); }
+
+  static const char *schemeName() { return "small-set"; }
+};
+
+using SmallSetSignature = SmallSetSignatureT<8>;
+
+/// Signature scheme selector. Range is the paper's default and suits
+/// clustered access patterns; Bloom and the exact small-set scheme suit
+/// scattered ones (§4.2.1).
+enum class SignatureScheme { Range, Bloom, SmallSet };
+
+} // namespace speccross
+} // namespace cip
+
+#endif // CIP_SPECCROSS_SIGNATURE_H

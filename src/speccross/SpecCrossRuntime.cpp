@@ -1,0 +1,500 @@
+//===- speccross/SpecCrossRuntime.cpp - Speculative barrier engine -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine implementation. Execution is organized into *rounds* delimited by
+/// checkpoints (the paper's checkpoints "act as non-speculative barriers",
+/// §4.2.2). Within a round, workers stream through epochs with no barriers;
+/// a checker thread validates signatures asynchronously. On misspeculation
+/// the round's memory is restored and the damaged epochs re-execute with
+/// real barriers.
+///
+/// Deadlock-freedom argument: workers never wait on the checker (requests
+/// are retried with an abort check; the checker drains queues eagerly into
+/// unbounded pending lists), and the checker never blocks — a request whose
+/// prerequisite signatures are not yet logged is simply deferred until the
+/// lagging worker's published clock passes the request's epoch, which must
+/// happen because workers only wait on the speculative-range throttle, and
+/// the throttle only ever waits on the *slowest* worker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "speccross/SpecCrossRuntime.h"
+
+#include "support/Backoff.h"
+#include "support/Barrier.h"
+#include "support/SPSCQueue.h"
+#include "support/ThreadGroup.h"
+#include "support/Timer.h"
+#include "support/VectorFifo.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+using namespace cip;
+using namespace cip::speccross;
+
+namespace {
+
+/// Packed (epoch, startedLocalTask) clock value.
+std::uint64_t packClock(std::uint32_t Epoch, std::uint32_t Task) {
+  return (static_cast<std::uint64_t>(Epoch) << 32) | Task;
+}
+std::uint32_t clockEpoch(std::uint64_t C) {
+  return static_cast<std::uint32_t>(C >> 32);
+}
+std::uint32_t clockTask(std::uint64_t C) {
+  return static_cast<std::uint32_t>(C & 0xffffffffu);
+}
+
+/// Snapshot slot value meaning "that worker had already finished the whole
+/// round when this task began" — nothing of it can run after us.
+constexpr std::uint64_t SnapshotDone = ~std::uint64_t{0};
+
+struct alignas(CacheLineBytes) PaddedClock {
+  std::atomic<std::uint64_t> Value{0};
+};
+
+struct alignas(CacheLineBytes) PaddedFlag {
+  std::atomic<bool> Value{false};
+};
+
+struct alignas(CacheLineBytes) PaddedCounter {
+  std::atomic<std::uint64_t> Value{0};
+};
+
+/// A checking request: one per executed task (Fig 4.7).
+struct Request {
+  std::uint32_t Tid = 0;
+  std::uint32_t Epoch = 0;
+  std::uint32_t Task = 0; // local ordinal within (Tid, Epoch)
+  std::array<std::uint64_t, MaxWorkers> Snapshot{};
+};
+
+/// The engine, templated over the signature scheme.
+template <typename Sig> class Engine {
+public:
+  Engine(const SpecRegion &Region, const SpecConfig &Config)
+      : Region(Region), Config(Config), W(Config.NumWorkers) {
+    assert(W > 0 && W <= MaxWorkers && "worker count out of range");
+    assert(Region.NumTasks && Region.RunTask && Region.TaskAddresses &&
+           "incomplete region description");
+    TasksPerEpoch.resize(Region.NumEpochs);
+    Prefix.resize(Region.NumEpochs + 1, 0);
+    for (std::uint32_t E = 0; E < Region.NumEpochs; ++E) {
+      TasksPerEpoch[E] = Region.NumTasks(E);
+      Prefix[E + 1] = Prefix[E] + TasksPerEpoch[E];
+    }
+  }
+
+  SpecStats run(SpecMode Mode) {
+    SpecStats Stats;
+    Stats.Epochs = Region.NumEpochs;
+    Stats.Tasks = Prefix.back();
+    const double Begin = static_cast<double>(nowNanos());
+
+    if (Mode == SpecMode::NonSpeculative) {
+      runNonSpeculative(0, Region.NumEpochs);
+      Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+      return Stats;
+    }
+
+    assert(Mode == SpecMode::Speculation && "profiling handled by caller");
+    assert(Region.Checkpoints && "speculation requires a checkpoint registry");
+
+    std::uint32_t First = 0;
+    while (First < Region.NumEpochs) {
+      const std::uint32_t End =
+          std::min<std::uint64_t>(First + Config.CheckpointIntervalEpochs,
+                                  Region.NumEpochs);
+      {
+        Stopwatch Ckpt;
+        Ckpt.start();
+        Region.Checkpoints->takeSnapshot();
+        Ckpt.stop();
+        Stats.CheckpointSeconds += Ckpt.elapsedSeconds();
+        ++Stats.CheckpointsTaken;
+      }
+      if (!speculativeRound(First, End, Stats)) {
+        Stopwatch Rec;
+        Rec.start();
+        Region.Checkpoints->restoreSnapshot();
+        Rec.stop();
+        Stats.RecoverySeconds += Rec.elapsedSeconds();
+        runNonSpeculative(First, End);
+        Stats.ReexecutedEpochs += End - First;
+        ++Stats.Misspeculations;
+      }
+      First = End;
+    }
+    Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+    return Stats;
+  }
+
+private:
+  std::size_t localTaskCount(std::uint32_t Tid, std::uint32_t Epoch) const {
+    const std::size_t N = TasksPerEpoch[Epoch];
+    return Tid < N ? (N - Tid - 1) / W + 1 : 0;
+  }
+
+  /// Re-execution / baseline path: real barrier between epochs.
+  void runNonSpeculative(std::uint32_t First, std::uint32_t End) {
+    PthreadBarrier Bar(W);
+    runThreads(W, [&](unsigned Tid) {
+      for (std::uint32_t E = First; E < End; ++E) {
+        Bar.wait();
+        if (Region.EpochPrologue)
+          Region.EpochPrologue(E, Tid);
+        const std::size_t N = TasksPerEpoch[E];
+        for (std::size_t T = Tid; T < N; T += W)
+          Region.RunTask(E, T);
+      }
+    });
+  }
+
+  /// One speculative round over epochs [First, End). Returns false on
+  /// misspeculation (memory is then dirty and must be restored by caller).
+  bool speculativeRound(std::uint32_t First, std::uint32_t End,
+                        SpecStats &Stats);
+
+  const SpecRegion &Region;
+  const SpecConfig &Config;
+  const std::uint32_t W;
+
+  std::vector<std::size_t> TasksPerEpoch;
+  std::vector<std::uint64_t> Prefix;
+
+  /// Fault injection fires at most once per run().
+  bool Injected = false;
+};
+
+/// All shared state of one speculative round.
+template <typename Sig> struct Round {
+  Round(std::uint32_t W, std::uint32_t First, std::uint32_t End,
+        std::size_t QueueCapacity)
+      : First(First), End(End), Clocks(W), Started(W), Done(W) {
+    Logs.resize(W);
+    for (std::uint32_t T = 0; T < W; ++T) {
+      Logs[T].resize(End - First);
+      Queues.push_back(std::make_unique<SPSCQueue<Request>>(QueueCapacity));
+    }
+  }
+
+  const std::uint32_t First;
+  const std::uint32_t End;
+
+  std::vector<PaddedClock> Clocks;
+  std::vector<PaddedCounter> Started; // last started global task number + 1
+  std::vector<PaddedFlag> Done;
+  std::atomic<bool> Abort{false};
+
+  /// Logs[w][e - First][k]: signature of worker w's k-th local task of
+  /// epoch e. Written by w, published by w's subsequent clock/Done store.
+  std::vector<std::vector<std::vector<Sig>>> Logs;
+  std::vector<std::unique_ptr<SPSCQueue<Request>>> Queues;
+};
+
+template <typename Sig>
+bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
+                                   SpecStats &Stats) {
+  Round<Sig> R(W, First, End, Config.QueueCapacity);
+
+  // Size each worker's per-epoch signature log up front so workers never
+  // allocate while the checker reads.
+  for (std::uint32_t T = 0; T < W; ++T)
+    for (std::uint32_t E = First; E < End; ++E)
+      R.Logs[T][E - First].resize(localTaskCount(T, E));
+  for (std::uint32_t T = 0; T < W; ++T)
+    R.Started[T].Value.store(Prefix[First], std::memory_order_relaxed);
+
+  const bool WantInjection = !Injected &&
+                             Config.InjectMisspecAtEpoch >= First &&
+                             Config.InjectMisspecAtEpoch < End;
+
+  std::atomic<std::uint64_t> CheckRequests{0};
+  std::atomic<std::uint64_t> Comparisons{0};
+  std::atomic<bool> InjectionFired{false};
+  const double RoundStart = static_cast<double>(nowNanos());
+
+  auto workerBody = [&](std::uint32_t Tid) {
+    std::vector<std::uint64_t> Addrs;
+    Backoff Throttle, ProduceWait;
+    Request Req;
+    Req.Tid = Tid;
+    for (std::uint32_t E = First; E < End; ++E) {
+      // enter_barrier: bump the epoch number; no synchronization.
+      R.Clocks[Tid].Value.store(packClock(E, 0), std::memory_order_release);
+      if (R.Abort.load(std::memory_order_acquire))
+        break;
+      if (Region.EpochPrologue)
+        Region.EpochPrologue(E, Tid);
+      const std::size_t N = TasksPerEpoch[E];
+      std::uint32_t K = 0;
+      for (std::size_t T = Tid; T < N; T += W, ++K) {
+        const std::uint64_t Global = Prefix[E] + T;
+        // Speculative-range throttle (§4.4): never run more than
+        // SpecDistance tasks — nor MaxEpochLead epochs — ahead of the
+        // slowest unfinished worker.
+        while (true) {
+          if (R.Abort.load(std::memory_order_acquire))
+            return;
+          std::uint64_t MinStarted = std::numeric_limits<std::uint64_t>::max();
+          std::uint32_t MinEpoch = std::numeric_limits<std::uint32_t>::max();
+          for (std::uint32_t O = 0; O < W; ++O) {
+            if (O == Tid || R.Done[O].Value.load(std::memory_order_acquire))
+              continue;
+            MinStarted = std::min(
+                MinStarted, R.Started[O].Value.load(std::memory_order_acquire));
+            MinEpoch = std::min(
+                MinEpoch,
+                clockEpoch(R.Clocks[O].Value.load(std::memory_order_acquire)));
+          }
+          if (MinStarted == std::numeric_limits<std::uint64_t>::max())
+            break; // every other worker already finished the round
+          const bool TaskLeadOk =
+              Config.SpecDistance ==
+                  std::numeric_limits<std::uint64_t>::max() ||
+              Global <= MinStarted + Config.SpecDistance;
+          const bool EpochLeadOk =
+              E <= static_cast<std::uint64_t>(MinEpoch) + Config.MaxEpochLead;
+          if (TaskLeadOk && EpochLeadOk)
+            break;
+          Throttle.pause();
+        }
+        if (R.Abort.load(std::memory_order_acquire))
+          return;
+
+        // enter_task: publish the clock, then snapshot the other clocks.
+        R.Clocks[Tid].Value.store(packClock(E, K), std::memory_order_release);
+        R.Started[Tid].Value.store(Global + 1, std::memory_order_release);
+        for (std::uint32_t O = 0; O < W; ++O) {
+          if (O == Tid)
+            continue;
+          Req.Snapshot[O] =
+              R.Done[O].Value.load(std::memory_order_acquire)
+                  ? SnapshotDone
+                  : R.Clocks[O].Value.load(std::memory_order_acquire);
+        }
+
+        Region.RunTask(E, T);
+
+        // exit_task: log the signature and ship the checking request.
+        Addrs.clear();
+        Region.TaskAddresses(E, T, Addrs);
+        Sig &Slot = R.Logs[Tid][E - First][K];
+        Slot.clear();
+        for (std::uint64_t A : Addrs)
+          Slot.add(A);
+        Req.Epoch = E;
+        Req.Task = K;
+        ProduceWait.reset();
+        while (!R.Queues[Tid]->tryProduce(Req)) {
+          if (R.Abort.load(std::memory_order_acquire))
+            return;
+          ProduceWait.pause();
+        }
+      }
+    }
+    // send_end_token: publishing Done releases all logged signatures.
+    R.Done[Tid].Value.store(true, std::memory_order_release);
+  };
+
+  auto checkerBody = [&] {
+    Backoff Idle;
+    std::vector<VectorFifo<Request>> Pending(W);
+    std::uint64_t LocalRequests = 0;
+    std::uint64_t LocalComparisons = 0;
+
+    auto passedEpoch = [&](std::uint32_t O, std::uint32_t Epoch) {
+      if (R.Done[O].Value.load(std::memory_order_acquire))
+        return true;
+      return clockEpoch(R.Clocks[O].Value.load(std::memory_order_acquire)) >=
+             Epoch;
+    };
+
+    // A request is checkable once every lagging worker's signatures for
+    // all compared epochs are published: epochs before the request's epoch
+    // by default, through the request's own epoch in TM-style mode.
+    const std::uint32_t CompareThrough =
+        Config.TmStyleValidation ? 1u : 0u;
+    auto ready = [&](const Request &Q) {
+      for (std::uint32_t O = 0; O < W; ++O) {
+        if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
+          continue;
+        if (clockEpoch(Q.Snapshot[O]) >= Q.Epoch + CompareThrough)
+          continue;
+        if (!passedEpoch(O, Q.Epoch + CompareThrough))
+          return false;
+      }
+      return true;
+    };
+
+    auto process = [&](const Request &Q) {
+      ++LocalRequests;
+      if (WantInjection && Q.Epoch >= Config.InjectMisspecAtEpoch &&
+          !InjectionFired.exchange(true)) {
+        R.Abort.store(true, std::memory_order_release);
+        return;
+      }
+      const Sig &Mine = R.Logs[Q.Tid][Q.Epoch - First][Q.Task];
+      for (std::uint32_t O = 0; O < W && !R.Abort; ++O) {
+        if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
+          continue;
+        const std::uint32_t E0 = clockEpoch(Q.Snapshot[O]);
+        if (E0 >= Q.Epoch + CompareThrough)
+          continue;
+        const std::uint32_t T0 = clockTask(Q.Snapshot[O]);
+        for (std::uint32_t E = std::max(E0, First);
+             E < Q.Epoch + CompareThrough; ++E) {
+          const auto &EpochLog = R.Logs[O][E - First];
+          std::size_t KBegin = E == E0 ? T0 : 0;
+          for (std::size_t K = KBegin; K < EpochLog.size(); ++K) {
+            ++LocalComparisons;
+            if (Mine.overlaps(EpochLog[K])) {
+              R.Abort.store(true, std::memory_order_release);
+              return;
+            }
+          }
+        }
+      }
+    };
+
+    while (true) {
+      if (R.Abort.load(std::memory_order_acquire))
+        break;
+      if (Config.TimeoutSeconds > 0.0 &&
+          (static_cast<double>(nowNanos()) - RoundStart) * 1e-9 >
+              Config.TimeoutSeconds) {
+        R.Abort.store(true, std::memory_order_release);
+        break;
+      }
+      bool Progress = false;
+      for (std::uint32_t T = 0; T < W; ++T) {
+        Request Q;
+        while (R.Queues[T]->tryConsume(Q)) {
+          Pending[T].push(Q);
+          Progress = true;
+        }
+      }
+      for (std::uint32_t T = 0; T < W && !R.Abort; ++T) {
+        while (!Pending[T].empty() && ready(Pending[T].front())) {
+          process(Pending[T].front());
+          Pending[T].pop();
+          Progress = true;
+          if (R.Abort.load(std::memory_order_acquire))
+            break;
+        }
+      }
+      if (R.Abort.load(std::memory_order_acquire))
+        break;
+      bool AllDone = true;
+      for (std::uint32_t T = 0; T < W; ++T)
+        if (!R.Done[T].Value.load(std::memory_order_acquire) ||
+            !R.Queues[T]->empty() || !Pending[T].empty()) {
+          AllDone = false;
+          break;
+        }
+      if (AllDone)
+        break;
+      if (!Progress)
+        Idle.pause();
+      else
+        Idle.reset();
+    }
+    CheckRequests.fetch_add(LocalRequests, std::memory_order_relaxed);
+    Comparisons.fetch_add(LocalComparisons, std::memory_order_relaxed);
+  };
+
+  runThreads(W + 1, [&](unsigned Idx) {
+    if (Idx == W)
+      checkerBody();
+    else
+      workerBody(Idx);
+  });
+
+  Stats.CheckRequests += CheckRequests.load(std::memory_order_relaxed);
+  Stats.SignatureComparisons += Comparisons.load(std::memory_order_relaxed);
+  if (R.Abort.load(std::memory_order_acquire)) {
+    if (InjectionFired.load(std::memory_order_relaxed))
+      Injected = true;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+SpecStats speccross::runSpecCross(const SpecRegion &Region,
+                                  const SpecConfig &Config, SpecMode Mode) {
+  if (Mode == SpecMode::Profiling) {
+    const ProfileResult P = profileRegion(Region);
+    SpecStats Stats;
+    Stats.Epochs = P.Epochs;
+    Stats.Tasks = P.Tasks;
+    return Stats;
+  }
+  if (Config.Scheme == SignatureScheme::Bloom) {
+    Engine<BloomSignature> E(Region, Config);
+    return E.run(Mode);
+  }
+  if (Config.Scheme == SignatureScheme::SmallSet) {
+    Engine<SmallSetSignature> E(Region, Config);
+    return E.run(Mode);
+  }
+  Engine<RangeSignature> E(Region, Config);
+  return E.run(Mode);
+}
+
+ProfileResult speccross::profileRegion(const SpecRegion &Region,
+                                       std::uint32_t NumWorkers) {
+  assert(Region.NumTasks && Region.RunTask && Region.TaskAddresses &&
+         "incomplete region description");
+  ProfileResult Result;
+  Result.Epochs = Region.NumEpochs;
+
+  // Last accessor of each abstract address: global task number, epoch, and
+  // the worker the static assignment would place the task on.
+  struct Access {
+    std::uint64_t Global;
+    std::uint32_t Epoch;
+    std::uint32_t Owner;
+  };
+  std::unordered_map<std::uint64_t, Access> Last;
+  std::vector<std::uint64_t> Addrs;
+  std::uint64_t Global = 0;
+
+  for (std::uint32_t E = 0; E < Region.NumEpochs; ++E) {
+    if (Region.EpochPrologue)
+      Region.EpochPrologue(E, /*Tid=*/0);
+    const std::size_t N = Region.NumTasks(E);
+    for (std::size_t T = 0; T < N; ++T, ++Global) {
+      Region.RunTask(E, T);
+      Addrs.clear();
+      Region.TaskAddresses(E, T, Addrs);
+      const std::uint32_t Owner =
+          NumWorkers ? static_cast<std::uint32_t>(T % NumWorkers) : 0;
+      for (std::uint64_t A : Addrs) {
+        auto [It, Inserted] = Last.try_emplace(A, Access{Global, E, Owner});
+        if (!Inserted) {
+          // Same-epoch accesses are independent by construction and
+          // dependences between tasks of the same worker are respected by
+          // program order, so only cross-epoch, cross-worker pairs count.
+          if (It->second.Epoch != E &&
+              (NumWorkers == 0 || It->second.Owner != Owner)) {
+            ++Result.CrossEpochConflicts;
+            Result.MinDependenceDistance = std::min(
+                Result.MinDependenceDistance, Global - It->second.Global);
+          }
+          It->second = Access{Global, E, Owner};
+        }
+      }
+    }
+  }
+  Result.Tasks = Global;
+  return Result;
+}

@@ -1,0 +1,200 @@
+//===- speccross/SpecCrossRuntime.h - Speculative barrier engine -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPECCROSS runtime system (dissertation Ch. 4): software-only
+/// speculative barriers. A region of consecutive parallel loop invocations
+/// (*epochs*) executes with no barrier between invocations; every worker
+/// carries a packed (epoch, task) clock, every task logs an access
+/// signature, and a dedicated checker thread compares each task's signature
+/// only against overlapping tasks from strictly *earlier* epochs — tasks in
+/// the same epoch are independent by construction, which is SPECCROSS's key
+/// overhead advantage over TM-style speculation (§4.1.2). Misspeculation
+/// rolls the region back to the last checkpoint and re-executes the damaged
+/// epochs with non-speculative barriers.
+///
+/// The runtime interface mirrors Table 4.1: one region description plays the
+/// role of the inserted init/enter_barrier/enter_task/spec_access/exit_task/
+/// send_end_token calls, and \c SpecMode selects among profiling,
+/// speculation, and non-speculative execution exactly as the paper's MODE
+/// environment variable does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SPECCROSS_SPECCROSSRUNTIME_H
+#define CIP_SPECCROSS_SPECCROSSRUNTIME_H
+
+#include "speccross/Checkpoint.h"
+#include "speccross/Signature.h"
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace cip {
+namespace speccross {
+
+/// Maximum worker thread count the packed snapshot in a checking request can
+/// describe. 24 workers (the paper's machine) fit comfortably.
+inline constexpr std::uint32_t MaxWorkers = 32;
+
+/// Description of a speculative region: the artifacts the SPECCROSS compiler
+/// (src/transform, Alg. 5) inserts into a parallelized loop nest.
+struct SpecRegion {
+  /// Number of epochs (inner-loop invocations separated by barriers in the
+  /// baseline parallelization).
+  std::uint32_t NumEpochs = 0;
+
+  /// Number of tasks in epoch \p Epoch. Must be pure: the runtime calls it
+  /// from several threads.
+  std::function<std::size_t(std::uint32_t Epoch)> NumTasks;
+
+  /// Executes task \p Task of epoch \p Epoch. Tasks within one epoch must be
+  /// mutually independent (the inner loop was DOALL/LOCALWRITE
+  /// parallelizable); dependences *across* epochs are what SPECCROSS
+  /// speculates on.
+  std::function<void(std::uint32_t Epoch, std::size_t Task)> RunTask;
+
+  /// Appends the abstract addresses task (\p Epoch, \p Task) accessed; this
+  /// stands in for the spec_access instrumentation the compiler inserts on
+  /// every cross-invocation-dependent load/store.
+  std::function<void(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs)>
+      TaskAddresses;
+
+  /// Optional sequential code between invocations, duplicated onto every
+  /// worker (§4.3 requires it to be privatizable/duplicable). Called once
+  /// per worker per epoch, before that epoch's tasks.
+  std::function<void(std::uint32_t Epoch, std::uint32_t Tid)> EpochPrologue;
+
+  /// Mutable state of the region, for checkpoint/restore. Must cover every
+  /// buffer tasks can write.
+  CheckpointRegistry *Checkpoints = nullptr;
+};
+
+/// Execution mode, mirroring the paper's MODE environment variable.
+enum class SpecMode { Speculation, NonSpeculative, Profiling };
+
+/// Configuration of one SPECCROSS execution.
+struct SpecConfig {
+  std::uint32_t NumWorkers = 2;
+  SignatureScheme Scheme = SignatureScheme::Range;
+
+  /// Checkpoint every this many epochs (the paper defaults to every 1000th
+  /// speculative barrier; Fig 5.3 sweeps it).
+  std::uint32_t CheckpointIntervalEpochs = 1000;
+
+  /// Maximum lead, in *global task numbers*, a worker may hold over the
+  /// slowest worker — the "speculative range" fed by profiling (§4.4). The
+  /// default is unthrottled.
+  std::uint64_t SpecDistance = std::numeric_limits<std::uint64_t>::max();
+
+  /// Maximum lead in *epochs* over the slowest unfinished worker, applied
+  /// even when SpecDistance is unthrottled. On the paper's 24 real cores
+  /// workers run near lockstep, so pure speculation is cheap; on an
+  /// oversubscribed machine a descheduled worker lets the leader run
+  /// arbitrarily far ahead, inflating the checker's comparison ranges
+  /// quadratically. This cap bounds them; it never reorders anything a
+  /// conflict-free profile allows.
+  std::uint32_t MaxEpochLead = 4;
+
+  /// Deterministic fault injection: force a misspeculation the first time
+  /// the checker sees a request from this epoch (Fig 5.3's "with
+  /// misspeculation" runs). Disabled when >= NumEpochs.
+  std::uint32_t InjectMisspecAtEpoch =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Abort speculation if a single speculative round runs longer than this
+  /// (the paper's third misspeculation trigger — a user-defined timeout
+  /// guarding against speculatively corrupted loop bounds). 0 disables.
+  double TimeoutSeconds = 0.0;
+
+  /// Request-queue capacity per worker.
+  std::size_t QueueCapacity = 4096;
+
+  /// TM-style validation (Fig 4.4): compare each task's signature against
+  /// overlapping tasks of the *same* epoch too, as transactional-memory
+  /// schemes must (Grace/TCC commit ordering). SPECCROSS's default skips
+  /// same-epoch pairs because DOALL-planned epochs are independent by
+  /// construction — this flag exists to measure exactly that advantage.
+  bool TmStyleValidation = false;
+};
+
+/// Execution statistics (Table 5.3 columns plus recovery accounting).
+struct SpecStats {
+  std::uint64_t Epochs = 0;
+  std::uint64_t Tasks = 0;
+  /// Checking requests processed by the checker thread.
+  std::uint64_t CheckRequests = 0;
+  /// Pairwise signature comparisons the checker performed.
+  std::uint64_t SignatureComparisons = 0;
+  std::uint64_t Misspeculations = 0;
+  std::uint64_t CheckpointsTaken = 0;
+  /// Epochs re-executed non-speculatively after rollbacks.
+  std::uint64_t ReexecutedEpochs = 0;
+  double TotalSeconds = 0.0;
+  double CheckpointSeconds = 0.0;
+  double RecoverySeconds = 0.0;
+};
+
+/// Result of a profiling run (§4.4): the minimum cross-epoch dependence
+/// distance, measured in global task numbers.
+struct ProfileResult {
+  /// Distance between the closest pair of conflicting tasks from different
+  /// epochs; max() when no cross-epoch conflict manifested (the paper's
+  /// "*" entries in Table 5.3).
+  std::uint64_t MinDependenceDistance =
+      std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t CrossEpochConflicts = 0;
+  std::uint64_t Epochs = 0;
+  std::uint64_t Tasks = 0;
+
+  bool conflictFree() const {
+    return MinDependenceDistance == std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// The speculative range to configure from this profile. The runtime's
+  /// throttle compares against each worker's last *started* task, which may
+  /// still be executing, so guaranteeing that a conflicting pair at the
+  /// profiled distance never overlaps requires two tasks of slack:
+  /// D = MinDependenceDistance - 2. Unthrottled if conflict-free.
+  std::uint64_t recommendedSpecDistance(std::uint32_t NumWorkers) const {
+    if (conflictFree())
+      return std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t D =
+        MinDependenceDistance >= 2 ? MinDependenceDistance - 2 : 0;
+    // Permit at least one task of lead per worker or the region
+    // serializes; when that floor exceeds the safe range, occasional
+    // rollbacks are accepted (the paper's design point for inputs with
+    // very close conflicts).
+    return D < NumWorkers ? NumWorkers : D;
+  }
+};
+
+/// Executes \p Region speculatively (or per \p Mode) with \p Config.
+/// Blocking; returns execution statistics. Requires
+/// \c Region.Checkpoints when speculating.
+SpecStats runSpecCross(const SpecRegion &Region, const SpecConfig &Config,
+                       SpecMode Mode = SpecMode::Speculation);
+
+/// Profiles \p Region sequentially, recording the exact minimum cross-epoch
+/// dependence distance at address granularity. Deterministic; corresponds
+/// to the paper's profiling run on the train input. \p NumWorkers models
+/// the static task-to-thread assignment: the paper's profiler compares a
+/// task's signature only against tasks *other threads* executed (§4.4), so
+/// a dependence whose endpoints land on the same worker (e.g., stencil
+/// dependences aligned on the task index) is respected by program order and
+/// is not a conflict — this is what produces the "*" rows of Table 5.3.
+/// Pass 0 for a thread-oblivious (strictly conservative) profile.
+ProfileResult profileRegion(const SpecRegion &Region,
+                            std::uint32_t NumWorkers = 0);
+
+} // namespace speccross
+} // namespace cip
+
+#endif // CIP_SPECCROSS_SPECCROSSRUNTIME_H

@@ -1,0 +1,44 @@
+//===- support/Backoff.h - Spin-wait backoff -------------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spin-wait policy shared by every busy-wait in the runtimes. The paper's
+/// testbed had 24 real cores, so pure pause-spinning was fine; this
+/// reproduction routinely oversubscribes a small machine (the thread sweeps
+/// go to 24), where a pure spinner starves the thread it is waiting *for*.
+/// The policy pauses briefly, then yields the time slice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_BACKOFF_H
+#define CIP_SUPPORT_BACKOFF_H
+
+#include <thread>
+
+namespace cip {
+
+/// Per-wait-site exponentialish backoff: cheap pauses first, then yields.
+class Backoff {
+public:
+  void pause() {
+    if ((++Spins & 31) == 0) {
+      std::this_thread::yield();
+      return;
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  void reset() { Spins = 0; }
+
+private:
+  unsigned Spins = 0;
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_BACKOFF_H

@@ -1,0 +1,24 @@
+//===- support/Barrier.cpp - Barrier synchronization primitives ----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+
+using namespace cip;
+
+PthreadBarrier::PthreadBarrier(unsigned NumThreads) {
+  assert(NumThreads > 0 && "barrier needs at least one participant");
+  [[maybe_unused]] int Rc =
+      pthread_barrier_init(&Native, /*attr=*/nullptr, NumThreads);
+  assert(Rc == 0 && "pthread_barrier_init failed");
+}
+
+PthreadBarrier::~PthreadBarrier() { pthread_barrier_destroy(&Native); }
+
+void PthreadBarrier::wait() {
+  [[maybe_unused]] int Rc = pthread_barrier_wait(&Native);
+  assert((Rc == 0 || Rc == PTHREAD_BARRIER_SERIAL_THREAD) &&
+         "pthread_barrier_wait failed");
+}

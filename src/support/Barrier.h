@@ -1,0 +1,124 @@
+//===- support/Barrier.h - Barrier synchronization primitives --*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-speculative barriers that DOMORE and SPECCROSS are measured
+/// against. \c PthreadBarrier is the dissertation's baseline (parallelized
+/// code with `pthread_barrier_wait` between inner-loop invocations);
+/// \c SpinBarrier is a classic centralized sense-reversing barrier; and
+/// \c InstrumentedBarrier wraps either to account, per thread, how long the
+/// thread idles at barriers — the quantity plotted in Fig 4.3 ("overhead of
+/// barrier synchronizations").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_BARRIER_H
+#define CIP_SUPPORT_BARRIER_H
+
+#include "support/Backoff.h"
+#include "support/Compiler.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <pthread.h>
+#include <vector>
+
+namespace cip {
+
+/// Thin RAII wrapper over POSIX pthread_barrier_t.
+class PthreadBarrier {
+public:
+  explicit PthreadBarrier(unsigned NumThreads);
+  ~PthreadBarrier();
+
+  PthreadBarrier(const PthreadBarrier &) = delete;
+  PthreadBarrier &operator=(const PthreadBarrier &) = delete;
+
+  /// Blocks until \c NumThreads threads have called wait().
+  void wait();
+
+private:
+  pthread_barrier_t Native;
+};
+
+/// Centralized sense-reversing spin barrier. Lower latency than the pthread
+/// barrier at small thread counts; used where the harness wants barrier cost
+/// itself (rather than futex wakeup latency) to dominate.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned NumThreads)
+      : Threshold(NumThreads), Count(NumThreads) {}
+
+  SpinBarrier(const SpinBarrier &) = delete;
+  SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+  void wait() {
+    const bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver resets the count and flips the sense, releasing all.
+      Count.store(Threshold, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    Backoff B;
+    while (Sense.load(std::memory_order_acquire) != MySense)
+      B.pause();
+  }
+
+private:
+  const unsigned Threshold;
+  alignas(CacheLineBytes) std::atomic<unsigned> Count;
+  alignas(CacheLineBytes) std::atomic<bool> Sense{false};
+};
+
+/// Wraps a barrier and records, per thread, the nanoseconds spent waiting at
+/// it. The dissertation defines barrier overhead as "the total amount of
+/// time threads sit idle waiting for the slowest thread to reach the
+/// barrier" (Fig 4.3); this class measures exactly that.
+template <typename BarrierT> class InstrumentedBarrier {
+public:
+  explicit InstrumentedBarrier(unsigned NumThreads)
+      : Inner(NumThreads), IdleNanos(NumThreads) {
+    for (auto &Slot : IdleNanos)
+      Slot.Value = 0;
+  }
+
+  /// Waits at the barrier on behalf of thread \p Tid, accumulating idle time.
+  void wait(unsigned Tid) {
+    assert(Tid < IdleNanos.size() && "thread id out of range");
+    const std::uint64_t Begin = nowNanos();
+    Inner.wait();
+    IdleNanos[Tid].Value += nowNanos() - Begin;
+  }
+
+  /// Total nanoseconds all threads spent idling at this barrier.
+  std::uint64_t totalIdleNanos() const {
+    std::uint64_t Sum = 0;
+    for (const auto &Slot : IdleNanos)
+      Sum += Slot.Value;
+    return Sum;
+  }
+
+  std::uint64_t idleNanos(unsigned Tid) const { return IdleNanos[Tid].Value; }
+
+  void resetIdle() {
+    for (auto &Slot : IdleNanos)
+      Slot.Value = 0;
+  }
+
+private:
+  struct alignas(CacheLineBytes) PaddedCounter {
+    std::uint64_t Value;
+  };
+
+  BarrierT Inner;
+  std::vector<PaddedCounter> IdleNanos;
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_BARRIER_H

@@ -1,0 +1,56 @@
+//===- support/Compiler.h - Portability and hint macros --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.,
+// "Automatically Exploiting Cross-Invocation Parallelism Using Runtime
+// Information" (CGO 2013 / Princeton dissertation).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros shared by every library in the project. The
+/// project follows the LLVM coding standards: no exceptions or RTTI inside
+/// library code, asserts used liberally, and unreachable paths marked with
+/// \c CIP_UNREACHABLE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_COMPILER_H
+#define CIP_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CIP_LIKELY(X) __builtin_expect(!!(X), 1)
+#define CIP_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define CIP_NOINLINE __attribute__((noinline))
+#define CIP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define CIP_LIKELY(X) (X)
+#define CIP_UNLIKELY(X) (X)
+#define CIP_NOINLINE
+#define CIP_ALWAYS_INLINE inline
+#endif
+
+/// Marks a point in code that must never be reached. Prints a diagnostic and
+/// aborts; in optimized builds the compiler may assume the point is dead.
+#define CIP_UNREACHABLE(MSG)                                                   \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, MSG);                                               \
+    std::abort();                                                              \
+  } while (false)
+
+namespace cip {
+
+/// Size, in bytes, assumed for a destructive-interference-free alignment.
+/// Used to pad per-thread state so that scheduler/worker communication does
+/// not false-share cache lines (the paper's runtime engine is sensitive to
+/// this; see §3.2.3 of the dissertation).
+inline constexpr std::size_t CacheLineBytes = 64;
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_COMPILER_H

@@ -1,0 +1,98 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generators used by the synthetic
+/// workload generators and the property-based tests. Every experiment in
+/// EXPERIMENTS.md must be bit-reproducible, so all randomness in the project
+/// flows through these generators with explicit seeds; std::rand and
+/// nondeterministically-seeded engines are banned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_RNG_H
+#define CIP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace cip {
+
+/// SplitMix64: a tiny, fast, statistically solid 64-bit generator. Used both
+/// directly and to seed Xoshiro256StarStar.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// Xoshiro256**: the project-wide workhorse generator.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions when convenient, though most callers use the
+/// bounded helpers below to stay allocation- and libstdc++-variance-free.
+class Xoshiro256StarStar {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// nonzero. Uses Lemire's multiply-shift reduction (slightly biased for
+  /// huge bounds, which is irrelevant for workload generation).
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_RNG_H

@@ -1,0 +1,131 @@
+//===- support/SPSCQueue.h - Lock-free SPSC ring buffer --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, lock-free, single-producer/single-consumer queue. This is the
+/// communication primitive the DOMORE runtime uses to forward
+/// synchronization conditions from the scheduler thread to each worker
+/// thread (dissertation §3.2.3, citing the lock-free queue design of
+/// Giacomoni et al.). The design separates the producer and consumer cursors
+/// onto distinct cache lines and caches the opposing cursor locally so the
+/// common path touches a single shared line per batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_SPSCQUEUE_H
+#define CIP_SUPPORT_SPSCQUEUE_H
+
+#include "support/Backoff.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace cip {
+
+/// Bounded single-producer/single-consumer FIFO.
+///
+/// \tparam T element type; must be trivially copyable or cheaply movable.
+/// Capacity is rounded up to a power of two. produce() spins when the queue
+/// is full and consume() spins when it is empty, mirroring the blocking
+/// produce/consume primitives the generated scheduler/worker code calls.
+/// Non-blocking tryProduce/tryConsume variants are provided for tests and
+/// for the checker thread's polling loop.
+template <typename T> class SPSCQueue {
+public:
+  explicit SPSCQueue(std::size_t MinCapacity = 1024)
+      : Mask(roundUpPow2(MinCapacity) - 1), Ring(Mask + 1) {}
+
+  SPSCQueue(const SPSCQueue &) = delete;
+  SPSCQueue &operator=(const SPSCQueue &) = delete;
+
+  /// Enqueues \p Value, spinning while the queue is full. Producer-only.
+  void produce(T Value) {
+    Backoff B;
+    while (!tryProduce(Value))
+      B.pause();
+  }
+
+  /// Attempts to enqueue \p Value; returns false if the queue is full.
+  bool tryProduce(const T &Value) {
+    const std::size_t Head = HeadCursor.load(std::memory_order_relaxed);
+    if (Head - CachedTail > Mask) {
+      CachedTail = TailCursor.load(std::memory_order_acquire);
+      if (Head - CachedTail > Mask)
+        return false;
+    }
+    Ring[Head & Mask] = Value;
+    HeadCursor.store(Head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues one element, spinning while the queue is empty. Consumer-only.
+  T consume() {
+    T Value;
+    Backoff B;
+    while (!tryConsume(Value))
+      B.pause();
+    return Value;
+  }
+
+  /// Attempts to dequeue into \p Out; returns false if the queue is empty.
+  bool tryConsume(T &Out) {
+    const std::size_t Tail = TailCursor.load(std::memory_order_relaxed);
+    if (Tail == CachedHead) {
+      CachedHead = HeadCursor.load(std::memory_order_acquire);
+      if (Tail == CachedHead)
+        return false;
+    }
+    Out = Ring[Tail & Mask];
+    TailCursor.store(Tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Returns true if the queue appears empty. Only a hint under concurrency.
+  bool empty() const {
+    return TailCursor.load(std::memory_order_acquire) ==
+           HeadCursor.load(std::memory_order_acquire);
+  }
+
+  /// Returns the number of queued elements. Only a hint under concurrency.
+  std::size_t size() const {
+    return HeadCursor.load(std::memory_order_acquire) -
+           TailCursor.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return Mask + 1; }
+
+  /// Architectural pause for spin loops; keeps hyperthread siblings honest.
+  static void spinPause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+private:
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  const std::size_t Mask;
+  std::vector<T> Ring;
+
+  alignas(CacheLineBytes) std::atomic<std::size_t> HeadCursor{0};
+  // Producer-local cache of the consumer cursor (same line as producer data).
+  std::size_t CachedTail = 0;
+
+  alignas(CacheLineBytes) std::atomic<std::size_t> TailCursor{0};
+  // Consumer-local cache of the producer cursor.
+  std::size_t CachedHead = 0;
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_SPSCQUEUE_H

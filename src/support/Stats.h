@@ -1,0 +1,66 @@
+//===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean/geomean/min helpers used when the benchmark harness aggregates
+/// speedups. The dissertation reports geomean speedups (2.1x, 3.2x, 4.6x,
+/// 1.3x); the same aggregation is used here so EXPERIMENTS.md numbers are
+/// directly comparable in kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_STATS_H
+#define CIP_SUPPORT_STATS_H
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cip {
+
+/// Arithmetic mean; returns 0 for an empty sample.
+inline double mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+/// Geometric mean; every sample must be strictly positive.
+inline double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs) {
+    assert(X > 0.0 && "geomean requires positive samples");
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+/// Minimum of a non-empty sample.
+inline double minOf(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "min of empty sample");
+  return *std::min_element(Xs.begin(), Xs.end());
+}
+
+/// Median of a non-empty sample (copies; fine for harness-sized vectors).
+inline double median(std::vector<double> Xs) {
+  assert(!Xs.empty() && "median of empty sample");
+  std::sort(Xs.begin(), Xs.end());
+  const std::size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_STATS_H

@@ -1,0 +1,76 @@
+//===- support/ThreadGroup.h - Fork/join thread helpers --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork/join helper that spawns N indexed threads and joins them on scope
+/// exit. All parallel executors in `src/harness`, the DOMORE runtime engine,
+/// and the SPECCROSS runtime use this instead of raw std::thread so that
+/// thread ids are dense [0, N) integers, matching the `tid` indices that the
+/// paper's shadow memory, status arrays, and signature logs are keyed by.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_THREADGROUP_H
+#define CIP_SUPPORT_THREADGROUP_H
+
+#include "support/Compiler.h"
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cip {
+
+/// Runs \p Body(tid) on \p NumThreads freshly spawned threads and joins them
+/// all before returning. Thread 0 is a spawned thread too (the caller only
+/// coordinates), which keeps per-thread state symmetric.
+template <typename Callable>
+void runThreads(unsigned NumThreads, Callable &&Body) {
+  assert(NumThreads > 0 && "need at least one thread");
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned Tid = 0; Tid < NumThreads; ++Tid)
+    Threads.emplace_back([&Body, Tid] { Body(Tid); });
+  for (auto &T : Threads)
+    T.join();
+}
+
+/// A joinable group of indexed threads for cases where spawn and join must
+/// be separated (e.g., the SPECCROSS checker thread outlives the workers of
+/// a single speculative region attempt).
+class ThreadGroup {
+public:
+  ThreadGroup() = default;
+  ~ThreadGroup() { joinAll(); }
+
+  ThreadGroup(const ThreadGroup &) = delete;
+  ThreadGroup &operator=(const ThreadGroup &) = delete;
+
+  /// Spawns one thread running \p Body(tid) where tid is the spawn index.
+  template <typename Callable> void spawn(Callable &&Body) {
+    const unsigned Tid = static_cast<unsigned>(Threads.size());
+    Threads.emplace_back(
+        [Fn = std::forward<Callable>(Body), Tid]() mutable { Fn(Tid); });
+  }
+
+  /// Joins every spawned thread. Idempotent.
+  void joinAll() {
+    for (auto &T : Threads)
+      if (T.joinable())
+        T.join();
+    Threads.clear();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+private:
+  std::vector<std::thread> Threads;
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_THREADGROUP_H

@@ -1,0 +1,58 @@
+//===- support/Timer.h - Monotonic wall-clock timing -----------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing helpers used by the benchmark harness. All speedup
+/// numbers reported by the `bench/` binaries are ratios of wall-clock times
+/// measured with these helpers, matching how the dissertation reports "loop
+/// speedup over best sequential execution".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_TIMER_H
+#define CIP_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace cip {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/stop stopwatch accumulating elapsed nanoseconds.
+class Stopwatch {
+public:
+  void start() { StartNs = nowNanos(); }
+
+  /// Stops the watch and adds the interval since start() to the total.
+  void stop() { TotalNs += nowNanos() - StartNs; }
+
+  void reset() { TotalNs = 0; }
+
+  std::uint64_t elapsedNanos() const { return TotalNs; }
+  double elapsedSeconds() const { return static_cast<double>(TotalNs) * 1e-9; }
+
+private:
+  std::uint64_t StartNs = 0;
+  std::uint64_t TotalNs = 0;
+};
+
+/// Times a single call of \p Fn and returns elapsed seconds.
+template <typename Callable> double timeSeconds(Callable &&Fn) {
+  const std::uint64_t Begin = nowNanos();
+  Fn();
+  return static_cast<double>(nowNanos() - Begin) * 1e-9;
+}
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_TIMER_H

@@ -1,0 +1,64 @@
+//===- support/VectorFifo.h - Allocation-stable FIFO -----------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-threaded FIFO over a recycled std::vector. The SPECCROSS
+/// checker buffers deferred checking requests in per-worker pending lists;
+/// std::deque churns a heap block every few elements under the steady
+/// push/pop pattern, which on this machine degenerates into heap-trim
+/// syscalls costing ~16us per element (measured). This FIFO never releases
+/// capacity in steady state: pops advance a head index, and fully-drained
+/// or mostly-drained storage is compacted in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_VECTORFIFO_H
+#define CIP_SUPPORT_VECTORFIFO_H
+
+#include "support/Compiler.h"
+
+#include <utility>
+#include <vector>
+
+namespace cip {
+
+/// See file comment.
+template <typename T> class VectorFifo {
+public:
+  bool empty() const { return Head == Items.size(); }
+  std::size_t size() const { return Items.size() - Head; }
+
+  void push(T Value) { Items.push_back(std::move(Value)); }
+
+  T &front() {
+    assert(!empty() && "front() of empty fifo");
+    return Items[Head];
+  }
+
+  void pop() {
+    assert(!empty() && "pop() of empty fifo");
+    ++Head;
+    if (Head == Items.size()) {
+      // Fully drained: recycle the storage without releasing it.
+      Items.clear();
+      Head = 0;
+    } else if (Head >= CompactionThreshold && Head * 2 >= Items.size()) {
+      Items.erase(Items.begin(),
+                  Items.begin() + static_cast<std::ptrdiff_t>(Head));
+      Head = 0;
+    }
+  }
+
+private:
+  static constexpr std::size_t CompactionThreshold = 1024;
+
+  std::vector<T> Items;
+  std::size_t Head = 0;
+};
+
+} // namespace cip
+
+#endif // CIP_SUPPORT_VECTORFIFO_H

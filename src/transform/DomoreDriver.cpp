@@ -1,0 +1,181 @@
+//===- transform/DomoreDriver.cpp - Execute MTCG output ------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DomoreDriver.h"
+
+#include "support/Backoff.h"
+#include "support/ThreadGroup.h"
+
+#include <mutex>
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::ir;
+
+DomoreIROracle::DomoreIROracle(std::uint32_t NumWorkers,
+                               std::size_t QueueCapacity)
+    : NumWorkers(NumWorkers), Done(NumWorkers), Current(NumWorkers) {
+  assert(NumWorkers > 0 && "need at least one worker");
+  for (std::uint32_t W = 0; W < NumWorkers; ++W)
+    Queues.push_back(std::make_unique<SPSCQueue<Msg>>(QueueCapacity));
+}
+
+DomoreIROracle::~DomoreIROracle() = default;
+
+std::int64_t DomoreIROracle::nextIter() {
+  return static_cast<std::int64_t>(NextIter++);
+}
+
+std::int64_t DomoreIROracle::pick(std::int64_t Iter) const {
+  return Iter % NumWorkers; // round-robin (§3.3.3 default)
+}
+
+void DomoreIROracle::access(std::int64_t Tid, std::int64_t Iter,
+                            std::int64_t ArrayId, std::int64_t Index) {
+  assert(Tid >= 0 && static_cast<std::uint32_t>(Tid) < NumWorkers);
+  const std::uint64_t Addr = (static_cast<std::uint64_t>(ArrayId) << 40) |
+                             static_cast<std::uint64_t>(Index);
+  const domore::ShadowEntry Prev = Shadow.lookup(Addr);
+  if (Prev.valid() && Prev.Tid != static_cast<std::uint32_t>(Tid)) {
+    Msg M;
+    M.Kind = Msg::Sync;
+    M.A = (static_cast<std::int64_t>(Prev.Tid) << 32) | (Prev.Iter + 1);
+    Queues[static_cast<std::size_t>(Tid)]->produce(M);
+    ++SyncConds;
+  }
+  Shadow.update(Addr, static_cast<std::uint32_t>(Tid), Iter);
+}
+
+void DomoreIROracle::emitWork(std::int64_t Tid, std::int64_t Iter,
+                              std::vector<std::int64_t> LiveIns) {
+  assert(Tid >= 0 && static_cast<std::uint32_t>(Tid) < NumWorkers);
+  Msg M;
+  M.Kind = Msg::Work;
+  M.A = Iter;
+  M.LiveIns = std::move(LiveIns);
+  Queues[static_cast<std::size_t>(Tid)]->produce(M);
+}
+
+void DomoreIROracle::emitEnd() {
+  Msg M;
+  M.Kind = Msg::End;
+  for (auto &Q : Queues)
+    Q->produce(M);
+}
+
+std::int64_t DomoreIROracle::fetch(std::int64_t Tid) {
+  assert(Tid >= 0 && static_cast<std::uint32_t>(Tid) < NumWorkers);
+  auto &Q = *Queues[static_cast<std::size_t>(Tid)];
+  while (true) {
+    Msg M = Q.consume();
+    if (M.Kind == Msg::Sync) {
+      const std::uint32_t DepTid = static_cast<std::uint32_t>(M.A >> 32);
+      const std::int64_t DepIter = (M.A & 0xffffffff) - 1;
+      assert(DepTid != static_cast<std::uint32_t>(Tid) &&
+             "self-synchronization");
+      Backoff B;
+      while (Done[DepTid].LatestFinished.load(std::memory_order_acquire) <
+             DepIter)
+        B.pause();
+      continue;
+    }
+    Current[static_cast<std::size_t>(Tid)] = std::move(M);
+    return Current[static_cast<std::size_t>(Tid)].Kind;
+  }
+}
+
+std::int64_t DomoreIROracle::workIter(std::int64_t Tid) const {
+  return Current[static_cast<std::size_t>(Tid)].A;
+}
+
+std::int64_t DomoreIROracle::liveIn(std::int64_t Tid, std::int64_t K) const {
+  const auto &M = Current[static_cast<std::size_t>(Tid)];
+  assert(K >= 0 && static_cast<std::size_t>(K) < M.LiveIns.size() &&
+         "live-in index out of range");
+  return M.LiveIns[static_cast<std::size_t>(K)];
+}
+
+void DomoreIROracle::finished(std::int64_t Tid, std::int64_t Iter) {
+  Done[static_cast<std::size_t>(Tid)].LatestFinished.store(
+      Iter, std::memory_order_release);
+}
+
+void DomoreIROracle::registerNatives(InterpOptions &Options) {
+  auto &N = Options.Natives;
+  N["cip.domore.next_iter"] = [this](const std::vector<std::int64_t> &) {
+    return nextIter();
+  };
+  N["cip.domore.pick"] = [this](const std::vector<std::int64_t> &A) {
+    return pick(A.at(0));
+  };
+  N["cip.domore.access"] = [this](const std::vector<std::int64_t> &A) {
+    access(A.at(0), A.at(1), A.at(2), A.at(3));
+    return 0;
+  };
+  N["cip.domore.emit_work"] = [this](const std::vector<std::int64_t> &A) {
+    emitWork(A.at(0), A.at(1),
+             std::vector<std::int64_t>(A.begin() + 2, A.end()));
+    return 0;
+  };
+  N["cip.domore.emit_end"] = [this](const std::vector<std::int64_t> &) {
+    emitEnd();
+    return 0;
+  };
+  N["cip.domore.fetch"] = [this](const std::vector<std::int64_t> &A) {
+    return fetch(A.at(0));
+  };
+  N["cip.domore.work_iter"] = [this](const std::vector<std::int64_t> &A) {
+    return workIter(A.at(0));
+  };
+  N["cip.domore.live_in"] = [this](const std::vector<std::int64_t> &A) {
+    return liveIn(A.at(0), A.at(1));
+  };
+  N["cip.domore.finished"] = [this](const std::vector<std::int64_t> &A) {
+    finished(A.at(0), A.at(1));
+    return 0;
+  };
+}
+
+DomorePairResult transform::runDomorePair(
+    const Function &Scheduler, const Function &Worker,
+    const std::vector<std::int64_t> &Args, MemoryState &Mem,
+    std::uint32_t NumWorkers,
+    const std::unordered_map<
+        std::string,
+        std::function<std::int64_t(const std::vector<std::int64_t> &)>>
+        &ExtraNatives) {
+  DomoreIROracle Oracle(NumWorkers);
+  InterpOptions Options;
+  Options.Natives = ExtraNatives;
+  Oracle.registerNatives(Options);
+
+  DomorePairResult R;
+  std::mutex ErrorLock;
+  auto NoteFailure = [&](const InterpResult &IR) {
+    std::lock_guard<std::mutex> Guard(ErrorLock);
+    if (R.Error.empty())
+      R.Error = IR.Error.empty() ? "interpreter did not complete" : IR.Error;
+  };
+
+  runThreads(NumWorkers + 1, [&](unsigned Idx) {
+    if (Idx == NumWorkers) {
+      const InterpResult IR = interpret(Scheduler, Args, Mem, Options);
+      if (!IR.Completed)
+        NoteFailure(IR);
+      return;
+    }
+    std::vector<std::int64_t> WArgs = Args;
+    WArgs.push_back(static_cast<std::int64_t>(Idx));
+    const InterpResult IR = interpret(Worker, WArgs, Mem, Options);
+    if (!IR.Completed)
+      NoteFailure(IR);
+  });
+
+  R.Completed = R.Error.empty();
+  R.Iterations = Oracle.iterationsScheduled();
+  R.SyncConditions = Oracle.syncConditions();
+  return R;
+}

@@ -1,0 +1,105 @@
+//===- transform/DomoreDriver.h - Execute MTCG output ----------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime backing for the cip.domore.* natives that MTCG-generated code
+/// calls, plus a driver that runs a scheduler/worker function pair on real
+/// threads via the interpreter. The oracle is the IR-facing face of the
+/// DOMORE runtime engine: the same shadow-memory conflict detection,
+/// per-worker message queues, and latestFinished progress array as
+/// src/domore, addressed through native calls instead of C++ templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_DOMOREDRIVER_H
+#define CIP_TRANSFORM_DOMOREDRIVER_H
+
+#include "domore/ShadowMemory.h"
+#include "ir/Interp.h"
+#include "support/Compiler.h"
+#include "support/SPSCQueue.h"
+
+#include <atomic>
+#include <memory>
+
+namespace cip {
+namespace transform {
+
+/// Shared state behind the cip.domore.* natives. One oracle drives one
+/// scheduler plus NumWorkers workers.
+class DomoreIROracle {
+public:
+  explicit DomoreIROracle(std::uint32_t NumWorkers,
+                          std::size_t QueueCapacity = 4096);
+  ~DomoreIROracle();
+
+  std::uint32_t numWorkers() const { return NumWorkers; }
+
+  /// Installs the natives into \p Options (shared by scheduler and
+  /// workers).
+  void registerNatives(ir::InterpOptions &Options);
+
+  /// Statistics mirrored from the runtime engine.
+  std::uint64_t iterationsScheduled() const { return NextIter; }
+  std::uint64_t syncConditions() const { return SyncConds; }
+
+private:
+  struct Msg {
+    enum KindTy : std::int64_t { Sync = 0, Work = 1, End = 2 };
+    std::int64_t Kind = End;
+    std::int64_t A = 0; // Sync: packed dep; Work: iteration number
+    std::vector<std::int64_t> LiveIns;
+  };
+
+  struct alignas(CacheLineBytes) Progress {
+    std::atomic<std::int64_t> LatestFinished{-1};
+  };
+
+  std::int64_t nextIter();
+  std::int64_t pick(std::int64_t Iter) const;
+  void access(std::int64_t Tid, std::int64_t Iter, std::int64_t ArrayId,
+              std::int64_t Index);
+  void emitWork(std::int64_t Tid, std::int64_t Iter,
+                std::vector<std::int64_t> LiveIns);
+  void emitEnd();
+  std::int64_t fetch(std::int64_t Tid);
+  std::int64_t workIter(std::int64_t Tid) const;
+  std::int64_t liveIn(std::int64_t Tid, std::int64_t K) const;
+  void finished(std::int64_t Tid, std::int64_t Iter);
+
+  const std::uint32_t NumWorkers;
+  domore::HashShadowMemory Shadow;
+  std::vector<std::unique_ptr<SPSCQueue<Msg>>> Queues;
+  std::vector<Progress> Done;
+  std::vector<Msg> Current; // per-worker active WORK message
+  std::uint64_t NextIter = 0;
+  std::uint64_t SyncConds = 0;
+};
+
+/// Result of a parallel scheduler/worker run.
+struct DomorePairResult {
+  bool Completed = false;
+  std::string Error;
+  std::uint64_t Iterations = 0;
+  std::uint64_t SyncConditions = 0;
+};
+
+/// Interprets \p Scheduler (with \p Args) on one thread and \p NumWorkers
+/// instances of \p Worker (with \p Args plus the tid) concurrently against
+/// the shared \p Mem. \p ExtraNatives are available to all threads.
+DomorePairResult runDomorePair(
+    const ir::Function &Scheduler, const ir::Function &Worker,
+    const std::vector<std::int64_t> &Args, ir::MemoryState &Mem,
+    std::uint32_t NumWorkers,
+    const std::unordered_map<
+        std::string,
+        std::function<std::int64_t(const std::vector<std::int64_t> &)>>
+        &ExtraNatives = {});
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_DOMOREDRIVER_H

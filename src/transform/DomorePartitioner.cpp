@@ -1,0 +1,82 @@
+//===- transform/DomorePartitioner.cpp - Scheduler/worker split ----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DomorePartitioner.h"
+
+#include "analysis/IndexExpr.h"
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+Partition transform::partitionDomore(const PDG &G, const DagScc &Dag,
+                                     const Loop &Outer, const Loop &Inner,
+                                     const CFG &Cfg) {
+  assert(Outer.contains(&Inner) && "inner loop must nest in outer loop");
+
+  // Initial split: outer-loop code and the inner loop's traversal
+  // instructions (induction phi/update and the exit test chain in the
+  // header) are scheduler; the rest of the inner-loop body is worker.
+  const auto InnerIV = findInductionVar(Inner, Cfg);
+  std::unordered_set<const Instruction *> Traversal;
+  if (InnerIV) {
+    Traversal.insert(InnerIV->Phi);
+    // The update instruction: the phi's in-loop incoming value.
+    for (unsigned I = 0; I < InnerIV->Phi->numOperands(); ++I)
+      if (Inner.contains(InnerIV->Phi->incomingBlock(I)))
+        if (const auto *Upd =
+                dyn_cast<Instruction>(InnerIV->Phi->operand(I)))
+          Traversal.insert(Upd);
+  }
+  // Branches of the inner loop (header exit test, latch) traverse the loop.
+  for (const Instruction *I : G.nodes()) {
+    if (!Inner.contains(I->parent()))
+      continue;
+    if (I->isBranch()) {
+      Traversal.insert(I);
+      // And the compare feeding a conditional branch.
+      if (I->opcode() == Opcode::CondBr)
+        if (const auto *Cmp = dyn_cast<Instruction>(I->operand(0)))
+          if (Inner.contains(Cmp->parent()))
+            Traversal.insert(Cmp);
+    }
+  }
+
+  // Seed per-SCC assignment: true = scheduler.
+  const unsigned N = Dag.numComponents();
+  std::vector<bool> SchedulerScc(N, false);
+  for (const Instruction *I : G.nodes()) {
+    const bool InInnerBody =
+        Inner.contains(I->parent()) && !Traversal.count(I);
+    if (!InInnerBody)
+      SchedulerScc[Dag.componentOf(I)] = true; // rule (1) by construction
+  }
+
+  // Rule (2): a worker SCC with an edge into a scheduler SCC must become
+  // scheduler, so all cross-partition dependences flow one way. Iterate to
+  // convergence.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Src, Dst] : Dag.edges()) {
+      if (!SchedulerScc[Src] && SchedulerScc[Dst]) {
+        SchedulerScc[Src] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  Partition P;
+  for (const Instruction *I : G.nodes()) {
+    if (SchedulerScc[Dag.componentOf(I)])
+      P.Scheduler.insert(I);
+    else
+      P.Worker.insert(I);
+  }
+  return P;
+}

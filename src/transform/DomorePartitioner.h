@@ -1,0 +1,55 @@
+//===- transform/DomorePartitioner.h - Scheduler/worker split --*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DOMORE partitioning phase (§3.3.1): splits the instructions of a
+/// two-level loop nest into a *scheduler* partition (the outer-loop
+/// sequential code plus the inner loop's traversal instructions) and a
+/// *worker* partition (the inner-loop body), then repairs the split at
+/// DAG-SCC granularity so all dependences flow scheduler -> worker in a
+/// pipeline:
+///   (1) an SCC containing any scheduler instruction goes entirely to the
+///       scheduler;
+///   (2) a worker SCC with an edge back into a scheduler SCC moves to the
+///       scheduler; repeat (2) until convergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_DOMOREPARTITIONER_H
+#define CIP_TRANSFORM_DOMOREPARTITIONER_H
+
+#include "analysis/PDG.h"
+#include "analysis/SCC.h"
+
+#include <unordered_set>
+
+namespace cip {
+namespace transform {
+
+/// The scheduler/worker split.
+struct Partition {
+  std::unordered_set<const ir::Instruction *> Scheduler;
+  std::unordered_set<const ir::Instruction *> Worker;
+
+  bool inScheduler(const ir::Instruction *I) const {
+    return Scheduler.count(I) != 0;
+  }
+  bool inWorker(const ir::Instruction *I) const {
+    return Worker.count(I) != 0;
+  }
+};
+
+/// Computes the converged partition for the nest (\p Outer, \p Inner) whose
+/// outer-scope PDG is \p G with condensation \p Dag. \p Cfg describes the
+/// enclosing function.
+Partition partitionDomore(const analysis::PDG &G, const analysis::DagScc &Dag,
+                          const ir::Loop &Outer, const ir::Loop &Inner,
+                          const ir::CFG &Cfg);
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_DOMOREPARTITIONER_H

@@ -1,0 +1,205 @@
+//===- transform/MTCG.cpp - Multi-threaded code generation ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/MTCG.h"
+
+#include "ir/Casting.h"
+#include "ir/IRBuilder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::ir;
+
+namespace {
+
+/// Builds a Call instruction shell (not yet inserted).
+std::unique_ptr<Instruction> makeCall(const std::string &Callee,
+                                      std::string Name,
+                                      std::vector<Value *> Operands) {
+  auto I = std::make_unique<Instruction>(Opcode::Call, std::move(Name),
+                                         std::move(Operands));
+  I->setCalleeName(Callee);
+  return I;
+}
+
+/// Index of \p A within the module's array table (the runtime's array id).
+std::int64_t arrayIdOf(const Module &M, const GlobalArray *A) {
+  const auto &Arrays = M.arrays();
+  for (std::size_t I = 0; I < Arrays.size(); ++I)
+    if (Arrays[I].get() == A)
+      return static_cast<std::int64_t>(I);
+  CIP_UNREACHABLE("array not owned by this module");
+}
+
+} // namespace
+
+MTCGResult transform::generateDomorePair(Module &M, const Function &F,
+                                         const Loop &Outer, const Loop &Inner,
+                                         const Partition &P,
+                                         const SliceResult &S) {
+  MTCGResult R;
+
+  // The communicated worker partition: address computations stay in the
+  // scheduler (their results are forwarded, like &C[j] in Fig 3.7).
+  std::unordered_set<const Instruction *> WorkerSet;
+  for (const Instruction *I : P.Worker)
+    if (!S.Slice.count(I))
+      WorkerSet.insert(I);
+  if (WorkerSet.empty()) {
+    R.Reason = "empty worker partition";
+    return R;
+  }
+
+  // Precondition checks (the canonical-shape guards).
+  const BasicBlock *WB = nullptr;
+  for (const Instruction *I : WorkerSet) {
+    if (!Inner.contains(I->parent())) {
+      R.Reason = "worker instruction outside the inner loop";
+      return R;
+    }
+    if (I->isTerminator() || I->isBranch() || I->opcode() == Opcode::Phi) {
+      R.Reason = "worker partition contains control flow";
+      return R;
+    }
+    if (!WB)
+      WB = I->parent();
+    else if (WB != I->parent()) {
+      R.Reason = "worker partition spans multiple blocks";
+      return R;
+    }
+  }
+
+  // Program-ordered worker instructions and live-ins.
+  std::vector<const Instruction *> WorkerInsts;
+  for (const auto &I : WB->instructions())
+    if (WorkerSet.count(I.get()))
+      WorkerInsts.push_back(I.get());
+  std::vector<const Instruction *> LiveIns;
+  std::unordered_map<const Instruction *, unsigned> LiveInIndex;
+  for (const Instruction *I : WorkerInsts)
+    for (const Value *Op : I->operands()) {
+      const auto *Def = dyn_cast<Instruction>(Op);
+      if (!Def || WorkerSet.count(Def) || LiveInIndex.count(Def))
+        continue;
+      LiveInIndex[Def] = static_cast<unsigned>(LiveIns.size());
+      LiveIns.push_back(Def);
+    }
+  R.LiveIns = LiveIns;
+  R.TrackedAccesses = S.TrackedAccesses;
+
+  //===--------------------------------------------------------------------===
+  // Scheduler function: clone, delete the worker partition, insert the
+  // runtime calls where the worker body used to be.
+  //===--------------------------------------------------------------------===
+  CloneMap Map;
+  Function *Sched = cloneFunction(M, F, F.name() + ".scheduler", Map);
+
+  BasicBlock *CWB = Map.block(WB);
+  // Erase worker clones back-to-front so positions stay valid; remember
+  // where the last worker instruction stood.
+  std::vector<std::size_t> Positions;
+  for (const Instruction *I : WorkerInsts)
+    Positions.push_back(WB->positionOf(I));
+  std::sort(Positions.begin(), Positions.end());
+  const std::size_t InsertPos =
+      Positions.back() - (Positions.size() - 1);
+  for (auto It = Positions.rbegin(); It != Positions.rend(); ++It)
+    CWB->erase(*It);
+
+#ifndef NDEBUG
+  // Post-convergence invariant: nothing left in the scheduler uses a
+  // deleted worker value.
+  for (const auto &BB : Sched->blocks())
+    for (const auto &I : BB->instructions())
+      for (const Value *Op : I->operands())
+        for (const Instruction *W : WorkerInsts)
+          assert(Op != Map.Values.at(W) && "scheduler uses a worker value");
+#endif
+
+  std::size_t Pos = InsertPos;
+  Instruction *Ts = CWB->insert(
+      Pos++, makeCall("cip.domore.next_iter", "ts", {}));
+  Instruction *Tid =
+      CWB->insert(Pos++, makeCall("cip.domore.pick", "tid", {Ts}));
+  for (const Instruction *A : S.TrackedAccesses) {
+    const auto *Arr = cast<GlobalArray>(A->operand(0));
+    Value *Idx = Map.value(A->operand(1));
+    CWB->insert(Pos++,
+                makeCall("cip.domore.access", "",
+                         {Tid, Ts, M.getConstant(arrayIdOf(M, Arr)), Idx}));
+  }
+  std::vector<Value *> WorkOps = {Tid, Ts};
+  for (const Instruction *L : LiveIns)
+    WorkOps.push_back(Map.value(L));
+  CWB->insert(Pos++, makeCall("cip.domore.emit_work", "", WorkOps));
+
+  // Broadcast END_TOKEN before returning (§3.3.2 rule 5).
+  for (const auto &BB : Sched->blocks()) {
+    Instruction *Term = BB->terminator();
+    if (Term && Term->opcode() == Opcode::Ret)
+      BB->insert(BB->size() - 1, makeCall("cip.domore.emit_end", "", {}));
+  }
+  R.SchedulerFn = Sched;
+
+  //===--------------------------------------------------------------------===
+  // Worker function: the consume-dispatch skeleton around the cloned body.
+  //===--------------------------------------------------------------------===
+  Function *Work = M.createFunction(F.name() + ".worker", F.numArgs() + 1);
+  Value *TidArg = Work->arg(F.numArgs());
+  Work->arg(F.numArgs())->setName("tid");
+
+  BasicBlock *Entry = Work->createBlock("entry");
+  BasicBlock *LoopBB = Work->createBlock("loop");
+  BasicBlock *WorkBB = Work->createBlock("work");
+  BasicBlock *ExitBB = Work->createBlock("exit");
+
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(LoopBB);
+
+  B.setInsertPoint(LoopBB);
+  // fetch() consumes from this worker's queue; synchronization conditions
+  // are honored inside the runtime (wait on latestFinished), so the IR only
+  // distinguishes WORK (1) from END (2).
+  Instruction *Kind = B.call("cip.domore.fetch", {TidArg}, "kind");
+  Instruction *IsEnd = B.cmp(Opcode::CmpEQ, Kind, B.constant(2), "is.end");
+  B.condBr(IsEnd, ExitBB, WorkBB);
+
+  B.setInsertPoint(WorkBB);
+  Instruction *WTs = B.call("cip.domore.work_iter", {TidArg}, "ts");
+  std::unordered_map<const Value *, Value *> WMap;
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    WMap[F.arg(I)] = Work->arg(I);
+  for (unsigned K = 0; K < LiveIns.size(); ++K)
+    WMap[LiveIns[K]] =
+        B.call("cip.domore.live_in", {TidArg, B.constant(K)},
+               "li" + std::to_string(K));
+  for (const Instruction *I : WorkerInsts) {
+    std::vector<Value *> Ops;
+    for (Value *Op : I->operands()) {
+      auto It = WMap.find(Op);
+      Ops.push_back(It == WMap.end() ? Op : It->second);
+    }
+    auto NI = std::make_unique<Instruction>(I->opcode(), I->name(),
+                                            std::move(Ops));
+    NI->setCalleeName(I->calleeName());
+    WMap[I] = WorkBB->append(std::move(NI));
+  }
+  B.setInsertPoint(WorkBB);
+  B.call("cip.domore.finished", {TidArg, WTs}, "");
+  B.br(LoopBB);
+
+  B.setInsertPoint(ExitBB);
+  B.ret(B.constant(0));
+
+  R.WorkerFn = Work;
+  R.Feasible = true;
+  R.Reason = "ok";
+  return R;
+}

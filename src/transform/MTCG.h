@@ -1,0 +1,65 @@
+//===- transform/MTCG.h - Multi-threaded code generation -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DOMORE's multi-threaded code generation (§3.3.2, Fig 3.7): materializes
+/// a *scheduler* function and a *worker* function from a partitioned
+/// two-level loop nest.
+///
+/// The scheduler function is the original nest with the worker partition
+/// deleted; in its place the generator inserts the iteration timestamp,
+/// the scheduling decision, the computeAddr-driven conflict detection, and
+/// the work-message emission — all as calls into the DOMORE runtime
+/// (cip.domore.* natives backed by src/domore's shadow memory and progress
+/// array; see transform/DomoreDriver.h). The worker function is the
+/// consume-dispatch loop: fetch a message, wait out synchronization
+/// conditions, run the cloned inner-loop body against consumed live-ins,
+/// publish completion.
+///
+/// This implements the effect of the paper's five MTCG rules for the
+/// canonical nest shape the DOMORE pipeline targets (all worker-partition
+/// instructions in one inner-loop block, no worker-side control flow); the
+/// generator verifies the preconditions and reports infeasibility
+/// otherwise, mirroring the paper's transformation guards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_MTCG_H
+#define CIP_TRANSFORM_MTCG_H
+
+#include "ir/Cloning.h"
+#include "ir/LoopInfo.h"
+#include "transform/DomorePartitioner.h"
+#include "transform/Slicer.h"
+
+namespace cip {
+namespace transform {
+
+/// Output of the DOMORE code generator.
+struct MTCGResult {
+  bool Feasible = false;
+  std::string Reason;
+  ir::Function *SchedulerFn = nullptr;
+  ir::Function *WorkerFn = nullptr;
+  /// Scheduler-side values forwarded to the worker per iteration, in the
+  /// order they are produced/consumed (original-function instructions).
+  std::vector<const ir::Instruction *> LiveIns;
+  /// Tracked accesses whose addresses the scheduler precomputes.
+  std::vector<const ir::Instruction *> TrackedAccesses;
+};
+
+/// Generates the scheduler/worker pair for \p F's nest (\p Outer, \p Inner)
+/// under \p P and \p S. New functions are created inside \p M with names
+/// "<F>.scheduler" and "<F>.worker"; the worker takes one extra trailing
+/// argument, its thread id.
+MTCGResult generateDomorePair(ir::Module &M, const ir::Function &F,
+                              const ir::Loop &Outer, const ir::Loop &Inner,
+                              const Partition &P, const SliceResult &S);
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_MTCG_H

@@ -1,0 +1,57 @@
+//===- transform/Parallelizer.cpp - Loop parallelization planning --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Parallelizer.h"
+
+#include "analysis/IndexExpr.h"
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+PlanResult transform::planLoop(const PDG &G, const CFG &Cfg) {
+  const Loop &L = G.scope();
+  const auto IV = findInductionVar(L, Cfg);
+
+  bool SawMayDep = false;
+  for (const DepEdge &E : G.edges()) {
+    if (!E.LoopCarried)
+      continue;
+    switch (E.Kind) {
+    case DepKind::Register:
+      // The only tolerable carried register dependence is the induction
+      // update feeding its own phi.
+      if (IV && E.Dst == IV->Phi)
+        continue;
+      return {LoopPlan::None, "carried register dependence into '" +
+                                  E.Dst->name() + "'"};
+    case DepKind::Control:
+      // The loop's own exit test re-controls the body each iteration.
+      if (E.Src->parent() == L.header() || E.Src->isBranch())
+        continue;
+      return {LoopPlan::None, "carried control dependence"};
+    case DepKind::Memory: {
+      // Distinguish provable carried dependences from unprovable may-deps:
+      // re-run the index test to see which case produced this edge.
+      SawMayDep = true;
+      const IndexExpr SrcIdx =
+          IV ? analyzeIndex(E.Src->operand(1), L, *IV) : IndexExpr::invalid();
+      const IndexExpr DstIdx =
+          IV ? analyzeIndex(E.Dst->operand(1), L, *IV) : IndexExpr::invalid();
+      if (testDependence(SrcIdx, DstIdx) == DepTest::Carried)
+        return {LoopPlan::None, "provably carried memory dependence from '" +
+                                    E.Src->name() + "' to '" + E.Dst->name() +
+                                    "'"};
+      continue; // a May dependence: speculation candidate
+    }
+    }
+  }
+  if (SawMayDep)
+    return {LoopPlan::SpecDoall,
+            "carried memory dependences are unprovable may-deps only"};
+  return {LoopPlan::Doall, "no carried dependences beyond the induction"};
+}

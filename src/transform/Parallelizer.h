@@ -1,0 +1,49 @@
+//===- transform/Parallelizer.h - Loop parallelization planning -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applicability tests for the intra-invocation parallelization plans of
+/// Ch. 2: DOALL (no loop-carried dependences beyond the induction update
+/// and exit test), Spec-DOALL (the only carried memory dependences are
+/// unprovable may-dependences worth speculating), and None. These drive
+/// both the Table 5.1 "parallelization plan" decisions and the SPECCROSS
+/// region detector's inner-loop check (§4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_PARALLELIZER_H
+#define CIP_TRANSFORM_PARALLELIZER_H
+
+#include "analysis/PDG.h"
+
+#include <string>
+
+namespace cip {
+namespace transform {
+
+/// Inner-loop plan kinds.
+enum class LoopPlan {
+  Doall,     // provably independent iterations
+  SpecDoall, // only unprovable may-dependences are carried
+  None,      // provable carried dependence: needs DOACROSS/DSWP/DOMORE
+};
+
+/// A plan decision plus the reason, for diagnostics and tests.
+struct PlanResult {
+  LoopPlan Plan = LoopPlan::None;
+  std::string Reason;
+};
+
+/// Classifies the loop underlying \p G (the PDG's scope).
+/// Carried register dependences are tolerated only for the canonical
+/// induction variable; carried control dependences only for the loop's own
+/// exit test.
+PlanResult planLoop(const analysis::PDG &G, const ir::CFG &Cfg);
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_PARALLELIZER_H

@@ -1,0 +1,113 @@
+//===- transform/Slicer.cpp - computeAddr slice extraction ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Slicer.h"
+
+#include "ir/Casting.h"
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+SliceResult transform::sliceComputeAddr(const PDG &G, const Partition &P,
+                                        double MaxWeightRatio) {
+  SliceResult R;
+
+  // The accesses to track: worker memory instructions on either end of a
+  // carried or cross-invocation memory dependence.
+  std::unordered_set<const Instruction *> Tracked;
+  for (const DepEdge &E : G.edges()) {
+    if (E.Kind != DepKind::Memory || !(E.LoopCarried || E.CrossInvocation))
+      continue;
+    for (const Instruction *End : {E.Src, E.Dst})
+      if (P.inWorker(End))
+        Tracked.insert(End);
+  }
+  for (const Instruction *I : G.nodes())
+    if (Tracked.count(I))
+      R.TrackedAccesses.push_back(I);
+  if (R.TrackedAccesses.empty()) {
+    R.Feasible = true;
+    R.Reason = "no carried memory dependences: empty computeAddr";
+    return R;
+  }
+
+  // Backward data slice from the index operands.
+  std::vector<const Instruction *> Work;
+  auto Enqueue = [&](const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (I && !R.Slice.count(I) && !P.inScheduler(I)) {
+      // Scheduler-partition producers are already computed in the
+      // scheduler; only worker-side producers need duplication.
+      R.Slice.insert(I);
+      Work.push_back(I);
+    }
+  };
+  for (const Instruction *Access : R.TrackedAccesses)
+    Enqueue(Access->operand(1)); // the index operand
+  while (!Work.empty()) {
+    const Instruction *I = Work.back();
+    Work.pop_back();
+    // Side-effect check: the scheduler redundantly executes the slice, so
+    // it must be pure (§3.3.4 — this is what disqualifies Fig 4.1's nest).
+    if (I->mayWriteMemory()) {
+      R.Reason = "slice contains a store ('" + I->name() + "')";
+      return R;
+    }
+    if (I->opcode() == Opcode::Call) {
+      R.Reason = "slice contains a call ('" + I->name() + "')";
+      return R;
+    }
+    for (const Value *Op : I->operands())
+      Enqueue(Op);
+  }
+
+  // Soundness guard: the full address chain (scheduler- and worker-side
+  // producers alike) must not *read* memory the workers write — otherwise
+  // the scheduler could not precompute addresses without executing the
+  // workers, which is exactly what makes Fig 4.1's nest DOMORE-infeasible.
+  std::unordered_set<const GlobalArray *> WorkerWrites;
+  for (const Instruction *I : P.Worker)
+    if (I->mayWriteMemory())
+      WorkerWrites.insert(cast<GlobalArray>(I->operand(0)));
+  std::unordered_set<const Instruction *> Chain;
+  std::vector<const Instruction *> ChainWork;
+  auto EnqueueChain = [&](const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (I && Chain.insert(I).second)
+      ChainWork.push_back(I);
+  };
+  for (const Instruction *Access : R.TrackedAccesses)
+    EnqueueChain(Access->operand(1));
+  while (!ChainWork.empty()) {
+    const Instruction *I = ChainWork.back();
+    ChainWork.pop_back();
+    if (I->mayReadMemory() &&
+        WorkerWrites.count(cast<GlobalArray>(I->operand(0)))) {
+      R.Reason = "address chain reads array '" + I->operand(0)->name() +
+                 "', which workers write";
+      return R;
+    }
+    for (const Value *Op : I->operands())
+      EnqueueChain(Op);
+  }
+
+  // Performance guard: compare duplicated weight against worker weight.
+  const std::size_t WorkerWeight = P.Worker.size();
+  R.WeightRatio = WorkerWeight == 0
+                      ? 1.0
+                      : static_cast<double>(R.Slice.size()) /
+                            static_cast<double>(WorkerWeight);
+  if (R.WeightRatio > MaxWeightRatio) {
+    R.Reason = "computeAddr too heavy relative to worker (ratio " +
+               std::to_string(R.WeightRatio) + ")";
+    return R;
+  }
+  R.Feasible = true;
+  R.Reason = "ok";
+  return R;
+}

@@ -1,0 +1,51 @@
+//===- transform/Slicer.h - computeAddr slice extraction -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward program slicing for the DOMORE computeAddr function (§3.3.4):
+/// starting from the index operands of worker-partition memory accesses
+/// that participate in carried/cross-invocation memory dependences, collect
+/// the transitive SSA producers. The transformation aborts if the slice has
+/// side effects (stores, unknown calls), and a performance guard rejects
+/// slices whose weight rivals the worker body's — a scheduler that costs as
+/// much as the workers would serialize the pipeline (the paper's guard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_SLICER_H
+#define CIP_TRANSFORM_SLICER_H
+
+#include "analysis/PDG.h"
+#include "transform/DomorePartitioner.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace cip {
+namespace transform {
+
+/// Result of computeAddr slice extraction.
+struct SliceResult {
+  bool Feasible = false;
+  std::string Reason;
+  /// The memory accesses whose addresses must be precomputed.
+  std::vector<const ir::Instruction *> TrackedAccesses;
+  /// Instructions the scheduler must duplicate to compute the addresses.
+  std::unordered_set<const ir::Instruction *> Slice;
+  /// Slice weight over worker-partition weight (performance guard input).
+  double WeightRatio = 0.0;
+};
+
+/// Extracts the computeAddr slice for \p P under PDG \p G.
+/// \p MaxWeightRatio is the performance-guard threshold.
+SliceResult sliceComputeAddr(const analysis::PDG &G, const Partition &P,
+                             double MaxWeightRatio = 0.5);
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_SLICER_H

@@ -1,0 +1,222 @@
+//===- transform/SpecCrossPlanner.cpp - Region detection + Alg. 5 --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SpecCrossPlanner.h"
+
+#include "ir/Casting.h"
+
+#include <algorithm>
+
+using namespace cip;
+using namespace cip::transform;
+using namespace cip::analysis;
+using namespace cip::ir;
+
+SpecCrossCandidates transform::findSpecCrossRegions(const Function &F,
+                                                    const CFG &G,
+                                                    const DominatorTree &PDT,
+                                                    const LoopInfo &LI) {
+  SpecCrossCandidates Out;
+  for (const Loop *OL : LI.topLevelLoops()) {
+    SpecRegionPlan Plan;
+    Plan.OuterLoop = OL;
+
+    // Inner loops in program order.
+    std::vector<const Loop *> Inner(OL->subLoops().begin(),
+                                    OL->subLoops().end());
+    if (Inner.empty()) {
+      Out.Rejections.emplace_back(OL->header()->name(),
+                                  "no inner loop invocations");
+      continue;
+    }
+    std::sort(Inner.begin(), Inner.end(), [&](const Loop *A, const Loop *B) {
+      return G.rpoIndex(A->header()) < G.rpoIndex(B->header());
+    });
+
+    // Every inner loop must be independently parallelizable (§4.3).
+    bool Ok = true;
+    for (const Loop *IL : Inner) {
+      const PDG InnerPdg(F, G, PDT, LI, *IL);
+      const PlanResult P = planLoop(InnerPdg, G);
+      if (P.Plan == LoopPlan::None) {
+        Out.Rejections.emplace_back(OL->header()->name(),
+                                    "inner loop '" + IL->header()->name() +
+                                        "' not parallelizable: " + P.Reason);
+        Ok = false;
+        break;
+      }
+      Plan.InnerLoops.push_back(IL);
+      Plan.InnerPlans.push_back(P.Plan);
+    }
+    if (!Ok)
+      continue;
+
+    // Sequential glue between invocations must be duplicable: no stores or
+    // calls outside the inner loops (§4.3's privatization requirement).
+    for (const auto &BB : F.blocks()) {
+      if (!OL->contains(BB.get()))
+        continue;
+      const Loop *Nest = LI.loopFor(BB.get());
+      if (Nest != OL)
+        continue; // inside some inner loop
+      for (const auto &I : BB->instructions())
+        if (I->mayWriteMemory() || I->opcode() == Opcode::Call) {
+          Out.Rejections.emplace_back(
+              OL->header()->name(),
+              "outer-loop sequential code not duplicable ('" +
+                  std::string(opcodeName(I->opcode())) + "' in block '" +
+                  BB->name() + "')");
+          Ok = false;
+          break;
+        }
+      if (!Ok)
+        break;
+    }
+    if (!Ok)
+      continue;
+
+    // Accesses to instrument: endpoints of cross-invocation memory
+    // dependences per the outer-scope PDG.
+    const PDG OuterPdg(F, G, PDT, LI, *OL);
+    std::unordered_set<const Instruction *> Speculated;
+    for (const DepEdge &E : OuterPdg.edges()) {
+      if (E.Kind != DepKind::Memory || !E.CrossInvocation)
+        continue;
+      Speculated.insert(E.Src);
+      Speculated.insert(E.Dst);
+    }
+    for (const Instruction *I : OuterPdg.nodes())
+      if (Speculated.count(I))
+        Plan.SpeculatedAccesses.push_back(I);
+
+    Out.Regions.push_back(std::move(Plan));
+  }
+  return Out;
+}
+
+namespace {
+
+std::unique_ptr<Instruction> makeCall(const std::string &Callee,
+                                      std::vector<Value *> Operands) {
+  auto I = std::make_unique<Instruction>(Opcode::Call, "",
+                                         std::move(Operands));
+  I->setCalleeName(Callee);
+  return I;
+}
+
+/// Splits the CFG edge Src -> Dst with a fresh block containing a call to
+/// \p Callee, preserving phis in Dst.
+void splitEdgeWithCall(Module &M, Function &F, BasicBlock *Src,
+                       BasicBlock *Dst, const std::string &Callee) {
+  BasicBlock *New = F.createBlock(Src->name() + ".split." + Dst->name());
+  New->append(makeCall(Callee, {}));
+  auto Br = std::make_unique<Instruction>(Opcode::Br, "",
+                                          std::vector<Value *>{});
+  Br->setSuccessors({Dst});
+  New->append(std::move(Br));
+
+  Instruction *Term = Src->terminator();
+  for (unsigned S = 0; S < Term->numSuccessors(); ++S)
+    if (Term->successor(S) == Dst)
+      Term->setSuccessor(S, New);
+  for (const auto &I : Dst->instructions()) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    I->replaceIncomingBlock(Src, New);
+  }
+}
+
+} // namespace
+
+InsertionStats transform::insertSpecCrossCalls(Module &M,
+                                               const SpecRegionPlan &Plan,
+                                               const CFG &G) {
+  InsertionStats Stats;
+  Function &F = const_cast<Function &>(G.function());
+
+  // spec_access first: inserting before memory instructions shifts
+  // positions, so do it before structural edits use positions.
+  for (const Instruction *AccessC : Plan.SpeculatedAccesses) {
+    auto *Access = const_cast<Instruction *>(AccessC);
+    BasicBlock *BB = Access->parent();
+    const std::size_t Pos = BB->positionOf(Access);
+    const auto *Arr = cast<GlobalArray>(Access->operand(0));
+    std::int64_t ArrayId = 0;
+    for (std::size_t I = 0; I < M.arrays().size(); ++I)
+      if (M.arrays()[I].get() == Arr)
+        ArrayId = static_cast<std::int64_t>(I);
+    BB->insert(Pos, makeCall("cip.spec.access",
+                             {M.getConstant(ArrayId), Access->operand(1)}));
+    ++Stats.SpecAccess;
+  }
+
+  for (const Loop *IL : Plan.InnerLoops) {
+    // enter_barrier at the start of the preheader (Alg. 5 lines 12-14).
+    BasicBlock *Pre = IL->preheader(G);
+    assert(Pre && "SPECCROSS inner loops need preheaders");
+    Pre->insert(0, makeCall("cip.spec.enter_barrier", {}));
+    ++Stats.EnterBarrier;
+
+    // enter_task at the header, after phis (lines 15-17).
+    BasicBlock *Header = IL->header();
+    std::size_t AfterPhis = 0;
+    while (AfterPhis < Header->size() &&
+           Header->instructions()[AfterPhis]->opcode() == Opcode::Phi)
+      ++AfterPhis;
+    Header->insert(AfterPhis, makeCall("cip.spec.enter_task", {}));
+    ++Stats.EnterTask;
+
+    // exit_task per the terminator rules (lines 18-36).
+    std::vector<BasicBlock *> LoopBlocks;
+    for (const BasicBlock *BB : IL->blocks())
+      LoopBlocks.push_back(const_cast<BasicBlock *>(BB));
+    for (BasicBlock *BB : LoopBlocks) {
+      Instruction *Term = BB->terminator();
+      if (!Term || !Term->isBranch())
+        continue;
+      bool TargetsHeader = false, TargetsOutside = false, TargetsInside =
+                                                              false;
+      for (unsigned S = 0; S < Term->numSuccessors(); ++S) {
+        BasicBlock *T = Term->successor(S);
+        if (T == Header)
+          TargetsHeader = true;
+        else if (IL->contains(T))
+          TargetsInside = true;
+        else
+          TargetsOutside = true;
+      }
+      if (!TargetsHeader && !TargetsOutside)
+        continue;
+      if (Term->opcode() == Opcode::Br ||
+          (TargetsHeader && TargetsOutside && !TargetsInside)) {
+        // Unconditional back edge/exit, or an exit-vs-header conditional:
+        // the task ends either way; insert before the terminator.
+        BB->insert(BB->size() - 1, makeCall("cip.spec.exit_task", {}));
+        ++Stats.ExitTask;
+        continue;
+      }
+      // Mixed conditionals: invoke exit_task only on the leaving edge.
+      for (unsigned S = 0; S < Term->numSuccessors(); ++S) {
+        BasicBlock *T = Term->successor(S);
+        if (T == Header || !IL->contains(T)) {
+          splitEdgeWithCall(M, F, BB, T, "cip.spec.exit_task");
+          ++Stats.ExitTask;
+        }
+      }
+    }
+  }
+  return Stats;
+}
+
+void transform::registerNoopSpecNatives(InterpOptions &Options) {
+  for (const char *Name :
+       {"cip.spec.enter_barrier", "cip.spec.enter_task",
+        "cip.spec.exit_task", "cip.spec.access", "cip.invocation",
+        "cip.iteration"})
+    Options.Natives[Name] = [](const std::vector<std::int64_t> &) {
+      return 0;
+    };
+}

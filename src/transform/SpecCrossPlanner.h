@@ -1,0 +1,84 @@
+//===- transform/SpecCrossPlanner.h - Region detection + Alg. 5 -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPECCROSS compiler (§4.3): finds candidate regions — an outermost
+/// loop whose sub-loops are each independently parallelizable (DOALL or
+/// Spec-DOALL per the planner) and whose inter-loop sequential code is
+/// duplicable (no stores or unknown calls) — and inserts the runtime
+/// interface calls per Algorithm 5:
+///
+///   * cip.spec.enter_barrier at the start of each inner-loop preheader,
+///   * cip.spec.enter_task at the start of each inner-loop header (after
+///     phis),
+///   * cip.spec.exit_task before every back edge or loop exit, with the
+///     conditional-placement rules of Alg. 5 lines 18–36,
+///   * cip.spec.access before every memory access participating in a
+///     cross-invocation dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TRANSFORM_SPECCROSSPLANNER_H
+#define CIP_TRANSFORM_SPECCROSSPLANNER_H
+
+#include "analysis/PDG.h"
+#include "ir/Interp.h"
+#include "ir/LoopInfo.h"
+#include "transform/Parallelizer.h"
+
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace transform {
+
+/// A detected candidate region.
+struct SpecRegionPlan {
+  const ir::Loop *OuterLoop = nullptr;
+  /// The inner loops, one epoch class each, in program order.
+  std::vector<const ir::Loop *> InnerLoops;
+  /// Plan for each inner loop (parallel to InnerLoops).
+  std::vector<LoopPlan> InnerPlans;
+  /// Memory accesses to instrument with cip.spec.access.
+  std::vector<const ir::Instruction *> SpeculatedAccesses;
+};
+
+/// Result of region detection over a function.
+struct SpecCrossCandidates {
+  std::vector<SpecRegionPlan> Regions;
+  /// Reasons for rejecting non-candidate outer loops, keyed by header name.
+  std::vector<std::pair<std::string, std::string>> Rejections;
+};
+
+/// Scans \p F for SPECCROSS candidate regions.
+SpecCrossCandidates findSpecCrossRegions(const ir::Function &F,
+                                         const ir::CFG &G,
+                                         const ir::DominatorTree &PDT,
+                                         const ir::LoopInfo &LI);
+
+/// Statistics about inserted calls, for verification.
+struct InsertionStats {
+  unsigned EnterBarrier = 0;
+  unsigned EnterTask = 0;
+  unsigned ExitTask = 0;
+  unsigned SpecAccess = 0;
+};
+
+/// Inserts the cip.spec.* interface calls for \p Plan into its function
+/// (Algorithm 5). Returns what was inserted. The inserted calls are
+/// no-op-able natives, so instrumented code still interprets correctly.
+InsertionStats insertSpecCrossCalls(ir::Module &M, const SpecRegionPlan &Plan,
+                                    const ir::CFG &G);
+
+/// Registers no-op implementations of the cip.spec.* natives (and the
+/// cip.invocation/cip.iteration markers) so instrumented IR can run under
+/// the plain interpreter.
+void registerNoopSpecNatives(ir::InterpOptions &Options);
+
+} // namespace transform
+} // namespace cip
+
+#endif // CIP_TRANSFORM_SPECCROSSPLANNER_H

@@ -1,0 +1,85 @@
+//===- workloads/BlackScholes.h - PARSEC option pricing --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PARSEC blackscholes: batches of European options priced per epoch with
+/// the closed-form Black–Scholes formula. The paper parallelizes the inner
+/// loop with Spec-DOALL (a rarely-manifesting dependence through a shared
+/// calibration table); here one designated task per epoch refreshes a
+/// calibration slot that epochs K apart share, giving DOMORE an occasional
+/// true cross-invocation dependence to synchronize while the bulk of the
+/// work is independent. SPECCROSS is inapplicable (Table 5.1): the inner
+/// loop needs speculative parallelization, which SPECCROSS's region
+/// detector does not accept (§5.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_BLACKSCHOLES_H
+#define CIP_WORKLOADS_BLACKSCHOLES_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct BlackScholesParams {
+  std::uint32_t Epochs = 40;       // option batches
+  std::uint32_t TasksPerEpoch = 64;
+  std::uint32_t OptionsPerTask = 8;
+  std::uint32_t CalibSlots = 16;   // shared table; epochs K apart conflict
+  std::uint64_t Seed = 0xb5c0;
+
+  static BlackScholesParams forScale(Scale S);
+};
+
+/// See file comment.
+class BlackScholesWorkload final : public Workload {
+public:
+  explicit BlackScholesWorkload(const BlackScholesParams &P);
+
+  const char *name() const override { return "blackscholes"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Epochs; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.TasksPerEpoch;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.Epochs) * Params.TasksPerEpoch +
+           Params.CalibSlots;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool speccrossApplicable() const override { return false; }
+  const char *innerLoopPlan() const override { return "Spec-DOALL"; }
+  speccross::SignatureScheme preferredSignature() const override {
+    return speccross::SignatureScheme::SmallSet;
+  }
+
+  /// Closed-form Black–Scholes call price; public so tests can sanity-check
+  /// it against known values.
+  static double priceCall(double Spot, double Strike, double Rate,
+                          double Vol, double Time);
+
+private:
+  /// Task (Epoch, Task) owns one price block.
+  std::size_t blockOf(std::uint32_t Epoch, std::size_t Task) const {
+    return (static_cast<std::size_t>(Epoch) * Params.TasksPerEpoch + Task) *
+           Params.OptionsPerTask;
+  }
+
+  BlackScholesParams Params;
+  std::vector<double> Spot, Strike, Vol; // read-only inputs
+  std::vector<double> Price;             // per-option output
+  std::vector<double> Calib;             // shared calibration table
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_BLACKSCHOLES_H

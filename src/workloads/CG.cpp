@@ -1,0 +1,103 @@
+//===- workloads/CG.cpp - NAS CG-like sparse update kernel ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CG.h"
+
+#include "support/Rng.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+CGParams CGParams::forScale(Scale S) {
+  CGParams P;
+  switch (S) {
+  case Scale::Test:
+    P.NumRows = 120;
+    P.RowLength = 9;
+    P.ArraySize = 512;
+    P.WorkFlops = 8;
+    break;
+  case Scale::Train:
+    P.NumRows = 2000;
+    P.RowLength = 9;
+    P.ArraySize = 4096;
+    P.WorkFlops = 1500;
+    break;
+  case Scale::Ref:
+    // Matches Table 5.3: 63000 tasks over 7000 epochs (9 tasks each).
+    P.NumRows = 7000;
+    P.RowLength = 9;
+    P.ArraySize = 8192;
+    P.WorkFlops = 1500;
+    break;
+  }
+  return P;
+}
+
+CGWorkload::CGWorkload(const CGParams &P) : Params(P) {
+  assert(Params.RowLength > 0 && Params.RowLength <= Params.ArraySize &&
+         "row must fit in the array");
+  RowStart.resize(Params.NumRows);
+  // The index arrays are part of the *input*, not of mutable state: build
+  // them once so the dependence pattern is identical across executors.
+  Xoshiro256StarStar Rng(Params.Seed);
+  const std::uint32_t MaxBase = Params.ArraySize - Params.RowLength;
+  std::uint32_t Prev = 0;
+  for (std::uint32_t I = 0; I < Params.NumRows; ++I) {
+    std::uint32_t Base;
+    if (I > 0 && Rng.nextBool(Params.ManifestRate)) {
+      // Overlap the previous row's range by at least one element, which
+      // manifests the update() cross-invocation dependence.
+      const std::uint32_t Lo =
+          Prev >= Params.RowLength - 1 ? Prev - (Params.RowLength - 1) : 0;
+      const std::uint32_t Hi = std::min(Prev + Params.RowLength - 1, MaxBase);
+      Base = Lo + static_cast<std::uint32_t>(Rng.nextBelow(Hi - Lo + 1));
+    } else {
+      Base = static_cast<std::uint32_t>(Rng.nextBelow(MaxBase + 1));
+    }
+    RowStart[I] = Base;
+    Prev = Base;
+  }
+  C.resize(Params.ArraySize);
+  reset();
+}
+
+void CGWorkload::reset() {
+  for (std::uint32_t I = 0; I < Params.ArraySize; ++I)
+    C[I] = 1.0 + 1e-3 * static_cast<double>(I % 97);
+}
+
+void CGWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::uint64_t J = elementOf(Epoch, Task);
+  // update(&C[j]): read-modify-write, so the cross-invocation order the
+  // runtime enforces is observable in the checksum.
+  C[J] += burnFlops(C[J] + static_cast<double>(J), Params.WorkFlops);
+}
+
+void CGWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                               std::vector<std::uint64_t> &Addrs) const {
+  Addrs.push_back(elementOf(Epoch, Task));
+}
+
+void CGWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(C);
+}
+
+std::uint64_t CGWorkload::checksum() const { return hashDoubles(C); }
+
+double CGWorkload::measuredManifestRate() const {
+  if (Params.NumRows < 2)
+    return 0.0;
+  std::uint64_t Overlapping = 0;
+  for (std::uint32_t I = 1; I < Params.NumRows; ++I) {
+    const std::uint32_t A = RowStart[I - 1], B = RowStart[I];
+    const std::uint32_t Lo = std::max(A, B), Hi = std::min(A, B);
+    if (Lo - Hi < Params.RowLength)
+      ++Overlapping;
+  }
+  return static_cast<double>(Overlapping) /
+         static_cast<double>(Params.NumRows - 1);
+}

@@ -1,0 +1,106 @@
+//===- workloads/Eclat.cpp - MineBench ECLAT tid-list builder ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Eclat.h"
+
+#include "support/Rng.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+EclatParams EclatParams::forScale(Scale S) {
+  EclatParams P;
+  switch (S) {
+  case Scale::Test:
+    P.NumNodes = 60;
+    P.ItemsPerNode = 16;
+    P.NumTxns = 64;
+    break;
+  case Scale::Train:
+    P.NumNodes = 800;
+    P.ItemsPerNode = 32;
+    P.NumTxns = 128;
+    P.WorkFlops = 1500;
+    break;
+  case Scale::Ref:
+    P.NumNodes = 2000;
+    P.ItemsPerNode = 32;
+    P.NumTxns = 128;
+    P.WorkFlops = 1500;
+    break;
+  }
+  return P;
+}
+
+EclatWorkload::EclatWorkload(const EclatParams &P) : Params(P) {
+  assert((Params.NumTxns & (Params.NumTxns - 1)) == 0 &&
+         "NumTxns must be a power of two for within-node distinctness");
+  assert(Params.ItemsPerNode <= Params.NumTxns &&
+         "a node cannot carry more distinct transactions than exist");
+  Stride.resize(Params.NumNodes);
+  Xoshiro256StarStar Rng(Params.Seed);
+  for (auto &S : Stride)
+    S = static_cast<std::uint32_t>(Rng.nextBelow(Params.NumTxns)) | 1u;
+  Count.resize(Params.NumTxns);
+  // Each node appends at most one item per transaction, so NumNodes slots
+  // per transaction always suffice.
+  TidData.resize(static_cast<std::size_t>(Params.NumTxns) * Params.NumNodes);
+  Scratch.resize(Params.NumTxns);
+  reset();
+}
+
+std::uint32_t EclatWorkload::txnOf(std::uint32_t Epoch,
+                                   std::size_t Task) const {
+  // Odd stride modulo a power of two is a bijection, so transactions are
+  // distinct within one node; different nodes remap the same small
+  // transaction set, which is the cross-invocation dependence.
+  return static_cast<std::uint32_t>(
+      (Task * Stride[Epoch] + Epoch) & (Params.NumTxns - 1));
+}
+
+void EclatWorkload::reset() {
+  for (auto &C : Count)
+    C = 0;
+  for (auto &D : TidData)
+    D = 0;
+  for (auto &S : Scratch)
+    S = 0.5;
+}
+
+void EclatWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::uint32_t Txn = txnOf(Epoch, Task);
+  // Append item (Epoch, Task) to the transaction's tid-list. The runtimes
+  // order same-transaction appends, so the list contents are deterministic.
+  std::uint32_t &Slot = Count[Txn];
+  assert(Slot < Params.NumNodes && "tid-list overflow");
+  TidData[static_cast<std::size_t>(Txn) * Params.NumNodes + Slot] =
+      Epoch * Params.ItemsPerNode + static_cast<std::uint32_t>(Task);
+  ++Slot;
+  // Per-item processing (support counting in the real ECLAT); folded into
+  // a per-transaction accumulator, ordered by the same dependence.
+  Scratch[Txn] = burnFlops(Scratch[Txn] + static_cast<double>(Task),
+                           Params.WorkFlops);
+}
+
+void EclatWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                  std::vector<std::uint64_t> &Addrs) const {
+  Addrs.push_back(txnOf(Epoch, Task));
+}
+
+void EclatWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Count);
+  Reg.registerBuffer(TidData);
+  Reg.registerBuffer(Scratch);
+}
+
+std::uint64_t EclatWorkload::checksum() const {
+  std::uint64_t H = hashBytes(Count.data(),
+                              Count.size() * sizeof(std::uint32_t));
+  for (std::uint32_t T = 0; T < Params.NumTxns; ++T)
+    H = hashBytes(&TidData[static_cast<std::size_t>(T) * Params.NumNodes],
+                  Count[T] * sizeof(std::uint32_t), H);
+  return hashDoubles(Scratch, H);
+}

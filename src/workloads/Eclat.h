@@ -1,0 +1,72 @@
+//===- workloads/Eclat.h - MineBench ECLAT tid-list builder ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MineBench's ECLAT inverted-database phase: the outer loop walks graph
+/// nodes, the inner loop appends each node's items to per-transaction lists
+/// keyed by a nonlinearly computed transaction number. Items of one node
+/// carry distinct transactions (the inner loop is conflict-free on this
+/// input, matching the paper's Spec-DOALL plan), but nearly every pair of
+/// consecutive nodes shares transactions — the ~99% cross-invocation
+/// manifest rate the paper reports — so DOMORE must order the appends while
+/// SPECCROSS would roll back constantly and is marked inapplicable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_ECLAT_H
+#define CIP_WORKLOADS_ECLAT_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct EclatParams {
+  std::uint32_t NumNodes = 60;     // epochs
+  std::uint32_t ItemsPerNode = 24; // tasks per epoch
+  std::uint32_t NumTxns = 64;      // shared transaction-list table
+  unsigned WorkFlops = 4;          // per-item processing grain
+  std::uint64_t Seed = 0xec1a7;
+
+  static EclatParams forScale(Scale S);
+};
+
+/// See file comment.
+class EclatWorkload final : public Workload {
+public:
+  explicit EclatWorkload(const EclatParams &P);
+
+  const char *name() const override { return "eclat"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.NumNodes; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.ItemsPerNode;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override { return Params.NumTxns; }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool speccrossApplicable() const override { return false; }
+  const char *innerLoopPlan() const override { return "Spec-DOALL"; }
+
+  /// Transaction number of item (\p Epoch, \p Task): distinct within one
+  /// node, heavily shared across nodes.
+  std::uint32_t txnOf(std::uint32_t Epoch, std::size_t Task) const;
+
+private:
+  EclatParams Params;
+  std::vector<std::uint32_t> Stride;  // per-node odd stride (input)
+  std::vector<std::uint32_t> Count;   // appended items per transaction
+  std::vector<std::uint32_t> TidData; // [txn][slot] appended item ids
+  std::vector<double> Scratch;        // per-transaction folded work
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_ECLAT_H

@@ -1,0 +1,80 @@
+//===- workloads/Equake.h - SPEC EQUAKE-like seismic kernel ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 183.equake-shaped workload: a time-stepping loop whose body is three
+/// consecutive parallel phases over an unstructured mesh — a sparse
+/// matrix-vector product reading neighbor displacements, a displacement
+/// integration, and a velocity update. Tasks are node blocks. The neighbor
+/// structure is irregular (index arrays), so static analysis cannot remove
+/// the barriers between phases; but neighbors stay within a block on the
+/// generated input, so the *speculated* accesses never conflict across
+/// threads — reproducing EQUAKE's "*" row of Table 5.3 and its large
+/// SPECCROSS win in Fig 5.2(b). DOMORE is inapplicable (Table 5.1): the
+/// computeAddr slice would have to traverse the mesh, making the scheduler
+/// as expensive as the workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_EQUAKE_H
+#define CIP_WORKLOADS_EQUAKE_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+/// Parameters of the synthetic EQUAKE kernel.
+struct EquakeParams {
+  std::uint32_t TimeSteps = 100;  // epochs = 3 * TimeSteps
+  std::uint32_t NumBlocks = 22;   // tasks per epoch (Table 5.3: ~22)
+  std::uint32_t BlockSize = 64;   // nodes per block
+  std::uint32_t NeighborsPerNode = 4;
+  unsigned WorkFlops = 8;
+  std::uint64_t Seed = 0xe9a4eULL;
+
+  static EquakeParams forScale(Scale S);
+};
+
+/// See file comment.
+class EquakeWorkload final : public Workload {
+public:
+  explicit EquakeWorkload(const EquakeParams &P);
+
+  const char *name() const override { return "equake"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return 3 * Params.TimeSteps; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.NumBlocks;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return 3 * Params.NumBlocks; // block-granular: w, u, v per block
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool domoreApplicable() const override { return false; }
+  const char *innerLoopPlan() const override { return "DOALL"; }
+
+private:
+  enum Phase { Smvp = 0, Integrate = 1, Velocity = 2 };
+
+  std::size_t numNodes() const {
+    return static_cast<std::size_t>(Params.NumBlocks) * Params.BlockSize;
+  }
+
+  EquakeParams Params;
+  std::vector<std::uint32_t> Col; // neighbor indices, block-local
+  std::vector<double> Coef;       // matrix coefficients
+  std::vector<double> W, U, V;    // per-node state
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_EQUAKE_H

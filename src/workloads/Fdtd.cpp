@@ -1,0 +1,126 @@
+//===- workloads/Fdtd.cpp - PolyBench 2-D FDTD kernel --------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Fdtd.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+FdtdParams FdtdParams::forScale(Scale S) {
+  FdtdParams P;
+  switch (S) {
+  case Scale::Test:
+    P.TimeSteps = 12;
+    P.Rows = 24;
+    P.Cols = 24;
+    break;
+  case Scale::Train:
+    // 600 rows -> min cross-thread dependence distance 599 (Table 5.3).
+    P.TimeSteps = 80;
+    P.Rows = 600;
+    P.Cols = 32;
+    P.WorkFlops = 12;
+    break;
+  case Scale::Ref:
+    // 800 rows -> 799; 1200 epochs as in Table 5.3.
+    P.TimeSteps = 400;
+    P.Rows = 800;
+    P.Cols = 32;
+    P.WorkFlops = 12;
+    break;
+  }
+  return P;
+}
+
+FdtdWorkload::FdtdWorkload(const FdtdParams &P) : Params(P) {
+  assert(Params.Rows >= 2 && Params.Cols >= 2 && "grid too small");
+  const std::size_t N = static_cast<std::size_t>(Params.Rows) * Params.Cols;
+  Ey.resize(N);
+  Ex.resize(N);
+  Hz.resize(N);
+  reset();
+}
+
+void FdtdWorkload::reset() {
+  for (std::size_t I = 0; I < Params.Rows; ++I)
+    for (std::size_t J = 0; J < Params.Cols; ++J) {
+      ey(I, J) = static_cast<double>((I + J) % 13) / 13.0;
+      ex(I, J) = static_cast<double>((I * 7 + J) % 11) / 11.0;
+      hz(I, J) = static_cast<double>((I + 3 * J) % 17) / 17.0;
+    }
+}
+
+void FdtdWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::size_t I = Task;
+  const std::size_t Cols = Params.Cols;
+  const std::uint32_t T = Epoch / 3;
+  switch (Epoch % 3) {
+  case 0: // Ey sweep: row 0 is the source boundary; others read Hz[i-1].
+    if (I == 0) {
+      for (std::size_t J = 0; J < Cols; ++J)
+        ey(0, J) = static_cast<double>(T) * 1e-3;
+    } else {
+      for (std::size_t J = 0; J < Cols; ++J)
+        ey(I, J) = burnFlops(ey(I, J) - 0.5 * (hz(I, J) - hz(I - 1, J)),
+                             Params.WorkFlops);
+    }
+    break;
+  case 1: // Ex sweep: row-local Hz reads.
+    for (std::size_t J = 1; J < Cols; ++J)
+      ex(I, J) = burnFlops(ex(I, J) - 0.5 * (hz(I, J) - hz(I, J - 1)),
+                           Params.WorkFlops);
+    break;
+  case 2: // Hz sweep: reads Ey rows i and i+1.
+    if (I + 1 < Params.Rows) {
+      for (std::size_t J = 0; J + 1 < Cols; ++J)
+        hz(I, J) = burnFlops(hz(I, J) - 0.7 * (ex(I, J + 1) - ex(I, J) +
+                                               ey(I + 1, J) - ey(I, J)),
+                             Params.WorkFlops);
+    }
+    break;
+  }
+}
+
+void FdtdWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                 std::vector<std::uint64_t> &Addrs) const {
+  // Row-granular abstract addresses, interleaved (Ey, Ex, Hz per row) so
+  // one task's accesses stay contiguous for range signatures.
+  const std::uint64_t R = Params.Rows;
+  const std::uint64_t EyRow = 3 * Task;
+  const std::uint64_t ExRow = 3 * Task + 1;
+  const std::uint64_t HzRow = 3 * Task + 2;
+  switch (Epoch % 3) {
+  case 0:
+    Addrs.push_back(EyRow);
+    if (Task > 0) {
+      Addrs.push_back(HzRow);
+      Addrs.push_back(HzRow - 3);
+    }
+    break;
+  case 1:
+    Addrs.push_back(ExRow);
+    Addrs.push_back(HzRow);
+    break;
+  case 2:
+    if (Task + 1 < R) {
+      Addrs.push_back(HzRow);
+      Addrs.push_back(ExRow);
+      Addrs.push_back(EyRow);
+      Addrs.push_back(EyRow + 3);
+    }
+    break;
+  }
+}
+
+void FdtdWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Ey);
+  Reg.registerBuffer(Ex);
+  Reg.registerBuffer(Hz);
+}
+
+std::uint64_t FdtdWorkload::checksum() const {
+  return hashDoubles(Hz, hashDoubles(Ex, hashDoubles(Ey)));
+}

@@ -1,0 +1,271 @@
+//===- workloads/FluidAnimate.cpp - PARSEC SPH fluid variants ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/FluidAnimate.h"
+
+#include "support/Rng.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+//===----------------------------------------------------------------------===//
+// FLUIDANIMATE-1: the ComputeForce loop nest.
+//===----------------------------------------------------------------------===//
+
+FluidAnimate1Params FluidAnimate1Params::forScale(Scale S) {
+  FluidAnimate1Params P;
+  switch (S) {
+  case Scale::Test:
+    P.NumGroups = 60;
+    P.ParticlesPerGroup = 16;
+    P.WorkFlops = 4;
+    break;
+  case Scale::Train:
+    P.NumGroups = 600;
+    P.ParticlesPerGroup = 64;
+    P.WorkFlops = 500;
+    break;
+  case Scale::Ref:
+    P.NumGroups = 1500;
+    P.ParticlesPerGroup = 64;
+    P.WorkFlops = 500;
+    break;
+  }
+  return P;
+}
+
+FluidAnimate1Workload::FluidAnimate1Workload(const FluidAnimate1Params &P)
+    : Params(P) {
+  assert((Params.ParticlesPerGroup & (Params.ParticlesPerGroup - 1)) == 0 &&
+         "group size must be a power of two for neighbor distinctness");
+  Stride.resize(Params.NumGroups);
+  Xoshiro256StarStar Rng(Params.Seed);
+  for (auto &S : Stride)
+    S = static_cast<std::uint32_t>(Rng.nextBelow(Params.ParticlesPerGroup)) |
+        1u;
+  Force.resize(static_cast<std::size_t>(Params.NumGroups + 1) *
+               Params.ParticlesPerGroup);
+  reset();
+}
+
+std::uint64_t FluidAnimate1Workload::neighborOf(std::uint32_t Epoch,
+                                                std::size_t Task) const {
+  // Odd stride modulo a power of two: distinct neighbors within one group,
+  // so iterations of one invocation stay independent (LOCALWRITE plan).
+  const std::uint64_t Perm =
+      (Task * Stride[Epoch] + Epoch) & (Params.ParticlesPerGroup - 1);
+  return static_cast<std::uint64_t>(Epoch + 1) * Params.ParticlesPerGroup +
+         Perm;
+}
+
+void FluidAnimate1Workload::reset() {
+  for (std::size_t I = 0; I < Force.size(); ++I)
+    Force[I] = 1e-2 * static_cast<double>(I % 41);
+}
+
+void FluidAnimate1Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::size_t Self =
+      static_cast<std::size_t>(Epoch) * Params.ParticlesPerGroup + Task;
+  const std::size_t Neigh = neighborOf(Epoch, Task);
+  // Symmetric force contribution: scatter into self and the neighbor from
+  // the next group — the cross-invocation dependence that manifests on
+  // nearly every invocation pair.
+  const double F = burnFlops(Force[Self] + Force[Neigh], Params.WorkFlops);
+  Force[Self] += F;
+  Force[Neigh] -= 0.5 * F;
+}
+
+void FluidAnimate1Workload::taskAddresses(
+    std::uint32_t Epoch, std::size_t Task,
+    std::vector<std::uint64_t> &Addrs) const {
+  Addrs.push_back(static_cast<std::uint64_t>(Epoch) *
+                      Params.ParticlesPerGroup +
+                  Task);
+  Addrs.push_back(neighborOf(Epoch, Task));
+}
+
+void FluidAnimate1Workload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Force);
+}
+
+std::uint64_t FluidAnimate1Workload::checksum() const {
+  return hashDoubles(Force);
+}
+
+//===----------------------------------------------------------------------===//
+// FLUIDANIMATE-2: the whole-frame loop (Fig 5.5).
+//===----------------------------------------------------------------------===//
+
+FluidAnimate2Params FluidAnimate2Params::forScale(Scale S) {
+  FluidAnimate2Params P;
+  switch (S) {
+  case Scale::Test:
+    P.Frames = 8;
+    P.NumBlocks = 14;
+    P.BlockSize = 8;
+    P.WorkFlops = 2;
+    break;
+  case Scale::Train:
+    // 55 blocks -> min cross-thread dependence distance 54 (Table 5.3).
+    P.Frames = 100;
+    P.NumBlocks = 55;
+    P.BlockSize = 48;
+    P.WorkFlops = 48;
+    break;
+  case Scale::Ref:
+    P.Frames = 186; // 1488 epochs, as in Table 5.3
+    P.NumBlocks = 55;
+    P.BlockSize = 48;
+    P.WorkFlops = 48;
+    break;
+  }
+  return P;
+}
+
+FluidAnimate2Workload::FluidAnimate2Workload(const FluidAnimate2Params &P)
+    : Params(P) {
+  const std::size_t N =
+      static_cast<std::size_t>(Params.NumBlocks) * Params.BlockSize;
+  Pos.resize(N);
+  Vel.resize(N);
+  Dens.resize(N);
+  Force.resize(N);
+  Cell.resize(Params.NumBlocks);
+  reset();
+}
+
+void FluidAnimate2Workload::reset() {
+  for (std::size_t I = 0; I < Pos.size(); ++I) {
+    Pos[I] = static_cast<double>(I % 37) / 37.0;
+    Vel[I] = 1e-3 * static_cast<double>(I % 13);
+    Dens[I] = 0.0;
+    Force[I] = 0.0;
+  }
+  for (auto &C : Cell)
+    C = 0.0;
+}
+
+void FluidAnimate2Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::size_t B = Task;
+  const std::size_t Lo = begin(B), Hi = Lo + Params.BlockSize;
+  const std::size_t NB = Params.NumBlocks;
+  const std::size_t Left = B > 0 ? B - 1 : B;
+  const std::size_t Right = B + 1 < NB ? B + 1 : B;
+  switch (static_cast<Phase>(Epoch % 8)) {
+  case ClearParticles:
+    for (std::size_t I = Lo; I < Hi; ++I)
+      Dens[I] = 0.0;
+    break;
+  case RebuildGrid: {
+    double Sum = 0.0;
+    for (std::size_t I = Lo; I < Hi; ++I)
+      Sum += Pos[I];
+    Cell[B] = Sum / static_cast<double>(Params.BlockSize);
+    break;
+  }
+  case InitDensitiesAndForces:
+    for (std::size_t I = Lo; I < Hi; ++I) {
+      Dens[I] = 1.0;
+      Force[I] = 0.0;
+    }
+    break;
+  case ComputeDensities:
+    for (std::size_t I = Lo; I < Hi; ++I) {
+      const double NeighborPos =
+          Pos[begin(Left) + (I - Lo)] + Pos[begin(Right) + (I - Lo)];
+      Dens[I] += burnFlops(Pos[I] + 0.5 * NeighborPos, Params.WorkFlops);
+    }
+    break;
+  case ComputeDensities2:
+    for (std::size_t I = Lo; I < Hi; ++I)
+      Dens[I] *= 1.0 + 1e-3 * Cell[B];
+    break;
+  case ComputeForces:
+    for (std::size_t I = Lo; I < Hi; ++I) {
+      const double NeighborDens =
+          Dens[begin(Left) + (I - Lo)] + Dens[begin(Right) + (I - Lo)];
+      Force[I] = burnFlops(Dens[I] - 0.25 * NeighborDens, Params.WorkFlops);
+    }
+    break;
+  case ProcessCollisions:
+    for (std::size_t I = Lo; I < Hi; ++I)
+      if (Pos[I] > 1.0 || Pos[I] < 0.0)
+        Vel[I] = -0.5 * Vel[I];
+    break;
+  case AdvanceParticles:
+    for (std::size_t I = Lo; I < Hi; ++I) {
+      Vel[I] += 1e-3 * Force[I];
+      Pos[I] += Vel[I];
+    }
+    break;
+  }
+}
+
+void FluidAnimate2Workload::taskAddresses(
+    std::uint32_t Epoch, std::size_t Task,
+    std::vector<std::uint64_t> &Addrs) const {
+  // Block-granular abstract addresses, interleaved (Pos, Vel, Dens, Force,
+  // Cell per block) so one task's accesses stay contiguous for range
+  // signatures.
+  const std::uint64_t NB = Params.NumBlocks;
+  const std::uint64_t PosB = 5 * Task, VelB = 5 * Task + 1,
+                      DensB = 5 * Task + 2, ForceB = 5 * Task + 3,
+                      CellB = 5 * Task + 4;
+  const std::uint64_t Left = Task > 0 ? Task - 1 : Task;
+  const std::uint64_t Right = Task + 1 < NB ? Task + 1 : Task;
+  switch (static_cast<Phase>(Epoch % 8)) {
+  case ClearParticles:
+    Addrs.push_back(DensB);
+    break;
+  case RebuildGrid:
+    Addrs.push_back(CellB);
+    Addrs.push_back(PosB);
+    break;
+  case InitDensitiesAndForces:
+    Addrs.push_back(DensB);
+    Addrs.push_back(ForceB);
+    break;
+  case ComputeDensities:
+    Addrs.push_back(DensB);
+    Addrs.push_back(PosB);
+    Addrs.push_back(5 * Left);
+    Addrs.push_back(5 * Right);
+    break;
+  case ComputeDensities2:
+    Addrs.push_back(DensB);
+    Addrs.push_back(CellB);
+    break;
+  case ComputeForces:
+    Addrs.push_back(ForceB);
+    Addrs.push_back(DensB);
+    Addrs.push_back(5 * Left + 2);
+    Addrs.push_back(5 * Right + 2);
+    break;
+  case ProcessCollisions:
+    Addrs.push_back(VelB);
+    Addrs.push_back(PosB);
+    break;
+  case AdvanceParticles:
+    Addrs.push_back(PosB);
+    Addrs.push_back(VelB);
+    Addrs.push_back(ForceB);
+    break;
+  }
+}
+
+void FluidAnimate2Workload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Pos);
+  Reg.registerBuffer(Vel);
+  Reg.registerBuffer(Dens);
+  Reg.registerBuffer(Force);
+  Reg.registerBuffer(Cell);
+}
+
+std::uint64_t FluidAnimate2Workload::checksum() const {
+  return hashDoubles(
+      Cell, hashDoubles(Force,
+                        hashDoubles(Dens, hashDoubles(Vel, hashDoubles(Pos)))));
+}

@@ -1,0 +1,131 @@
+//===- workloads/FluidAnimate.h - PARSEC SPH fluid variants ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PARSEC fluidanimate, the paper's case-study application (§5.4, Fig 5.5,
+/// Fig 5.6), in the two shapes the dissertation evaluates:
+///
+///  * \c FluidAnimate1Workload ("FLUIDANIMATE-1", the ComputeForce loop
+///    nest, Table 5.1): every particle also scatters force into a neighbor
+///    that lives in the *next* particle group, so nearly every pair of
+///    consecutive invocations conflicts. The LOCALWRITE plan applies; only
+///    DOMORE can exploit cross-invocation parallelism — speculation would
+///    roll back continuously.
+///
+///  * \c FluidAnimate2Workload ("FLUIDANIMATE-2", the whole-frame loop of
+///    Fig 5.5): each frame runs eight phases (ClearParticles, RebuildGrid,
+///    InitDensitiesAndForces, ComputeDensities, ComputeDensities2,
+///    ComputeForces, ProcessCollisions, AdvanceParticles) over cell blocks.
+///    Neighbor-block reads put the closest cross-thread conflict one epoch
+///    minus one task away — Table 5.3's min distance 54 with 55 blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_FLUIDANIMATE_H
+#define CIP_WORKLOADS_FLUIDANIMATE_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct FluidAnimate1Params {
+  std::uint32_t NumGroups = 60;        // epochs
+  std::uint32_t ParticlesPerGroup = 32; // tasks per epoch
+  unsigned WorkFlops = 12;
+  std::uint64_t Seed = 0xf1d1;
+
+  static FluidAnimate1Params forScale(Scale S);
+};
+
+/// FLUIDANIMATE-1: the ComputeForce loop nest. See file comment.
+class FluidAnimate1Workload final : public Workload {
+public:
+  explicit FluidAnimate1Workload(const FluidAnimate1Params &P);
+
+  const char *name() const override { return "fluidanimate1"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.NumGroups; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.ParticlesPerGroup;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.NumGroups + 1) *
+           Params.ParticlesPerGroup;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool speccrossApplicable() const override { return false; }
+  const char *innerLoopPlan() const override { return "LOCALWRITE"; }
+
+  /// The neighbor (in the next group) particle index of (\p Epoch, \p Task).
+  std::uint64_t neighborOf(std::uint32_t Epoch, std::size_t Task) const;
+
+private:
+  FluidAnimate1Params Params;
+  std::vector<std::uint32_t> Stride; // per-group odd stride (input)
+  std::vector<double> Force;         // per-particle accumulated force
+};
+
+struct FluidAnimate2Params {
+  std::uint32_t Frames = 8;    // epochs = 8 * Frames
+  std::uint32_t NumBlocks = 55; // tasks per epoch (Table 5.3: distance 54)
+  std::uint32_t BlockSize = 16; // particles per block
+  unsigned WorkFlops = 6;
+  std::uint64_t Seed = 0xf1d2;
+
+  static FluidAnimate2Params forScale(Scale S);
+};
+
+/// FLUIDANIMATE-2: the whole-frame loop of Fig 5.5. See file comment.
+class FluidAnimate2Workload final : public Workload {
+public:
+  explicit FluidAnimate2Workload(const FluidAnimate2Params &P);
+
+  const char *name() const override { return "fluidanimate2"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return 8 * Params.Frames; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.NumBlocks;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return 5ull * Params.NumBlocks; // pos, vel, dens, force, cell per block
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool domoreApplicable() const override { return false; }
+  const char *innerLoopPlan() const override { return "LOCALWRITE"; }
+
+private:
+  enum Phase {
+    ClearParticles = 0,
+    RebuildGrid,
+    InitDensitiesAndForces,
+    ComputeDensities,
+    ComputeDensities2,
+    ComputeForces,
+    ProcessCollisions,
+    AdvanceParticles
+  };
+
+  std::size_t begin(std::size_t Block) const {
+    return Block * Params.BlockSize;
+  }
+
+  FluidAnimate2Params Params;
+  std::vector<double> Pos, Vel, Dens, Force, Cell;
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_FLUIDANIMATE_H

@@ -1,0 +1,87 @@
+//===- workloads/Jacobi.cpp - Ping-pong Jacobi 2-D stencil ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Jacobi.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+JacobiParams JacobiParams::forScale(Scale S) {
+  JacobiParams P;
+  switch (S) {
+  case Scale::Test:
+    P.Sweeps = 24;
+    P.Rows = 26;
+    P.Cols = 26;
+    break;
+  case Scale::Train:
+    // 500 rows -> min cross-thread dependence distance 497 (Table 5.3).
+    P.Sweeps = 120;
+    P.Rows = 500;
+    P.Cols = 96;
+    P.WorkFlops = 16;
+    break;
+  case Scale::Ref:
+    // 1000 rows -> 997; 1000 epochs as in Table 5.3.
+    P.Sweeps = 400;
+    P.Rows = 1000;
+    P.Cols = 96;
+    P.WorkFlops = 16;
+    break;
+  }
+  return P;
+}
+
+JacobiWorkload::JacobiWorkload(const JacobiParams &P) : Params(P) {
+  assert(Params.Rows >= 3 && Params.Cols >= 3 && "grid too small");
+  const std::size_t N = static_cast<std::size_t>(Params.Rows) * Params.Cols;
+  A.resize(N);
+  B.resize(N);
+  reset();
+}
+
+void JacobiWorkload::reset() {
+  for (std::size_t I = 0; I < Params.Rows; ++I)
+    for (std::size_t J = 0; J < Params.Cols; ++J) {
+      at(A, I, J) = static_cast<double>((I * 3 + J) % 19) / 19.0;
+      at(B, I, J) = at(A, I, J);
+    }
+}
+
+void JacobiWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  std::vector<double> &Src = Epoch % 2 == 0 ? A : B;
+  std::vector<double> &Dst = Epoch % 2 == 0 ? B : A;
+  const std::size_t I = Task + 1; // interior row
+  for (std::size_t J = 1; J + 1 < Params.Cols; ++J) {
+    const double Avg = 0.2 * (at(Src, I, J) + at(Src, I - 1, J) +
+                              at(Src, I + 1, J) + at(Src, I, J - 1) +
+                              at(Src, I, J + 1));
+    at(Dst, I, J) =
+        Params.WorkFlops ? burnFlops(Avg, Params.WorkFlops) : Avg;
+  }
+}
+
+void JacobiWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                   std::vector<std::uint64_t> &Addrs) const {
+  // Row-granular, interleaved (A row i = 2i, B row i = 2i+1) so one task's
+  // accesses stay contiguous for range signatures.
+  const std::uint64_t Src = Epoch % 2 == 0 ? 0 : 1;
+  const std::uint64_t Dst = 1 - Src;
+  const std::uint64_t I = Task + 1;
+  Addrs.push_back(2 * I + Dst);
+  Addrs.push_back(2 * (I - 1) + Src);
+  Addrs.push_back(2 * I + Src);
+  Addrs.push_back(2 * (I + 1) + Src);
+}
+
+void JacobiWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(A);
+  Reg.registerBuffer(B);
+}
+
+std::uint64_t JacobiWorkload::checksum() const {
+  return hashDoubles(B, hashDoubles(A));
+}

@@ -1,0 +1,65 @@
+//===- workloads/Jacobi.h - Ping-pong Jacobi 2-D stencil -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic Jacobi relaxation: each sweep reads one grid and writes the
+/// other, alternating per epoch; tasks are interior rows. Reads of rows
+/// i-1/i+1 written by the previous epoch produce cross-thread conflicts one
+/// task short of a full epoch — min dependence distance N-3 for an N-row
+/// grid, matching Table 5.3's 497 (train, N=500) and 997 (ref, N=1000).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_JACOBI_H
+#define CIP_WORKLOADS_JACOBI_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct JacobiParams {
+  std::uint32_t Sweeps = 20; // epochs
+  std::uint32_t Rows = 32;
+  std::uint32_t Cols = 32;
+  unsigned WorkFlops = 0; // extra per-cell smoothing work
+  std::uint64_t Seed = 0x1ac0b1;
+
+  static JacobiParams forScale(Scale S);
+};
+
+/// See file comment.
+class JacobiWorkload final : public Workload {
+public:
+  explicit JacobiWorkload(const JacobiParams &P);
+
+  const char *name() const override { return "jacobi"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Sweeps; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.Rows - 2;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override { return 2 * Params.Rows; }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+  bool domoreApplicable() const override { return false; }
+
+private:
+  double &at(std::vector<double> &G, std::size_t I, std::size_t J) {
+    return G[I * Params.Cols + J];
+  }
+
+  JacobiParams Params;
+  std::vector<double> A, B; // ping-pong grids
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_JACOBI_H

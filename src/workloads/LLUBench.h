@@ -1,0 +1,68 @@
+//===- workloads/LLUBench.h - Linked-list update microbench ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM's llubenchmark: pointer-chasing updates over many linked lists.
+/// Each epoch processes its own disjoint chunk of lists (tasks = lists);
+/// the pointer indirection defeats static analysis, forcing barriers in the
+/// baseline, but no address is ever shared across epochs, so profiling
+/// reports "*" (Table 5.3) and speculation never fails — the ideal
+/// SPECCROSS case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_LLUBENCH_H
+#define CIP_WORKLOADS_LLUBENCH_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct LLUBenchParams {
+  std::uint32_t Epochs = 40;
+  std::uint32_t ListsPerEpoch = 55; // Table 5.3: 110000 tasks / 2000 epochs
+  std::uint32_t NodesPerList = 32;
+  std::uint64_t Seed = 0x11ab;
+
+  static LLUBenchParams forScale(Scale S);
+};
+
+/// See file comment.
+class LLUBenchWorkload final : public Workload {
+public:
+  explicit LLUBenchWorkload(const LLUBenchParams &P);
+
+  const char *name() const override { return "llubench"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Epochs; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.ListsPerEpoch;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.Epochs) * Params.ListsPerEpoch;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+
+private:
+  std::size_t headOf(std::uint32_t Epoch, std::size_t Task) const {
+    return (static_cast<std::size_t>(Epoch) * Params.ListsPerEpoch + Task) *
+           Params.NodesPerList;
+  }
+
+  LLUBenchParams Params;
+  std::vector<std::uint32_t> Next; // intra-list successor, node-pool indexed
+  std::vector<double> Val;         // per-node payload
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_LLUBENCH_H

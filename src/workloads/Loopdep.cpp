@@ -1,0 +1,79 @@
+//===- workloads/Loopdep.cpp - OmpSCR-style loop-dependence kernel -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Loopdep.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+LoopdepParams LoopdepParams::forScale(Scale S) {
+  LoopdepParams P;
+  switch (S) {
+  case Scale::Test:
+    P.Epochs = 40;
+    P.TasksPerEpoch = 24;
+    P.CellsPerTask = 8;
+    P.WorkFlops = 2;
+    break;
+  case Scale::Train:
+    // 2*250 - 1 = 499 ~ Table 5.3's 500 on the train input.
+    P.Epochs = 500;
+    P.TasksPerEpoch = 250;
+    P.CellsPerTask = 16;
+    P.WorkFlops = 24;
+    break;
+  case Scale::Ref:
+    // 2*400 - 1 = 799 ~ Table 5.3's 800 on the ref input.
+    P.Epochs = 1000;
+    P.TasksPerEpoch = 400;
+    P.CellsPerTask = 16;
+    P.WorkFlops = 24;
+    break;
+  }
+  return P;
+}
+
+LoopdepWorkload::LoopdepWorkload(const LoopdepParams &P) : Params(P) {
+  assert(Params.Epochs >= 4 && "need at least one full buffer rotation");
+  Data.resize(4ull * Params.TasksPerEpoch * Params.CellsPerTask);
+  reset();
+}
+
+void LoopdepWorkload::reset() {
+  for (std::size_t I = 0; I < Data.size(); ++I)
+    Data[I] = static_cast<double>(I % 23) / 23.0;
+}
+
+void LoopdepWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  const std::uint32_t Dst = Epoch % 4;
+  const std::uint32_t Src = (Epoch + 2) % 4; // == (Epoch - 2) mod 4
+  // Reads segment Task and Task+1 of the buffer written two epochs ago.
+  const std::size_t Next = (Task + 1) % Params.TasksPerEpoch;
+  for (std::size_t C = 0; C < Params.CellsPerTask; ++C) {
+    const double In =
+        0.5 * (cell(Src, Task, C) +
+               cell(Src, Next, Params.CellsPerTask - 1 - C));
+    cell(Dst, Task, C) = burnFlops(In, Params.WorkFlops);
+  }
+}
+
+void LoopdepWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                    std::vector<std::uint64_t> &Addrs) const {
+  // Segment-granular: buffer b's segment t has abstract address
+  // b * TasksPerEpoch + t.
+  const std::uint64_t T = Params.TasksPerEpoch;
+  const std::uint64_t Dst = Epoch % 4;
+  const std::uint64_t Src = (Epoch + 2) % 4;
+  Addrs.push_back(Dst * T + Task);
+  Addrs.push_back(Src * T + Task);
+  Addrs.push_back(Src * T + (Task + 1) % T);
+}
+
+void LoopdepWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Data);
+}
+
+std::uint64_t LoopdepWorkload::checksum() const { return hashDoubles(Data); }

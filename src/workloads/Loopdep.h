@@ -1,0 +1,76 @@
+//===- workloads/Loopdep.h - OmpSCR-style loop-dependence kernel -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OmpSCR "loopdep" pattern: a time-stepped vector update whose reads
+/// reach two epochs back. Implemented as a 4-buffer rotation — epoch e
+/// writes buffer e%4 and reads buffer (e-2)%4 at a one-element offset — so
+/// every cross-thread conflict lies almost exactly two epochs away: the
+/// minimum dependence distance is 2*T - 1 for T tasks per epoch, matching
+/// Table 5.3's ~500 (train, T=250) and ~800 (ref, T=400).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_LOOPDEP_H
+#define CIP_WORKLOADS_LOOPDEP_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct LoopdepParams {
+  std::uint32_t Epochs = 40;
+  std::uint32_t TasksPerEpoch = 32;
+  std::uint32_t CellsPerTask = 16;
+  unsigned WorkFlops = 4;
+
+  static LoopdepParams forScale(Scale S);
+};
+
+/// See file comment.
+class LoopdepWorkload final : public Workload {
+public:
+  explicit LoopdepWorkload(const LoopdepParams &P);
+
+  const char *name() const override { return "loopdep"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Epochs; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Params.TasksPerEpoch;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return 4ull * Params.TasksPerEpoch;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+
+  /// The 4-buffer rotation scatters one task's three addresses across
+  /// distant buffer bases; the exact small-set scheme avoids both the
+  /// range signature's span false positives and the Bloom filter's
+  /// intersection false positives.
+  speccross::SignatureScheme preferredSignature() const override {
+    return speccross::SignatureScheme::SmallSet;
+  }
+
+private:
+  double &cell(std::uint32_t Buf, std::size_t Task, std::size_t Cell) {
+    return Data[(static_cast<std::size_t>(Buf) * Params.TasksPerEpoch + Task) *
+                    Params.CellsPerTask +
+                Cell];
+  }
+
+  LoopdepParams Params;
+  std::vector<double> Data; // 4 rotating buffers of TasksPerEpoch segments
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_LOOPDEP_H

@@ -1,0 +1,74 @@
+//===- workloads/Symm.cpp - PolyBench SYMM-like triangular kernel --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Symm.h"
+
+#include "support/Rng.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+SymmParams SymmParams::forScale(Scale S) {
+  SymmParams P;
+  switch (S) {
+  case Scale::Test:
+    P.N = 40;
+    P.WorkFlops = 4;
+    break;
+  case Scale::Train:
+    P.N = 400;
+    P.WorkFlops = 600;
+    break;
+  case Scale::Ref:
+    // Triangular over 1000 rows: 500500 tasks, as in Table 5.3.
+    P.N = 1000;
+    P.WorkFlops = 600;
+    break;
+  }
+  return P;
+}
+
+SymmWorkload::SymmWorkload(const SymmParams &P) : Params(P) {
+  const std::size_t N2 = static_cast<std::size_t>(Params.N) * Params.N;
+  A.resize(N2);
+  C.resize(N2);
+  Xoshiro256StarStar Rng(Params.Seed);
+  for (std::size_t I = 0; I < N2; ++I)
+    A[I] = Rng.nextDouble();
+  reset();
+}
+
+void SymmWorkload::reset() {
+  for (std::size_t I = 0; I < C.size(); ++I)
+    C[I] = 0.0;
+}
+
+void SymmWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  // C[e][j] accumulates the symmetric contraction of row e against row j.
+  const std::size_t N = Params.N;
+  const double *RowE = &A[static_cast<std::size_t>(Epoch) * N];
+  const double *RowJ = &A[Task * N];
+  double Acc = 0.0;
+  // Touch a bounded strip so the task grain is controlled by WorkFlops.
+  const std::size_t Strip = std::min<std::size_t>(N, 16);
+  for (std::size_t K = 0; K < Strip; ++K)
+    Acc += RowE[K] * RowJ[N - 1 - K];
+  C[static_cast<std::size_t>(Epoch) * N + Task] =
+      burnFlops(Acc, Params.WorkFlops);
+}
+
+void SymmWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                 std::vector<std::uint64_t> &Addrs) const {
+  // Element-granular writes; the A reads are read-only input and thus not
+  // instrumented (no dependence can flow through them).
+  Addrs.push_back(static_cast<std::uint64_t>(Epoch) * Params.N + Task);
+}
+
+void SymmWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(C);
+}
+
+std::uint64_t SymmWorkload::checksum() const { return hashDoubles(C); }

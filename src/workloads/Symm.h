@@ -1,0 +1,63 @@
+//===- workloads/Symm.h - PolyBench SYMM-like triangular kernel -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PolyBench's symm: a triangular update where epoch (outer row) e carries
+/// e+1 tasks, each writing one element of row e of C from read-only inputs.
+/// No two epochs write the same element and the inputs are read-only, so
+/// the profiled min dependence distance is "*" (Table 5.3) — but the
+/// strongly varying epoch sizes make barrier execution badly load-imbalanced
+/// (threads with no task in small epochs idle at every barrier), which is
+/// exactly what cross-invocation execution recovers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_SYMM_H
+#define CIP_WORKLOADS_SYMM_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct SymmParams {
+  std::uint32_t N = 48; // epochs; epoch e has e+1 tasks
+  unsigned WorkFlops = 8;
+  std::uint64_t Seed = 0x5a11;
+
+  static SymmParams forScale(Scale S);
+};
+
+/// See file comment.
+class SymmWorkload final : public Workload {
+public:
+  explicit SymmWorkload(const SymmParams &P);
+
+  const char *name() const override { return "symm"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.N; }
+  std::size_t numTasks(std::uint32_t Epoch) const override {
+    return Epoch + 1;
+  }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.N) * Params.N;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+
+private:
+  SymmParams Params;
+  std::vector<double> A; // read-only symmetric input
+  std::vector<double> C; // triangular output
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_SYMM_H

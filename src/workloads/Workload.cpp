@@ -1,0 +1,95 @@
+//===- workloads/Workload.cpp - Common benchmark interface ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/BlackScholes.h"
+#include "workloads/CG.h"
+#include "workloads/Eclat.h"
+#include "workloads/Equake.h"
+#include "workloads/Fdtd.h"
+#include "workloads/FluidAnimate.h"
+#include "workloads/Jacobi.h"
+#include "workloads/LLUBench.h"
+#include "workloads/Loopdep.h"
+#include "workloads/Symm.h"
+
+#include <cstring>
+
+using namespace cip;
+using namespace cip::workloads;
+
+Workload::~Workload() = default;
+
+std::uint64_t Workload::totalTasks() const {
+  std::uint64_t Sum = 0;
+  for (std::uint32_t E = 0, N = numEpochs(); E < N; ++E)
+    Sum += numTasks(E);
+  return Sum;
+}
+
+std::uint64_t workloads::hashBytes(const void *Data, std::size_t Bytes,
+                                   std::uint64_t Seed) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  std::uint64_t H = Seed;
+  for (std::size_t I = 0; I < Bytes; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::uint64_t workloads::hashDoubles(const std::vector<double> &Xs,
+                                     std::uint64_t Seed) {
+  return hashBytes(Xs.data(), Xs.size() * sizeof(double), Seed);
+}
+
+double workloads::burnFlops(double Seedling, unsigned Flops) {
+  // A dependent chain the compiler cannot vectorize away; keeps the value
+  // bounded so repeated application stays finite.
+  double X = Seedling;
+  for (unsigned I = 0; I < Flops; ++I)
+    X = 0.5 * X + 0.25 / (1.0 + X * X);
+  return X;
+}
+
+std::unique_ptr<Workload> workloads::makeWorkload(const std::string &Name,
+                                                  Scale S) {
+  if (Name == "cg")
+    return std::make_unique<CGWorkload>(CGParams::forScale(S));
+  if (Name == "equake")
+    return std::make_unique<EquakeWorkload>(EquakeParams::forScale(S));
+  if (Name == "fdtd")
+    return std::make_unique<FdtdWorkload>(FdtdParams::forScale(S));
+  if (Name == "jacobi")
+    return std::make_unique<JacobiWorkload>(JacobiParams::forScale(S));
+  if (Name == "symm")
+    return std::make_unique<SymmWorkload>(SymmParams::forScale(S));
+  if (Name == "loopdep")
+    return std::make_unique<LoopdepWorkload>(LoopdepParams::forScale(S));
+  if (Name == "llubench")
+    return std::make_unique<LLUBenchWorkload>(LLUBenchParams::forScale(S));
+  if (Name == "fluidanimate1")
+    return std::make_unique<FluidAnimate1Workload>(
+        FluidAnimate1Params::forScale(S));
+  if (Name == "fluidanimate2")
+    return std::make_unique<FluidAnimate2Workload>(
+        FluidAnimate2Params::forScale(S));
+  if (Name == "blackscholes")
+    return std::make_unique<BlackScholesWorkload>(
+        BlackScholesParams::forScale(S));
+  if (Name == "eclat")
+    return std::make_unique<EclatWorkload>(EclatParams::forScale(S));
+  return nullptr;
+}
+
+const std::vector<std::string> &workloads::allWorkloadNames() {
+  static const std::vector<std::string> Names = {
+      "fdtd",          "jacobi",        "symm",         "loopdep",
+      "blackscholes",  "fluidanimate1", "fluidanimate2", "equake",
+      "llubench",      "cg",            "eclat"};
+  return Names;
+}

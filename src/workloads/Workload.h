@@ -1,0 +1,135 @@
+//===- workloads/Workload.h - Common benchmark interface -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common shape of every benchmark in the dissertation's Table 5.1. A
+/// workload is a sequence of *epochs* — inner-loop invocations that the
+/// baseline parallelization separates with barriers — each containing
+/// independent *tasks* (inner-loop iterations). Each task additionally
+/// exposes the abstract addresses it accesses; this is precisely the
+/// artifact the paper's compiler produces (DOMORE's computeAddr slice,
+/// SPECCROSS's spec_access instrumentation), so one description drives the
+/// sequential, barrier, DOMORE, and SPECCROSS executors in src/harness.
+///
+/// Determinism contract: tasks within an epoch write disjoint locations
+/// (the inner loops are DOALL/LOCALWRITE-planned), and any cross-epoch
+/// same-address accesses are ordered by the runtimes, so every executor
+/// must produce bit-identical \c checksum() results. The tests enforce
+/// this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_WORKLOAD_H
+#define CIP_WORKLOADS_WORKLOAD_H
+
+#include "speccross/Checkpoint.h"
+#include "speccross/Signature.h"
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace workloads {
+
+/// Problem-size selector, mirroring the paper's train/ref input pairs
+/// (Table 5.3 profiles on train and runs on ref).
+enum class Scale { Test, Train, Ref };
+
+/// Abstract benchmark. See file comment for the execution model.
+class Workload {
+public:
+  virtual ~Workload();
+
+  virtual const char *name() const = 0;
+
+  /// Restores all mutable state to its deterministic initial value.
+  virtual void reset() = 0;
+
+  /// Number of inner-loop invocations (epochs).
+  virtual std::uint32_t numEpochs() const = 0;
+
+  /// Number of independent tasks in \p Epoch. Must be pure.
+  virtual std::size_t numTasks(std::uint32_t Epoch) const = 0;
+
+  /// Executes one task. Thread-safe against other tasks of the same epoch.
+  virtual void runTask(std::uint32_t Epoch, std::size_t Task) = 0;
+
+  /// Appends the abstract addresses task (\p Epoch, \p Task) accesses that
+  /// participate in cross-iteration/cross-invocation dependences.
+  virtual void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                             std::vector<std::uint64_t> &Addrs) const = 0;
+
+  /// Sequential outer-loop code run before \p Epoch's tasks. Thread \p Tid
+  /// executes its (privatized) copy when the executor duplicates prologues.
+  virtual void epochPrologue(std::uint32_t Epoch, std::uint32_t Tid) {}
+
+  /// True if epochPrologue does real work.
+  virtual bool hasPrologue() const { return false; }
+
+  /// True if the prologue may run concurrently on every worker (writes only
+  /// thread-private state) — the SPECCROSS §4.3 / DOMORE §3.4 requirement.
+  virtual bool prologueDuplicable() const { return true; }
+
+  /// Appends abstract addresses the prologue of \p Epoch writes, so the
+  /// DOMORE scheduler can order the prologue against in-flight iterations.
+  virtual void prologueAddresses(std::uint32_t Epoch,
+                                 std::vector<std::uint64_t> &Addrs) const {}
+
+  /// Size of the dense abstract address space, or 0 if sparse.
+  virtual std::uint64_t addressSpaceSize() const = 0;
+
+  /// Registers every buffer tasks may write, for checkpoint/restore.
+  virtual void registerState(speccross::CheckpointRegistry &Reg) = 0;
+
+  /// Deterministic digest of the output state.
+  virtual std::uint64_t checksum() const = 0;
+
+  /// Table 5.1 applicability columns.
+  virtual bool domoreApplicable() const { return true; }
+  virtual bool speccrossApplicable() const { return true; }
+
+  /// Table 5.1 "parallelization plan for inner loop" column.
+  virtual const char *innerLoopPlan() const { return "DOALL"; }
+
+  /// Signature scheme suited to this workload's access pattern: range for
+  /// clustered accesses (the paper's default), Bloom for scattered ones.
+  virtual speccross::SignatureScheme preferredSignature() const {
+    return speccross::SignatureScheme::Range;
+  }
+
+  /// Total task count across all epochs (convenience).
+  std::uint64_t totalTasks() const;
+};
+
+/// FNV-1a over a little-endian byte view; the project-wide checksum mixer.
+std::uint64_t hashBytes(const void *Data, std::size_t Bytes,
+                        std::uint64_t Seed = 0xcbf29ce484222325ULL);
+
+/// Hashes a vector of doubles by bit pattern.
+std::uint64_t hashDoubles(const std::vector<double> &Xs,
+                          std::uint64_t Seed = 0xcbf29ce484222325ULL);
+
+/// Spins for roughly \p Flops dependent floating-point operations and
+/// returns an accumulated value; the standard "do_work" body used to give
+/// tasks realistic, tunable grain.
+double burnFlops(double Seedling, unsigned Flops);
+
+/// Factory: constructs one of the Table 5.1 workloads by name. Known names:
+/// "cg", "equake", "fdtd", "jacobi", "symm", "loopdep", "llubench",
+/// "fluidanimate1", "fluidanimate2", "blackscholes", "eclat".
+/// Returns nullptr for unknown names.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name, Scale S);
+
+/// All factory-known workload names, in Table 5.1 order.
+const std::vector<std::string> &allWorkloadNames();
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_WORKLOAD_H

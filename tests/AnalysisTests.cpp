@@ -1,0 +1,257 @@
+//===- tests/AnalysisTests.cpp - Unit tests for src/analysis -------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepProfiler.h"
+#include "analysis/IndexExpr.h"
+#include "analysis/PDG.h"
+#include "analysis/SCC.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "tests/TestNests.h"
+
+#include <gtest/gtest.h>
+
+using namespace cip;
+using namespace cip::analysis;
+using namespace cip::ir;
+using namespace cip::tests;
+
+namespace {
+
+/// Analysis bundle over one function.
+struct Analyses {
+  explicit Analyses(const Function &F)
+      : G(F), DT(G, false), PDT(G, true), LI(G, DT) {}
+  CFG G;
+  DominatorTree DT;
+  DominatorTree PDT;
+  LoopInfo LI;
+};
+
+} // namespace
+
+TEST(IndexExprAnalysis, RecognizesInductionVariable) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  Loop *Inner = Outer->subLoops().front();
+
+  const auto OuterIV = findInductionVar(*Outer, A.G);
+  ASSERT_TRUE(OuterIV.has_value());
+  EXPECT_EQ(OuterIV->Phi->name(), "i");
+  EXPECT_EQ(OuterIV->Step, 1);
+
+  const auto InnerIV = findInductionVar(*Inner, A.G);
+  ASSERT_TRUE(InnerIV.has_value());
+  EXPECT_EQ(InnerIV->Phi->name(), "j");
+  EXPECT_EQ(InnerIV->Phi->name(), "j");
+}
+
+TEST(IndexExprAnalysis, AffineFormsAndDependenceTests) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Inner = A.LI.topLevelLoops().front()->subLoops().front();
+  const auto IV = findInductionVar(*Inner, A.G);
+  ASSERT_TRUE(IV.has_value());
+
+  // j itself: 1*j + 0.
+  const IndexExpr J = analyzeIndex(IV->Phi, *Inner, *IV);
+  ASSERT_TRUE(J.Valid);
+  EXPECT_EQ(J.Scale, 1);
+  EXPECT_EQ(J.Offset, 0);
+
+  // j + 2. (Stack-built expressions get an in-loop parent so the analysis
+  // does not misread them as loop invariants.)
+  BasicBlock *Body = IV->Phi->parent();
+  Instruction JPlus2(Opcode::Add, "tmp", {const_cast<Instruction *>(IV->Phi),
+                                          M.getConstant(2)});
+  JPlus2.setParent(Body);
+  const IndexExpr J2 = analyzeIndex(&JPlus2, *Inner, *IV);
+  ASSERT_TRUE(J2.Valid);
+  EXPECT_EQ(J2.Offset, 2);
+
+  // Strong SIV: j vs j+2 -> carried; j vs j -> intra only.
+  EXPECT_EQ(testDependence(J, J2), DepTest::Carried);
+  EXPECT_EQ(testDependence(J, J), DepTest::IntraOnly);
+
+  // ZIV: 3 vs 4 -> no dep; 3 vs 3 -> dep.
+  EXPECT_EQ(testDependence(IndexExpr::constant(3), IndexExpr::constant(4)),
+            DepTest::NoDep);
+  EXPECT_EQ(testDependence(IndexExpr::constant(3), IndexExpr::constant(3)),
+            DepTest::Carried);
+
+  // 2*j vs 2*j+1: different residues -> no dep.
+  Instruction TwoJ(Opcode::Mul, "twoj",
+                   {const_cast<Instruction *>(IV->Phi), M.getConstant(2)});
+  TwoJ.setParent(Body);
+  Instruction TwoJ1(Opcode::Add, "twoj1", {&TwoJ, M.getConstant(1)});
+  TwoJ1.setParent(Body);
+  const IndexExpr E2J = analyzeIndex(&TwoJ, *Inner, *IV);
+  const IndexExpr E2J1 = analyzeIndex(&TwoJ1, *Inner, *IV);
+  ASSERT_TRUE(E2J.Valid && E2J1.Valid);
+  EXPECT_EQ(testDependence(E2J, E2J1), DepTest::NoDep);
+
+  // Unanalyzable: a load-derived index.
+  const IndexExpr Bad;
+  EXPECT_EQ(testDependence(Bad, J), DepTest::May);
+}
+
+TEST(PDGAnalysis, InnerLoopOfCgIsIndependent) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Inner = A.LI.topLevelLoops().front()->subLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Inner);
+  // C[j] load/store pairs are intra-iteration only: no carried memory dep
+  // (the Fig 3.1(b) result that makes the inner loop DOALL).
+  EXPECT_FALSE(G.hasLoopCarriedMemoryDep());
+}
+
+TEST(PDGAnalysis, OuterLoopOfCgCarriesUpdateDependence) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  // The update(&C[j]) dependence from E to itself (Fig 3.1(c)).
+  EXPECT_TRUE(G.hasLoopCarriedMemoryDep());
+  EXPECT_TRUE(G.hasCrossInvocationMemoryDep());
+}
+
+TEST(PDGAnalysis, ControlDependencesFollowBranches) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  // The inner-loop exit test controls the inner body's store.
+  const Instruction *InnerBranch = nullptr;
+  const Instruction *Store = nullptr;
+  for (const Instruction *I : G.nodes()) {
+    if (I->opcode() == Opcode::CondBr && I->parent()->name() == "inner.header")
+      InnerBranch = I;
+    if (I->opcode() == Opcode::Store)
+      Store = I;
+  }
+  ASSERT_TRUE(InnerBranch && Store);
+  bool Found = false;
+  for (const DepEdge &E : G.edges())
+    Found |= E.Kind == DepKind::Control && E.Src == InnerBranch &&
+             E.Dst == Store;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PDGAnalysis, PhaseNestFlagsCrossInvocationDeps) {
+  Module M;
+  PhaseNest Nest = buildPhaseNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  // Y written in L1, read in L2 (and X vice versa): dependences between
+  // different inner loops must be flagged cross-invocation.
+  EXPECT_TRUE(G.hasCrossInvocationMemoryDep());
+  unsigned CrossPhase = 0;
+  for (const DepEdge &E : G.edges())
+    if (E.Kind == DepKind::Memory && E.CrossInvocation)
+      ++CrossPhase;
+  EXPECT_GE(CrossPhase, 2u); // at least Y (L1->L2) and X (L2->L1)
+}
+
+TEST(SccAnalysis, CgOuterPdgHasCyclicUpdateComponent) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  DagScc Dag(G);
+  EXPECT_GT(Dag.numComponents(), 1u);
+
+  // The C[j] load and store sit in one cyclic component.
+  const Instruction *LoadC = nullptr, *StoreC = nullptr;
+  for (const Instruction *I : G.nodes()) {
+    if (I->opcode() == Opcode::Load && I->operand(0) == Nest.C)
+      LoadC = I;
+    if (I->opcode() == Opcode::Store)
+      StoreC = I;
+  }
+  ASSERT_TRUE(LoadC && StoreC);
+  EXPECT_EQ(Dag.componentOf(LoadC), Dag.componentOf(StoreC));
+  EXPECT_TRUE(Dag.isCyclic(Dag.componentOf(LoadC)));
+
+  // The topological order covers every component exactly once.
+  const auto Topo = Dag.topoOrder();
+  EXPECT_EQ(Topo.size(), Dag.numComponents());
+}
+
+TEST(SccAnalysis, TopoOrderRespectsEdges) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  DagScc Dag(G);
+  const auto Topo = Dag.topoOrder();
+  std::vector<unsigned> PosOf(Dag.numComponents());
+  for (unsigned I = 0; I < Topo.size(); ++I)
+    PosOf[Topo[I]] = I;
+  for (const auto &[Src, Dst] : Dag.edges())
+    EXPECT_LT(PosOf[Src], PosOf[Dst]);
+}
+
+TEST(DepProfilerAnalysis, MeasuresManifestRateAndDistance) {
+  // Instrument the CG nest with the marker calls and profile it with a
+  // stride that overlaps every consecutive pair of rows.
+  Module M;
+  CgNest Nest = buildCgNest(M, /*NumRows=*/20, /*DataSize=*/64);
+  // Insert markers: invocation at inner preheader, iteration at inner body.
+  for (const auto &BB : Nest.F->blocks()) {
+    auto Mark = [&](const char *Name) {
+      auto C = std::make_unique<Instruction>(Opcode::Call, "",
+                                             std::vector<Value *>{});
+      C->setCalleeName(Name);
+      BB->insert(0, std::move(C));
+    };
+    if (BB->name() == "inner.pre")
+      Mark("cip.invocation");
+    if (BB->name() == "inner.body")
+      Mark("cip.iteration");
+  }
+  ASSERT_TRUE(verifyFunction(*Nest.F));
+
+  MemoryState Mem(M);
+  seedCgMemory(Nest, Mem, /*RowLen=*/6, /*Stride=*/3);
+  const LoopNestProfile P = profileLoopNest(*Nest.F, {}, Mem);
+  ASSERT_TRUE(P.Exec.Completed) << P.Exec.Error;
+  EXPECT_EQ(P.Invocations, 20u);
+  EXPECT_EQ(P.Iterations, 120u);
+  // Stride 3 < RowLen 6: every consecutive pair overlaps -> 100% manifest.
+  EXPECT_DOUBLE_EQ(P.manifestRate(), 1.0);
+  // Overlap of 3 elements, 6 iterations per row: nearest dependence is the
+  // first overlapping element, 3 iterations after the previous access.
+  EXPECT_EQ(P.MinIterationDistance, 3u);
+}
+
+TEST(DepProfilerAnalysis, DisjointRowsShowNoDependences) {
+  Module M;
+  CgNest Nest = buildCgNest(M, /*NumRows=*/8, /*DataSize=*/64);
+  for (const auto &BB : Nest.F->blocks()) {
+    if (BB->name() != "inner.pre" && BB->name() != "inner.body")
+      continue;
+    auto C = std::make_unique<Instruction>(Opcode::Call, "",
+                                           std::vector<Value *>{});
+    C->setCalleeName(BB->name() == "inner.pre" ? "cip.invocation"
+                                               : "cip.iteration");
+    BB->insert(0, std::move(C));
+  }
+  MemoryState Mem(M);
+  seedCgMemory(Nest, Mem, /*RowLen=*/4, /*Stride=*/7); // stride > len
+  const LoopNestProfile P = profileLoopNest(*Nest.F, {}, Mem);
+  ASSERT_TRUE(P.Exec.Completed);
+  EXPECT_TRUE(P.conflictFree());
+  EXPECT_DOUBLE_EQ(P.manifestRate(), 0.0);
+}

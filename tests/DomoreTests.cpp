@@ -1,0 +1,274 @@
+//===- tests/DomoreTests.cpp - Unit tests for the DOMORE runtime ---------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+#include "domore/Schedule.h"
+#include "domore/ShadowMemory.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace cip;
+using namespace cip::domore;
+
+TEST(ShadowMemory, DenseLookupAndUpdate) {
+  DenseShadowMemory S(16);
+  EXPECT_FALSE(S.lookup(3).valid());
+  S.update(3, /*Tid=*/2, /*Iter=*/7);
+  const ShadowEntry E = S.lookup(3);
+  ASSERT_TRUE(E.valid());
+  EXPECT_EQ(E.Tid, 2u);
+  EXPECT_EQ(E.Iter, 7);
+  S.clear();
+  EXPECT_FALSE(S.lookup(3).valid());
+}
+
+TEST(ShadowMemory, HashExactKeysSurviveGrowth) {
+  HashShadowMemory S(/*ExpectedEntries=*/4);
+  // Far more entries than the initial capacity forces several growths.
+  for (std::uint64_t A = 0; A < 1000; ++A)
+    S.update(A * 0x9e3779b97f4a7c15ULL, static_cast<std::uint32_t>(A % 7),
+             static_cast<std::int64_t>(A));
+  EXPECT_EQ(S.size(), 1000u);
+  for (std::uint64_t A = 0; A < 1000; ++A) {
+    const ShadowEntry E = S.lookup(A * 0x9e3779b97f4a7c15ULL);
+    ASSERT_TRUE(E.valid());
+    EXPECT_EQ(E.Tid, A % 7);
+    EXPECT_EQ(E.Iter, static_cast<std::int64_t>(A));
+  }
+  EXPECT_FALSE(S.lookup(12345).valid());
+}
+
+TEST(ShadowMemory, HashUpdateOverwrites) {
+  HashShadowMemory S;
+  S.update(42, 1, 10);
+  S.update(42, 3, 20);
+  const ShadowEntry E = S.lookup(42);
+  EXPECT_EQ(E.Tid, 3u);
+  EXPECT_EQ(E.Iter, 20);
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(SchedulePolicy, RoundRobinCycles) {
+  RoundRobinPolicy P(3);
+  std::vector<std::uint64_t> NoAddrs;
+  EXPECT_EQ(P.pick(0, NoAddrs), 0u);
+  EXPECT_EQ(P.pick(1, NoAddrs), 1u);
+  EXPECT_EQ(P.pick(2, NoAddrs), 2u);
+  EXPECT_EQ(P.pick(3, NoAddrs), 0u);
+}
+
+TEST(SchedulePolicy, OwnerComputePartitionsSpace) {
+  OwnerComputePolicy P(/*NumWorkers=*/4, /*SpaceSize=*/100);
+  const std::uint64_t A0[] = {0}, A99[] = {99}, A25[] = {25};
+  EXPECT_EQ(P.pick(0, A0), 0u);
+  EXPECT_EQ(P.pick(0, A25), 1u);
+  EXPECT_EQ(P.pick(0, A99), 3u);
+}
+
+TEST(SchedulePolicy, HashOwnerIsStable) {
+  HashOwnerPolicy P(8);
+  const std::uint64_t A[] = {777};
+  const std::uint32_t First = P.pick(0, A);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(P.pick(I, A), First);
+  EXPECT_LT(First, 8u);
+}
+
+namespace {
+
+/// A synthetic loop nest: NumInv invocations of IterPerInv iterations; each
+/// iteration appends its combined iteration number to the per-element log of
+/// the element it touches. Element choice is pseudo-random, so the same
+/// element is frequently touched by different invocations — the appends must
+/// come out in combined-iteration order iff DOMORE enforces dependences.
+struct ConflictHarness {
+  explicit ConflictHarness(std::uint32_t NumInv, std::uint32_t IterPerInv,
+                           std::uint64_t Space, std::uint64_t Seed)
+      : NumInv(NumInv), IterPerInv(IterPerInv), Space(Space) {
+    Xoshiro256StarStar Rng(Seed);
+    Elements.resize(static_cast<std::size_t>(NumInv) * IterPerInv);
+    // Distinct elements within one invocation (DOALL inner loop): sample
+    // without replacement per invocation.
+    std::vector<std::uint64_t> Pool(Space);
+    std::iota(Pool.begin(), Pool.end(), 0u);
+    for (std::uint32_t Inv = 0; Inv < NumInv; ++Inv) {
+      for (std::uint32_t It = 0; It < IterPerInv; ++It) {
+        const std::size_t Pick = It + Rng.nextBelow(Space - It);
+        std::swap(Pool[It], Pool[Pick]);
+        Elements[static_cast<std::size_t>(Inv) * IterPerInv + It] = Pool[It];
+      }
+    }
+    Log.resize(Space);
+  }
+
+  LoopNest nest() {
+    LoopNest N;
+    N.NumInvocations = NumInv;
+    N.AddressSpaceSize = Space;
+    N.BeginInvocation = [this](std::uint32_t) {
+      return static_cast<std::size_t>(IterPerInv);
+    };
+    N.ComputeAddr = [this](std::uint32_t Inv, std::size_t It,
+                           std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(elementOf(Inv, It));
+    };
+    N.Work = [this](std::uint32_t Inv, std::size_t It) {
+      const std::int64_t Combined =
+          static_cast<std::int64_t>(Inv) * IterPerInv +
+          static_cast<std::int64_t>(It);
+      Log[elementOf(Inv, It)].push_back(Combined);
+    };
+    return N;
+  }
+
+  std::uint64_t elementOf(std::uint32_t Inv, std::size_t It) const {
+    return Elements[static_cast<std::size_t>(Inv) * IterPerInv + It];
+  }
+
+  /// True if every element's log is strictly increasing — i.e., conflicting
+  /// iterations executed in combined-iteration (program) order.
+  bool ordered() const {
+    for (const auto &L : Log)
+      for (std::size_t I = 1; I < L.size(); ++I)
+        if (L[I - 1] >= L[I])
+          return false;
+    return true;
+  }
+
+  std::uint64_t totalAppends() const {
+    std::uint64_t N = 0;
+    for (const auto &L : Log)
+      N += L.size();
+    return N;
+  }
+
+  std::uint32_t NumInv, IterPerInv;
+  std::uint64_t Space;
+  std::vector<std::uint64_t> Elements;
+  std::vector<std::vector<std::int64_t>> Log;
+};
+
+} // namespace
+
+TEST(DomoreRuntime, ExecutesEveryIterationExactlyOnce) {
+  ConflictHarness H(50, 8, 64, 123);
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  const DomoreStats S = runDomore(H.nest(), C);
+  EXPECT_EQ(S.Invocations, 50u);
+  EXPECT_EQ(S.Iterations, 400u);
+  EXPECT_EQ(H.totalAppends(), 400u);
+}
+
+TEST(DomoreRuntime, EnforcesCrossInvocationOrder) {
+  // A small element space makes cross-invocation conflicts dense.
+  for (std::uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    ConflictHarness H(120, 6, 12, Seed);
+    DomoreConfig C;
+    C.NumWorkers = 4;
+    const DomoreStats S = runDomore(H.nest(), C);
+    EXPECT_TRUE(H.ordered()) << "seed " << Seed;
+    EXPECT_GT(S.SyncConditions, 0u) << "seed " << Seed;
+  }
+}
+
+TEST(DomoreRuntime, SingleWorkerDegeneratesToSequential) {
+  ConflictHarness H(30, 5, 8, 9);
+  DomoreConfig C;
+  C.NumWorkers = 1;
+  runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered());
+}
+
+TEST(DomoreRuntime, OwnerComputePolicyStillCorrect) {
+  ConflictHarness H(80, 6, 24, 77);
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  C.Policy = PolicyKind::OwnerCompute;
+  runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered());
+  EXPECT_EQ(H.totalAppends(), 480u);
+}
+
+TEST(DomoreRuntime, HashOwnerPolicyStillCorrect) {
+  ConflictHarness H(80, 6, 24, 78);
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  C.Policy = PolicyKind::HashOwner;
+  runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered());
+}
+
+TEST(DomoreRuntime, TinyQueuesExerciseBackpressure) {
+  ConflictHarness H(60, 8, 16, 5);
+  DomoreConfig C;
+  C.NumWorkers = 2;
+  C.QueueCapacity = 4; // scheduler must stall on full queues, no deadlock
+  runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered());
+  EXPECT_EQ(H.totalAppends(), 480u);
+}
+
+TEST(DomoreRuntime, DuplicatedSchedulerVariantOrdersConflicts) {
+  for (std::uint64_t Seed : {11u, 12u, 13u}) {
+    ConflictHarness H(100, 6, 12, Seed);
+    DomoreConfig C;
+    C.NumWorkers = 4;
+    const DomoreStats S = runDomoreDuplicated(H.nest(), C);
+    EXPECT_TRUE(H.ordered()) << "seed " << Seed;
+    EXPECT_EQ(S.Iterations, 600u);
+  }
+}
+
+TEST(DomoreRuntime, SchedulerWaitsForPrologueDependences) {
+  // The "prologue" reads element 0; iterations also touch element 0. The
+  // scheduler must wait for in-flight iterations before each invocation.
+  constexpr std::uint32_t NumInv = 40;
+  std::vector<std::int64_t> Element0Log;
+  bool PrologueSawPartialState = false;
+
+  LoopNest N;
+  N.NumInvocations = NumInv;
+  N.AddressSpaceSize = 4;
+  N.BeginInvocation = [&](std::uint32_t Inv) -> std::size_t {
+    // All previously dispatched iterations touched element 0; by the time
+    // the sequential code runs they must all have completed and be visible.
+    if (Inv > 0 && Element0Log.size() != static_cast<std::size_t>(Inv) * 2)
+      PrologueSawPartialState = true;
+    return 2;
+  };
+  N.ComputeAddr = [](std::uint32_t, std::size_t,
+                     std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back(0);
+  };
+  N.Work = [&](std::uint32_t Inv, std::size_t It) {
+    Element0Log.push_back(static_cast<std::int64_t>(Inv) * 2 +
+                          static_cast<std::int64_t>(It));
+  };
+  N.PrologueAddresses = [](std::uint32_t, std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back(0);
+  };
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  const DomoreStats S = runDomore(N, C);
+  EXPECT_FALSE(PrologueSawPartialState);
+  EXPECT_EQ(Element0Log.size(), NumInv * 2u);
+  EXPECT_GT(S.PrologueWaits, 0u);
+}
+
+TEST(DomoreRuntime, StatsReportSchedulerRatio) {
+  ConflictHarness H(50, 8, 64, 21);
+  DomoreConfig C;
+  C.NumWorkers = 2;
+  const DomoreStats S = runDomore(H.nest(), C);
+  EXPECT_GT(S.TotalSeconds, 0.0);
+  EXPECT_GE(S.schedulerRatioPercent(), 0.0);
+  EXPECT_LE(S.schedulerRatioPercent(), 100.0);
+}

@@ -1,0 +1,278 @@
+//===- tests/HarnessTests.cpp - Cross-executor equivalence tests ---------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's end-to-end soundness check: every execution strategy —
+/// pthread barriers, DOMORE (both variants, all policies), and SPECCROSS
+/// (all modes) — must produce bit-identical final state to sequential
+/// execution, for every workload, across thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Executor.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace cip;
+using namespace cip::harness;
+using namespace cip::workloads;
+
+namespace {
+
+std::uint64_t sequentialChecksum(const std::string &Name) {
+  auto W = makeWorkload(Name, Scale::Test);
+  return runSequential(*W).Checksum;
+}
+
+struct Case {
+  std::string Workload;
+  unsigned Threads;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case> &Info) {
+  return Info.param.Workload + "_t" + std::to_string(Info.param.Threads);
+}
+
+std::vector<Case> allCases() {
+  std::vector<Case> Cases;
+  for (const std::string &Name : allWorkloadNames())
+    for (unsigned Threads : {1u, 2u, 3u, 4u})
+      Cases.push_back(Case{Name, Threads});
+  return Cases;
+}
+
+class ExecutorEquivalence : public ::testing::TestWithParam<Case> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExecutorEquivalence,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST_P(ExecutorEquivalence, BarrierMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  auto W = makeWorkload(Name, Scale::Test);
+  const ExecResult R = runBarrier(*W, Threads);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, DomoreMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  auto W = makeWorkload(Name, Scale::Test);
+  const ExecResult R = runDomore(*W, Threads);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, DomoreDuplicatedMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  auto W = makeWorkload(Name, Scale::Test);
+  if (!W->prologueDuplicable())
+    GTEST_SKIP() << "prologue not duplicable";
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  const ExecResult R = runDomoreDuplicated(*W, Threads);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, SpecCrossMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  auto W = makeWorkload(Name, Scale::Test);
+  if (!W->speccrossApplicable())
+    GTEST_SKIP() << "SPECCROSS not applicable (Table 5.1)";
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Threads;
+  Cfg.Scheme = W->preferredSignature();
+  Cfg.CheckpointIntervalEpochs = 16;
+  const ExecResult R = runSpecCross(*W, Cfg);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, SpecCrossNonSpeculativeMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  auto W = makeWorkload(Name, Scale::Test);
+  if (!W->speccrossApplicable())
+    GTEST_SKIP() << "SPECCROSS not applicable (Table 5.1)";
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Threads;
+  const ExecResult R =
+      runSpecCross(*W, Cfg, speccross::SpecMode::NonSpeculative);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, SpecCrossWithProfiledThrottleMatchesSequential) {
+  // The paper's full flow: profile (train), configure the speculative
+  // range, then speculate (§4.4).
+  const auto [Name, Threads] = GetParam();
+  auto W = makeWorkload(Name, Scale::Test);
+  if (!W->speccrossApplicable())
+    GTEST_SKIP() << "SPECCROSS not applicable (Table 5.1)";
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Threads;
+  Cfg.Scheme = W->preferredSignature();
+  Cfg.SpecDistance = profiledSpecDistance(*W, Threads);
+  Cfg.CheckpointIntervalEpochs = 32;
+  const ExecResult R = runSpecCross(*W, Cfg);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+TEST_P(ExecutorEquivalence, DomoreOwnerComputeMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  auto W = makeWorkload(Name, Scale::Test);
+  if (W->addressSpaceSize() == 0)
+    GTEST_SKIP() << "owner-compute needs a dense address space";
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  const ExecResult R =
+      runDomore(*W, Threads, domore::PolicyKind::OwnerCompute);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Misspeculation under fire: repeated injected rollbacks stay sound.
+//===----------------------------------------------------------------------===//
+
+TEST(HarnessRecovery, InjectedMisspeculationOnRealWorkload) {
+  const std::uint64_t Expected = sequentialChecksum("equake");
+  auto W = makeWorkload("equake", Scale::Test);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = 3;
+  Cfg.CheckpointIntervalEpochs = 20;
+  Cfg.InjectMisspecAtEpoch = 30;
+  speccross::SpecStats Stats;
+  const ExecResult R =
+      runSpecCross(*W, Cfg, speccross::SpecMode::Speculation, &Stats);
+  EXPECT_EQ(R.Checksum, Expected);
+  EXPECT_EQ(Stats.Misspeculations, 1u);
+  EXPECT_GT(Stats.ReexecutedEpochs, 0u);
+}
+
+TEST(HarnessStats, BarrierExecutorAccountsIdleTime) {
+  auto W = makeWorkload("symm", Scale::Test);
+  const ExecResult R = runBarrier(*W, 4);
+  // SYMM's triangular epochs guarantee idle threads at barriers.
+  EXPECT_GT(R.BarrierIdleNanos, 0u);
+}
+
+TEST(HarnessStats, DomoreReportsSyncConditionsOnCg) {
+  auto W = makeWorkload("cg", Scale::Test);
+  domore::DomoreStats Stats;
+  runDomore(*W, 3, domore::PolicyKind::RoundRobin, &Stats);
+  // ~72% of invocations overlap the previous one: conflicts must appear.
+  EXPECT_GT(Stats.SyncConditions, 0u);
+  EXPECT_EQ(Stats.Invocations, W->numEpochs());
+}
+
+TEST(HarnessProfile, MatchesTable53Shape) {
+  // Thread-aware profiles: conflict-free where the paper reports "*".
+  for (const char *Star : {"llubench", "symm", "equake"}) {
+    auto W = makeWorkload(Star, Scale::Test);
+    speccross::ProfileResult P;
+    profiledSpecDistance(*W, 8, &P);
+    EXPECT_TRUE(P.conflictFree()) << Star;
+  }
+  // Finite distances where the paper reports numbers.
+  for (const char *Finite : {"fdtd", "jacobi", "loopdep", "fluidanimate2"}) {
+    auto W = makeWorkload(Finite, Scale::Test);
+    speccross::ProfileResult P;
+    profiledSpecDistance(*W, 8, &P);
+    EXPECT_FALSE(P.conflictFree()) << Finite;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DOANY baseline and the Chapter 2 staged-loop executors.
+//===----------------------------------------------------------------------===//
+
+TEST_P(ExecutorEquivalence, DoanyMatchesSequential) {
+  const auto [Name, Threads] = GetParam();
+  const std::uint64_t Expected = sequentialChecksum(Name);
+  auto W = makeWorkload(Name, Scale::Test);
+  const ExecResult R = runBarrierDoany(*W, Threads, /*NumLocks=*/8);
+  EXPECT_EQ(R.Checksum, Expected);
+}
+
+#include "harness/StagedLoop.h"
+
+namespace {
+
+/// Fig 2.4 list loop over a tiny pool; results land in per-iteration slots.
+struct ListLoopFixture {
+  explicit ListLoopFixture(std::uint64_t N) : Next(N), Cost(N) {
+    for (std::uint64_t I = 0; I < N; ++I)
+      Next[I] = static_cast<std::uint32_t>((I * 7 + 3) % N);
+  }
+
+  StagedLoop loop() {
+    Node = 0;
+    std::fill(Cost.begin(), Cost.end(), 0.0);
+    StagedLoop L;
+    L.NumIterations = Cost.size();
+    L.Traverse = [this](std::uint64_t) {
+      const std::int64_t Current = Node;
+      Node = Next[Node];
+      return Current;
+    };
+    L.Work = [this](std::uint64_t Iter, std::int64_t Token) {
+      Cost[Iter] = static_cast<double>(Token) * 1.5 +
+                   static_cast<double>(Iter);
+    };
+    return L;
+  }
+
+  std::uint32_t Node = 0;
+  std::vector<std::uint32_t> Next;
+  std::vector<double> Cost;
+};
+
+} // namespace
+
+TEST(StagedLoop, DoacrossMatchesSequential) {
+  ListLoopFixture Ref(512), Par(512);
+  StagedLoop RL = Ref.loop();
+  runStagedSequential(RL);
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    StagedLoop PL = Par.loop();
+    runDoacross(PL, Threads);
+    EXPECT_EQ(Par.Cost, Ref.Cost) << Threads << " threads";
+    EXPECT_EQ(Par.Node, Ref.Node);
+  }
+}
+
+TEST(StagedLoop, DswpMatchesSequential) {
+  ListLoopFixture Ref(512), Par(512);
+  StagedLoop RL = Ref.loop();
+  runStagedSequential(RL);
+  for (unsigned Threads : {2u, 3u, 4u}) {
+    StagedLoop PL = Par.loop();
+    runDswp(PL, Threads);
+    EXPECT_EQ(Par.Cost, Ref.Cost) << Threads << " threads";
+    EXPECT_EQ(Par.Node, Ref.Node);
+  }
+}
+
+TEST(SpecCrossTmMode, TmStyleValidationStillSound) {
+  // Same-epoch comparisons are extra work, never extra wrongness: the
+  // TM-style mode must still produce sequential results and strictly more
+  // signature comparisons on a multi-task region.
+  const std::uint64_t Expected = sequentialChecksum("equake");
+  auto W = makeWorkload("equake", Scale::Test);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = 3;
+  Cfg.TmStyleValidation = true;
+  speccross::SpecStats TmStats;
+  const ExecResult R =
+      runSpecCross(*W, Cfg, speccross::SpecMode::Speculation, &TmStats);
+  EXPECT_EQ(R.Checksum, Expected);
+
+  auto W2 = makeWorkload("equake", Scale::Test);
+  Cfg.TmStyleValidation = false;
+  speccross::SpecStats SpecStats;
+  runSpecCross(*W2, Cfg, speccross::SpecMode::Speculation, &SpecStats);
+  EXPECT_GT(TmStats.SignatureComparisons, SpecStats.SignatureComparisons);
+}

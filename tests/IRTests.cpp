@@ -1,0 +1,436 @@
+//===- tests/IRTests.cpp - Unit tests for the mini-IR --------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Cloning.h"
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interp.h"
+#include "ir/LoopInfo.h"
+#include "ir/Verifier.h"
+#include "tests/TestNests.h"
+
+#include <gtest/gtest.h>
+
+using namespace cip;
+using namespace cip::ir;
+using namespace cip::tests;
+
+TEST(IRCore, RttiClassification) {
+  Module M;
+  Constant *C = M.getConstant(7);
+  GlobalArray *A = M.createArray("a", 4);
+  EXPECT_TRUE(isa<Constant>(static_cast<Value *>(C)));
+  EXPECT_FALSE(isa<GlobalArray>(static_cast<Value *>(C)));
+  EXPECT_TRUE(isa<GlobalArray>(static_cast<Value *>(A)));
+  EXPECT_EQ(cast<Constant>(static_cast<Value *>(C))->value(), 7);
+  EXPECT_EQ(dyn_cast<Constant>(static_cast<Value *>(A)), nullptr);
+}
+
+TEST(IRCore, ConstantsAreUniqued) {
+  Module M;
+  EXPECT_EQ(M.getConstant(42), M.getConstant(42));
+  EXPECT_NE(M.getConstant(42), M.getConstant(43));
+}
+
+TEST(IRCore, ModuleLookups) {
+  Module M;
+  Function *F = M.createFunction("f", 2);
+  GlobalArray *A = M.createArray("arr", 10);
+  EXPECT_EQ(M.getFunction("f"), F);
+  EXPECT_EQ(M.getFunction("g"), nullptr);
+  EXPECT_EQ(M.getArray("arr"), A);
+  EXPECT_EQ(A->size(), 10u);
+  EXPECT_EQ(F->numArgs(), 2u);
+}
+
+TEST(Verifier, AcceptsWellFormedNest) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*Nest.F, &Errors)) << (Errors.empty()
+                                                        ? ""
+                                                        : Errors.front());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("broken", 0);
+  F->createBlock("entry"); // no terminator
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Module M;
+  Function *F = M.createFunction("ubd", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  Instruction *Y = B.add(B.constant(1), B.constant(2), "y");
+  B.ret(B.constant(0));
+  // Insert a user of %y *before* %y's definition.
+  Entry->insert(0, std::make_unique<Instruction>(
+                       Opcode::Add, "early",
+                       std::vector<Value *>{Y, M.getConstant(0)}));
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsMultipleRets) {
+  Module M;
+  Function *F = M.createFunction("rets", 0);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  IRBuilder B(M);
+  B.setInsertPoint(A);
+  B.condBr(B.constant(1), Bb, Bb);
+  B.setInsertPoint(Bb);
+  B.ret(B.constant(0));
+  // Second ret in a new block unreachable but owned.
+  BasicBlock *C = F->createBlock("c");
+  B.setInsertPoint(C);
+  B.ret(B.constant(1));
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(CFGAnalysis, ReversePostOrderStartsAtEntry) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  ASSERT_FALSE(G.reversePostOrder().empty());
+  EXPECT_EQ(G.reversePostOrder().front(), Nest.F->entry());
+  EXPECT_EQ(G.rpoIndex(Nest.F->entry()), 0u);
+  // Every reachable block appears exactly once.
+  EXPECT_EQ(G.reversePostOrder().size(), Nest.F->blocks().size());
+}
+
+TEST(CFGAnalysis, PredecessorsInvertSuccessors) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  for (const auto &BB : Nest.F->blocks())
+    for (BasicBlock *S : G.successors(BB.get())) {
+      const auto &P = G.predecessors(S);
+      EXPECT_NE(std::find(P.begin(), P.end(), BB.get()), P.end());
+    }
+}
+
+TEST(DominatorAnalysis, EntryDominatesEverything) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  DominatorTree DT(G, /*Post=*/false);
+  for (BasicBlock *BB : G.reversePostOrder())
+    EXPECT_TRUE(DT.dominates(Nest.F->entry(), BB));
+  EXPECT_EQ(DT.root(), Nest.F->entry());
+}
+
+TEST(DominatorAnalysis, HeaderDominatesBody) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  DominatorTree DT(G, false);
+  BasicBlock *InnerHeader = nullptr, *InnerBody = nullptr, *OuterHeader =
+                                                               nullptr;
+  for (const auto &BB : Nest.F->blocks()) {
+    if (BB->name() == "inner.header")
+      InnerHeader = BB.get();
+    if (BB->name() == "inner.body")
+      InnerBody = BB.get();
+    if (BB->name() == "outer.header")
+      OuterHeader = BB.get();
+  }
+  ASSERT_TRUE(InnerHeader && InnerBody && OuterHeader);
+  EXPECT_TRUE(DT.dominates(InnerHeader, InnerBody));
+  EXPECT_TRUE(DT.dominates(OuterHeader, InnerHeader));
+  EXPECT_FALSE(DT.dominates(InnerBody, InnerHeader));
+}
+
+TEST(DominatorAnalysis, PostDominatorsRootAtExit) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  DominatorTree PDT(G, /*Post=*/true);
+  ASSERT_NE(PDT.root(), nullptr);
+  EXPECT_EQ(PDT.root()->name(), "exit");
+  // The exit post-dominates the entry.
+  EXPECT_TRUE(PDT.dominates(PDT.root(), Nest.F->entry()));
+}
+
+TEST(LoopAnalysis, FindsTwoNestedLoops) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  CFG G(*Nest.F);
+  DominatorTree DT(G, false);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *Outer = LI.topLevelLoops().front();
+  EXPECT_EQ(Outer->header()->name(), "outer.header");
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  Loop *Inner = Outer->subLoops().front();
+  EXPECT_EQ(Inner->header()->name(), "inner.header");
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_TRUE(Outer->contains(Inner));
+  ASSERT_NE(Inner->preheader(G), nullptr);
+  EXPECT_EQ(Inner->preheader(G)->name(), "inner.pre");
+}
+
+TEST(LoopAnalysis, PhaseNestHasTwoSiblingsInOrder) {
+  Module M;
+  PhaseNest Nest = buildPhaseNest(M);
+  CFG G(*Nest.F);
+  DominatorTree DT(G, false);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  EXPECT_EQ(LI.topLevelLoops().front()->subLoops().size(), 2u);
+  EXPECT_EQ(LI.allLoops().size(), 3u);
+}
+
+TEST(Interp, ExecutesCgNestCorrectly) {
+  Module M;
+  CgNest Nest = buildCgNest(M, /*NumRows=*/5, /*DataSize=*/16);
+  MemoryState Mem(M);
+  seedCgMemory(Nest, Mem, /*RowLen=*/4, /*Stride=*/2);
+
+  // Reference model in plain C++.
+  std::vector<std::int64_t> C = Mem.arrayData(Nest.C);
+  const auto &A = Mem.arrayData(Nest.A);
+  const auto &B = Mem.arrayData(Nest.B);
+  for (unsigned I = 0; I < 5; ++I)
+    for (std::int64_t J = A[I]; J < B[I]; ++J)
+      C[static_cast<std::size_t>(J)] =
+          C[static_cast<std::size_t>(J)] * 3 + I;
+
+  const InterpResult R = interpret(*Nest.F, {}, Mem);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(Mem.arrayData(Nest.C), C);
+}
+
+TEST(Interp, TrapsOnOutOfBounds) {
+  Module M;
+  GlobalArray *A = M.createArray("a", 4);
+  Function *F = M.createFunction("oob", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.store(A, B.constant(9), B.constant(1));
+  B.ret(B.constant(0));
+  MemoryState Mem(M);
+  const InterpResult R = interpret(*F, {}, Mem);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, RunsOutOfFuelOnInfiniteLoop) {
+  Module M;
+  Function *F = M.createFunction("spin", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *LoopBB = F->createBlock("loop");
+  BasicBlock *ExitBB = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(LoopBB);
+  B.setInsertPoint(LoopBB);
+  B.br(LoopBB);
+  B.setInsertPoint(ExitBB);
+  B.ret(B.constant(0));
+  MemoryState Mem(M);
+  InterpOptions Opt;
+  Opt.Fuel = 1000;
+  const InterpResult R = interpret(*F, {}, Mem, Opt);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_EQ(R.Error, "out of fuel");
+}
+
+TEST(Interp, CallsNativeFunctions) {
+  Module M;
+  Function *F = M.createFunction("caller", 1);
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  Instruction *R = B.call("twice", {F->arg(0)}, "r");
+  B.ret(R);
+  MemoryState Mem(M);
+  InterpOptions Opt;
+  Opt.Natives["twice"] = [](const std::vector<std::int64_t> &A) {
+    return A.at(0) * 2;
+  };
+  const InterpResult Res = interpret(*F, {21}, Mem, Opt);
+  ASSERT_TRUE(Res.Completed) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 42);
+}
+
+TEST(Interp, ProduceConsumeThroughQueueBus) {
+  Module M;
+  Function *Producer = M.createFunction("producer", 0);
+  Function *Consumer = M.createFunction("consumer", 0);
+  IRBuilder B(M);
+  B.setInsertPoint(Producer->createBlock("entry"));
+  B.produce(0, B.constant(11));
+  B.produce(0, B.constant(31));
+  B.ret(B.constant(0));
+  B.setInsertPoint(Consumer->createBlock("entry"));
+  Instruction *V1 = B.consume(0, "v1");
+  Instruction *V2 = B.consume(0, "v2");
+  B.ret(B.add(V1, V2, "sum"));
+
+  MemoryState Mem(M);
+  QueueBus Bus(1);
+  InterpOptions Opt;
+  Opt.Bus = &Bus;
+  ASSERT_TRUE(interpret(*Producer, {}, Mem, Opt).Completed);
+  const InterpResult R = interpret(*Consumer, {}, Mem, Opt);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 42);
+}
+
+TEST(Interp, AccessTraceSeesEveryMemoryOp) {
+  Module M;
+  CgNest Nest = buildCgNest(M, 4, 16);
+  MemoryState Mem(M);
+  seedCgMemory(Nest, Mem, 3, 2);
+  std::uint64_t Loads = 0, Stores = 0;
+  InterpOptions Opt;
+  Opt.AccessTrace = [&](const GlobalArray *, std::int64_t, bool IsStore) {
+    (IsStore ? Stores : Loads) += 1;
+  };
+  ASSERT_TRUE(interpret(*Nest.F, {}, Mem, Opt).Completed);
+  // 4 rows of 3 iterations: 12 C-loads + 12 C-stores + 8 bound loads.
+  EXPECT_EQ(Stores, 12u);
+  EXPECT_EQ(Loads, 12u + 8u);
+}
+
+TEST(Cloning, CloneBehavesIdentically) {
+  Module M;
+  CgNest Nest = buildCgNest(M, 6, 24);
+  CloneMap Map;
+  Function *Clone = cloneFunction(M, *Nest.F, "cg.clone", Map);
+  ASSERT_TRUE(verifyFunction(*Clone));
+
+  MemoryState M1(M), M2(M);
+  seedCgMemory(Nest, M1);
+  seedCgMemory(Nest, M2);
+  ASSERT_TRUE(interpret(*Nest.F, {}, M1).Completed);
+  ASSERT_TRUE(interpret(*Clone, {}, M2).Completed);
+  EXPECT_EQ(M1.digest(), M2.digest());
+}
+
+TEST(Printer, RendersRecognizableText) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  const std::string Text = printFunction(*Nest.F);
+  EXPECT_NE(Text.find("func @cg"), std::string::npos);
+  EXPECT_NE(Text.find("%j = phi"), std::string::npos);
+  EXPECT_NE(Text.find("store @C"), std::string::npos);
+  EXPECT_NE(Text.find("condbr"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Textual parser
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+TEST(Parser, RoundTripsTheCgNest) {
+  Module M;
+  CgNest Nest = buildCgNest(M, 6, 24);
+  const std::string Text = printModule(M);
+
+  ParseResult R = parseModule(Text);
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
+  ASSERT_NE(R.M, nullptr);
+
+  // Textual round trip is exact.
+  EXPECT_EQ(printModule(*R.M), Text);
+
+  // And the reparsed module verifies and computes the same result.
+  Function *F2 = R.M->getFunction("cg");
+  ASSERT_NE(F2, nullptr);
+  EXPECT_TRUE(verifyFunction(*F2));
+
+  MemoryState M1(M), M2(*R.M);
+  seedCgMemory(Nest, M1, 4, 2);
+  // Mirror the seeding into the reparsed module's arrays by name.
+  for (const auto &A : M.arrays()) {
+    const GlobalArray *A2 = R.M->getArray(A->name());
+    ASSERT_NE(A2, nullptr);
+    M2.arrayData(A2) = M1.arrayData(A.get());
+  }
+  ASSERT_TRUE(interpret(*Nest.F, {}, M1).Completed);
+  ASSERT_TRUE(interpret(*F2, {}, M2).Completed);
+  EXPECT_EQ(M1.digest(), M2.digest());
+}
+
+TEST(Parser, RoundTripsThePhaseNest) {
+  Module M;
+  buildPhaseNest(M, 4, 6);
+  const std::string Text = printModule(M);
+  ParseResult R = parseModule(Text);
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
+  EXPECT_EQ(printModule(*R.M), Text);
+  EXPECT_TRUE(verifyFunction(*R.M->getFunction("phases")));
+}
+
+TEST(Parser, ParsesArgumentsAndCalls) {
+  const char *Text = "func @f(%x, %y) {\n"
+                     "entry:\n"
+                     "  %s = add %x, %y\n"
+                     "  %r = call @twice %s\n"
+                     "  ret %r\n"
+                     "}\n";
+  ParseResult R = parseModule(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  Function *F = R.M->getFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->numArgs(), 2u);
+  MemoryState Mem(*R.M);
+  InterpOptions Opt;
+  Opt.Natives["twice"] = [](const std::vector<std::int64_t> &A) {
+    return A.at(0) * 2;
+  };
+  const InterpResult Res = interpret(*F, {20, 1}, Mem, Opt);
+  ASSERT_TRUE(Res.Completed) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 42);
+}
+
+TEST(Parser, ParsesProduceConsumeQueueIds) {
+  const char *Text = "func @p() {\n"
+                     "entry:\n"
+                     "  produce q3 7\n"
+                     "  %v = consume q3\n"
+                     "  ret %v\n"
+                     "}\n";
+  ParseResult R = parseModule(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  MemoryState Mem(*R.M);
+  QueueBus Bus(4);
+  InterpOptions Opt;
+  Opt.Bus = &Bus;
+  const InterpResult Res =
+      interpret(*R.M->getFunction("p"), {}, Mem, Opt);
+  ASSERT_TRUE(Res.Completed) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue, 7);
+}
+
+TEST(Parser, ReportsUsefulErrors) {
+  EXPECT_FALSE(parseModule("func @f() {\nentry:\n  %x = bogus 1\n}\n").ok());
+  EXPECT_FALSE(parseModule("  %x = add 1, 2\n").ok()); // outside a function
+  EXPECT_FALSE(parseModule("func @f() {\n  ret 0\n}\n").ok()); // no label
+  EXPECT_FALSE(
+      parseModule("func @f() {\nentry:\n  %x = add %nope, 1\n  ret 0\n}\n")
+          .ok()); // undefined value
+  const ParseResult R = parseModule("func @f() {\nentry:\n  %x = zzz 1\n}\n");
+  EXPECT_EQ(R.ErrorLine, 3u);
+  EXPECT_NE(R.Error.find("zzz"), std::string::npos);
+}
+
+TEST(Parser, RejectsBranchToUnknownBlock) {
+  EXPECT_FALSE(
+      parseModule("func @f() {\nentry:\n  br label nowhere\n}\n").ok());
+}

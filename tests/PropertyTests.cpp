@@ -1,0 +1,258 @@
+//===- tests/PropertyTests.cpp - Randomized invariant sweeps -------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property tests sweeping randomized dependence patterns,
+/// worker counts, and runtime configurations over the two runtime systems.
+/// The invariants under test:
+///
+///  * DOMORE executes conflicting iterations in program order and every
+///    iteration exactly once, for any dependence pattern and policy.
+///  * SPECCROSS (any signature scheme, any throttle, any checkpoint
+///    interval, with or without injected rollbacks) produces bit-identical
+///    final state to sequential execution.
+///  * Profiling is exact: a speculative run throttled to the profiled
+///    distance never misspeculates on the profiled input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace cip;
+
+namespace {
+
+/// A randomized region: epochs x tasks over Cells; each task does a
+/// read-modify-write of its own cell plus, with probability ConflictProb,
+/// of one extra cell drawn from a per-epoch disjoint pool (so tasks within
+/// an epoch never collide, per the DOALL contract).
+struct RandomRegion {
+  RandomRegion(std::uint32_t Epochs, std::uint32_t Tasks, double ConflictProb,
+               std::uint64_t Seed)
+      : Epochs(Epochs), Tasks(Tasks), Cells(2 * Tasks, 1) {
+    // Extra cell per (epoch, task): a per-epoch permutation of the upper
+    // half of the cell array, engaged or not by a coin flip.
+    Xoshiro256StarStar Rng(Seed);
+    Extra.resize(static_cast<std::size_t>(Epochs) * Tasks, -1);
+    std::vector<std::uint32_t> Perm(Tasks);
+    for (std::uint32_t E = 0; E < Epochs; ++E) {
+      std::iota(Perm.begin(), Perm.end(), Tasks);
+      for (std::size_t I = Perm.size(); I > 1; --I)
+        std::swap(Perm[I - 1], Perm[Rng.nextBelow(I)]);
+      for (std::uint32_t T = 0; T < Tasks; ++T)
+        if (Rng.nextBool(ConflictProb))
+          Extra[static_cast<std::size_t>(E) * Tasks + T] =
+              static_cast<std::int32_t>(Perm[T]);
+    }
+  }
+
+  std::int32_t extraOf(std::uint32_t E, std::size_t T) const {
+    return Extra[static_cast<std::size_t>(E) * Tasks + T];
+  }
+
+  void runTask(std::uint32_t E, std::size_t T) {
+    // Non-commutative updates so ordering violations corrupt the state.
+    Cells[T] = Cells[T] * 3 + static_cast<std::int64_t>(E);
+    const std::int32_t X = extraOf(E, T);
+    if (X >= 0)
+      Cells[static_cast<std::size_t>(X)] =
+          Cells[static_cast<std::size_t>(X)] * 5 +
+          static_cast<std::int64_t>(T);
+  }
+
+  void addresses(std::uint32_t E, std::size_t T,
+                 std::vector<std::uint64_t> &Addrs) const {
+    Addrs.push_back(T);
+    const std::int32_t X = extraOf(E, T);
+    if (X >= 0)
+      Addrs.push_back(static_cast<std::uint64_t>(X));
+  }
+
+  void reset() {
+    for (auto &C : Cells)
+      C = 1;
+  }
+
+  std::vector<std::int64_t> sequentialResult() {
+    reset();
+    for (std::uint32_t E = 0; E < Epochs; ++E)
+      for (std::uint32_t T = 0; T < Tasks; ++T)
+        runTask(E, T);
+    std::vector<std::int64_t> Out = Cells;
+    reset();
+    return Out;
+  }
+
+  speccross::SpecRegion region(speccross::CheckpointRegistry &Reg) {
+    Reg.registerBuffer(Cells);
+    speccross::SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [this](std::uint32_t E, std::size_t T) { runTask(E, T); };
+    R.TaskAddresses = [this](std::uint32_t E, std::size_t T,
+                             std::vector<std::uint64_t> &A) {
+      addresses(E, T, A);
+    };
+    R.Checkpoints = &Reg;
+    return R;
+  }
+
+  domore::LoopNest nest() {
+    domore::LoopNest N;
+    N.NumInvocations = Epochs;
+    N.AddressSpaceSize = Cells.size();
+    N.BeginInvocation = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    N.ComputeAddr = [this](std::uint32_t E, std::size_t T,
+                           std::vector<std::uint64_t> &A) {
+      addresses(E, T, A);
+    };
+    N.Work = [this](std::uint32_t E, std::size_t T) { runTask(E, T); };
+    return N;
+  }
+
+  std::uint32_t Epochs, Tasks;
+  std::vector<std::int64_t> Cells;
+  std::vector<std::int32_t> Extra;
+};
+
+struct SweepParam {
+  std::uint64_t Seed;
+  unsigned Workers;
+  double ConflictProb;
+};
+
+std::string sweepName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  return "seed" + std::to_string(Info.param.Seed) + "_w" +
+         std::to_string(Info.param.Workers) + "_p" +
+         std::to_string(static_cast<int>(Info.param.ConflictProb * 100));
+}
+
+std::vector<SweepParam> sweepParams() {
+  std::vector<SweepParam> Out;
+  for (std::uint64_t Seed : {1u, 2u, 3u})
+    for (unsigned Workers : {2u, 4u})
+      for (double P : {0.0, 0.2, 0.9})
+        Out.push_back(SweepParam{Seed, Workers, P});
+  return Out;
+}
+
+class RandomizedSweep : public ::testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Patterns, RandomizedSweep,
+                         ::testing::ValuesIn(sweepParams()), sweepName);
+
+TEST_P(RandomizedSweep, DomoreMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  domore::runDomore(R.nest(), Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}
+
+TEST_P(RandomizedSweep, DomoreDuplicatedMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  domore::runDomoreDuplicated(R.nest(), Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}
+
+TEST_P(RandomizedSweep, DomoreOwnerComputeMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Policy = domore::PolicyKind::OwnerCompute;
+  domore::runDomore(R.nest(), Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}
+
+TEST_P(RandomizedSweep, SpecCrossRangeSigMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  speccross::CheckpointRegistry Reg;
+  speccross::SpecRegion Region = R.region(Reg);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.CheckpointIntervalEpochs = 13; // odd interval exercises partial rounds
+  speccross::runSpecCross(Region, Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}
+
+TEST_P(RandomizedSweep, SpecCrossBloomSigMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  speccross::CheckpointRegistry Reg;
+  speccross::SpecRegion Region = R.region(Reg);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Scheme = speccross::SignatureScheme::Bloom;
+  speccross::runSpecCross(Region, Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}
+
+TEST_P(RandomizedSweep, ProfiledThrottleNeverMisspeculates) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(60, 10, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+
+  speccross::CheckpointRegistry ProfReg;
+  speccross::SpecRegion ProfRegion = R.region(ProfReg);
+  const speccross::ProfileResult P =
+      speccross::profileRegion(ProfRegion, Workers);
+  R.reset();
+
+  // The exact small-set scheme matches the profiler's address-level
+  // precision, so the profiled distance is also the signature-level
+  // distance and the throttle guarantee holds with no false positives.
+  speccross::CheckpointRegistry Reg;
+  speccross::SpecRegion Region = R.region(Reg);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Scheme = speccross::SignatureScheme::SmallSet;
+  Cfg.SpecDistance = P.recommendedSpecDistance(Workers);
+  const speccross::SpecStats S = speccross::runSpecCross(Region, Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+  // The no-misspeculation guarantee requires the profiled slack to be the
+  // binding throttle (not the per-worker progress floor).
+  if (!P.conflictFree() &&
+      Cfg.SpecDistance == P.MinDependenceDistance - 2) {
+    EXPECT_EQ(S.Misspeculations, 0u);
+  }
+}
+
+TEST_P(RandomizedSweep, TmStyleValidationMatchesSequential) {
+  const auto [Seed, Workers, Prob] = GetParam();
+  RandomRegion R(40, 8, Prob, Seed);
+  const auto Expected = R.sequentialResult();
+  speccross::CheckpointRegistry Reg;
+  speccross::SpecRegion Region = R.region(Reg);
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Scheme = speccross::SignatureScheme::SmallSet;
+  Cfg.TmStyleValidation = true;
+  speccross::runSpecCross(Region, Cfg);
+  EXPECT_EQ(R.Cells, Expected);
+}

@@ -1,0 +1,370 @@
+//===- tests/SpecCrossTests.cpp - Unit tests for the SPECCROSS runtime ---===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "speccross/Checkpoint.h"
+#include "speccross/Signature.h"
+#include "speccross/SpecCrossRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace cip;
+using namespace cip::speccross;
+
+//===----------------------------------------------------------------------===//
+// Signatures
+//===----------------------------------------------------------------------===//
+
+TEST(RangeSignature, EmptyNeverOverlaps) {
+  RangeSignature A, B;
+  EXPECT_TRUE(A.empty());
+  EXPECT_FALSE(A.overlaps(B));
+  B.add(5);
+  EXPECT_FALSE(A.overlaps(B));
+  EXPECT_FALSE(B.overlaps(A));
+}
+
+TEST(RangeSignature, DetectsSharedAddress) {
+  RangeSignature A, B;
+  A.add(10);
+  A.add(20);
+  B.add(20);
+  B.add(30);
+  EXPECT_TRUE(A.overlaps(B));
+  EXPECT_TRUE(B.overlaps(A));
+}
+
+TEST(RangeSignature, DisjointRangesDoNotOverlap) {
+  RangeSignature A, B;
+  A.add(10);
+  A.add(19);
+  B.add(20);
+  B.add(30);
+  EXPECT_FALSE(A.overlaps(B));
+}
+
+TEST(RangeSignature, ClearResets) {
+  RangeSignature A;
+  A.add(1);
+  A.clear();
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(BloomSignature, NeverMissesRealConflicts) {
+  // Soundness: a shared address must always be reported, whatever else is
+  // in the filters.
+  for (std::uint64_t Shared = 0; Shared < 200; ++Shared) {
+    BloomSignature A, B;
+    A.add(Shared);
+    A.add(Shared + 1000);
+    B.add(Shared);
+    B.add(Shared + 2000);
+    EXPECT_TRUE(A.overlaps(B)) << Shared;
+  }
+}
+
+TEST(BloomSignature, MostlyDistinguishesSparseSets) {
+  // False positives are allowed but must be rare for small sets.
+  int False = 0;
+  const int Trials = 500;
+  for (int I = 0; I < Trials; ++I) {
+    BloomSignature A, B;
+    A.add(static_cast<std::uint64_t>(I) * 2 + 1000000);
+    B.add(static_cast<std::uint64_t>(I) * 2 + 5000001);
+    False += A.overlaps(B);
+  }
+  EXPECT_LT(False, Trials / 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpointing
+//===----------------------------------------------------------------------===//
+
+TEST(Checkpoint, SnapshotAndRestoreRoundTrips) {
+  std::vector<double> A = {1.0, 2.0, 3.0};
+  std::vector<std::uint32_t> B = {7, 8};
+  CheckpointRegistry Reg;
+  Reg.registerBuffer(A);
+  Reg.registerBuffer(B);
+  EXPECT_EQ(Reg.numRegions(), 2u);
+  EXPECT_EQ(Reg.totalBytes(), 3 * sizeof(double) + 2 * sizeof(std::uint32_t));
+
+  Reg.takeSnapshot();
+  A[1] = -99.0;
+  B[0] = 0;
+  Reg.restoreSnapshot();
+  EXPECT_DOUBLE_EQ(A[1], 2.0);
+  EXPECT_EQ(B[0], 7u);
+  EXPECT_EQ(Reg.snapshotsTaken(), 1u);
+}
+
+TEST(Checkpoint, LatestSnapshotWins) {
+  std::vector<int> A = {1};
+  CheckpointRegistry Reg;
+  Reg.registerBuffer(A);
+  Reg.takeSnapshot();
+  A[0] = 2;
+  Reg.takeSnapshot();
+  A[0] = 3;
+  Reg.restoreSnapshot();
+  EXPECT_EQ(A[0], 2);
+  EXPECT_EQ(Reg.snapshotsTaken(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime engine on a synthetic region
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Chain region: epoch e, task t increments Cells[t]. With conflicts on,
+/// one *designated* task per epoch (task 0 in even epochs, task 1 in odd
+/// ones) additionally read-modify-writes a single shared slot (abstract
+/// address 2) — a genuine cross-epoch, cross-worker dependence whose
+/// closest pair is Tasks-2 global task numbers apart, with tasks inside
+/// each epoch still mutually independent.
+struct ChainRegion {
+  explicit ChainRegion(std::uint32_t Epochs, std::uint32_t Tasks,
+                       bool WithConflicts)
+      : Epochs(Epochs), Tasks(Tasks), WithConflicts(WithConflicts),
+        Cells(Tasks, 0), Shared(1, 1) {}
+
+  SpecRegion region(CheckpointRegistry &Reg) {
+    Reg.registerBuffer(Cells);
+    Reg.registerBuffer(Shared);
+    SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [this](std::uint32_t E, std::size_t T) {
+      Cells[T] += 1;
+      if (WithConflicts && T == E % 2)
+        Shared[0] += 1 + Cells[T] % 3;
+    };
+    R.TaskAddresses = [this](std::uint32_t E, std::size_t T,
+                             std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(T);
+      if (WithConflicts && T == E % 2)
+        Addrs.push_back(2); // the shared slot, conflated with Cells[2]
+    };
+    R.Checkpoints = &Reg;
+    return R;
+  }
+
+  std::vector<std::uint32_t> state() const {
+    std::vector<std::uint32_t> S = Cells;
+    S.push_back(Shared[0]);
+    return S;
+  }
+
+  std::uint32_t Epochs, Tasks;
+  bool WithConflicts;
+  std::vector<std::uint32_t> Cells;
+  std::vector<std::uint32_t> Shared;
+};
+
+std::vector<std::uint32_t> sequentialResult(ChainRegion Proto) {
+  CheckpointRegistry Reg;
+  SpecRegion R = Proto.region(Reg);
+  for (std::uint32_t E = 0; E < R.NumEpochs; ++E)
+    for (std::size_t T = 0; T < R.NumTasks(E); ++T)
+      R.RunTask(E, T);
+  return Proto.state();
+}
+
+} // namespace
+
+TEST(SpecCrossRuntime, ConflictFreeRegionMatchesSequential) {
+  const auto Expected = sequentialResult(ChainRegion(60, 8, false));
+  ChainRegion C(60, 8, false);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 4;
+  Cfg.CheckpointIntervalEpochs = 16;
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+  EXPECT_EQ(S.Epochs, 60u);
+  EXPECT_EQ(S.Tasks, 480u);
+  EXPECT_EQ(S.Misspeculations, 0u);
+  EXPECT_GT(S.CheckRequests, 0u);
+  EXPECT_GT(S.CheckpointsTaken, 0u);
+}
+
+TEST(SpecCrossRuntime, ConflictingRegionRecoversToSequentialResult) {
+  const auto Expected = sequentialResult(ChainRegion(50, 6, true));
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    ChainRegion C(50, 6, true);
+    CheckpointRegistry Reg;
+    SpecRegion R = C.region(Reg);
+    SpecConfig Cfg;
+    Cfg.NumWorkers = 3;
+    Cfg.CheckpointIntervalEpochs = 10;
+    runSpecCross(R, Cfg);
+    EXPECT_EQ(C.state(), Expected) << "trial " << Trial;
+  }
+}
+
+TEST(SpecCrossRuntime, ThrottledSpeculationAvoidsMisspeculation) {
+  // With the speculative range capped below the conflict distance, the
+  // conflicting accesses can never reorder, so no rollback may occur.
+  const auto Expected = sequentialResult(ChainRegion(50, 8, true));
+  ChainRegion C(50, 8, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 4;
+  Cfg.SpecDistance = 4; // closest conflicting pair is 6 tasks apart
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+  EXPECT_EQ(S.Misspeculations, 0u);
+}
+
+TEST(SpecCrossRuntime, NonSpeculativeModeMatchesSequential) {
+  const auto Expected = sequentialResult(ChainRegion(40, 8, true));
+  ChainRegion C(40, 8, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 4;
+  const SpecStats S = runSpecCross(R, Cfg, SpecMode::NonSpeculative);
+  EXPECT_EQ(C.state(), Expected);
+  EXPECT_EQ(S.Misspeculations, 0u);
+  EXPECT_EQ(S.CheckRequests, 0u);
+}
+
+TEST(SpecCrossRuntime, InjectedMisspeculationRollsBackAndReexecutes) {
+  const auto Expected = sequentialResult(ChainRegion(60, 8, false));
+  ChainRegion C(60, 8, false);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 4;
+  Cfg.CheckpointIntervalEpochs = 20;
+  Cfg.InjectMisspecAtEpoch = 25; // inside the second round
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+  EXPECT_EQ(S.Misspeculations, 1u);
+  EXPECT_EQ(S.ReexecutedEpochs, 20u);
+  EXPECT_GT(S.RecoverySeconds, 0.0);
+}
+
+TEST(SpecCrossRuntime, BloomSchemeAlsoCorrect) {
+  const auto Expected = sequentialResult(ChainRegion(50, 6, true));
+  ChainRegion C(50, 6, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 3;
+  Cfg.Scheme = SignatureScheme::Bloom;
+  runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+}
+
+TEST(SpecCrossRuntime, SingleWorkerNeverMisspeculates) {
+  const auto Expected = sequentialResult(ChainRegion(40, 5, true));
+  ChainRegion C(40, 5, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 1;
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+  EXPECT_EQ(S.Misspeculations, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, FindsExactMinimumDistance) {
+  // Abstract address 2 is touched by task 2 (global e*8+2) every epoch and
+  // by the designated task of the next epoch (global e*8+8 when that epoch
+  // is even): the closest pair is 8-2 = 6 apart. All other addresses are
+  // column-aligned at distance exactly 8.
+  ChainRegion C(30, 8, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  const ProfileResult P = profileRegion(R, /*NumWorkers=*/0);
+  EXPECT_FALSE(P.conflictFree());
+  EXPECT_EQ(P.Epochs, 30u);
+  EXPECT_EQ(P.Tasks, 240u);
+  EXPECT_GT(P.CrossEpochConflicts, 0u);
+  EXPECT_EQ(P.MinDependenceDistance, 6u);
+}
+
+TEST(Profiler, ThreadAwareProfileIgnoresSameWorkerConflicts) {
+  // Without the conflicting column, every dependence is column-aligned
+  // (task t -> task t next epoch); with a static assignment those live on
+  // one worker and must not count (the paper's "*" rows).
+  ChainRegion C(30, 8, false);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  const ProfileResult Oblivious = profileRegion(R, 0);
+  EXPECT_FALSE(Oblivious.conflictFree());
+
+  ChainRegion C2(30, 8, false);
+  CheckpointRegistry Reg2;
+  SpecRegion R2 = C2.region(Reg2);
+  const ProfileResult Aware = profileRegion(R2, /*NumWorkers=*/4);
+  EXPECT_TRUE(Aware.conflictFree());
+  EXPECT_EQ(Aware.recommendedSpecDistance(4),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Profiler, RecommendationClampsToWorkerCount) {
+  ProfileResult P;
+  P.MinDependenceDistance = 3;
+  EXPECT_EQ(P.recommendedSpecDistance(8), 8u);
+  P.MinDependenceDistance = 100;
+  EXPECT_EQ(P.recommendedSpecDistance(8), 98u);
+}
+
+TEST(SmallSetSignature, ExactUnderCapacity) {
+  SmallSetSignature A, B;
+  A.add(10);
+  A.add(500);
+  B.add(11);
+  B.add(499);
+  EXPECT_FALSE(A.overlaps(B)); // ranges overlap but sets are disjoint
+  B.add(500);
+  EXPECT_TRUE(A.overlaps(B));
+}
+
+TEST(SmallSetSignature, DegradesToRangeOnOverflow) {
+  SmallSetSignature A, B;
+  for (std::uint64_t I = 0; I < 20; ++I)
+    A.add(I * 10); // overflows the 8-slot capacity
+  EXPECT_TRUE(A.Overflowed);
+  B.add(5); // inside A's [0, 190] range but not in A's set
+  EXPECT_TRUE(A.overlaps(B)); // conservative once overflowed
+  B.clear();
+  B.add(1000);
+  EXPECT_FALSE(A.overlaps(B)); // still exact outside the range
+}
+
+TEST(SmallSetSignature, DuplicatesDoNotConsumeCapacity) {
+  SmallSetSignature A;
+  for (int I = 0; I < 100; ++I)
+    A.add(7);
+  EXPECT_FALSE(A.Overflowed);
+  EXPECT_EQ(A.Count, 1u);
+}
+
+TEST(SpecCrossRuntime, SmallSetSchemeAlsoCorrect) {
+  const auto Expected = sequentialResult(ChainRegion(50, 6, true));
+  ChainRegion C(50, 6, true);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 3;
+  Cfg.Scheme = SignatureScheme::SmallSet;
+  runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+}

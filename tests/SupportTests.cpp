@@ -1,0 +1,229 @@
+//===- tests/SupportTests.cpp - Unit tests for src/support ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+#include "support/Rng.h"
+#include "support/SPSCQueue.h"
+#include "support/Stats.h"
+#include "support/ThreadGroup.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace cip;
+
+TEST(Rng, Deterministic) {
+  Xoshiro256StarStar A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256StarStar A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Xoshiro256StarStar R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Xoshiro256StarStar R(7);
+  for (int I = 0; I < 10000; ++I) {
+    const double X = R.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Xoshiro256StarStar R(11);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.724);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.724, 0.01);
+}
+
+TEST(Stats, MeanGeomeanMedian) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(minOf({4.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  const double S = timeSeconds([] {
+    volatile double X = 1.0;
+    for (int I = 0; I < 100000; ++I)
+      X = X * 1.0000001;
+  });
+  EXPECT_GT(S, 0.0);
+  EXPECT_LT(S, 5.0);
+}
+
+TEST(SPSCQueue, CapacityRoundsUpToPowerOfTwo) {
+  SPSCQueue<int> Q(100);
+  EXPECT_EQ(Q.capacity(), 128u);
+}
+
+TEST(SPSCQueue, FifoOrderSingleThread) {
+  SPSCQueue<int> Q(16);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(Q.tryProduce(I));
+  for (int I = 0; I < 10; ++I) {
+    int V = -1;
+    EXPECT_TRUE(Q.tryConsume(V));
+    EXPECT_EQ(V, I);
+  }
+  int V;
+  EXPECT_FALSE(Q.tryConsume(V));
+}
+
+TEST(SPSCQueue, RejectsWhenFull) {
+  SPSCQueue<int> Q(4);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(Q.tryProduce(I));
+  EXPECT_FALSE(Q.tryProduce(99));
+  int V;
+  EXPECT_TRUE(Q.tryConsume(V));
+  EXPECT_TRUE(Q.tryProduce(99));
+}
+
+TEST(SPSCQueue, TwoThreadStressPreservesSequence) {
+  SPSCQueue<std::uint64_t> Q(256);
+  constexpr std::uint64_t N = 200000;
+  std::thread Producer([&] {
+    for (std::uint64_t I = 0; I < N; ++I)
+      Q.produce(I);
+  });
+  std::uint64_t Expected = 0;
+  bool Ordered = true;
+  for (std::uint64_t I = 0; I < N; ++I)
+    Ordered &= Q.consume() == Expected++;
+  Producer.join();
+  EXPECT_TRUE(Ordered);
+  EXPECT_TRUE(Q.empty());
+}
+
+template <typename BarrierT> static void checkBarrierPhases() {
+  constexpr unsigned Threads = 4;
+  constexpr int Phases = 50;
+  BarrierT Bar(Threads);
+  std::atomic<int> Counter{0};
+  std::atomic<bool> Violation{false};
+  runThreads(Threads, [&](unsigned) {
+    for (int P = 0; P < Phases; ++P) {
+      Counter.fetch_add(1);
+      Bar.wait();
+      // Between two waits every thread must observe the full increment.
+      if (Counter.load() < (P + 1) * static_cast<int>(Threads))
+        Violation.store(true);
+      Bar.wait();
+    }
+  });
+  EXPECT_FALSE(Violation.load());
+  EXPECT_EQ(Counter.load(), Phases * static_cast<int>(Threads));
+}
+
+TEST(Barrier, PthreadBarrierSynchronizesPhases) {
+  checkBarrierPhases<PthreadBarrier>();
+}
+
+TEST(Barrier, SpinBarrierSynchronizesPhases) {
+  checkBarrierPhases<SpinBarrier>();
+}
+
+TEST(Barrier, InstrumentedBarrierAccountsIdleTime) {
+  InstrumentedBarrier<PthreadBarrier> Bar(2);
+  runThreads(2, [&](unsigned Tid) {
+    if (Tid == 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Bar.wait(Tid);
+  });
+  // Thread 0 idled at the barrier for roughly the sleep duration.
+  EXPECT_GT(Bar.idleNanos(0), 5'000'000u);
+  EXPECT_GT(Bar.totalIdleNanos(), Bar.idleNanos(1));
+  Bar.resetIdle();
+  EXPECT_EQ(Bar.totalIdleNanos(), 0u);
+}
+
+TEST(ThreadGroup, SpawnAndJoinIndexedThreads) {
+  std::atomic<unsigned> Mask{0};
+  ThreadGroup G;
+  for (int I = 0; I < 4; ++I)
+    G.spawn([&](unsigned Tid) { Mask.fetch_or(1u << Tid); });
+  G.joinAll();
+  EXPECT_EQ(Mask.load(), 0b1111u);
+  EXPECT_EQ(G.size(), 0u);
+}
+
+#include "support/Backoff.h"
+#include "support/VectorFifo.h"
+
+TEST(VectorFifo, FifoOrder) {
+  VectorFifo<int> F;
+  EXPECT_TRUE(F.empty());
+  for (int I = 0; I < 100; ++I)
+    F.push(I);
+  EXPECT_EQ(F.size(), 100u);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_EQ(F.front(), I);
+    F.pop();
+  }
+  EXPECT_TRUE(F.empty());
+}
+
+TEST(VectorFifo, InterleavedPushPopStaysOrdered) {
+  VectorFifo<int> F;
+  int Next = 0, Expect = 0;
+  // Mixed producer/consumer pattern crossing the compaction threshold.
+  for (int Round = 0; Round < 5000; ++Round) {
+    F.push(Next++);
+    F.push(Next++);
+    ASSERT_EQ(F.front(), Expect);
+    F.pop();
+    ++Expect;
+  }
+  while (!F.empty()) {
+    ASSERT_EQ(F.front(), Expect++);
+    F.pop();
+  }
+  EXPECT_EQ(Expect, Next);
+}
+
+TEST(VectorFifo, DrainAndReuse) {
+  VectorFifo<std::vector<int>> F;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 10; ++I)
+      F.push(std::vector<int>{I});
+    int Seen = 0;
+    while (!F.empty()) {
+      EXPECT_EQ(F.front().front(), Seen++);
+      F.pop();
+    }
+    EXPECT_EQ(Seen, 10);
+  }
+}
+
+TEST(Backoff, PauseTerminatesAndResets) {
+  Backoff B;
+  for (int I = 0; I < 1000; ++I)
+    B.pause(); // must not hang or crash through the yield path
+  B.reset();
+  B.pause();
+  SUCCEED();
+}

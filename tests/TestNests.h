@@ -1,0 +1,222 @@
+//===- tests/TestNests.h - Shared IR loop-nest fixtures --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders for the loop nests the compiler tests exercise:
+///
+///  * buildCgNest — the dissertation's running example (Fig 3.1/3.6): an
+///    outer loop reading per-row bounds from index arrays A and B, an inner
+///    loop updating C[j] with a non-commutative function of the outer
+///    induction variable (so any dependence-order violation corrupts the
+///    final memory digest).
+///
+///  * buildPhaseNest — a SPECCROSS-shaped region: an outer timestep loop
+///    containing two consecutive DOALL inner loops exchanging arrays X and
+///    Y (Fig 1.3's structure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TESTS_TESTNESTS_H
+#define CIP_TESTS_TESTNESTS_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Interp.h"
+
+namespace cip {
+namespace tests {
+
+/// Handles to the interesting pieces of a built nest.
+struct CgNest {
+  ir::Function *F = nullptr;
+  ir::GlobalArray *A = nullptr; // row start bounds
+  ir::GlobalArray *B = nullptr; // row end bounds
+  ir::GlobalArray *C = nullptr; // updated data
+  unsigned NumRows = 0;
+};
+
+/// Builds the CG-like nest into \p M:
+///
+///   for (i = 0; i < NumRows; i++) {
+///     start = A[i]; end = B[i];
+///     for (j = start; j < end; j++)
+///       C[j] = C[j] * 3 + i;
+///   }
+inline CgNest buildCgNest(ir::Module &M, unsigned NumRows = 40,
+                          unsigned DataSize = 64) {
+  using namespace ir;
+  CgNest Nest;
+  Nest.NumRows = NumRows;
+  Nest.A = M.createArray("A", NumRows);
+  Nest.B = M.createArray("B", NumRows);
+  Nest.C = M.createArray("C", DataSize);
+  Function *F = M.createFunction("cg", 0);
+  Nest.F = F;
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *OuterHeader = F->createBlock("outer.header");
+  BasicBlock *OuterBody = F->createBlock("outer.body");
+  BasicBlock *InnerPre = F->createBlock("inner.pre");
+  BasicBlock *InnerHeader = F->createBlock("inner.header");
+  BasicBlock *InnerBody = F->createBlock("inner.body");
+  BasicBlock *OuterLatch = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  IRBuilder Bld(M);
+  Bld.setInsertPoint(Entry);
+  Bld.br(OuterHeader);
+
+  Bld.setInsertPoint(OuterHeader);
+  Instruction *I = Bld.phi("i");
+  Instruction *OuterCmp =
+      Bld.cmp(Opcode::CmpLT, I, Bld.constant(NumRows), "outer.cond");
+  Bld.condBr(OuterCmp, OuterBody, Exit);
+
+  Bld.setInsertPoint(OuterBody);
+  Instruction *Start = Bld.load(Nest.A, I, "start");
+  Instruction *End = Bld.load(Nest.B, I, "end");
+  Bld.br(InnerPre);
+
+  Bld.setInsertPoint(InnerPre);
+  Bld.br(InnerHeader);
+
+  Bld.setInsertPoint(InnerHeader);
+  Instruction *J = Bld.phi("j");
+  Instruction *InnerCmp = Bld.cmp(Opcode::CmpLT, J, End, "inner.cond");
+  Bld.condBr(InnerCmp, InnerBody, OuterLatch);
+
+  Bld.setInsertPoint(InnerBody);
+  Instruction *V = Bld.load(Nest.C, J, "v");
+  Instruction *V3 = Bld.mul(V, Bld.constant(3), "v3");
+  Instruction *V4 = Bld.add(V3, I, "v4");
+  Bld.store(Nest.C, J, V4);
+  Instruction *JNext = Bld.add(J, Bld.constant(1), "j.next");
+  Bld.br(InnerHeader);
+
+  Bld.setInsertPoint(OuterLatch);
+  Instruction *INext = Bld.add(I, Bld.constant(1), "i.next");
+  Bld.br(OuterHeader);
+
+  Bld.setInsertPoint(Exit);
+  Bld.ret(Bld.constant(0));
+
+  I->addIncoming(Bld.constant(0), Entry);
+  I->addIncoming(INext, OuterLatch);
+  J->addIncoming(Start, InnerPre);
+  J->addIncoming(JNext, InnerBody);
+  return Nest;
+}
+
+/// Fills the CG nest's bound arrays: row i covers
+/// [i*Stride % (DataSize-RowLen), +RowLen), overlapping the previous row
+/// whenever Stride < RowLen.
+inline void seedCgMemory(const CgNest &Nest, ir::MemoryState &Mem,
+                         unsigned RowLen = 6, unsigned Stride = 3) {
+  auto &A = Mem.arrayData(Nest.A);
+  auto &B = Mem.arrayData(Nest.B);
+  auto &C = Mem.arrayData(Nest.C);
+  const std::size_t DataSize = C.size();
+  for (unsigned I = 0; I < Nest.NumRows; ++I) {
+    const std::int64_t Base =
+        static_cast<std::int64_t>((I * Stride) % (DataSize - RowLen));
+    A[I] = Base;
+    B[I] = Base + RowLen;
+  }
+  for (std::size_t I = 0; I < C.size(); ++I)
+    C[I] = static_cast<std::int64_t>(I % 7);
+}
+
+/// Handles for the two-phase region.
+struct PhaseNest {
+  ir::Function *F = nullptr;
+  ir::GlobalArray *X = nullptr;
+  ir::GlobalArray *Y = nullptr;
+  unsigned Steps = 0;
+  unsigned Width = 0;
+};
+
+/// Builds:
+///   for (t = 0; t < Steps; t++) {
+///     for (j = 0; j < Width; j++) Y[j] = X[j] * 3 + 1;   // phase L1
+///     for (k = 0; k < Width; k++) X[k] = Y[k] + t;       // phase L2
+///   }
+inline PhaseNest buildPhaseNest(ir::Module &M, unsigned Steps = 10,
+                                unsigned Width = 16) {
+  using namespace ir;
+  PhaseNest Nest;
+  Nest.Steps = Steps;
+  Nest.Width = Width;
+  Nest.X = M.createArray("X", Width);
+  Nest.Y = M.createArray("Y", Width);
+  Function *F = M.createFunction("phases", 0);
+  Nest.F = F;
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *TH = F->createBlock("t.header");
+  BasicBlock *L1Pre = F->createBlock("l1.pre");
+  BasicBlock *L1H = F->createBlock("l1.header");
+  BasicBlock *L1B = F->createBlock("l1.body");
+  BasicBlock *L2Pre = F->createBlock("l2.pre");
+  BasicBlock *L2H = F->createBlock("l2.header");
+  BasicBlock *L2B = F->createBlock("l2.body");
+  BasicBlock *TLatch = F->createBlock("t.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  IRBuilder Bld(M);
+  Bld.setInsertPoint(Entry);
+  Bld.br(TH);
+
+  Bld.setInsertPoint(TH);
+  Instruction *T = Bld.phi("t");
+  Instruction *TCmp = Bld.cmp(Opcode::CmpLT, T, Bld.constant(Steps), "t.c");
+  Bld.condBr(TCmp, L1Pre, Exit);
+
+  Bld.setInsertPoint(L1Pre);
+  Bld.br(L1H);
+  Bld.setInsertPoint(L1H);
+  Instruction *J = Bld.phi("j");
+  Instruction *JCmp = Bld.cmp(Opcode::CmpLT, J, Bld.constant(Width), "j.c");
+  Bld.condBr(JCmp, L1B, L2Pre);
+  Bld.setInsertPoint(L1B);
+  Instruction *XV = Bld.load(Nest.X, J, "xv");
+  Instruction *XV3 = Bld.mul(XV, Bld.constant(3), "xv3");
+  Instruction *YV = Bld.add(XV3, Bld.constant(1), "yv");
+  Bld.store(Nest.Y, J, YV);
+  Instruction *JN = Bld.add(J, Bld.constant(1), "j.next");
+  Bld.br(L1H);
+
+  Bld.setInsertPoint(L2Pre);
+  Bld.br(L2H);
+  Bld.setInsertPoint(L2H);
+  Instruction *K = Bld.phi("k");
+  Instruction *KCmp = Bld.cmp(Opcode::CmpLT, K, Bld.constant(Width), "k.c");
+  Bld.condBr(KCmp, L2B, TLatch);
+  Bld.setInsertPoint(L2B);
+  Instruction *YV2 = Bld.load(Nest.Y, K, "yv2");
+  Instruction *XN = Bld.add(YV2, T, "xn");
+  Bld.store(Nest.X, K, XN);
+  Instruction *KN = Bld.add(K, Bld.constant(1), "k.next");
+  Bld.br(L2H);
+
+  Bld.setInsertPoint(TLatch);
+  Instruction *TN = Bld.add(T, Bld.constant(1), "t.next");
+  Bld.br(TH);
+
+  Bld.setInsertPoint(Exit);
+  Bld.ret(Bld.constant(0));
+
+  T->addIncoming(Bld.constant(0), Entry);
+  T->addIncoming(TN, TLatch);
+  J->addIncoming(Bld.constant(0), L1Pre);
+  J->addIncoming(JN, L1B);
+  K->addIncoming(Bld.constant(0), L2Pre);
+  K->addIncoming(KN, L2B);
+  return Nest;
+}
+
+} // namespace tests
+} // namespace cip
+
+#endif // CIP_TESTS_TESTNESTS_H

@@ -1,0 +1,541 @@
+//===- tests/TransformTests.cpp - Unit tests for src/transform -----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "tests/TestNests.h"
+#include "transform/DomoreDriver.h"
+#include "transform/DomorePartitioner.h"
+#include "transform/MTCG.h"
+#include "transform/Parallelizer.h"
+#include "transform/Slicer.h"
+#include "transform/SpecCrossPlanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace cip;
+using namespace cip::ir;
+using namespace cip::tests;
+using namespace cip::transform;
+
+namespace {
+
+struct Analyses {
+  explicit Analyses(const Function &F)
+      : G(F), DT(G, false), PDT(G, true), LI(G, DT) {}
+  CFG G;
+  DominatorTree DT;
+  DominatorTree PDT;
+  LoopInfo LI;
+};
+
+/// Runs the whole DOMORE compiler pipeline on the CG nest.
+struct CgPipeline {
+  CgPipeline(Module &M, unsigned Rows = 30, unsigned Data = 48)
+      : Nest(buildCgNest(M, Rows, Data)), A(*Nest.F),
+        Outer(A.LI.topLevelLoops().front()),
+        Inner(Outer->subLoops().front()),
+        Pdg(*Nest.F, A.G, A.PDT, A.LI, *Outer), Dag(Pdg),
+        Part(partitionDomore(Pdg, Dag, *Outer, *Inner, A.G)),
+        Slice(sliceComputeAddr(Pdg, Part)) {}
+
+  CgNest Nest;
+  Analyses A;
+  Loop *Outer;
+  Loop *Inner;
+  analysis::PDG Pdg;
+  analysis::DagScc Dag;
+  Partition Part;
+  SliceResult Slice;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parallelization planning
+//===----------------------------------------------------------------------===//
+
+TEST(Planner, CgInnerLoopIsDoall) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Inner = A.LI.topLevelLoops().front()->subLoops().front();
+  analysis::PDG G(*Nest.F, A.G, A.PDT, A.LI, *Inner);
+  const PlanResult P = planLoop(G, A.G);
+  EXPECT_EQ(P.Plan, LoopPlan::Doall) << P.Reason;
+}
+
+TEST(Planner, CgOuterLoopIsNotDoall) {
+  Module M;
+  CgNest Nest = buildCgNest(M);
+  Analyses A(*Nest.F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  analysis::PDG G(*Nest.F, A.G, A.PDT, A.LI, *Outer);
+  const PlanResult P = planLoop(G, A.G);
+  EXPECT_NE(P.Plan, LoopPlan::Doall);
+}
+
+TEST(Planner, ProvablyCarriedStoreBlocksDoall) {
+  // for (i..) { acc[0] = acc[0] + i } — a provable carried dependence.
+  Module M;
+  GlobalArray *Acc = M.createArray("acc", 1);
+  Function *F = M.createFunction("reduce", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(H);
+  B.setInsertPoint(H);
+  Instruction *I = B.phi("i");
+  Instruction *Cmp = B.cmp(Opcode::CmpLT, I, B.constant(10), "c");
+  B.condBr(Cmp, Body, Exit);
+  B.setInsertPoint(Body);
+  Instruction *V = B.load(Acc, B.constant(0), "v");
+  B.store(Acc, B.constant(0), B.add(V, I, "v2"));
+  Instruction *IN = B.add(I, B.constant(1), "i.next");
+  B.br(H);
+  B.setInsertPoint(Exit);
+  B.ret(B.constant(0));
+  I->addIncoming(B.constant(0), Entry);
+  I->addIncoming(IN, Body);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  Analyses A(*F);
+  Loop *L = A.LI.topLevelLoops().front();
+  analysis::PDG G(*F, A.G, A.PDT, A.LI, *L);
+  const PlanResult P = planLoop(G, A.G);
+  EXPECT_EQ(P.Plan, LoopPlan::None);
+}
+
+//===----------------------------------------------------------------------===//
+// DOMORE partitioning + slicing
+//===----------------------------------------------------------------------===//
+
+TEST(Partitioner, SplitsTraversalFromBody) {
+  Module M;
+  CgPipeline P(M);
+  // The update chain (load C, mul, add, store C) is worker code.
+  unsigned WorkerMemOps = 0;
+  for (const Instruction *I : P.Part.Worker) {
+    EXPECT_TRUE(P.Inner->contains(I->parent()));
+    WorkerMemOps += I->accessesMemory();
+  }
+  EXPECT_EQ(WorkerMemOps, 2u);
+  // Traversal and outer-loop code is scheduler: the inner phi, bounds
+  // loads, branches.
+  bool SchedulerHasInnerPhi = false, SchedulerHasBoundLoads = false;
+  for (const Instruction *I : P.Part.Scheduler) {
+    if (I->opcode() == Opcode::Phi && I->name() == "j")
+      SchedulerHasInnerPhi = true;
+    if (I->opcode() == Opcode::Load && I->operand(0) != P.Nest.C)
+      SchedulerHasBoundLoads = true;
+  }
+  EXPECT_TRUE(SchedulerHasInnerPhi);
+  EXPECT_TRUE(SchedulerHasBoundLoads);
+}
+
+TEST(Partitioner, NoWorkerToSchedulerEdges) {
+  Module M;
+  CgPipeline P(M);
+  // Pipeline property: every cross-partition dependence flows
+  // scheduler -> worker.
+  for (const analysis::DepEdge &E : P.Pdg.edges()) {
+    const bool SrcWorker = P.Part.inWorker(E.Src);
+    const bool DstScheduler = P.Part.inScheduler(E.Dst);
+    EXPECT_FALSE(SrcWorker && DstScheduler)
+        << E.Src->name() << " -> " << E.Dst->name();
+  }
+}
+
+TEST(Partitioner, PartitionCoversAllNodes) {
+  Module M;
+  CgPipeline P(M);
+  EXPECT_EQ(P.Part.Scheduler.size() + P.Part.Worker.size(),
+            P.Pdg.nodes().size());
+  for (const Instruction *I : P.Pdg.nodes())
+    EXPECT_NE(P.Part.inScheduler(I), P.Part.inWorker(I));
+}
+
+TEST(Slicer, CgSliceIsFeasibleAndPure) {
+  Module M;
+  CgPipeline P(M);
+  ASSERT_TRUE(P.Slice.Feasible) << P.Slice.Reason;
+  EXPECT_EQ(P.Slice.TrackedAccesses.size(), 2u); // C load + C store
+  for (const Instruction *I : P.Slice.Slice) {
+    EXPECT_FALSE(I->mayWriteMemory());
+    EXPECT_NE(I->opcode(), Opcode::Call);
+  }
+  EXPECT_LE(P.Slice.WeightRatio, 0.5);
+}
+
+TEST(Slicer, RejectsSideEffectingSlice) {
+  // Index computed through a store-feeding chain: C[D[j]] where D is also
+  // *written* in the loop body (the Fig 4.1 pattern) — the slice must
+  // refuse to duplicate the store.
+  Module M;
+  GlobalArray *D = M.createArray("D", 16);
+  GlobalArray *C = M.createArray("C", 16);
+  Function *F = M.createFunction("fig41", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *OH = F->createBlock("outer.header");
+  BasicBlock *IPre = F->createBlock("inner.pre");
+  BasicBlock *IH = F->createBlock("inner.header");
+  BasicBlock *IB = F->createBlock("inner.body");
+  BasicBlock *OL = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(OH);
+  B.setInsertPoint(OH);
+  Instruction *I = B.phi("i");
+  Instruction *OC = B.cmp(Opcode::CmpLT, I, B.constant(8), "oc");
+  B.condBr(OC, IPre, Exit);
+  B.setInsertPoint(IPre);
+  B.br(IH);
+  B.setInsertPoint(IH);
+  Instruction *J = B.phi("j");
+  Instruction *IC = B.cmp(Opcode::CmpLT, J, B.constant(16), "ic");
+  B.condBr(IC, IB, OL);
+  B.setInsertPoint(IB);
+  Instruction *Idx = B.load(D, J, "idx");
+  Instruction *Masked = B.rem(Idx, B.constant(16), "masked");
+  Instruction *V = B.load(C, Masked, "v");
+  Instruction *V2 = B.add(V, I, "v2");
+  B.store(C, Masked, V2);
+  B.store(D, J, V2); // the index array itself is updated
+  Instruction *JN = B.add(J, B.constant(1), "jn");
+  B.br(IH);
+  B.setInsertPoint(OL);
+  Instruction *IN = B.add(I, B.constant(1), "in");
+  B.br(OH);
+  B.setInsertPoint(Exit);
+  B.ret(B.constant(0));
+  I->addIncoming(B.constant(0), Entry);
+  I->addIncoming(IN, OL);
+  J->addIncoming(B.constant(0), IPre);
+  J->addIncoming(JN, IB);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  Analyses A(*F);
+  Loop *Outer = A.LI.topLevelLoops().front();
+  Loop *Inner = Outer->subLoops().front();
+  analysis::PDG G(*F, A.G, A.PDT, A.LI, *Outer);
+  analysis::DagScc Dag(G);
+  const Partition Part = partitionDomore(G, Dag, *Outer, *Inner, A.G);
+  const SliceResult S = sliceComputeAddr(G, Part);
+  // Either the slice is infeasible (store in the address chain) or the
+  // whole body collapsed into the scheduler (no worker left) — both are
+  // valid "DOMORE inapplicable" outcomes for the Fig 4.1 nest.
+  EXPECT_TRUE(!S.Feasible || Part.Worker.empty()) << S.Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// MTCG + parallel execution of the generated pair
+//===----------------------------------------------------------------------===//
+
+TEST(MTCGGen, GeneratesVerifiableFunctions) {
+  Module M;
+  CgPipeline P(M);
+  ASSERT_TRUE(P.Slice.Feasible);
+  const MTCGResult R = generateDomorePair(M, *P.Nest.F, *P.Outer, *P.Inner,
+                                          P.Part, P.Slice);
+  ASSERT_TRUE(R.Feasible) << R.Reason;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*R.SchedulerFn, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  EXPECT_TRUE(verifyFunction(*R.WorkerFn, &Errors))
+      << (Errors.empty() ? "" : Errors.front());
+  // Live-ins: the element index j and the outer induction i.
+  EXPECT_EQ(R.LiveIns.size(), 2u);
+  EXPECT_EQ(R.WorkerFn->numArgs(), P.Nest.F->numArgs() + 1);
+
+  // The scheduler must not touch C's data anymore (the worker does), but
+  // still contains the runtime calls.
+  const std::string SchedText = printFunction(*R.SchedulerFn);
+  EXPECT_EQ(SchedText.find("store @C"), std::string::npos);
+  EXPECT_NE(SchedText.find("cip.domore.pick"), std::string::npos);
+  EXPECT_NE(SchedText.find("cip.domore.emit_work"), std::string::npos);
+  EXPECT_NE(SchedText.find("cip.domore.emit_end"), std::string::npos);
+  const std::string WorkText = printFunction(*R.WorkerFn);
+  EXPECT_NE(WorkText.find("store @C"), std::string::npos);
+  EXPECT_NE(WorkText.find("cip.domore.fetch"), std::string::npos);
+  EXPECT_NE(WorkText.find("cip.domore.finished"), std::string::npos);
+}
+
+TEST(MTCGGen, ParallelPairMatchesSequentialExecution) {
+  for (unsigned Workers : {1u, 2u, 3u}) {
+    Module M;
+    CgPipeline P(M, /*Rows=*/40, /*Data=*/48);
+    ASSERT_TRUE(P.Slice.Feasible);
+    const MTCGResult R = generateDomorePair(M, *P.Nest.F, *P.Outer, *P.Inner,
+                                            P.Part, P.Slice);
+    ASSERT_TRUE(R.Feasible) << R.Reason;
+
+    MemoryState SeqMem(M), ParMem(M);
+    seedCgMemory(P.Nest, SeqMem, /*RowLen=*/6, /*Stride=*/1);
+    seedCgMemory(P.Nest, ParMem, /*RowLen=*/6, /*Stride=*/1);
+    ASSERT_TRUE(interpret(*P.Nest.F, {}, SeqMem).Completed);
+
+    const DomorePairResult D =
+        runDomorePair(*R.SchedulerFn, *R.WorkerFn, {}, ParMem, Workers);
+    ASSERT_TRUE(D.Completed) << D.Error;
+    EXPECT_EQ(D.Iterations, 40u * 6u);
+    EXPECT_EQ(ParMem.digest(), SeqMem.digest()) << "workers=" << Workers;
+    if (Workers > 1) {
+      EXPECT_GT(D.SyncConditions, 0u); // stride 1: dense conflicts
+    }
+  }
+}
+
+TEST(MTCGGen, ConflictFreeNestNeedsNoSync) {
+  Module M;
+  CgPipeline P(M, /*Rows=*/12, /*Data=*/200);
+  const MTCGResult R = generateDomorePair(M, *P.Nest.F, *P.Outer, *P.Inner,
+                                          P.Part, P.Slice);
+  ASSERT_TRUE(R.Feasible);
+  MemoryState SeqMem(M), ParMem(M);
+  seedCgMemory(P.Nest, SeqMem, /*RowLen=*/6, /*Stride=*/9);
+  seedCgMemory(P.Nest, ParMem, /*RowLen=*/6, /*Stride=*/9);
+  ASSERT_TRUE(interpret(*P.Nest.F, {}, SeqMem).Completed);
+  const DomorePairResult D =
+      runDomorePair(*R.SchedulerFn, *R.WorkerFn, {}, ParMem, 3);
+  ASSERT_TRUE(D.Completed) << D.Error;
+  EXPECT_EQ(ParMem.digest(), SeqMem.digest());
+  EXPECT_EQ(D.SyncConditions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SPECCROSS region planning + Algorithm 5 instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(SpecPlanner, DetectsPhaseRegion) {
+  Module M;
+  PhaseNest Nest = buildPhaseNest(M);
+  Analyses A(*Nest.F);
+  const SpecCrossCandidates C =
+      findSpecCrossRegions(*Nest.F, A.G, A.PDT, A.LI);
+  ASSERT_EQ(C.Regions.size(), 1u);
+  const SpecRegionPlan &Plan = C.Regions.front();
+  EXPECT_EQ(Plan.InnerLoops.size(), 2u);
+  EXPECT_EQ(Plan.InnerLoops[0]->header()->name(), "l1.header");
+  EXPECT_EQ(Plan.InnerLoops[1]->header()->name(), "l2.header");
+  EXPECT_EQ(Plan.InnerPlans[0], LoopPlan::Doall);
+  EXPECT_EQ(Plan.InnerPlans[1], LoopPlan::Doall);
+  // X and Y flow between the phases: both ends of both deps instrumented.
+  EXPECT_GE(Plan.SpeculatedAccesses.size(), 4u);
+}
+
+TEST(SpecPlanner, RejectsUnparallelizableInnerLoop) {
+  // An outer loop whose inner loop is a provable reduction cannot be a
+  // SPECCROSS region.
+  Module M;
+  GlobalArray *Acc = M.createArray("acc", 1);
+  Function *F = M.createFunction("sum2", 0);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *OH = F->createBlock("outer.header");
+  BasicBlock *IPre = F->createBlock("inner.pre");
+  BasicBlock *IH = F->createBlock("inner.header");
+  BasicBlock *IB = F->createBlock("inner.body");
+  BasicBlock *OL = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(OH);
+  B.setInsertPoint(OH);
+  Instruction *T = B.phi("t");
+  Instruction *TC = B.cmp(Opcode::CmpLT, T, B.constant(4), "tc");
+  B.condBr(TC, IPre, Exit);
+  B.setInsertPoint(IPre);
+  B.br(IH);
+  B.setInsertPoint(IH);
+  Instruction *J = B.phi("j");
+  Instruction *JC = B.cmp(Opcode::CmpLT, J, B.constant(8), "jc");
+  B.condBr(JC, IB, OL);
+  B.setInsertPoint(IB);
+  Instruction *V = B.load(Acc, B.constant(0), "v");
+  B.store(Acc, B.constant(0), B.add(V, J, "v2"));
+  Instruction *JN = B.add(J, B.constant(1), "jn");
+  B.br(IH);
+  B.setInsertPoint(OL);
+  Instruction *TN = B.add(T, B.constant(1), "tn");
+  B.br(OH);
+  B.setInsertPoint(Exit);
+  B.ret(B.constant(0));
+  T->addIncoming(B.constant(0), Entry);
+  T->addIncoming(TN, OL);
+  J->addIncoming(B.constant(0), IPre);
+  J->addIncoming(JN, IB);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  Analyses A(*F);
+  const SpecCrossCandidates C = findSpecCrossRegions(*F, A.G, A.PDT, A.LI);
+  EXPECT_TRUE(C.Regions.empty());
+  ASSERT_FALSE(C.Rejections.empty());
+  EXPECT_NE(C.Rejections.front().second.find("not parallelizable"),
+            std::string::npos);
+}
+
+TEST(SpecPlanner, InsertsCallsPerAlgorithm5) {
+  Module M;
+  PhaseNest Nest = buildPhaseNest(M, /*Steps=*/6, /*Width=*/10);
+  Analyses A(*Nest.F);
+  const SpecCrossCandidates C =
+      findSpecCrossRegions(*Nest.F, A.G, A.PDT, A.LI);
+  ASSERT_EQ(C.Regions.size(), 1u);
+
+  const InsertionStats S = insertSpecCrossCalls(M, C.Regions.front(), A.G);
+  EXPECT_EQ(S.EnterBarrier, 2u); // one per inner loop preheader
+  EXPECT_EQ(S.EnterTask, 2u);    // one per inner loop header
+  EXPECT_GE(S.ExitTask, 2u);     // at least one per loop
+  EXPECT_EQ(S.SpecAccess, C.Regions.front().SpeculatedAccesses.size());
+  ASSERT_TRUE(verifyFunction(*Nest.F));
+
+  // Instrumented code must still compute the same result.
+  Module M2;
+  PhaseNest Ref = buildPhaseNest(M2, 6, 10);
+  MemoryState RefMem(M2), InstMem(M);
+  for (std::size_t I = 0; I < 10; ++I) {
+    RefMem.arrayData(Ref.X)[I] = static_cast<std::int64_t>(I);
+    InstMem.arrayData(Nest.X)[I] = static_cast<std::int64_t>(I);
+  }
+  ASSERT_TRUE(interpret(*Ref.F, {}, RefMem).Completed);
+  InterpOptions Opt;
+  registerNoopSpecNatives(Opt);
+  const InterpResult R = interpret(*Nest.F, {}, InstMem, Opt);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(InstMem.arrayData(Nest.X), RefMem.arrayData(Ref.X));
+  EXPECT_EQ(InstMem.arrayData(Nest.Y), RefMem.arrayData(Ref.Y));
+}
+
+TEST(SpecPlanner, CountsTasksViaInstrumentation) {
+  // Replace the no-op natives with counters to check dynamic placement:
+  // every task body runs exactly one enter_task and one exit_task.
+  Module M;
+  PhaseNest Nest = buildPhaseNest(M, /*Steps=*/5, /*Width=*/7);
+  Analyses A(*Nest.F);
+  const SpecCrossCandidates C =
+      findSpecCrossRegions(*Nest.F, A.G, A.PDT, A.LI);
+  ASSERT_EQ(C.Regions.size(), 1u);
+  insertSpecCrossCalls(M, C.Regions.front(), A.G);
+
+  std::uint64_t Barriers = 0, Enters = 0, Exits = 0;
+  InterpOptions Opt;
+  registerNoopSpecNatives(Opt);
+  Opt.Natives["cip.spec.enter_barrier"] =
+      [&](const std::vector<std::int64_t> &) { return ++Barriers, 0; };
+  Opt.Natives["cip.spec.enter_task"] =
+      [&](const std::vector<std::int64_t> &) { return ++Enters, 0; };
+  Opt.Natives["cip.spec.exit_task"] =
+      [&](const std::vector<std::int64_t> &) { return ++Exits, 0; };
+  MemoryState Mem(M);
+  ASSERT_TRUE(interpret(*Nest.F, {}, Mem, Opt).Completed);
+  EXPECT_EQ(Barriers, 2u * 5u);        // two epochs per timestep
+  // One exit_task per back edge plus one on the split exit edge (Alg. 5
+  // line 26: "invoke exit_task when exit taken").
+  EXPECT_EQ(Exits, 2u * 5u * (7u + 1u));
+  // enter_task fires once per header visit, including the exit check.
+  EXPECT_EQ(Enters, 2u * 5u * (7u + 1u));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline fuzzing: the full compile-and-run path over randomized nests.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FuzzParam {
+  unsigned Rows;
+  unsigned Data;
+  unsigned RowLen;
+  unsigned Stride;
+  unsigned Workers;
+};
+
+std::string fuzzName(const ::testing::TestParamInfo<FuzzParam> &Info) {
+  const FuzzParam &P = Info.param;
+  return "r" + std::to_string(P.Rows) + "_d" + std::to_string(P.Data) +
+         "_l" + std::to_string(P.RowLen) + "_s" + std::to_string(P.Stride) +
+         "_w" + std::to_string(P.Workers);
+}
+
+std::vector<FuzzParam> fuzzParams() {
+  std::vector<FuzzParam> Out;
+  for (unsigned Rows : {7u, 33u})
+    for (unsigned RowLen : {1u, 5u})
+      for (unsigned Stride : {1u, 4u, 11u})
+        for (unsigned Workers : {1u, 3u})
+          Out.push_back(FuzzParam{Rows, 64, RowLen, Stride, Workers});
+  return Out;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Nests, PipelineFuzz,
+                         ::testing::ValuesIn(fuzzParams()), fuzzName);
+
+TEST_P(PipelineFuzz, CompiledPairMatchesSequentialInterpretation) {
+  const FuzzParam Param = GetParam();
+  Module M;
+  CgPipeline P(M, Param.Rows, Param.Data);
+  ASSERT_TRUE(P.Slice.Feasible) << P.Slice.Reason;
+  const MTCGResult R = generateDomorePair(M, *P.Nest.F, *P.Outer, *P.Inner,
+                                          P.Part, P.Slice);
+  ASSERT_TRUE(R.Feasible) << R.Reason;
+  ASSERT_TRUE(verifyFunction(*R.SchedulerFn));
+  ASSERT_TRUE(verifyFunction(*R.WorkerFn));
+
+  MemoryState SeqMem(M), ParMem(M);
+  seedCgMemory(P.Nest, SeqMem, Param.RowLen, Param.Stride);
+  seedCgMemory(P.Nest, ParMem, Param.RowLen, Param.Stride);
+  ASSERT_TRUE(interpret(*P.Nest.F, {}, SeqMem).Completed);
+  const DomorePairResult D =
+      runDomorePair(*R.SchedulerFn, *R.WorkerFn, {}, ParMem, Param.Workers);
+  ASSERT_TRUE(D.Completed) << D.Error;
+  EXPECT_EQ(ParMem.digest(), SeqMem.digest());
+  EXPECT_EQ(D.Iterations,
+            static_cast<std::uint64_t>(Param.Rows) * Param.RowLen);
+}
+
+//===----------------------------------------------------------------------===//
+// DomoreIROracle unit behavior.
+//===----------------------------------------------------------------------===//
+
+TEST(DomoreOracle, RoundRobinPickAndIterationNumbers) {
+  DomoreIROracle Oracle(3);
+  ir::InterpOptions Opt;
+  Oracle.registerNatives(Opt);
+  auto &Pick = Opt.Natives.at("cip.domore.pick");
+  auto &NextIter = Opt.Natives.at("cip.domore.next_iter");
+  EXPECT_EQ(NextIter({}), 0);
+  EXPECT_EQ(NextIter({}), 1);
+  EXPECT_EQ(Pick({0}), 0);
+  EXPECT_EQ(Pick({1}), 1);
+  EXPECT_EQ(Pick({2}), 2);
+  EXPECT_EQ(Pick({3}), 0);
+  EXPECT_EQ(Oracle.iterationsScheduled(), 2u);
+}
+
+TEST(DomoreOracle, ConflictDetectionAcrossWorkers) {
+  DomoreIROracle Oracle(2);
+  ir::InterpOptions Opt;
+  Oracle.registerNatives(Opt);
+  auto &Access = Opt.Natives.at("cip.domore.access");
+  // Same array element touched by worker 0 (iter 0) then worker 1 (iter 1):
+  // one sync condition. Same worker again: none.
+  Access({0, 0, /*ArrayId=*/2, /*Index=*/7});
+  EXPECT_EQ(Oracle.syncConditions(), 0u);
+  Access({1, 1, 2, 7});
+  EXPECT_EQ(Oracle.syncConditions(), 1u);
+  Access({1, 2, 2, 7});
+  EXPECT_EQ(Oracle.syncConditions(), 1u);
+  // Same index in a different array is a different address.
+  Access({0, 3, /*ArrayId=*/5, 7});
+  EXPECT_EQ(Oracle.syncConditions(), 1u);
+}
