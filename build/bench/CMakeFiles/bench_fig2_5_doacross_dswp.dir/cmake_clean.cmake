@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_5_doacross_dswp.dir/bench_fig2_5_doacross_dswp.cpp.o"
+  "CMakeFiles/bench_fig2_5_doacross_dswp.dir/bench_fig2_5_doacross_dswp.cpp.o.d"
+  "bench_fig2_5_doacross_dswp"
+  "bench_fig2_5_doacross_dswp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_5_doacross_dswp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_3_cg_domore.dir/bench_fig3_3_cg_domore.cpp.o"
+  "CMakeFiles/bench_fig3_3_cg_domore.dir/bench_fig3_3_cg_domore.cpp.o.d"
+  "bench_fig3_3_cg_domore"
+  "bench_fig3_3_cg_domore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_3_cg_domore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_1_domore.dir/bench_fig5_1_domore.cpp.o"
+  "CMakeFiles/bench_fig5_1_domore.dir/bench_fig5_1_domore.cpp.o.d"
+  "bench_fig5_1_domore"
+  "bench_fig5_1_domore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_1_domore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_2_speccross.dir/bench_fig5_2_speccross.cpp.o"
+  "CMakeFiles/bench_fig5_2_speccross.dir/bench_fig5_2_speccross.cpp.o.d"
+  "bench_fig5_2_speccross"
+  "bench_fig5_2_speccross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_2_speccross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

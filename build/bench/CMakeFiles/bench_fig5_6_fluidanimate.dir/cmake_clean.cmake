@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_fluidanimate.dir/bench_fig5_6_fluidanimate.cpp.o"
+  "CMakeFiles/bench_fig5_6_fluidanimate.dir/bench_fig5_6_fluidanimate.cpp.o.d"
+  "bench_fig5_6_fluidanimate"
+  "bench_fig5_6_fluidanimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_fluidanimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_1_applicability.dir/bench_table5_1_applicability.cpp.o"
+  "CMakeFiles/bench_table5_1_applicability.dir/bench_table5_1_applicability.cpp.o.d"
+  "bench_table5_1_applicability"
+  "bench_table5_1_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_1_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

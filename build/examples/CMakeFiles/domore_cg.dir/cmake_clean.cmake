@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domore_cg.dir/domore_cg.cpp.o"
+  "CMakeFiles/domore_cg.dir/domore_cg.cpp.o.d"
+  "domore_cg"
+  "domore_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domore_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

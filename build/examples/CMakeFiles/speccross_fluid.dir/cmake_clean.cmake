@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccross_fluid.dir/speccross_fluid.cpp.o"
+  "CMakeFiles/speccross_fluid.dir/speccross_fluid.cpp.o.d"
+  "speccross_fluid"
+  "speccross_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccross_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DepProfiler.cpp" "src/analysis/CMakeFiles/cip_analysis.dir/DepProfiler.cpp.o" "gcc" "src/analysis/CMakeFiles/cip_analysis.dir/DepProfiler.cpp.o.d"
+  "/root/repo/src/analysis/IndexExpr.cpp" "src/analysis/CMakeFiles/cip_analysis.dir/IndexExpr.cpp.o" "gcc" "src/analysis/CMakeFiles/cip_analysis.dir/IndexExpr.cpp.o.d"
+  "/root/repo/src/analysis/PDG.cpp" "src/analysis/CMakeFiles/cip_analysis.dir/PDG.cpp.o" "gcc" "src/analysis/CMakeFiles/cip_analysis.dir/PDG.cpp.o.d"
+  "/root/repo/src/analysis/SCC.cpp" "src/analysis/CMakeFiles/cip_analysis.dir/SCC.cpp.o" "gcc" "src/analysis/CMakeFiles/cip_analysis.dir/SCC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cip_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_analysis.dir/DepProfiler.cpp.o"
+  "CMakeFiles/cip_analysis.dir/DepProfiler.cpp.o.d"
+  "CMakeFiles/cip_analysis.dir/IndexExpr.cpp.o"
+  "CMakeFiles/cip_analysis.dir/IndexExpr.cpp.o.d"
+  "CMakeFiles/cip_analysis.dir/PDG.cpp.o"
+  "CMakeFiles/cip_analysis.dir/PDG.cpp.o.d"
+  "CMakeFiles/cip_analysis.dir/SCC.cpp.o"
+  "CMakeFiles/cip_analysis.dir/SCC.cpp.o.d"
+  "libcip_analysis.a"
+  "libcip_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

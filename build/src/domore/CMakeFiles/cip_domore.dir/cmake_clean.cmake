@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_domore.dir/DomoreRuntime.cpp.o"
+  "CMakeFiles/cip_domore.dir/DomoreRuntime.cpp.o.d"
+  "CMakeFiles/cip_domore.dir/ShadowMemory.cpp.o"
+  "CMakeFiles/cip_domore.dir/ShadowMemory.cpp.o.d"
+  "libcip_domore.a"
+  "libcip_domore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_domore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

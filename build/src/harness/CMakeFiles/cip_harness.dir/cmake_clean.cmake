@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_harness.dir/Executor.cpp.o"
+  "CMakeFiles/cip_harness.dir/Executor.cpp.o.d"
+  "CMakeFiles/cip_harness.dir/StagedLoop.cpp.o"
+  "CMakeFiles/cip_harness.dir/StagedLoop.cpp.o.d"
+  "libcip_harness.a"
+  "libcip_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

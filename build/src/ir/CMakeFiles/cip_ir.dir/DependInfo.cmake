@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CFG.cpp" "src/ir/CMakeFiles/cip_ir.dir/CFG.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/ir/CMakeFiles/cip_ir.dir/Cloning.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/cip_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/cip_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/cip_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/cip_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/LoopInfo.cpp" "src/ir/CMakeFiles/cip_ir.dir/LoopInfo.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/cip_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/cip_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/cip_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_ir.dir/CFG.cpp.o"
+  "CMakeFiles/cip_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/Cloning.cpp.o"
+  "CMakeFiles/cip_ir.dir/Cloning.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/cip_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/IR.cpp.o"
+  "CMakeFiles/cip_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/cip_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/Interp.cpp.o"
+  "CMakeFiles/cip_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/LoopInfo.cpp.o"
+  "CMakeFiles/cip_ir.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/Parser.cpp.o"
+  "CMakeFiles/cip_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/cip_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/cip_ir.dir/Verifier.cpp.o.d"
+  "libcip_ir.a"
+  "libcip_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_speccross.dir/Checkpoint.cpp.o"
+  "CMakeFiles/cip_speccross.dir/Checkpoint.cpp.o.d"
+  "CMakeFiles/cip_speccross.dir/SpecCrossRuntime.cpp.o"
+  "CMakeFiles/cip_speccross.dir/SpecCrossRuntime.cpp.o.d"
+  "libcip_speccross.a"
+  "libcip_speccross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_speccross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

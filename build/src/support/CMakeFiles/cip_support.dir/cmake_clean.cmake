@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_support.dir/Barrier.cpp.o"
+  "CMakeFiles/cip_support.dir/Barrier.cpp.o.d"
+  "libcip_support.a"
+  "libcip_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

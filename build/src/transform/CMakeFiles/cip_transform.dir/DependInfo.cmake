@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/DomoreDriver.cpp" "src/transform/CMakeFiles/cip_transform.dir/DomoreDriver.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/DomoreDriver.cpp.o.d"
+  "/root/repo/src/transform/DomorePartitioner.cpp" "src/transform/CMakeFiles/cip_transform.dir/DomorePartitioner.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/DomorePartitioner.cpp.o.d"
+  "/root/repo/src/transform/MTCG.cpp" "src/transform/CMakeFiles/cip_transform.dir/MTCG.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/MTCG.cpp.o.d"
+  "/root/repo/src/transform/Parallelizer.cpp" "src/transform/CMakeFiles/cip_transform.dir/Parallelizer.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/Parallelizer.cpp.o.d"
+  "/root/repo/src/transform/Slicer.cpp" "src/transform/CMakeFiles/cip_transform.dir/Slicer.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/Slicer.cpp.o.d"
+  "/root/repo/src/transform/SpecCrossPlanner.cpp" "src/transform/CMakeFiles/cip_transform.dir/SpecCrossPlanner.cpp.o" "gcc" "src/transform/CMakeFiles/cip_transform.dir/SpecCrossPlanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cip_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/domore/CMakeFiles/cip_domore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cip_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

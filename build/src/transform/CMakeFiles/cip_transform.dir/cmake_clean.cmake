@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_transform.dir/DomoreDriver.cpp.o"
+  "CMakeFiles/cip_transform.dir/DomoreDriver.cpp.o.d"
+  "CMakeFiles/cip_transform.dir/DomorePartitioner.cpp.o"
+  "CMakeFiles/cip_transform.dir/DomorePartitioner.cpp.o.d"
+  "CMakeFiles/cip_transform.dir/MTCG.cpp.o"
+  "CMakeFiles/cip_transform.dir/MTCG.cpp.o.d"
+  "CMakeFiles/cip_transform.dir/Parallelizer.cpp.o"
+  "CMakeFiles/cip_transform.dir/Parallelizer.cpp.o.d"
+  "CMakeFiles/cip_transform.dir/Slicer.cpp.o"
+  "CMakeFiles/cip_transform.dir/Slicer.cpp.o.d"
+  "CMakeFiles/cip_transform.dir/SpecCrossPlanner.cpp.o"
+  "CMakeFiles/cip_transform.dir/SpecCrossPlanner.cpp.o.d"
+  "libcip_transform.a"
+  "libcip_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BlackScholes.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/BlackScholes.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/BlackScholes.cpp.o.d"
+  "/root/repo/src/workloads/CG.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/CG.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/CG.cpp.o.d"
+  "/root/repo/src/workloads/Eclat.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Eclat.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Eclat.cpp.o.d"
+  "/root/repo/src/workloads/Equake.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Equake.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Equake.cpp.o.d"
+  "/root/repo/src/workloads/Fdtd.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Fdtd.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Fdtd.cpp.o.d"
+  "/root/repo/src/workloads/FluidAnimate.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/FluidAnimate.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/FluidAnimate.cpp.o.d"
+  "/root/repo/src/workloads/Jacobi.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Jacobi.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Jacobi.cpp.o.d"
+  "/root/repo/src/workloads/LLUBench.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/LLUBench.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/LLUBench.cpp.o.d"
+  "/root/repo/src/workloads/Loopdep.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Loopdep.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Loopdep.cpp.o.d"
+  "/root/repo/src/workloads/Symm.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Symm.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Symm.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/cip_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/cip_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cip_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/speccross/CMakeFiles/cip_speccross.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

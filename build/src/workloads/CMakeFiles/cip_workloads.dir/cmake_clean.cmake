@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_workloads.dir/BlackScholes.cpp.o"
+  "CMakeFiles/cip_workloads.dir/BlackScholes.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/CG.cpp.o"
+  "CMakeFiles/cip_workloads.dir/CG.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Eclat.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Eclat.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Equake.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Equake.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Fdtd.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Fdtd.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/FluidAnimate.cpp.o"
+  "CMakeFiles/cip_workloads.dir/FluidAnimate.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Jacobi.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Jacobi.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/LLUBench.cpp.o"
+  "CMakeFiles/cip_workloads.dir/LLUBench.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Loopdep.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Loopdep.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Symm.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Symm.cpp.o.d"
+  "CMakeFiles/cip_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/cip_workloads.dir/Workload.cpp.o.d"
+  "libcip_workloads.a"
+  "libcip_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

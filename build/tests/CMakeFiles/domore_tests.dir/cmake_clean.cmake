@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domore_tests.dir/DomoreTests.cpp.o"
+  "CMakeFiles/domore_tests.dir/DomoreTests.cpp.o.d"
+  "domore_tests"
+  "domore_tests.pdb"
+  "domore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

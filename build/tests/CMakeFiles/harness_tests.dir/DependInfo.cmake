@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/HarnessTests.cpp" "tests/CMakeFiles/harness_tests.dir/HarnessTests.cpp.o" "gcc" "tests/CMakeFiles/harness_tests.dir/HarnessTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cip_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/domore/CMakeFiles/cip_domore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cip_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/speccross/CMakeFiles/cip_speccross.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

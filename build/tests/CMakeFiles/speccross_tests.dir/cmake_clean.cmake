@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccross_tests.dir/SpecCrossTests.cpp.o"
+  "CMakeFiles/speccross_tests.dir/SpecCrossTests.cpp.o.d"
+  "speccross_tests"
+  "speccross_tests.pdb"
+  "speccross_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccross_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/domore_tests[1]_include.cmake")
+include("/root/repo/build/tests/speccross_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/harness_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/transform_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
