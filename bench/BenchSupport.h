@@ -15,6 +15,17 @@
 ///   CIP_BENCH_SCALE   = test | train | ref   (default train)
 ///   CIP_BENCH_THREADS = comma list            (default 1,2,4,8,16,24)
 ///   CIP_BENCH_REPS    = repetitions, min-of   (default 2)
+///   CIP_BENCH_JSON    = path                  (append machine-readable rows)
+///
+/// Malformed knob values are a hard error (exit 2) rather than a silent
+/// fallback: a typo in CI must not quietly benchmark the wrong config.
+///
+/// With CIP_BENCH_JSON set, every timed series point additionally emits one
+/// JSON object per line (JSON Lines) to the given path:
+///   {"workload":..., "scheme":..., "threads":..., "scale":..., "reps":...,
+///    "seconds":..., "speedup":..., "counters":{...}}
+/// where counters holds the telemetry counter totals of the best rep (all
+/// zero when built with CIP_TELEMETRY=0).
 ///
 /// The reproduction machine has far fewer cores than the paper's 24-core
 /// testbed; thread counts beyond the hardware oversubscribe, so the *shape*
@@ -28,11 +39,14 @@
 
 #include "harness/Executor.h"
 #include "support/Stats.h"
+#include "telemetry/Json.h"
 #include "workloads/Workload.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,15 +54,53 @@
 namespace cip {
 namespace bench {
 
+/// A bench knob with an unusable value is a configuration bug, not a
+/// preference; fail loudly so CI never times the wrong thing.
+[[noreturn]] inline void benchEnvError(const char *Var, const char *Value,
+                                       const char *Expected) {
+  std::fprintf(stderr, "error: %s='%s' is invalid: expected %s\n", Var, Value,
+               Expected);
+  std::exit(2);
+}
+
+/// Strict unsigned parse for env knobs: the whole token must be a positive
+/// decimal number.
+inline bool parseEnvUnsigned(const char *Token, unsigned &Out) {
+  if (!*Token)
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  const unsigned long V = std::strtoul(Token, &End, 10);
+  if (errno != 0 || *End != '\0' || V == 0 || V > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
 inline workloads::Scale benchScale() {
   const char *S = std::getenv("CIP_BENCH_SCALE");
   if (!S)
     return workloads::Scale::Train;
   if (std::strcmp(S, "test") == 0)
     return workloads::Scale::Test;
+  if (std::strcmp(S, "train") == 0)
+    return workloads::Scale::Train;
   if (std::strcmp(S, "ref") == 0)
     return workloads::Scale::Ref;
-  return workloads::Scale::Train;
+  benchEnvError("CIP_BENCH_SCALE", S, "test, train, or ref");
+}
+
+/// The scale's name, for report rows.
+inline const char *benchScaleName() {
+  switch (benchScale()) {
+  case workloads::Scale::Test:
+    return "test";
+  case workloads::Scale::Ref:
+    return "ref";
+  case workloads::Scale::Train:
+    break;
+  }
+  return "train";
 }
 
 inline std::vector<unsigned> benchThreads() {
@@ -57,8 +109,11 @@ inline std::vector<unsigned> benchThreads() {
     std::string Tok;
     for (const char *P = S;; ++P) {
       if (*P == ',' || *P == '\0') {
-        if (!Tok.empty())
-          Out.push_back(static_cast<unsigned>(std::stoul(Tok)));
+        unsigned V = 0;
+        if (!parseEnvUnsigned(Tok.c_str(), V))
+          benchEnvError("CIP_BENCH_THREADS", S,
+                        "a comma-separated list of positive thread counts");
+        Out.push_back(V);
         Tok.clear();
         if (*P == '\0')
           break;
@@ -66,15 +121,18 @@ inline std::vector<unsigned> benchThreads() {
         Tok.push_back(*P);
       }
     }
-    if (!Out.empty())
-      return Out;
+    return Out;
   }
   return {1, 2, 4, 8, 16, 24};
 }
 
 inline unsigned benchReps() {
-  if (const char *S = std::getenv("CIP_BENCH_REPS"))
-    return std::max(1u, static_cast<unsigned>(std::stoul(S)));
+  if (const char *S = std::getenv("CIP_BENCH_REPS")) {
+    unsigned V = 0;
+    if (!parseEnvUnsigned(S, V))
+      benchEnvError("CIP_BENCH_REPS", S, "a positive repetition count");
+    return V;
+  }
   return 2;
 }
 
@@ -90,30 +148,137 @@ template <typename Callable> double minSeconds(unsigned Reps, Callable &&Body) {
   return Best;
 }
 
+/// Like \c minSeconds but for bodies returning an \c ExecResult: keeps the
+/// whole fastest run, so its telemetry counters can be exported alongside
+/// the timing.
+template <typename Callable>
+harness::ExecResult bestRun(unsigned Reps, Callable &&Body) {
+  harness::ExecResult Best;
+  for (unsigned R = 0; R < Reps; ++R) {
+    harness::ExecResult Cur = Body();
+    if (R == 0 || Cur.Seconds < Best.Seconds)
+      Best = Cur;
+  }
+  return Best;
+}
+
+/// The CIP_BENCH_JSON sink: one JSON object per recorded series point, one
+/// line each (JSON Lines), flushed eagerly so partial CI runs still leave
+/// parseable output. Also remembers each workload's sequential baseline so
+/// scheme rows can carry their speedup.
+class BenchJson {
+public:
+  static BenchJson &instance() {
+    static BenchJson J;
+    return J;
+  }
+
+  bool enabled() const { return File != nullptr; }
+
+  void noteSequential(const std::string &Workload, double Seconds) {
+    Baselines[Workload] = Seconds;
+  }
+
+  double sequentialBaseline(const std::string &Workload) const {
+    const auto It = Baselines.find(Workload);
+    return It == Baselines.end() ? 0.0 : It->second;
+  }
+
+  void record(const workloads::Workload &W, const char *Scheme,
+              unsigned Threads, unsigned Reps, double Seconds, double Speedup,
+              const telemetry::CounterTotals &Counters) {
+    if (!File)
+      return;
+    telemetry::json::Writer Wr;
+    Wr.beginObject();
+    Wr.key("workload");
+    Wr.value(W.name());
+    Wr.key("scheme");
+    Wr.value(Scheme);
+    Wr.key("threads");
+    Wr.value(Threads);
+    Wr.key("scale");
+    Wr.value(benchScaleName());
+    Wr.key("reps");
+    Wr.value(Reps);
+    Wr.key("seconds");
+    Wr.value(Seconds);
+    Wr.key("speedup");
+    Wr.value(Speedup);
+    Wr.key("counters");
+    Wr.beginObject();
+    for (unsigned C = 0; C < telemetry::NumCounters; ++C) {
+      Wr.key(telemetry::counterName(static_cast<telemetry::Counter>(C)));
+      Wr.value(Counters.Values[C]);
+    }
+    Wr.endObject();
+    Wr.endObject();
+    std::fprintf(File, "%s\n", Wr.str().c_str());
+    std::fflush(File);
+  }
+
+private:
+  BenchJson() {
+    if (const char *Path = std::getenv("CIP_BENCH_JSON")) {
+      File = std::fopen(Path, "w");
+      if (!File)
+        benchEnvError("CIP_BENCH_JSON", Path, "a writable file path");
+    }
+  }
+  ~BenchJson() {
+    if (File)
+      std::fclose(File);
+  }
+
+  std::FILE *File = nullptr;
+  std::map<std::string, double> Baselines;
+};
+
+/// Records one series point for \p W: looks up the sequential baseline (0
+/// speedup when the bench never timed one) and appends a JSON row when
+/// CIP_BENCH_JSON is set.
+inline void recordRun(const workloads::Workload &W, const char *Scheme,
+                      unsigned Threads, unsigned Reps,
+                      const harness::ExecResult &Best) {
+  BenchJson &J = BenchJson::instance();
+  const double Base = J.sequentialBaseline(W.name());
+  const double Speedup = Best.Seconds > 0.0 && Base > 0.0
+                             ? Base / Best.Seconds
+                             : 0.0;
+  J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry);
+}
+
 /// Best sequential time for \p W (resets the workload first).
 inline double sequentialSeconds(workloads::Workload &W, unsigned Reps) {
-  return minSeconds(Reps, [&W] {
+  const harness::ExecResult Best = bestRun(Reps, [&W] {
     W.reset();
-    return harness::runSequential(W).Seconds;
+    return harness::runSequential(W);
   });
+  BenchJson::instance().noteSequential(W.name(), Best.Seconds);
+  recordRun(W, "sequential", 1, Reps, Best);
+  return Best.Seconds;
 }
 
 inline double barrierSeconds(workloads::Workload &W, unsigned Threads,
                              unsigned Reps) {
-  return minSeconds(Reps, [&] {
+  const harness::ExecResult Best = bestRun(Reps, [&] {
     W.reset();
-    return harness::runBarrier(W, Threads).Seconds;
+    return harness::runBarrier(W, Threads);
   });
+  recordRun(W, "barrier", Threads, Reps, Best);
+  return Best.Seconds;
 }
 
 inline double domoreSeconds(workloads::Workload &W, unsigned Threads,
                             unsigned Reps,
                             domore::PolicyKind Policy =
                                 domore::PolicyKind::RoundRobin) {
-  return minSeconds(Reps, [&] {
+  const harness::ExecResult Best = bestRun(Reps, [&] {
     W.reset();
-    return harness::runDomore(W, Threads, Policy).Seconds;
+    return harness::runDomore(W, Threads, Policy);
   });
+  recordRun(W, "domore", Threads, Reps, Best);
+  return Best.Seconds;
 }
 
 /// SPECCROSS with the paper's full flow: profile once, then speculate with
@@ -124,15 +289,17 @@ inline double domoreSeconds(workloads::Workload &W, unsigned Threads,
 inline double speccrossSeconds(workloads::Workload &W, unsigned Threads,
                                unsigned Reps, std::uint64_t SpecDistance,
                                unsigned CheckpointEpochs = 1000) {
-  return minSeconds(Reps, [&] {
+  const harness::ExecResult Best = bestRun(Reps, [&] {
     W.reset();
     speccross::SpecConfig Cfg;
     Cfg.NumWorkers = Threads > 1 ? Threads - 1 : 1;
     Cfg.Scheme = W.preferredSignature();
     Cfg.SpecDistance = SpecDistance;
     Cfg.CheckpointIntervalEpochs = CheckpointEpochs;
-    return harness::runSpecCross(W, Cfg).Seconds;
+    return harness::runSpecCross(W, Cfg);
   });
+  recordRun(W, "speccross", Threads, Reps, Best);
+  return Best.Seconds;
 }
 
 /// Prints a speedup-series table header: workload column plus one column

@@ -20,12 +20,18 @@
 ///   cmake -B build -G Ninja && cmake --build build
 ///   ./build/examples/quickstart
 ///
+/// Set CIP_TRACE=<prefix> to additionally dump one Chrome trace per
+/// parallel region (open the .trace.json files in a trace viewer to see the
+/// scheduler/worker/checker lanes, sync-condition arrows, and barriers).
+///
 //===----------------------------------------------------------------------===//
 
 #include "harness/Executor.h"
+#include "telemetry/Telemetry.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace cip;
 
@@ -141,6 +147,21 @@ int main() {
   std::printf("DOMORE:           %7.3fs  (%.2fx, %llu sync conditions)\n",
               Dom.Seconds, Seq.Seconds / Dom.Seconds,
               static_cast<unsigned long long>(DStats.SyncConditions));
+
+  // 5. Telemetry: every strategy's ExecResult carries the region's counter
+  // totals (all zero when built with -DCIP_TELEMETRY=0).
+  if (telemetry::compiledIn()) {
+    using telemetry::Counter;
+    std::printf("telemetry:        DOMORE waited %.3fms on sync conditions; "
+                "SPECCROSS spun %llu times on the throttle\n",
+                static_cast<double>(
+                    Dom.Telemetry.get(Counter::WorkerWaitNs)) * 1e-6,
+                static_cast<unsigned long long>(
+                    Spec.Telemetry.get(Counter::ThrottleSpins)));
+    if (!std::getenv("CIP_TRACE"))
+      std::printf("                  (set CIP_TRACE=<prefix> to dump Chrome "
+                  "traces of these regions)\n");
+  }
 
   const bool AllMatch =
       Bar.Checksum == Seq.Checksum && Spec.Checksum == Seq.Checksum &&

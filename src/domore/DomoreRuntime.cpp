@@ -9,12 +9,16 @@
 #include "support/Backoff.h"
 #include "support/ThreadGroup.h"
 #include "support/Timer.h"
+#include "telemetry/Telemetry.h"
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 using namespace cip;
 using namespace cip::domore;
+using telemetry::Counter;
+using telemetry::EventKind;
 
 namespace {
 
@@ -38,6 +42,9 @@ struct Message {
   std::int64_t Iter = -1;
   std::uint32_t Invocation = 0;
   std::uint64_t LocalIter = 0;
+  /// Trace flow-arrow id pairing this sync condition's scheduler-side
+  /// source with the worker-side wait (0 for non-sync messages).
+  std::uint64_t Flow = 0;
 };
 
 /// Spin-waits until \p Slot reports completion of combined iteration
@@ -46,6 +53,27 @@ void waitForIteration(const ProgressSlot &Slot, std::int64_t Iter) {
   Backoff B;
   while (Slot.LatestFinished.load(std::memory_order_acquire) < Iter)
     B.pause();
+}
+
+/// True when combined iteration \p Iter is already finished — the fast path
+/// that lets probes time only *actual* waits.
+bool iterationDone(const ProgressSlot &Slot, std::int64_t Iter) {
+  return Slot.LatestFinished.load(std::memory_order_acquire) >= Iter;
+}
+
+/// produce() with queue-pressure accounting: spins are the scheduler
+/// run-ahead hitting the queue bound.
+void produceCounted(SPSCQueue<Message> &Q, const Message &M,
+                    telemetry::RegionTelemetry &Tel, unsigned Lane) {
+  if (CIP_LIKELY(Q.tryProduce(M)))
+    return;
+  telemetry::TimedScope Full(Tel, Lane, Counter::SchedulerStallNs,
+                             EventKind::QueueFull);
+  Backoff B;
+  do {
+    B.pause();
+    Tel.add(Lane, Counter::QueueFullSpins);
+  } while (!Q.tryProduce(M));
 }
 
 /// Looks up every address of the current iteration in \p Shadow, emits sync
@@ -90,9 +118,12 @@ template <typename ShadowT>
 void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
                   ShadowT &Shadow, SchedulePolicy &Policy,
                   std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues,
-                  std::vector<ProgressSlot> &Progress, DomoreStats &Stats) {
+                  std::vector<ProgressSlot> &Progress, DomoreStats &Stats,
+                  telemetry::RegionTelemetry &Tel) {
+  const unsigned Lane = Config.NumWorkers; // scheduler lane
   std::vector<std::uint64_t> Addrs;
   std::int64_t Combined = 0;
+  std::uint64_t NextFlow = 1;
   Stopwatch Busy;
 
   for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
@@ -105,11 +136,18 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
         const ShadowEntry Prev = Shadow.lookup(Addr);
         if (!Prev.valid())
           continue;
-        waitForIteration(Progress[Prev.Tid], Prev.Iter);
+        if (!iterationDone(Progress[Prev.Tid], Prev.Iter)) {
+          telemetry::TimedScope Stall(Tel, Lane, Counter::SchedulerStallNs,
+                                      EventKind::SchedStall, Prev.Tid,
+                                      static_cast<std::uint64_t>(Prev.Iter));
+          waitForIteration(Progress[Prev.Tid], Prev.Iter);
+        }
         ++Stats.PrologueWaits;
+        Tel.add(Lane, Counter::PrologueWaits);
       }
     }
 
+    Tel.begin(Lane, EventKind::Invocation, Inv);
     Busy.start();
     const std::size_t NumIters = Nest.BeginInvocation(Inv);
     Busy.stop();
@@ -120,40 +158,72 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
       Nest.ComputeAddr(Inv, It, Addrs);
       const std::uint32_t Tid = Policy.pick(Combined, Addrs);
       SPSCQueue<Message> &Q = *Queues[Tid];
-      Stats.SyncConditions += detectAndRecord(
+      const std::uint64_t Conflicts = detectAndRecord(
           Shadow, Addrs, Tid, Combined,
-          [&Q](std::uint32_t DepTid, std::int64_t DepIter) {
-            Q.produce(Message{Message::Sync, DepTid, DepIter, 0, 0});
+          [&](std::uint32_t DepTid, std::int64_t DepIter) {
+            const std::uint64_t Flow = NextFlow++;
+            Tel.flowBegin(Lane, Flow);
+            produceCounted(Q,
+                           Message{Message::Sync, DepTid, DepIter, 0, 0, Flow},
+                           Tel, Lane);
           });
+      Stats.SyncConditions += Conflicts;
+      if (Conflicts)
+        Tel.add(Lane, Counter::ShadowConflicts, Conflicts);
       Busy.stop();
-      Q.produce(Message{Message::Work, /*DepTid=*/0, Combined, Inv, It});
+      produceCounted(
+          Q, Message{Message::Work, /*DepTid=*/0, Combined, Inv, It, 0}, Tel,
+          Lane);
+      Tel.add(Lane, Counter::IterationsDispatched);
+      Tel.instant(Lane, EventKind::Dispatch, Inv,
+                  static_cast<std::uint64_t>(Combined));
       ++Combined;
     }
+    Tel.end(Lane, EventKind::Invocation, Inv);
     ++Stats.Invocations;
   }
 
   for (auto &Q : Queues)
-    Q->produce(Message{Message::End, 0, -1, 0, 0});
+    Q->produce(Message{Message::End, 0, -1, 0, 0, 0});
 
   Stats.Iterations = static_cast<std::uint64_t>(Combined);
   Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
+  Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
 }
 
 /// The worker thread body: Algorithm 2.
 void runWorker(const LoopNest &Nest, std::uint32_t Tid,
-               SPSCQueue<Message> &Queue, std::vector<ProgressSlot> &Progress) {
+               SPSCQueue<Message> &Queue, std::vector<ProgressSlot> &Progress,
+               telemetry::RegionTelemetry &Tel) {
   while (true) {
-    const Message M = Queue.consume();
+    Message M;
+    if (!Queue.tryConsume(M)) {
+      // Starved: the scheduler has not produced for this lane yet.
+      Backoff B;
+      do {
+        B.pause();
+        Tel.add(Tid, Counter::QueueEmptySpins);
+      } while (!Queue.tryConsume(M));
+    }
     switch (M.Kind) {
     case Message::End:
       return;
     case Message::Sync:
       assert(M.DepTid != Tid && "scheduler never syncs a worker on itself");
-      waitForIteration(Progress[M.DepTid], M.Iter);
+      if (!iterationDone(Progress[M.DepTid], M.Iter)) {
+        telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
+                                   EventKind::SyncWait, M.DepTid,
+                                   static_cast<std::uint64_t>(M.Iter));
+        waitForIteration(Progress[M.DepTid], M.Iter);
+      }
+      Tel.flowEnd(Tid, M.Flow);
       break;
     case Message::Work:
+      Tel.begin(Tid, EventKind::Task, M.Invocation, M.LocalIter);
       Nest.Work(M.Invocation, M.LocalIter);
+      Tel.end(Tid, EventKind::Task);
       Progress[Tid].LatestFinished.store(M.Iter, std::memory_order_release);
+      Tel.add(Tid, Counter::TasksExecuted);
       break;
     }
   }
@@ -175,14 +245,24 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
         std::make_unique<SPSCQueue<Message>>(Config.QueueCapacity));
   std::vector<ProgressSlot> Progress(Config.NumWorkers);
 
+  telemetry::RegionTelemetry Tel("domore", Config.NumWorkers + 1);
+  if (Tel.tracing()) {
+    for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
+      Tel.nameLane(W, "worker " + std::to_string(W));
+    Tel.nameLane(Config.NumWorkers, "scheduler");
+  }
+
   const double Begin = static_cast<double>(nowNanos());
   runThreads(Config.NumWorkers + 1, [&](unsigned ThreadIdx) {
     if (ThreadIdx == Config.NumWorkers)
-      runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats);
+      runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats,
+                   Tel);
     else
-      runWorker(Nest, ThreadIdx, *Queues[ThreadIdx], Progress);
+      runWorker(Nest, ThreadIdx, *Queues[ThreadIdx], Progress, Tel);
   });
   Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+  Stats.Telemetry = Tel.totals();
+  Tel.finish();
   return Stats;
 }
 
@@ -208,6 +288,11 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
   std::vector<ProgressSlot> Progress(Config.NumWorkers);
   std::atomic<std::uint64_t> TotalSyncs{0};
 
+  telemetry::RegionTelemetry Tel("domore_dup", Config.NumWorkers);
+  if (Tel.tracing())
+    for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
+      Tel.nameLane(W, "worker " + std::to_string(W));
+
   const double Begin = static_cast<double>(nowNanos());
   runThreads(Config.NumWorkers, [&](unsigned Tid) {
     // Every worker redundantly executes the scheduler partition against a
@@ -227,6 +312,7 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
     std::uint64_t MySyncs = 0;
 
     for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
+      Tel.begin(Tid, EventKind::Invocation, Inv);
       const std::size_t NumIters = Nest.BeginInvocation(Inv);
       for (std::size_t It = 0; It < NumIters; ++It) {
         Addrs.clear();
@@ -244,14 +330,29 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
         else
           MySyncs += detectAndRecord(HashShadow, Addrs, Owner, Combined, Emit);
         if (Mine) {
-          for (const auto &[DepTid, DepIter] : Waits)
+          // Each worker only accounts the conditions it itself waits on, so
+          // the telemetry total equals the region's true sync count rather
+          // than W redundant copies of it.
+          if (!Waits.empty())
+            Tel.add(Tid, Counter::ShadowConflicts, Waits.size());
+          for (const auto &[DepTid, DepIter] : Waits) {
+            if (iterationDone(Progress[DepTid], DepIter))
+              continue;
+            telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
+                                       EventKind::SyncWait, DepTid,
+                                       static_cast<std::uint64_t>(DepIter));
             waitForIteration(Progress[DepTid], DepIter);
+          }
+          Tel.begin(Tid, EventKind::Task, Inv, It);
           Nest.Work(Inv, It);
+          Tel.end(Tid, EventKind::Task);
           Progress[Tid].LatestFinished.store(Combined,
                                              std::memory_order_release);
+          Tel.add(Tid, Counter::TasksExecuted);
         }
         ++Combined;
       }
+      Tel.end(Tid, EventKind::Invocation, Inv);
     }
     if (Tid == 0) {
       Stats.Invocations = Nest.NumInvocations;
@@ -263,5 +364,7 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
   // Every worker counted the same conflicts; report one worker's view.
   Stats.SyncConditions =
       TotalSyncs.load(std::memory_order_relaxed) / Config.NumWorkers;
+  Stats.Telemetry = Tel.totals();
+  Tel.finish();
   return Stats;
 }

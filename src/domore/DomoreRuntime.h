@@ -28,6 +28,7 @@
 #include "domore/ShadowMemory.h"
 #include "support/Compiler.h"
 #include "support/SPSCQueue.h"
+#include "telemetry/Counters.h"
 
 #include <cstdint>
 #include <functional>
@@ -95,6 +96,12 @@ struct DomoreStats {
                ? 100.0 * SchedulerBusySeconds / TotalSeconds
                : 0.0;
   }
+
+  /// Aggregated telemetry counters for the region (stall/wait attribution,
+  /// queue pressure, per-lane activity). All-zero when the library was
+  /// built with CIP_TELEMETRY=0; otherwise the per-run counters agree with
+  /// the legacy aggregate fields above (the tests enforce it).
+  telemetry::CounterTotals Telemetry;
 };
 
 /// Which scheduling policy the engine should construct.

@@ -9,13 +9,32 @@
 #include "support/Barrier.h"
 #include "support/ThreadGroup.h"
 #include "support/Timer.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <mutex>
+#include <string>
 
 using namespace cip;
 using namespace cip::harness;
 using namespace cip::workloads;
+using telemetry::Counter;
+using telemetry::EventKind;
+
+namespace {
+
+/// One worker lane per thread for the barrier-based strategies. Lane names
+/// only matter for trace export, so skip the string building otherwise —
+/// in CIP_TELEMETRY=0 builds tracing() is constant false and this whole
+/// helper folds away.
+void nameWorkerLanes(telemetry::RegionTelemetry &Tel, unsigned NumThreads) {
+  if (!Tel.tracing())
+    return;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Tel.nameLane(T, "worker " + std::to_string(T));
+}
+
+} // namespace
 
 ExecResult harness::runSequential(Workload &W) {
   ExecResult R;
@@ -35,29 +54,44 @@ ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
   assert(NumThreads > 0 && "need at least one thread");
   ExecResult R;
   InstrumentedBarrier<PthreadBarrier> Bar(NumThreads);
+  telemetry::RegionTelemetry Tel("barrier", NumThreads);
+  nameWorkerLanes(Tel, NumThreads);
   const bool DupPrologue = W.prologueDuplicable();
   const std::uint64_t Begin = nowNanos();
   runThreads(NumThreads, [&](unsigned Tid) {
     for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
       // The global synchronization between inner-loop invocations that
       // DOMORE and SPECCROSS exist to remove.
-      Bar.wait(Tid);
+      {
+        telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                   EventKind::BarrierWait, E);
+        Bar.wait(Tid);
+      }
+      Tel.begin(Tid, EventKind::Epoch, E);
+      Tel.add(Tid, Counter::EpochsEntered);
       if (W.hasPrologue()) {
         if (DupPrologue) {
           W.epochPrologue(E, Tid);
         } else {
           if (Tid == 0)
             W.epochPrologue(E, 0);
+          telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     EventKind::BarrierWait, E);
           Bar.wait(Tid);
         }
       }
-      for (std::size_t T = Tid, NT = W.numTasks(E); T < NT; T += NumThreads)
+      for (std::size_t T = Tid, NT = W.numTasks(E); T < NT; T += NumThreads) {
         W.runTask(E, T);
+        Tel.add(Tid, Counter::TasksExecuted);
+      }
+      Tel.end(Tid, EventKind::Epoch, E);
     }
   });
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.BarrierIdleNanos = Bar.totalIdleNanos();
   R.Checksum = W.checksum();
+  R.Telemetry = Tel.totals();
+  Tel.finish();
   return R;
 }
 
@@ -101,6 +135,7 @@ ExecResult harness::runDomore(Workload &W, unsigned NumThreads,
   domore::DomoreStats Stats = domore::runDomore(Nest, Config);
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
+  R.Telemetry = Stats.Telemetry;
   if (StatsOut)
     *StatsOut = Stats;
   return R;
@@ -124,6 +159,7 @@ ExecResult harness::runDomoreDuplicated(Workload &W, unsigned NumThreads,
   domore::DomoreStats Stats = domore::runDomoreDuplicated(Nest, Config);
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
+  R.Telemetry = Stats.Telemetry;
   if (StatsOut)
     *StatsOut = Stats;
   return R;
@@ -163,6 +199,7 @@ ExecResult harness::runSpecCross(Workload &W,
   speccross::SpecStats Stats = speccross::runSpecCross(Region, Config, Mode);
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
+  R.Telemetry = Stats.Telemetry;
   if (StatsOut)
     *StatsOut = Stats;
   return R;
@@ -188,6 +225,8 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
   assert(NumLocks > 0 && "need at least one lock");
   ExecResult R;
   InstrumentedBarrier<PthreadBarrier> Bar(NumThreads);
+  telemetry::RegionTelemetry Tel("doany", NumThreads);
+  nameWorkerLanes(Tel, NumThreads);
   std::vector<std::unique_ptr<std::mutex>> Locks;
   for (unsigned L = 0; L < NumLocks; ++L)
     Locks.push_back(std::make_unique<std::mutex>());
@@ -198,13 +237,21 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
     std::vector<std::uint64_t> Addrs;
     std::vector<unsigned> Held;
     for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
-      Bar.wait(Tid);
+      {
+        telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                   EventKind::BarrierWait, E);
+        Bar.wait(Tid);
+      }
+      Tel.begin(Tid, EventKind::Epoch, E);
+      Tel.add(Tid, Counter::EpochsEntered);
       if (W.hasPrologue()) {
         if (DupPrologue) {
           W.epochPrologue(E, Tid);
         } else {
           if (Tid == 0)
             W.epochPrologue(E, 0);
+          telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     EventKind::BarrierWait, E);
           Bar.wait(Tid);
         }
       }
@@ -224,11 +271,15 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
         W.runTask(E, T);
         for (auto It = Held.rbegin(); It != Held.rend(); ++It)
           Locks[*It]->unlock();
+        Tel.add(Tid, Counter::TasksExecuted);
       }
+      Tel.end(Tid, EventKind::Epoch, E);
     }
   });
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.BarrierIdleNanos = Bar.totalIdleNanos();
   R.Checksum = W.checksum();
+  R.Telemetry = Tel.totals();
+  Tel.finish();
   return R;
 }

@@ -25,6 +25,7 @@
 
 #include "domore/DomoreRuntime.h"
 #include "speccross/SpecCrossRuntime.h"
+#include "telemetry/Counters.h"
 #include "workloads/Workload.h"
 
 #include <cstdint>
@@ -40,6 +41,10 @@ struct ExecResult {
   std::uint64_t BarrierIdleNanos = 0;
   /// Post-execution workload checksum.
   std::uint64_t Checksum = 0;
+  /// Aggregated telemetry counters of the strategy's parallel region
+  /// (all-zero when built with CIP_TELEMETRY=0, and for runSequential,
+  /// which has no parallel region).
+  telemetry::CounterTotals Telemetry;
 };
 
 /// Runs the workload sequentially (epoch by epoch, task by task).

@@ -30,14 +30,18 @@
 #include "support/ThreadGroup.h"
 #include "support/Timer.h"
 #include "support/VectorFifo.h"
+#include "telemetry/Telemetry.h"
 
 #include <array>
 #include <atomic>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 using namespace cip;
 using namespace cip::speccross;
+using telemetry::Counter;
+using telemetry::EventKind;
 
 namespace {
 
@@ -80,10 +84,17 @@ struct Request {
 template <typename Sig> class Engine {
 public:
   Engine(const SpecRegion &Region, const SpecConfig &Config)
-      : Region(Region), Config(Config), W(Config.NumWorkers) {
+      : Region(Region), Config(Config), W(Config.NumWorkers),
+        Tel("speccross", Config.NumWorkers + 2) {
     assert(W > 0 && W <= MaxWorkers && "worker count out of range");
     assert(Region.NumTasks && Region.RunTask && Region.TaskAddresses &&
            "incomplete region description");
+    if (Tel.tracing()) {
+      for (std::uint32_t T = 0; T < W; ++T)
+        Tel.nameLane(T, "worker " + std::to_string(T));
+      Tel.nameLane(W, "checker");
+      Tel.nameLane(W + 1, "control");
+    }
     TasksPerEpoch.resize(Region.NumEpochs);
     Prefix.resize(Region.NumEpochs + 1, 0);
     for (std::uint32_t E = 0; E < Region.NumEpochs; ++E) {
@@ -98,9 +109,12 @@ public:
     Stats.Tasks = Prefix.back();
     const double Begin = static_cast<double>(nowNanos());
 
+    const unsigned Control = W + 1;
     if (Mode == SpecMode::NonSpeculative) {
       runNonSpeculative(0, Region.NumEpochs);
       Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+      Stats.Telemetry = Tel.totals();
+      Tel.finish();
       return Stats;
     }
 
@@ -113,26 +127,42 @@ public:
           std::min<std::uint64_t>(First + Config.CheckpointIntervalEpochs,
                                   Region.NumEpochs);
       {
+        telemetry::TimedScope Scope(Tel, Control, Counter::CheckpointNs,
+                                    EventKind::Checkpoint, First);
         Stopwatch Ckpt;
         Ckpt.start();
         Region.Checkpoints->takeSnapshot();
         Ckpt.stop();
         Stats.CheckpointSeconds += Ckpt.elapsedSeconds();
         ++Stats.CheckpointsTaken;
+        Tel.add(Control, Counter::CheckpointsTaken);
+        Tel.add(Control, Counter::CheckpointBytes,
+                Region.Checkpoints->totalBytes());
       }
       if (!speculativeRound(First, End, Stats)) {
-        Stopwatch Rec;
-        Rec.start();
-        Region.Checkpoints->restoreSnapshot();
-        Rec.stop();
-        Stats.RecoverySeconds += Rec.elapsedSeconds();
+        Tel.instant(Control, EventKind::Misspec, First, End);
+        {
+          telemetry::TimedScope Scope(Tel, Control, Counter::RecoveryNs,
+                                      EventKind::Rollback, First);
+          Stopwatch Rec;
+          Rec.start();
+          Region.Checkpoints->restoreSnapshot();
+          Rec.stop();
+          Stats.RecoverySeconds += Rec.elapsedSeconds();
+        }
+        Tel.begin(Control, EventKind::Reexec, First, End);
         runNonSpeculative(First, End);
+        Tel.end(Control, EventKind::Reexec);
         Stats.ReexecutedEpochs += End - First;
         ++Stats.Misspeculations;
+        Tel.add(Control, Counter::Misspeculations);
+        Tel.add(Control, Counter::EpochsReexecuted, End - First);
       }
       First = End;
     }
     Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+    Stats.Telemetry = Tel.totals();
+    Tel.finish();
     return Stats;
   }
 
@@ -147,12 +177,21 @@ private:
     PthreadBarrier Bar(W);
     runThreads(W, [&](unsigned Tid) {
       for (std::uint32_t E = First; E < End; ++E) {
-        Bar.wait();
+        {
+          telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     EventKind::BarrierWait, E);
+          Bar.wait();
+        }
+        Tel.begin(Tid, EventKind::Epoch, E);
+        Tel.add(Tid, Counter::EpochsEntered);
         if (Region.EpochPrologue)
           Region.EpochPrologue(E, Tid);
         const std::size_t N = TasksPerEpoch[E];
-        for (std::size_t T = Tid; T < N; T += W)
+        for (std::size_t T = Tid; T < N; T += W) {
           Region.RunTask(E, T);
+          Tel.add(Tid, Counter::TasksExecuted);
+        }
+        Tel.end(Tid, EventKind::Epoch, E);
       }
     });
   }
@@ -165,6 +204,9 @@ private:
   const SpecRegion &Region;
   const SpecConfig &Config;
   const std::uint32_t W;
+
+  /// Lanes: workers 0..W-1, checker = W, control (checkpoint/rollback) = W+1.
+  telemetry::RegionTelemetry Tel;
 
   std::vector<std::size_t> TasksPerEpoch;
   std::vector<std::uint64_t> Prefix;
@@ -231,6 +273,8 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       R.Clocks[Tid].Value.store(packClock(E, 0), std::memory_order_release);
       if (R.Abort.load(std::memory_order_acquire))
         break;
+      Tel.begin(Tid, EventKind::Epoch, E);
+      Tel.add(Tid, Counter::EpochsEntered);
       if (Region.EpochPrologue)
         Region.EpochPrologue(E, Tid);
       const std::size_t N = TasksPerEpoch[E];
@@ -240,9 +284,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         // Speculative-range throttle (§4.4): never run more than
         // SpecDistance tasks — nor MaxEpochLead epochs — ahead of the
         // slowest unfinished worker.
-        while (true) {
-          if (R.Abort.load(std::memory_order_acquire))
-            return;
+        auto LeadOk = [&] {
           std::uint64_t MinStarted = std::numeric_limits<std::uint64_t>::max();
           std::uint32_t MinEpoch = std::numeric_limits<std::uint32_t>::max();
           for (std::uint32_t O = 0; O < W; ++O) {
@@ -255,19 +297,31 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
                 clockEpoch(R.Clocks[O].Value.load(std::memory_order_acquire)));
           }
           if (MinStarted == std::numeric_limits<std::uint64_t>::max())
-            break; // every other worker already finished the round
+            return true; // every other worker already finished the round
           const bool TaskLeadOk =
               Config.SpecDistance ==
                   std::numeric_limits<std::uint64_t>::max() ||
               Global <= MinStarted + Config.SpecDistance;
           const bool EpochLeadOk =
               E <= static_cast<std::uint64_t>(MinEpoch) + Config.MaxEpochLead;
-          if (TaskLeadOk && EpochLeadOk)
-            break;
-          Throttle.pause();
-        }
-        if (R.Abort.load(std::memory_order_acquire))
+          return TaskLeadOk && EpochLeadOk;
+        };
+        if (R.Abort.load(std::memory_order_acquire)) {
+          Tel.end(Tid, EventKind::Epoch, E);
           return;
+        }
+        if (!LeadOk()) {
+          telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
+                                     EventKind::Throttle, E, Global);
+          do {
+            if (R.Abort.load(std::memory_order_acquire)) {
+              Tel.end(Tid, EventKind::Epoch, E);
+              return;
+            }
+            Tel.add(Tid, Counter::ThrottleSpins);
+            Throttle.pause();
+          } while (!LeadOk());
+        }
 
         // enter_task: publish the clock, then snapshot the other clocks.
         R.Clocks[Tid].Value.store(packClock(E, K), std::memory_order_release);
@@ -281,7 +335,10 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
                   : R.Clocks[O].Value.load(std::memory_order_acquire);
         }
 
+        Tel.begin(Tid, EventKind::Task, E, T);
         Region.RunTask(E, T);
+        Tel.end(Tid, EventKind::Task);
+        Tel.add(Tid, Counter::TasksExecuted);
 
         // exit_task: log the signature and ship the checking request.
         Addrs.clear();
@@ -293,18 +350,27 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         Req.Epoch = E;
         Req.Task = K;
         ProduceWait.reset();
-        while (!R.Queues[Tid]->tryProduce(Req)) {
-          if (R.Abort.load(std::memory_order_acquire))
-            return;
-          ProduceWait.pause();
+        if (!R.Queues[Tid]->tryProduce(Req)) {
+          telemetry::TimedScope Full(Tel, Tid, Counter::WorkerWaitNs,
+                                     EventKind::QueueFull, E);
+          do {
+            if (R.Abort.load(std::memory_order_acquire)) {
+              Tel.end(Tid, EventKind::Epoch, E);
+              return;
+            }
+            Tel.add(Tid, Counter::QueueFullSpins);
+            ProduceWait.pause();
+          } while (!R.Queues[Tid]->tryProduce(Req));
         }
       }
+      Tel.end(Tid, EventKind::Epoch, E);
     }
     // send_end_token: publishing Done releases all logged signatures.
     R.Done[Tid].Value.store(true, std::memory_order_release);
   };
 
   auto checkerBody = [&] {
+    const unsigned Checker = W;
     Backoff Idle;
     std::vector<VectorFifo<Request>> Pending(W);
     std::uint64_t LocalRequests = 0;
@@ -338,9 +404,14 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       ++LocalRequests;
       if (WantInjection && Q.Epoch >= Config.InjectMisspecAtEpoch &&
           !InjectionFired.exchange(true)) {
+        Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
         R.Abort.store(true, std::memory_order_release);
         return;
       }
+      // SchedulerBusyNs doubles as "service thread busy" — the checker is
+      // SPECCROSS's analogue of DOMORE's scheduler thread.
+      telemetry::TimedScope Check(Tel, Checker, Counter::SchedulerBusyNs,
+                                  EventKind::SigCheck, Q.Epoch, Q.Task);
       const Sig &Mine = R.Logs[Q.Tid][Q.Epoch - First][Q.Task];
       for (std::uint32_t O = 0; O < W && !R.Abort; ++O) {
         if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
@@ -356,6 +427,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
           for (std::size_t K = KBegin; K < EpochLog.size(); ++K) {
             ++LocalComparisons;
             if (Mine.overlaps(EpochLog[K])) {
+              Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
               R.Abort.store(true, std::memory_order_release);
               return;
             }
@@ -401,13 +473,17 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         }
       if (AllDone)
         break;
-      if (!Progress)
+      if (!Progress) {
+        Tel.add(Checker, Counter::QueueEmptySpins);
         Idle.pause();
-      else
+      } else {
         Idle.reset();
+      }
     }
     CheckRequests.fetch_add(LocalRequests, std::memory_order_relaxed);
     Comparisons.fetch_add(LocalComparisons, std::memory_order_relaxed);
+    Tel.add(Checker, Counter::CheckRequests, LocalRequests);
+    Tel.add(Checker, Counter::SignatureComparisons, LocalComparisons);
   };
 
   runThreads(W + 1, [&](unsigned Idx) {

@@ -30,6 +30,7 @@
 #include "speccross/Checkpoint.h"
 #include "speccross/Signature.h"
 #include "support/Compiler.h"
+#include "telemetry/Counters.h"
 
 #include <cstdint>
 #include <functional>
@@ -140,6 +141,13 @@ struct SpecStats {
   double TotalSeconds = 0.0;
   double CheckpointSeconds = 0.0;
   double RecoverySeconds = 0.0;
+
+  /// Aggregated telemetry counters for the region (throttle/barrier wait
+  /// attribution, checker activity, checkpoint volume). All-zero when the
+  /// library was built with CIP_TELEMETRY=0; otherwise the checker and
+  /// checkpoint counters agree with the legacy aggregate fields above (the
+  /// tests enforce it).
+  telemetry::CounterTotals Telemetry;
 };
 
 /// Result of a profiling run (§4.4): the minimum cross-epoch dependence

@@ -33,27 +33,36 @@ inline double mean(const std::vector<double> &Xs) {
   return Sum / static_cast<double>(Xs.size());
 }
 
-/// Geometric mean; every sample must be strictly positive.
+/// Geometric mean over the strictly positive samples of \p Xs. Non-positive
+/// samples carry no log-domain meaning (a zero or negative "speedup" is a
+/// measurement error upstream), so they are skipped rather than poisoning
+/// the whole aggregate; returns 0 when no positive sample remains.
 inline double geomean(const std::vector<double> &Xs) {
-  if (Xs.empty())
-    return 0.0;
   double LogSum = 0.0;
+  std::size_t N = 0;
   for (double X : Xs) {
-    assert(X > 0.0 && "geomean requires positive samples");
+    if (X <= 0.0)
+      continue;
     LogSum += std::log(X);
+    ++N;
   }
-  return std::exp(LogSum / static_cast<double>(Xs.size()));
+  if (N == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(N));
 }
 
-/// Minimum of a non-empty sample.
+/// Minimum of a sample; returns 0 for an empty sample.
 inline double minOf(const std::vector<double> &Xs) {
-  assert(!Xs.empty() && "min of empty sample");
+  if (Xs.empty())
+    return 0.0;
   return *std::min_element(Xs.begin(), Xs.end());
 }
 
-/// Median of a non-empty sample (copies; fine for harness-sized vectors).
+/// Median of a sample (copies; fine for harness-sized vectors); returns 0
+/// for an empty sample.
 inline double median(std::vector<double> Xs) {
-  assert(!Xs.empty() && "median of empty sample");
+  if (Xs.empty())
+    return 0.0;
   std::sort(Xs.begin(), Xs.end());
   const std::size_t N = Xs.size();
   if (N % 2 == 1)

@@ -1,0 +1,176 @@
+//===- telemetry/ChromeTrace.cpp - chrome://tracing JSON export ----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/ChromeTrace.h"
+
+#include "telemetry/Json.h"
+
+#include <cstdio>
+
+using namespace cip;
+using namespace cip::telemetry;
+
+namespace {
+
+/// Microseconds (chrome's native unit) relative to the region origin.
+double toMicros(std::uint64_t TimeNs, std::uint64_t OriginNs) {
+  const std::uint64_t Rel = TimeNs >= OriginNs ? TimeNs - OriginNs : 0;
+  return static_cast<double>(Rel) * 1e-3;
+}
+
+void emitCommon(json::Writer &W, const char *Ph, const char *Name,
+                unsigned Lane, double TsUs) {
+  W.key("ph");
+  W.value(Ph);
+  W.key("name");
+  W.value(Name);
+  W.key("pid");
+  W.value(0u);
+  W.key("tid");
+  W.value(Lane);
+  W.key("ts");
+  W.value(TsUs);
+}
+
+} // namespace
+
+std::string telemetry::renderChromeTrace(const std::string &RegionName,
+                                         const std::vector<LaneSnapshot> &Lanes,
+                                         std::uint64_t TimeOriginNs) {
+  json::Writer W;
+  W.beginObject();
+  W.key("displayTimeUnit");
+  W.value("ms");
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Metadata: process = region, one named thread row per lane.
+  W.beginObject();
+  W.key("ph");
+  W.value("M");
+  W.key("name");
+  W.value("process_name");
+  W.key("pid");
+  W.value(0u);
+  W.key("args");
+  W.beginObject();
+  W.key("name");
+  W.value(RegionName);
+  W.endObject();
+  W.endObject();
+  for (unsigned L = 0; L < Lanes.size(); ++L) {
+    W.beginObject();
+    W.key("ph");
+    W.value("M");
+    W.key("name");
+    W.value("thread_name");
+    W.key("pid");
+    W.value(0u);
+    W.key("tid");
+    W.value(L);
+    W.key("args");
+    W.beginObject();
+    W.key("name");
+    W.value(Lanes[L].Name);
+    W.endObject();
+    W.endObject();
+    // Keep lane ordering in the viewer equal to lane numbering.
+    W.beginObject();
+    W.key("ph");
+    W.value("M");
+    W.key("name");
+    W.value("thread_sort_index");
+    W.key("pid");
+    W.value(0u);
+    W.key("tid");
+    W.value(L);
+    W.key("args");
+    W.beginObject();
+    W.key("sort_index");
+    W.value(L);
+    W.endObject();
+    W.endObject();
+  }
+
+  for (unsigned L = 0; L < Lanes.size(); ++L) {
+    for (const TraceEvent &E : Lanes[L].Events) {
+      const double Ts = toMicros(E.TimeNs, TimeOriginNs);
+      const char *Name = eventName(E.Kind);
+      W.beginObject();
+      switch (E.Phase) {
+      case EventPhase::Begin:
+        emitCommon(W, "B", Name, L, Ts);
+        W.key("args");
+        W.beginObject();
+        W.key("a0");
+        W.value(E.Arg0);
+        W.key("a1");
+        W.value(E.Arg1);
+        W.endObject();
+        break;
+      case EventPhase::End:
+        emitCommon(W, "E", Name, L, Ts);
+        break;
+      case EventPhase::Instant:
+        emitCommon(W, "i", Name, L, Ts);
+        W.key("s");
+        W.value("t");
+        W.key("args");
+        W.beginObject();
+        W.key("a0");
+        W.value(E.Arg0);
+        W.key("a1");
+        W.value(E.Arg1);
+        W.endObject();
+        break;
+      case EventPhase::FlowBegin:
+        emitCommon(W, "s", Name, L, Ts);
+        W.key("cat");
+        W.value("sync");
+        W.key("id");
+        W.value(E.Arg0);
+        break;
+      case EventPhase::FlowEnd:
+        emitCommon(W, "f", Name, L, Ts);
+        W.key("cat");
+        W.value("sync");
+        W.key("id");
+        W.value(E.Arg0);
+        W.key("bp");
+        W.value("e");
+        break;
+      }
+      W.endObject();
+    }
+    if (Lanes[L].Dropped > 0) {
+      // Make ring wrap-around visible in the viewer rather than silent.
+      W.beginObject();
+      emitCommon(W, "i", "events_dropped", L, 0.0);
+      W.key("s");
+      W.value("t");
+      W.key("args");
+      W.beginObject();
+      W.key("dropped");
+      W.value(Lanes[L].Dropped);
+      W.endObject();
+      W.endObject();
+    }
+  }
+
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+bool telemetry::writeFile(const std::string &Path,
+                          const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::size_t Written = std::fwrite(Content.data(), 1, Content.size(), F);
+  const bool Ok = std::fclose(F) == 0 && Written == Content.size();
+  return Ok;
+}

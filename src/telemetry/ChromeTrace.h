@@ -1,0 +1,42 @@
+//===- telemetry/ChromeTrace.h - chrome://tracing JSON export --*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a region's lane snapshots into the Chrome Trace Event Format
+/// (the JSON-array flavour consumed by chrome://tracing and Perfetto). One
+/// trace lane ("tid") per runtime thread — scheduler, workers, checker,
+/// control — with epochs/iterations rendered as duration events and
+/// forwarded sync conditions as flow arrows between lanes. See DESIGN.md
+/// §"Telemetry" for the exact schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_CHROMETRACE_H
+#define CIP_TELEMETRY_CHROMETRACE_H
+
+#include "telemetry/TraceRing.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+/// Renders \p Lanes as a Chrome trace JSON document. Timestamps are
+/// reported in microseconds relative to \p TimeOriginNs. \p RegionName
+/// becomes the process name.
+std::string renderChromeTrace(const std::string &RegionName,
+                              const std::vector<LaneSnapshot> &Lanes,
+                              std::uint64_t TimeOriginNs);
+
+/// Writes \p Content to \p Path. Returns true on success.
+bool writeFile(const std::string &Path, const std::string &Content);
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_CHROMETRACE_H

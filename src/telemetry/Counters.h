@@ -1,0 +1,178 @@
+//===- telemetry/Counters.h - Padded per-thread counter table --*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime counter vocabulary shared by DOMORE, SPECCROSS, and the
+/// barrier executors, plus the per-thread counter table the telemetry
+/// subsystem aggregates at region end. Counters quantify exactly the
+/// evaluation columns of the dissertation's Chapter 5 (scheduler/worker
+/// busy ratio of Table 5.2, checking and checkpoint costs of Table 5.3 and
+/// Fig 5.3, barrier idle time of Fig 4.3) so every `bench/` binary can
+/// export them machine-readably.
+///
+/// \c CounterTotals (a plain aggregate) is always available, even in
+/// \c CIP_TELEMETRY=0 builds, so statistics structs keep a stable layout;
+/// only the *probes* that feed it compile away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_COUNTERS_H
+#define CIP_TELEMETRY_COUNTERS_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+/// Every runtime counter the telemetry subsystem tracks. Keep in sync with
+/// \c counterName().
+enum class Counter : unsigned {
+  /// Nanoseconds the DOMORE scheduler thread spent busy (sequential code,
+  /// computeAddr, conflict detection) — numerator of Table 5.2's ratio.
+  SchedulerBusyNs,
+  /// Nanoseconds the DOMORE scheduler stalled on `latestFinished` before
+  /// running sequential outer-loop code (prologue dependences).
+  SchedulerStallNs,
+  /// Inner-loop iterations the scheduler dispatched (combined numbering).
+  IterationsDispatched,
+  /// Cross-worker conflicts the shadow memory detected (each one becomes a
+  /// point-to-point synchronization condition).
+  ShadowConflicts,
+  /// Times the scheduler had to wait for in-flight iterations before
+  /// running sequential outer-loop code.
+  PrologueWaits,
+  /// Producer-side spins while a scheduler→worker queue was full
+  /// (scheduler run-ahead hit the queue bound).
+  QueueFullSpins,
+  /// Consumer-side spins while a worker's queue was empty (worker starved
+  /// for work).
+  QueueEmptySpins,
+  /// Nanoseconds workers spent waiting: on sync conditions (DOMORE) or on
+  /// the speculative-range throttle (SPECCROSS).
+  WorkerWaitNs,
+  /// Tasks (inner-loop iterations) executed by worker threads.
+  TasksExecuted,
+  /// Epochs entered by worker threads (SPECCROSS speculative barriers
+  /// crossed; counted once per worker per epoch).
+  EpochsEntered,
+  /// Spins in the SPECCROSS speculative-range throttle loop.
+  ThrottleSpins,
+  /// Checking requests the SPECCROSS checker processed.
+  CheckRequests,
+  /// Pairwise signature comparisons the checker performed.
+  SignatureComparisons,
+  /// Misspeculations (rollback + re-execution of the damaged epochs).
+  Misspeculations,
+  /// Epochs re-executed non-speculatively after rollbacks.
+  EpochsReexecuted,
+  /// Checkpoints taken.
+  CheckpointsTaken,
+  /// Bytes copied while taking checkpoints.
+  CheckpointBytes,
+  /// Nanoseconds spent taking checkpoints.
+  CheckpointNs,
+  /// Nanoseconds spent restoring state after misspeculation.
+  RecoveryNs,
+  /// Nanoseconds threads idled at non-speculative barriers (Fig 4.3).
+  BarrierWaitNs,
+};
+
+inline constexpr unsigned NumCounters = 20;
+
+/// Stable machine-readable name (snake_case; the JSON export key).
+inline const char *counterName(Counter C) {
+  static const char *const Names[NumCounters] = {
+      "scheduler_busy_ns",    "scheduler_stall_ns", "iterations_dispatched",
+      "shadow_conflicts",     "prologue_waits",     "queue_full_spins",
+      "queue_empty_spins",    "worker_wait_ns",     "tasks_executed",
+      "epochs_entered",       "throttle_spins",     "check_requests",
+      "signature_comparisons", "misspeculations",   "epochs_reexecuted",
+      "checkpoints_taken",    "checkpoint_bytes",   "checkpoint_ns",
+      "recovery_ns",          "barrier_wait_ns"};
+  const unsigned I = static_cast<unsigned>(C);
+  assert(I < NumCounters && "counter out of range");
+  return Names[I];
+}
+
+/// Aggregated counter values. Plain data — always available so statistics
+/// structs (\c DomoreStats, \c SpecStats, \c ExecResult) keep one layout in
+/// both telemetry configurations.
+struct CounterTotals {
+  std::uint64_t Values[NumCounters] = {};
+
+  std::uint64_t get(Counter C) const {
+    return Values[static_cast<unsigned>(C)];
+  }
+  void set(Counter C, std::uint64_t V) {
+    Values[static_cast<unsigned>(C)] = V;
+  }
+  void add(Counter C, std::uint64_t Delta) {
+    Values[static_cast<unsigned>(C)] += Delta;
+  }
+  CounterTotals &operator+=(const CounterTotals &O) {
+    for (unsigned I = 0; I < NumCounters; ++I)
+      Values[I] += O.Values[I];
+    return *this;
+  }
+  bool allZero() const {
+    for (unsigned I = 0; I < NumCounters; ++I)
+      if (Values[I] != 0)
+        return false;
+    return true;
+  }
+};
+
+/// Per-thread counter table. Each lane owns one cache-line-padded row of
+/// relaxed atomics, so hot-loop increments touch only a line the thread
+/// already owns exclusively; aggregation happens once, at region end.
+class CounterTable {
+public:
+  explicit CounterTable(unsigned NumLanes) : Rows(NumLanes) {}
+
+  CounterTable(const CounterTable &) = delete;
+  CounterTable &operator=(const CounterTable &) = delete;
+
+  unsigned numLanes() const { return static_cast<unsigned>(Rows.size()); }
+
+  void add(unsigned Lane, Counter C, std::uint64_t Delta = 1) {
+    assert(Lane < Rows.size() && "lane out of range");
+    Rows[Lane].V[static_cast<unsigned>(C)].fetch_add(
+        Delta, std::memory_order_relaxed);
+  }
+
+  CounterTotals laneTotals(unsigned Lane) const {
+    assert(Lane < Rows.size() && "lane out of range");
+    CounterTotals T;
+    for (unsigned I = 0; I < NumCounters; ++I)
+      T.Values[I] = Rows[Lane].V[I].load(std::memory_order_relaxed);
+    return T;
+  }
+
+  CounterTotals totals() const {
+    CounterTotals T;
+    for (unsigned L = 0; L < Rows.size(); ++L)
+      T += laneTotals(L);
+    return T;
+  }
+
+private:
+  /// One lane's counters, padded to whole cache lines so that two lanes
+  /// never false-share (same discipline as the DOMORE progress slots).
+  struct alignas(CacheLineBytes) Row {
+    std::atomic<std::uint64_t> V[NumCounters] = {};
+  };
+
+  std::vector<Row> Rows;
+};
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_COUNTERS_H

@@ -1,0 +1,284 @@
+//===- telemetry/Json.cpp - Minimal JSON writer and parser ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cip;
+using namespace cip::telemetry;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void json::Writer::value(std::uint64_t V) {
+  pre();
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void json::Writer::value(std::int64_t V) {
+  pre();
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  Out += Buf;
+}
+
+void json::Writer::value(double V) {
+  pre();
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+namespace {
+
+/// Recursive-descent parser over a NUL-free string view.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err)
+      : S(Text.c_str()), End(S + Text.size()), Err(Err) {}
+
+  bool run(json::Value &Out) {
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (S != End)
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (S != End && (*S == ' ' || *S == '\t' || *S == '\n' || *S == '\r'))
+      ++S;
+  }
+
+  bool literal(const char *Lit) {
+    const char *P = S;
+    while (*Lit) {
+      if (P == End || *P != *Lit)
+        return false;
+      ++P;
+      ++Lit;
+    }
+    S = P;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (S == End || *S != '"')
+      return fail("expected string");
+    ++S;
+    while (S != End && *S != '"') {
+      if (*S == '\\') {
+        ++S;
+        if (S == End)
+          return fail("unterminated escape");
+        switch (*S) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          // Decode \uXXXX as a raw code unit; enough for the ASCII-only
+          // escapes the telemetry writer produces.
+          if (End - S < 5)
+            return fail("truncated \\u escape");
+          char Hex[5] = {S[1], S[2], S[3], S[4], 0};
+          char *HexEnd = nullptr;
+          const unsigned long CP = std::strtoul(Hex, &HexEnd, 16);
+          if (HexEnd != Hex + 4)
+            return fail("bad \\u escape");
+          if (CP < 0x80) {
+            Out += static_cast<char>(CP);
+          } else {
+            Out += static_cast<char>(0xC0 | (CP >> 6));
+            Out += static_cast<char>(0x80 | (CP & 0x3F));
+          }
+          S += 4;
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        ++S;
+      } else {
+        Out += *S++;
+      }
+    }
+    if (S == End)
+      return fail("unterminated string");
+    ++S; // closing quote
+    return true;
+  }
+
+  bool parseValue(json::Value &Out) {
+    skipWs();
+    if (S == End)
+      return fail("unexpected end of input");
+    switch (*S) {
+    case '{': {
+      ++S;
+      Out.T = json::Value::Type::Object;
+      skipWs();
+      if (S != End && *S == '}') {
+        ++S;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (S == End || *S != ':')
+          return fail("expected ':' in object");
+        ++S;
+        json::Value V;
+        if (!parseValue(V))
+          return false;
+        Out.Object.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (S != End && *S == ',') {
+          ++S;
+          continue;
+        }
+        if (S != End && *S == '}') {
+          ++S;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++S;
+      Out.T = json::Value::Type::Array;
+      skipWs();
+      if (S != End && *S == ']') {
+        ++S;
+        return true;
+      }
+      while (true) {
+        json::Value V;
+        if (!parseValue(V))
+          return false;
+        Out.Array.push_back(std::move(V));
+        skipWs();
+        if (S != End && *S == ',') {
+          ++S;
+          continue;
+        }
+        if (S != End && *S == ']') {
+          ++S;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      Out.T = json::Value::Type::String;
+      return parseString(Out.String);
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out.T = json::Value::Type::Bool;
+      Out.Bool = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out.T = json::Value::Type::Bool;
+      Out.Bool = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out.T = json::Value::Type::Null;
+      return true;
+    default: {
+      char *NumEnd = nullptr;
+      const double D = std::strtod(S, &NumEnd);
+      if (NumEnd == S || NumEnd > End)
+        return fail("expected value");
+      Out.T = json::Value::Type::Number;
+      Out.Number = D;
+      S = NumEnd;
+      return true;
+    }
+    }
+  }
+
+  const char *S;
+  const char *End;
+  std::string *Err;
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string *Err) {
+  return Parser(Text, Err).run(Out);
+}

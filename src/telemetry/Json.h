@@ -1,0 +1,132 @@
+//===- telemetry/Json.h - Minimal JSON writer and parser -------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependency-free JSON support for the telemetry exporters: a streaming
+/// writer (used to emit Chrome traces and bench summary rows) and a small
+/// recursive-descent parser (used by tests and validators to check that
+/// what we emit actually parses and matches the documented schema). Not a
+/// general-purpose JSON library — just enough for the telemetry formats,
+/// kept strict on output and tolerant on input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_JSON_H
+#define CIP_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string escape(const std::string &S);
+
+/// Streaming JSON writer with automatic comma management. Usage:
+///   Writer W;
+///   W.beginObject(); W.key("x"); W.value(1u); W.endObject();
+///   file << W.str();
+class Writer {
+public:
+  void beginObject() {
+    pre();
+    Out += '{';
+    Nested.push_back(false);
+  }
+  void endObject() {
+    Out += '}';
+    Nested.pop_back();
+  }
+  void beginArray() {
+    pre();
+    Out += '[';
+    Nested.push_back(false);
+  }
+  void endArray() {
+    Out += ']';
+    Nested.pop_back();
+  }
+  void key(const std::string &K) {
+    pre();
+    Out += '"';
+    Out += escape(K);
+    Out += "\":";
+    // The value that follows must not get a comma of its own.
+    Nested.back() = false;
+  }
+  void value(const std::string &S) {
+    pre();
+    Out += '"';
+    Out += escape(S);
+    Out += '"';
+  }
+  void value(const char *S) { value(std::string(S)); }
+  void value(std::uint64_t V);
+  void value(std::int64_t V);
+  void value(unsigned V) { value(static_cast<std::uint64_t>(V)); }
+  void value(int V) { value(static_cast<std::int64_t>(V)); }
+  void value(double V);
+  void value(bool B) {
+    pre();
+    Out += B ? "true" : "false";
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void pre() {
+    if (!Nested.empty()) {
+      if (Nested.back())
+        Out += ',';
+      Nested.back() = true;
+    }
+  }
+
+  std::string Out;
+  std::vector<bool> Nested;
+};
+
+/// A parsed JSON value (tree-owning; object keys keep insertion order).
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type T = Type::Null;
+  bool Bool = false;
+  double Number = 0.0;
+  std::string String;
+  std::vector<Value> Array;
+  std::vector<std::pair<std::string, Value>> Object;
+
+  bool isObject() const { return T == Type::Object; }
+  bool isArray() const { return T == Type::Array; }
+  bool isNumber() const { return T == Type::Number; }
+  bool isString() const { return T == Type::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (T != Type::Object)
+      return nullptr;
+    for (const auto &[K, V] : Object)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+/// Parses \p Text into \p Out. Returns false (and sets \p Err when given)
+/// on malformed input or trailing garbage.
+bool parse(const std::string &Text, Value &Out, std::string *Err = nullptr);
+
+} // namespace json
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_JSON_H

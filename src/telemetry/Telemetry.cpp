@@ -1,0 +1,106 @@
+//===- telemetry/Telemetry.cpp - Region telemetry facade -----------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "support/Timer.h"
+#include "telemetry/ChromeTrace.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace cip;
+using namespace cip::telemetry;
+
+bool telemetry::compiledIn() { return CIP_TELEMETRY != 0; }
+
+#if CIP_TELEMETRY
+
+namespace {
+
+std::size_t ringCapacityFromEnv() {
+  if (const char *S = std::getenv("CIP_TRACE_EVENTS")) {
+    char *End = nullptr;
+    const unsigned long N = std::strtoul(S, &End, 10);
+    if (End && *End == '\0' && N > 0)
+      return static_cast<std::size_t>(N);
+  }
+  return 1u << 15;
+}
+
+/// Process-wide sequence number so every region's trace gets its own file
+/// even when one binary runs many regions.
+std::uint64_t nextTraceSeq() {
+  static std::atomic<std::uint64_t> Seq{0};
+  return Seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+RegionTelemetry::RegionTelemetry(const char *RegionName, unsigned NumLanes,
+                                 const char *ForceTracePrefix)
+    : Name(RegionName), OriginNs(nowNanos()), Counters(NumLanes),
+      LaneNames(NumLanes) {
+  const char *Prefix =
+      ForceTracePrefix ? ForceTracePrefix : std::getenv("CIP_TRACE");
+  for (unsigned L = 0; L < NumLanes; ++L)
+    LaneNames[L] = "lane " + std::to_string(L);
+  if (Prefix && *Prefix) {
+    TracePrefix = Prefix;
+    const std::size_t Cap = ringCapacityFromEnv();
+    Rings.reserve(NumLanes);
+    for (unsigned L = 0; L < NumLanes; ++L)
+      Rings.push_back(std::make_unique<TraceRing>(Cap));
+  }
+}
+
+RegionTelemetry::~RegionTelemetry() { finish(); }
+
+void RegionTelemetry::nameLane(unsigned Lane, const std::string &LaneName) {
+  assert(Lane < LaneNames.size() && "lane out of range");
+  LaneNames[Lane] = LaneName;
+}
+
+void RegionTelemetry::emit(unsigned Lane, EventKind K, EventPhase P,
+                           std::uint64_t A0, std::uint64_t A1) {
+  if (Rings.empty())
+    return;
+  assert(Lane < Rings.size() && "lane out of range");
+  TraceEvent E;
+  E.TimeNs = nowNanos();
+  E.Kind = K;
+  E.Phase = P;
+  E.Arg0 = A0;
+  E.Arg1 = A1;
+  Rings[Lane]->emit(E);
+}
+
+std::vector<LaneSnapshot> RegionTelemetry::snapshotLanes() const {
+  std::vector<LaneSnapshot> Out;
+  Out.reserve(Rings.size());
+  for (unsigned L = 0; L < Rings.size(); ++L) {
+    LaneSnapshot S;
+    S.Name = LaneNames[L];
+    S.Events = Rings[L]->snapshot();
+    S.Dropped = Rings[L]->dropped();
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+std::string RegionTelemetry::finish() {
+  if (Finished || Rings.empty())
+    return {};
+  Finished = true;
+  const std::string Path = TracePrefix + "." + Name + "." +
+                           std::to_string(nextTraceSeq()) + ".trace.json";
+  const std::string Doc = renderChromeTrace(Name, snapshotLanes(), OriginNs);
+  if (!writeFile(Path, Doc))
+    return {};
+  return Path;
+}
+
+#endif // CIP_TELEMETRY

@@ -1,0 +1,194 @@
+//===- telemetry/Telemetry.h - Region telemetry facade ---------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The probe API every runtime layer instruments against. A
+/// \c RegionTelemetry is created per parallel region (one DOMORE loop-nest
+/// execution, one SPECCROSS region, one barrier run) with one *lane* per
+/// runtime thread; probes add to the lane's padded counter row and — only
+/// when tracing is enabled for the run — append events to the lane's
+/// lock-free ring. At region end, \c finish() exports a Chrome trace when
+/// the \c CIP_TRACE environment knob is set, and \c totals() folds the
+/// counter table into the region's statistics struct.
+///
+/// Zero-cost-when-disabled guarantee: compiling with \c -DCIP_TELEMETRY=0
+/// replaces the whole class with an empty inline stub, so instrumented
+/// translation units make no calls into the telemetry library and hot
+/// loops carry no probe code at all (release builds; the CI checks this
+/// with `nm -u`).
+/// Runtime knobs:
+///   CIP_TRACE=<path-prefix>   write <prefix>.<region>.<seq>.trace.json
+///   CIP_TRACE_EVENTS=<n>      per-lane ring capacity (default 32768)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_TELEMETRY_H
+#define CIP_TELEMETRY_TELEMETRY_H
+
+#ifndef CIP_TELEMETRY
+#define CIP_TELEMETRY 1
+#endif
+
+#include "support/Timer.h"
+#include "telemetry/Counters.h"
+#include "telemetry/TraceRing.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+/// True when the library was built with telemetry probes compiled in.
+bool compiledIn();
+
+#if CIP_TELEMETRY
+
+/// Per-region telemetry context. See file comment. Thread-safety: lanes are
+/// owned by single threads (counter rows are relaxed atomics, rings are
+/// single-writer); construction, finish(), and totals() belong to the
+/// controlling thread after workers have joined.
+class RegionTelemetry {
+public:
+  /// \p NumLanes runtime threads will probe this region. Tracing activates
+  /// when \p ForceTracePrefix is non-null (tests) or CIP_TRACE is set.
+  RegionTelemetry(const char *RegionName, unsigned NumLanes,
+                  const char *ForceTracePrefix = nullptr);
+  ~RegionTelemetry();
+
+  RegionTelemetry(const RegionTelemetry &) = delete;
+  RegionTelemetry &operator=(const RegionTelemetry &) = delete;
+
+  unsigned numLanes() const { return Counters.numLanes(); }
+  const std::string &regionName() const { return Name; }
+  std::uint64_t originNanos() const { return OriginNs; }
+
+  /// Names lane \p Lane for the trace viewer ("scheduler", "worker 3", ...).
+  void nameLane(unsigned Lane, const std::string &LaneName);
+
+  /// Adds \p Delta to lane \p Lane's \p C counter (relaxed, padded row).
+  void add(unsigned Lane, Counter C, std::uint64_t Delta = 1) {
+    Counters.add(Lane, C, Delta);
+  }
+
+  /// True when this run records trace events (CIP_TRACE set or forced).
+  bool tracing() const { return !Rings.empty(); }
+
+  void begin(unsigned Lane, EventKind K, std::uint64_t A0 = 0,
+             std::uint64_t A1 = 0) {
+    emit(Lane, K, EventPhase::Begin, A0, A1);
+  }
+  void end(unsigned Lane, EventKind K, std::uint64_t A0 = 0,
+           std::uint64_t A1 = 0) {
+    emit(Lane, K, EventPhase::End, A0, A1);
+  }
+  void instant(unsigned Lane, EventKind K, std::uint64_t A0 = 0,
+               std::uint64_t A1 = 0) {
+    emit(Lane, K, EventPhase::Instant, A0, A1);
+  }
+  /// Flow arrow source/sink (sync conditions); \p FlowId pairs them up.
+  void flowBegin(unsigned Lane, std::uint64_t FlowId) {
+    emit(Lane, EventKind::SyncFlow, EventPhase::FlowBegin, FlowId, 0);
+  }
+  void flowEnd(unsigned Lane, std::uint64_t FlowId) {
+    emit(Lane, EventKind::SyncFlow, EventPhase::FlowEnd, FlowId, 0);
+  }
+
+  /// Aggregated counters across all lanes.
+  CounterTotals totals() const { return Counters.totals(); }
+  CounterTotals laneTotals(unsigned Lane) const {
+    return Counters.laneTotals(Lane);
+  }
+
+  /// Snapshots every lane's ring (call after region threads have joined).
+  std::vector<LaneSnapshot> snapshotLanes() const;
+
+  /// Exports the Chrome trace if tracing; idempotent. Returns the path
+  /// written, or an empty string when tracing is off or the write failed.
+  std::string finish();
+
+private:
+  void emit(unsigned Lane, EventKind K, EventPhase P, std::uint64_t A0,
+            std::uint64_t A1);
+
+  std::string Name;
+  std::uint64_t OriginNs;
+  CounterTable Counters;
+  std::vector<std::string> LaneNames;
+  std::vector<std::unique_ptr<TraceRing>> Rings; // empty => tracing off
+  std::string TracePrefix;
+  bool Finished = false;
+};
+
+/// RAII probe around a (potential) wait or work interval: emits Begin/End
+/// trace events and accumulates the elapsed nanoseconds into \p C.
+class TimedScope {
+public:
+  TimedScope(RegionTelemetry &R, unsigned Lane, Counter C, EventKind K,
+             std::uint64_t A0 = 0, std::uint64_t A1 = 0)
+      : R(R), Lane(Lane), C(C), K(K), T0(nowNanos()) {
+    R.begin(Lane, K, A0, A1);
+  }
+  ~TimedScope() {
+    R.end(Lane, K);
+    R.add(Lane, C, nowNanos() - T0);
+  }
+
+  TimedScope(const TimedScope &) = delete;
+  TimedScope &operator=(const TimedScope &) = delete;
+
+private:
+  RegionTelemetry &R;
+  unsigned Lane;
+  Counter C;
+  EventKind K;
+  std::uint64_t T0;
+};
+
+#else // !CIP_TELEMETRY
+
+/// Compiled-out stub: same interface, every member an empty inline that the
+/// optimizer deletes, so instrumented objects carry no telemetry code.
+class RegionTelemetry {
+public:
+  RegionTelemetry(const char *, unsigned, const char * = nullptr) {}
+
+  RegionTelemetry(const RegionTelemetry &) = delete;
+  RegionTelemetry &operator=(const RegionTelemetry &) = delete;
+
+  unsigned numLanes() const { return 0; }
+  std::uint64_t originNanos() const { return 0; }
+  void nameLane(unsigned, const std::string &) {}
+  void add(unsigned, Counter, std::uint64_t = 1) {}
+  bool tracing() const { return false; }
+  void begin(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
+  void end(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
+  void instant(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
+  void flowBegin(unsigned, std::uint64_t) {}
+  void flowEnd(unsigned, std::uint64_t) {}
+  CounterTotals totals() const { return {}; }
+  CounterTotals laneTotals(unsigned) const { return {}; }
+  std::vector<LaneSnapshot> snapshotLanes() const { return {}; }
+  std::string finish() { return {}; }
+};
+
+class TimedScope {
+public:
+  TimedScope(RegionTelemetry &, unsigned, Counter, EventKind,
+             std::uint64_t = 0, std::uint64_t = 0) {}
+
+  TimedScope(const TimedScope &) = delete;
+  TimedScope &operator=(const TimedScope &) = delete;
+};
+
+#endif // CIP_TELEMETRY
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_TELEMETRY_H

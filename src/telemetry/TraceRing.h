@@ -1,0 +1,151 @@
+//===- telemetry/TraceRing.h - Lock-free per-thread event ring -*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, single-writer, lock-free event ring. Each traced
+/// runtime thread (scheduler, worker, checker) owns exactly one ring — its
+/// *lane* — and appends 32-byte events with one relaxed load, one store of
+/// the event, and one release store of the cursor; there is no shared write
+/// state between lanes, so tracing never introduces inter-thread
+/// communication into the engines being measured. When the ring wraps, the
+/// oldest events are overwritten and counted as dropped: a trace always
+/// holds the *most recent* window of each thread's activity.
+///
+/// Readers (the region-end snapshot) see a consistent prefix via the
+/// release/acquire cursor; the registry only snapshots after the region's
+/// threads have joined, so snapshots are exact in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_TRACERING_H
+#define CIP_TELEMETRY_TRACERING_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+/// What a trace event describes. Keep in sync with \c eventName().
+enum class EventKind : std::uint16_t {
+  Region,      ///< whole parallel region (control lane)
+  Invocation,  ///< one outer-loop iteration / inner-loop invocation
+  Dispatch,    ///< scheduler dispatched one iteration (arg0=inv, arg1=comb)
+  SchedStall,  ///< scheduler stalled on latestFinished before a prologue
+  SyncWait,    ///< worker waiting on a sync condition (arg0=depTid, arg1=it)
+  Task,        ///< one task / inner-loop iteration (arg0=epoch, arg1=task)
+  Epoch,       ///< one epoch on a worker lane (arg0=epoch)
+  Throttle,    ///< SPECCROSS speculative-range throttle wait
+  QueueFull,   ///< producer blocked on a full queue
+  SigCheck,    ///< checker processing one checking request (arg0=epoch)
+  Misspec,     ///< misspeculation detected (arg0=epoch)
+  Checkpoint,  ///< checkpoint being taken (arg0=bytes)
+  Rollback,    ///< state restore after misspeculation
+  Reexec,      ///< non-speculative re-execution of damaged epochs
+  BarrierWait, ///< thread waiting at a non-speculative barrier (arg0=epoch)
+  SyncFlow,    ///< flow arrow for a forwarded sync condition (arg0=flow id)
+};
+
+inline constexpr unsigned NumEventKinds = 16;
+
+inline const char *eventName(EventKind K) {
+  static const char *const Names[NumEventKinds] = {
+      "region",   "invocation", "dispatch",   "sched_stall",
+      "sync_wait", "task",      "epoch",      "throttle",
+      "queue_full", "sig_check", "misspec",   "checkpoint",
+      "rollback", "reexec",     "barrier_wait", "sync_flow"};
+  const unsigned I = static_cast<unsigned>(K);
+  assert(I < NumEventKinds && "event kind out of range");
+  return Names[I];
+}
+
+/// How the event maps onto the Chrome trace model.
+enum class EventPhase : std::uint16_t {
+  Begin,     ///< duration start ("B")
+  End,       ///< duration end ("E")
+  Instant,   ///< instantaneous ("i")
+  FlowBegin, ///< flow-arrow source ("s"); arg0 is the flow id
+  FlowEnd,   ///< flow-arrow sink ("f"); arg0 is the flow id
+};
+
+/// One 32-byte trace record.
+struct TraceEvent {
+  std::uint64_t TimeNs = 0;
+  EventKind Kind = EventKind::Region;
+  EventPhase Phase = EventPhase::Instant;
+  std::uint32_t Pad = 0;
+  std::uint64_t Arg0 = 0;
+  std::uint64_t Arg1 = 0;
+};
+static_assert(sizeof(TraceEvent) == 32, "trace events should stay compact");
+
+/// Fixed-capacity single-writer ring of TraceEvents. See file comment.
+class TraceRing {
+public:
+  explicit TraceRing(std::size_t Capacity) : Ring(roundUpPow2(Capacity)) {}
+
+  TraceRing(const TraceRing &) = delete;
+  TraceRing &operator=(const TraceRing &) = delete;
+
+  std::size_t capacity() const { return Ring.size(); }
+
+  /// Appends one event. Owning thread only.
+  void emit(const TraceEvent &E) {
+    const std::uint64_t C = Cursor.load(std::memory_order_relaxed);
+    Ring[C & (Ring.size() - 1)] = E;
+    Cursor.store(C + 1, std::memory_order_release);
+  }
+
+  /// Total events ever emitted (monotone; may exceed capacity).
+  std::uint64_t written() const {
+    return Cursor.load(std::memory_order_acquire);
+  }
+
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const {
+    const std::uint64_t W = written();
+    return W > Ring.size() ? W - Ring.size() : 0;
+  }
+
+  /// Copies the surviving events, oldest first. Exact once the writer has
+  /// quiesced (the registry snapshots after region join).
+  std::vector<TraceEvent> snapshot() const {
+    const std::uint64_t End = written();
+    const std::uint64_t Begin = End > Ring.size() ? End - Ring.size() : 0;
+    std::vector<TraceEvent> Out;
+    Out.reserve(static_cast<std::size_t>(End - Begin));
+    for (std::uint64_t C = Begin; C < End; ++C)
+      Out.push_back(Ring[C & (Ring.size() - 1)]);
+    return Out;
+  }
+
+private:
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  std::vector<TraceEvent> Ring;
+  alignas(CacheLineBytes) std::atomic<std::uint64_t> Cursor{0};
+};
+
+/// One lane's worth of a region snapshot: name, events, drop accounting.
+struct LaneSnapshot {
+  std::string Name;
+  std::vector<TraceEvent> Events;
+  std::uint64_t Dropped = 0;
+};
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_TRACERING_H

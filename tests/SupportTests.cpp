@@ -65,6 +65,20 @@ TEST(Stats, MeanGeomeanMedian) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
 }
 
+TEST(Stats, EmptySamplesReturnZero) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(minOf({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, GeomeanSkipsNonPositiveSamples) {
+  // Non-positive "speedups" are upstream measurement errors; they must not
+  // poison the aggregate (and must not abort in debug builds).
+  EXPECT_NEAR(geomean({1.0, 0.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({-3.0, 1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   const double S = timeSeconds([] {
     volatile double X = 1.0;

@@ -1,0 +1,448 @@
+//===- tests/TelemetryTests.cpp - Unit tests for the telemetry subsystem -===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "support/ThreadGroup.h"
+#include "telemetry/ChromeTrace.h"
+#include "telemetry/Json.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace cip;
+using namespace cip::telemetry;
+
+//===----------------------------------------------------------------------===//
+// JSON writer and parser (always compiled, in both telemetry configs)
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  json::Writer W;
+  W.beginObject();
+  W.key("name");
+  W.value("hello \"world\"\n");
+  W.key("count");
+  W.value(std::uint64_t{18446744073709551615ULL});
+  W.key("neg");
+  W.value(std::int64_t{-42});
+  W.key("pi");
+  W.value(3.25);
+  W.key("flag");
+  W.value(true);
+  W.key("items");
+  W.beginArray();
+  W.value(1u);
+  W.value(2u);
+  W.value(3u);
+  W.endArray();
+  W.key("empty");
+  W.beginObject();
+  W.endObject();
+  W.endObject();
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(W.str(), V, &Err)) << Err << "\n" << W.str();
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("name")->String, "hello \"world\"\n");
+  EXPECT_DOUBLE_EQ(V.find("pi")->Number, 3.25);
+  EXPECT_TRUE(V.find("flag")->Bool);
+  ASSERT_TRUE(V.find("items")->isArray());
+  ASSERT_EQ(V.find("items")->Array.size(), 3u);
+  EXPECT_DOUBLE_EQ(V.find("items")->Array[2].Number, 3.0);
+  EXPECT_TRUE(V.find("empty")->isObject());
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  json::Value V;
+  EXPECT_FALSE(json::parse("", V));
+  EXPECT_FALSE(json::parse("{", V));
+  EXPECT_FALSE(json::parse("{\"a\":}", V));
+  EXPECT_FALSE(json::parse("[1,2,]", V));
+  EXPECT_FALSE(json::parse("{} trailing", V));
+  EXPECT_FALSE(json::parse("\"unterminated", V));
+}
+
+TEST(Json, EscapeCoversControlAndQuote) {
+  EXPECT_EQ(json::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+//===----------------------------------------------------------------------===//
+// Counter vocabulary (always compiled)
+//===----------------------------------------------------------------------===//
+
+TEST(Counters, TotalsArithmetic) {
+  CounterTotals A;
+  EXPECT_TRUE(A.allZero());
+  A.add(Counter::TasksExecuted, 5);
+  A.set(Counter::Misspeculations, 2);
+  EXPECT_FALSE(A.allZero());
+  CounterTotals B;
+  B.add(Counter::TasksExecuted, 7);
+  B += A;
+  EXPECT_EQ(B.get(Counter::TasksExecuted), 12u);
+  EXPECT_EQ(B.get(Counter::Misspeculations), 2u);
+}
+
+TEST(Counters, NamesAreUniqueSnakeCase) {
+  std::vector<std::string> Seen;
+  for (unsigned I = 0; I < NumCounters; ++I) {
+    const std::string N = counterName(static_cast<Counter>(I));
+    EXPECT_FALSE(N.empty());
+    for (char C : N)
+      EXPECT_TRUE((C >= 'a' && C <= 'z') || C == '_' || (C >= '0' && C <= '9'))
+          << N;
+    EXPECT_EQ(std::count(Seen.begin(), Seen.end(), N), 0) << N;
+    Seen.push_back(N);
+  }
+}
+
+TEST(Telemetry, CompiledInMatchesMacro) {
+  EXPECT_EQ(compiledIn(), CIP_TELEMETRY != 0);
+}
+
+#if CIP_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// Trace ring
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TraceEvent stamped(std::uint64_t T) {
+  TraceEvent E;
+  E.TimeNs = T;
+  E.Kind = EventKind::Task;
+  E.Phase = EventPhase::Instant;
+  E.Arg0 = T;
+  return E;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(8).capacity(), 8u);
+  EXPECT_EQ(TraceRing(1).capacity(), 1u);
+}
+
+TEST(TraceRing, WrapKeepsNewestAndCountsDropped) {
+  TraceRing R(8);
+  for (std::uint64_t I = 0; I < 20; ++I)
+    R.emit(stamped(I));
+  EXPECT_EQ(R.written(), 20u);
+  EXPECT_EQ(R.dropped(), 12u);
+  const std::vector<TraceEvent> S = R.snapshot();
+  ASSERT_EQ(S.size(), 8u);
+  // Oldest-first, holding exactly the most recent window 12..19.
+  for (std::uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(S[I].TimeNs, 12 + I);
+}
+
+TEST(TraceRing, NoDropsBelowCapacity) {
+  TraceRing R(16);
+  for (std::uint64_t I = 0; I < 10; ++I)
+    R.emit(stamped(I));
+  EXPECT_EQ(R.dropped(), 0u);
+  EXPECT_EQ(R.snapshot().size(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Counter table and region telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(CounterTable, LanesAggregateIndependently) {
+  CounterTable T(3);
+  T.add(0, Counter::TasksExecuted, 2);
+  T.add(1, Counter::TasksExecuted, 3);
+  T.add(2, Counter::ShadowConflicts);
+  EXPECT_EQ(T.laneTotals(0).get(Counter::TasksExecuted), 2u);
+  EXPECT_EQ(T.laneTotals(1).get(Counter::TasksExecuted), 3u);
+  EXPECT_EQ(T.totals().get(Counter::TasksExecuted), 5u);
+  EXPECT_EQ(T.totals().get(Counter::ShadowConflicts), 1u);
+}
+
+TEST(RegionTelemetry, MultiThreadEventsStayOrderedPerLane) {
+  const unsigned Lanes = 4;
+  const unsigned PerLane = 100;
+  const std::string Prefix = ::testing::TempDir() + "cip_tel_order";
+  RegionTelemetry Tel("unit", Lanes, Prefix.c_str());
+  ASSERT_TRUE(Tel.tracing());
+  runThreads(Lanes, [&](unsigned Lane) {
+    for (unsigned I = 0; I < PerLane; ++I) {
+      Tel.begin(Lane, EventKind::Task, I, Lane);
+      Tel.end(Lane, EventKind::Task, I, Lane);
+    }
+  });
+  const std::vector<LaneSnapshot> Snap = Tel.snapshotLanes();
+  ASSERT_EQ(Snap.size(), Lanes);
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    ASSERT_EQ(Snap[Lane].Events.size(), 2u * PerLane) << "lane " << Lane;
+    EXPECT_EQ(Snap[Lane].Dropped, 0u);
+    // Timestamps are non-decreasing and events carry the lane's own tag —
+    // lanes are single-writer, so no cross-thread interleaving can occur.
+    for (std::size_t I = 0; I < Snap[Lane].Events.size(); ++I) {
+      if (I) {
+        EXPECT_GE(Snap[Lane].Events[I].TimeNs, Snap[Lane].Events[I - 1].TimeNs);
+      }
+      EXPECT_EQ(Snap[Lane].Events[I].Arg1, Lane);
+      EXPECT_EQ(Snap[Lane].Events[I].Arg0, (I / 2) % PerLane);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export golden checks
+//===----------------------------------------------------------------------===//
+
+TEST(ChromeTrace, ExportParsesWithOneLanePerThread) {
+  const std::string Prefix = ::testing::TempDir() + "cip_tel_golden";
+  std::string Path;
+  {
+    RegionTelemetry Tel("golden", 3, Prefix.c_str());
+    Tel.nameLane(0, "worker 0");
+    Tel.nameLane(1, "worker 1");
+    Tel.nameLane(2, "scheduler");
+    Tel.begin(2, EventKind::Invocation, 7);
+    Tel.instant(2, EventKind::Dispatch, 7, 3);
+    Tel.flowBegin(2, 99);
+    Tel.begin(0, EventKind::Task, 7, 3);
+    Tel.flowEnd(0, 99);
+    Tel.end(0, EventKind::Task);
+    Tel.end(2, EventKind::Invocation, 7);
+    Path = Tel.finish();
+  }
+  ASSERT_FALSE(Path.empty());
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(slurp(Path), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("displayTimeUnit")->String, "ms");
+  const json::Value *Events = V.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+
+  std::vector<std::string> LaneNames;
+  unsigned Begins = 0, Ends = 0, Instants = 0, FlowS = 0, FlowF = 0;
+  for (const json::Value &E : Events->Array) {
+    const std::string Ph = E.find("ph")->String;
+    if (Ph == "M") {
+      if (E.find("name")->String == "thread_name")
+        LaneNames.push_back(E.find("args")->find("name")->String);
+      continue;
+    }
+    // Every payload event carries the per-lane tid that metadata named.
+    ASSERT_NE(E.find("tid"), nullptr);
+    ASSERT_NE(E.find("ts"), nullptr);
+    if (Ph == "B")
+      ++Begins;
+    else if (Ph == "E")
+      ++Ends;
+    else if (Ph == "i")
+      ++Instants;
+    else if (Ph == "s")
+      ++FlowS;
+    else if (Ph == "f")
+      ++FlowF;
+  }
+  EXPECT_EQ(LaneNames,
+            (std::vector<std::string>{"worker 0", "worker 1", "scheduler"}));
+  EXPECT_EQ(Begins, 2u);
+  EXPECT_EQ(Ends, 2u);
+  EXPECT_EQ(Instants, 1u);
+  EXPECT_EQ(FlowS, 1u);
+  EXPECT_EQ(FlowF, 1u);
+}
+
+TEST(ChromeTrace, ReportsDroppedEvents) {
+  const std::string Prefix = ::testing::TempDir() + "cip_tel_drop";
+  LaneSnapshot Lane;
+  Lane.Name = "worker 0";
+  Lane.Dropped = 5;
+  const std::string Trace = renderChromeTrace("unit", {Lane}, 0);
+  json::Value V;
+  ASSERT_TRUE(json::parse(Trace, V));
+  bool SawDropNote = false;
+  for (const json::Value &E : V.find("traceEvents")->Array)
+    if (E.find("name") && E.find("name")->String == "events_dropped")
+      SawDropNote = true;
+  EXPECT_TRUE(SawDropNote);
+  (void)Prefix;
+}
+
+//===----------------------------------------------------------------------===//
+// Counter aggregation agrees with the legacy engine statistics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic DOMORE nest with genuine cross-invocation conflicts: each
+/// iteration touches address (Inv + It) % Space, so consecutive invocations
+/// collide on most addresses.
+domore::LoopNest conflictNest(std::uint32_t NumInv, std::uint32_t IterPerInv,
+                              std::uint64_t Space,
+                              std::vector<std::uint64_t> &Sink) {
+  domore::LoopNest N;
+  N.NumInvocations = NumInv;
+  N.AddressSpaceSize = Space;
+  N.BeginInvocation = [IterPerInv](std::uint32_t) {
+    return static_cast<std::size_t>(IterPerInv);
+  };
+  N.ComputeAddr = [Space](std::uint32_t Inv, std::size_t It,
+                          std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back((Inv + It) % Space);
+  };
+  N.Work = [&Sink, Space](std::uint32_t Inv, std::size_t It) {
+    Sink[(Inv + It) % Space] += Inv + It;
+  };
+  return N;
+}
+
+} // namespace
+
+TEST(CounterAggregation, DomoreCountersMatchLegacyStats) {
+  std::vector<std::uint64_t> Sink(8, 0);
+  const domore::LoopNest Nest = conflictNest(10, 16, 8, Sink);
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = 3;
+  const domore::DomoreStats Stats = domore::runDomore(Nest, Cfg);
+
+  EXPECT_EQ(Stats.Telemetry.get(Counter::IterationsDispatched),
+            Stats.Iterations);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::TasksExecuted), Stats.Iterations);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::ShadowConflicts),
+            Stats.SyncConditions);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::PrologueWaits), Stats.PrologueWaits);
+  EXPECT_GT(Stats.Telemetry.get(Counter::SchedulerBusyNs), 0u);
+  EXPECT_GT(Stats.SyncConditions, 0u);
+}
+
+TEST(CounterAggregation, DomoreDuplicatedCountersMatchLegacyStats) {
+  std::vector<std::uint64_t> Sink(8, 0);
+  const domore::LoopNest Nest = conflictNest(10, 16, 8, Sink);
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = 3;
+  const domore::DomoreStats Stats = domore::runDomoreDuplicated(Nest, Cfg);
+
+  EXPECT_EQ(Stats.Telemetry.get(Counter::TasksExecuted), Stats.Iterations);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::ShadowConflicts),
+            Stats.SyncConditions);
+}
+
+TEST(CounterAggregation, SpecCrossCountersMatchLegacyStats) {
+  std::vector<std::uint64_t> Cells(64, 0);
+  speccross::CheckpointRegistry Reg;
+  Reg.registerBuffer(Cells);
+  speccross::SpecRegion Region;
+  Region.NumEpochs = 20;
+  Region.NumTasks = [](std::uint32_t) { return std::size_t{8}; };
+  Region.RunTask = [&Cells](std::uint32_t E, std::size_t T) {
+    Cells[(E * 8 + T) % Cells.size()] += E + T;
+  };
+  Region.TaskAddresses = [&Cells](std::uint32_t E, std::size_t T,
+                                  std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back((E * 8 + T) % Cells.size());
+  };
+  Region.Checkpoints = &Reg;
+
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.CheckpointIntervalEpochs = 5;
+  const speccross::SpecStats Stats = speccross::runSpecCross(Region, Cfg);
+
+  EXPECT_EQ(Stats.Telemetry.get(Counter::CheckRequests), Stats.CheckRequests);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::SignatureComparisons),
+            Stats.SignatureComparisons);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::Misspeculations),
+            Stats.Misspeculations);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::CheckpointsTaken),
+            Stats.CheckpointsTaken);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::EpochsReexecuted),
+            Stats.ReexecutedEpochs);
+  EXPECT_EQ(Stats.Misspeculations, 0u);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::TasksExecuted), Stats.Tasks);
+  EXPECT_GT(Stats.Telemetry.get(Counter::CheckpointBytes), 0u);
+}
+
+TEST(CounterAggregation, SpecCrossMisspeculationPathIsCounted) {
+  std::vector<std::uint64_t> Cells(64, 0);
+  speccross::CheckpointRegistry Reg;
+  Reg.registerBuffer(Cells);
+  speccross::SpecRegion Region;
+  Region.NumEpochs = 12;
+  Region.NumTasks = [](std::uint32_t) { return std::size_t{6}; };
+  Region.RunTask = [&Cells](std::uint32_t E, std::size_t T) {
+    Cells[(E * 6 + T) % Cells.size()] += 1;
+  };
+  Region.TaskAddresses = [&Cells](std::uint32_t E, std::size_t T,
+                                  std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back((E * 6 + T) % Cells.size());
+  };
+  Region.Checkpoints = &Reg;
+
+  speccross::SpecConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.CheckpointIntervalEpochs = 4;
+  Cfg.InjectMisspecAtEpoch = 5;
+  const speccross::SpecStats Stats = speccross::runSpecCross(Region, Cfg);
+
+  EXPECT_EQ(Stats.Misspeculations, 1u);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::Misspeculations), 1u);
+  EXPECT_EQ(Stats.Telemetry.get(Counter::EpochsReexecuted),
+            Stats.ReexecutedEpochs);
+  EXPECT_GT(Stats.Telemetry.get(Counter::RecoveryNs), 0u);
+  EXPECT_GT(Stats.Telemetry.get(Counter::BarrierWaitNs), 0u);
+}
+
+#else // !CIP_TELEMETRY
+
+TEST(TelemetryDisabled, ProbesCompileToNothing) {
+  EXPECT_FALSE(compiledIn());
+  RegionTelemetry Tel("unit", 4);
+  Tel.add(0, Counter::TasksExecuted, 100);
+  Tel.begin(0, EventKind::Task);
+  Tel.end(0, EventKind::Task);
+  EXPECT_FALSE(Tel.tracing());
+  EXPECT_TRUE(Tel.totals().allZero());
+  EXPECT_TRUE(Tel.finish().empty());
+}
+
+TEST(TelemetryDisabled, EngineStatsCarryZeroCounters) {
+  std::vector<std::uint64_t> Sink(8, 0);
+  domore::LoopNest N;
+  N.NumInvocations = 4;
+  N.AddressSpaceSize = 8;
+  N.BeginInvocation = [](std::uint32_t) { return std::size_t{8}; };
+  N.ComputeAddr = [](std::uint32_t Inv, std::size_t It,
+                     std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back((Inv + It) % 8);
+  };
+  N.Work = [&Sink](std::uint32_t Inv, std::size_t It) {
+    Sink[(Inv + It) % 8] += 1;
+  };
+  domore::DomoreConfig Cfg;
+  Cfg.NumWorkers = 2;
+  const domore::DomoreStats Stats = domore::runDomore(N, Cfg);
+  EXPECT_GT(Stats.Iterations, 0u);
+  EXPECT_TRUE(Stats.Telemetry.allZero());
+}
+
+#endif // CIP_TELEMETRY

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate CIP_BENCH_JSON output against the documented schema.
+
+Usage: validate_bench_json.py <file.json> [--require-nonzero-counters]
+
+The bench binaries emit one JSON object per line (JSON Lines); see
+DESIGN.md, section "Telemetry", for the schema. Exits nonzero (with a
+per-line diagnostic) on the first malformed row, on unknown counter keys,
+or — with --require-nonzero-counters — when no row carries a nonzero
+telemetry counter (the sign of a CIP_TELEMETRY=0 build sneaking into a
+telemetry-enabled CI job).
+"""
+
+import json
+import sys
+
+COUNTER_KEYS = [
+    "scheduler_busy_ns",
+    "scheduler_stall_ns",
+    "iterations_dispatched",
+    "shadow_conflicts",
+    "prologue_waits",
+    "queue_full_spins",
+    "queue_empty_spins",
+    "worker_wait_ns",
+    "tasks_executed",
+    "epochs_entered",
+    "throttle_spins",
+    "check_requests",
+    "signature_comparisons",
+    "misspeculations",
+    "epochs_reexecuted",
+    "checkpoints_taken",
+    "checkpoint_bytes",
+    "checkpoint_ns",
+    "recovery_ns",
+    "barrier_wait_ns",
+]
+
+SCHEMES = {"sequential", "barrier", "domore", "speccross"}
+SCALES = {"test", "train", "ref"}
+
+
+def fail(line_no, msg):
+    print(f"error: line {line_no}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_row(line_no, row):
+    if not isinstance(row, dict):
+        fail(line_no, "row is not a JSON object")
+    for key, typ in [
+        ("workload", str),
+        ("scheme", str),
+        ("threads", int),
+        ("scale", str),
+        ("reps", int),
+        ("seconds", (int, float)),
+        ("speedup", (int, float)),
+        ("counters", dict),
+    ]:
+        if key not in row:
+            fail(line_no, f"missing key '{key}'")
+        if not isinstance(row[key], typ):
+            fail(line_no, f"key '{key}' has type {type(row[key]).__name__}")
+    if row["scheme"] not in SCHEMES:
+        fail(line_no, f"unknown scheme '{row['scheme']}'")
+    if row["scale"] not in SCALES:
+        fail(line_no, f"unknown scale '{row['scale']}'")
+    if row["threads"] < 1 or row["reps"] < 1:
+        fail(line_no, "threads and reps must be positive")
+    if row["seconds"] < 0:
+        fail(line_no, "seconds must be non-negative")
+    counters = row["counters"]
+    for key in counters:
+        if key not in COUNTER_KEYS:
+            fail(line_no, f"unknown counter '{key}'")
+    for key in COUNTER_KEYS:
+        if key not in counters:
+            fail(line_no, f"missing counter '{key}'")
+        value = counters[key]
+        if not isinstance(value, int) or value < 0:
+            fail(line_no, f"counter '{key}' must be a non-negative integer")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    require_nonzero = "--require-nonzero-counters" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    rows = 0
+    nonzero = 0
+    with open(args[0], encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(line_no, f"invalid JSON: {err}")
+            validate_row(line_no, row)
+            rows += 1
+            if any(row["counters"][k] for k in COUNTER_KEYS):
+                nonzero += 1
+
+    if rows == 0:
+        print("error: no rows found", file=sys.stderr)
+        return 1
+    if require_nonzero and nonzero == 0:
+        print("error: no row carries a nonzero telemetry counter",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {rows} rows valid ({nonzero} with nonzero counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
