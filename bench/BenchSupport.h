@@ -23,9 +23,10 @@
 /// With CIP_BENCH_JSON set, every timed series point additionally emits one
 /// JSON object per line (JSON Lines) to the given path:
 ///   {"workload":..., "scheme":..., "threads":..., "scale":..., "reps":...,
-///    "seconds":..., "speedup":..., "counters":{...}}
+///    "seconds":..., "speedup":..., "counters":{...}, "wait_hist":{...}}
 /// where counters holds the telemetry counter totals of the best rep (all
-/// zero when built with CIP_TELEMETRY=0).
+/// zero when built with CIP_TELEMETRY=0) and wait_hist summarizes the
+/// scheme's dominant wait distribution (count/sum_ns/max_ns/p50/p90/p99).
 ///
 /// The reproduction machine has far fewer cores than the paper's 24-core
 /// testbed; thread counts beyond the hardware oversubscribe, so the *shape*
@@ -186,7 +187,8 @@ public:
 
   void record(const workloads::Workload &W, const char *Scheme,
               unsigned Threads, unsigned Reps, double Seconds, double Speedup,
-              const telemetry::CounterTotals &Counters) {
+              const telemetry::CounterTotals &Counters,
+              const telemetry::HistogramData &WaitHist) {
     if (!File)
       return;
     telemetry::json::Writer Wr;
@@ -211,6 +213,21 @@ public:
       Wr.key(telemetry::counterName(static_cast<telemetry::Counter>(C)));
       Wr.value(Counters.Values[C]);
     }
+    Wr.endObject();
+    Wr.key("wait_hist");
+    Wr.beginObject();
+    Wr.key("count");
+    Wr.value(WaitHist.count());
+    Wr.key("sum_ns");
+    Wr.value(WaitHist.SumNs);
+    Wr.key("max_ns");
+    Wr.value(WaitHist.MaxNs);
+    Wr.key("p50_ns");
+    Wr.value(WaitHist.quantileNs(0.50));
+    Wr.key("p90_ns");
+    Wr.value(WaitHist.quantileNs(0.90));
+    Wr.key("p99_ns");
+    Wr.value(WaitHist.quantileNs(0.99));
     Wr.endObject();
     Wr.endObject();
     std::fprintf(File, "%s\n", Wr.str().c_str());
@@ -245,7 +262,8 @@ inline void recordRun(const workloads::Workload &W, const char *Scheme,
   const double Speedup = Best.Seconds > 0.0 && Base > 0.0
                              ? Base / Best.Seconds
                              : 0.0;
-  J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry);
+  J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry,
+           Best.WaitHist);
 }
 
 /// Best sequential time for \p W (resets the workload first).

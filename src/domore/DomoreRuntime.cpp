@@ -19,6 +19,7 @@ using namespace cip;
 using namespace cip::domore;
 using telemetry::Counter;
 using telemetry::EventKind;
+using telemetry::Hist;
 
 namespace {
 
@@ -68,7 +69,7 @@ void produceCounted(SPSCQueue<Message> &Q, const Message &M,
   if (CIP_LIKELY(Q.tryProduce(M)))
     return;
   telemetry::TimedScope Full(Tel, Lane, Counter::SchedulerStallNs,
-                             EventKind::QueueFull);
+                             Hist::QueueFullNs, EventKind::QueueFull);
   Backoff B;
   do {
     B.pause();
@@ -77,9 +78,9 @@ void produceCounted(SPSCQueue<Message> &Q, const Message &M,
 }
 
 /// Looks up every address of the current iteration in \p Shadow, emits sync
-/// conditions for cross-worker conflicts via \p EmitSync, and records the
-/// new accessor. Shared by both shadow implementations and both engine
-/// variants.
+/// conditions for cross-worker conflicts via
+/// \p EmitSync(DepTid, DepIter, Addr), and records the new accessor.
+/// Shared by both shadow implementations and both engine variants.
 template <typename ShadowT, typename EmitSyncFn>
 std::uint64_t detectAndRecord(ShadowT &Shadow,
                               const std::vector<std::uint64_t> &Addrs,
@@ -89,7 +90,7 @@ std::uint64_t detectAndRecord(ShadowT &Shadow,
   for (std::uint64_t Addr : Addrs) {
     const ShadowEntry Prev = Shadow.lookup(Addr);
     if (Prev.valid() && Prev.Tid != Tid) {
-      EmitSync(Prev.Tid, Prev.Iter);
+      EmitSync(Prev.Tid, Prev.Iter, Addr);
       ++Conflicts;
     }
     Shadow.update(Addr, Tid, Iter);
@@ -138,7 +139,8 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
           continue;
         if (!iterationDone(Progress[Prev.Tid], Prev.Iter)) {
           telemetry::TimedScope Stall(Tel, Lane, Counter::SchedulerStallNs,
-                                      EventKind::SchedStall, Prev.Tid,
+                                      Hist::SchedStallNs, EventKind::SchedStall,
+                                      Prev.Tid,
                                       static_cast<std::uint64_t>(Prev.Iter));
           waitForIteration(Progress[Prev.Tid], Prev.Iter);
         }
@@ -160,8 +162,9 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
       SPSCQueue<Message> &Q = *Queues[Tid];
       const std::uint64_t Conflicts = detectAndRecord(
           Shadow, Addrs, Tid, Combined,
-          [&](std::uint32_t DepTid, std::int64_t DepIter) {
+          [&](std::uint32_t DepTid, std::int64_t DepIter, std::uint64_t Addr) {
             const std::uint64_t Flow = NextFlow++;
+            Tel.recordConflict(DepTid, Tid, Addr);
             Tel.flowBegin(Lane, Flow);
             produceCounted(Q,
                            Message{Message::Sync, DepTid, DepIter, 0, 0, Flow},
@@ -212,7 +215,8 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
       assert(M.DepTid != Tid && "scheduler never syncs a worker on itself");
       if (!iterationDone(Progress[M.DepTid], M.Iter)) {
         telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
-                                   EventKind::SyncWait, M.DepTid,
+                                   Hist::WorkerWaitNs, EventKind::SyncWait,
+                                   M.DepTid,
                                    static_cast<std::uint64_t>(M.Iter));
         waitForIteration(Progress[M.DepTid], M.Iter);
       }
@@ -262,6 +266,8 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
   });
   Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
   Stats.Telemetry = Tel.totals();
+  Stats.ConflictPairs = Tel.heatmapPairs();
+  Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
   Tel.finish();
   return Stats;
 }
@@ -320,9 +326,14 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
         const std::uint32_t Owner = Policy->pick(Combined, Addrs);
         const bool Mine = Owner == Tid;
         Waits.clear();
-        auto Emit = [&](std::uint32_t DepTid, std::int64_t DepIter) {
-          if (Mine && DepTid != Tid)
+        auto Emit = [&](std::uint32_t DepTid, std::int64_t DepIter,
+                        std::uint64_t Addr) {
+          // Only the owner records the condition (and its heatmap cell), so
+          // the region totals count each conflict once, not W times.
+          if (Mine && DepTid != Tid) {
             Waits.emplace_back(DepTid, DepIter);
+            Tel.recordConflict(DepTid, Tid, Addr);
+          }
         };
         if (UseDense)
           MySyncs +=
@@ -339,7 +350,8 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
             if (iterationDone(Progress[DepTid], DepIter))
               continue;
             telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
-                                       EventKind::SyncWait, DepTid,
+                                       Hist::WorkerWaitNs, EventKind::SyncWait,
+                                       DepTid,
                                        static_cast<std::uint64_t>(DepIter));
             waitForIteration(Progress[DepTid], DepIter);
           }
@@ -365,6 +377,8 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
   Stats.SyncConditions =
       TotalSyncs.load(std::memory_order_relaxed) / Config.NumWorkers;
   Stats.Telemetry = Tel.totals();
+  Stats.ConflictPairs = Tel.heatmapPairs();
+  Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
   Tel.finish();
   return Stats;
 }

@@ -29,6 +29,8 @@
 #include "support/Compiler.h"
 #include "support/SPSCQueue.h"
 #include "telemetry/Counters.h"
+#include "telemetry/Histogram.h"
+#include "telemetry/RunReport.h"
 
 #include <cstdint>
 #include <functional>
@@ -102,6 +104,16 @@ struct DomoreStats {
   /// built with CIP_TELEMETRY=0; otherwise the per-run counters agree with
   /// the legacy aggregate fields above (the tests enforce it).
   telemetry::CounterTotals Telemetry;
+
+  /// Conflict heatmap: every shadow-detected conflict as a
+  /// (depTid -> tid) pair with a count, hottest first. The pair counts sum
+  /// to \c SyncConditions (test-enforced). Empty with CIP_TELEMETRY=0.
+  std::vector<telemetry::HeatmapPair> ConflictPairs;
+
+  /// Distribution of individual worker waits on `latestFinished` — the
+  /// per-wait view behind the WorkerWaitNs counter total. Empty with
+  /// CIP_TELEMETRY=0.
+  telemetry::HistogramData WorkerWait;
 };
 
 /// Which scheduling policy the engine should construct.

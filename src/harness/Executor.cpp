@@ -20,6 +20,7 @@ using namespace cip::harness;
 using namespace cip::workloads;
 using telemetry::Counter;
 using telemetry::EventKind;
+using telemetry::Hist;
 
 namespace {
 
@@ -64,10 +65,12 @@ ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
       // DOMORE and SPECCROSS exist to remove.
       {
         telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                   Hist::BarrierWaitNs,
                                    EventKind::BarrierWait, E);
         Bar.wait(Tid);
       }
       Tel.begin(Tid, EventKind::Epoch, E);
+      telemetry::HistScope EpochScope(Tel, Tid, Hist::EpochNs);
       Tel.add(Tid, Counter::EpochsEntered);
       if (W.hasPrologue()) {
         if (DupPrologue) {
@@ -76,6 +79,7 @@ ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
           if (Tid == 0)
             W.epochPrologue(E, 0);
           telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     Hist::BarrierWaitNs,
                                      EventKind::BarrierWait, E);
           Bar.wait(Tid);
         }
@@ -91,6 +95,7 @@ ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
   R.BarrierIdleNanos = Bar.totalIdleNanos();
   R.Checksum = W.checksum();
   R.Telemetry = Tel.totals();
+  R.WaitHist = Tel.histTotals(Hist::BarrierWaitNs);
   Tel.finish();
   return R;
 }
@@ -136,8 +141,9 @@ ExecResult harness::runDomore(Workload &W, unsigned NumThreads,
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
   R.Telemetry = Stats.Telemetry;
+  R.WaitHist = Stats.WorkerWait;
   if (StatsOut)
-    *StatsOut = Stats;
+    *StatsOut = std::move(Stats);
   return R;
 }
 
@@ -160,8 +166,9 @@ ExecResult harness::runDomoreDuplicated(Workload &W, unsigned NumThreads,
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
   R.Telemetry = Stats.Telemetry;
+  R.WaitHist = Stats.WorkerWait;
   if (StatsOut)
-    *StatsOut = Stats;
+    *StatsOut = std::move(Stats);
   return R;
 }
 
@@ -200,8 +207,9 @@ ExecResult harness::runSpecCross(Workload &W,
   R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
   R.Checksum = W.checksum();
   R.Telemetry = Stats.Telemetry;
+  R.WaitHist = Stats.WorkerWait;
   if (StatsOut)
-    *StatsOut = Stats;
+    *StatsOut = std::move(Stats);
   return R;
 }
 
@@ -239,10 +247,12 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
     for (std::uint32_t E = 0, NE = W.numEpochs(); E < NE; ++E) {
       {
         telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                   Hist::BarrierWaitNs,
                                    EventKind::BarrierWait, E);
         Bar.wait(Tid);
       }
       Tel.begin(Tid, EventKind::Epoch, E);
+      telemetry::HistScope EpochScope(Tel, Tid, Hist::EpochNs);
       Tel.add(Tid, Counter::EpochsEntered);
       if (W.hasPrologue()) {
         if (DupPrologue) {
@@ -251,6 +261,7 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
           if (Tid == 0)
             W.epochPrologue(E, 0);
           telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     Hist::BarrierWaitNs,
                                      EventKind::BarrierWait, E);
           Bar.wait(Tid);
         }
@@ -280,6 +291,7 @@ ExecResult harness::runBarrierDoany(Workload &W, unsigned NumThreads,
   R.BarrierIdleNanos = Bar.totalIdleNanos();
   R.Checksum = W.checksum();
   R.Telemetry = Tel.totals();
+  R.WaitHist = Tel.histTotals(Hist::BarrierWaitNs);
   Tel.finish();
   return R;
 }

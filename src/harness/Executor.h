@@ -26,6 +26,7 @@
 #include "domore/DomoreRuntime.h"
 #include "speccross/SpecCrossRuntime.h"
 #include "telemetry/Counters.h"
+#include "telemetry/Histogram.h"
 #include "workloads/Workload.h"
 
 #include <cstdint>
@@ -45,6 +46,10 @@ struct ExecResult {
   /// (all-zero when built with CIP_TELEMETRY=0, and for runSequential,
   /// which has no parallel region).
   telemetry::CounterTotals Telemetry;
+  /// Distribution of the strategy's dominant wait: barrier waits for the
+  /// barrier strategies, worker sync/throttle waits for DOMORE and
+  /// SPECCROSS. Empty with CIP_TELEMETRY=0 and for runSequential.
+  telemetry::HistogramData WaitHist;
 };
 
 /// Runs the workload sequentially (epoch by epoch, task by task).

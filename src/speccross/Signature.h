@@ -169,6 +169,40 @@ using SmallSetSignature = SmallSetSignatureT<8>;
 /// scattered ones (§4.2.1).
 enum class SignatureScheme { Range, Bloom, SmallSet };
 
+/// \name overlapHint
+/// Where, within two overlapping signatures, the conflict sits — the
+/// "signature bucket" of a misspeculation's forensics record. Best-effort
+/// and scheme-specific: the first potentially-shared address for range and
+/// small-set signatures, the first overlapping filter-word index for Bloom
+/// filters. Only meaningful when overlaps(A, B) is true.
+/// @{
+inline std::uint64_t overlapHint(const RangeSignature &A,
+                                 const RangeSignature &B) {
+  return A.Min > B.Min ? A.Min : B.Min; // start of the range intersection
+}
+
+template <unsigned Words>
+std::uint64_t overlapHint(const BloomSignatureT<Words> &A,
+                          const BloomSignatureT<Words> &B) {
+  for (unsigned I = 0; I < Words; ++I)
+    if ((A.Bits[I] & B.Bits[I]) != 0)
+      return I;
+  return 0;
+}
+
+template <unsigned Cap>
+std::uint64_t overlapHint(const SmallSetSignatureT<Cap> &A,
+                          const SmallSetSignatureT<Cap> &B) {
+  if (!A.Overflowed && !B.Overflowed) {
+    for (std::uint32_t I = 0; I < A.Count; ++I)
+      for (std::uint32_t J = 0; J < B.Count; ++J)
+        if (A.Addrs[I] == B.Addrs[J])
+          return A.Addrs[I]; // exact shared address
+  }
+  return A.Min > B.Min ? A.Min : B.Min;
+}
+/// @}
+
 } // namespace speccross
 } // namespace cip
 

@@ -42,6 +42,7 @@ using namespace cip;
 using namespace cip::speccross;
 using telemetry::Counter;
 using telemetry::EventKind;
+using telemetry::Hist;
 
 namespace {
 
@@ -114,6 +115,7 @@ public:
       runNonSpeculative(0, Region.NumEpochs);
       Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
       Stats.Telemetry = Tel.totals();
+      Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
       Tel.finish();
       return Stats;
     }
@@ -162,6 +164,8 @@ public:
     }
     Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
     Stats.Telemetry = Tel.totals();
+    Stats.Aborts = Tel.aborts();
+    Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
     Tel.finish();
     return Stats;
   }
@@ -179,10 +183,12 @@ private:
       for (std::uint32_t E = First; E < End; ++E) {
         {
           telemetry::TimedScope Wait(Tel, Tid, Counter::BarrierWaitNs,
+                                     Hist::BarrierWaitNs,
                                      EventKind::BarrierWait, E);
           Bar.wait();
         }
         Tel.begin(Tid, EventKind::Epoch, E);
+        telemetry::HistScope EpochScope(Tel, Tid, Hist::EpochNs);
         Tel.add(Tid, Counter::EpochsEntered);
         if (Region.EpochPrologue)
           Region.EpochPrologue(E, Tid);
@@ -239,6 +245,16 @@ template <typename Sig> struct Round {
   /// epoch e. Written by w, published by w's subsequent clock/Done store.
   std::vector<std::vector<std::vector<Sig>>> Logs;
   std::vector<std::unique_ptr<SPSCQueue<Request>>> Queues;
+
+#if CIP_TELEMETRY
+  /// Exact min/max range per task, mirroring Logs, so abort forensics can
+  /// recheck a signature overlap exactly and attribute Bloom false
+  /// positives. Only maintained in telemetry builds.
+  std::vector<std::vector<std::vector<RangeSignature>>> RangeLogs;
+#endif
+  /// First-abort-wins forensics slot; whoever trips Abort fills AbortInfo.
+  std::atomic<bool> AbortRecorded{false};
+  telemetry::AbortRecord AbortInfo;
 };
 
 template <typename Sig>
@@ -248,9 +264,20 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
 
   // Size each worker's per-epoch signature log up front so workers never
   // allocate while the checker reads.
-  for (std::uint32_t T = 0; T < W; ++T)
-    for (std::uint32_t E = First; E < End; ++E)
+#if CIP_TELEMETRY
+  R.RangeLogs.resize(W);
+#endif
+  for (std::uint32_t T = 0; T < W; ++T) {
+#if CIP_TELEMETRY
+    R.RangeLogs[T].resize(End - First);
+#endif
+    for (std::uint32_t E = First; E < End; ++E) {
       R.Logs[T][E - First].resize(localTaskCount(T, E));
+#if CIP_TELEMETRY
+      R.RangeLogs[T][E - First].resize(localTaskCount(T, E));
+#endif
+    }
+  }
   for (std::uint32_t T = 0; T < W; ++T)
     R.Started[T].Value.store(Prefix[First], std::memory_order_relaxed);
 
@@ -261,7 +288,9 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
   std::atomic<std::uint64_t> CheckRequests{0};
   std::atomic<std::uint64_t> Comparisons{0};
   std::atomic<bool> InjectionFired{false};
-  const double RoundStart = static_cast<double>(nowNanos());
+  const std::uint64_t TasksBefore = Tel.totals().get(Counter::TasksExecuted);
+  const std::uint64_t RoundStartNs = nowNanos();
+  const double RoundStart = static_cast<double>(RoundStartNs);
 
   auto workerBody = [&](std::uint32_t Tid) {
     std::vector<std::uint64_t> Addrs;
@@ -274,6 +303,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       if (R.Abort.load(std::memory_order_acquire))
         break;
       Tel.begin(Tid, EventKind::Epoch, E);
+      telemetry::HistScope EpochScope(Tel, Tid, Hist::EpochNs);
       Tel.add(Tid, Counter::EpochsEntered);
       if (Region.EpochPrologue)
         Region.EpochPrologue(E, Tid);
@@ -312,7 +342,8 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         }
         if (!LeadOk()) {
           telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
-                                     EventKind::Throttle, E, Global);
+                                     Hist::WorkerWaitNs, EventKind::Throttle,
+                                     E, Global);
           do {
             if (R.Abort.load(std::memory_order_acquire)) {
               Tel.end(Tid, EventKind::Epoch, E);
@@ -347,12 +378,19 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         Slot.clear();
         for (std::uint64_t A : Addrs)
           Slot.add(A);
+#if CIP_TELEMETRY
+        RangeSignature &RangeSlot = R.RangeLogs[Tid][E - First][K];
+        RangeSlot.clear();
+        for (std::uint64_t A : Addrs)
+          RangeSlot.add(A);
+#endif
         Req.Epoch = E;
         Req.Task = K;
         ProduceWait.reset();
         if (!R.Queues[Tid]->tryProduce(Req)) {
           telemetry::TimedScope Full(Tel, Tid, Counter::WorkerWaitNs,
-                                     EventKind::QueueFull, E);
+                                     Hist::QueueFullNs, EventKind::QueueFull,
+                                     E);
           do {
             if (R.Abort.load(std::memory_order_acquire)) {
               Tel.end(Tid, EventKind::Epoch, E);
@@ -404,6 +442,13 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       ++LocalRequests;
       if (WantInjection && Q.Epoch >= Config.InjectMisspecAtEpoch &&
           !InjectionFired.exchange(true)) {
+        if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
+          R.AbortInfo.Cause = telemetry::AbortCause::Injected;
+          R.AbortInfo.LaterEpoch = Q.Epoch;
+          R.AbortInfo.LaterTid = Q.Tid;
+          R.AbortInfo.LaterTask = Q.Task;
+          R.AbortInfo.Scheme = Sig::schemeName();
+        }
         Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
         R.Abort.store(true, std::memory_order_release);
         return;
@@ -411,7 +456,8 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       // SchedulerBusyNs doubles as "service thread busy" — the checker is
       // SPECCROSS's analogue of DOMORE's scheduler thread.
       telemetry::TimedScope Check(Tel, Checker, Counter::SchedulerBusyNs,
-                                  EventKind::SigCheck, Q.Epoch, Q.Task);
+                                  Hist::CheckNs, EventKind::SigCheck, Q.Epoch,
+                                  Q.Task);
       const Sig &Mine = R.Logs[Q.Tid][Q.Epoch - First][Q.Task];
       for (std::uint32_t O = 0; O < W && !R.Abort; ++O) {
         if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
@@ -427,6 +473,24 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
           for (std::size_t K = KBegin; K < EpochLog.size(); ++K) {
             ++LocalComparisons;
             if (Mine.overlaps(EpochLog[K])) {
+              if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
+                telemetry::AbortRecord &A = R.AbortInfo;
+                A.Cause = telemetry::AbortCause::SignatureOverlap;
+                A.EarlierEpoch = E;
+                A.EarlierTid = O;
+                A.EarlierTask = static_cast<std::uint32_t>(K);
+                A.LaterEpoch = Q.Epoch;
+                A.LaterTid = Q.Tid;
+                A.LaterTask = Q.Task;
+                A.SignatureBucket = overlapHint(Mine, EpochLog[K]);
+                A.Scheme = Sig::schemeName();
+#if CIP_TELEMETRY
+                // Exact recheck: did the two tasks' true address ranges
+                // overlap, or was the signature hit a false positive?
+                A.ExactConfirmed = R.RangeLogs[Q.Tid][Q.Epoch - First][Q.Task]
+                                       .overlaps(R.RangeLogs[O][E - First][K]);
+#endif
+              }
               Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
               R.Abort.store(true, std::memory_order_release);
               return;
@@ -442,6 +506,10 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       if (Config.TimeoutSeconds > 0.0 &&
           (static_cast<double>(nowNanos()) - RoundStart) * 1e-9 >
               Config.TimeoutSeconds) {
+        if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
+          R.AbortInfo.Cause = telemetry::AbortCause::Timeout;
+          R.AbortInfo.Scheme = Sig::schemeName();
+        }
         R.Abort.store(true, std::memory_order_release);
         break;
       }
@@ -498,6 +566,14 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
   if (R.Abort.load(std::memory_order_acquire)) {
     if (InjectionFired.load(std::memory_order_relaxed))
       Injected = true;
+    // Complete the forensics with the wasted-work accounting only the
+    // round's end can know, then file the record.
+    telemetry::AbortRecord A = R.AbortInfo;
+    A.RoundFirstEpoch = First;
+    A.RoundEndEpoch = End;
+    A.TasksUnwound = Tel.totals().get(Counter::TasksExecuted) - TasksBefore;
+    A.NsSinceCheckpoint = nowNanos() - RoundStartNs;
+    Tel.recordAbort(A);
     return false;
   }
   return true;

@@ -31,6 +31,8 @@
 #include "speccross/Signature.h"
 #include "support/Compiler.h"
 #include "telemetry/Counters.h"
+#include "telemetry/Histogram.h"
+#include "telemetry/RunReport.h"
 
 #include <cstdint>
 #include <functional>
@@ -148,6 +150,18 @@ struct SpecStats {
   /// checkpoint counters agree with the legacy aggregate fields above (the
   /// tests enforce it).
   telemetry::CounterTotals Telemetry;
+
+  /// Forensics for every misspeculation: the conflicting (epoch, tid, task)
+  /// pair, the overlapping signature bucket, whether an exact range recheck
+  /// confirms the conflict (false = signature false positive), and the
+  /// speculative work the rollback discarded. One record per entry of
+  /// \c Misspeculations. Empty with CIP_TELEMETRY=0.
+  std::vector<telemetry::AbortRecord> Aborts;
+
+  /// Distribution of individual worker waits (throttle + queue
+  /// backpressure) — the per-wait view behind the WorkerWaitNs counter
+  /// total. Empty with CIP_TELEMETRY=0.
+  telemetry::HistogramData WorkerWait;
 };
 
 /// Result of a profiling run (§4.4): the minimum cross-epoch dependence

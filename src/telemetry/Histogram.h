@@ -1,0 +1,208 @@
+//===- telemetry/Histogram.h - Lock-free latency histograms ----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Log-bucketed latency histograms for wait/stall attribution. A flat
+/// counter (PR 1's \c WorkerWaitNs) answers "how much time went to waits";
+/// a histogram answers "was that one catastrophic stall or a million tiny
+/// ones" — the distinction that separates a DOMORE queue-sizing problem
+/// from a genuine dependence chain, and a SPECCROSS checker falling behind
+/// from an epoch-length imbalance (the diagnostics behind Tables 5.2/5.3).
+///
+/// Buckets are powers of two of nanoseconds: bucket 0 holds the value 0 and
+/// bucket k >= 1 holds [2^(k-1), 2^k - 1], so one \c std::bit_width computes
+/// the index and 64 buckets cover every uint64 duration. Recording is
+/// per-lane sharded onto cache-line-padded rows of relaxed atomics — the
+/// same discipline as \c CounterTable — so hot-loop records never share a
+/// line between threads; shards merge once, at region end.
+///
+/// \c HistogramData (a plain aggregate) is always available, even in
+/// \c CIP_TELEMETRY=0 builds, so statistics structs keep a stable layout;
+/// only the probes that feed it compile away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_HISTOGRAM_H
+#define CIP_TELEMETRY_HISTOGRAM_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+/// Every latency distribution the telemetry subsystem tracks. Keep in sync
+/// with \c histName().
+enum class Hist : unsigned {
+  /// DOMORE scheduler stalled on `latestFinished` before sequential
+  /// outer-loop code (per-stall latency behind Counter::SchedulerStallNs).
+  SchedStallNs,
+  /// Worker waits: DOMORE sync-condition waits on `latestFinished`,
+  /// SPECCROSS speculative-range throttle waits.
+  WorkerWaitNs,
+  /// Producer blocked on a full scheduler->worker or checking queue
+  /// (backpressure: run-ahead hit the queue bound).
+  QueueFullNs,
+  /// One epoch's duration on one worker lane (SPECCROSS epoch streaming;
+  /// imbalance here is what makes the throttle and checker ranges grow).
+  EpochNs,
+  /// Checker validation latency per checking request.
+  CheckNs,
+  /// One wait at a non-speculative barrier.
+  BarrierWaitNs,
+};
+
+inline constexpr unsigned NumHistograms = 6;
+
+/// Stable machine-readable name (snake_case; the JSON export key).
+inline const char *histName(Hist H) {
+  static const char *const Names[NumHistograms] = {
+      "sched_stall_ns", "worker_wait_ns", "queue_full_ns",
+      "epoch_ns",       "check_ns",       "barrier_wait_ns"};
+  const unsigned I = static_cast<unsigned>(H);
+  assert(I < NumHistograms && "histogram kind out of range");
+  return Names[I];
+}
+
+inline constexpr unsigned HistogramBuckets = 64;
+
+/// Bucket index for \p ValueNs: 0 for 0, else bit_width (so bucket k holds
+/// [2^(k-1), 2^k - 1]); values >= 2^62 saturate into the last bucket.
+inline unsigned histBucketOf(std::uint64_t ValueNs) {
+  const unsigned W = static_cast<unsigned>(std::bit_width(ValueNs));
+  return W < HistogramBuckets ? W : HistogramBuckets - 1;
+}
+
+/// Inclusive lower edge of bucket \p I.
+inline std::uint64_t histBucketLoNs(unsigned I) {
+  assert(I < HistogramBuckets && "bucket out of range");
+  return I == 0 ? 0 : std::uint64_t{1} << (I - 1);
+}
+
+/// Inclusive upper edge of bucket \p I (the last bucket is open-ended).
+inline std::uint64_t histBucketHiNs(unsigned I) {
+  assert(I < HistogramBuckets && "bucket out of range");
+  if (I == 0)
+    return 0;
+  if (I == HistogramBuckets - 1)
+    return ~std::uint64_t{0};
+  return (std::uint64_t{1} << I) - 1;
+}
+
+/// Merged histogram contents. Plain data — always available so statistics
+/// structs keep one layout in both telemetry configurations.
+struct HistogramData {
+  std::uint64_t Buckets[HistogramBuckets] = {};
+  std::uint64_t SumNs = 0;
+  std::uint64_t MaxNs = 0;
+
+  std::uint64_t count() const {
+    std::uint64_t N = 0;
+    for (unsigned I = 0; I < HistogramBuckets; ++I)
+      N += Buckets[I];
+    return N;
+  }
+
+  bool empty() const { return count() == 0; }
+
+  HistogramData &operator+=(const HistogramData &O) {
+    for (unsigned I = 0; I < HistogramBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    SumNs += O.SumNs;
+    if (O.MaxNs > MaxNs)
+      MaxNs = O.MaxNs;
+    return *this;
+  }
+
+  /// Conservative quantile estimate: the upper edge of the bucket where the
+  /// cumulative count first reaches \p Q of the total (capped at the true
+  /// maximum). 0 when empty. \p Q in (0, 1].
+  std::uint64_t quantileNs(double Q) const {
+    const std::uint64_t N = count();
+    if (N == 0)
+      return 0;
+    const std::uint64_t Rank =
+        static_cast<std::uint64_t>(Q * static_cast<double>(N) + 0.5);
+    const std::uint64_t Target = Rank ? Rank : 1;
+    std::uint64_t Seen = 0;
+    for (unsigned I = 0; I < HistogramBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Target) {
+        const std::uint64_t Hi = histBucketHiNs(I);
+        return Hi < MaxNs ? Hi : MaxNs;
+      }
+    }
+    return MaxNs;
+  }
+};
+
+/// The recording side: one cache-line-padded shard of relaxed atomics per
+/// lane, each holding every \c Hist kind, so concurrent records from
+/// different lanes never contend. Aggregation (\c data, \c laneData)
+/// belongs to the controlling thread after workers have joined, matching
+/// \c CounterTable's discipline.
+class LatencyHistogram {
+public:
+  explicit LatencyHistogram(unsigned NumLanes) : Shards(NumLanes) {}
+
+  LatencyHistogram(const LatencyHistogram &) = delete;
+  LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+  unsigned numLanes() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Records one \p Ns-long observation of \p H on lane \p Lane. Lock-free;
+  /// lanes are single-writer, so Max needs no CAS loop.
+  void record(unsigned Lane, Hist H, std::uint64_t Ns) {
+    assert(Lane < Shards.size() && "lane out of range");
+    Cell &C = Shards[Lane].Kinds[static_cast<unsigned>(H)];
+    C.Buckets[histBucketOf(Ns)].fetch_add(1, std::memory_order_relaxed);
+    C.SumNs.fetch_add(Ns, std::memory_order_relaxed);
+    if (Ns > C.MaxNs.load(std::memory_order_relaxed))
+      C.MaxNs.store(Ns, std::memory_order_relaxed);
+  }
+
+  HistogramData laneData(unsigned Lane, Hist H) const {
+    assert(Lane < Shards.size() && "lane out of range");
+    const Cell &C = Shards[Lane].Kinds[static_cast<unsigned>(H)];
+    HistogramData D;
+    for (unsigned I = 0; I < HistogramBuckets; ++I)
+      D.Buckets[I] = C.Buckets[I].load(std::memory_order_relaxed);
+    D.SumNs = C.SumNs.load(std::memory_order_relaxed);
+    D.MaxNs = C.MaxNs.load(std::memory_order_relaxed);
+    return D;
+  }
+
+  /// All lanes of \p H merged.
+  HistogramData data(Hist H) const {
+    HistogramData D;
+    for (unsigned L = 0; L < Shards.size(); ++L)
+      D += laneData(L, H);
+    return D;
+  }
+
+private:
+  struct Cell {
+    std::atomic<std::uint64_t> Buckets[HistogramBuckets] = {};
+    std::atomic<std::uint64_t> SumNs{0};
+    std::atomic<std::uint64_t> MaxNs{0};
+  };
+
+  /// One lane's histograms, padded so two lanes never false-share.
+  struct alignas(CacheLineBytes) Shard {
+    Cell Kinds[NumHistograms];
+  };
+
+  std::vector<Shard> Shards;
+};
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_HISTOGRAM_H

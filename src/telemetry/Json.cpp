@@ -109,6 +109,47 @@ private:
     return true;
   }
 
+  /// Reads exactly four hex digits at \p P (bounds-checked against End)
+  /// into \p Out. Unlike strtoul, rejects signs, whitespace, and "0x".
+  bool hex4(const char *P, std::uint32_t &Out) const {
+    if (End - P < 4)
+      return false;
+    std::uint32_t V = 0;
+    for (int I = 0; I < 4; ++I) {
+      const char C = P[I];
+      std::uint32_t D = 0;
+      if (C >= '0' && C <= '9')
+        D = static_cast<std::uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<std::uint32_t>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<std::uint32_t>(C - 'A') + 10;
+      else
+        return false;
+      V = (V << 4) | D;
+    }
+    Out = V;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, std::uint32_t CP) {
+    if (CP < 0x80) {
+      Out += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      Out += static_cast<char>(0xC0 | (CP >> 6));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      Out += static_cast<char>(0xE0 | (CP >> 12));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (CP >> 18));
+      Out += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
   bool parseString(std::string &Out) {
     if (S == End || *S != '"')
       return fail("expected string");
@@ -144,22 +185,26 @@ private:
           Out += '\f';
           break;
         case 'u': {
-          // Decode \uXXXX as a raw code unit; enough for the ASCII-only
-          // escapes the telemetry writer produces.
-          if (End - S < 5)
-            return fail("truncated \\u escape");
-          char Hex[5] = {S[1], S[2], S[3], S[4], 0};
-          char *HexEnd = nullptr;
-          const unsigned long CP = std::strtoul(Hex, &HexEnd, 16);
-          if (HexEnd != Hex + 4)
+          // \uXXXX with strict hex validation (strtoul would accept signs
+          // and whitespace), surrogate-pair decoding, and full UTF-8
+          // output. Lone surrogates are malformed JSON text and rejected.
+          std::uint32_t CP = 0;
+          if (!hex4(S + 1, CP))
             return fail("bad \\u escape");
-          if (CP < 0x80) {
-            Out += static_cast<char>(CP);
-          } else {
-            Out += static_cast<char>(0xC0 | (CP >> 6));
-            Out += static_cast<char>(0x80 | (CP & 0x3F));
-          }
           S += 4;
+          if (CP >= 0xDC00 && CP <= 0xDFFF)
+            return fail("lone low surrogate in \\u escape");
+          if (CP >= 0xD800 && CP <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            std::uint32_t Lo = 0;
+            if (End - S < 7 || S[1] != '\\' || S[2] != 'u' || !hex4(S + 3, Lo))
+              return fail("unpaired high surrogate in \\u escape");
+            if (Lo < 0xDC00 || Lo > 0xDFFF)
+              return fail("unpaired high surrogate in \\u escape");
+            CP = 0x10000 + ((CP - 0xD800) << 10) + (Lo - 0xDC00);
+            S += 6;
+          }
+          appendUtf8(Out, CP);
           break;
         }
         default:

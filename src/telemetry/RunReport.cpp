@@ -1,0 +1,169 @@
+//===- telemetry/RunReport.cpp - Run report JSON rendering ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/RunReport.h"
+
+#include "telemetry/Json.h"
+#include "telemetry/Telemetry.h"
+
+#if CIP_TELEMETRY
+
+using namespace cip;
+using namespace cip::telemetry;
+
+namespace {
+
+/// How many hottest address buckets the report keeps (the heatmap tracks
+/// 256; reports only need the head of the distribution).
+constexpr unsigned TopAddrBuckets = 8;
+
+void writeHistogram(json::Writer &W, const HistogramData &D) {
+  W.beginObject();
+  W.key("count");
+  W.value(D.count());
+  W.key("sum_ns");
+  W.value(D.SumNs);
+  W.key("max_ns");
+  W.value(D.MaxNs);
+  W.key("p50_ns");
+  W.value(D.quantileNs(0.50));
+  W.key("p90_ns");
+  W.value(D.quantileNs(0.90));
+  W.key("p99_ns");
+  W.value(D.quantileNs(0.99));
+  // Only occupied buckets, ascending by edge; le_ns is the bucket's
+  // inclusive upper edge (the last bucket reports the observed max).
+  W.key("buckets");
+  W.beginArray();
+  for (unsigned I = 0; I < HistogramBuckets; ++I) {
+    if (!D.Buckets[I])
+      continue;
+    W.beginObject();
+    W.key("le_ns");
+    const std::uint64_t Hi = histBucketHiNs(I);
+    W.value(Hi < D.MaxNs ? Hi : D.MaxNs);
+    W.key("count");
+    W.value(D.Buckets[I]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
+                                            std::uint64_t Seq) {
+  json::Writer W;
+  W.beginObject();
+  W.key("schema_version");
+  W.value(1u);
+  W.key("region");
+  W.value(R.regionName());
+  W.key("seq");
+  W.value(Seq);
+  W.key("lanes");
+  W.value(R.numLanes());
+  W.key("lane_names");
+  W.beginArray();
+  for (unsigned L = 0; L < R.numLanes(); ++L)
+    W.value(R.laneName(L));
+  W.endArray();
+
+  const CounterTotals T = R.totals();
+  W.key("counters");
+  W.beginObject();
+  for (unsigned I = 0; I < NumCounters; ++I) {
+    W.key(counterName(static_cast<Counter>(I)));
+    W.value(T.Values[I]);
+  }
+  W.endObject();
+
+  W.key("histograms");
+  W.beginObject();
+  for (unsigned I = 0; I < NumHistograms; ++I) {
+    const Hist H = static_cast<Hist>(I);
+    W.key(histName(H));
+    writeHistogram(W, R.histTotals(H));
+  }
+  W.endObject();
+
+  const ConflictHeatmap &Heat = R.heatmap();
+  W.key("heatmap");
+  W.beginObject();
+  W.key("total_conflicts");
+  W.value(Heat.total());
+  W.key("pairs");
+  W.beginArray();
+  for (const HeatmapPair &P : Heat.pairs()) {
+    W.beginObject();
+    W.key("dep_tid");
+    W.value(P.DepTid);
+    W.key("tid");
+    W.value(P.Tid);
+    W.key("count");
+    W.value(P.Count);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("top_addr_buckets");
+  W.beginArray();
+  for (const HeatmapAddrBucket &B : Heat.hottestAddrBuckets(TopAddrBuckets)) {
+    W.beginObject();
+    W.key("bucket");
+    W.value(B.Bucket);
+    W.key("count");
+    W.value(B.Count);
+    W.key("example_addr");
+    W.value(B.ExampleAddr);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.key("aborts");
+  W.beginArray();
+  for (const AbortRecord &A : R.aborts()) {
+    W.beginObject();
+    W.key("cause");
+    W.value(abortCauseName(A.Cause));
+    W.key("earlier_epoch");
+    W.value(A.EarlierEpoch);
+    W.key("earlier_tid");
+    W.value(A.EarlierTid);
+    W.key("earlier_task");
+    W.value(A.EarlierTask);
+    W.key("later_epoch");
+    W.value(A.LaterEpoch);
+    W.key("later_tid");
+    W.value(A.LaterTid);
+    W.key("later_task");
+    W.value(A.LaterTask);
+    W.key("signature_bucket");
+    W.value(A.SignatureBucket);
+    W.key("exact_confirmed");
+    W.value(A.ExactConfirmed);
+    W.key("scheme");
+    W.value(A.Scheme);
+    W.key("tasks_unwound");
+    W.value(A.TasksUnwound);
+    W.key("ns_since_checkpoint");
+    W.value(A.NsSinceCheckpoint);
+    W.key("round_first_epoch");
+    W.value(A.RoundFirstEpoch);
+    W.key("round_end_epoch");
+    W.value(A.RoundEndEpoch);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+  std::string Out = W.take();
+  Out += '\n';
+  return Out;
+}
+
+#endif // CIP_TELEMETRY

@@ -1,0 +1,244 @@
+//===- telemetry/RunReport.h - Conflict attribution & run reports -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conflict *attribution* for the two runtime engines, plus the per-region
+/// structured run report that merges it with the counters and histograms.
+///
+///  * \c ConflictHeatmap — DOMORE's shadow-memory probe records each
+///    detected conflict as a (depTid -> tid) sync-condition pair and hashes
+///    the conflicting abstract address into one of 256 buckets, so a run
+///    report can say *which worker pairs* serialize on each other and
+///    *which addresses* are hot, not just how many conflicts there were.
+///  * \c AbortRecord — SPECCROSS misspeculation forensics: the epoch/task
+///    pair whose signatures overlapped, where in the signature they
+///    overlapped, whether an exact min/max-range recheck confirms the
+///    conflict (a Bloom-filter false positive shows up here as
+///    ExactConfirmed == false), and how much speculative work the rollback
+///    threw away (Fig 5.3's misspeculation penalty, itemized).
+///
+/// With the \c CIP_REPORT=<prefix> environment knob set, every region's
+/// \c RegionTelemetry::finish() writes <prefix>.<region>.<seq>.report.json
+/// merging counters, histograms, heatmap, and forensics;
+/// tools/cip_report.py renders it human-readable and
+/// tools/validate_bench_json.py --report checks the schema (documented in
+/// DESIGN.md §8).
+///
+/// Everything in this header is plain data or inline code so that the
+/// \c CIP_TELEMETRY=0 stub configuration can keep these types in statistics
+/// structs without linking the telemetry library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_RUNREPORT_H
+#define CIP_TELEMETRY_RUNREPORT_H
+
+#ifndef CIP_TELEMETRY
+#define CIP_TELEMETRY 1
+#endif
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cip {
+namespace telemetry {
+
+//===----------------------------------------------------------------------===//
+// DOMORE conflict heatmap
+//===----------------------------------------------------------------------===//
+
+/// One (depTid -> tid) cell of the conflict heatmap: \c Count sync
+/// conditions made worker \c Tid wait on worker \c DepTid.
+struct HeatmapPair {
+  std::uint32_t DepTid = 0;
+  std::uint32_t Tid = 0;
+  std::uint64_t Count = 0;
+};
+
+/// One hashed address bucket of the heatmap, with one representative
+/// (most recently conflicting) abstract address.
+struct HeatmapAddrBucket {
+  std::uint32_t Bucket = 0;
+  std::uint64_t Count = 0;
+  std::uint64_t ExampleAddr = 0;
+};
+
+/// Records (depTid -> tid, addr) conflict triples. Counts are relaxed
+/// atomics so the duplicated-scheduler DOMORE variant (where every worker
+/// records its own waits) needs no locking; conflicts are orders of
+/// magnitude rarer than iterations, so contention is immaterial.
+class ConflictHeatmap {
+public:
+  static constexpr unsigned NumAddrBuckets = 256;
+
+  explicit ConflictHeatmap(unsigned NumTids)
+      : N(NumTids), PairCounts(static_cast<std::size_t>(NumTids) * NumTids),
+        Addr(NumAddrBuckets) {}
+
+  ConflictHeatmap(const ConflictHeatmap &) = delete;
+  ConflictHeatmap &operator=(const ConflictHeatmap &) = delete;
+
+  unsigned numTids() const { return N; }
+
+  /// Records one sync condition: \p Tid will wait on \p DepTid because both
+  /// touch abstract address \p A.
+  void record(std::uint32_t DepTid, std::uint32_t Tid, std::uint64_t A) {
+    assert(DepTid < N && Tid < N && "tid out of range");
+    PairCounts[static_cast<std::size_t>(DepTid) * N + Tid].fetch_add(
+        1, std::memory_order_relaxed);
+    AddrSlot &S = Addr[addrBucketOf(A)];
+    S.Count.fetch_add(1, std::memory_order_relaxed);
+    S.Last.store(A, std::memory_order_relaxed);
+  }
+
+  /// Total recorded conflicts — by construction equal to the region's
+  /// sync-condition count (the tests reconcile the two).
+  std::uint64_t total() const {
+    std::uint64_t T = 0;
+    for (const auto &C : PairCounts)
+      T += C.load(std::memory_order_relaxed);
+    return T;
+  }
+
+  /// Nonzero cells, hottest first (ties by (depTid, tid) for determinism).
+  std::vector<HeatmapPair> pairs() const {
+    std::vector<HeatmapPair> Out;
+    for (std::uint32_t D = 0; D < N; ++D)
+      for (std::uint32_t T = 0; T < N; ++T) {
+        const std::uint64_t C =
+            PairCounts[static_cast<std::size_t>(D) * N + T].load(
+                std::memory_order_relaxed);
+        if (C)
+          Out.push_back(HeatmapPair{D, T, C});
+      }
+    std::sort(Out.begin(), Out.end(),
+              [](const HeatmapPair &A, const HeatmapPair &B) {
+                if (A.Count != B.Count)
+                  return A.Count > B.Count;
+                if (A.DepTid != B.DepTid)
+                  return A.DepTid < B.DepTid;
+                return A.Tid < B.Tid;
+              });
+    return Out;
+  }
+
+  /// The \p K hottest nonzero address buckets, hottest first.
+  std::vector<HeatmapAddrBucket> hottestAddrBuckets(unsigned K) const {
+    std::vector<HeatmapAddrBucket> Out;
+    for (std::uint32_t B = 0; B < NumAddrBuckets; ++B) {
+      const std::uint64_t C = Addr[B].Count.load(std::memory_order_relaxed);
+      if (C)
+        Out.push_back(
+            HeatmapAddrBucket{B, C, Addr[B].Last.load(std::memory_order_relaxed)});
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const HeatmapAddrBucket &A, const HeatmapAddrBucket &B) {
+                if (A.Count != B.Count)
+                  return A.Count > B.Count;
+                return A.Bucket < B.Bucket;
+              });
+    if (Out.size() > K)
+      Out.resize(K);
+    return Out;
+  }
+
+private:
+  struct AddrSlot {
+    std::atomic<std::uint64_t> Count{0};
+    std::atomic<std::uint64_t> Last{0};
+  };
+
+  static unsigned addrBucketOf(std::uint64_t A) {
+    // Fibonacci mix, top byte: sequential addresses spread across buckets.
+    return static_cast<unsigned>((A * 0x9e3779b97f4a7c15ULL) >> 56);
+  }
+
+  unsigned N;
+  std::vector<std::atomic<std::uint64_t>> PairCounts;
+  std::vector<AddrSlot> Addr;
+};
+
+//===----------------------------------------------------------------------===//
+// SPECCROSS abort forensics
+//===----------------------------------------------------------------------===//
+
+/// Why a speculative round aborted. Keep in sync with \c abortCauseName().
+enum class AbortCause : unsigned {
+  SignatureOverlap, ///< the checker found two overlapping task signatures
+  Injected,         ///< deterministic fault injection (tests, Fig 5.3 runs)
+  Timeout,          ///< the round outran SpecConfig::TimeoutSeconds
+};
+
+inline const char *abortCauseName(AbortCause C) {
+  switch (C) {
+  case AbortCause::SignatureOverlap:
+    return "signature_overlap";
+  case AbortCause::Injected:
+    return "injected";
+  case AbortCause::Timeout:
+    return "timeout";
+  }
+  CIP_UNREACHABLE("unknown abort cause");
+}
+
+/// Everything known about one misspeculation. "Earlier"/"Later" name the
+/// conflicting pair in epoch order: the later task speculated past a
+/// barrier the earlier task had not finished behind. For injected or
+/// timed-out aborts the pair fields name the triggering request.
+struct AbortRecord {
+  AbortCause Cause = AbortCause::SignatureOverlap;
+
+  std::uint32_t EarlierEpoch = 0;
+  std::uint32_t EarlierTid = 0;
+  std::uint32_t EarlierTask = 0; ///< local ordinal within (tid, epoch)
+  std::uint32_t LaterEpoch = 0;
+  std::uint32_t LaterTid = 0;
+  std::uint32_t LaterTask = 0;
+
+  /// Which part of the signature overlapped: the first overlapping filter
+  /// word for Bloom signatures, the first potentially-shared address for
+  /// range/small-set signatures (see \c speccross::overlapHint).
+  std::uint64_t SignatureBucket = 0;
+  /// Whether an exact min/max address-range recheck of the two tasks also
+  /// overlaps. False means the abort was a signature false positive (for
+  /// Bloom filters, this measures the false-positive rate of Fig 4.4's
+  /// trade-off); always true for range signatures.
+  bool ExactConfirmed = false;
+  /// Signature scheme in effect ("range", "bloom", "small-set").
+  const char *Scheme = "";
+
+  /// Speculative work the rollback discarded: tasks executed since the
+  /// round's checkpoint, and wall-clock nanoseconds since it was taken.
+  std::uint64_t TasksUnwound = 0;
+  std::uint64_t NsSinceCheckpoint = 0;
+  /// The damaged epoch range [RoundFirstEpoch, RoundEndEpoch) that was
+  /// re-executed non-speculatively.
+  std::uint32_t RoundFirstEpoch = 0;
+  std::uint32_t RoundEndEpoch = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Run report rendering
+//===----------------------------------------------------------------------===//
+
+#if CIP_TELEMETRY
+class RegionTelemetry;
+
+/// Renders \p R's counters, histograms, heatmap, and abort forensics as the
+/// run-report JSON document (schema_version 1; see DESIGN.md §8). Call
+/// after the region's threads have joined.
+std::string renderRunReport(const RegionTelemetry &R, std::uint64_t Seq);
+#endif // CIP_TELEMETRY
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_RUNREPORT_H

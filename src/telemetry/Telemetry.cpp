@@ -41,11 +41,14 @@ std::uint64_t nextTraceSeq() {
 } // namespace
 
 RegionTelemetry::RegionTelemetry(const char *RegionName, unsigned NumLanes,
-                                 const char *ForceTracePrefix)
+                                 const char *ForceTracePrefix,
+                                 const char *ForceReportPrefix)
     : Name(RegionName), OriginNs(nowNanos()), Counters(NumLanes),
-      LaneNames(NumLanes) {
+      Hists(NumLanes), Heat(NumLanes), LaneNames(NumLanes) {
   const char *Prefix =
       ForceTracePrefix ? ForceTracePrefix : std::getenv("CIP_TRACE");
+  const char *Report =
+      ForceReportPrefix ? ForceReportPrefix : std::getenv("CIP_REPORT");
   for (unsigned L = 0; L < NumLanes; ++L)
     LaneNames[L] = "lane " + std::to_string(L);
   if (Prefix && *Prefix) {
@@ -55,6 +58,8 @@ RegionTelemetry::RegionTelemetry(const char *RegionName, unsigned NumLanes,
     for (unsigned L = 0; L < NumLanes; ++L)
       Rings.push_back(std::make_unique<TraceRing>(Cap));
   }
+  if (Report && *Report)
+    ReportPrefix = Report;
 }
 
 RegionTelemetry::~RegionTelemetry() { finish(); }
@@ -91,12 +96,33 @@ std::vector<LaneSnapshot> RegionTelemetry::snapshotLanes() const {
   return Out;
 }
 
+void RegionTelemetry::recordAbort(const AbortRecord &A) {
+  std::lock_guard<std::mutex> G(AbortsMu);
+  AbortLog.push_back(A);
+}
+
+std::vector<AbortRecord> RegionTelemetry::aborts() const {
+  std::lock_guard<std::mutex> G(AbortsMu);
+  return AbortLog;
+}
+
 std::string RegionTelemetry::finish() {
-  if (Finished || Rings.empty())
+  if (Finished || (Rings.empty() && ReportPrefix.empty()))
     return {};
   Finished = true;
-  const std::string Path = TracePrefix + "." + Name + "." +
-                           std::to_string(nextTraceSeq()) + ".trace.json";
+  // One sequence number per region run, shared by its trace and report
+  // files so the two can be correlated.
+  const std::uint64_t Seq = nextTraceSeq();
+  if (!ReportPrefix.empty()) {
+    const std::string RPath = ReportPrefix + "." + Name + "." +
+                              std::to_string(Seq) + ".report.json";
+    if (writeFile(RPath, renderRunReport(*this, Seq)))
+      ReportPathWritten = RPath;
+  }
+  if (Rings.empty())
+    return {};
+  const std::string Path =
+      TracePrefix + "." + Name + "." + std::to_string(Seq) + ".trace.json";
   const std::string Doc = renderChromeTrace(Name, snapshotLanes(), OriginNs);
   if (!writeFile(Path, Doc))
     return {};

@@ -8,11 +8,15 @@
 /// The probe API every runtime layer instruments against. A
 /// \c RegionTelemetry is created per parallel region (one DOMORE loop-nest
 /// execution, one SPECCROSS region, one barrier run) with one *lane* per
-/// runtime thread; probes add to the lane's padded counter row and — only
-/// when tracing is enabled for the run — append events to the lane's
-/// lock-free ring. At region end, \c finish() exports a Chrome trace when
-/// the \c CIP_TRACE environment knob is set, and \c totals() folds the
-/// counter table into the region's statistics struct.
+/// runtime thread; probes add to the lane's padded counter row, record
+/// latency observations into the lane's histogram shard, and — only when
+/// tracing is enabled for the run — append events to the lane's lock-free
+/// ring. Conflict attribution rides the same object: DOMORE's shadow probe
+/// feeds the (depTid -> tid) heatmap and SPECCROSS's checker files abort
+/// forensics. At region end, \c finish() exports a Chrome trace when the
+/// \c CIP_TRACE environment knob is set and a structured run report when
+/// \c CIP_REPORT is set, and \c totals() folds the counter table into the
+/// region's statistics struct.
 ///
 /// Zero-cost-when-disabled guarantee: compiling with \c -DCIP_TELEMETRY=0
 /// replaces the whole class with an empty inline stub, so instrumented
@@ -22,6 +26,7 @@
 /// Runtime knobs:
 ///   CIP_TRACE=<path-prefix>   write <prefix>.<region>.<seq>.trace.json
 ///   CIP_TRACE_EVENTS=<n>      per-lane ring capacity (default 32768)
+///   CIP_REPORT=<path-prefix>  write <prefix>.<region>.<seq>.report.json
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,10 +39,13 @@
 
 #include "support/Timer.h"
 #include "telemetry/Counters.h"
+#include "telemetry/Histogram.h"
+#include "telemetry/RunReport.h"
 #include "telemetry/TraceRing.h"
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,14 +59,17 @@ bool compiledIn();
 
 /// Per-region telemetry context. See file comment. Thread-safety: lanes are
 /// owned by single threads (counter rows are relaxed atomics, rings are
-/// single-writer); construction, finish(), and totals() belong to the
-/// controlling thread after workers have joined.
+/// single-writer, histogram shards are per-lane); the heatmap and abort log
+/// accept concurrent records; construction, finish(), and the aggregate
+/// accessors belong to the controlling thread after workers have joined.
 class RegionTelemetry {
 public:
   /// \p NumLanes runtime threads will probe this region. Tracing activates
-  /// when \p ForceTracePrefix is non-null (tests) or CIP_TRACE is set.
+  /// when \p ForceTracePrefix is non-null (tests) or CIP_TRACE is set;
+  /// reporting when \p ForceReportPrefix is non-null or CIP_REPORT is set.
   RegionTelemetry(const char *RegionName, unsigned NumLanes,
-                  const char *ForceTracePrefix = nullptr);
+                  const char *ForceTracePrefix = nullptr,
+                  const char *ForceReportPrefix = nullptr);
   ~RegionTelemetry();
 
   RegionTelemetry(const RegionTelemetry &) = delete;
@@ -70,14 +81,35 @@ public:
 
   /// Names lane \p Lane for the trace viewer ("scheduler", "worker 3", ...).
   void nameLane(unsigned Lane, const std::string &LaneName);
+  const std::string &laneName(unsigned Lane) const {
+    assert(Lane < LaneNames.size() && "lane out of range");
+    return LaneNames[Lane];
+  }
 
   /// Adds \p Delta to lane \p Lane's \p C counter (relaxed, padded row).
   void add(unsigned Lane, Counter C, std::uint64_t Delta = 1) {
     Counters.add(Lane, C, Delta);
   }
 
+  /// Records one \p Ns observation into lane \p Lane's \p H histogram.
+  void recordHist(unsigned Lane, Hist H, std::uint64_t Ns) {
+    Hists.record(Lane, H, Ns);
+  }
+
+  /// Records one DOMORE sync condition: \p Tid waits on \p DepTid over
+  /// abstract address \p Addr. Feeds the conflict heatmap.
+  void recordConflict(std::uint32_t DepTid, std::uint32_t Tid,
+                      std::uint64_t Addr) {
+    Heat.record(DepTid, Tid, Addr);
+  }
+
+  /// Files one SPECCROSS misspeculation's forensics (thread-safe).
+  void recordAbort(const AbortRecord &A);
+
   /// True when this run records trace events (CIP_TRACE set or forced).
   bool tracing() const { return !Rings.empty(); }
+  /// True when finish() will write a run report (CIP_REPORT set or forced).
+  bool reporting() const { return !ReportPrefix.empty(); }
 
   void begin(unsigned Lane, EventKind K, std::uint64_t A0 = 0,
              std::uint64_t A1 = 0) {
@@ -105,12 +137,31 @@ public:
     return Counters.laneTotals(Lane);
   }
 
+  /// All lanes of \p H merged / one lane's contribution.
+  HistogramData histTotals(Hist H) const { return Hists.data(H); }
+  HistogramData laneHistTotals(unsigned Lane, Hist H) const {
+    return Hists.laneData(Lane, H);
+  }
+
+  /// The conflict heatmap (aggregate accessors for reports and stats).
+  const ConflictHeatmap &heatmap() const { return Heat; }
+  std::vector<HeatmapPair> heatmapPairs() const { return Heat.pairs(); }
+
+  /// Forensics for every misspeculation recorded so far (thread-safe copy).
+  std::vector<AbortRecord> aborts() const;
+
   /// Snapshots every lane's ring (call after region threads have joined).
   std::vector<LaneSnapshot> snapshotLanes() const;
 
-  /// Exports the Chrome trace if tracing; idempotent. Returns the path
-  /// written, or an empty string when tracing is off or the write failed.
+  /// Exports the Chrome trace (CIP_TRACE) and/or the run report
+  /// (CIP_REPORT); idempotent. Returns the trace path written, or an empty
+  /// string when tracing is off or the write failed; the report path is
+  /// available via \c reportPath().
   std::string finish();
+
+  /// Path of the run report finish() wrote ("" before finish() or when
+  /// reporting is off / the write failed).
+  const std::string &reportPath() const { return ReportPathWritten; }
 
 private:
   void emit(unsigned Lane, EventKind K, EventPhase P, std::uint64_t A0,
@@ -119,14 +170,22 @@ private:
   std::string Name;
   std::uint64_t OriginNs;
   CounterTable Counters;
+  LatencyHistogram Hists;
+  ConflictHeatmap Heat;
   std::vector<std::string> LaneNames;
   std::vector<std::unique_ptr<TraceRing>> Rings; // empty => tracing off
   std::string TracePrefix;
+  std::string ReportPrefix; // empty => reporting off
+  std::string ReportPathWritten;
+  mutable std::mutex AbortsMu;
+  std::vector<AbortRecord> AbortLog;
   bool Finished = false;
 };
 
 /// RAII probe around a (potential) wait or work interval: emits Begin/End
-/// trace events and accumulates the elapsed nanoseconds into \p C.
+/// trace events and accumulates the elapsed nanoseconds into \p C — and,
+/// with the \c Hist overload, records the interval into that latency
+/// histogram as well.
 class TimedScope {
 public:
   TimedScope(RegionTelemetry &R, unsigned Lane, Counter C, EventKind K,
@@ -134,9 +193,17 @@ public:
       : R(R), Lane(Lane), C(C), K(K), T0(nowNanos()) {
     R.begin(Lane, K, A0, A1);
   }
+  TimedScope(RegionTelemetry &R, unsigned Lane, Counter C, Hist H,
+             EventKind K, std::uint64_t A0 = 0, std::uint64_t A1 = 0)
+      : R(R), Lane(Lane), C(C), K(K), H(H), HasHist(true), T0(nowNanos()) {
+    R.begin(Lane, K, A0, A1);
+  }
   ~TimedScope() {
     R.end(Lane, K);
-    R.add(Lane, C, nowNanos() - T0);
+    const std::uint64_t El = nowNanos() - T0;
+    R.add(Lane, C, El);
+    if (HasHist)
+      R.recordHist(Lane, H, El);
   }
 
   TimedScope(const TimedScope &) = delete;
@@ -147,6 +214,27 @@ private:
   unsigned Lane;
   Counter C;
   EventKind K;
+  Hist H = Hist::WorkerWaitNs;
+  bool HasHist = false;
+  std::uint64_t T0;
+};
+
+/// RAII probe that records only a latency-histogram observation (no counter,
+/// no trace events) — for intervals like epoch durations whose counter is a
+/// count, not a nanosecond sum.
+class HistScope {
+public:
+  HistScope(RegionTelemetry &R, unsigned Lane, Hist H)
+      : R(R), Lane(Lane), H(H), T0(nowNanos()) {}
+  ~HistScope() { R.recordHist(Lane, H, nowNanos() - T0); }
+
+  HistScope(const HistScope &) = delete;
+  HistScope &operator=(const HistScope &) = delete;
+
+private:
+  RegionTelemetry &R;
+  unsigned Lane;
+  Hist H;
   std::uint64_t T0;
 };
 
@@ -156,7 +244,8 @@ private:
 /// optimizer deletes, so instrumented objects carry no telemetry code.
 class RegionTelemetry {
 public:
-  RegionTelemetry(const char *, unsigned, const char * = nullptr) {}
+  RegionTelemetry(const char *, unsigned, const char * = nullptr,
+                  const char * = nullptr) {}
 
   RegionTelemetry(const RegionTelemetry &) = delete;
   RegionTelemetry &operator=(const RegionTelemetry &) = delete;
@@ -164,8 +253,13 @@ public:
   unsigned numLanes() const { return 0; }
   std::uint64_t originNanos() const { return 0; }
   void nameLane(unsigned, const std::string &) {}
+  std::string laneName(unsigned) const { return {}; }
   void add(unsigned, Counter, std::uint64_t = 1) {}
+  void recordHist(unsigned, Hist, std::uint64_t) {}
+  void recordConflict(std::uint32_t, std::uint32_t, std::uint64_t) {}
+  void recordAbort(const AbortRecord &) {}
   bool tracing() const { return false; }
+  bool reporting() const { return false; }
   void begin(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
   void end(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
   void instant(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
@@ -173,17 +267,32 @@ public:
   void flowEnd(unsigned, std::uint64_t) {}
   CounterTotals totals() const { return {}; }
   CounterTotals laneTotals(unsigned) const { return {}; }
+  HistogramData histTotals(Hist) const { return {}; }
+  HistogramData laneHistTotals(unsigned, Hist) const { return {}; }
+  std::vector<HeatmapPair> heatmapPairs() const { return {}; }
+  std::vector<AbortRecord> aborts() const { return {}; }
   std::vector<LaneSnapshot> snapshotLanes() const { return {}; }
   std::string finish() { return {}; }
+  std::string reportPath() const { return {}; }
 };
 
 class TimedScope {
 public:
   TimedScope(RegionTelemetry &, unsigned, Counter, EventKind,
              std::uint64_t = 0, std::uint64_t = 0) {}
+  TimedScope(RegionTelemetry &, unsigned, Counter, Hist, EventKind,
+             std::uint64_t = 0, std::uint64_t = 0) {}
 
   TimedScope(const TimedScope &) = delete;
   TimedScope &operator=(const TimedScope &) = delete;
+};
+
+class HistScope {
+public:
+  HistScope(RegionTelemetry &, unsigned, Hist) {}
+
+  HistScope(const HistScope &) = delete;
+  HistScope &operator=(const HistScope &) = delete;
 };
 
 #endif // CIP_TELEMETRY

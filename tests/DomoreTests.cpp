@@ -227,6 +227,62 @@ TEST(DomoreRuntime, DuplicatedSchedulerVariantOrdersConflicts) {
   }
 }
 
+#if CIP_TELEMETRY
+
+TEST(DomoreRuntime, HeatmapPairsReconcileWithSyncConditions) {
+  // Conflict attribution must not invent or lose conflicts: the heatmap's
+  // (depTid -> tid) totals are the same events as the sync_conditions
+  // counter, bucketed by worker pair.
+  for (std::uint64_t Seed : {21u, 22u, 23u}) {
+    ConflictHarness H(120, 6, 12, Seed);
+    DomoreConfig C;
+    C.NumWorkers = 4;
+    const DomoreStats S = runDomore(H.nest(), C);
+    EXPECT_GT(S.SyncConditions, 0u) << "seed " << Seed;
+    std::uint64_t PairSum = 0;
+    for (const telemetry::HeatmapPair &P : S.ConflictPairs) {
+      // The scheduler never syncs a worker on itself.
+      EXPECT_NE(P.DepTid, P.Tid) << "seed " << Seed;
+      EXPECT_LT(P.Tid, C.NumWorkers) << "seed " << Seed;
+      EXPECT_GT(P.Count, 0u) << "seed " << Seed;
+      PairSum += P.Count;
+    }
+    EXPECT_EQ(PairSum, S.SyncConditions) << "seed " << Seed;
+  }
+}
+
+TEST(DomoreRuntime, DuplicatedVariantHeatmapAlsoReconciles) {
+  // The duplicated-scheduler variant computes the schedule W times but must
+  // still attribute each conflict exactly once (owner-only recording).
+  ConflictHarness H(100, 6, 12, 31);
+  DomoreConfig C;
+  C.NumWorkers = 4;
+  const DomoreStats S = runDomoreDuplicated(H.nest(), C);
+  EXPECT_GT(S.SyncConditions, 0u);
+  std::uint64_t PairSum = 0;
+  for (const telemetry::HeatmapPair &P : S.ConflictPairs) {
+    EXPECT_NE(P.DepTid, P.Tid);
+    PairSum += P.Count;
+  }
+  EXPECT_EQ(PairSum, S.SyncConditions);
+}
+
+TEST(DomoreRuntime, WorkerWaitHistogramAgreesWithCounter) {
+  ConflictHarness H(120, 6, 12, 41);
+  DomoreConfig C;
+  C.NumWorkers = 4;
+  const DomoreStats S = runDomore(H.nest(), C);
+  // Every histogram entry is one genuine wait on `latestFinished`: waits
+  // already satisfied at message arrival record nothing, so the entry count
+  // never exceeds the sync conditions, and the distribution's total time is
+  // exactly the flat worker_wait_ns counter (same probe, same clock reads).
+  EXPECT_LE(S.WorkerWait.count(), S.SyncConditions);
+  EXPECT_EQ(S.WorkerWait.SumNs,
+            S.Telemetry.get(telemetry::Counter::WorkerWaitNs));
+}
+
+#endif // CIP_TELEMETRY
+
 TEST(DomoreRuntime, SchedulerWaitsForPrologueDependences) {
   // The "prologue" reads element 0; iterations also touch element 0. The
   // scheduler must wait for in-flight iterations before each invocation.

@@ -279,6 +279,101 @@ TEST(SpecCrossRuntime, SingleWorkerNeverMisspeculates) {
   EXPECT_EQ(S.Misspeculations, 0u);
 }
 
+#if CIP_TELEMETRY
+
+TEST(SpecCrossRuntime, InjectedAbortForensicsNameTheFaultedTask) {
+  // One worker makes the abort fully deterministic: tasks stream to the
+  // checker in order, so the first request at or past the injected epoch is
+  // exactly (epoch 7, tid 0, task 0) — and the forensics must say so.
+  const auto Expected = sequentialResult(ChainRegion(10, 4, false));
+  ChainRegion C(10, 4, false);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.CheckpointIntervalEpochs = 5; // rounds [0,5) and [5,10)
+  Cfg.InjectMisspecAtEpoch = 7;
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(C.state(), Expected);
+  ASSERT_EQ(S.Misspeculations, 1u);
+  ASSERT_EQ(S.Aborts.size(), 1u);
+
+  const telemetry::AbortRecord &A = S.Aborts[0];
+  EXPECT_EQ(A.Cause, telemetry::AbortCause::Injected);
+  EXPECT_STREQ(telemetry::abortCauseName(A.Cause), "injected");
+  EXPECT_EQ(A.LaterEpoch, 7u);
+  EXPECT_EQ(A.LaterTid, 0u);
+  EXPECT_EQ(A.LaterTask, 0u);
+  EXPECT_STREQ(A.Scheme, "range");
+  EXPECT_EQ(A.RoundFirstEpoch, 5u);
+  EXPECT_EQ(A.RoundEndEpoch, 10u);
+  // The rollback discarded at least the faulted task itself.
+  EXPECT_GE(A.TasksUnwound, 1u);
+  EXPECT_GT(A.NsSinceCheckpoint, 0u);
+}
+
+namespace {
+
+/// Every task of every epoch read-modify-writes one shared slot: with
+/// TM-style (same-epoch) validation, any two concurrent tasks of different
+/// workers overlap, so the very first checked request misspeculates.
+struct AlwaysConflictRegion {
+  explicit AlwaysConflictRegion(std::uint32_t Epochs, std::uint32_t Tasks)
+      : Epochs(Epochs), Tasks(Tasks), Shared(1, 0) {}
+
+  SpecRegion region(CheckpointRegistry &Reg) {
+    Reg.registerBuffer(Shared);
+    SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [this](std::uint32_t, std::size_t) { Shared[0] += 1; };
+    R.TaskAddresses = [](std::uint32_t, std::size_t,
+                         std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(0);
+    };
+    R.Checkpoints = &Reg;
+    return R;
+  }
+
+  std::uint32_t Epochs, Tasks;
+  std::vector<std::uint32_t> Shared;
+};
+
+} // namespace
+
+TEST(SpecCrossRuntime, OverlapAbortForensicsCarryAConfirmedConflict) {
+  AlwaysConflictRegion C(12, 4);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.CheckpointIntervalEpochs = 6;
+  Cfg.TmStyleValidation = true; // same-epoch pairs conflict too
+  const SpecStats S = runSpecCross(R, Cfg);
+  // Every speculative attempt hits a real conflict; recovery re-executes
+  // the round non-speculatively, so the result still matches sequential.
+  EXPECT_EQ(C.Shared[0], 12u * 4u);
+  ASSERT_GE(S.Misspeculations, 1u);
+  ASSERT_EQ(S.Aborts.size(), S.Misspeculations);
+
+  for (const telemetry::AbortRecord &A : S.Aborts) {
+    EXPECT_EQ(A.Cause, telemetry::AbortCause::SignatureOverlap);
+    EXPECT_STREQ(A.Scheme, "range");
+    // Both tasks genuinely touch address 0, and range signatures never
+    // false-positive, so the exact recheck must confirm every abort.
+    EXPECT_TRUE(A.ExactConfirmed);
+    EXPECT_NE(A.EarlierTid, A.LaterTid);
+    EXPECT_LE(A.EarlierEpoch, A.LaterEpoch);
+    EXPECT_LE(A.RoundFirstEpoch, A.EarlierEpoch);
+    EXPECT_LT(A.LaterEpoch, A.RoundEndEpoch);
+    EXPECT_GE(A.TasksUnwound, 1u);
+  }
+}
+
+#endif // CIP_TELEMETRY
+
 //===----------------------------------------------------------------------===//
 // Profiler
 //===----------------------------------------------------------------------===//

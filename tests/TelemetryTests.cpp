@@ -77,6 +77,115 @@ TEST(Json, EscapeCoversControlAndQuote) {
   EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
 }
 
+namespace {
+
+std::string parsedString(const std::string &Doc) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Doc, V, &Err)) << Doc << ": " << Err;
+  return V.String;
+}
+
+} // namespace
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  EXPECT_EQ(parsedString("\"\\u0041\""), "A");
+  EXPECT_EQ(parsedString("\"\\u00e9\""), "\xc3\xa9");      // é, 2-byte
+  EXPECT_EQ(parsedString("\"\\u20AC\""), "\xe2\x82\xac");  // €, 3-byte
+  // Surrogate pair: U+1F600 (😀), 4-byte UTF-8.
+  EXPECT_EQ(parsedString("\"\\uD83D\\uDE00\""), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parsedString("\"a\\u0042c\""), "aBc");
+  // An escaped escape must not start a \u sequence.
+  EXPECT_EQ(parsedString("\"\\\\u0041\""), "\\u0041");
+}
+
+TEST(Json, UnicodeEscapeRejectsInvalid) {
+  json::Value V;
+  EXPECT_FALSE(json::parse("\"\\u12g4\"", V));  // non-hex digit
+  EXPECT_FALSE(json::parse("\"\\u+123\"", V));  // strtoul-style sign
+  EXPECT_FALSE(json::parse("\"\\u 123\"", V));  // strtoul-style space
+  EXPECT_FALSE(json::parse("\"\\u12\"", V));    // truncated
+  EXPECT_FALSE(json::parse("\"\\uDC00\"", V));  // lone low surrogate
+  EXPECT_FALSE(json::parse("\"\\uD800\"", V));  // unpaired high surrogate
+  EXPECT_FALSE(json::parse("\"\\uD800\\u0041\"", V)); // high + non-low
+  EXPECT_FALSE(json::parse("\"\\uD800\\uD800\"", V)); // high + high
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histograms (always compiled)
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(histBucketOf(0), 0u);
+  EXPECT_EQ(histBucketOf(1), 1u);
+  EXPECT_EQ(histBucketOf(2), 2u);
+  EXPECT_EQ(histBucketOf(3), 2u);
+  EXPECT_EQ(histBucketOf(4), 3u);
+  // Every bucket k >= 1 holds exactly [2^(k-1), 2^k - 1].
+  for (unsigned K = 1; K < HistogramBuckets - 1; ++K) {
+    const std::uint64_t Lo = std::uint64_t{1} << (K - 1);
+    const std::uint64_t Hi = (std::uint64_t{1} << K) - 1;
+    EXPECT_EQ(histBucketOf(Lo), K);
+    EXPECT_EQ(histBucketOf(Hi), K);
+    EXPECT_EQ(histBucketLoNs(K), Lo);
+    EXPECT_EQ(histBucketHiNs(K), Hi);
+    EXPECT_EQ(histBucketOf(Hi + 1), K + 1);
+  }
+  // Huge durations saturate into the open-ended last bucket.
+  EXPECT_EQ(histBucketOf(~std::uint64_t{0}), HistogramBuckets - 1);
+  EXPECT_EQ(histBucketHiNs(HistogramBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(Histogram, MergeAndQuantiles) {
+  LatencyHistogram H(2);
+  // Lane 0: 90 fast waits; lane 1: 10 slow ones.
+  for (unsigned I = 0; I < 90; ++I)
+    H.record(0, Hist::WorkerWaitNs, 100);
+  for (unsigned I = 0; I < 10; ++I)
+    H.record(1, Hist::WorkerWaitNs, 1000000);
+  EXPECT_EQ(H.laneData(0, Hist::WorkerWaitNs).count(), 90u);
+  EXPECT_EQ(H.laneData(1, Hist::WorkerWaitNs).count(), 10u);
+  EXPECT_TRUE(H.data(Hist::SchedStallNs).empty());
+
+  const HistogramData D = H.data(Hist::WorkerWaitNs);
+  EXPECT_EQ(D.count(), 100u);
+  EXPECT_EQ(D.SumNs, 90u * 100 + 10u * 1000000);
+  EXPECT_EQ(D.MaxNs, 1000000u);
+  // p50 lands in the fast bucket (conservative upper edge), p99 in the
+  // slow one, and every quantile is capped at the observed max.
+  EXPECT_LT(D.quantileNs(0.50), 1000u);
+  EXPECT_GE(D.quantileNs(0.50), 100u);
+  EXPECT_EQ(D.quantileNs(0.99), 1000000u);
+  EXPECT_EQ(D.quantileNs(1.0), 1000000u);
+
+  // operator+= matches the merged view.
+  HistogramData M = H.laneData(0, Hist::WorkerWaitNs);
+  M += H.laneData(1, Hist::WorkerWaitNs);
+  EXPECT_EQ(M.count(), D.count());
+  EXPECT_EQ(M.SumNs, D.SumNs);
+  EXPECT_EQ(M.MaxNs, D.MaxNs);
+
+  EXPECT_EQ(HistogramData().quantileNs(0.5), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordMergesExactly) {
+  constexpr unsigned Lanes = 4;
+  constexpr unsigned PerLane = 20000;
+  LatencyHistogram H(Lanes);
+  runThreads(Lanes, [&H](unsigned Lane) {
+    for (unsigned I = 0; I < PerLane; ++I)
+      H.record(Lane, Hist::EpochNs, (Lane + 1) * 1000 + I % 7);
+  });
+  const HistogramData D = H.data(Hist::EpochNs);
+  EXPECT_EQ(D.count(), std::uint64_t{Lanes} * PerLane);
+  std::uint64_t Sum = 0;
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane)
+    for (unsigned I = 0; I < PerLane; ++I)
+      Sum += (Lane + 1) * 1000 + I % 7;
+  EXPECT_EQ(D.SumNs, Sum);
+  EXPECT_EQ(D.MaxNs, Lanes * 1000 + 6u);
+}
+
 //===----------------------------------------------------------------------===//
 // Counter vocabulary (always compiled)
 //===----------------------------------------------------------------------===//
@@ -289,6 +398,121 @@ TEST(ChromeTrace, ReportsDroppedEvents) {
 }
 
 //===----------------------------------------------------------------------===//
+// Conflict heatmap and run reports
+//===----------------------------------------------------------------------===//
+
+TEST(ConflictHeatmap, CountsPairsAndAddressBuckets) {
+  ConflictHeatmap Heat(3);
+  Heat.record(0, 1, 0x40);
+  Heat.record(0, 1, 0x40);
+  Heat.record(2, 1, 0x41);
+  EXPECT_EQ(Heat.total(), 3u);
+
+  const std::vector<HeatmapPair> Pairs = Heat.pairs();
+  ASSERT_EQ(Pairs.size(), 2u);
+  EXPECT_EQ(Pairs[0].DepTid, 0u); // hottest first
+  EXPECT_EQ(Pairs[0].Tid, 1u);
+  EXPECT_EQ(Pairs[0].Count, 2u);
+  EXPECT_EQ(Pairs[1].DepTid, 2u);
+  EXPECT_EQ(Pairs[1].Count, 1u);
+
+  const auto Buckets = Heat.hottestAddrBuckets(8);
+  ASSERT_EQ(Buckets.size(), 2u);
+  EXPECT_EQ(Buckets[0].Count, 2u);
+  EXPECT_EQ(Buckets[0].ExampleAddr, 0x40u);
+  EXPECT_EQ(Buckets[1].ExampleAddr, 0x41u);
+  EXPECT_EQ(Heat.hottestAddrBuckets(1).size(), 1u);
+}
+
+TEST(RunReport, RendersAndParsesFullSchema) {
+  RegionTelemetry Tel("unit", 2);
+  Tel.add(0, Counter::TasksExecuted, 5);
+  Tel.recordHist(0, Hist::WorkerWaitNs, 100);
+  Tel.recordHist(1, Hist::WorkerWaitNs, 5000);
+  Tel.recordConflict(0, 1, 0x99);
+  Tel.recordConflict(0, 1, 0x99);
+  AbortRecord A;
+  A.Cause = AbortCause::SignatureOverlap;
+  A.EarlierEpoch = 3;
+  A.LaterEpoch = 5;
+  A.LaterTid = 1;
+  A.ExactConfirmed = true;
+  A.Scheme = "range";
+  A.TasksUnwound = 17;
+  Tel.recordAbort(A);
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(renderRunReport(Tel, 42), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  EXPECT_DOUBLE_EQ(V.find("schema_version")->Number, 1.0);
+  EXPECT_EQ(V.find("region")->String, "unit");
+  EXPECT_DOUBLE_EQ(V.find("seq")->Number, 42.0);
+  EXPECT_DOUBLE_EQ(V.find("lanes")->Number, 2.0);
+  EXPECT_EQ(V.find("lane_names")->Array.size(), 2u);
+
+  const json::Value *Counters = V.find("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  EXPECT_DOUBLE_EQ(Counters->find("tasks_executed")->Number, 5.0);
+
+  // Every histogram kind is present; the recorded one has monotonically
+  // increasing bucket edges whose counts sum to the total.
+  const json::Value *Hists = V.find("histograms");
+  ASSERT_TRUE(Hists && Hists->isObject());
+  for (unsigned I = 0; I < NumHistograms; ++I)
+    EXPECT_NE(Hists->find(histName(static_cast<Hist>(I))), nullptr);
+  const json::Value *Wait = Hists->find("worker_wait_ns");
+  ASSERT_NE(Wait, nullptr);
+  EXPECT_DOUBLE_EQ(Wait->find("count")->Number, 2.0);
+  EXPECT_DOUBLE_EQ(Wait->find("sum_ns")->Number, 5100.0);
+  EXPECT_DOUBLE_EQ(Wait->find("max_ns")->Number, 5000.0);
+  double PrevEdge = -1.0, BucketSum = 0.0;
+  for (const json::Value &B : Wait->find("buckets")->Array) {
+    EXPECT_GT(B.find("le_ns")->Number, PrevEdge);
+    PrevEdge = B.find("le_ns")->Number;
+    BucketSum += B.find("count")->Number;
+  }
+  EXPECT_DOUBLE_EQ(BucketSum, 2.0);
+
+  const json::Value *Heat = V.find("heatmap");
+  ASSERT_TRUE(Heat && Heat->isObject());
+  EXPECT_DOUBLE_EQ(Heat->find("total_conflicts")->Number, 2.0);
+  ASSERT_EQ(Heat->find("pairs")->Array.size(), 1u);
+  EXPECT_DOUBLE_EQ(Heat->find("pairs")->Array[0].find("count")->Number, 2.0);
+  EXPECT_EQ(Heat->find("top_addr_buckets")->Array.size(), 1u);
+
+  ASSERT_EQ(V.find("aborts")->Array.size(), 1u);
+  const json::Value &Abort = V.find("aborts")->Array[0];
+  EXPECT_EQ(Abort.find("cause")->String, "signature_overlap");
+  EXPECT_DOUBLE_EQ(Abort.find("earlier_epoch")->Number, 3.0);
+  EXPECT_DOUBLE_EQ(Abort.find("later_epoch")->Number, 5.0);
+  EXPECT_TRUE(Abort.find("exact_confirmed")->Bool);
+  EXPECT_EQ(Abort.find("scheme")->String, "range");
+  EXPECT_DOUBLE_EQ(Abort.find("tasks_unwound")->Number, 17.0);
+}
+
+TEST(RunReport, FinishWritesReportFile) {
+  const std::string Prefix = ::testing::TempDir() + "cip_tel_report";
+  std::string Path;
+  {
+    RegionTelemetry Tel("reportunit", 1, /*ForceTracePrefix=*/nullptr,
+                        Prefix.c_str());
+    EXPECT_TRUE(Tel.reporting());
+    Tel.add(0, Counter::EpochsEntered, 3);
+    Tel.finish();
+    Path = Tel.reportPath();
+  }
+  ASSERT_FALSE(Path.empty());
+  EXPECT_NE(Path.find("reportunit"), std::string::npos);
+  EXPECT_NE(Path.find(".report.json"), std::string::npos);
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(slurp(Path), V, &Err)) << Err;
+  EXPECT_EQ(V.find("region")->String, "reportunit");
+  EXPECT_DOUBLE_EQ(V.find("counters")->find("epochs_entered")->Number, 3.0);
+}
+
+//===----------------------------------------------------------------------===//
 // Counter aggregation agrees with the legacy engine statistics
 //===----------------------------------------------------------------------===//
 
@@ -420,9 +644,17 @@ TEST(TelemetryDisabled, ProbesCompileToNothing) {
   Tel.add(0, Counter::TasksExecuted, 100);
   Tel.begin(0, EventKind::Task);
   Tel.end(0, EventKind::Task);
+  Tel.recordHist(0, Hist::WorkerWaitNs, 100);
+  Tel.recordConflict(0, 1, 0x40);
+  Tel.recordAbort(AbortRecord{});
   EXPECT_FALSE(Tel.tracing());
+  EXPECT_FALSE(Tel.reporting());
   EXPECT_TRUE(Tel.totals().allZero());
+  EXPECT_TRUE(Tel.histTotals(Hist::WorkerWaitNs).empty());
+  EXPECT_TRUE(Tel.heatmapPairs().empty());
+  EXPECT_TRUE(Tel.aborts().empty());
   EXPECT_TRUE(Tel.finish().empty());
+  EXPECT_TRUE(Tel.reportPath().empty());
 }
 
 TEST(TelemetryDisabled, EngineStatsCarryZeroCounters) {

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Render CIP_REPORT run-report JSON files human-readable.
+
+Usage: cip_report.py <report.json> [more.json ...]
+
+Each input is one <prefix>.<region>.<seq>.report.json file written by a
+RegionTelemetry::finish() when the CIP_REPORT environment knob is set
+(schema documented in DESIGN.md, section 8). For every report this prints:
+
+  * the region's nonzero telemetry counters,
+  * an ASCII bar chart per nonempty latency histogram,
+  * the DOMORE conflict heatmap as a (dep tid -> tid) matrix plus the
+    hottest conflicting address buckets,
+  * one block per SPECCROSS abort with the full forensics record.
+
+Purely presentational: validation lives in validate_bench_json.py --report.
+"""
+
+import json
+import sys
+
+BAR_WIDTH = 40
+
+HIST_ORDER = [
+    "sched_stall_ns",
+    "worker_wait_ns",
+    "queue_full_ns",
+    "epoch_ns",
+    "check_ns",
+    "barrier_wait_ns",
+]
+
+
+def format_ns(ns):
+    """Render a nanosecond quantity with a readable unit."""
+    ns = float(ns)
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def print_counters(counters):
+    nonzero = {k: v for k, v in counters.items() if v}
+    if not nonzero:
+        print("  counters: all zero")
+        return
+    print("  counters:")
+    width = max(len(k) for k in nonzero)
+    for key in sorted(nonzero):
+        value = nonzero[key]
+        if key.endswith("_ns"):
+            print(f"    {key:<{width}}  {value:>14}  ({format_ns(value)})")
+        else:
+            print(f"    {key:<{width}}  {value:>14}")
+
+
+def print_histogram(name, hist):
+    count = hist["count"]
+    if not count:
+        return
+    mean = hist["sum_ns"] / count
+    print(f"  {name}: n={count} mean={format_ns(mean)} "
+          f"p50={format_ns(hist['p50_ns'])} p90={format_ns(hist['p90_ns'])} "
+          f"p99={format_ns(hist['p99_ns'])} max={format_ns(hist['max_ns'])}")
+    buckets = hist["buckets"]
+    peak = max(b["count"] for b in buckets)
+    for bucket in buckets:
+        bar = "#" * max(1, round(BAR_WIDTH * bucket["count"] / peak))
+        print(f"    <= {format_ns(bucket['le_ns']):>9}  "
+              f"{bucket['count']:>10}  {bar}")
+
+
+def print_heatmap(heatmap, lanes):
+    total = heatmap["total_conflicts"]
+    if not total:
+        print("  heatmap: no conflicts recorded")
+        return
+    print(f"  heatmap: {total} sync conditions")
+    counts = {(p["dep_tid"], p["tid"]): p["count"] for p in heatmap["pairs"]}
+    tids = sorted({t for pair in counts for t in pair})
+    width = max(len(str(c)) for c in counts.values())
+    corner = "dep\\tid"
+    width = max(width, max(len(str(t)) for t in tids), len(corner))
+    header = "  ".join(f"{t:>{width}}" for t in tids)
+    print(f"    {corner:>{width}}  {header}")
+    for dep in tids:
+        row = "  ".join(
+            f"{counts.get((dep, t), 0) or '.':>{width}}" for t in tids)
+        print(f"    {dep:>{width}}  {row}")
+    if heatmap["top_addr_buckets"]:
+        print("    hottest address buckets:")
+        for bucket in heatmap["top_addr_buckets"]:
+            print(f"      bucket {bucket['bucket']:>3}: "
+                  f"{bucket['count']} conflicts "
+                  f"(e.g. addr {bucket['example_addr']:#x})")
+
+
+def print_abort(index, abort):
+    confirmed = ("confirmed by exact range recheck" if abort["exact_confirmed"]
+                 else "NOT confirmed (signature false positive)")
+    print(f"  abort #{index}: cause={abort['cause']} "
+          f"scheme={abort['scheme']}")
+    print(f"    earlier: epoch {abort['earlier_epoch']} "
+          f"tid {abort['earlier_tid']} task {abort['earlier_task']}")
+    print(f"    later:   epoch {abort['later_epoch']} "
+          f"tid {abort['later_tid']} task {abort['later_task']}")
+    if abort["cause"] == "signature_overlap":
+        print(f"    overlap at signature bucket {abort['signature_bucket']}, "
+              f"{confirmed}")
+    print(f"    wasted work: {abort['tasks_unwound']} tasks unwound, "
+          f"{format_ns(abort['ns_since_checkpoint'])} since checkpoint")
+    print(f"    re-executed epochs [{abort['round_first_epoch']}, "
+          f"{abort['round_end_epoch']})")
+
+
+def render(path):
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    print(f"== {path}")
+    print(f"  region '{report['region']}' seq {report['seq']}, "
+          f"{report['lanes']} lanes")
+    print_counters(report["counters"])
+    for name in HIST_ORDER:
+        print_histogram(name, report["histograms"][name])
+    print_heatmap(report["heatmap"], report["lane_names"])
+    aborts = report["aborts"]
+    if aborts:
+        for index, abort in enumerate(aborts):
+            print_abort(index, abort)
+    else:
+        print("  aborts: none")
+
+
+def main():
+    paths = sys.argv[1:]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for index, path in enumerate(paths):
+        if index:
+            print()
+        render(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a CIP_BENCH_JSON run against a committed baseline.
+
+Usage: compare_bench.py <baseline.json> <current.json>
+           [--threshold 1.4] [--fail]
+
+Both inputs are JSON Lines as emitted via CIP_BENCH_JSON. Rows are matched
+by (workload, scheme, threads, scale); when either side has several rows
+for a key (reruns), the fastest is used, mirroring the bench binaries'
+min-of-reps reporting. A row slows down when
+
+    current.seconds > threshold * baseline.seconds
+
+with a default threshold of 1.4: bench timings on shared CI machines are
+noisy, so this gate is meant to catch step-function regressions (a lost
+fast path, an accidental O(n^2)), not single-digit-percent drift — the
+committed baseline exists to make the *trajectory* visible, not to freeze
+it. Missing and new keys are reported but never fatal.
+
+Exits 0 regardless of slowdowns unless --fail is given (CI runs it as a
+non-fatal report step; --fail is for local bisection).
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    """Fastest seconds and speedup per (workload, scheme, threads, scale)."""
+    rows = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"error: {path}:{line_no}: invalid JSON: {err}",
+                      file=sys.stderr)
+                sys.exit(2)
+            try:
+                key = (row["workload"], row["scheme"], row["threads"],
+                       row["scale"])
+                seconds = float(row["seconds"])
+                speedup = float(row.get("speedup", 0.0))
+            except (KeyError, TypeError, ValueError) as err:
+                print(f"error: {path}:{line_no}: malformed row: {err}",
+                      file=sys.stderr)
+                sys.exit(2)
+            if key not in rows or seconds < rows[key][0]:
+                rows[key] = (seconds, speedup)
+    if not rows:
+        print(f"error: {path}: no rows", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def key_name(key):
+    workload, scheme, threads, scale = key
+    return f"{workload}/{scheme} t={threads} ({scale})"
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    fail_on_slowdown = "--fail" in sys.argv[1:]
+    threshold = 1.4
+    argv = sys.argv[1:]
+    if "--threshold" in argv:
+        at = argv.index("--threshold")
+        if at + 1 >= len(argv):
+            print("error: --threshold needs a value", file=sys.stderr)
+            return 2
+        threshold = float(argv[at + 1])
+        args = [a for a in args if a != argv[at + 1]]
+    if len(args) != 2 or threshold <= 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load_rows(args[0])
+    current = load_rows(args[1])
+
+    slowdowns = []
+    improvements = []
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"missing: {key_name(key)} (in baseline, not in current)")
+            continue
+        base_s, _ = baseline[key]
+        cur_s, _ = current[key]
+        if base_s <= 0:
+            continue
+        ratio = cur_s / base_s
+        line = (f"{key_name(key)}: {base_s * 1e3:.3f}ms -> "
+                f"{cur_s * 1e3:.3f}ms ({ratio:.2f}x)")
+        if ratio > threshold:
+            slowdowns.append(line)
+        elif ratio < 1.0 / threshold:
+            improvements.append(line)
+    for key in sorted(current):
+        if key not in baseline:
+            print(f"new: {key_name(key)} (not in baseline)")
+
+    for line in improvements:
+        print(f"faster: {line}")
+    for line in slowdowns:
+        print(f"SLOWDOWN: {line}")
+    matched = sum(1 for k in baseline if k in current)
+    print(f"compared {matched} keys against threshold {threshold:.2f}x: "
+          f"{len(slowdowns)} slowdowns, {len(improvements)} improvements")
+    if slowdowns and fail_on_slowdown:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Validate CIP_BENCH_JSON output against the documented schema.
+"""Validate CIP_BENCH_JSON output and CIP_REPORT run reports.
 
 Usage: validate_bench_json.py <file.json> [--require-nonzero-counters]
+       validate_bench_json.py --report <report.json> [more.json ...]
 
-The bench binaries emit one JSON object per line (JSON Lines); see
-DESIGN.md, section "Telemetry", for the schema. Exits nonzero (with a
-per-line diagnostic) on the first malformed row, on unknown counter keys,
-or — with --require-nonzero-counters — when no row carries a nonzero
-telemetry counter (the sign of a CIP_TELEMETRY=0 build sneaking into a
+Without --report, the input is bench output: one JSON object per line
+(JSON Lines) as emitted via CIP_BENCH_JSON; see DESIGN.md, section
+"Telemetry", for the schema. Exits nonzero (with a per-line diagnostic) on
+the first malformed row, on unknown counter keys, or — with
+--require-nonzero-counters — when no row carries a nonzero telemetry
+counter (the sign of a CIP_TELEMETRY=0 build sneaking into a
 telemetry-enabled CI job).
+
+With --report, each input is one <prefix>.<region>.<seq>.report.json file
+written by RegionTelemetry::finish() under CIP_REPORT (schema in DESIGN.md,
+section 8). Checks the required keys, that every histogram's bucket edges
+strictly increase and bucket counts sum to the histogram count, that the
+heatmap's pair counts sum to total_conflicts, and every abort record's
+forensics fields.
 """
 
 import json
@@ -37,18 +46,173 @@ COUNTER_KEYS = [
     "barrier_wait_ns",
 ]
 
+HIST_KEYS = [
+    "sched_stall_ns",
+    "worker_wait_ns",
+    "queue_full_ns",
+    "epoch_ns",
+    "check_ns",
+    "barrier_wait_ns",
+]
+
+HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
+
+ABORT_CAUSES = {"signature_overlap", "injected", "timeout"}
+
 SCHEMES = {"sequential", "barrier", "domore", "speccross"}
 SCALES = {"test", "train", "ref"}
 
 
-def fail(line_no, msg):
-    print(f"error: line {line_no}: {msg}", file=sys.stderr)
+def fail(where, msg):
+    print(f"error: {where}: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_uint(where, obj, key):
+    if key not in obj:
+        fail(where, f"missing key '{key}'")
+    value = obj[key]
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        fail(where, f"key '{key}' must be a non-negative integer")
+    return value
+
+
+def validate_counters(where, counters):
+    if not isinstance(counters, dict):
+        fail(where, "counters is not an object")
+    for key in counters:
+        if key not in COUNTER_KEYS:
+            fail(where, f"unknown counter '{key}'")
+    for key in COUNTER_KEYS:
+        check_uint(where, counters, key)
+
+
+def validate_hist_summary(where, hist):
+    if not isinstance(hist, dict):
+        fail(where, "histogram is not an object")
+    for key in HIST_SUMMARY_KEYS:
+        check_uint(where, hist, key)
+
+
+def validate_histogram(where, hist):
+    """Full per-report histogram: summary plus the occupied buckets."""
+    validate_hist_summary(where, hist)
+    if "buckets" not in hist or not isinstance(hist["buckets"], list):
+        fail(where, "missing bucket array")
+    previous_edge = -1
+    total = 0
+    for index, bucket in enumerate(hist["buckets"]):
+        bwhere = f"{where} bucket {index}"
+        if not isinstance(bucket, dict):
+            fail(bwhere, "bucket is not an object")
+        edge = check_uint(bwhere, bucket, "le_ns")
+        count = check_uint(bwhere, bucket, "count")
+        if edge <= previous_edge:
+            fail(bwhere, f"bucket edge {edge} does not increase "
+                         f"(previous {previous_edge})")
+        if count == 0:
+            fail(bwhere, "empty bucket emitted")
+        previous_edge = edge
+        total += count
+    if total != hist["count"]:
+        fail(where, f"bucket counts sum to {total}, "
+                    f"histogram count is {hist['count']}")
+    if hist["buckets"] and hist["buckets"][-1]["le_ns"] < hist["max_ns"]:
+        # The last occupied bucket's edge is capped at the observed max.
+        fail(where, f"last bucket edge {hist['buckets'][-1]['le_ns']} "
+                    f"below max_ns {hist['max_ns']}")
+
+
+def validate_heatmap(where, heatmap, lanes):
+    if not isinstance(heatmap, dict):
+        fail(where, "heatmap is not an object")
+    total = check_uint(where, heatmap, "total_conflicts")
+    if "pairs" not in heatmap or not isinstance(heatmap["pairs"], list):
+        fail(where, "missing heatmap pair array")
+    pair_sum = 0
+    for index, pair in enumerate(heatmap["pairs"]):
+        pwhere = f"{where} pair {index}"
+        dep = check_uint(pwhere, pair, "dep_tid")
+        tid = check_uint(pwhere, pair, "tid")
+        count = check_uint(pwhere, pair, "count")
+        if dep >= lanes or tid >= lanes:
+            fail(pwhere, f"tid ({dep} -> {tid}) out of range for "
+                         f"{lanes} lanes")
+        if count == 0:
+            fail(pwhere, "zero-count pair emitted")
+        pair_sum += count
+    if pair_sum != total:
+        fail(where, f"pair counts sum to {pair_sum}, "
+                    f"total_conflicts is {total}")
+    if "top_addr_buckets" not in heatmap or \
+            not isinstance(heatmap["top_addr_buckets"], list):
+        fail(where, "missing top_addr_buckets array")
+    for index, bucket in enumerate(heatmap["top_addr_buckets"]):
+        bwhere = f"{where} addr bucket {index}"
+        check_uint(bwhere, bucket, "bucket")
+        check_uint(bwhere, bucket, "count")
+        check_uint(bwhere, bucket, "example_addr")
+
+
+def validate_abort(where, abort):
+    if not isinstance(abort, dict):
+        fail(where, "abort record is not an object")
+    if abort.get("cause") not in ABORT_CAUSES:
+        fail(where, f"unknown abort cause '{abort.get('cause')}'")
+    for key in ["earlier_epoch", "earlier_tid", "earlier_task",
+                "later_epoch", "later_tid", "later_task",
+                "signature_bucket", "tasks_unwound", "ns_since_checkpoint",
+                "round_first_epoch", "round_end_epoch"]:
+        check_uint(where, abort, key)
+    if not isinstance(abort.get("exact_confirmed"), bool):
+        fail(where, "exact_confirmed must be a boolean")
+    if not isinstance(abort.get("scheme"), str):
+        fail(where, "scheme must be a string")
+    if abort["round_first_epoch"] > abort["round_end_epoch"]:
+        fail(where, "round_first_epoch beyond round_end_epoch")
+
+
+def validate_report(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(path, f"invalid JSON: {err}")
+    if not isinstance(report, dict):
+        fail(path, "report is not a JSON object")
+    if report.get("schema_version") != 1:
+        fail(path, f"unknown schema_version {report.get('schema_version')}")
+    if not isinstance(report.get("region"), str) or not report["region"]:
+        fail(path, "missing region name")
+    check_uint(path, report, "seq")
+    lanes = check_uint(path, report, "lanes")
+    names = report.get("lane_names")
+    if not isinstance(names, list) or len(names) != lanes or \
+            not all(isinstance(n, str) for n in names):
+        fail(path, f"lane_names must be a list of {lanes} strings")
+    validate_counters(path, report.get("counters"))
+    hists = report.get("histograms")
+    if not isinstance(hists, dict):
+        fail(path, "histograms is not an object")
+    for key in hists:
+        if key not in HIST_KEYS:
+            fail(path, f"unknown histogram '{key}'")
+    for key in HIST_KEYS:
+        if key not in hists:
+            fail(path, f"missing histogram '{key}'")
+        validate_histogram(f"{path} histogram {key}", hists[key])
+    validate_heatmap(f"{path} heatmap", report.get("heatmap", None), lanes)
+    if "aborts" not in report or not isinstance(report["aborts"], list):
+        fail(path, "missing abort array")
+    for index, abort in enumerate(report["aborts"]):
+        validate_abort(f"{path} abort {index}", abort)
+    return len(report["aborts"]), report["heatmap"]["total_conflicts"]
+
+
 def validate_row(line_no, row):
+    where = f"line {line_no}"
     if not isinstance(row, dict):
-        fail(line_no, "row is not a JSON object")
+        fail(where, "row is not a JSON object")
     for key, typ in [
         ("workload", str),
         ("scheme", str),
@@ -58,34 +222,43 @@ def validate_row(line_no, row):
         ("seconds", (int, float)),
         ("speedup", (int, float)),
         ("counters", dict),
+        ("wait_hist", dict),
     ]:
         if key not in row:
-            fail(line_no, f"missing key '{key}'")
+            fail(where, f"missing key '{key}'")
         if not isinstance(row[key], typ):
-            fail(line_no, f"key '{key}' has type {type(row[key]).__name__}")
+            fail(where, f"key '{key}' has type {type(row[key]).__name__}")
     if row["scheme"] not in SCHEMES:
-        fail(line_no, f"unknown scheme '{row['scheme']}'")
+        fail(where, f"unknown scheme '{row['scheme']}'")
     if row["scale"] not in SCALES:
-        fail(line_no, f"unknown scale '{row['scale']}'")
+        fail(where, f"unknown scale '{row['scale']}'")
     if row["threads"] < 1 or row["reps"] < 1:
-        fail(line_no, "threads and reps must be positive")
+        fail(where, "threads and reps must be positive")
     if row["seconds"] < 0:
-        fail(line_no, "seconds must be non-negative")
-    counters = row["counters"]
-    for key in counters:
-        if key not in COUNTER_KEYS:
-            fail(line_no, f"unknown counter '{key}'")
-    for key in COUNTER_KEYS:
-        if key not in counters:
-            fail(line_no, f"missing counter '{key}'")
-        value = counters[key]
-        if not isinstance(value, int) or value < 0:
-            fail(line_no, f"counter '{key}' must be a non-negative integer")
+        fail(where, "seconds must be non-negative")
+    validate_counters(where, row["counters"])
+    validate_hist_summary(f"{where} wait_hist", row["wait_hist"])
 
 
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     require_nonzero = "--require-nonzero-counters" in sys.argv[1:]
+    report_mode = "--report" in sys.argv[1:]
+
+    if report_mode:
+        if not args:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        aborts = 0
+        conflicts = 0
+        for path in args:
+            file_aborts, file_conflicts = validate_report(path)
+            aborts += file_aborts
+            conflicts += file_conflicts
+        print(f"ok: {len(args)} reports valid "
+              f"({aborts} aborts, {conflicts} conflicts)")
+        return 0
+
     if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -100,7 +273,7 @@ def main():
             try:
                 row = json.loads(line)
             except json.JSONDecodeError as err:
-                fail(line_no, f"invalid JSON: {err}")
+                fail(f"line {line_no}", f"invalid JSON: {err}")
             validate_row(line_no, row)
             rows += 1
             if any(row["counters"][k] for k in COUNTER_KEYS):
