@@ -23,10 +23,14 @@
 /// With CIP_BENCH_JSON set, every timed series point additionally emits one
 /// JSON object per line (JSON Lines) to the given path:
 ///   {"workload":..., "scheme":..., "threads":..., "scale":..., "reps":...,
-///    "seconds":..., "speedup":..., "counters":{...}, "wait_hist":{...}}
+///    "seconds":..., "speedup":..., "counters":{...}, "wait_hist":{...},
+///    "dispatch_batch":{...}}
 /// where counters holds the telemetry counter totals of the best rep (all
-/// zero when built with CIP_TELEMETRY=0) and wait_hist summarizes the
-/// scheme's dominant wait distribution (count/sum_ns/max_ns/p50/p90/p99).
+/// zero when built with CIP_TELEMETRY=0), wait_hist summarizes the
+/// scheme's dominant wait distribution (count/sum_ns/max_ns/p50/p90/p99),
+/// and dispatch_batch summarizes DOMORE's dispatched batch sizes in the
+/// same shape (values are iterations per WorkRange message, not
+/// nanoseconds; all-zero for the other schemes).
 ///
 /// The reproduction machine has far fewer cores than the paper's 24-core
 /// testbed; thread counts beyond the hardware oversubscribe, so the *shape*
@@ -188,7 +192,8 @@ public:
   void record(const workloads::Workload &W, const char *Scheme,
               unsigned Threads, unsigned Reps, double Seconds, double Speedup,
               const telemetry::CounterTotals &Counters,
-              const telemetry::HistogramData &WaitHist) {
+              const telemetry::HistogramData &WaitHist,
+              const telemetry::HistogramData &DispatchBatch) {
     if (!File)
       return;
     telemetry::json::Writer Wr;
@@ -229,6 +234,24 @@ public:
     Wr.key("p99_ns");
     Wr.value(WaitHist.quantileNs(0.99));
     Wr.endObject();
+    // Same summary shape as wait_hist, but the values are batch sizes
+    // (iterations per DOMORE WorkRange message), not nanoseconds; all-zero
+    // for non-DOMORE schemes and CIP_TELEMETRY=0 builds.
+    Wr.key("dispatch_batch");
+    Wr.beginObject();
+    Wr.key("count");
+    Wr.value(DispatchBatch.count());
+    Wr.key("sum_ns");
+    Wr.value(DispatchBatch.SumNs);
+    Wr.key("max_ns");
+    Wr.value(DispatchBatch.MaxNs);
+    Wr.key("p50_ns");
+    Wr.value(DispatchBatch.quantileNs(0.50));
+    Wr.key("p90_ns");
+    Wr.value(DispatchBatch.quantileNs(0.90));
+    Wr.key("p99_ns");
+    Wr.value(DispatchBatch.quantileNs(0.99));
+    Wr.endObject();
     Wr.endObject();
     std::fprintf(File, "%s\n", Wr.str().c_str());
     std::fflush(File);
@@ -263,7 +286,7 @@ inline void recordRun(const workloads::Workload &W, const char *Scheme,
                              ? Base / Best.Seconds
                              : 0.0;
   J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry,
-           Best.WaitHist);
+           Best.WaitHist, Best.DispatchBatch);
 }
 
 /// Best sequential time for \p W (resets the workload first).

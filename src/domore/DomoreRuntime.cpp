@@ -12,6 +12,7 @@
 #include "telemetry/Telemetry.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -30,10 +31,13 @@ struct alignas(CacheLineBytes) ProgressSlot {
 };
 
 /// Message the scheduler forwards to a worker queue. Three kinds, matching
-/// the paper's protocol:
+/// the paper's protocol with batch-granular work dispatch:
 ///  * Sync: "wait until worker DepTid has finished combined iteration Iter"
-///  * Work: "you may now run iteration (Invocation, LocalIter), whose
-///    combined number is Iter" — the (NO_SYNC, iterNum) token plus payload
+///  * Work: "you may now run the Count consecutive iterations starting at
+///    (Invocation, LocalIter), whose combined numbers start at Iter" — a
+///    WorkRange coalescing a run of conflict-free consecutive iterations
+///    all bound for this worker (Count == 1 is the paper's original
+///    (NO_SYNC, iterNum) token plus payload)
 ///  * End:  the END_TOKEN broadcast when the outer loop finishes
 struct Message {
   enum KindTy : std::uint32_t { Sync, Work, End };
@@ -42,11 +46,48 @@ struct Message {
   std::uint32_t DepTid = 0;
   std::int64_t Iter = -1;
   std::uint32_t Invocation = 0;
+  /// Work: iterations in the range.
+  std::uint32_t Count = 0;
+  /// Work: first local (within-invocation) iteration of the range.
   std::uint64_t LocalIter = 0;
   /// Trace flow-arrow id pairing this sync condition's scheduler-side
   /// source with the worker-side wait (0 for non-sync messages).
   std::uint64_t Flow = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<Message>,
+              "messages move through SPSCQueue batch transfers");
+
+/// A worker's not-yet-dispatched run of conflict-free consecutive
+/// iterations. The scheduler grows it while assignment stays contiguous
+/// and flushes it as one WorkRange message; every flush rule exists to
+/// keep one invariant: nothing — no sync condition, no scheduler prologue
+/// wait — ever waits on an iteration that is still inside a pending run.
+struct PendingRun {
+  bool Active = false;
+  std::uint32_t Invocation = 0;
+  std::uint32_t Count = 0;
+  std::uint64_t FirstLocal = 0;
+  std::int64_t CombinedBase = -1;
+};
+
+/// Effective batching bound: the CIP_MAX_BATCH environment knob (positive
+/// integer, parsed once) overrides the config so CI can pin the legacy
+/// one-message-per-iteration protocol.
+std::size_t effectiveMaxBatch(const DomoreConfig &Config) {
+  static const std::size_t EnvOverride = [] {
+    if (const char *S = std::getenv("CIP_MAX_BATCH")) {
+      char *End = nullptr;
+      const unsigned long long N = std::strtoull(S, &End, 10);
+      if (End && *End == '\0' && N > 0)
+        return static_cast<std::size_t>(N);
+    }
+    return std::size_t{0};
+  }();
+  if (EnvOverride > 0)
+    return EnvOverride;
+  return Config.MaxBatch > 0 ? Config.MaxBatch : 1;
+}
 
 /// Spin-waits until \p Slot reports completion of combined iteration
 /// \p Iter or beyond.
@@ -75,6 +116,28 @@ void produceCounted(SPSCQueue<Message> &Q, const Message &M,
     B.pause();
     Tel.add(Lane, Counter::QueueFullSpins);
   } while (!Q.tryProduce(M));
+}
+
+/// Batch produce() with the same queue-pressure accounting: one release
+/// store when the whole batch fits, partial progress plus backoff when the
+/// scheduler's run-ahead hits the queue bound.
+void produceBatchCounted(SPSCQueue<Message> &Q, const Message *Items,
+                         std::size_t N, telemetry::RegionTelemetry &Tel,
+                         unsigned Lane) {
+  std::size_t Done = Q.tryProduceBatch(Items, N);
+  if (CIP_LIKELY(Done == N))
+    return;
+  telemetry::TimedScope Full(Tel, Lane, Counter::SchedulerStallNs,
+                             Hist::QueueFullNs, EventKind::QueueFull);
+  Backoff B;
+  while (Done < N) {
+    const std::size_t K = Q.tryProduceBatch(Items + Done, N - Done);
+    if (K == 0) {
+      B.pause();
+      Tel.add(Lane, Counter::QueueFullSpins);
+    }
+    Done += K;
+  }
 }
 
 /// Looks up every address of the current iteration in \p Shadow, emits sync
@@ -122,10 +185,31 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
                   std::vector<ProgressSlot> &Progress, DomoreStats &Stats,
                   telemetry::RegionTelemetry &Tel) {
   const unsigned Lane = Config.NumWorkers; // scheduler lane
+  const std::size_t MaxBatch = effectiveMaxBatch(Config);
   std::vector<std::uint64_t> Addrs;
+  std::vector<PendingRun> Pending(Config.NumWorkers);
+  std::vector<Message> SyncBuf;
   std::int64_t Combined = 0;
   std::uint64_t NextFlow = 1;
   Stopwatch Busy;
+
+  // Ships worker W's pending run as one WorkRange message. Everything that
+  // might wait on one of its iterations calls this first, so by the time a
+  // wait exists its target range is in the worker's queue.
+  const auto FlushRun = [&](std::uint32_t W) {
+    PendingRun &R = Pending[W];
+    if (!R.Active)
+      return;
+    produceCounted(*Queues[W],
+                   Message{Message::Work, /*DepTid=*/0, R.CombinedBase,
+                           R.Invocation, R.Count, R.FirstLocal, 0},
+                   Tel, Lane);
+    Tel.recordHist(Lane, Hist::DispatchBatch, R.Count);
+    Tel.add(Lane, Counter::IterationsDispatched, R.Count);
+    Tel.instant(Lane, EventKind::Dispatch, R.Invocation,
+                static_cast<std::uint64_t>(R.CombinedBase));
+    R.Active = false;
+  };
 
   for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
     // Before running the sequential outer-loop code, respect dependences
@@ -137,6 +221,11 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
         const ShadowEntry Prev = Shadow.lookup(Addr);
         if (!Prev.valid())
           continue;
+        // The scheduler must not wait on an iteration it has not yet
+        // dispatched: flush the run that still holds it.
+        if (Pending[Prev.Tid].Active &&
+            Prev.Iter >= Pending[Prev.Tid].CombinedBase)
+          FlushRun(Prev.Tid);
         if (!iterationDone(Progress[Prev.Tid], Prev.Iter)) {
           telemetry::TimedScope Stall(Tel, Lane, Counter::SchedulerStallNs,
                                       Hist::SchedStallNs, EventKind::SchedStall,
@@ -159,55 +248,93 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
       Addrs.clear();
       Nest.ComputeAddr(Inv, It, Addrs);
       const std::uint32_t Tid = Policy.pick(Combined, Addrs);
-      SPSCQueue<Message> &Q = *Queues[Tid];
+      SyncBuf.clear();
       const std::uint64_t Conflicts = detectAndRecord(
           Shadow, Addrs, Tid, Combined,
           [&](std::uint32_t DepTid, std::int64_t DepIter, std::uint64_t Addr) {
-            const std::uint64_t Flow = NextFlow++;
             Tel.recordConflict(DepTid, Tid, Addr);
-            Tel.flowBegin(Lane, Flow);
-            produceCounted(Q,
-                           Message{Message::Sync, DepTid, DepIter, 0, 0, Flow},
-                           Tel, Lane);
+            SyncBuf.push_back(
+                Message{Message::Sync, DepTid, DepIter, 0, 0, 0, 0});
           });
       Stats.SyncConditions += Conflicts;
       if (Conflicts)
         Tel.add(Lane, Counter::ShadowConflicts, Conflicts);
       Busy.stop();
-      produceCounted(
-          Q, Message{Message::Work, /*DepTid=*/0, Combined, Inv, It, 0}, Tel,
-          Lane);
-      Tel.add(Lane, Counter::IterationsDispatched);
-      Tel.instant(Lane, EventKind::Dispatch, Inv,
-                  static_cast<std::uint64_t>(Combined));
+
+      if (CIP_UNLIKELY(!SyncBuf.empty())) {
+        // A sync condition never enters a queue while an iteration it
+        // depends on — or an earlier iteration of its own worker — is
+        // still in a pending run: flush the dependence sources (their
+        // range tails then cover DepIter) and the target's own run (queue
+        // order keeps earlier work ahead of the wait), then ship every
+        // condition of this iteration with one cursor update.
+        FlushRun(Tid);
+        for (Message &M : SyncBuf) {
+          if (Pending[M.DepTid].Active &&
+              M.Iter >= Pending[M.DepTid].CombinedBase)
+            FlushRun(M.DepTid);
+          M.Flow = NextFlow++;
+          Tel.flowBegin(Lane, M.Flow);
+        }
+        produceBatchCounted(*Queues[Tid], SyncBuf.data(), SyncBuf.size(), Tel,
+                            Lane);
+      }
+
+      PendingRun &R = Pending[Tid];
+      if (R.Active && R.Invocation == Inv &&
+          R.CombinedBase + R.Count == Combined &&
+          R.FirstLocal + R.Count == It) {
+        ++R.Count;
+      } else {
+        FlushRun(Tid);
+        R.Active = true;
+        R.Invocation = Inv;
+        R.Count = 1;
+        R.FirstLocal = It;
+        R.CombinedBase = Combined;
+      }
+      if (R.Count >= MaxBatch)
+        FlushRun(Tid);
       ++Combined;
     }
     Tel.end(Lane, EventKind::Invocation, Inv);
     ++Stats.Invocations;
   }
 
+  for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
+    FlushRun(W);
   for (auto &Q : Queues)
-    Q->produce(Message{Message::End, 0, -1, 0, 0, 0});
+    Q->produce(Message{Message::End, 0, -1, 0, 0, 0, 0});
 
   Stats.Iterations = static_cast<std::uint64_t>(Combined);
   Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
   Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
 }
 
-/// The worker thread body: Algorithm 2.
+/// The worker thread body: Algorithm 2, draining whole message runs per
+/// cursor update and executing WorkRanges.
 void runWorker(const LoopNest &Nest, std::uint32_t Tid,
                SPSCQueue<Message> &Queue, std::vector<ProgressSlot> &Progress,
                telemetry::RegionTelemetry &Tel) {
+  constexpr std::size_t DrainMax = 16;
+  Message Buf[DrainMax];
+  std::size_t Have = 0;
+  std::size_t At = 0;
   while (true) {
-    Message M;
-    if (!Queue.tryConsume(M)) {
-      // Starved: the scheduler has not produced for this lane yet.
-      Backoff B;
-      do {
-        B.pause();
-        Tel.add(Tid, Counter::QueueEmptySpins);
-      } while (!Queue.tryConsume(M));
+    if (At == Have) {
+      At = 0;
+      Have = Queue.consumeAvailable(Buf, DrainMax);
+      if (Have == 0) {
+        // Starved: the scheduler has not produced for this lane yet.
+        Backoff B;
+        do {
+          B.pause();
+          Tel.add(Tid, Counter::QueueEmptySpins);
+          Have = Queue.consumeAvailable(Buf, DrainMax);
+        } while (Have == 0);
+      }
     }
+    const Message &M = Buf[At++];
     switch (M.Kind) {
     case Message::End:
       return;
@@ -222,13 +349,20 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
       }
       Tel.flowEnd(Tid, M.Flow);
       break;
-    case Message::Work:
+    case Message::Work: {
+      assert(M.Count > 0 && "empty work range");
       Tel.begin(Tid, EventKind::Task, M.Invocation, M.LocalIter);
-      Nest.Work(M.Invocation, M.LocalIter);
+      for (std::uint32_t J = 0; J < M.Count; ++J)
+        Nest.Work(M.Invocation, M.LocalIter + J);
       Tel.end(Tid, EventKind::Task);
-      Progress[Tid].LatestFinished.store(M.Iter, std::memory_order_release);
-      Tel.add(Tid, Counter::TasksExecuted);
+      // One publication per range tail. Sound because the scheduler never
+      // lets anything wait on an iteration inside a pending run, so every
+      // wait targets a flushed range whose tail publication covers it.
+      Progress[Tid].LatestFinished.store(M.Iter + M.Count - 1,
+                                         std::memory_order_release);
+      Tel.add(Tid, Counter::TasksExecuted, M.Count);
       break;
+    }
     }
   }
 }
@@ -268,6 +402,7 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
   Stats.Telemetry = Tel.totals();
   Stats.ConflictPairs = Tel.heatmapPairs();
   Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
+  Stats.DispatchBatch = Tel.histTotals(Hist::DispatchBatch);
   Tel.finish();
   return Stats;
 }
@@ -292,7 +427,11 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
 
   DomoreStats Stats;
   std::vector<ProgressSlot> Progress(Config.NumWorkers);
-  std::atomic<std::uint64_t> TotalSyncs{0};
+  // One slot per worker: every worker redundantly computes the full
+  // schedule, so the per-worker conflict counts must agree exactly — a
+  // divergence means the duplicated scheduler partitions saw different
+  // iteration streams, which breaks the whole §3.4 contract.
+  std::vector<std::uint64_t> SyncsPerWorker(Config.NumWorkers, 0);
 
   telemetry::RegionTelemetry Tel("domore_dup", Config.NumWorkers);
   if (Tel.tracing())
@@ -370,12 +509,15 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
       Stats.Invocations = Nest.NumInvocations;
       Stats.Iterations = static_cast<std::uint64_t>(Combined);
     }
-    TotalSyncs.fetch_add(MySyncs, std::memory_order_relaxed);
+    SyncsPerWorker[Tid] = MySyncs;
   });
   Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
-  // Every worker counted the same conflicts; report one worker's view.
-  Stats.SyncConditions =
-      TotalSyncs.load(std::memory_order_relaxed) / Config.NumWorkers;
+  // Every redundant scheduler must have counted the same conflicts; report
+  // the exact per-worker value rather than a truncating average.
+  for (std::uint32_t W = 1; W < Config.NumWorkers; ++W)
+    assert(SyncsPerWorker[W] == SyncsPerWorker[0] &&
+           "duplicated schedulers disagree on the conflict count");
+  Stats.SyncConditions = SyncsPerWorker[0];
   Stats.Telemetry = Tel.totals();
   Stats.ConflictPairs = Tel.heatmapPairs();
   Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);

@@ -114,6 +114,12 @@ struct DomoreStats {
   /// per-wait view behind the WorkerWaitNs counter total. Empty with
   /// CIP_TELEMETRY=0.
   telemetry::HistogramData WorkerWait;
+
+  /// Distribution of dispatched batch sizes: iterations per WorkRange
+  /// message (values are counts, not nanoseconds; they sum to
+  /// \c Iterations). Empty with CIP_TELEMETRY=0 and for the duplicated
+  /// variant, which has no scheduler->worker messages.
+  telemetry::HistogramData DispatchBatch;
 };
 
 /// Which scheduling policy the engine should construct.
@@ -126,6 +132,13 @@ struct DomoreConfig {
   /// Queue capacity per worker, in messages. Bounds scheduler run-ahead the
   /// same way the paper's implementation bounds it by queue size.
   std::size_t QueueCapacity = 4096;
+  /// Upper bound on how many conflict-free consecutive iterations bound for
+  /// the same worker the scheduler coalesces into one WorkRange message.
+  /// 1 disables batching and restores the one-message-per-iteration
+  /// protocol. The CIP_MAX_BATCH environment variable (a positive integer),
+  /// when set, overrides this for every run — CI uses it to keep the legacy
+  /// path covered.
+  std::size_t MaxBatch = 16;
 };
 
 /// Runs \p Nest under the DOMORE runtime engine with a dedicated scheduler

@@ -142,6 +142,7 @@ ExecResult harness::runDomore(Workload &W, unsigned NumThreads,
   R.Checksum = W.checksum();
   R.Telemetry = Stats.Telemetry;
   R.WaitHist = Stats.WorkerWait;
+  R.DispatchBatch = Stats.DispatchBatch;
   if (StatsOut)
     *StatsOut = std::move(Stats);
   return R;
@@ -167,6 +168,7 @@ ExecResult harness::runDomoreDuplicated(Workload &W, unsigned NumThreads,
   R.Checksum = W.checksum();
   R.Telemetry = Stats.Telemetry;
   R.WaitHist = Stats.WorkerWait;
+  R.DispatchBatch = Stats.DispatchBatch;
   if (StatsOut)
     *StatsOut = std::move(Stats);
   return R;

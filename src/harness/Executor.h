@@ -50,6 +50,10 @@ struct ExecResult {
   /// barrier strategies, worker sync/throttle waits for DOMORE and
   /// SPECCROSS. Empty with CIP_TELEMETRY=0 and for runSequential.
   telemetry::HistogramData WaitHist;
+  /// DOMORE only: distribution of dispatched batch sizes (iterations per
+  /// WorkRange message; values are counts, not nanoseconds). Empty for
+  /// every other strategy and with CIP_TELEMETRY=0.
+  telemetry::HistogramData DispatchBatch;
 };
 
 /// Runs the workload sequentially (epoch by epoch, task by task).

@@ -22,19 +22,27 @@
 #include "support/Compiler.h"
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 namespace cip {
 
 /// Bounded single-producer/single-consumer FIFO.
 ///
-/// \tparam T element type; must be trivially copyable or cheaply movable.
-/// Capacity is rounded up to a power of two. produce() spins when the queue
-/// is full and consume() spins when it is empty, mirroring the blocking
-/// produce/consume primitives the generated scheduler/worker code calls.
-/// Non-blocking tryProduce/tryConsume variants are provided for tests and
-/// for the checker thread's polling loop.
+/// \tparam T element type; must be trivially copyable or cheaply copyable —
+/// elements are copied in and out by value (the single-element operations
+/// tolerate any copyable type; the batch operations additionally require
+/// trivial copyability, see below). Capacity is rounded up to a power of
+/// two. produce() spins when the queue is full and consume() spins when it
+/// is empty, mirroring the blocking produce/consume primitives the
+/// generated scheduler/worker code calls. Non-blocking
+/// tryProduce/tryConsume variants are provided for tests and for the
+/// checker thread's polling loop; tryProduceBatch/consumeAvailable move
+/// whole runs of elements per cursor update so the hot DOMORE dispatch
+/// path pays one release store per batch instead of one per message.
 template <typename T> class SPSCQueue {
 public:
   explicit SPSCQueue(std::size_t MinCapacity = 1024)
@@ -85,6 +93,49 @@ public:
     return true;
   }
 
+  /// Enqueues up to \p N elements from \p Items with a single release
+  /// cursor store; the consumer observes either nothing or a whole prefix
+  /// of the batch. Returns the number enqueued: min(N, free slots),
+  /// possibly 0 when full. Producer-only.
+  std::size_t tryProduceBatch(const T *Items, std::size_t N) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "batch transfers copy raw element runs");
+    const std::size_t Head = HeadCursor.load(std::memory_order_relaxed);
+    std::size_t Free = Mask + 1 - (Head - CachedTail);
+    if (Free < N) {
+      CachedTail = TailCursor.load(std::memory_order_acquire);
+      Free = Mask + 1 - (Head - CachedTail);
+      if (Free == 0)
+        return 0;
+    }
+    const std::size_t K = N < Free ? N : Free;
+    for (std::size_t I = 0; I < K; ++I)
+      Ring[(Head + I) & Mask] = Items[I];
+    HeadCursor.store(Head + K, std::memory_order_release);
+    return K;
+  }
+
+  /// Dequeues up to \p Max elements into \p Out with a single release
+  /// cursor store. Returns the number dequeued: min(Max, available),
+  /// possibly 0 when empty. Consumer-only.
+  std::size_t consumeAvailable(T *Out, std::size_t Max) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "batch transfers copy raw element runs");
+    const std::size_t Tail = TailCursor.load(std::memory_order_relaxed);
+    std::size_t Avail = CachedHead - Tail;
+    if (Avail == 0) {
+      CachedHead = HeadCursor.load(std::memory_order_acquire);
+      Avail = CachedHead - Tail;
+      if (Avail == 0)
+        return 0;
+    }
+    const std::size_t K = Max < Avail ? Max : Avail;
+    for (std::size_t I = 0; I < K; ++I)
+      Out[I] = Ring[(Tail + I) & Mask];
+    TailCursor.store(Tail + K, std::memory_order_release);
+    return K;
+  }
+
   /// Returns true if the queue appears empty. Only a hint under concurrency.
   bool empty() const {
     return TailCursor.load(std::memory_order_acquire) ==
@@ -100,20 +151,25 @@ public:
   std::size_t capacity() const { return Mask + 1; }
 
   /// Architectural pause for spin loops; keeps hyperthread siblings honest.
-  static void spinPause() {
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#endif
+  static void spinPause() { Backoff::cpuRelax(); }
+
+  /// Smallest power of two >= \p N, clamped to [1, 2^(bits-1)]: 0 and 1
+  /// both round to 1, and requests beyond the largest representable power
+  /// of two saturate there instead of overflowing (the allocation for such
+  /// a ring fails upstream anyway). Public so the capacity contract is
+  /// directly testable.
+  static constexpr std::size_t roundUpPow2(std::size_t N) {
+    constexpr std::size_t MaxPow2 = std::size_t{1}
+                                    << (std::numeric_limits<std::size_t>::digits
+                                        - 1);
+    if (N <= 1)
+      return 1;
+    if (N > MaxPow2)
+      return MaxPow2;
+    return std::size_t{1} << std::bit_width(N - 1);
   }
 
 private:
-  static std::size_t roundUpPow2(std::size_t N) {
-    std::size_t P = 1;
-    while (P < N)
-      P <<= 1;
-    return P;
-  }
-
   const std::size_t Mask;
   std::vector<T> Ring;
 

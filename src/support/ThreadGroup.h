@@ -5,11 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Fork/join helper that spawns N indexed threads and joins them on scope
-/// exit. All parallel executors in `src/harness`, the DOMORE runtime engine,
-/// and the SPECCROSS runtime use this instead of raw std::thread so that
-/// thread ids are dense [0, N) integers, matching the `tid` indices that the
-/// paper's shadow memory, status arrays, and signature logs are keyed by.
+/// Fork/join helper that runs N indexed bodies and joins them before
+/// returning. All parallel executors in `src/harness`, the DOMORE runtime
+/// engine, and the SPECCROSS runtime use this instead of raw std::thread so
+/// that thread ids are dense [0, N) integers, matching the `tid` indices
+/// that the paper's shadow memory, status arrays, and signature logs are
+/// keyed by — and so every region shares the persistent `ThreadPool`
+/// instead of paying thread create/join inside the measured interval.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,7 @@
 #define CIP_SUPPORT_THREADGROUP_H
 
 #include "support/Compiler.h"
+#include "support/ThreadPool.h"
 
 #include <functional>
 #include <thread>
@@ -25,18 +28,15 @@
 
 namespace cip {
 
-/// Runs \p Body(tid) on \p NumThreads freshly spawned threads and joins them
-/// all before returning. Thread 0 is a spawned thread too (the caller only
-/// coordinates), which keeps per-thread state symmetric.
+/// Runs \p Body(tid) on \p NumThreads pool lanes and joins them all before
+/// returning. Lane 0 is a pool lane too (the caller only coordinates),
+/// which keeps per-thread state symmetric. Backed by the process-wide
+/// persistent \c ThreadPool so thread create/join stays out of timed
+/// regions; nested calls fall back to freshly spawned threads.
 template <typename Callable>
 void runThreads(unsigned NumThreads, Callable &&Body) {
   assert(NumThreads > 0 && "need at least one thread");
-  std::vector<std::thread> Threads;
-  Threads.reserve(NumThreads);
-  for (unsigned Tid = 0; Tid < NumThreads; ++Tid)
-    Threads.emplace_back([&Body, Tid] { Body(Tid); });
-  for (auto &T : Threads)
-    T.join();
+  ThreadPool::global().run(NumThreads, std::forward<Callable>(Body));
 }
 
 /// A joinable group of indexed threads for cases where spawn and join must

@@ -57,15 +57,20 @@ enum class Hist : unsigned {
   CheckNs,
   /// One wait at a non-speculative barrier.
   BarrierWaitNs,
+  /// Size of one coalesced DOMORE dispatch batch, in iterations per
+  /// WorkRange message — the distribution behind DomoreConfig::MaxBatch
+  /// tuning. The only non-nanosecond distribution: bucket values are
+  /// iteration counts.
+  DispatchBatch,
 };
 
-inline constexpr unsigned NumHistograms = 6;
+inline constexpr unsigned NumHistograms = 7;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *histName(Hist H) {
   static const char *const Names[NumHistograms] = {
-      "sched_stall_ns", "worker_wait_ns", "queue_full_ns",
-      "epoch_ns",       "check_ns",       "barrier_wait_ns"};
+      "sched_stall_ns", "worker_wait_ns",   "queue_full_ns",  "epoch_ns",
+      "check_ns",       "barrier_wait_ns", "dispatch_batch"};
   const unsigned I = static_cast<unsigned>(H);
   assert(I < NumHistograms && "histogram kind out of range");
   return Names[I];

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 
 using namespace cip;
@@ -211,6 +212,62 @@ TEST(DomoreRuntime, TinyQueuesExerciseBackpressure) {
   DomoreConfig C;
   C.NumWorkers = 2;
   C.QueueCapacity = 4; // scheduler must stall on full queues, no deadlock
+  runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered());
+  EXPECT_EQ(H.totalAppends(), 480u);
+}
+
+TEST(DomoreRuntime, MaxBatchDoesNotChangeSemantics) {
+  // Batched dispatch is a pure transport optimization: the conflicts the
+  // shadow memory detects, the per-element append orders, and the iteration
+  // counts must be identical whether the scheduler sends one iteration per
+  // message or coalesces runs of 64. (Under CIP_MAX_BATCH the env value
+  // overrides every config below, which degenerates this into comparing a
+  // run against itself — still a valid, if weaker, check.)
+  const bool EnvPinned = std::getenv("CIP_MAX_BATCH") != nullptr;
+  std::uint64_t RefSyncs = 0;
+  std::vector<std::vector<std::int64_t>> RefLog;
+  for (const std::size_t MaxBatch : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{64}}) {
+    ConflictHarness H(120, 6, 12, /*Seed=*/99);
+    DomoreConfig C;
+    C.NumWorkers = 4;
+    C.MaxBatch = MaxBatch;
+    const DomoreStats S = runDomore(H.nest(), C);
+    EXPECT_TRUE(H.ordered()) << "MaxBatch " << MaxBatch;
+    EXPECT_EQ(S.Iterations, 720u) << "MaxBatch " << MaxBatch;
+    EXPECT_EQ(H.totalAppends(), 720u) << "MaxBatch " << MaxBatch;
+    if (MaxBatch == 1) {
+      RefSyncs = S.SyncConditions;
+      RefLog = H.Log;
+      EXPECT_GT(RefSyncs, 0u);
+    } else {
+      EXPECT_EQ(S.SyncConditions, RefSyncs) << "MaxBatch " << MaxBatch;
+      EXPECT_EQ(H.Log, RefLog) << "MaxBatch " << MaxBatch;
+    }
+#if CIP_TELEMETRY
+    // Every iteration is dispatched in exactly one WorkRange: the batch
+    // sizes sum to the iteration count and never exceed the cap.
+    EXPECT_EQ(S.DispatchBatch.SumNs, S.Iterations) << "MaxBatch " << MaxBatch;
+    if (!EnvPinned) {
+      EXPECT_LE(S.DispatchBatch.MaxNs, MaxBatch) << "MaxBatch " << MaxBatch;
+      if (MaxBatch == 1)
+        EXPECT_EQ(S.DispatchBatch.count(), S.Iterations);
+    }
+#else
+    (void)EnvPinned;
+#endif
+  }
+}
+
+TEST(DomoreRuntime, TinyQueuesWithBatchingStillOrdered) {
+  // Batches larger than the queue capacity force partial batch produces and
+  // scheduler backpressure in the same run.
+  ConflictHarness H(60, 8, 16, 6);
+  DomoreConfig C;
+  C.NumWorkers = 2;
+  C.QueueCapacity = 4;
+  C.MaxBatch = 64;
   runDomore(H.nest(), C);
   EXPECT_TRUE(H.ordered());
   EXPECT_EQ(H.totalAppends(), 480u);

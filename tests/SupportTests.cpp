@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <thread>
 
 using namespace cip;
@@ -117,6 +119,115 @@ TEST(SPSCQueue, RejectsWhenFull) {
   EXPECT_TRUE(Q.tryProduce(99));
 }
 
+TEST(SPSCQueue, RoundUpPow2EdgeCases) {
+  constexpr std::size_t MaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(0), 1u);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(1), 1u);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(2), 2u);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(3), 4u);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(1000), 1024u);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(MaxPow2), MaxPow2);
+  // Beyond the largest power of two the old shift loop spun forever; the
+  // result now saturates instead.
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(MaxPow2 + 1), MaxPow2);
+  EXPECT_EQ(SPSCQueue<int>::roundUpPow2(
+                std::numeric_limits<std::size_t>::max()),
+            MaxPow2);
+}
+
+TEST(SPSCQueue, DegenerateCapacitiesStillWork) {
+  // MinCapacity 0 and 1 both round to a single-slot queue.
+  for (std::size_t MinCap : {std::size_t{0}, std::size_t{1}}) {
+    SPSCQueue<int> Q(MinCap);
+    EXPECT_EQ(Q.capacity(), 1u);
+    EXPECT_TRUE(Q.tryProduce(7));
+    EXPECT_FALSE(Q.tryProduce(8));
+    int V = 0;
+    EXPECT_TRUE(Q.tryConsume(V));
+    EXPECT_EQ(V, 7);
+    EXPECT_TRUE(Q.empty());
+  }
+}
+
+TEST(SPSCQueue, BatchProduceAcceptsPartialRuns) {
+  SPSCQueue<int> Q(4);
+  const int Items[6] = {0, 1, 2, 3, 4, 5};
+  // Only 4 slots: a 6-element batch is accepted partially, not rejected.
+  EXPECT_EQ(Q.tryProduceBatch(Items, 6), 4u);
+  EXPECT_EQ(Q.tryProduceBatch(Items + 4, 2), 0u);
+  int Out[8] = {};
+  EXPECT_EQ(Q.consumeAvailable(Out, 8), 4u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Out[I], I);
+  // Drained queue: batch consume reports empty rather than blocking.
+  EXPECT_EQ(Q.consumeAvailable(Out, 8), 0u);
+  // A zero-length batch is a no-op on both sides.
+  EXPECT_EQ(Q.tryProduceBatch(Items, 0), 0u);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(SPSCQueue, BatchAndSingleOpsInterleave) {
+  SPSCQueue<int> Q(8);
+  const int Items[3] = {10, 11, 12};
+  EXPECT_TRUE(Q.tryProduce(9));
+  EXPECT_EQ(Q.tryProduceBatch(Items, 3), 3u);
+  int V = 0;
+  EXPECT_TRUE(Q.tryConsume(V));
+  EXPECT_EQ(V, 9);
+  int Out[4] = {};
+  EXPECT_EQ(Q.consumeAvailable(Out, 2), 2u);
+  EXPECT_EQ(Out[0], 10);
+  EXPECT_EQ(Out[1], 11);
+  EXPECT_TRUE(Q.tryConsume(V));
+  EXPECT_EQ(V, 12);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(SPSCQueue, BatchProduceSingleConsumeStress) {
+  SPSCQueue<std::uint64_t> Q(64);
+  constexpr std::uint64_t N = 200000;
+  std::thread Producer([&] {
+    std::uint64_t Buf[13];
+    std::uint64_t Next = 0;
+    while (Next < N) {
+      std::uint64_t K = 0;
+      while (K < 13 && Next + K < N)
+        Buf[K] = Next + K, ++K;
+      std::uint64_t Sent = 0;
+      while (Sent < K)
+        Sent += Q.tryProduceBatch(Buf + Sent, K - Sent);
+      Next += K;
+    }
+  });
+  bool Ordered = true;
+  for (std::uint64_t I = 0; I < N; ++I)
+    Ordered &= Q.consume() == I;
+  Producer.join();
+  EXPECT_TRUE(Ordered);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(SPSCQueue, SingleProduceBatchDrainStress) {
+  SPSCQueue<std::uint64_t> Q(64);
+  constexpr std::uint64_t N = 200000;
+  std::thread Producer([&] {
+    for (std::uint64_t I = 0; I < N; ++I)
+      Q.produce(I);
+  });
+  std::uint64_t Buf[17];
+  std::uint64_t Expected = 0;
+  bool Ordered = true;
+  while (Expected < N) {
+    const std::size_t Got = Q.consumeAvailable(Buf, 17);
+    for (std::size_t I = 0; I < Got; ++I)
+      Ordered &= Buf[I] == Expected++;
+  }
+  Producer.join();
+  EXPECT_TRUE(Ordered);
+  EXPECT_TRUE(Q.empty());
+}
+
 TEST(SPSCQueue, TwoThreadStressPreservesSequence) {
   SPSCQueue<std::uint64_t> Q(256);
   constexpr std::uint64_t N = 200000;
@@ -183,6 +294,54 @@ TEST(ThreadGroup, SpawnAndJoinIndexedThreads) {
   G.joinAll();
   EXPECT_EQ(Mask.load(), 0b1111u);
   EXPECT_EQ(G.size(), 0u);
+}
+
+TEST(ThreadPool, RunsEveryLaneIndexExactlyOnce) {
+  std::atomic<unsigned> Mask{0};
+  std::atomic<unsigned> Calls{0};
+  runThreads(6, [&](unsigned Tid) {
+    Mask.fetch_or(1u << Tid);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Mask.load(), 0b111111u);
+  EXPECT_EQ(Calls.load(), 6u);
+}
+
+TEST(ThreadPool, ReusesLanesAcrossRegionsOfVaryingWidth) {
+  // The pool keeps lanes parked between regions; shrinking and regrowing
+  // the region width must still run exactly the requested indices.
+  for (unsigned Width : {4u, 1u, 7u, 2u, 7u}) {
+    std::atomic<unsigned> Mask{0};
+    runThreads(Width, [&](unsigned Tid) { Mask.fetch_or(1u << Tid); });
+    EXPECT_EQ(Mask.load(), (1u << Width) - 1);
+  }
+}
+
+TEST(ThreadPool, NestedRegionsFallBackWithoutDeadlock) {
+  // A pool lane that itself calls runThreads must not wait on the pool it
+  // occupies; the inner region runs on freshly spawned threads.
+  std::atomic<unsigned> Inner{0};
+  runThreads(2, [&](unsigned) {
+    runThreads(3, [&](unsigned) { Inner.fetch_add(1); });
+  });
+  EXPECT_EQ(Inner.load(), 6u);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelRegionsSerialize) {
+  // Two non-pool threads racing into runThreads: regions serialize on the
+  // pool, both complete, and every index of each region runs.
+  std::atomic<unsigned> Total{0};
+  std::thread A([&] {
+    for (int R = 0; R < 20; ++R)
+      runThreads(3, [&](unsigned) { Total.fetch_add(1); });
+  });
+  std::thread B([&] {
+    for (int R = 0; R < 20; ++R)
+      runThreads(2, [&](unsigned) { Total.fetch_add(1); });
+  });
+  A.join();
+  B.join();
+  EXPECT_EQ(Total.load(), 20u * 3 + 20u * 2);
 }
 
 #include "support/Backoff.h"

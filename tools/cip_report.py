@@ -28,6 +28,7 @@ HIST_ORDER = [
     "epoch_ns",
     "check_ns",
     "barrier_wait_ns",
+    "dispatch_batch",
 ]
 
 
@@ -59,15 +60,18 @@ def print_histogram(name, hist):
     count = hist["count"]
     if not count:
         return
+    # dispatch_batch is the one non-nanosecond distribution: its values are
+    # iterations per DOMORE WorkRange message.
+    fmt = format_ns if name.endswith("_ns") else lambda v: f"{float(v):.1f}"
     mean = hist["sum_ns"] / count
-    print(f"  {name}: n={count} mean={format_ns(mean)} "
-          f"p50={format_ns(hist['p50_ns'])} p90={format_ns(hist['p90_ns'])} "
-          f"p99={format_ns(hist['p99_ns'])} max={format_ns(hist['max_ns'])}")
+    print(f"  {name}: n={count} mean={fmt(mean)} "
+          f"p50={fmt(hist['p50_ns'])} p90={fmt(hist['p90_ns'])} "
+          f"p99={fmt(hist['p99_ns'])} max={fmt(hist['max_ns'])}")
     buckets = hist["buckets"]
     peak = max(b["count"] for b in buckets)
     for bucket in buckets:
         bar = "#" * max(1, round(BAR_WIDTH * bucket["count"] / peak))
-        print(f"    <= {format_ns(bucket['le_ns']):>9}  "
+        print(f"    <= {fmt(bucket['le_ns']):>9}  "
               f"{bucket['count']:>10}  {bar}")
 
 

@@ -2,7 +2,7 @@
 """Compare a CIP_BENCH_JSON run against a committed baseline.
 
 Usage: compare_bench.py <baseline.json> <current.json>
-           [--threshold 1.4] [--fail]
+           [--threshold 1.4] [--fail] [--min-speedup X]
 
 Both inputs are JSON Lines as emitted via CIP_BENCH_JSON. Rows are matched
 by (workload, scheme, threads, scale); when either side has several rows
@@ -19,9 +19,16 @@ it. Missing and new keys are reported but never fatal.
 
 Exits 0 regardless of slowdowns unless --fail is given (CI runs it as a
 non-fatal report step; --fail is for local bisection).
+
+The final summary line also reports the per-key speedup of current over
+baseline (baseline.seconds / current.seconds) as geomean/best/worst across
+all matched keys. With --min-speedup X the script exits 1 when the geomean
+falls below X — use it to assert an optimization actually landed
+(e.g. --min-speedup 1.05), the complement of the slowdown gate.
 """
 
 import json
+import math
 import sys
 
 
@@ -65,6 +72,7 @@ def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     fail_on_slowdown = "--fail" in sys.argv[1:]
     threshold = 1.4
+    min_speedup = None
     argv = sys.argv[1:]
     if "--threshold" in argv:
         at = argv.index("--threshold")
@@ -73,7 +81,15 @@ def main():
             return 2
         threshold = float(argv[at + 1])
         args = [a for a in args if a != argv[at + 1]]
-    if len(args) != 2 or threshold <= 0:
+    if "--min-speedup" in argv:
+        at = argv.index("--min-speedup")
+        if at + 1 >= len(argv):
+            print("error: --min-speedup needs a value", file=sys.stderr)
+            return 2
+        min_speedup = float(argv[at + 1])
+        args = [a for a in args if a != argv[at + 1]]
+    if len(args) != 2 or threshold <= 0 or \
+            (min_speedup is not None and min_speedup <= 0):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
@@ -82,15 +98,17 @@ def main():
 
     slowdowns = []
     improvements = []
+    speedups = []
     for key in sorted(baseline):
         if key not in current:
             print(f"missing: {key_name(key)} (in baseline, not in current)")
             continue
         base_s, _ = baseline[key]
         cur_s, _ = current[key]
-        if base_s <= 0:
+        if base_s <= 0 or cur_s <= 0:
             continue
         ratio = cur_s / base_s
+        speedups.append((base_s / cur_s, key))
         line = (f"{key_name(key)}: {base_s * 1e3:.3f}ms -> "
                 f"{cur_s * 1e3:.3f}ms ({ratio:.2f}x)")
         if ratio > threshold:
@@ -108,6 +126,20 @@ def main():
     matched = sum(1 for k in baseline if k in current)
     print(f"compared {matched} keys against threshold {threshold:.2f}x: "
           f"{len(slowdowns)} slowdowns, {len(improvements)} improvements")
+    geomean = None
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s, _ in speedups)
+                           / len(speedups))
+        best = max(speedups)
+        worst = min(speedups)
+        print(f"speedup vs baseline: geomean {geomean:.3f}x, "
+              f"best {best[0]:.3f}x ({key_name(best[1])}), "
+              f"worst {worst[0]:.3f}x ({key_name(worst[1])})")
+    if min_speedup is not None and (geomean is None or geomean < min_speedup):
+        have = f"{geomean:.3f}x" if geomean is not None else "none"
+        print(f"error: geomean speedup {have} below required "
+              f"{min_speedup:.3f}x", file=sys.stderr)
+        return 1
     if slowdowns and fail_on_slowdown:
         return 1
     return 0

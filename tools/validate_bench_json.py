@@ -53,6 +53,7 @@ HIST_KEYS = [
     "epoch_ns",
     "check_ns",
     "barrier_wait_ns",
+    "dispatch_batch",
 ]
 
 HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
@@ -223,6 +224,7 @@ def validate_row(line_no, row):
         ("speedup", (int, float)),
         ("counters", dict),
         ("wait_hist", dict),
+        ("dispatch_batch", dict),
     ]:
         if key not in row:
             fail(where, f"missing key '{key}'")
@@ -238,6 +240,9 @@ def validate_row(line_no, row):
         fail(where, "seconds must be non-negative")
     validate_counters(where, row["counters"])
     validate_hist_summary(f"{where} wait_hist", row["wait_hist"])
+    # dispatch_batch reuses the summary shape; its values are batch sizes
+    # (iterations per DOMORE WorkRange message), not nanoseconds.
+    validate_hist_summary(f"{where} dispatch_batch", row["dispatch_batch"])
 
 
 def main():
