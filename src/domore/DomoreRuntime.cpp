@@ -7,6 +7,7 @@
 #include "domore/DomoreRuntime.h"
 
 #include "support/Backoff.h"
+#include "support/Chaos.h"
 #include "support/ThreadGroup.h"
 #include "support/Timer.h"
 #include "telemetry/Telemetry.h"
@@ -92,6 +93,7 @@ std::size_t effectiveMaxBatch(const DomoreConfig &Config) {
 /// Spin-waits until \p Slot reports completion of combined iteration
 /// \p Iter or beyond.
 void waitForIteration(const ProgressSlot &Slot, std::int64_t Iter) {
+  CIP_CHAOS_POINT(ProgressWait);
   Backoff B;
   while (Slot.LatestFinished.load(std::memory_order_acquire) < Iter)
     B.pause();
@@ -200,6 +202,10 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
     PendingRun &R = Pending[W];
     if (!R.Active)
       return;
+    CIP_CHECK(R.Count > 0, "active pending run with no iterations");
+    // Stretch the flush-decided -> range-enqueued window: any wait that
+    // races ahead of this enqueue targets an undispatched iteration.
+    CIP_CHAOS_POINT(Dispatch);
     produceCounted(*Queues[W],
                    Message{Message::Work, /*DepTid=*/0, R.CombinedBase,
                            R.Invocation, R.Count, R.FirstLocal, 0},
@@ -320,6 +326,11 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
   Message Buf[DrainMax];
   std::size_t Have = 0;
   std::size_t At = 0;
+  // Protocol invariants this worker can check locally: work ranges arrive
+  // in strictly increasing combined order, and every publication advances
+  // latestFinished (a regression would silently release waiting threads
+  // early or strand them forever).
+  [[maybe_unused]] std::int64_t LastPublished = -1;
   while (true) {
     if (At == Have) {
       At = 0;
@@ -339,7 +350,8 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
     case Message::End:
       return;
     case Message::Sync:
-      assert(M.DepTid != Tid && "scheduler never syncs a worker on itself");
+      CIP_CHECK(M.DepTid != Tid, "scheduler never syncs a worker on itself");
+      CIP_CHECK(M.DepTid < Progress.size(), "sync condition names no worker");
       if (!iterationDone(Progress[M.DepTid], M.Iter)) {
         telemetry::TimedScope Wait(Tel, Tid, Counter::WorkerWaitNs,
                                    Hist::WorkerWaitNs, EventKind::SyncWait,
@@ -350,7 +362,9 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
       Tel.flowEnd(Tid, M.Flow);
       break;
     case Message::Work: {
-      assert(M.Count > 0 && "empty work range");
+      CIP_CHECK(M.Count > 0, "empty work range");
+      CIP_CHECK(M.Iter > LastPublished,
+                "work ranges must arrive in increasing combined order");
       Tel.begin(Tid, EventKind::Task, M.Invocation, M.LocalIter);
       for (std::uint32_t J = 0; J < M.Count; ++J)
         Nest.Work(M.Invocation, M.LocalIter + J);
@@ -358,8 +372,14 @@ void runWorker(const LoopNest &Nest, std::uint32_t Tid,
       // One publication per range tail. Sound because the scheduler never
       // lets anything wait on an iteration inside a pending run, so every
       // wait targets a flushed range whose tail publication covers it.
+      // Stretch the work-done -> progress-published window: a waiter
+      // released in here would read state the range has not written yet.
+      CIP_CHAOS_POINT(ProgressPublish);
       Progress[Tid].LatestFinished.store(M.Iter + M.Count - 1,
                                          std::memory_order_release);
+#if CIP_CHECK_ENABLED
+      LastPublished = M.Iter + M.Count - 1;
+#endif
       Tel.add(Tid, Counter::TasksExecuted, M.Count);
       break;
     }
@@ -497,6 +517,10 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
           Tel.begin(Tid, EventKind::Task, Inv, It);
           Nest.Work(Inv, It);
           Tel.end(Tid, EventKind::Task);
+          CIP_CHECK(Progress[Tid].LatestFinished.load(
+                        std::memory_order_relaxed) < Combined,
+                    "duplicated-scheduler progress must advance");
+          CIP_CHAOS_POINT(ProgressPublish);
           Progress[Tid].LatestFinished.store(Combined,
                                              std::memory_order_release);
           Tel.add(Tid, Counter::TasksExecuted);

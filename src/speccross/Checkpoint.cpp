@@ -6,6 +6,8 @@
 
 #include "speccross/Checkpoint.h"
 
+#include "support/Chaos.h"
+
 #include <cstring>
 
 using namespace cip;
@@ -28,6 +30,7 @@ void CheckpointRegistry::clear() {
 }
 
 void CheckpointRegistry::takeSnapshot() {
+  CIP_CHAOS_POINT(Snapshot);
   SnapshotStorage.resize(TotalBytes);
   for (const Region &R : Regions)
     std::memcpy(SnapshotStorage.data() + R.SnapshotOffset, R.Ptr, R.Bytes);
@@ -36,7 +39,8 @@ void CheckpointRegistry::takeSnapshot() {
 }
 
 void CheckpointRegistry::restoreSnapshot() {
-  assert(SnapshotValid && "restore without a snapshot");
+  CIP_CHECK(SnapshotValid, "restore without a snapshot");
+  CIP_CHAOS_POINT(Restore);
   for (const Region &R : Regions)
     std::memcpy(R.Ptr, SnapshotStorage.data() + R.SnapshotOffset, R.Bytes);
 }

@@ -26,6 +26,7 @@
 
 #include "support/Backoff.h"
 #include "support/Barrier.h"
+#include "support/Chaos.h"
 #include "support/SPSCQueue.h"
 #include "support/ThreadGroup.h"
 #include "support/Timer.h"
@@ -148,6 +149,8 @@ public:
                                       EventKind::Rollback, First);
           Stopwatch Rec;
           Rec.start();
+          CIP_CHECK(Region.Checkpoints->hasSnapshot(),
+                    "rollback requires the round's checkpoint");
           Region.Checkpoints->restoreSnapshot();
           Rec.stop();
           Stats.RecoverySeconds += Rec.elapsedSeconds();
@@ -297,8 +300,14 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
     Backoff Throttle, ProduceWait;
     Request Req;
     Req.Tid = Tid;
+    // A worker's packed (epoch, task) clock may only move forward; the
+    // checker's readiness logic and every snapshot comparison depend on it.
+    [[maybe_unused]] std::uint64_t PrevClock = packClock(First, 0);
     for (std::uint32_t E = First; E < End; ++E) {
       // enter_barrier: bump the epoch number; no synchronization.
+      CIP_CHECK(packClock(E, 0) >= PrevClock,
+                "worker clock must be monotone across epochs");
+      CIP_CHAOS_POINT(ClockPublish);
       R.Clocks[Tid].Value.store(packClock(E, 0), std::memory_order_release);
       if (R.Abort.load(std::memory_order_acquire))
         break;
@@ -350,11 +359,21 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
               return;
             }
             Tel.add(Tid, Counter::ThrottleSpins);
+            CIP_CHAOS_POINT(ThrottleSpin);
             Throttle.pause();
           } while (!LeadOk());
         }
 
         // enter_task: publish the clock, then snapshot the other clocks.
+        CIP_CHECK(packClock(E, K) >= PrevClock,
+                  "worker clock must be monotone across tasks");
+        CIP_CHECK(Global + 1 >
+                      R.Started[Tid].Value.load(std::memory_order_relaxed),
+                  "started-task watermark must advance");
+#if CIP_CHECK_ENABLED
+        PrevClock = packClock(E, K);
+#endif
+        CIP_CHAOS_POINT(ClockPublish);
         R.Clocks[Tid].Value.store(packClock(E, K), std::memory_order_release);
         R.Started[Tid].Value.store(Global + 1, std::memory_order_release);
         for (std::uint32_t O = 0; O < W; ++O) {
@@ -386,6 +405,9 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
 #endif
         Req.Epoch = E;
         Req.Task = K;
+        // Stretch the signature-logged -> request-shipped window: the
+        // checker must only read logs the publishing clock already covers.
+        CIP_CHAOS_POINT(SignatureLog);
         ProduceWait.reset();
         if (!R.Queues[Tid]->tryProduce(Req)) {
           telemetry::TimedScope Full(Tel, Tid, Counter::WorkerWaitNs,
@@ -440,6 +462,10 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
 
     auto process = [&](const Request &Q) {
       ++LocalRequests;
+      CIP_CHECK(Q.Epoch >= First && Q.Epoch < End,
+                "checker request epoch outside the round");
+      CIP_CHECK(Q.Task < R.Logs[Q.Tid][Q.Epoch - First].size(),
+                "checker request task outside the epoch's signature log");
       if (WantInjection && Q.Epoch >= Config.InjectMisspecAtEpoch &&
           !InjectionFired.exchange(true)) {
         if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
@@ -501,6 +527,9 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
     };
 
     while (true) {
+      // Vary checker lag relative to workers: late polls force the
+      // ready() gate to cover wider clock-snapshot gaps.
+      CIP_CHAOS_POINT(CheckerPoll);
       if (R.Abort.load(std::memory_order_acquire))
         break;
       if (Config.TimeoutSeconds > 0.0 &&

@@ -18,6 +18,7 @@ PthreadBarrier::PthreadBarrier(unsigned NumThreads) {
 PthreadBarrier::~PthreadBarrier() { pthread_barrier_destroy(&Native); }
 
 void PthreadBarrier::wait() {
+  CIP_CHAOS_POINT(BarrierArrive);
   [[maybe_unused]] int Rc = pthread_barrier_wait(&Native);
   assert((Rc == 0 || Rc == PTHREAD_BARRIER_SERIAL_THREAD) &&
          "pthread_barrier_wait failed");

@@ -19,6 +19,7 @@
 #define CIP_SUPPORT_BARRIER_H
 
 #include "support/Backoff.h"
+#include "support/Chaos.h"
 #include "support/Compiler.h"
 #include "support/Timer.h"
 
@@ -57,6 +58,9 @@ public:
   SpinBarrier &operator=(const SpinBarrier &) = delete;
 
   void wait() {
+    // Spread arrivals out so generation-reuse windows (a fast thread
+    // re-arriving before a slow one left the previous generation) occur.
+    CIP_CHAOS_POINT(BarrierArrive);
     const bool MySense = !Sense.load(std::memory_order_relaxed);
     if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last arriver resets the count and flips the sense, releasing all.

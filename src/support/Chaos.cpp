@@ -1,0 +1,153 @@
+//===- support/Chaos.cpp - Schedule-chaos injection hooks ----------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Chaos.h"
+
+#include "support/Backoff.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace cip;
+using namespace cip::chaos;
+
+bool chaos::compiledIn() { return CIP_CHAOS != 0; }
+
+const char *chaos::siteName(Site S) {
+  switch (S) {
+  case Site::QueueProduce:
+    return "queue-produce";
+  case Site::QueueConsume:
+    return "queue-consume";
+  case Site::ProgressPublish:
+    return "progress-publish";
+  case Site::ProgressWait:
+    return "progress-wait";
+  case Site::Dispatch:
+    return "dispatch";
+  case Site::BarrierArrive:
+    return "barrier-arrive";
+  case Site::PoolHandoff:
+    return "pool-handoff";
+  case Site::ClockPublish:
+    return "clock-publish";
+  case Site::SignatureLog:
+    return "signature-log";
+  case Site::CheckerPoll:
+    return "checker-poll";
+  case Site::ThrottleSpin:
+    return "throttle-spin";
+  case Site::Snapshot:
+    return "snapshot";
+  case Site::Restore:
+    return "restore";
+  case Site::NumSites:
+    break;
+  }
+  CIP_UNREACHABLE("unknown chaos site");
+}
+
+#if CIP_CHAOS
+
+namespace {
+
+/// Process-wide injection schedule. Generation bumps tell threads their
+/// cached stream is stale; configure() is only called while the runtimes
+/// are quiescent, so the Seed/Generation pair needs no joint atomicity.
+std::atomic<std::uint64_t> GlobalSeed{0};
+std::atomic<std::uint64_t> Generation{0};
+std::atomic<std::uint64_t> Injections{0};
+std::atomic<std::uint64_t> NextOrdinal{0};
+
+std::uint64_t envSeed() {
+  const char *S = std::getenv("CIP_CHAOS");
+  if (!S || !*S)
+    return 0;
+  char *End = nullptr;
+  const unsigned long long N = std::strtoull(S, &End, 10);
+  if (!End || *End != '\0') {
+    std::fprintf(stderr,
+                 "error: CIP_CHAOS='%s' is invalid: expected a decimal seed "
+                 "(0 disables injection)\n",
+                 S);
+    // _Exit, not exit: the first probe may run on a pool lane while other
+    // threads are live, and running atexit/destructors from here trips
+    // std::terminate. A config error wants immediate, clean-status death.
+    std::_Exit(2);
+  }
+  return static_cast<std::uint64_t>(N);
+}
+
+/// One-time env pickup, forced before main spawns any runtime thread by the
+/// first configure()/enabled()/point() call.
+std::uint64_t initFromEnv() {
+  static const bool Done = [] {
+    GlobalSeed.store(envSeed(), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)Done;
+  return GlobalSeed.load(std::memory_order_acquire);
+}
+
+struct ThreadChaos {
+  std::uint64_t Gen = ~std::uint64_t{0};
+  std::uint64_t Ordinal = ~std::uint64_t{0};
+  ChaosStream Stream{0, 0};
+};
+
+thread_local ThreadChaos TLS;
+
+} // namespace
+
+void chaos::configure(std::uint64_t Seed) {
+  initFromEnv();
+  GlobalSeed.store(Seed, std::memory_order_relaxed);
+  Injections.store(0, std::memory_order_relaxed);
+  Generation.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t chaos::currentSeed() { return initFromEnv(); }
+
+bool chaos::enabled() { return initFromEnv() != 0; }
+
+std::uint64_t chaos::injectionCount() {
+  return Injections.load(std::memory_order_relaxed);
+}
+
+void chaos::point(Site S) {
+  const std::uint64_t Seed = initFromEnv();
+  if (CIP_LIKELY(Seed == 0))
+    return;
+  const std::uint64_t Gen = Generation.load(std::memory_order_acquire);
+  if (TLS.Gen != Gen) {
+    if (TLS.Ordinal == ~std::uint64_t{0})
+      TLS.Ordinal = NextOrdinal.fetch_add(1, std::memory_order_relaxed);
+    TLS.Stream = ChaosStream(Seed, TLS.Ordinal);
+    TLS.Gen = Gen;
+  }
+  const Action A = TLS.Stream.next(S);
+  switch (A.Kind) {
+  case ActionKind::None:
+    return;
+  case ActionKind::Relax:
+    for (std::uint32_t I = 0; I < A.Amount; ++I)
+      Backoff::cpuRelax();
+    break;
+  case ActionKind::Yield:
+    std::this_thread::yield();
+    break;
+  case ActionKind::Sleep:
+    std::this_thread::sleep_for(std::chrono::microseconds(A.Amount));
+    break;
+  }
+  Injections.fetch_add(1, std::memory_order_relaxed);
+}
+
+#endif // CIP_CHAOS

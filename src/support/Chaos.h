@@ -1,0 +1,183 @@
+//===- support/Chaos.h - Schedule-chaos injection hooks --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded schedule-perturbation hooks for adversarial-interleaving testing.
+/// Every protocol edge of the runtimes — queue produce/consume, progress
+/// publication, sync waits, pool handoff, barrier arrival, clock
+/// publication, signature logging, checkpoint/restore — carries a
+/// \c CIP_CHAOS_POINT(site) probe. In a chaos-enabled build
+/// (-DCIP_CHAOS_HOOKS=ON) with the \c CIP_CHAOS=<seed> environment knob set
+/// (or chaos::configure(seed) called), each probe consults a deterministic
+/// per-thread decision stream and occasionally stretches the window between
+/// two protocol actions: a run of architectural pauses, a scheduler yield,
+/// or a short sleep. That forces the interleavings an idle CI machine never
+/// produces on its own — exactly where violations of the protocol
+/// invariants (monotone latestFinished, sync conditions never targeting a
+/// buffered iteration, epoch-ordered commits) hide.
+///
+/// Zero-cost-when-disabled guarantee: the default build compiles every
+/// probe to nothing. \c CIP_CHAOS defaults to 0, making \c CIP_CHAOS_POINT
+/// an empty statement, so instrumented translation units reference no
+/// symbol of this header's runtime machinery (CI checks with `nm -u`,
+/// mirroring the CIP_TELEMETRY=0 check).
+///
+/// Determinism contract: the decision stream is a pure function of
+/// (seed, thread ordinal, call index) — see \c ChaosStream, which is
+/// compiled unconditionally so the determinism tests run in every build.
+/// Thread ordinals are assigned on first probe per thread, so cross-thread
+/// interleaving of injections still varies run to run (that is the point);
+/// what a seed pins down is each thread's own injection sequence, which is
+/// what a failing-seed repro needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SUPPORT_CHAOS_H
+#define CIP_SUPPORT_CHAOS_H
+
+// Self-default: headers that test CIP_CHAOS must see a value regardless of
+// include order (same rule as CIP_TELEMETRY; see DESIGN.md).
+#ifndef CIP_CHAOS
+#define CIP_CHAOS 0
+#endif
+
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace cip {
+namespace chaos {
+
+/// True when the library was built with chaos hooks compiled in
+/// (-DCIP_CHAOS_HOOKS=ON).
+bool compiledIn();
+
+/// Protocol edges that carry injection probes. The site feeds the decision
+/// stream, so perturbation at one edge does not shift the decisions taken
+/// at another — a failing seed keeps failing when probes are added.
+enum class Site : std::uint32_t {
+  QueueProduce,    ///< SPSCQueue: before the producer's release store
+  QueueConsume,    ///< SPSCQueue: after the consumer's acquire load
+  ProgressPublish, ///< DOMORE: before a latestFinished release store
+  ProgressWait,    ///< DOMORE: inside a waitForIteration spin
+  Dispatch,        ///< DOMORE scheduler: before flushing a WorkRange
+  BarrierArrive,   ///< Barrier: immediately before the wait
+  PoolHandoff,     ///< ThreadPool: lane observed a generation bump
+  ClockPublish,    ///< SPECCROSS: before a worker clock release store
+  SignatureLog,    ///< SPECCROSS: between signature write and request send
+  CheckerPoll,     ///< SPECCROSS checker: one polling round completed
+  ThrottleSpin,    ///< SPECCROSS: inside the speculative-range throttle
+  Snapshot,        ///< Checkpoint: before copying state aside
+  Restore,         ///< Checkpoint: before copying the snapshot back
+  NumSites
+};
+
+const char *siteName(Site S);
+
+/// What one probe visit does.
+enum class ActionKind : std::uint32_t {
+  None,  ///< fall through (the common case)
+  Relax, ///< Amount architectural pauses
+  Yield, ///< give up the time slice
+  Sleep  ///< sleep Amount microseconds (rare; models a descheduled thread)
+};
+
+struct Action {
+  ActionKind Kind = ActionKind::None;
+  std::uint32_t Amount = 0;
+};
+
+/// The deterministic decision stream behind every probe: a pure function of
+/// (seed, thread ordinal) advanced once per probe visit. Compiled in every
+/// build so the seed-determinism tests cover the exact logic the hooks use.
+class ChaosStream {
+public:
+  ChaosStream(std::uint64_t Seed, std::uint64_t Ordinal)
+      : Rng(mixSeed(Seed, Ordinal)) {}
+
+  /// The decision for the next probe visit at \p S. Roughly: 70% nothing,
+  /// 22% a pause run, 6% a yield, 2% a short sleep — enough perturbation to
+  /// shuffle interleavings without turning a millisecond workload into a
+  /// minutes-long run.
+  Action next(Site S) {
+    // Fold the site in so adding a probe at one edge never shifts the
+    // decisions other edges see for the same seed.
+    const std::uint64_t Draw = Rng.next() ^ siteSalt(S);
+    const std::uint32_t Bucket = static_cast<std::uint32_t>(Draw % 100);
+    if (Bucket < 70)
+      return {ActionKind::None, 0};
+    if (Bucket < 92)
+      return {ActionKind::Relax,
+              static_cast<std::uint32_t>(1 + ((Draw >> 7) & 0x3f))};
+    if (Bucket < 98)
+      return {ActionKind::Yield, 0};
+    return {ActionKind::Sleep,
+            static_cast<std::uint32_t>(1 + ((Draw >> 7) & 0x1f))};
+  }
+
+private:
+  static std::uint64_t mixSeed(std::uint64_t Seed, std::uint64_t Ordinal) {
+    // SplitMix the pair so ordinals 0..N of nearby seeds do not correlate.
+    SplitMix64 SM(Seed ^ (0x9e3779b97f4a7c15ULL * (Ordinal + 1)));
+    return SM.next();
+  }
+
+  static std::uint64_t siteSalt(Site S) {
+    SplitMix64 SM(static_cast<std::uint64_t>(S) + 1);
+    return SM.next();
+  }
+
+  Xoshiro256StarStar Rng;
+};
+
+#if CIP_CHAOS
+
+/// Re-seeds every probe in the process: 0 disables injection, any other
+/// value starts a new deterministic injection schedule. Threads re-derive
+/// their stream on the next probe they hit. Call only while no parallel
+/// region is running (the fuzz driver calls it between engine runs). The
+/// CIP_CHAOS environment knob provides the initial configuration.
+void configure(std::uint64_t Seed);
+
+/// Seed currently configured (0 = injection disabled).
+std::uint64_t currentSeed();
+
+/// True when a nonzero seed is configured.
+bool enabled();
+
+/// Probe visits that actually injected (Relax/Yield/Sleep), process-wide,
+/// since the last configure(). Relaxed counter; for tests and fuzz logs.
+std::uint64_t injectionCount();
+
+/// The probe body. Cheap when disabled (one relaxed load and a branch), but
+/// chaos builds are correctness builds — perf is measured on default builds
+/// where this function does not even exist in the object code.
+void point(Site S);
+
+#else // !CIP_CHAOS
+
+inline void configure(std::uint64_t) {}
+inline std::uint64_t currentSeed() { return 0; }
+inline bool enabled() { return false; }
+inline std::uint64_t injectionCount() { return 0; }
+inline void point(Site) {}
+
+#endif // CIP_CHAOS
+
+} // namespace chaos
+} // namespace cip
+
+/// The hook instrumented code uses. Expands to nothing in default builds so
+/// the guarded translation units carry no chaos code at all.
+#if CIP_CHAOS
+#define CIP_CHAOS_POINT(S) ::cip::chaos::point(::cip::chaos::Site::S)
+#else
+#define CIP_CHAOS_POINT(S)                                                     \
+  do {                                                                         \
+  } while (false)
+#endif
+
+#endif // CIP_SUPPORT_CHAOS_H

@@ -19,6 +19,7 @@
 #define CIP_SUPPORT_SPSCQUEUE_H
 
 #include "support/Backoff.h"
+#include "support/Chaos.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -67,6 +68,9 @@ public:
         return false;
     }
     Ring[Head & Mask] = Value;
+    // Stretch the slot-write -> cursor-publish window: a consumer must never
+    // observe the cursor before the element it covers.
+    CIP_CHAOS_POINT(QueueProduce);
     HeadCursor.store(Head + 1, std::memory_order_release);
     return true;
   }
@@ -89,6 +93,9 @@ public:
         return false;
     }
     Out = Ring[Tail & Mask];
+    // Stretch the element-read -> cursor-release window: the producer must
+    // never overwrite a slot the consumer is still reading.
+    CIP_CHAOS_POINT(QueueConsume);
     TailCursor.store(Tail + 1, std::memory_order_release);
     return true;
   }
@@ -111,6 +118,7 @@ public:
     const std::size_t K = N < Free ? N : Free;
     for (std::size_t I = 0; I < K; ++I)
       Ring[(Head + I) & Mask] = Items[I];
+    CIP_CHAOS_POINT(QueueProduce);
     HeadCursor.store(Head + K, std::memory_order_release);
     return K;
   }
@@ -132,6 +140,7 @@ public:
     const std::size_t K = Max < Avail ? Max : Avail;
     for (std::size_t I = 0; I < K; ++I)
       Out[I] = Ring[(Tail + I) & Mask];
+    CIP_CHAOS_POINT(QueueConsume);
     TailCursor.store(Tail + K, std::memory_order_release);
     return K;
   }

@@ -31,6 +31,7 @@
 #define CIP_SUPPORT_THREADPOOL_H
 
 #include "support/Backoff.h"
+#include "support/Chaos.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -81,7 +82,7 @@ public:
   /// back to freshly spawned threads.
   template <typename Callable> void run(unsigned N, Callable &&Body) {
     assert(N > 0 && "need at least one thread");
-    if (InPoolLane) {
+    if (InPoolLane || Bypass.load(std::memory_order_relaxed)) {
       runSpawned(N, Body);
       return;
     }
@@ -121,12 +122,27 @@ public:
   /// Lanes currently spawned (monotone; the pool never shrinks).
   unsigned size() const { return static_cast<unsigned>(Lanes.size()); }
 
+  /// When true, run() uses plain spawn-and-join threads instead of the
+  /// persistent lanes. Initialized from the CIP_POOL environment knob
+  /// (CIP_POOL=0 disables the pool); the fuzz driver toggles it between
+  /// runs so one process can differentially test both thread substrates.
+  /// Only flip while no region is running.
+  static void setBypass(bool Disable) {
+    Bypass.store(Disable, std::memory_order_relaxed);
+  }
+  static bool bypassed() { return Bypass.load(std::memory_order_relaxed); }
+
 private:
   using BodyFn = void (*)(void *, unsigned);
 
   static bool pinRequested() {
     const char *S = std::getenv("CIP_PIN_THREADS");
     return S && *S && std::strcmp(S, "0") != 0;
+  }
+
+  static bool poolDisabledByEnv() {
+    const char *S = std::getenv("CIP_POOL");
+    return S && std::strcmp(S, "0") == 0;
   }
 
   /// Plain spawn-and-join fallback for nested regions.
@@ -187,6 +203,9 @@ private:
       if (Stop.load(std::memory_order_acquire))
         return;
       SeenGen = Generation.load(std::memory_order_acquire);
+      // Stretch the dispatch-observed -> body-entered window so lanes enter
+      // the region in shuffled order and stale-generation bugs surface.
+      CIP_CHAOS_POINT(PoolHandoff);
       if (Idx < ActiveLanes)
         DispatchBody(DispatchCtx, Idx);
       if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -212,6 +231,7 @@ private:
   std::atomic<std::uint64_t> Generation{0};
   std::atomic<unsigned> Remaining{0};
   std::atomic<bool> Stop{false};
+  static inline std::atomic<bool> Bypass{poolDisabledByEnv()};
   BodyFn DispatchBody = nullptr;
   void *DispatchCtx = nullptr;
   unsigned ActiveLanes = 0;

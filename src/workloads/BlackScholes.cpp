@@ -74,6 +74,10 @@ void BlackScholesWorkload::reset() {
     Calib[I] = 1.0 + 1e-3 * static_cast<double>(I);
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void BlackScholesWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t Base = blockOf(Epoch, Task);
   for (std::uint32_t K = 0; K < Params.OptionsPerTask; ++K) {

@@ -69,6 +69,10 @@ void EquakeWorkload::reset() {
   }
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void EquakeWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const Phase P = static_cast<Phase>(Epoch % 3);
   const std::size_t Begin = Task * Params.BlockSize;

@@ -53,6 +53,10 @@ void FdtdWorkload::reset() {
     }
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void FdtdWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t I = Task;
   const std::size_t Cols = Params.Cols;

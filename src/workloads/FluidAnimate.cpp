@@ -66,6 +66,10 @@ void FluidAnimate1Workload::reset() {
     Force[I] = 1e-2 * static_cast<double>(I % 41);
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void FluidAnimate1Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t Self =
       static_cast<std::size_t>(Epoch) * Params.ParticlesPerGroup + Task;
@@ -148,6 +152,10 @@ void FluidAnimate2Workload::reset() {
     C = 0.0;
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void FluidAnimate2Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t B = Task;
   const std::size_t Lo = begin(B), Hi = Lo + Params.BlockSize;

@@ -51,6 +51,10 @@ void JacobiWorkload::reset() {
     }
 }
 
+// Speculative engines race on this workload state by design; the
+// checksum-vs-sequential oracle verifies the outcome (rationale at
+// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
+CIP_NO_SANITIZE_THREAD
 void JacobiWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   std::vector<double> &Src = Epoch % 2 == 0 ? A : B;
   std::vector<double> &Dst = Epoch % 2 == 0 ? B : A;

@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 
 using namespace cip;
@@ -38,7 +39,8 @@ namespace {
 struct RandomRegion {
   RandomRegion(std::uint32_t Epochs, std::uint32_t Tasks, double ConflictProb,
                std::uint64_t Seed)
-      : Epochs(Epochs), Tasks(Tasks), Cells(2 * Tasks, 1) {
+      : Epochs(Epochs), Tasks(Tasks), Cells(2 * Tasks) {
+    reset();
     // Extra cell per (epoch, task): a per-epoch permutation of the upper
     // half of the cell array, engaged or not by a coin flip.
     Xoshiro256StarStar Rng(Seed);
@@ -60,13 +62,24 @@ struct RandomRegion {
   }
 
   void runTask(std::uint32_t E, std::size_t T) {
-    // Non-commutative updates so ordering violations corrupt the state.
-    Cells[T] = Cells[T] * 3 + static_cast<std::int64_t>(E);
+    // Non-commutative updates so ordering violations corrupt the state;
+    // unsigned cells so the long multiply chains wrap (defined, and odd
+    // multipliers remain injective mod 2^64) instead of overflowing.
+    // Relaxed atomics keep the cells' races defined: SPECCROSS runs
+    // conflicting tasks speculatively and unwinds them on misspeculation,
+    // and the throttle bounds task-number lead, not completion — so under
+    // TSan the intentional speculation race must not be UB. A lost update
+    // still corrupts the state and fails the sequential comparison.
+    Cells[T].store(Cells[T].load(std::memory_order_relaxed) * 3 +
+                       static_cast<std::uint64_t>(E),
+                   std::memory_order_relaxed);
     const std::int32_t X = extraOf(E, T);
-    if (X >= 0)
-      Cells[static_cast<std::size_t>(X)] =
-          Cells[static_cast<std::size_t>(X)] * 5 +
-          static_cast<std::int64_t>(T);
+    if (X >= 0) {
+      auto &Cell = Cells[static_cast<std::size_t>(X)];
+      Cell.store(Cell.load(std::memory_order_relaxed) * 5 +
+                     static_cast<std::uint64_t>(T),
+                 std::memory_order_relaxed);
+    }
   }
 
   void addresses(std::uint32_t E, std::size_t T,
@@ -79,15 +92,23 @@ struct RandomRegion {
 
   void reset() {
     for (auto &C : Cells)
-      C = 1;
+      C.store(1, std::memory_order_relaxed);
   }
 
-  std::vector<std::int64_t> sequentialResult() {
+  std::vector<std::uint64_t> state() const {
+    std::vector<std::uint64_t> Out;
+    Out.reserve(Cells.size());
+    for (const auto &C : Cells)
+      Out.push_back(C.load(std::memory_order_relaxed));
+    return Out;
+  }
+
+  std::vector<std::uint64_t> sequentialResult() {
     reset();
     for (std::uint32_t E = 0; E < Epochs; ++E)
       for (std::uint32_t T = 0; T < Tasks; ++T)
         runTask(E, T);
-    std::vector<std::int64_t> Out = Cells;
+    std::vector<std::uint64_t> Out = state();
     reset();
     return Out;
   }
@@ -124,7 +145,7 @@ struct RandomRegion {
   }
 
   std::uint32_t Epochs, Tasks;
-  std::vector<std::int64_t> Cells;
+  std::vector<std::atomic<std::uint64_t>> Cells;
   std::vector<std::int32_t> Extra;
 };
 
@@ -163,7 +184,7 @@ TEST_P(RandomizedSweep, DomoreMatchesSequential) {
   domore::DomoreConfig Cfg;
   Cfg.NumWorkers = Workers;
   domore::runDomore(R.nest(), Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }
 
 TEST_P(RandomizedSweep, DomoreDuplicatedMatchesSequential) {
@@ -173,7 +194,7 @@ TEST_P(RandomizedSweep, DomoreDuplicatedMatchesSequential) {
   domore::DomoreConfig Cfg;
   Cfg.NumWorkers = Workers;
   domore::runDomoreDuplicated(R.nest(), Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }
 
 TEST_P(RandomizedSweep, DomoreOwnerComputeMatchesSequential) {
@@ -184,7 +205,7 @@ TEST_P(RandomizedSweep, DomoreOwnerComputeMatchesSequential) {
   Cfg.NumWorkers = Workers;
   Cfg.Policy = domore::PolicyKind::OwnerCompute;
   domore::runDomore(R.nest(), Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }
 
 TEST_P(RandomizedSweep, SpecCrossRangeSigMatchesSequential) {
@@ -197,7 +218,7 @@ TEST_P(RandomizedSweep, SpecCrossRangeSigMatchesSequential) {
   Cfg.NumWorkers = Workers;
   Cfg.CheckpointIntervalEpochs = 13; // odd interval exercises partial rounds
   speccross::runSpecCross(Region, Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }
 
 TEST_P(RandomizedSweep, SpecCrossBloomSigMatchesSequential) {
@@ -210,7 +231,7 @@ TEST_P(RandomizedSweep, SpecCrossBloomSigMatchesSequential) {
   Cfg.NumWorkers = Workers;
   Cfg.Scheme = speccross::SignatureScheme::Bloom;
   speccross::runSpecCross(Region, Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }
 
 TEST_P(RandomizedSweep, ProfiledThrottleNeverMisspeculates) {
@@ -234,7 +255,7 @@ TEST_P(RandomizedSweep, ProfiledThrottleNeverMisspeculates) {
   Cfg.Scheme = speccross::SignatureScheme::SmallSet;
   Cfg.SpecDistance = P.recommendedSpecDistance(Workers);
   const speccross::SpecStats S = speccross::runSpecCross(Region, Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
   // The no-misspeculation guarantee requires the profiled slack to be the
   // binding throttle (not the per-worker progress floor).
   if (!P.conflictFree() &&
@@ -254,5 +275,5 @@ TEST_P(RandomizedSweep, TmStyleValidationMatchesSequential) {
   Cfg.Scheme = speccross::SignatureScheme::SmallSet;
   Cfg.TmStyleValidation = true;
   speccross::runSpecCross(Region, Cfg);
-  EXPECT_EQ(R.Cells, Expected);
+  EXPECT_EQ(R.state(), Expected);
 }

@@ -132,7 +132,9 @@ struct ChainRegion {
   explicit ChainRegion(std::uint32_t Epochs, std::uint32_t Tasks,
                        bool WithConflicts)
       : Epochs(Epochs), Tasks(Tasks), WithConflicts(WithConflicts),
-        Cells(Tasks, 0), Shared(1, 1) {}
+        Cells(Tasks, 0), Shared(1) {
+    Shared[0].store(1, std::memory_order_relaxed);
+  }
 
   SpecRegion region(CheckpointRegistry &Reg) {
     Reg.registerBuffer(Cells);
@@ -144,8 +146,15 @@ struct ChainRegion {
     };
     R.RunTask = [this](std::uint32_t E, std::size_t T) {
       Cells[T] += 1;
+      // Relaxed atomic RMW on the shared slot: the designated tasks of
+      // consecutive epochs run on different workers and may overlap
+      // speculatively before the checker aborts the round — keep that
+      // intentional race defined under TSan (Cells[T] stays plain: task T
+      // always lands on worker T % W, so it is single-threaded).
       if (WithConflicts && T == E % 2)
-        Shared[0] += 1 + Cells[T] % 3;
+        Shared[0].store(Shared[0].load(std::memory_order_relaxed) + 1 +
+                            Cells[T] % 3,
+                        std::memory_order_relaxed);
     };
     R.TaskAddresses = [this](std::uint32_t E, std::size_t T,
                              std::vector<std::uint64_t> &Addrs) {
@@ -159,14 +168,14 @@ struct ChainRegion {
 
   std::vector<std::uint32_t> state() const {
     std::vector<std::uint32_t> S = Cells;
-    S.push_back(Shared[0]);
+    S.push_back(Shared[0].load(std::memory_order_relaxed));
     return S;
   }
 
   std::uint32_t Epochs, Tasks;
   bool WithConflicts;
   std::vector<std::uint32_t> Cells;
-  std::vector<std::uint32_t> Shared;
+  std::vector<std::atomic<std::uint32_t>> Shared;
 };
 
 std::vector<std::uint32_t> sequentialResult(ChainRegion Proto) {
@@ -255,6 +264,55 @@ TEST(SpecCrossRuntime, InjectedMisspeculationRollsBackAndReexecutes) {
   EXPECT_GT(S.RecoverySeconds, 0.0);
 }
 
+TEST(Checkpoint, RestoreDiscardsPartialMidEpochWrites) {
+  // An abort can land mid-epoch, leaving some tasks' writes applied and
+  // others not; restore must wipe the partial image wholesale.
+  std::vector<std::uint32_t> Cells(8, 5);
+  std::vector<std::uint32_t> Shared(1, 100);
+  CheckpointRegistry Reg;
+  Reg.registerBuffer(Cells);
+  Reg.registerBuffer(Shared);
+  Reg.takeSnapshot();
+  for (std::size_t T = 0; T < Cells.size() / 2; ++T) // half an epoch lands
+    Cells[T] += 7;
+  Shared[0] = 1;
+  Reg.restoreSnapshot();
+  EXPECT_EQ(Cells, std::vector<std::uint32_t>(8, 5));
+  EXPECT_EQ(Shared[0], 100u);
+  // The same snapshot supports repeated restores (one round can only abort
+  // once, but the registry must not consume the snapshot).
+  Cells[3] = 999;
+  Reg.restoreSnapshot();
+  EXPECT_EQ(Cells[3], 5u);
+}
+
+TEST(SpecCrossRuntime, MidRoundAbortAtEveryEpochRestoresCheckpoint) {
+  // Sweep the forced abort over every epoch so the rollback path is
+  // exercised at every offset within a round: first epoch, mid-round, and
+  // final short round. Rounds are [0,4), [4,8), [8,10).
+  const std::uint32_t Epochs = 10;
+  const auto Expected = sequentialResult(ChainRegion(Epochs, 4, false));
+  const std::uint32_t RoundBegin[] = {0, 0, 0, 0, 4, 4, 4, 4, 8, 8};
+  const std::uint32_t RoundSize[] = {4, 4, 4, 4, 4, 4, 4, 4, 2, 2};
+  for (std::uint32_t Inject = 0; Inject < Epochs; ++Inject) {
+    ChainRegion C(Epochs, 4, false);
+    CheckpointRegistry Reg;
+    SpecRegion R = C.region(Reg);
+    SpecConfig Cfg;
+    Cfg.NumWorkers = 3;
+    Cfg.CheckpointIntervalEpochs = 4;
+    Cfg.InjectMisspecAtEpoch = Inject;
+    const SpecStats S = runSpecCross(R, Cfg);
+    EXPECT_EQ(C.state(), Expected) << "inject at epoch " << Inject;
+    EXPECT_EQ(S.Misspeculations, 1u) << "inject at epoch " << Inject;
+    // Only the round containing the faulted epoch re-executes.
+    EXPECT_EQ(S.ReexecutedEpochs, RoundSize[Inject])
+        << "inject at epoch " << Inject;
+    EXPECT_EQ(S.CheckpointsTaken, 3u) << "inject at epoch " << Inject;
+    (void)RoundBegin;
+  }
+}
+
 TEST(SpecCrossRuntime, BloomSchemeAlsoCorrect) {
   const auto Expected = sequentialResult(ChainRegion(50, 6, true));
   ChainRegion C(50, 6, true);
@@ -319,7 +377,7 @@ namespace {
 /// workers overlap, so the very first checked request misspeculates.
 struct AlwaysConflictRegion {
   explicit AlwaysConflictRegion(std::uint32_t Epochs, std::uint32_t Tasks)
-      : Epochs(Epochs), Tasks(Tasks), Shared(1, 0) {}
+      : Epochs(Epochs), Tasks(Tasks), Shared(1) {}
 
   SpecRegion region(CheckpointRegistry &Reg) {
     Reg.registerBuffer(Shared);
@@ -328,7 +386,13 @@ struct AlwaysConflictRegion {
     R.NumTasks = [this](std::uint32_t) {
       return static_cast<std::size_t>(Tasks);
     };
-    R.RunTask = [this](std::uint32_t, std::size_t) { Shared[0] += 1; };
+    // Relaxed atomic RMW: the concurrent speculative attempts race on this
+    // slot by design (that is the conflict under test), and the runtime
+    // rolls them back — keep the race defined so TSan sees the engine's
+    // recovery, not the workload's intentional collision.
+    R.RunTask = [this](std::uint32_t, std::size_t) {
+      Shared[0].fetch_add(1, std::memory_order_relaxed);
+    };
     R.TaskAddresses = [](std::uint32_t, std::size_t,
                          std::vector<std::uint64_t> &Addrs) {
       Addrs.push_back(0);
@@ -338,7 +402,7 @@ struct AlwaysConflictRegion {
   }
 
   std::uint32_t Epochs, Tasks;
-  std::vector<std::uint32_t> Shared;
+  std::vector<std::atomic<std::uint32_t>> Shared;
 };
 
 } // namespace
@@ -354,7 +418,7 @@ TEST(SpecCrossRuntime, OverlapAbortForensicsCarryAConfirmedConflict) {
   const SpecStats S = runSpecCross(R, Cfg);
   // Every speculative attempt hits a real conflict; recovery re-executes
   // the round non-speculatively, so the result still matches sequential.
-  EXPECT_EQ(C.Shared[0], 12u * 4u);
+  EXPECT_EQ(C.Shared[0].load(), 12u * 4u);
   ASSERT_GE(S.Misspeculations, 1u);
   ASSERT_EQ(S.Aborts.size(), S.Misspeculations);
 

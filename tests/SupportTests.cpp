@@ -286,6 +286,41 @@ TEST(Barrier, InstrumentedBarrierAccountsIdleTime) {
   EXPECT_EQ(Bar.totalIdleNanos(), 0u);
 }
 
+template <typename BarrierT> static void checkBarrierGenerationReuse(int Rounds) {
+  // Regression coverage for generation reuse: a fast thread re-arriving at
+  // the barrier while a slow thread is still leaving the previous
+  // generation (the sense-reversal window). Each thread publishes its round
+  // before waiting; after the wait, every thread must observe every other
+  // thread's publication for that round — across many generations of the
+  // *same* barrier object.
+  constexpr unsigned Threads = 4;
+  BarrierT Bar(Threads);
+  std::atomic<int> Slot[Threads] = {};
+  std::atomic<bool> Violation{false};
+  runThreads(Threads, [&](unsigned Tid) {
+    for (int R = 1; R <= Rounds; ++R) {
+      Slot[Tid].store(R, std::memory_order_relaxed);
+      Bar.wait();
+      for (unsigned T = 0; T < Threads; ++T)
+        if (Slot[T].load(std::memory_order_relaxed) < R)
+          Violation.store(true);
+      // Second wait keeps round R+1 publications out of the check window.
+      Bar.wait();
+    }
+  });
+  EXPECT_FALSE(Violation.load());
+  for (unsigned T = 0; T < Threads; ++T)
+    EXPECT_EQ(Slot[T].load(), Rounds);
+}
+
+TEST(Barrier, SpinBarrierReusableAcrossManyGenerations) {
+  checkBarrierGenerationReuse<SpinBarrier>(2000);
+}
+
+TEST(Barrier, PthreadBarrierReusableAcrossManyGenerations) {
+  checkBarrierGenerationReuse<PthreadBarrier>(500);
+}
+
 TEST(ThreadGroup, SpawnAndJoinIndexedThreads) {
   std::atomic<unsigned> Mask{0};
   ThreadGroup G;
@@ -325,6 +360,20 @@ TEST(ThreadPool, NestedRegionsFallBackWithoutDeadlock) {
     runThreads(3, [&](unsigned) { Inner.fetch_add(1); });
   });
   EXPECT_EQ(Inner.load(), 6u);
+}
+
+TEST(ThreadPool, BypassSubstrateRunsEveryIndex) {
+  // The fuzz driver flips the bypass between runs so one process covers
+  // both thread substrates; the spawned fallback must honor the same
+  // contract as the pooled path.
+  const bool Prev = ThreadPool::bypassed();
+  ThreadPool::setBypass(true);
+  EXPECT_TRUE(ThreadPool::bypassed());
+  std::atomic<unsigned> Mask{0};
+  runThreads(5, [&](unsigned Tid) { Mask.fetch_or(1u << Tid); });
+  EXPECT_EQ(Mask.load(), 0b11111u);
+  ThreadPool::setBypass(Prev);
+  EXPECT_EQ(ThreadPool::bypassed(), Prev);
 }
 
 TEST(ThreadPool, ConcurrentTopLevelRegionsSerialize) {

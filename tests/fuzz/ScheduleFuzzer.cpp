@@ -1,0 +1,489 @@
+//===- tests/fuzz/ScheduleFuzzer.cpp - Differential schedule fuzzing ------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/ScheduleFuzzer.h"
+
+#include "domore/DomoreRuntime.h"
+#include "domore/Schedule.h"
+#include "speccross/Checkpoint.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "support/Chaos.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+using namespace cip;
+using namespace cip::fuzz;
+
+const char *fuzz::engineName(Engine E) {
+  switch (E) {
+  case Engine::Domore:
+    return "domore";
+  case Engine::DomoreDup:
+    return "domore-dup";
+  case Engine::SpecCross:
+    return "speccross";
+  }
+  return "unknown";
+}
+
+bool fuzz::parseEngine(std::string_view Name, Engine &Out) {
+  if (Name == "domore")
+    Out = Engine::Domore;
+  else if (Name == "domore-dup" || Name == "dup")
+    Out = Engine::DomoreDup;
+  else if (Name == "speccross")
+    Out = Engine::SpecCross;
+  else
+    return false;
+  return true;
+}
+
+const char *fuzz::schemeName(speccross::SignatureScheme S) {
+  switch (S) {
+  case speccross::SignatureScheme::Range:
+    return "range";
+  case speccross::SignatureScheme::Bloom:
+    return "bloom";
+  case speccross::SignatureScheme::SmallSet:
+    return "smallset";
+  }
+  return "unknown";
+}
+
+bool fuzz::parseScheme(std::string_view Name,
+                       speccross::SignatureScheme &Out) {
+  if (Name == "range")
+    Out = speccross::SignatureScheme::Range;
+  else if (Name == "bloom")
+    Out = speccross::SignatureScheme::Bloom;
+  else if (Name == "smallset" || Name == "small-set")
+    Out = speccross::SignatureScheme::SmallSet;
+  else
+    return false;
+  return true;
+}
+
+std::string fuzz::reproCommand(std::uint64_t Seed, const FuzzOptions &Opt) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "tools/cip_fuzz --seed=%" PRIu64
+                " --engines=%s --workers=%u --maxbatch=%zu --pool=%d"
+                " --chaos=%" PRIu64 " --scheme=%s",
+                Seed, engineName(Opt.Eng), Opt.Workers, Opt.MaxBatch,
+                Opt.UsePool ? 1 : 0, Opt.ChaosSeed, schemeName(Opt.Scheme));
+  return Buf;
+}
+
+namespace {
+
+/// Applies the per-run substrate knobs (thread pool bypass, chaos seed) and
+/// restores the previous settings on scope exit, so matrix runs in one
+/// process never leak configuration into each other.
+class SubstrateGuard {
+public:
+  explicit SubstrateGuard(const FuzzOptions &Opt)
+      : PrevBypass(ThreadPool::bypassed()),
+        PrevChaosSeed(chaos::currentSeed()) {
+    ThreadPool::setBypass(!Opt.UsePool);
+    chaos::configure(Opt.ChaosSeed);
+  }
+  ~SubstrateGuard() {
+    ThreadPool::setBypass(PrevBypass);
+    chaos::configure(PrevChaosSeed);
+  }
+
+private:
+  const bool PrevBypass;
+  const std::uint64_t PrevChaosSeed;
+};
+
+/// One memory access of a generated workload: `Data[Addr] = Data[Addr]*Mul
+/// + Add`. Mul is odd, so the map is injective and updates to one address
+/// commute for *no* pair of distinct accesses — any per-address reordering
+/// or lost update changes the final image.
+struct Access {
+  std::uint64_t Addr;
+  std::uint64_t Mul;
+  std::uint64_t Add;
+};
+
+void applyAccess(std::vector<std::atomic<std::uint64_t>> &Data,
+                 const Access &A) {
+  // Plain load/modify/store on relaxed atomics: racy interleavings (which
+  // correct engines must prevent, and which SPECCROSS may create and roll
+  // back) stay well-defined so the differential verdict is trustworthy
+  // under every sanitizer.
+  const std::uint64_t Old = Data[A.Addr].load(std::memory_order_relaxed);
+  Data[A.Addr].store(Old * A.Mul + A.Add, std::memory_order_relaxed);
+}
+
+void applyAccess(std::vector<std::uint64_t> &Data, const Access &A) {
+  Data[A.Addr] = Data[A.Addr] * A.Mul + A.Add;
+}
+
+std::uint64_t oddMul(Xoshiro256StarStar &Rng) {
+  return 3 + 2 * Rng.nextBelow(8);
+}
+
+/// Formats the first few mismatching addresses of a memory comparison.
+bool compareMemory(const std::vector<std::uint64_t> &Expected,
+                   const std::vector<std::atomic<std::uint64_t>> &Got,
+                   std::string &Report) {
+  bool Ok = true;
+  unsigned Shown = 0;
+  for (std::size_t A = 0; A < Expected.size(); ++A) {
+    const std::uint64_t G = Got[A].load(std::memory_order_relaxed);
+    if (G == Expected[A])
+      continue;
+    Ok = false;
+    if (Shown++ < 3) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "  addr %zu: expected %" PRIu64 ", got %" PRIu64 "\n", A,
+                    Expected[A], G);
+      Report += Buf;
+    }
+  }
+  if (!Ok)
+    Report = "final memory diverges from the sequential oracle:\n" + Report;
+  return Ok;
+}
+
+void appendCheck(std::string &Report, bool Cond, const char *What,
+                 std::uint64_t Expected, std::uint64_t Got) {
+  if (Cond)
+    return;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%s: expected %" PRIu64 ", got %" PRIu64 "\n",
+                What, Expected, Got);
+  Report += Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// DOMORE cases
+//===----------------------------------------------------------------------===//
+
+struct DomoreCase {
+  std::uint64_t N = 0;
+  std::vector<std::uint64_t> Init;
+  /// Accesses of iteration (Inv, It): Accesses[Inv][It].
+  std::vector<std::vector<std::vector<Access>>> Accesses;
+  domore::PolicyKind Policy = domore::PolicyKind::RoundRobin;
+  std::uint64_t AddressSpaceSize = 0; // 0 = hash shadow
+  std::size_t QueueCapacity = 4096;
+  std::uint64_t TotalIterations = 0;
+};
+
+DomoreCase generateDomoreCase(std::uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed ^ 0xd0d0caf3d0d0caf3ULL);
+  DomoreCase C;
+  C.N = 16 + Rng.nextBelow(81);
+  C.Init.resize(C.N);
+  for (auto &V : C.Init)
+    V = Rng.nextBelow(std::uint64_t{1} << 30);
+
+  const std::uint32_t Invocations = 2 + static_cast<std::uint32_t>(
+                                            Rng.nextBelow(7));
+  // Conflict density: probability an access lands in the small hot set
+  // every iteration shares, from conflict-free to heavily serialized.
+  static constexpr double Densities[] = {0.0, 0.05, 0.2, 0.6};
+  const double Density = Densities[Rng.nextBelow(4)];
+  const std::uint64_t HotSet = 1 + Rng.nextBelow(C.N / 8 ? C.N / 8 : 1);
+
+  C.Accesses.resize(Invocations);
+  for (auto &Inv : C.Accesses) {
+    Inv.resize(Rng.nextBelow(25)); // invocations may be empty
+    for (auto &Iter : Inv) {
+      Iter.resize(1 + Rng.nextBelow(4));
+      for (Access &A : Iter) {
+        A.Addr = Rng.nextBool(Density) ? Rng.nextBelow(HotSet)
+                                       : Rng.nextBelow(C.N);
+        A.Mul = oddMul(Rng);
+        A.Add = Rng.nextBelow(std::uint64_t{1} << 20);
+      }
+      ++C.TotalIterations;
+    }
+  }
+  // Degenerate all-empty nests exercise nothing; keep one iteration alive.
+  if (C.TotalIterations == 0) {
+    C.Accesses[0].push_back({{Rng.nextBelow(C.N), oddMul(Rng), 1}});
+    C.TotalIterations = 1;
+  }
+
+  switch (Rng.nextBelow(3)) {
+  case 0:
+    C.Policy = domore::PolicyKind::RoundRobin;
+    C.AddressSpaceSize = Rng.nextBool(0.5) ? C.N : 0;
+    break;
+  case 1:
+    C.Policy = domore::PolicyKind::OwnerCompute;
+    C.AddressSpaceSize = C.N; // owner-compute needs the dense space
+    break;
+  default:
+    C.Policy = domore::PolicyKind::HashOwner;
+    C.AddressSpaceSize = Rng.nextBool(0.5) ? C.N : 0;
+    break;
+  }
+  C.QueueCapacity = Rng.nextBool(0.25) ? 64 : 4096;
+  return C;
+}
+
+std::unique_ptr<domore::SchedulePolicy>
+makeReplayPolicy(const DomoreCase &C, std::uint32_t Workers) {
+  switch (C.Policy) {
+  case domore::PolicyKind::RoundRobin:
+    return std::make_unique<domore::RoundRobinPolicy>(Workers);
+  case domore::PolicyKind::OwnerCompute:
+    return std::make_unique<domore::OwnerComputePolicy>(Workers,
+                                                        C.AddressSpaceSize);
+  case domore::PolicyKind::HashOwner:
+    return std::make_unique<domore::HashOwnerPolicy>(Workers);
+  }
+  return nullptr;
+}
+
+/// Sequential shadow-memory replay of the schedule, using the *real* policy
+/// classes: the exact number of sync conditions the scheduler must emit,
+/// independent of batching, queue capacity, and thread interleaving.
+std::uint64_t replaySyncConditions(const DomoreCase &C,
+                                   std::uint32_t Workers) {
+  auto Policy = makeReplayPolicy(C, Workers);
+  struct Last {
+    std::uint32_t Tid;
+  };
+  std::unordered_map<std::uint64_t, Last> Shadow;
+  std::vector<std::uint64_t> Addrs;
+  std::uint64_t Syncs = 0;
+  std::int64_t Combined = 0;
+  for (const auto &Inv : C.Accesses)
+    for (const auto &Iter : Inv) {
+      Addrs.clear();
+      for (const Access &A : Iter)
+        Addrs.push_back(A.Addr);
+      const std::uint32_t Tid = Policy->pick(Combined, Addrs);
+      for (std::uint64_t Addr : Addrs) {
+        auto It = Shadow.find(Addr);
+        if (It != Shadow.end() && It->second.Tid != Tid)
+          ++Syncs;
+        Shadow[Addr] = {Tid};
+      }
+      ++Combined;
+    }
+  return Syncs;
+}
+
+FuzzResult runDomoreCase(std::uint64_t Seed, const FuzzOptions &Opt) {
+  const DomoreCase C = generateDomoreCase(Seed);
+
+  // Sequential oracle: combined order is the reference order.
+  std::vector<std::uint64_t> Expected = C.Init;
+  for (const auto &Inv : C.Accesses)
+    for (const auto &Iter : Inv)
+      for (const Access &A : Iter)
+        applyAccess(Expected, A);
+  const std::uint64_t ExpectedSyncs = replaySyncConditions(C, Opt.Workers);
+
+  std::vector<std::atomic<std::uint64_t>> Data(C.N);
+  for (std::size_t A = 0; A < C.N; ++A)
+    Data[A].store(C.Init[A], std::memory_order_relaxed);
+
+  domore::LoopNest Nest;
+  Nest.NumInvocations = static_cast<std::uint32_t>(C.Accesses.size());
+  Nest.BeginInvocation = [&C](std::uint32_t Inv) {
+    return C.Accesses[Inv].size();
+  };
+  Nest.ComputeAddr = [&C](std::uint32_t Inv, std::size_t It,
+                          std::vector<std::uint64_t> &Addrs) {
+    for (const Access &A : C.Accesses[Inv][It])
+      Addrs.push_back(A.Addr);
+  };
+  Nest.Work = [&C, &Data](std::uint32_t Inv, std::size_t It) {
+    for (const Access &A : C.Accesses[Inv][It])
+      applyAccess(Data, A);
+  };
+  Nest.AddressSpaceSize = C.AddressSpaceSize;
+
+  domore::DomoreConfig Config;
+  Config.NumWorkers = Opt.Workers;
+  Config.Policy = C.Policy;
+  Config.QueueCapacity = C.QueueCapacity;
+  Config.MaxBatch = Opt.MaxBatch;
+
+  const domore::DomoreStats Stats = Opt.Eng == Engine::DomoreDup
+                                        ? runDomoreDuplicated(Nest, Config)
+                                        : runDomore(Nest, Config);
+
+  FuzzResult R;
+  std::string Report;
+  compareMemory(Expected, Data, Report);
+  appendCheck(Report, Stats.Iterations == C.TotalIterations,
+              "iteration count", C.TotalIterations, Stats.Iterations);
+  appendCheck(Report, Stats.Invocations == C.Accesses.size(),
+              "invocation count", C.Accesses.size(), Stats.Invocations);
+  appendCheck(Report, Stats.SyncConditions == ExpectedSyncs,
+              "sync conditions vs shadow replay", ExpectedSyncs,
+              Stats.SyncConditions);
+  if (!Report.empty()) {
+    R.Ok = false;
+    R.Failure = Report;
+    R.Repro = reproCommand(Seed, Opt);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// SPECCROSS cases
+//===----------------------------------------------------------------------===//
+
+struct SpecCase {
+  std::uint64_t N = 0;
+  std::vector<std::uint64_t> Init;
+  std::uint32_t Epochs = 0;
+  std::vector<std::size_t> Tasks; // per epoch
+  /// Accesses of task (E, K): Accesses[E][K]. Tasks within one epoch touch
+  /// disjoint addresses by construction (each address has one owner task
+  /// per epoch); the owner *rotates* across epochs, which is what creates
+  /// cross-epoch, cross-worker conflicts for the checker to catch.
+  std::vector<std::vector<std::vector<Access>>> Accesses;
+  std::uint32_t CheckpointInterval = 1000;
+  std::uint32_t InjectAt = ~std::uint32_t{0};
+  std::uint64_t TotalTasks = 0;
+};
+
+SpecCase generateSpecCase(std::uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed ^ 0x5bec20555bec2055ULL);
+  SpecCase C;
+  C.N = 24 + Rng.nextBelow(73);
+  C.Init.resize(C.N);
+  for (auto &V : C.Init)
+    V = Rng.nextBelow(std::uint64_t{1} << 30);
+
+  C.Epochs = 3 + static_cast<std::uint32_t>(Rng.nextBelow(10));
+  // Ownership rotation per epoch: 0 pins every address to one task index
+  // forever (conflicts stay within a worker — pure speculation path);
+  // nonzero values slide ownership across task indices and thus workers,
+  // dialing in cross-epoch conflict density.
+  static constexpr std::uint64_t Rotations[] = {0, 0, 0, 1, 2, 3};
+  const std::uint64_t Rot = Rotations[Rng.nextBelow(6)];
+  static constexpr double Densities[] = {0.25, 0.5, 0.9};
+  const double Density = Densities[Rng.nextBelow(3)];
+
+  C.Tasks.resize(C.Epochs);
+  C.Accesses.resize(C.Epochs);
+  for (std::uint32_t E = 0; E < C.Epochs; ++E) {
+    C.Tasks[E] = 2 + Rng.nextBelow(10);
+    C.Accesses[E].resize(C.Tasks[E]);
+    C.TotalTasks += C.Tasks[E];
+    for (std::uint64_t A = 0; A < C.N; ++A) {
+      if (!Rng.nextBool(Density))
+        continue;
+      const std::size_t Owner = (A + E * Rot) % C.Tasks[E];
+      C.Accesses[E][Owner].push_back(
+          {A, oddMul(Rng), Rng.nextBelow(std::uint64_t{1} << 20)});
+    }
+  }
+
+  static constexpr std::uint32_t Intervals[] = {2, 3, 1000};
+  C.CheckpointInterval = Intervals[Rng.nextBelow(3)];
+  if (Rng.nextBool(0.25))
+    C.InjectAt = static_cast<std::uint32_t>(Rng.nextBelow(C.Epochs));
+  return C;
+}
+
+FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
+  const SpecCase C = generateSpecCase(Seed);
+
+  // Sequential oracle: epochs in order; within an epoch task order is
+  // irrelevant because the access sets are disjoint.
+  std::vector<std::uint64_t> Expected = C.Init;
+  for (std::uint32_t E = 0; E < C.Epochs; ++E)
+    for (const auto &Task : C.Accesses[E])
+      for (const Access &A : Task)
+        applyAccess(Expected, A);
+
+  std::vector<std::atomic<std::uint64_t>> Data(C.N);
+  for (std::size_t A = 0; A < C.N; ++A)
+    Data[A].store(C.Init[A], std::memory_order_relaxed);
+
+  speccross::CheckpointRegistry Checkpoints;
+  Checkpoints.registerRegion(Data.data(),
+                             Data.size() * sizeof(Data.front()));
+
+  speccross::SpecRegion Region;
+  Region.NumEpochs = C.Epochs;
+  Region.NumTasks = [&C](std::uint32_t E) { return C.Tasks[E]; };
+  Region.RunTask = [&C, &Data](std::uint32_t E, std::size_t K) {
+    for (const Access &A : C.Accesses[E][K])
+      applyAccess(Data, A);
+  };
+  Region.TaskAddresses = [&C](std::uint32_t E, std::size_t K,
+                              std::vector<std::uint64_t> &Addrs) {
+    for (const Access &A : C.Accesses[E][K])
+      Addrs.push_back(A.Addr);
+  };
+  Region.Checkpoints = &Checkpoints;
+
+  speccross::SpecConfig Config;
+  Config.NumWorkers = Opt.Workers;
+  Config.Scheme = Opt.Scheme;
+  Config.CheckpointIntervalEpochs = C.CheckpointInterval;
+  Config.InjectMisspecAtEpoch = C.InjectAt;
+
+  const speccross::SpecStats Stats =
+      runSpecCross(Region, Config, speccross::SpecMode::Speculation);
+
+  const std::uint64_t Rounds =
+      (C.Epochs + C.CheckpointInterval - 1) / C.CheckpointInterval;
+
+  FuzzResult R;
+  std::string Report;
+  compareMemory(Expected, Data, Report);
+  appendCheck(Report, Stats.Epochs == C.Epochs, "epoch count", C.Epochs,
+              Stats.Epochs);
+  appendCheck(Report, Stats.Tasks == C.TotalTasks, "task count", C.TotalTasks,
+              Stats.Tasks);
+  appendCheck(Report, Stats.CheckpointsTaken == Rounds, "checkpoints taken",
+              Rounds, Stats.CheckpointsTaken);
+  // Each round aborts at most once (then re-executes non-speculatively),
+  // so rollback accounting is bounded by the round structure.
+  appendCheck(Report, Stats.Misspeculations <= Rounds,
+              "misspeculations bounded by rounds", Rounds,
+              Stats.Misspeculations);
+  appendCheck(Report, Stats.ReexecutedEpochs <= C.Epochs,
+              "re-executed epochs bounded by epochs", C.Epochs,
+              Stats.ReexecutedEpochs);
+  if (C.InjectAt < C.Epochs)
+    appendCheck(Report, Stats.Misspeculations >= 1,
+                "forced misspeculation must abort at least one round", 1,
+                Stats.Misspeculations);
+  if (!Report.empty()) {
+    R.Ok = false;
+    R.Failure = Report;
+    R.Repro = reproCommand(Seed, Opt);
+  }
+  return R;
+}
+
+} // namespace
+
+FuzzResult fuzz::runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt) {
+  SubstrateGuard Guard(Opt);
+  switch (Opt.Eng) {
+  case Engine::Domore:
+  case Engine::DomoreDup:
+    return runDomoreCase(Seed, Opt);
+  case Engine::SpecCross:
+    return runSpecCrossCase(Seed, Opt);
+  }
+  return {};
+}

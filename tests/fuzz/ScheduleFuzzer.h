@@ -1,0 +1,96 @@
+//===- tests/fuzz/ScheduleFuzzer.h - Differential schedule fuzzing -*- C++ -*-//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential-oracle fuzzing of the runtime engines. One fuzz case is a
+/// seeded synthetic loop nest with a controllable conflict density and
+/// order-sensitive per-address updates (`Data[a] = Data[a]*M + C` with odd
+/// M), so any violation of the engines' ordering guarantees — a sync
+/// condition released early, a work range published before its writes, a
+/// speculative commit that escaped the checker — changes the final memory
+/// image. The case runs through the engine under test and is compared
+/// against a sequential oracle, plus engine-specific runtime invariants:
+///
+///  * DOMORE / duplicated DOMORE: final memory equality, iteration and
+///    invocation counts, and the exact sync-condition count from a
+///    sequential shadow-memory replay of the schedule (the schedule is a
+///    pure function of the policy and the address streams, so the count is
+///    deterministic no matter how the threads interleave).
+///  * SPECCROSS: final memory equality (tasks within an epoch touch
+///    disjoint addresses by construction; cross-epoch conflicts are dialed
+///    in through an ownership rotation), plus rollback accounting bounds
+///    and "forced misspeculation really aborted" when injection is on.
+///
+/// The same seed can be replayed across engine configurations — MaxBatch,
+/// thread-pool substrate, signature scheme, chaos seed — which is what the
+/// `tools/cip_fuzz` driver and the CI sanitizer matrix do. Every failure
+/// carries a one-line repro command.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TESTS_FUZZ_SCHEDULEFUZZER_H
+#define CIP_TESTS_FUZZ_SCHEDULEFUZZER_H
+
+#include "speccross/Signature.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cip {
+namespace fuzz {
+
+/// Engine under differential test.
+enum class Engine { Domore, DomoreDup, SpecCross };
+
+const char *engineName(Engine E);
+
+/// Parses "domore", "domore-dup", or "speccross". Returns false on other
+/// input.
+bool parseEngine(std::string_view Name, Engine &Out);
+
+const char *schemeName(speccross::SignatureScheme S);
+bool parseScheme(std::string_view Name, speccross::SignatureScheme &Out);
+
+/// One concrete engine configuration for a fuzz case. Everything the
+/// workload itself needs is derived from the case seed; these knobs select
+/// the engine substrate the same workload runs on.
+struct FuzzOptions {
+  Engine Eng = Engine::Domore;
+  std::uint32_t Workers = 3;
+  /// DOMORE dispatch batching bound (1 = legacy one-message-per-iteration).
+  std::size_t MaxBatch = 16;
+  /// false forces the spawn-and-join thread substrate (ThreadPool bypass).
+  bool UsePool = true;
+  /// Schedule-chaos seed; 0 = no injection. Only perturbs anything in a
+  /// chaos-enabled build (-DCIP_CHAOS_HOOKS=ON) — harmless elsewhere.
+  std::uint64_t ChaosSeed = 0;
+  /// SPECCROSS signature scheme (ignored by the DOMORE engines).
+  speccross::SignatureScheme Scheme = speccross::SignatureScheme::Range;
+};
+
+struct FuzzResult {
+  bool Ok = true;
+  /// Human-readable mismatch report (empty when Ok).
+  std::string Failure;
+  /// One-line repro command for this exact (seed, options) run.
+  std::string Repro;
+};
+
+/// The repro command `runFuzzCase` attaches to failures, exposed so drivers
+/// can log it up front.
+std::string reproCommand(std::uint64_t Seed, const FuzzOptions &Opt);
+
+/// Generates the workload for \p Seed, runs it on the engine selected by
+/// \p Opt, and differentially checks it against the sequential oracle and
+/// the runtime invariants. Deterministic given (Seed, Opt) up to genuine
+/// engine bugs: a failing pair keeps failing on replay.
+FuzzResult runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt);
+
+} // namespace fuzz
+} // namespace cip
+
+#endif // CIP_TESTS_FUZZ_SCHEDULEFUZZER_H

@@ -1,0 +1,255 @@
+//===- tools/cip_fuzz.cpp - Differential schedule-fuzz driver -------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver over tests/fuzz/ScheduleFuzzer: runs a range of
+/// workload seeds through the engine configuration matrix and reports every
+/// differential-oracle failure with a copy-pasteable repro command.
+///
+/// Default matrix per seed:
+///   * domore, domore-dup: MaxBatch {1, 16} x pool {on, off} x chaos {off,
+///     seed-derived} (the chaos axis collapses in builds without
+///     -DCIP_CHAOS_HOOKS=ON)
+///   * speccross: scheme {range, bloom, smallset} x pool {on, off} x chaos
+///     {off, seed-derived}
+///
+/// Any axis can be pinned from the command line, which is exactly what the
+/// repro command printed on failure does:
+///
+///   cip_fuzz --seeds=256                      # sweep seeds 1..256
+///   cip_fuzz --seed=17 --engines=domore --workers=2 --maxbatch=1
+///            --pool=0 --chaos=123 --scheme=range   # replay one failure
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/ScheduleFuzzer.h"
+
+#include "support/Chaos.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+using namespace cip;
+using namespace cip::fuzz;
+
+namespace {
+
+struct DriverOptions {
+  std::uint64_t FirstSeed = 1;
+  std::uint64_t NumSeeds = 256;
+  bool SingleSeed = false;
+  std::vector<Engine> Engines = {Engine::Domore, Engine::DomoreDup,
+                                 Engine::SpecCross};
+  // Pinned axes: negative / zero sentinel = sweep the default matrix.
+  int Workers = 0;          // 0 = derive from seed (2..4)
+  long MaxBatch = -1;       // -1 = sweep {1, 16}
+  int Pool = -1;            // -1 = sweep {1, 0}
+  long long Chaos = -1;     // -1 = sweep {0, derived}; >=0 pins
+  int SchemeSet = 0;        // nonzero = pinned
+  speccross::SignatureScheme Scheme = speccross::SignatureScheme::Range;
+  bool Verbose = false;
+};
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seeds=N         number of seeds to sweep (default 256)\n"
+      "  --first-seed=K    first seed of the sweep (default 1)\n"
+      "  --seed=S          run exactly one seed\n"
+      "  --engines=a,b     subset of domore,domore-dup,speccross\n"
+      "  --workers=W       pin the worker count (default: seed-derived 2..4)\n"
+      "  --maxbatch=B      pin DOMORE MaxBatch (default: sweep 1 and 16)\n"
+      "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
+      "  --chaos=C         pin the chaos seed, 0 = off (default: sweep)\n"
+      "  --scheme=S        pin the SPECCROSS scheme: range|bloom|smallset\n"
+      "  --verbose         print every configuration as it runs\n",
+      Prog);
+}
+
+bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string_view Arg = Argv[I];
+    const auto Value = [&](std::string_view Prefix) {
+      return std::string(Arg.substr(Prefix.size()));
+    };
+    if (Arg.rfind("--seeds=", 0) == 0)
+      O.NumSeeds = std::strtoull(Value("--seeds=").c_str(), nullptr, 10);
+    else if (Arg.rfind("--first-seed=", 0) == 0)
+      O.FirstSeed =
+          std::strtoull(Value("--first-seed=").c_str(), nullptr, 10);
+    else if (Arg.rfind("--seed=", 0) == 0) {
+      O.FirstSeed = std::strtoull(Value("--seed=").c_str(), nullptr, 10);
+      O.NumSeeds = 1;
+      O.SingleSeed = true;
+    } else if (Arg.rfind("--engines=", 0) == 0) {
+      O.Engines.clear();
+      std::string List = Value("--engines=");
+      std::size_t Pos = 0;
+      while (Pos <= List.size()) {
+        const std::size_t Comma = List.find(',', Pos);
+        const std::string Name =
+            List.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                        : Comma - Pos);
+        Engine E;
+        if (!parseEngine(Name, E)) {
+          std::fprintf(stderr, "error: unknown engine '%s'\n", Name.c_str());
+          return false;
+        }
+        O.Engines.push_back(E);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else if (Arg.rfind("--workers=", 0) == 0)
+      O.Workers = std::atoi(Value("--workers=").c_str());
+    else if (Arg.rfind("--maxbatch=", 0) == 0)
+      O.MaxBatch = std::atol(Value("--maxbatch=").c_str());
+    else if (Arg.rfind("--pool=", 0) == 0)
+      O.Pool = std::atoi(Value("--pool=").c_str());
+    else if (Arg.rfind("--chaos=", 0) == 0)
+      O.Chaos = std::atoll(Value("--chaos=").c_str());
+    else if (Arg.rfind("--scheme=", 0) == 0) {
+      if (!parseScheme(Value("--scheme="), O.Scheme)) {
+        std::fprintf(stderr, "error: unknown scheme in '%s'\n", Argv[I]);
+        return false;
+      }
+      O.SchemeSet = 1;
+    } else if (Arg == "--verbose")
+      O.Verbose = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
+      usage(Argv[0]);
+      return false;
+    }
+  }
+  if (O.NumSeeds == 0 || O.Engines.empty()) {
+    std::fprintf(stderr, "error: nothing to run\n");
+    return false;
+  }
+  return true;
+}
+
+/// Chaos seed derived from the workload seed when the axis is swept, so a
+/// sweep perturbs every seed differently but reproducibly.
+std::uint64_t derivedChaosSeed(std::uint64_t Seed) {
+  return Seed * 0x9e3779b97f4a7c15ULL + 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+
+  const bool ChaosBuild = chaos::compiledIn();
+  if (O.Chaos > 0 && !ChaosBuild)
+    std::fprintf(stderr,
+                 "warning: --chaos=%lld has no effect: this binary was built "
+                 "without -DCIP_CHAOS_HOOKS=ON\n",
+                 O.Chaos);
+
+  std::uint64_t Runs = 0;
+  std::uint64_t Failures = 0;
+  std::string FirstRepro;
+
+  for (std::uint64_t S = O.FirstSeed; S < O.FirstSeed + O.NumSeeds; ++S) {
+    const std::uint32_t Workers =
+        O.Workers > 0 ? static_cast<std::uint32_t>(O.Workers)
+                      : static_cast<std::uint32_t>(2 + S % 3);
+
+    std::vector<std::uint64_t> ChaosAxis;
+    if (O.Chaos >= 0)
+      ChaosAxis = {static_cast<std::uint64_t>(O.Chaos)};
+    else if (ChaosBuild)
+      ChaosAxis = {0, derivedChaosSeed(S)};
+    else
+      ChaosAxis = {0}; // the axis collapses without compiled-in hooks
+
+    const std::vector<bool> PoolAxis =
+        O.Pool >= 0 ? std::vector<bool>{O.Pool != 0}
+                    : std::vector<bool>{true, false};
+
+    for (Engine E : O.Engines) {
+      std::vector<FuzzOptions> Configs;
+      if (E == Engine::SpecCross) {
+        std::vector<speccross::SignatureScheme> Schemes;
+        if (O.SchemeSet)
+          Schemes = {O.Scheme};
+        else
+          Schemes = {speccross::SignatureScheme::Range,
+                     speccross::SignatureScheme::Bloom,
+                     speccross::SignatureScheme::SmallSet};
+        for (auto Scheme : Schemes)
+          for (bool Pool : PoolAxis)
+            for (std::uint64_t Chaos : ChaosAxis) {
+              FuzzOptions F;
+              F.Eng = E;
+              F.Workers = Workers;
+              F.UsePool = Pool;
+              F.ChaosSeed = Chaos;
+              F.Scheme = Scheme;
+              Configs.push_back(F);
+            }
+      } else {
+        std::vector<std::size_t> Batches;
+        if (O.MaxBatch > 0)
+          Batches = {static_cast<std::size_t>(O.MaxBatch)};
+        else
+          Batches = {1, 16};
+        for (std::size_t Batch : Batches)
+          for (bool Pool : PoolAxis)
+            for (std::uint64_t Chaos : ChaosAxis) {
+              FuzzOptions F;
+              F.Eng = E;
+              F.Workers = Workers;
+              F.MaxBatch = Batch;
+              F.UsePool = Pool;
+              F.ChaosSeed = Chaos;
+              Configs.push_back(F);
+            }
+      }
+
+      for (const FuzzOptions &F : Configs) {
+        if (O.Verbose)
+          std::fprintf(stderr, "run: %s\n", reproCommand(S, F).c_str());
+        const FuzzResult R = runFuzzCase(S, F);
+        ++Runs;
+        if (R.Ok)
+          continue;
+        ++Failures;
+        std::fprintf(stderr, "FAIL seed=%" PRIu64 " engine=%s\n%s", S,
+                     engineName(F.Eng), R.Failure.c_str());
+        std::fprintf(stderr, "repro: %s\n", R.Repro.c_str());
+        if (FirstRepro.empty())
+          FirstRepro = R.Repro;
+      }
+    }
+    if (!O.SingleSeed && (S - O.FirstSeed + 1) % 64 == 0)
+      std::fprintf(stderr, "cip_fuzz: %" PRIu64 "/%" PRIu64 " seeds, %" PRIu64
+                           " runs, %" PRIu64 " failures\n",
+                   S - O.FirstSeed + 1, O.NumSeeds, Runs, Failures);
+  }
+
+  std::printf("cip_fuzz: %" PRIu64 " runs over %" PRIu64
+              " seeds, %" PRIu64 " failures%s\n",
+              Runs, O.NumSeeds, Failures,
+              ChaosBuild ? " (chaos hooks compiled in)" : "");
+  if (Failures) {
+    std::printf("first repro: %s\n", FirstRepro.c_str());
+    return 1;
+  }
+  return 0;
+}
