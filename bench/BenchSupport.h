@@ -42,6 +42,7 @@
 #ifndef CIP_BENCH_BENCHSUPPORT_H
 #define CIP_BENCH_BENCHSUPPORT_H
 
+#include "harness/Adaptive.h"
 #include "harness/Executor.h"
 #include "support/Stats.h"
 #include "telemetry/Json.h"
@@ -193,7 +194,8 @@ public:
               unsigned Threads, unsigned Reps, double Seconds, double Speedup,
               const telemetry::CounterTotals &Counters,
               const telemetry::HistogramData &WaitHist,
-              const telemetry::HistogramData &DispatchBatch) {
+              const telemetry::HistogramData &DispatchBatch,
+              const harness::AdaptiveStats *Policy = nullptr) {
     if (!File)
       return;
     telemetry::json::Writer Wr;
@@ -252,6 +254,59 @@ public:
     Wr.key("p99_ns");
     Wr.value(DispatchBatch.quantileNs(0.99));
     Wr.endObject();
+    // Adaptive rows additionally carry the policy engine's decision and
+    // switch logs (same shape as the run-report arrays, DESIGN.md §11) so
+    // the bench JSON alone reconstructs what the policy did and when.
+    if (Policy) {
+      Wr.key("policy_decisions");
+      Wr.beginArray();
+      for (const telemetry::PolicyDecisionRecord &D : Policy->Decisions) {
+        Wr.beginObject();
+        Wr.key("window");
+        Wr.value(D.Window);
+        Wr.key("first_epoch");
+        Wr.value(D.FirstEpoch);
+        Wr.key("num_epochs");
+        Wr.value(D.NumEpochs);
+        Wr.key("technique");
+        Wr.value(D.Technique);
+        Wr.key("reason");
+        Wr.value(D.Reason);
+        Wr.key("explore");
+        Wr.value(D.Explore);
+        Wr.key("switched");
+        Wr.value(D.Switched);
+        Wr.key("window_seconds");
+        Wr.value(D.WindowSeconds);
+        Wr.key("abort_rate");
+        Wr.value(D.AbortRate);
+        Wr.key("conflict_density");
+        Wr.value(D.ConflictDensity);
+        Wr.key("decision_ns");
+        Wr.value(D.DecisionNs);
+        Wr.endObject();
+      }
+      Wr.endArray();
+      Wr.key("switch_events");
+      Wr.beginArray();
+      for (const telemetry::SwitchEventRecord &S : Policy->Switches) {
+        Wr.beginObject();
+        Wr.key("window");
+        Wr.value(S.Window);
+        Wr.key("from");
+        Wr.value(S.From);
+        Wr.key("to");
+        Wr.value(S.To);
+        Wr.key("reason");
+        Wr.value(S.Reason);
+        Wr.key("warm_carry");
+        Wr.value(S.WarmCarry);
+        Wr.key("teardown_ns");
+        Wr.value(S.TeardownNs);
+        Wr.endObject();
+      }
+      Wr.endArray();
+    }
     Wr.endObject();
     std::fprintf(File, "%s\n", Wr.str().c_str());
     std::fflush(File);
@@ -287,6 +342,21 @@ inline void recordRun(const workloads::Workload &W, const char *Scheme,
                              : 0.0;
   J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry,
            Best.WaitHist, Best.DispatchBatch);
+}
+
+/// Records one adaptive series point: like \c recordRun but the JSON row
+/// additionally carries the fastest rep's policy decision and switch logs
+/// under \c policy_decisions / \c switch_events.
+inline void recordAdaptiveRun(const workloads::Workload &W, const char *Scheme,
+                              unsigned Threads, unsigned Reps,
+                              const harness::ExecResult &Best,
+                              const harness::AdaptiveStats &Policy) {
+  BenchJson &J = BenchJson::instance();
+  const double Base = J.sequentialBaseline(W.name());
+  const double Speedup =
+      Best.Seconds > 0.0 && Base > 0.0 ? Base / Best.Seconds : 0.0;
+  J.record(W, Scheme, Threads, Reps, Best.Seconds, Speedup, Best.Telemetry,
+           Best.WaitHist, Best.DispatchBatch, &Policy);
 }
 
 /// Best sequential time for \p W (resets the workload first).

@@ -1,0 +1,329 @@
+//===- bench/bench_policy_adaptive.cpp - Adaptive policy engine bench ----===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive-policy experiment (DESIGN.md §11): the phase-shifting
+/// workload alternates between a conflict-free regime and a conflict-heavy
+/// regime, so no fixed technique is right for the whole run. This bench
+/// runs every fixed technique *windowed through the same adaptive harness*
+/// (so windowing overhead cancels out of the comparison), then the
+/// threshold and bandit policies, and reports:
+///
+///  * per-phase steady-state quality: for each phase regime, the fixed
+///    oracle is the least mean window cost over every technique and every
+///    rep; the adaptive policy's cost is the least-over-reps mean of its
+///    *settled* windows (past the first free+heavy discovery cycle, with
+///    no switch in this window or the one before). Min-over-reps on both
+///    sides keeps the estimator symmetric — a single-rep numerator against
+///    a min-over-everything denominator charges the policy for scheduler
+///    noise the oracle got to discard. The discovery cycle and switch lag
+///    are real cost — excluded here but fully charged in the total-run
+///    numbers below;
+///  * total-run quality: worst-fixed total over adaptive total — what
+///    adaptation buys over committing to the wrong technique offline, with
+///    every discovery and switch penalty included.
+///
+/// The gate lines at the bottom mirror ISSUE acceptance (steady-state
+/// within 10% of best fixed per phase; >= 1.3x over worst fixed) but the
+/// bench always exits 0 on timing grounds — CI runs it as a non-fatal
+/// report, like compare_bench.py. Checksum mismatches, by contrast, are
+/// correctness bugs and exit 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "harness/Adaptive.h"
+#include "workloads/PhaseShift.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+using namespace cip;
+using namespace cip::bench;
+
+namespace {
+
+/// The fastest rep's result and decision/switch logs, plus every rep's
+/// logs: per-phase steady-state numbers use the min over reps on *both*
+/// sides of the ratio (the same estimator min-of-reps totals use), so one
+/// scheduler hiccup in one rep can't swing the comparison either way.
+struct AdaptiveRun {
+  harness::ExecResult Best;
+  harness::AdaptiveStats Stats;
+  std::vector<harness::AdaptiveStats> AllStats;
+};
+
+AdaptiveRun runPolicy(workloads::Workload &W, unsigned Threads, unsigned Reps,
+                      const policy::PolicyConfig &Cfg) {
+  AdaptiveRun Out;
+  for (unsigned R = 0; R < Reps; ++R) {
+    W.reset();
+    harness::AdaptiveStats St;
+    harness::ExecResult Res = harness::runAdaptive(W, Threads, Cfg, &St);
+    if (R == 0 || Res.Seconds < Out.Best.Seconds) {
+      Out.Best = Res;
+      Out.Stats = St;
+    }
+    Out.AllStats.push_back(std::move(St));
+  }
+  return Out;
+}
+
+void checkChecksum(const char *What, const harness::ExecResult &Res,
+                   std::uint64_t Want) {
+  if (Res.Checksum == Want)
+    return;
+  std::fprintf(stderr,
+               "error: %s checksum %016llx != sequential %016llx — "
+               "the executor broke cross-epoch ordering\n",
+               What, static_cast<unsigned long long>(Res.Checksum),
+               static_cast<unsigned long long>(Want));
+  std::exit(1);
+}
+
+/// Window w of \p St belongs to the heavy regime?
+bool heavyWindow(const workloads::PhaseShiftWorkload &W,
+                 const telemetry::PolicyDecisionRecord &D) {
+  return W.heavyPhase(D.FirstEpoch);
+}
+
+/// Settled window: past the discovery cycle, and the policy held its
+/// technique here and in the previous window (so this measures steady
+/// state, not switch lag).
+bool settled(const harness::AdaptiveStats &St, std::size_t I,
+             std::size_t WarmupWindows) {
+  return I >= WarmupWindows && !St.Decisions[I].Switched &&
+         !St.Decisions[I - 1].Switched;
+}
+
+/// Mean settled-window cost per phase regime for one rep's decision log,
+/// or -1 for a phase with no settled windows in this rep.
+void settledMeans(const harness::AdaptiveStats &St,
+                  const workloads::PhaseShiftWorkload &W,
+                  std::size_t WarmupWindows, double Mean[2]) {
+  double Sum[2] = {0.0, 0.0};
+  std::size_t N[2] = {0, 0};
+  for (std::size_t I = 0; I < St.Decisions.size(); ++I) {
+    if (!settled(St, I, WarmupWindows))
+      continue;
+    const unsigned P = heavyWindow(W, St.Decisions[I]) ? 1 : 0;
+    Sum[P] += St.Decisions[I].WindowSeconds;
+    ++N[P];
+  }
+  for (unsigned P = 0; P < 2; ++P)
+    Mean[P] = N[P] ? Sum[P] / static_cast<double>(N[P]) : -1.0;
+}
+
+/// Per-phase steady-state ratios for an adaptive run. Both sides use the
+/// min-over-reps estimator: the adaptive cost is the min over reps of the
+/// mean settled-window time in that regime; the fixed cost is the min over
+/// techniques and reps of the mean window time in the same regime. A
+/// single-rep numerator against a min-over-everything denominator would
+/// charge the adaptive run for scheduler noise the fixed side got to
+/// discard (winner's curse).
+struct SteadyState {
+  double Ratio[2] = {0.0, 0.0}; // [free, heavy]
+  double worst() const {
+    return Ratio[0] > Ratio[1] ? Ratio[0] : Ratio[1];
+  }
+};
+
+SteadyState steadyState(const AdaptiveRun &Run, const double BestFixedMean[2],
+                        const workloads::PhaseShiftWorkload &W,
+                        std::size_t WarmupWindows) {
+  SteadyState Out;
+  double Mine[2] = {-1.0, -1.0};
+  for (const harness::AdaptiveStats &St : Run.AllStats) {
+    double Mean[2];
+    settledMeans(St, W, WarmupWindows, Mean);
+    for (unsigned P = 0; P < 2; ++P)
+      if (Mean[P] >= 0.0 && (Mine[P] < 0.0 || Mean[P] < Mine[P]))
+        Mine[P] = Mean[P];
+  }
+  for (unsigned P = 0; P < 2; ++P)
+    if (Mine[P] >= 0.0 && BestFixedMean[P] > 0.0)
+      Out.Ratio[P] = Mine[P] / BestFixedMean[P];
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const workloads::Scale S = benchScale();
+  workloads::PhaseShiftParams Params = workloads::PhaseShiftParams::forScale(S);
+  workloads::PhaseShiftWorkload W(Params);
+
+  // Phases span four decision windows, so the policy has settled windows to
+  // be judged on and the window never straddles a phase edge.
+  const std::uint32_t WindowEpochs =
+      Params.PhaseLen >= 4 ? Params.PhaseLen / 4 : 1;
+  const std::size_t WindowsPerPhase = Params.PhaseLen / WindowEpochs;
+  // One full free+heavy cycle is the policy's discovery period.
+  const std::size_t WarmupWindows = 2 * WindowsPerPhase;
+  const unsigned Reps = benchReps();
+
+  // The acceptance experiment runs at four threads; CIP_BENCH_THREADS
+  // overrides for exploration. The techniques need a worker besides the
+  // control/checker thread, so single-thread points are skipped.
+  std::vector<unsigned> Threads{4};
+  if (std::getenv("CIP_BENCH_THREADS"))
+    Threads = benchThreads();
+
+  std::printf("Adaptive policy engine on phaseshift (Huang Table 5.3 run "
+              "online; DESIGN.md §11)\n");
+  std::printf("scale %s: %u epochs, phase length %u, %u tasks/epoch, "
+              "window %u epochs, reps %u\n",
+              benchScaleName(), Params.Epochs, Params.PhaseLen, Params.Rows,
+              WindowEpochs, Reps);
+  printRule();
+
+  const double SeqSeconds = sequentialSeconds(W, Reps);
+  const std::uint64_t SeqSum = W.checksum();
+  std::printf("%-20s %9.3f ms\n", "sequential", SeqSeconds * 1e3);
+
+  const std::uint32_t Mask = harness::applicabilityMask(W);
+
+  for (unsigned T : Threads) {
+    if (T < 2) {
+      std::printf("\n-- %u thread: skipped (windowed techniques need a "
+                  "worker besides the control thread)\n", T);
+      continue;
+    }
+    std::printf("\n-- %u threads --\n", T);
+
+    // Every applicable fixed technique, windowed through the same harness.
+    std::vector<std::pair<policy::Technique, AdaptiveRun>> Fixed;
+    for (unsigned TechI = 0; TechI < policy::NumTechniques; ++TechI) {
+      const policy::Technique Tech = static_cast<policy::Technique>(TechI);
+      if (!(Mask & policy::techniqueBit(Tech)))
+        continue;
+      policy::PolicyConfig Cfg;
+      Cfg.Kind = policy::PolicyKind::Fixed;
+      Cfg.FixedTech = Tech;
+      Cfg.WindowEpochs = WindowEpochs;
+      AdaptiveRun Run = runPolicy(W, T, Reps, Cfg);
+      checkChecksum(policy::techniqueName(Tech), Run.Best, SeqSum);
+      Fixed.emplace_back(Tech, std::move(Run));
+    }
+
+    // Per-phase and total oracle bounds across the fixed runs. The
+    // per-phase oracle is the min over techniques *and reps* of the mean
+    // window cost in that regime — the same estimator steadyState applies
+    // to the adaptive side.
+    const char *BestFixedName[2] = {"", ""};
+    double BestFixedMean[2] = {-1.0, -1.0};
+    double BestTotal = 0.0, WorstTotal = 0.0;
+    const char *BestName = "", *WorstName = "";
+    for (const auto &[Tech, Run] : Fixed) {
+      double PhaseSum[2] = {0.0, 0.0};
+      for (const telemetry::PolicyDecisionRecord &D : Run.Stats.Decisions)
+        PhaseSum[heavyWindow(W, D) ? 1 : 0] += D.WindowSeconds;
+      for (const harness::AdaptiveStats &St : Run.AllStats) {
+        double RepSum[2] = {0.0, 0.0};
+        std::size_t RepN[2] = {0, 0};
+        for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+          const unsigned P = heavyWindow(W, D) ? 1 : 0;
+          RepSum[P] += D.WindowSeconds;
+          ++RepN[P];
+        }
+        for (unsigned P = 0; P < 2; ++P) {
+          if (!RepN[P])
+            continue;
+          const double Mean = RepSum[P] / static_cast<double>(RepN[P]);
+          if (BestFixedMean[P] < 0.0 || Mean < BestFixedMean[P]) {
+            BestFixedMean[P] = Mean;
+            BestFixedName[P] = policy::techniqueName(Tech);
+          }
+        }
+      }
+      std::printf("%-20s %9.3f ms  %5.2fx seq  (free %.3f ms, heavy %.3f "
+                  "ms)\n",
+                  policy::techniqueName(Tech), Run.Best.Seconds * 1e3,
+                  SeqSeconds / Run.Best.Seconds, PhaseSum[0] * 1e3,
+                  PhaseSum[1] * 1e3);
+      if (BestTotal == 0.0 || Run.Best.Seconds < BestTotal) {
+        BestTotal = Run.Best.Seconds;
+        BestName = policy::techniqueName(Tech);
+      }
+      if (Run.Best.Seconds > WorstTotal) {
+        WorstTotal = Run.Best.Seconds;
+        WorstName = policy::techniqueName(Tech);
+      }
+    }
+    std::printf("%-20s best total %s, worst total %s (%.2fx apart); best "
+                "per phase: free=%s heavy=%s\n",
+                "(fixed oracle)", BestName, WorstName,
+                BestTotal > 0.0 ? WorstTotal / BestTotal : 0.0,
+                BestFixedName[0], BestFixedName[1]);
+
+    struct PolicyPoint {
+      const char *Label;
+      policy::PolicyKind Kind;
+      bool Trace;
+    };
+    const PolicyPoint Points[] = {
+        {"adaptive-threshold", policy::PolicyKind::Threshold, true},
+        {"adaptive-bandit", policy::PolicyKind::Bandit, false},
+    };
+    SteadyState ThrSteady;
+    double ThrVsWorst = 0.0;
+    for (const PolicyPoint &P : Points) {
+      policy::PolicyConfig Cfg;
+      Cfg.Kind = P.Kind;
+      Cfg.WindowEpochs = WindowEpochs;
+      Cfg.Seed = 1;
+      AdaptiveRun Run = runPolicy(W, T, Reps, Cfg);
+      checkChecksum(P.Label, Run.Best, SeqSum);
+      recordAdaptiveRun(W, P.Label, T, Reps, Run.Best, Run.Stats);
+
+      const SteadyState Steady =
+          steadyState(Run, BestFixedMean, W, WarmupWindows);
+      const double VsWorst =
+          Run.Best.Seconds > 0.0 ? WorstTotal / Run.Best.Seconds : 0.0;
+      std::printf("%-20s %9.3f ms  %5.2fx seq  switches=%-2zu "
+                  "steady free %.3fx heavy %.3fx  vs-worst %.2fx\n",
+                  P.Label, Run.Best.Seconds * 1e3,
+                  SeqSeconds / Run.Best.Seconds, Run.Stats.Switches.size(),
+                  Steady.Ratio[0], Steady.Ratio[1], VsWorst);
+      std::printf("%-20s overhead: decisions %llu ns, teardown %llu ns "
+                  "(%.4f%% of run)\n",
+                  "",
+                  static_cast<unsigned long long>(Run.Stats.DecisionNanos),
+                  static_cast<unsigned long long>(Run.Stats.TeardownNanos),
+                  100.0 *
+                      static_cast<double>(Run.Stats.DecisionNanos +
+                                          Run.Stats.TeardownNanos) *
+                      1e-9 / Run.Best.Seconds);
+      if (P.Trace) {
+        for (const telemetry::PolicyDecisionRecord &D : Run.Stats.Decisions)
+          std::printf("  win %2u [%s] %-10s %-22s %8.3f ms%s%s\n", D.Window,
+                      heavyWindow(W, D) ? "heavy" : "free ", D.Technique,
+                      D.Reason, D.WindowSeconds * 1e3,
+                      D.Switched ? "  <-switch" : "",
+                      D.Explore ? " (explore)" : "");
+        ThrSteady = Steady;
+        ThrVsWorst = VsWorst;
+      }
+    }
+
+    // The acceptance gates (ISSUE): informative here, enforced only at the
+    // designated 4-thread point by the driver reading these lines.
+    if (T == 4) {
+      printRule();
+      std::printf("gate: threshold steady-state within 10%% of best fixed "
+                  "per phase: free %.3fx heavy %.3fx %s\n",
+                  ThrSteady.Ratio[0], ThrSteady.Ratio[1],
+                  ThrSteady.worst() > 0.0 && ThrSteady.worst() <= 1.10
+                      ? "PASS"
+                      : "MISS");
+      std::printf("gate: threshold >= 1.3x over worst fixed: %.2fx %s\n",
+                  ThrVsWorst, ThrVsWorst >= 1.3 ? "PASS" : "MISS");
+    }
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/Adaptive.h"
 #include "harness/Executor.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Workload.h"
@@ -163,9 +164,27 @@ int main() {
                   "traces of these regions)\n");
   }
 
+  // 6. Adaptive: the policy engine picks (and mid-run revises) the
+  // technique per window of epochs from the runtime's own signals.
+  // CIP_POLICY=fixed:<tech>|threshold|bandit selects the policy from the
+  // environment; without it this demo runs the threshold policy.
+  W.reset();
+  harness::AdaptiveStats Ada;
+  harness::ExecResult Adp;
+  if (!harness::runAdaptiveFromEnv(W, Threads + 1, Adp, &Ada)) {
+    policy::PolicyConfig PCfg;
+    PCfg.Kind = policy::PolicyKind::Threshold;
+    Adp = harness::runAdaptive(W, Threads + 1, PCfg, &Ada);
+  }
+  std::printf("adaptive:         %7.3fs  (%.2fx, %u windows, %zu switches, "
+              "last technique %s)\n",
+              Adp.Seconds, Seq.Seconds / Adp.Seconds, Ada.Windows,
+              Ada.Switches.size(),
+              Ada.Decisions.empty() ? "?" : Ada.Decisions.back().Technique);
+
   const bool AllMatch =
       Bar.Checksum == Seq.Checksum && Spec.Checksum == Seq.Checksum &&
-      Dom.Checksum == Seq.Checksum;
+      Dom.Checksum == Seq.Checksum && Adp.Checksum == Seq.Checksum;
   std::printf("\nall executions bit-identical: %s\n",
               AllMatch ? "yes" : "NO (bug!)");
   return AllMatch ? 0 : 1;

@@ -432,9 +432,14 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
 DomoreStats domore::runDomore(const LoopNest &Nest,
                               const DomoreConfig &Config) {
   if (Nest.AddressSpaceSize > 0) {
+    if (Config.Carry)
+      return runWithShadow(Nest, Config,
+                           Config.Carry->dense(Nest.AddressSpaceSize));
     DenseShadowMemory Shadow(Nest.AddressSpaceSize);
     return runWithShadow(Nest, Config, Shadow);
   }
+  if (Config.Carry)
+    return runWithShadow(Nest, Config, Config.Carry->hash());
   HashShadowMemory Shadow;
   return runWithShadow(Nest, Config, Shadow);
 }

@@ -125,6 +125,37 @@ struct DomoreStats {
 /// Which scheduling policy the engine should construct.
 enum class PolicyKind { RoundRobin, OwnerCompute, HashOwner };
 
+/// Caller-owned shadow-memory storage for warm-carry across consecutive
+/// runDomore calls on the *same* region (the adaptive harness keeps one per
+/// region and threads it through \c DomoreConfig::Carry). Reuse is legal
+/// only because the contents are cleared — never kept — between runs:
+/// combined iteration numbers restart at 0 every run, so a stale entry
+/// would alias a fresh iteration and fabricate dependences. What carries
+/// over is the allocation (and its warm pages), which for dense address
+/// spaces dominates runDomore setup cost at small policy windows.
+class ShadowCarry {
+public:
+  /// A cleared dense shadow of exactly \p Size entries. Reallocates only
+  /// when the region's address-space size changes.
+  DenseShadowMemory &dense(std::size_t Size) {
+    if (!Dense || Dense->size() != Size)
+      Dense = std::make_unique<DenseShadowMemory>(Size);
+    else
+      Dense->clear();
+    return *Dense;
+  }
+
+  /// A cleared hash shadow; the table capacity it grew to persists.
+  HashShadowMemory &hash() {
+    Hash.clear();
+    return Hash;
+  }
+
+private:
+  std::unique_ptr<DenseShadowMemory> Dense;
+  HashShadowMemory Hash;
+};
+
 /// Configuration for one DOMORE execution.
 struct DomoreConfig {
   std::uint32_t NumWorkers = 2;
@@ -139,6 +170,11 @@ struct DomoreConfig {
   /// when set, overrides this for every run — CI uses it to keep the legacy
   /// path covered.
   std::size_t MaxBatch = 16;
+  /// Optional warm-carry storage owned by the caller. When set, runDomore
+  /// draws its (cleared) shadow memory from here instead of constructing a
+  /// fresh one. runDomoreDuplicated ignores it: every duplicated worker
+  /// needs a private shadow, so there is nothing to share.
+  ShadowCarry *Carry = nullptr;
 };
 
 /// Runs \p Nest under the DOMORE runtime engine with a dedicated scheduler

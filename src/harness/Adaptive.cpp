@@ -1,0 +1,332 @@
+//===- harness/Adaptive.cpp - Policy-driven adaptive execution -----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Adaptive.h"
+
+#include "support/Chaos.h"
+#include "support/Timer.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace cip;
+using namespace cip::harness;
+using namespace cip::workloads;
+using telemetry::EventKind;
+
+namespace {
+
+/// A window of \p Count consecutive epochs of a base workload, presented as
+/// a workload in its own right so every fixed-strategy runner executes it
+/// unchanged. Epochs renumber to [0, Count); everything else delegates.
+/// checksum() is 0 — the adaptive harness computes the region digest once,
+/// on the base workload, after the last window — and reset() is a no-op
+/// (resetting mid-region would destroy the previous windows' work).
+class WindowView final : public Workload {
+public:
+  WindowView(Workload &Base, std::uint32_t First, std::uint32_t Count)
+      : Base(Base), First(First), Count(Count) {}
+
+  const char *name() const override { return Base.name(); }
+  void reset() override {}
+  std::uint32_t numEpochs() const override { return Count; }
+  std::size_t numTasks(std::uint32_t E) const override {
+    return Base.numTasks(First + E);
+  }
+  void runTask(std::uint32_t E, std::size_t T) override {
+    Base.runTask(First + E, T);
+  }
+  void taskAddresses(std::uint32_t E, std::size_t T,
+                     std::vector<std::uint64_t> &Addrs) const override {
+    Base.taskAddresses(First + E, T, Addrs);
+  }
+  void epochPrologue(std::uint32_t E, std::uint32_t Tid) override {
+    Base.epochPrologue(First + E, Tid);
+  }
+  bool hasPrologue() const override { return Base.hasPrologue(); }
+  bool prologueDuplicable() const override {
+    return Base.prologueDuplicable();
+  }
+  void prologueAddresses(std::uint32_t E,
+                         std::vector<std::uint64_t> &Addrs) const override {
+    Base.prologueAddresses(First + E, Addrs);
+  }
+  std::uint64_t addressSpaceSize() const override {
+    return Base.addressSpaceSize();
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override {
+    Base.registerState(Reg);
+  }
+  std::uint64_t checksum() const override { return 0; }
+  bool domoreApplicable() const override { return Base.domoreApplicable(); }
+  bool speccrossApplicable() const override {
+    return Base.speccrossApplicable();
+  }
+  const char *innerLoopPlan() const override { return Base.innerLoopPlan(); }
+  speccross::SignatureScheme preferredSignature() const override {
+    return Base.preferredSignature();
+  }
+
+private:
+  Workload &Base;
+  std::uint32_t First;
+  std::uint32_t Count;
+};
+
+unsigned windowWorkers(const AdaptiveContext &Ctx) {
+  return Ctx.NumThreads > 1 ? Ctx.NumThreads - 1 : 1;
+}
+
+ExecResult runBarrierWindow(AdaptiveContext &Ctx, Workload &View) {
+  return harness::runBarrier(View, Ctx.NumThreads);
+}
+
+ExecResult runDomoreWindow(AdaptiveContext &Ctx, Workload &View) {
+  domore::LoopNest Nest = buildLoopNest(View);
+  domore::DomoreConfig Config;
+  Config.NumWorkers = windowWorkers(Ctx);
+  Config.Carry = &Ctx.Carry; // warm-carry: reuse the shadow allocation
+
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  domore::DomoreStats Stats = domore::runDomore(Nest, Config);
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Telemetry = Stats.Telemetry;
+  R.WaitHist = Stats.WorkerWait;
+  R.DispatchBatch = Stats.DispatchBatch;
+  Ctx.LastDomore = std::move(Stats);
+  return R;
+}
+
+ExecResult runDomoreDupWindow(AdaptiveContext &Ctx, Workload &View) {
+  return harness::runDomoreDuplicated(View, Ctx.NumThreads,
+                                      domore::PolicyKind::RoundRobin,
+                                      &Ctx.LastDomore);
+}
+
+ExecResult runSpecCrossWindow(AdaptiveContext &Ctx, Workload &View) {
+  // buildRegionShared, not buildRegion: the workload's state is already in
+  // Ctx.Registry (registered once by runAdaptive); re-registering would
+  // double the snapshot bytes. The registry legally carries across windows
+  // because a window boundary is a full join — a checkpoint taken at window
+  // start covers every prior window's committed state.
+  speccross::SpecRegion Region = buildRegionShared(View, Ctx.Registry);
+  speccross::SpecConfig Config;
+  Config.NumWorkers = windowWorkers(Ctx);
+  Config.Scheme = Ctx.Scheme;
+
+  ExecResult R;
+  const std::uint64_t Begin = nowNanos();
+  speccross::SpecStats Stats =
+      speccross::runSpecCross(Region, Config, speccross::SpecMode::Speculation);
+  R.Seconds = static_cast<double>(nowNanos() - Begin) * 1e-9;
+  R.Telemetry = Stats.Telemetry;
+  R.WaitHist = Stats.WorkerWait;
+  Ctx.LastSpec = std::move(Stats);
+  return R;
+}
+
+const TechniqueVtable VtableRows[policy::NumTechniques] = {
+    {policy::Technique::Barrier, "barrier", /*WarmCarry=*/false,
+     "stateless; nothing to carry", &runBarrierWindow},
+    {policy::Technique::Domore, "domore", /*WarmCarry=*/true,
+     "shadow allocation carried; contents cleared every window (combined "
+     "iteration numbers restart)",
+     &runDomoreWindow},
+    {policy::Technique::DomoreDup, "domore-dup", /*WarmCarry=*/false,
+     "per-worker private shadows are rebuilt every window",
+     &runDomoreDupWindow},
+    {policy::Technique::SpecCross, "speccross", /*WarmCarry=*/true,
+     "checkpoint registry carried; signatures and epoch clocks restart",
+     &runSpecCrossWindow},
+};
+
+/// Distills one finished window into the policy engine's signal snapshot.
+policy::RegionStats makeStats(policy::Technique Tech, std::uint32_t Window,
+                              std::uint32_t First, std::uint32_t Count,
+                              const ExecResult &R, WindowView &View,
+                              const AdaptiveContext &Ctx) {
+  policy::RegionStats S;
+  S.Tech = Tech;
+  S.Window = Window;
+  S.FirstEpoch = First;
+  S.NumEpochs = Count;
+  S.Seconds = R.Seconds;
+  S.Tasks = View.totalTasks();
+  switch (Tech) {
+  case policy::Technique::SpecCross:
+    S.Misspeculations = Ctx.LastSpec.Misspeculations;
+    S.CheckRequests = Ctx.LastSpec.CheckRequests;
+    S.CheckLatencyP90Ns = Ctx.LastSpec.CheckLatency.quantileNs(0.90);
+    break;
+  case policy::Technique::Domore:
+  case policy::Technique::DomoreDup:
+    S.SyncConditions = Ctx.LastDomore.SyncConditions;
+    S.Iterations = Ctx.LastDomore.Iterations;
+    S.SchedulerRatioPercent = Ctx.LastDomore.schedulerRatioPercent();
+    break;
+  case policy::Technique::Barrier:
+    break;
+  }
+  S.WaitP90Ns = R.WaitHist.quantileNs(0.90);
+  if (R.DispatchBatch.count())
+    S.MeanDispatchBatch = static_cast<double>(R.DispatchBatch.SumNs) /
+                          static_cast<double>(R.DispatchBatch.count());
+  return S;
+}
+
+} // namespace
+
+const TechniqueVtable &harness::techniqueVtable(policy::Technique T) {
+  const unsigned I = static_cast<unsigned>(T);
+  assert(I < policy::NumTechniques && "technique out of range");
+  assert(VtableRows[I].Tech == T && "vtable table out of order");
+  return VtableRows[I];
+}
+
+std::uint32_t harness::applicabilityMask(const Workload &W) {
+  std::uint32_t Mask = policy::techniqueBit(policy::Technique::Barrier);
+  if (W.domoreApplicable()) {
+    Mask |= policy::techniqueBit(policy::Technique::Domore);
+    // §3.4: the duplicated scheduler re-runs the scheduler partition on
+    // every worker, so the prologue must be duplicable.
+    if (W.prologueDuplicable())
+      Mask |= policy::techniqueBit(policy::Technique::DomoreDup);
+  }
+  // §4.3: SPECCROSS duplicates prologues onto every worker too.
+  if (W.speccrossApplicable() &&
+      (!W.hasPrologue() || W.prologueDuplicable()))
+    Mask |= policy::techniqueBit(policy::Technique::SpecCross);
+  return Mask;
+}
+
+ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
+                                const policy::PolicyConfig &Cfg,
+                                AdaptiveStats *StatsOut) {
+  assert(NumThreads > 0 && "need at least one thread");
+  assert(Cfg.WindowEpochs > 0 && "window must contain at least one epoch");
+
+  const std::uint32_t NE = W.numEpochs();
+  policy::PolicyEngine Engine(Cfg, applicabilityMask(W));
+
+  AdaptiveContext Ctx;
+  Ctx.NumThreads = NumThreads;
+  Ctx.Scheme = W.preferredSignature();
+  // Register the region's state exactly once; every speculative window
+  // shares this registry (see runSpecCrossWindow).
+  W.registerState(Ctx.Registry);
+
+  // The control lane: decisions and switch events land here, alongside the
+  // per-window engine regions' own telemetry.
+  telemetry::RegionTelemetry Tel("adaptive", 1);
+  if (Tel.tracing())
+    Tel.nameLane(0, "policy");
+
+  ExecResult Out;
+  AdaptiveStats St;
+
+  CIP_CHAOS_POINT(PolicyDecide);
+  std::uint64_t T0 = nowNanos();
+  policy::Decision D = Engine.initial();
+  std::uint64_t LastDecisionNs = nowNanos() - T0;
+  St.DecisionNanos += LastDecisionNs;
+
+  std::uint32_t First = 0;
+  std::uint32_t Window = 0;
+  while (First < NE) {
+    const std::uint32_t Count = std::min(Cfg.WindowEpochs, NE - First);
+    WindowView View(W, First, Count);
+    const TechniqueVtable &V = techniqueVtable(D.Tech);
+    Ctx.LastDomore = domore::DomoreStats{};
+    Ctx.LastSpec = speccross::SpecStats{};
+
+    const ExecResult R = V.RunWindow(Ctx, View);
+    St.ExecSeconds += R.Seconds;
+    Out.BarrierIdleNanos += R.BarrierIdleNanos;
+    Out.Telemetry += R.Telemetry;
+    Out.WaitHist += R.WaitHist;
+    Out.DispatchBatch += R.DispatchBatch;
+
+    const policy::RegionStats S =
+        makeStats(D.Tech, Window, First, Count, R, View, Ctx);
+
+    telemetry::PolicyDecisionRecord Rec;
+    Rec.Window = Window;
+    Rec.FirstEpoch = First;
+    Rec.NumEpochs = Count;
+    Rec.Technique = V.Name;
+    Rec.Reason = D.Reason;
+    Rec.Explore = D.Explore;
+    Rec.Switched = D.Switched;
+    Rec.WindowSeconds = R.Seconds;
+    Rec.AbortRate = S.abortRate();
+    Rec.ConflictDensity = S.conflictDensity();
+    Rec.DecisionNs = LastDecisionNs;
+    Tel.recordDecision(Rec);
+    Tel.instant(0, EventKind::PolicyDecision, Window,
+                static_cast<std::uint64_t>(D.Tech));
+    St.Decisions.push_back(Rec);
+    ++St.Windows;
+
+    First += Count;
+    ++Window;
+    if (First >= NE)
+      break;
+
+    CIP_CHAOS_POINT(PolicyDecide);
+    T0 = nowNanos();
+    const policy::Decision Next = Engine.observe(S);
+    LastDecisionNs = nowNanos() - T0;
+    St.DecisionNanos += LastDecisionNs;
+
+    if (Next.Switched) {
+      CIP_CHAOS_POINT(PolicySwitch);
+      const std::uint64_t S0 = nowNanos();
+      // Boundary bookkeeping. The carried state itself needs no action
+      // here: each technique re-acquires (and clears) what it owns on its
+      // next window — see the vtable's CarryNote per row.
+      Ctx.LastDomore = domore::DomoreStats{};
+      Ctx.LastSpec = speccross::SpecStats{};
+      const std::uint64_t TearNs = nowNanos() - S0;
+      St.TeardownNanos += TearNs;
+
+      telemetry::SwitchEventRecord SE;
+      SE.Window = Window;
+      SE.From = techniqueVtable(D.Tech).Name;
+      SE.To = techniqueVtable(Next.Tech).Name;
+      SE.Reason = Next.Reason;
+      SE.WarmCarry = techniqueVtable(Next.Tech).WarmCarry;
+      SE.TeardownNs = TearNs;
+      Tel.recordSwitch(SE);
+      Tel.instant(0, EventKind::PolicySwitch,
+                  static_cast<std::uint64_t>(D.Tech),
+                  static_cast<std::uint64_t>(Next.Tech));
+      St.Switches.push_back(SE);
+    }
+    D = Next;
+  }
+
+  // The adaptive region's time includes the policy layer's measured
+  // overhead; AdaptiveStats itemizes it so benchmarks can separate decision
+  // cost from execution time (EXPERIMENTS.md).
+  Out.Seconds = St.ExecSeconds +
+                static_cast<double>(St.DecisionNanos + St.TeardownNanos) * 1e-9;
+  Out.Checksum = W.checksum();
+  Tel.finish();
+  if (StatsOut)
+    *StatsOut = std::move(St);
+  return Out;
+}
+
+bool harness::runAdaptiveFromEnv(workloads::Workload &W, unsigned NumThreads,
+                                 ExecResult &Out, AdaptiveStats *StatsOut) {
+  policy::PolicyConfig Cfg;
+  if (!policy::configFromEnv(Cfg))
+    return false;
+  Out = runAdaptive(W, NumThreads, Cfg, StatsOut);
+  return true;
+}

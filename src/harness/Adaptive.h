@@ -1,0 +1,137 @@
+//===- harness/Adaptive.h - Policy-driven adaptive execution ---*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive executor: runs one workload region in *windows* of
+/// consecutive epochs, letting a \c policy::PolicyEngine pick the execution
+/// technique per window from the signals the previous window produced
+/// (DESIGN.md §11). Technique switches happen only at window boundaries —
+/// every window ends with a full join, so a boundary is a global
+/// synchronization point and any technique may legally follow any other.
+///
+/// What carries across a switch (the warm-carry legality table, §11):
+///
+///   technique  | carried state                  | torn down per window
+///   -----------|--------------------------------|----------------------------
+///   barrier    | nothing (stateless)            | —
+///   domore     | shadow-memory allocation       | shadow *contents* (combined
+///              | (domore::ShadowCarry)          | iteration numbers restart)
+///   domore-dup | nothing (per-worker private    | each worker's private
+///              | shadows cannot be shared)      | shadow
+///   speccross  | CheckpointRegistry (state is   | signatures & epoch clocks
+///              | registered once per region)    | (epochs renumber from 0)
+///
+/// The per-technique dispatch is a uniform \c TechniqueVtable so the
+/// executors stay enumerable (tests iterate it; StagedLoop mirrors the shape
+/// for the Chapter 2 techniques).
+///
+/// Timing: the adaptive result's Seconds is the sum of the window execution
+/// times plus the measured decision and switch-teardown overhead, so the
+/// policy layer's cost is visible — AdaptiveStats itemizes it, and
+/// EXPERIMENTS.md explains how to separate the two when comparing against
+/// fixed techniques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_HARNESS_ADAPTIVE_H
+#define CIP_HARNESS_ADAPTIVE_H
+
+#include "harness/Executor.h"
+#include "policy/Policy.h"
+#include "telemetry/RunReport.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cip {
+namespace harness {
+
+/// Warm state threaded through the window runners. Owned by runAdaptive;
+/// lives exactly as long as one adaptive region execution.
+struct AdaptiveContext {
+  unsigned NumThreads = 2;
+
+  /// DOMORE warm-carry: the shadow allocation persists across windows (its
+  /// contents are cleared on every reacquire — see domore::ShadowCarry).
+  domore::ShadowCarry Carry;
+
+  /// SPECCROSS warm-carry: the workload's state is registered exactly once
+  /// per region; speculative windows share this registry for checkpoints.
+  speccross::CheckpointRegistry Registry;
+
+  /// Signature scheme speculative windows use (the workload's preference).
+  speccross::SignatureScheme Scheme = speccross::SignatureScheme::Range;
+
+  /// Engine statistics of the window that just ran; the vtable runner for
+  /// the technique fills its own and leaves the other default.
+  domore::DomoreStats LastDomore;
+  speccross::SpecStats LastSpec;
+};
+
+/// One uniform dispatch row per technique: how the adaptive harness runs a
+/// window of consecutive epochs and what may legally stay warm across a
+/// switch (see the file-comment table).
+struct TechniqueVtable {
+  policy::Technique Tech = policy::Technique::Barrier;
+  const char *Name = "";
+  /// True when some per-region state legally persists across windows of
+  /// this technique (exported on switch events as `warm_carry`).
+  bool WarmCarry = false;
+  /// Static one-liner: what carries, or why full teardown is required.
+  const char *CarryNote = "";
+  /// Runs epochs [0, View.numEpochs()) of \p View (a window-sliced
+  /// workload) under this technique.
+  ExecResult (*RunWindow)(AdaptiveContext &Ctx, workloads::Workload &View);
+};
+
+/// The dispatch row for \p T.
+const TechniqueVtable &techniqueVtable(policy::Technique T);
+
+/// ORs policy::techniqueBit for every technique \p W supports: barrier
+/// always; DOMORE per Table 5.1's applicability column; the duplicated
+/// scheduler additionally needs a duplicable prologue (§3.4); SPECCROSS
+/// needs its applicability column and — when a prologue exists — §4.3's
+/// duplicability requirement.
+std::uint32_t applicabilityMask(const workloads::Workload &W);
+
+/// Everything the adaptive run measured beyond the ExecResult: the decision
+/// log, the switch log, and the itemized policy-layer overhead.
+struct AdaptiveStats {
+  std::vector<telemetry::PolicyDecisionRecord> Decisions;
+  std::vector<telemetry::SwitchEventRecord> Switches;
+  std::uint32_t Windows = 0;
+  /// Sum of the windows' engine execution time (excludes the policy layer).
+  double ExecSeconds = 0.0;
+  /// Time spent inside PolicyEngine::initial()/observe().
+  std::uint64_t DecisionNanos = 0;
+  /// Time spent on switch-boundary teardown/setup bookkeeping.
+  std::uint64_t TeardownNanos = 0;
+};
+
+/// Runs \p W end to end under the adaptive executor with \p NumThreads
+/// total threads per window (same thread budget every fixed strategy gets).
+/// The policy engine decides per \c Cfg.WindowEpochs-sized window; the
+/// result's Seconds includes the measured decision/teardown overhead and
+/// the Checksum is the workload's final digest (bit-identical to every
+/// other executor — the tests enforce it).
+ExecResult runAdaptive(workloads::Workload &W, unsigned NumThreads,
+                       const policy::PolicyConfig &Cfg,
+                       AdaptiveStats *StatsOut = nullptr);
+
+/// The CIP_POLICY hook: when the environment selects a policy
+/// (CIP_POLICY=fixed:<tech>|threshold|bandit, with CIP_POLICY_WINDOW and
+/// CIP_POLICY_SEED refining it), runs \p W under the adaptive executor and
+/// returns true; otherwise returns false without touching \p Out. Callers
+/// with a fixed-strategy default (examples, drivers, re-registered test
+/// configs) consult this first, so setting CIP_POLICY reroutes them through
+/// the policy engine without a rebuild. Malformed values exit 2.
+bool runAdaptiveFromEnv(workloads::Workload &W, unsigned NumThreads,
+                        ExecResult &Out, AdaptiveStats *StatsOut = nullptr);
+
+} // namespace harness
+} // namespace cip
+
+#endif // CIP_HARNESS_ADAPTIVE_H

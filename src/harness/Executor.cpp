@@ -100,9 +100,7 @@ ExecResult harness::runBarrier(Workload &W, unsigned NumThreads) {
   return R;
 }
 
-namespace {
-
-domore::LoopNest buildLoopNest(Workload &W) {
+domore::LoopNest harness::buildLoopNest(Workload &W) {
   domore::LoopNest Nest;
   Nest.NumInvocations = W.numEpochs();
   Nest.AddressSpaceSize = W.addressSpaceSize();
@@ -123,8 +121,6 @@ domore::LoopNest buildLoopNest(Workload &W) {
     };
   return Nest;
 }
-
-} // namespace
 
 ExecResult harness::runDomore(Workload &W, unsigned NumThreads,
                               domore::PolicyKind Policy,
@@ -177,6 +173,12 @@ ExecResult harness::runDomoreDuplicated(Workload &W, unsigned NumThreads,
 speccross::SpecRegion
 harness::buildRegion(Workload &W, speccross::CheckpointRegistry &Registry) {
   W.registerState(Registry);
+  return buildRegionShared(W, Registry);
+}
+
+speccross::SpecRegion
+harness::buildRegionShared(Workload &W,
+                           speccross::CheckpointRegistry &Registry) {
   speccross::SpecRegion Region;
   Region.NumEpochs = W.numEpochs();
   Region.NumTasks = [&W](std::uint32_t E) { return W.numTasks(E); };

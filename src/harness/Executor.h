@@ -98,10 +98,21 @@ ExecResult runSpecCross(workloads::Workload &W,
                             speccross::SpecMode::Speculation,
                         speccross::SpecStats *StatsOut = nullptr);
 
+/// Builds the DOMORE loop-nest description for \p W (without running it).
+domore::LoopNest buildLoopNest(workloads::Workload &W);
+
 /// Builds the SPECCROSS region description for \p W (without running it).
 /// \p Registry receives the workload's mutable state.
 speccross::SpecRegion buildRegion(workloads::Workload &W,
                                   speccross::CheckpointRegistry &Registry);
+
+/// Like \c buildRegion but does NOT register \p W's state with \p Registry.
+/// For callers that reuse one registry across several runs over the same
+/// workload (the adaptive harness registers once up front): registering per
+/// run would re-append every buffer and double the snapshot bytes.
+speccross::SpecRegion
+buildRegionShared(workloads::Workload &W,
+                  speccross::CheckpointRegistry &Registry);
 
 /// Profiles \p W (sequentially, from a reset state) and returns the
 /// recommended speculative distance for \p NumWorkers, mirroring the

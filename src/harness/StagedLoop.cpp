@@ -74,3 +74,22 @@ double harness::runDswp(const StagedLoop &L, unsigned NumThreads) {
   });
   return static_cast<double>(nowNanos() - Begin) * 1e-9;
 }
+
+namespace {
+
+double runStagedSequentialRow(const StagedLoop &L, unsigned) {
+  return harness::runStagedSequential(L);
+}
+
+const StagedTechnique StagedRows[] = {
+    {"sequential", &runStagedSequentialRow},
+    {"doacross", &harness::runDoacross},
+    {"dswp", &harness::runDswp},
+};
+
+} // namespace
+
+const StagedTechnique *harness::stagedTechniques(std::size_t &Count) {
+  Count = sizeof(StagedRows) / sizeof(StagedRows[0]);
+  return StagedRows;
+}

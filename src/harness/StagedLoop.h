@@ -29,6 +29,7 @@
 
 #include "support/Compiler.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -57,6 +58,21 @@ double runDoacross(const StagedLoop &L, unsigned NumThreads);
 /// (PS-)DSWP: one traversal thread plus NumThreads-1 work threads
 /// (NumThreads == 2 is classic two-stage DSWP). Returns elapsed seconds.
 double runDswp(const StagedLoop &L, unsigned NumThreads);
+
+/// Uniform dispatch row for the staged-loop executors, mirroring the
+/// adaptive harness's TechniqueVtable (harness/Adaptive.h) so tests and
+/// tools enumerate and run the Chapter 2 techniques generically instead of
+/// hard-coding the three entry points.
+struct StagedTechnique {
+  const char *Name = "";
+  /// Runs \p L under this technique; "sequential" ignores \p NumThreads,
+  /// "dswp" requires at least 2. Returns elapsed seconds.
+  double (*Run)(const StagedLoop &L, unsigned NumThreads) = nullptr;
+};
+
+/// The technique table: "sequential", "doacross", "dswp", in that order.
+/// \p Count receives the row count.
+const StagedTechnique *stagedTechniques(std::size_t &Count);
 
 } // namespace harness
 } // namespace cip

@@ -1,0 +1,337 @@
+//===- policy/Policy.cpp - Adaptive execution-policy engine --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/Policy.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace cip;
+using namespace cip::policy;
+
+const char *policy::techniqueName(Technique T) {
+  switch (T) {
+  case Technique::Barrier:
+    return "barrier";
+  case Technique::Domore:
+    return "domore";
+  case Technique::DomoreDup:
+    return "domore-dup";
+  case Technique::SpecCross:
+    return "speccross";
+  }
+  CIP_UNREACHABLE("unknown technique");
+}
+
+bool policy::parseTechnique(std::string_view Name, Technique &Out) {
+  if (Name == "barrier")
+    Out = Technique::Barrier;
+  else if (Name == "domore")
+    Out = Technique::Domore;
+  else if (Name == "domore-dup" || Name == "dup")
+    Out = Technique::DomoreDup;
+  else if (Name == "speccross")
+    Out = Technique::SpecCross;
+  else
+    return false;
+  return true;
+}
+
+const char *policy::policyKindName(PolicyKind K) {
+  switch (K) {
+  case PolicyKind::Fixed:
+    return "fixed";
+  case PolicyKind::Threshold:
+    return "threshold";
+  case PolicyKind::Bandit:
+    return "bandit";
+  }
+  CIP_UNREACHABLE("unknown policy kind");
+}
+
+//===----------------------------------------------------------------------===//
+// PolicyEngine
+//===----------------------------------------------------------------------===//
+
+PolicyEngine::PolicyEngine(const PolicyConfig &Config,
+                           std::uint32_t ApplicableMask)
+    : Cfg(Config), Mask(ApplicableMask | techniqueBit(Technique::Barrier)),
+      Rng(Config.Seed) {}
+
+Technique PolicyEngine::fallback() const {
+  // The conservative ladder when the desired technique is inapplicable:
+  // non-speculative runtime scheduling before speculation, barrier last.
+  if (applicable(Technique::Domore))
+    return Technique::Domore;
+  if (applicable(Technique::DomoreDup))
+    return Technique::DomoreDup;
+  return Technique::Barrier;
+}
+
+Decision PolicyEngine::switchTo(Technique T, const char *Reason,
+                                bool Explore) {
+  Decision D;
+  D.Tech = T;
+  D.Switched = Started && T != Cur;
+  D.Explore = Explore;
+  D.Reason = Reason;
+  if (D.Switched) {
+    DwellLeft = Cfg.MinDwellWindows;
+    PendingCount = 0;
+  }
+  Cur = T;
+  Started = true;
+  return D;
+}
+
+Decision PolicyEngine::hold(const char *Reason) {
+  Decision D;
+  D.Tech = Cur;
+  D.Reason = Reason;
+  return D;
+}
+
+Decision PolicyEngine::initial() {
+  switch (Cfg.Kind) {
+  case PolicyKind::Fixed:
+    return switchTo(applicable(Cfg.FixedTech) ? Cfg.FixedTech : fallback(),
+                    "fixed");
+  case PolicyKind::Threshold:
+    // Optimistic start: speculation is the cheapest technique while it
+    // holds (no scheduler thread, no per-iteration shadow probes); the
+    // abort-rate cutoff walks it back as soon as the input disagrees.
+    if (applicable(Technique::SpecCross))
+      return switchTo(Technique::SpecCross, "optimistic-start");
+    return switchTo(fallback(), "optimistic-start");
+  case PolicyKind::Bandit: {
+    // Round-robin initialization: pull every applicable arm once, in enum
+    // order, before epsilon-greedy takes over.
+    while (InitArm < NumTechniques &&
+           !applicable(static_cast<Technique>(InitArm)))
+      ++InitArm;
+    const Technique First = InitArm < NumTechniques
+                                ? static_cast<Technique>(InitArm++)
+                                : Technique::Barrier;
+    return switchTo(First, "bandit-init");
+  }
+  }
+  CIP_UNREACHABLE("unknown policy kind");
+}
+
+Decision PolicyEngine::observe(const RegionStats &S) {
+  assert(Started && "observe() before initial()");
+  switch (Cfg.Kind) {
+  case PolicyKind::Fixed:
+    return hold("fixed");
+  case PolicyKind::Threshold:
+    return thresholdObserve(S);
+  case PolicyKind::Bandit:
+    return banditObserve(S);
+  }
+  CIP_UNREACHABLE("unknown policy kind");
+}
+
+void PolicyEngine::creditArm(const RegionStats &S) {
+  const unsigned Arm = static_cast<unsigned>(S.Tech);
+  const double Reward = -S.secondsPerEpoch();
+  ++Pulls[Arm];
+  MeanReward[Arm] +=
+      (Reward - MeanReward[Arm]) / static_cast<double>(Pulls[Arm]);
+}
+
+double PolicyEngine::meanSecondsPerEpoch(Technique T) const {
+  return -MeanReward[static_cast<unsigned>(T)];
+}
+
+Decision PolicyEngine::thresholdObserve(const RegionStats &S) {
+  // Keep the measured-cost record current: the cutoffs nominate, the
+  // measurements veto (see PolicyConfig::SlowerMargin).
+  creditArm(S);
+
+  // What would the cutoffs pick, ignoring hysteresis?
+  Technique Want = Cur;
+  const char *Why = "steady";
+  switch (Cur) {
+  case Technique::SpecCross:
+    if (S.abortRate() > Cfg.AbortRateHigh) {
+      Want = fallback();
+      Why = "abort-rate-high";
+    }
+    break;
+  case Technique::Domore:
+    if (S.conflictDensity() < Cfg.ConflictLow &&
+        applicable(Technique::SpecCross)) {
+      Want = Technique::SpecCross;
+      Why = "conflict-density-low";
+    } else if (S.SchedulerRatioPercent > Cfg.SchedulerRatioHigh &&
+               applicable(Technique::DomoreDup)) {
+      Want = Technique::DomoreDup;
+      Why = "scheduler-saturated";
+    }
+    break;
+  case Technique::DomoreDup:
+    if (S.conflictDensity() < Cfg.ConflictLow &&
+        applicable(Technique::SpecCross)) {
+      Want = Technique::SpecCross;
+      Why = "conflict-density-low";
+    }
+    break;
+  case Technique::Barrier:
+    // Reached only when nothing else is applicable; nothing to revise.
+    break;
+  }
+
+  if (DwellLeft)
+    --DwellLeft;
+
+  if (Want == Cur) {
+    PendingCount = 0;
+    return hold("steady");
+  }
+  if (Want != Pending) {
+    Pending = Want;
+    PendingReason = Why;
+    PendingCount = 0;
+  }
+  ++PendingCount;
+  if (PendingCount < Cfg.ConfirmWindows)
+    return hold("confirming");
+  if (DwellLeft)
+    return hold("dwell");
+  // Measured-cost guard: don't switch into a technique this region has
+  // already measured as more than SlowerMargin slower per epoch than what
+  // is running now. An unmeasured target always passes — the cutoffs are
+  // the only evidence there is.
+  if (Pulls[static_cast<unsigned>(Pending)] > 0) {
+    const double WantSec = meanSecondsPerEpoch(Pending);
+    const double CurSec = meanSecondsPerEpoch(Cur);
+    if (CurSec > 0.0 && WantSec > CurSec * (1.0 + Cfg.SlowerMargin))
+      return hold("measured-slower");
+  }
+  return switchTo(Pending, PendingReason);
+}
+
+Decision PolicyEngine::banditObserve(const RegionStats &S) {
+  // Credit the arm that just ran.
+  creditArm(S);
+
+  // Finish round-robin initialization first.
+  while (InitArm < NumTechniques &&
+         !applicable(static_cast<Technique>(InitArm)))
+    ++InitArm;
+  if (InitArm < NumTechniques)
+    return switchTo(static_cast<Technique>(InitArm++), "bandit-init");
+
+  if (Rng.nextDouble() < Cfg.Epsilon) {
+    // Uniform over applicable arms.
+    unsigned Live = 0;
+    for (unsigned T = 0; T < NumTechniques; ++T)
+      if (applicable(static_cast<Technique>(T)))
+        ++Live;
+    std::uint64_t Pick = Rng.nextBelow(Live);
+    for (unsigned T = 0; T < NumTechniques; ++T) {
+      if (!applicable(static_cast<Technique>(T)))
+        continue;
+      if (Pick == 0)
+        return switchTo(static_cast<Technique>(T), "explore",
+                        /*Explore=*/true);
+      --Pick;
+    }
+    CIP_UNREACHABLE("applicable arm must exist");
+  }
+
+  // Exploit: best mean reward among pulled applicable arms (ties to the
+  // lower enum value for determinism).
+  unsigned Best = NumTechniques;
+  for (unsigned T = 0; T < NumTechniques; ++T) {
+    if (!applicable(static_cast<Technique>(T)) || Pulls[T] == 0)
+      continue;
+    if (Best == NumTechniques || MeanReward[T] > MeanReward[Best])
+      Best = T;
+  }
+  assert(Best < NumTechniques && "no pulled arm after initialization");
+  return switchTo(static_cast<Technique>(Best), "exploit");
+}
+
+//===----------------------------------------------------------------------===//
+// Environment knobs
+//===----------------------------------------------------------------------===//
+
+const char *policy::parsePolicySpec(std::string_view Spec,
+                                    PolicyConfig &Out) {
+  static const char *const Grammar =
+      "fixed:<barrier|domore|domore-dup|speccross>, threshold, or bandit";
+  if (Spec == "threshold") {
+    Out.Kind = PolicyKind::Threshold;
+    return nullptr;
+  }
+  if (Spec == "bandit") {
+    Out.Kind = PolicyKind::Bandit;
+    return nullptr;
+  }
+  constexpr std::string_view FixedPrefix = "fixed:";
+  if (Spec.rfind(FixedPrefix, 0) == 0) {
+    Technique T;
+    if (!parseTechnique(Spec.substr(FixedPrefix.size()), T))
+      return Grammar;
+    Out.Kind = PolicyKind::Fixed;
+    Out.FixedTech = T;
+    return nullptr;
+  }
+  return Grammar;
+}
+
+namespace {
+
+/// Strict full-token decimal parse (no sign, no trailing junk).
+bool parseDecimal(const char *S, std::uint64_t &Out) {
+  if (!*S)
+    return false;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End != '\0' || std::strchr(S, '-'))
+    return false;
+  Out = static_cast<std::uint64_t>(V);
+  return true;
+}
+
+[[noreturn]] void policyEnvError(const char *Var, const char *Value,
+                                 const char *Expected) {
+  std::fprintf(stderr, "error: %s='%s' is invalid: expected %s\n", Var, Value,
+               Expected);
+  // _Exit, not exit: matches the CIP_CHAOS convention — a config error wants
+  // immediate, clean-status death without running atexit/destructors while
+  // runtime threads may be live.
+  std::_Exit(2);
+}
+
+} // namespace
+
+bool policy::configFromEnv(PolicyConfig &Out) {
+  const char *Spec = std::getenv("CIP_POLICY");
+  if (!Spec || !*Spec)
+    return false;
+  PolicyConfig Parsed = Out;
+  if (const char *Expected = parsePolicySpec(Spec, Parsed))
+    policyEnvError("CIP_POLICY", Spec, Expected);
+  if (const char *WinStr = std::getenv("CIP_POLICY_WINDOW")) {
+    std::uint64_t V = 0;
+    if (!parseDecimal(WinStr, V) || V == 0 || V > 0xffffffffULL)
+      policyEnvError("CIP_POLICY_WINDOW", WinStr,
+                     "a positive epoch count per decision window");
+    Parsed.WindowEpochs = static_cast<std::uint32_t>(V);
+  }
+  if (const char *SeedStr = std::getenv("CIP_POLICY_SEED")) {
+    std::uint64_t V = 0;
+    if (!parseDecimal(SeedStr, V))
+      policyEnvError("CIP_POLICY_SEED", SeedStr, "a decimal seed");
+    Parsed.Seed = V;
+  }
+  Out = Parsed;
+  return true;
+}

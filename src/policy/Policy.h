@@ -1,0 +1,270 @@
+//===- policy/Policy.h - Adaptive execution-policy engine ------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime technique decision, made online. The dissertation picks the
+/// execution technique for a region *offline* (Table 5.3: profile on the
+/// train input, then run DOMORE, duplicated-scheduler DOMORE, SPECCROSS, or
+/// the plain barrier on ref) — but the profitable technique is input- and
+/// phase-dependent: SPECCROSS only wins while misspeculation is rare, DOMORE
+/// only while conflicts actually manifest, and the wrong choice is worse
+/// than sequential. This subsystem owns that decision per region and revises
+/// it at invocation-epoch boundaries from the signals the telemetry and
+/// profiler layers already produce.
+///
+/// Shape of the loop: the harness executes the region in *windows* of
+/// consecutive epochs (harness/Adaptive.h). After each window it distills
+/// the engine's statistics into one \c RegionStats snapshot — abort rate and
+/// checking latency for SPECCROSS, sync-condition density and scheduler
+/// occupancy for DOMORE, wait/dispatch-batch distributions for both — and
+/// feeds it to a \c PolicyEngine, which answers with the technique for the
+/// next window. Three policies are pluggable:
+///
+///  * \c Fixed     — always the configured technique (today's behavior);
+///  * \c Threshold — the paper-faithful cutoff rules (Table 5.3's decision
+///                   procedure run online): abort-rate and conflict-density
+///                   cutoffs with hysteresis (a candidate must persist for
+///                   \c ConfirmWindows consecutive windows, and no switch
+///                   happens within \c MinDwellWindows of the last one, so
+///                   the engine never flip-flops inside a window), plus a
+///                   measured-cost guard: a cutoff-indicated switch into a
+///                   technique that has already run and measured more than
+///                   \c SlowerMargin slower per epoch is held off — the
+///                   cutoffs encode the paper's machine model, the
+///                   measurements the actual machine;
+///  * \c Bandit    — epsilon-greedy over the applicable techniques with
+///                   measured per-epoch wall time as (negative) reward,
+///                   deterministic under \c CIP_POLICY_SEED.
+///
+/// Environment knobs (strict-parsed; garbage is a config bug and exits 2,
+/// like every CIP_* knob):
+///   CIP_POLICY        = fixed:<tech> | threshold | bandit
+///                       (<tech> = barrier | domore | domore-dup | speccross)
+///   CIP_POLICY_WINDOW = epochs per decision window (positive integer)
+///   CIP_POLICY_SEED   = bandit RNG seed (decimal)
+///
+/// Layering: this library sits strictly *above* the engines — src/domore
+/// and src/speccross never reference cip::policy (CI checks their objects
+/// with `nm`, mirroring the telemetry and chaos zero-cost checks), so the
+/// engine hot paths carry no policy code when CIP_POLICY is unset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_POLICY_POLICY_H
+#define CIP_POLICY_POLICY_H
+
+#include "support/Compiler.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace cip {
+namespace policy {
+
+/// The techniques the engine chooses among — the four ways the harness can
+/// execute a region of consecutive inner-loop invocations.
+enum class Technique : unsigned {
+  Barrier,   ///< barrier-DOALL baseline (always applicable)
+  Domore,    ///< DOMORE scheduler/worker runtime (Ch. 3)
+  DomoreDup, ///< duplicated-scheduler DOMORE (§3.4)
+  SpecCross, ///< SPECCROSS speculative barriers (Ch. 4)
+};
+
+inline constexpr unsigned NumTechniques = 4;
+
+/// Stable machine-readable name ("barrier", "domore", "domore-dup",
+/// "speccross") — the JSON export key and the CIP_POLICY=fixed:<tech> token.
+const char *techniqueName(Technique T);
+
+/// Parses a techniqueName() token. Returns false on other input.
+bool parseTechnique(std::string_view Name, Technique &Out);
+
+/// Applicability bitmask helpers. Barrier is always applicable; the harness
+/// derives the rest from the workload (Table 5.1's applicability columns).
+inline constexpr std::uint32_t techniqueBit(Technique T) {
+  return 1u << static_cast<unsigned>(T);
+}
+
+/// One window's signal snapshot: what the engines already measure, distilled
+/// to the quantities the paper's decision procedure consults. Plain data —
+/// meaningful fields depend on the technique that ran the window; the rest
+/// stay zero.
+struct RegionStats {
+  Technique Tech = Technique::Barrier;
+  std::uint32_t Window = 0;     ///< window ordinal within the region
+  std::uint32_t FirstEpoch = 0; ///< first epoch of the window
+  std::uint32_t NumEpochs = 0;  ///< epochs executed in the window
+  double Seconds = 0.0;         ///< measured window wall time
+  std::uint64_t Tasks = 0;
+
+  /// SPECCROSS: misspeculated rounds and checking-request pressure.
+  std::uint64_t Misspeculations = 0;
+  std::uint64_t CheckRequests = 0;
+  /// SPECCROSS: p90 checking-request latency, nanoseconds.
+  std::uint64_t CheckLatencyP90Ns = 0;
+
+  /// DOMORE: manifested cross-invocation conflicts and iteration volume.
+  std::uint64_t SyncConditions = 0;
+  std::uint64_t Iterations = 0;
+  /// DOMORE: scheduler busy time as a percentage of the window (the §3.4
+  /// criterion for duplicating the scheduler).
+  double SchedulerRatioPercent = 0.0;
+
+  /// Both engines: p90 of the dominant wait distribution, nanoseconds.
+  std::uint64_t WaitP90Ns = 0;
+  /// DOMORE: mean realized dispatch-batch size (iterations per WorkRange).
+  double MeanDispatchBatch = 0.0;
+
+  /// The bandit's (negative) reward basis.
+  double secondsPerEpoch() const {
+    return NumEpochs ? Seconds / static_cast<double>(NumEpochs) : 0.0;
+  }
+  /// Misspeculated rounds per executed epoch (SPECCROSS windows).
+  double abortRate() const {
+    return NumEpochs ? static_cast<double>(Misspeculations) /
+                           static_cast<double>(NumEpochs)
+                     : 0.0;
+  }
+  /// Sync conditions per scheduled iteration (DOMORE windows).
+  double conflictDensity() const {
+    return Iterations ? static_cast<double>(SyncConditions) /
+                            static_cast<double>(Iterations)
+                      : 0.0;
+  }
+};
+
+/// Which decision procedure runs.
+enum class PolicyKind : unsigned { Fixed, Threshold, Bandit };
+
+const char *policyKindName(PolicyKind K);
+
+/// Full policy configuration. The cutoffs default to the regimes of
+/// Table 5.3: SPECCROSS stops paying its checkpoint/rollback overhead well
+/// before one round in ten aborts, and a DOMORE window whose conflicts stop
+/// manifesting is exactly the "*" (conflict-free) profile row where
+/// speculation wins.
+struct PolicyConfig {
+  PolicyKind Kind = PolicyKind::Fixed;
+  Technique FixedTech = Technique::Domore;
+
+  /// Epochs per decision window (CIP_POLICY_WINDOW).
+  std::uint32_t WindowEpochs = 8;
+
+  /// Bandit RNG seed (CIP_POLICY_SEED). Decisions are a pure function of
+  /// (seed, stats stream).
+  std::uint64_t Seed = 1;
+  /// Bandit exploration probability.
+  double Epsilon = 0.2;
+
+  /// Threshold: leave SPECCROSS when misspeculated rounds per epoch exceed
+  /// this.
+  double AbortRateHigh = 0.10;
+  /// Threshold: leave DOMORE for SPECCROSS when sync conditions per
+  /// iteration fall below this (conflicts no longer manifest).
+  double ConflictLow = 0.005;
+  /// Threshold: duplicate the scheduler when its busy ratio exceeds this
+  /// percentage while conflicts still manifest (§3.4's criterion).
+  double SchedulerRatioHigh = 45.0;
+  /// Threshold: a cutoff-indicated switch is suppressed while the target
+  /// technique's measured mean seconds-per-epoch (cumulative over this
+  /// region) exceeds the current technique's by more than this fraction.
+  /// The cutoffs encode the paper's *machine model* (speculation wins when
+  /// conflict-free); the measurement is the ground truth on the machine at
+  /// hand — e.g. on an oversubscribed host SPECCROSS loses even without
+  /// aborts, and this guard keeps the engine from bouncing into it.
+  double SlowerMargin = 0.10;
+  /// Hysteresis: a candidate switch must be indicated for this many
+  /// consecutive windows before it is taken. The signals are already
+  /// window-averaged, so one window of evidence is decisive by default;
+  /// raise this when windows are short enough to be noisy.
+  std::uint32_t ConfirmWindows = 1;
+  /// ...and after any switch, no further switch for this many windows — the
+  /// guarantee that the engine never flip-flops inside a dwell period.
+  std::uint32_t MinDwellWindows = 2;
+};
+
+/// One verdict. \c Reason is a static string ("optimistic-start",
+/// "abort-rate-high", "conflict-density-low", "scheduler-saturated",
+/// "measured-slower", "explore", "exploit", "fixed", ...) safe to retain
+/// beyond the engine.
+struct Decision {
+  Technique Tech = Technique::Barrier;
+  bool Switched = false; ///< differs from the previous window's technique
+  bool Explore = false;  ///< bandit exploration (vs. exploitation) step
+  const char *Reason = "initial";
+};
+
+/// The per-region decision maker. Construct once per adaptive region run
+/// with the applicability mask, call \c initial() for the first window, then
+/// \c observe() with each completed window's stats to get the next verdict.
+/// Not thread-safe; the harness consults it from the control thread between
+/// windows.
+class PolicyEngine {
+public:
+  /// \p ApplicableMask ORs techniqueBit() for every technique the region
+  /// supports; Technique::Barrier is forced in (it is always sound).
+  PolicyEngine(const PolicyConfig &Config, std::uint32_t ApplicableMask);
+
+  Technique current() const { return Cur; }
+  const PolicyConfig &config() const { return Cfg; }
+
+  /// The verdict for the first window (no signals yet): the fixed technique,
+  /// the threshold policy's optimistic start (SPECCROSS where applicable),
+  /// or the bandit's first arm.
+  Decision initial();
+
+  /// Feeds the window that just executed; returns the verdict for the next
+  /// one.
+  Decision observe(const RegionStats &S);
+
+private:
+  bool applicable(Technique T) const { return (Mask & techniqueBit(T)) != 0; }
+  Technique fallback() const;
+  Decision switchTo(Technique T, const char *Reason, bool Explore = false);
+  Decision hold(const char *Reason);
+  void creditArm(const RegionStats &S);
+  double meanSecondsPerEpoch(Technique T) const;
+  Decision thresholdObserve(const RegionStats &S);
+  Decision banditObserve(const RegionStats &S);
+
+  PolicyConfig Cfg;
+  std::uint32_t Mask;
+  Technique Cur = Technique::Barrier;
+  bool Started = false;
+
+  // Threshold hysteresis state.
+  std::uint32_t DwellLeft = 0;    ///< windows until switching is allowed
+  Technique Pending = Technique::Barrier; ///< candidate awaiting confirmation
+  const char *PendingReason = "";
+  std::uint32_t PendingCount = 0; ///< consecutive windows indicating Pending
+
+  // Per-arm pull counts and mean reward (-seconds/epoch): the bandit's
+  // value estimates, doubling as the threshold policy's measured-cost
+  // record for the SlowerMargin guard.
+  std::uint64_t Pulls[NumTechniques] = {};
+  double MeanReward[NumTechniques] = {};
+  std::uint32_t InitArm = 0; ///< next unexplored arm during round-robin init
+  Xoshiro256StarStar Rng{1};
+};
+
+/// Parses one CIP_POLICY specification into \p Out (Kind and FixedTech
+/// only). Returns nullptr on success or a static description of the
+/// expected grammar on failure — the caller decides whether failure is
+/// fatal (configFromEnv) or a test expectation.
+const char *parsePolicySpec(std::string_view Spec, PolicyConfig &Out);
+
+/// Reads CIP_POLICY / CIP_POLICY_WINDOW / CIP_POLICY_SEED into \p Out.
+/// Returns false (leaving \p Out untouched) when CIP_POLICY is unset or
+/// empty — the caller keeps its compiled-in default. Malformed values are a
+/// configuration bug: prints `error: CIP_POLICY...` and exits 2, matching
+/// every other CIP_* knob.
+bool configFromEnv(PolicyConfig &Out);
+
+} // namespace policy
+} // namespace cip
+
+#endif // CIP_POLICY_POLICY_H

@@ -117,6 +117,7 @@ public:
       Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
       Stats.Telemetry = Tel.totals();
       Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
+      Stats.CheckLatency = Tel.histTotals(Hist::CheckNs);
       Tel.finish();
       return Stats;
     }
@@ -169,6 +170,7 @@ public:
     Stats.Telemetry = Tel.totals();
     Stats.Aborts = Tel.aborts();
     Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
+    Stats.CheckLatency = Tel.histTotals(Hist::CheckNs);
     Tel.finish();
     return Stats;
   }

@@ -162,6 +162,11 @@ struct SpecStats {
   /// backpressure) — the per-wait view behind the WorkerWaitNs counter
   /// total. Empty with CIP_TELEMETRY=0.
   telemetry::HistogramData WorkerWait;
+
+  /// Distribution of per-request checking latency on the checker thread —
+  /// the signal the adaptive policy layer reads as checking-request
+  /// pressure. Empty with CIP_TELEMETRY=0.
+  telemetry::HistogramData CheckLatency;
 };
 
 /// Result of a profiling run (§4.4): the minimum cross-epoch dependence

@@ -48,6 +48,10 @@ const char *chaos::siteName(Site S) {
     return "snapshot";
   case Site::Restore:
     return "restore";
+  case Site::PolicyDecide:
+    return "policy-decide";
+  case Site::PolicySwitch:
+    return "policy-switch";
   case Site::NumSites:
     break;
   }

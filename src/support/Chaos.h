@@ -44,6 +44,7 @@
 #define CIP_CHAOS 0
 #endif
 
+#include "support/Compiler.h"
 #include "support/Rng.h"
 
 #include <cstdint>
@@ -72,6 +73,8 @@ enum class Site : std::uint32_t {
   ThrottleSpin,    ///< SPECCROSS: inside the speculative-range throttle
   Snapshot,        ///< Checkpoint: before copying state aside
   Restore,         ///< Checkpoint: before copying the snapshot back
+  PolicyDecide,    ///< adaptive harness: before consulting the policy engine
+  PolicySwitch,    ///< adaptive harness: before tearing down for a switch
   NumSites
 };
 
@@ -179,5 +182,15 @@ inline void point(Site) {}
   do {                                                                         \
   } while (false)
 #endif
+
+/// Annotation for workload task bodies the speculative engines race on *by
+/// design*: SPECCROSS may execute cross-invocation-dependent tasks
+/// concurrently and roll back, so TSan would flag them, but the
+/// checksum-vs-sequential differential oracle (plus the chaos-perturbed fuzz
+/// sweeps above) is what actually verifies the outcome. Expands to
+/// CIP_NO_SANITIZE_THREAD (support/Compiler.h has the full sanitizer
+/// rationale); it lives here, with the oracle machinery, because the oracle
+/// is the justification — use it on nothing the oracle does not cover.
+#define CIP_SPECULATIVE_TASK_BODY CIP_NO_SANITIZE_THREAD
 
 #endif // CIP_SUPPORT_CHAOS_H

@@ -160,6 +160,56 @@ std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
   }
   W.endArray();
 
+  W.key("policy_decisions");
+  W.beginArray();
+  for (const PolicyDecisionRecord &D : R.decisions()) {
+    W.beginObject();
+    W.key("window");
+    W.value(D.Window);
+    W.key("first_epoch");
+    W.value(D.FirstEpoch);
+    W.key("num_epochs");
+    W.value(D.NumEpochs);
+    W.key("technique");
+    W.value(D.Technique);
+    W.key("reason");
+    W.value(D.Reason);
+    W.key("explore");
+    W.value(D.Explore);
+    W.key("switched");
+    W.value(D.Switched);
+    W.key("window_seconds");
+    W.value(D.WindowSeconds);
+    W.key("abort_rate");
+    W.value(D.AbortRate);
+    W.key("conflict_density");
+    W.value(D.ConflictDensity);
+    W.key("decision_ns");
+    W.value(D.DecisionNs);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("switch_events");
+  W.beginArray();
+  for (const SwitchEventRecord &S : R.switches()) {
+    W.beginObject();
+    W.key("window");
+    W.value(S.Window);
+    W.key("from");
+    W.value(S.From);
+    W.key("to");
+    W.value(S.To);
+    W.key("reason");
+    W.value(S.Reason);
+    W.key("warm_carry");
+    W.value(S.WarmCarry);
+    W.key("teardown_ns");
+    W.value(S.TeardownNs);
+    W.endObject();
+  }
+  W.endArray();
+
   W.endObject();
   std::string Out = W.take();
   Out += '\n';

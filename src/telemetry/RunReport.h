@@ -226,6 +226,39 @@ struct AbortRecord {
 };
 
 //===----------------------------------------------------------------------===//
+// Adaptive policy decisions and switch events
+//===----------------------------------------------------------------------===//
+
+/// One adaptive-policy decision: what the engine picked for a window of
+/// epochs, why, and the signal snapshot it decided on. Recorded by the
+/// adaptive harness once per window; exported in bench JSON rows, run
+/// reports (`policy_decisions`), and as PolicyDecision trace instants.
+struct PolicyDecisionRecord {
+  std::uint32_t Window = 0;     ///< decision ordinal within the region
+  std::uint32_t FirstEpoch = 0; ///< first epoch the decision governs
+  std::uint32_t NumEpochs = 0;  ///< epochs in the window
+  const char *Technique = "";   ///< technique chosen for the window
+  const char *Reason = "";      ///< rule or bandit branch that fired
+  bool Explore = false;         ///< bandit exploration (vs. exploitation)
+  bool Switched = false;        ///< differs from the previous window
+  double WindowSeconds = 0.0;   ///< measured wall time of the window
+  double AbortRate = 0.0;       ///< misspeculations per epoch in the window
+  double ConflictDensity = 0.0; ///< sync conditions per iteration
+  std::uint64_t DecisionNs = 0; ///< time spent inside the policy engine
+};
+
+/// One technique switch at a window boundary: the teardown/warm-carry edge
+/// between two PolicyDecisionRecords. Exported as `switch_events`.
+struct SwitchEventRecord {
+  std::uint32_t Window = 0;   ///< window whose decision caused the switch
+  const char *From = "";      ///< technique being torn down
+  const char *To = "";        ///< technique being set up
+  const char *Reason = "";    ///< same reason string as the decision
+  bool WarmCarry = false;     ///< state legally carried across (see §11)
+  std::uint64_t TeardownNs = 0; ///< teardown + setup cost at the boundary
+};
+
+//===----------------------------------------------------------------------===//
 // Run report rendering
 //===----------------------------------------------------------------------===//
 

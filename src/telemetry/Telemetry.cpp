@@ -106,6 +106,26 @@ std::vector<AbortRecord> RegionTelemetry::aborts() const {
   return AbortLog;
 }
 
+void RegionTelemetry::recordDecision(const PolicyDecisionRecord &D) {
+  std::lock_guard<std::mutex> G(PolicyMu);
+  DecisionLog.push_back(D);
+}
+
+void RegionTelemetry::recordSwitch(const SwitchEventRecord &S) {
+  std::lock_guard<std::mutex> G(PolicyMu);
+  SwitchLog.push_back(S);
+}
+
+std::vector<PolicyDecisionRecord> RegionTelemetry::decisions() const {
+  std::lock_guard<std::mutex> G(PolicyMu);
+  return DecisionLog;
+}
+
+std::vector<SwitchEventRecord> RegionTelemetry::switches() const {
+  std::lock_guard<std::mutex> G(PolicyMu);
+  return SwitchLog;
+}
+
 std::string RegionTelemetry::finish() {
   if (Finished || (Rings.empty() && ReportPrefix.empty()))
     return {};

@@ -106,6 +106,13 @@ public:
   /// Files one SPECCROSS misspeculation's forensics (thread-safe).
   void recordAbort(const AbortRecord &A);
 
+  /// Files one adaptive-policy decision / technique-switch event
+  /// (thread-safe; in practice the adaptive harness's control thread is the
+  /// only writer). Exported as `policy_decisions` / `switch_events` in the
+  /// run report.
+  void recordDecision(const PolicyDecisionRecord &D);
+  void recordSwitch(const SwitchEventRecord &S);
+
   /// True when this run records trace events (CIP_TRACE set or forced).
   bool tracing() const { return !Rings.empty(); }
   /// True when finish() will write a run report (CIP_REPORT set or forced).
@@ -150,6 +157,10 @@ public:
   /// Forensics for every misspeculation recorded so far (thread-safe copy).
   std::vector<AbortRecord> aborts() const;
 
+  /// Policy decisions / switch events recorded so far (thread-safe copies).
+  std::vector<PolicyDecisionRecord> decisions() const;
+  std::vector<SwitchEventRecord> switches() const;
+
   /// Snapshots every lane's ring (call after region threads have joined).
   std::vector<LaneSnapshot> snapshotLanes() const;
 
@@ -179,6 +190,9 @@ private:
   std::string ReportPathWritten;
   mutable std::mutex AbortsMu;
   std::vector<AbortRecord> AbortLog;
+  mutable std::mutex PolicyMu;
+  std::vector<PolicyDecisionRecord> DecisionLog;
+  std::vector<SwitchEventRecord> SwitchLog;
   bool Finished = false;
 };
 
@@ -258,6 +272,8 @@ public:
   void recordHist(unsigned, Hist, std::uint64_t) {}
   void recordConflict(std::uint32_t, std::uint32_t, std::uint64_t) {}
   void recordAbort(const AbortRecord &) {}
+  void recordDecision(const PolicyDecisionRecord &) {}
+  void recordSwitch(const SwitchEventRecord &) {}
   bool tracing() const { return false; }
   bool reporting() const { return false; }
   void begin(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
@@ -271,6 +287,8 @@ public:
   HistogramData laneHistTotals(unsigned, Hist) const { return {}; }
   std::vector<HeatmapPair> heatmapPairs() const { return {}; }
   std::vector<AbortRecord> aborts() const { return {}; }
+  std::vector<PolicyDecisionRecord> decisions() const { return {}; }
+  std::vector<SwitchEventRecord> switches() const { return {}; }
   std::vector<LaneSnapshot> snapshotLanes() const { return {}; }
   std::string finish() { return {}; }
   std::string reportPath() const { return {}; }

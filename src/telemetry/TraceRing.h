@@ -51,16 +51,19 @@ enum class EventKind : std::uint16_t {
   Reexec,      ///< non-speculative re-execution of damaged epochs
   BarrierWait, ///< thread waiting at a non-speculative barrier (arg0=epoch)
   SyncFlow,    ///< flow arrow for a forwarded sync condition (arg0=flow id)
+  PolicyDecision, ///< adaptive policy decision (arg0=window, arg1=technique)
+  PolicySwitch,   ///< adaptive technique switch (arg0=from, arg1=to)
 };
 
-inline constexpr unsigned NumEventKinds = 16;
+inline constexpr unsigned NumEventKinds = 18;
 
 inline const char *eventName(EventKind K) {
   static const char *const Names[NumEventKinds] = {
       "region",   "invocation", "dispatch",   "sched_stall",
       "sync_wait", "task",      "epoch",      "throttle",
       "queue_full", "sig_check", "misspec",   "checkpoint",
-      "rollback", "reexec",     "barrier_wait", "sync_flow"};
+      "rollback", "reexec",     "barrier_wait", "sync_flow",
+      "policy_decision", "policy_switch"};
   const unsigned I = static_cast<unsigned>(K);
   assert(I < NumEventKinds && "event kind out of range");
   return Names[I];

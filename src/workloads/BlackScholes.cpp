@@ -6,6 +6,7 @@
 
 #include "workloads/BlackScholes.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 #include <cmath>
@@ -74,10 +75,7 @@ void BlackScholesWorkload::reset() {
     Calib[I] = 1.0 + 1e-3 * static_cast<double>(I);
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void BlackScholesWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t Base = blockOf(Epoch, Task);
   for (std::uint32_t K = 0; K < Params.OptionsPerTask; ++K) {

@@ -6,6 +6,7 @@
 
 #include "workloads/CG.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 using namespace cip;
@@ -70,10 +71,7 @@ void CGWorkload::reset() {
     C[I] = 1.0 + 1e-3 * static_cast<double>(I % 97);
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void CGWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::uint64_t J = elementOf(Epoch, Task);
   // update(&C[j]): read-modify-write, so the cross-invocation order the

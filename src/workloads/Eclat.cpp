@@ -6,6 +6,7 @@
 
 #include "workloads/Eclat.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 using namespace cip;
@@ -70,10 +71,7 @@ void EclatWorkload::reset() {
     S = 0.5;
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void EclatWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::uint32_t Txn = txnOf(Epoch, Task);
   // Append item (Epoch, Task) to the transaction's tid-list. The runtimes

@@ -6,6 +6,7 @@
 
 #include "workloads/Equake.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 using namespace cip;
@@ -69,10 +70,7 @@ void EquakeWorkload::reset() {
   }
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void EquakeWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const Phase P = static_cast<Phase>(Epoch % 3);
   const std::size_t Begin = Task * Params.BlockSize;

@@ -6,6 +6,8 @@
 
 #include "workloads/Fdtd.h"
 
+#include "support/Chaos.h"
+
 using namespace cip;
 using namespace cip::workloads;
 
@@ -53,10 +55,7 @@ void FdtdWorkload::reset() {
     }
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void FdtdWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t I = Task;
   const std::size_t Cols = Params.Cols;

@@ -6,6 +6,7 @@
 
 #include "workloads/FluidAnimate.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 using namespace cip;
@@ -66,10 +67,7 @@ void FluidAnimate1Workload::reset() {
     Force[I] = 1e-2 * static_cast<double>(I % 41);
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void FluidAnimate1Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t Self =
       static_cast<std::size_t>(Epoch) * Params.ParticlesPerGroup + Task;
@@ -152,10 +150,7 @@ void FluidAnimate2Workload::reset() {
     C = 0.0;
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void FluidAnimate2Workload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::size_t B = Task;
   const std::size_t Lo = begin(B), Hi = Lo + Params.BlockSize;

@@ -6,6 +6,8 @@
 
 #include "workloads/Jacobi.h"
 
+#include "support/Chaos.h"
+
 using namespace cip;
 using namespace cip::workloads;
 
@@ -51,10 +53,7 @@ void JacobiWorkload::reset() {
     }
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void JacobiWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   std::vector<double> &Src = Epoch % 2 == 0 ? A : B;
   std::vector<double> &Dst = Epoch % 2 == 0 ? B : A;

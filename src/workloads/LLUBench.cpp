@@ -6,6 +6,7 @@
 
 #include "workloads/LLUBench.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 #include <numeric>
@@ -66,10 +67,7 @@ void LLUBenchWorkload::reset() {
     Val[I] = static_cast<double>(I % 29) / 29.0;
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void LLUBenchWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   // Chase the whole cycle once, folding each node's payload forward.
   std::size_t Node = headOf(Epoch, Task);

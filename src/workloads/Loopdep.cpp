@@ -6,6 +6,8 @@
 
 #include "workloads/Loopdep.h"
 
+#include "support/Chaos.h"
+
 using namespace cip;
 using namespace cip::workloads;
 
@@ -47,10 +49,7 @@ void LoopdepWorkload::reset() {
     Data[I] = static_cast<double>(I % 23) / 23.0;
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void LoopdepWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   const std::uint32_t Dst = Epoch % 4;
   const std::uint32_t Src = (Epoch + 2) % 4; // == (Epoch - 2) mod 4

@@ -1,0 +1,86 @@
+//===- workloads/PhaseShift.cpp - Phase-shifting conflict workload -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PhaseShift.h"
+
+#include "support/Chaos.h"
+
+using namespace cip;
+using namespace cip::workloads;
+
+PhaseShiftParams PhaseShiftParams::forScale(Scale S) {
+  PhaseShiftParams P;
+  switch (S) {
+  case Scale::Test:
+    P.Epochs = 32;
+    P.PhaseLen = 8;
+    P.Rows = 24;
+    P.WorkFlops = 40;
+    break;
+  case Scale::Train:
+    // WorkFlops sized so per-window compute dominates per-window runtime
+    // overhead: the adaptive bench compares techniques on what they add,
+    // and at too-fine grain every technique is pure overhead.
+    P.Epochs = 96;
+    P.PhaseLen = 16;
+    P.Rows = 48;
+    P.WorkFlops = 1600;
+    break;
+  case Scale::Ref:
+    P.Epochs = 192;
+    P.PhaseLen = 24;
+    P.Rows = 64;
+    P.WorkFlops = 800;
+    break;
+  }
+  return P;
+}
+
+PhaseShiftWorkload::PhaseShiftWorkload(const PhaseShiftParams &P) : Params(P) {
+  assert(Params.PhaseLen > 0 && Params.Rows > 0 && "degenerate phase shape");
+  assert(Params.Epochs >= 2 * Params.PhaseLen && "need at least two phases");
+  Cells.resize(static_cast<std::size_t>(Params.PhaseLen) * Params.Rows);
+  reset();
+}
+
+void PhaseShiftWorkload::reset() {
+  for (std::size_t I = 0; I < Cells.size(); ++I)
+    Cells[I] = 1.0 + static_cast<double>(I % 17) / 17.0;
+}
+
+std::uint64_t PhaseShiftWorkload::slot(std::uint32_t Epoch,
+                                       std::size_t Task) const {
+  if (!heavyPhase(Epoch))
+    // Conflict-free: each epoch of the phase owns row block Epoch%PhaseLen,
+    // so no two epochs of one phase share an address.
+    return static_cast<std::uint64_t>(Epoch % Params.PhaseLen) * Params.Rows +
+           Task;
+  // Conflict-heavy: a bijective rotation of row block 0 — epoch e's task t
+  // hits the slot epoch e-1's task t+1 hit, so every task carries a
+  // one-epoch-distance dependence.
+  return (Task + Epoch) % Params.Rows;
+}
+
+CIP_SPECULATIVE_TASK_BODY
+void PhaseShiftWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
+  double &C = Cells[slot(Epoch, Task)];
+  // Read-modify-write: cross-epoch same-slot order is semantically
+  // load-bearing, so the checksum oracle catches any ordering violation.
+  C = burnFlops(C + 1.0 / (3.0 + static_cast<double>(Task)), Params.WorkFlops);
+}
+
+void PhaseShiftWorkload::taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                                       std::vector<std::uint64_t> &Addrs) const {
+  Addrs.push_back(slot(Epoch, Task));
+}
+
+void PhaseShiftWorkload::registerState(speccross::CheckpointRegistry &Reg) {
+  Reg.registerBuffer(Cells);
+}
+
+std::uint64_t PhaseShiftWorkload::checksum() const {
+  return hashDoubles(Cells);
+}

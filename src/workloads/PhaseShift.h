@@ -1,0 +1,91 @@
+//===- workloads/PhaseShift.h - Phase-shifting conflict workload -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synthetic workload whose profitable execution technique changes
+/// mid-run — the stress input for the adaptive policy engine (DESIGN.md
+/// §11, bench_policy_adaptive). Epochs alternate between two regimes of
+/// \c PhaseLen epochs each:
+///
+///  * *conflict-free* phases: epoch e writes row block e % PhaseLen, so no
+///    two epochs of the phase share an address — speculation never aborts
+///    and DOMORE's shadow probes are pure overhead (the Table 5.3 "*"
+///    regime, where SPECCROSS wins);
+///  * *conflict-heavy* phases: epoch e writes slots (t + e) % Rows — a
+///    bijective rotation of one shared row block, so every task conflicts
+///    with the previous epoch — SPECCROSS misspeculates every round while
+///    DOMORE's point-to-point sync conditions order exactly the touched
+///    pairs (the regime where DOMORE wins).
+///
+/// Each task updates one cell read-modify-write, so cross-epoch order is
+/// semantically load-bearing and the bit-identical checksum oracle catches
+/// any technique (or switch boundary) that breaks it. Registered with the
+/// factory as "phaseshift" but deliberately absent from allWorkloadNames():
+/// it is an adaptive-bench instrument, not a Table 5.1 benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_PHASESHIFT_H
+#define CIP_WORKLOADS_PHASESHIFT_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct PhaseShiftParams {
+  /// Total epochs; a multiple of 2*PhaseLen gives balanced phases.
+  std::uint32_t Epochs = 64;
+  /// Epochs per phase. Align CIP_POLICY_WINDOW to a divisor of this so
+  /// decision windows never straddle a phase edge.
+  std::uint32_t PhaseLen = 16;
+  /// Tasks per epoch == cells per row block.
+  std::uint32_t Rows = 48;
+  /// Per-task compute grain.
+  unsigned WorkFlops = 120;
+
+  static PhaseShiftParams forScale(Scale S);
+};
+
+/// See file comment.
+class PhaseShiftWorkload final : public Workload {
+public:
+  explicit PhaseShiftWorkload(const PhaseShiftParams &P);
+
+  const char *name() const override { return "phaseshift"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Epochs; }
+  std::size_t numTasks(std::uint32_t) const override { return Params.Rows; }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.PhaseLen) * Params.Rows;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+
+  /// One address per task: the exact min/max range signature is precise.
+  speccross::SignatureScheme preferredSignature() const override {
+    return speccross::SignatureScheme::Range;
+  }
+
+  /// True when \p Epoch lies in a conflict-heavy phase (for tests/benches).
+  bool heavyPhase(std::uint32_t Epoch) const {
+    return ((Epoch / Params.PhaseLen) & 1) != 0;
+  }
+
+private:
+  std::uint64_t slot(std::uint32_t Epoch, std::size_t Task) const;
+
+  PhaseShiftParams Params;
+  std::vector<double> Cells; // PhaseLen row blocks of Rows cells
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_PHASESHIFT_H

@@ -6,6 +6,7 @@
 
 #include "workloads/Symm.h"
 
+#include "support/Chaos.h"
 #include "support/Rng.h"
 
 using namespace cip;
@@ -46,10 +47,7 @@ void SymmWorkload::reset() {
     C[I] = 0.0;
 }
 
-// Speculative engines race on this workload state by design; the
-// checksum-vs-sequential oracle verifies the outcome (rationale at
-// CIP_NO_SANITIZE_THREAD in support/Compiler.h).
-CIP_NO_SANITIZE_THREAD
+CIP_SPECULATIVE_TASK_BODY
 void SymmWorkload::runTask(std::uint32_t Epoch, std::size_t Task) {
   // C[e][j] accumulates the symmetric contraction of row e against row j.
   const std::size_t N = Params.N;

@@ -15,6 +15,7 @@
 #include "workloads/Jacobi.h"
 #include "workloads/LLUBench.h"
 #include "workloads/Loopdep.h"
+#include "workloads/PhaseShift.h"
 #include "workloads/Symm.h"
 
 #include <cstring>
@@ -58,6 +59,10 @@ double workloads::burnFlops(double Seedling, unsigned Flops) {
 
 std::unique_ptr<Workload> workloads::makeWorkload(const std::string &Name,
                                                   Scale S) {
+  // Not part of Table 5.1 (and absent from allWorkloadNames()): the
+  // adaptive policy engine's phase-shifting stress input.
+  if (Name == "phaseshift")
+    return std::make_unique<PhaseShiftWorkload>(PhaseShiftParams::forScale(S));
   if (Name == "cg")
     return std::make_unique<CGWorkload>(CGParams::forScale(S));
   if (Name == "equake")

@@ -200,15 +200,18 @@ TEST_P(FuzzSmoke, VerdictIsDeterministicPerSeed) {
 INSTANTIATE_TEST_SUITE_P(AllEngines, FuzzSmoke,
                          ::testing::Values(fuzz::Engine::Domore,
                                            fuzz::Engine::DomoreDup,
-                                           fuzz::Engine::SpecCross),
+                                           fuzz::Engine::SpecCross,
+                                           fuzz::Engine::Adaptive),
                          [](const auto &Info) {
                            switch (Info.param) {
                            case fuzz::Engine::Domore:
                              return "domore";
                            case fuzz::Engine::DomoreDup:
                              return "domore_dup";
-                           default:
+                           case fuzz::Engine::SpecCross:
                              return "speccross";
+                           default:
+                             return "adaptive";
                            }
                          });
 

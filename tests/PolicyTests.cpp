@@ -1,0 +1,525 @@
+//===- tests/PolicyTests.cpp - Adaptive policy engine tests --------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+//
+// The policy subsystem (DESIGN.md §11): spec/env parsing, the threshold
+// policy's hysteresis and measured-cost guards, bandit determinism, and the
+// adaptive executor's end-to-end soundness — every policy, on every
+// technique, must leave the workload bit-identical to sequential execution,
+// including across mid-run technique switches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Adaptive.h"
+#include "harness/Executor.h"
+#include "harness/StagedLoop.h"
+#include "policy/Policy.h"
+#include "workloads/PhaseShift.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace cip;
+using policy::Decision;
+using policy::PolicyConfig;
+using policy::PolicyEngine;
+using policy::PolicyKind;
+using policy::RegionStats;
+using policy::Technique;
+
+namespace {
+
+constexpr std::uint32_t AllTechniques =
+    policy::techniqueBit(Technique::Barrier) |
+    policy::techniqueBit(Technique::Domore) |
+    policy::techniqueBit(Technique::DomoreDup) |
+    policy::techniqueBit(Technique::SpecCross);
+
+/// Saves one environment variable on construction and restores it on
+/// destruction, so tests can mutate CIP_POLICY* without clobbering the
+/// configuration a re-registered ctest config (policy/) runs under.
+class EnvGuard {
+public:
+  explicit EnvGuard(const char *Name) : Name(Name) {
+    if (const char *V = std::getenv(Name)) {
+      Saved = V;
+      Had = true;
+    }
+  }
+  ~EnvGuard() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+/// A synthetic stats snapshot for engine-level tests: equal cost per epoch
+/// everywhere (so the measured-cost guard stays neutral) unless a test
+/// overrides Seconds.
+RegionStats statsFor(Technique T, std::uint32_t Window) {
+  RegionStats S;
+  S.Tech = T;
+  S.Window = Window;
+  S.NumEpochs = 4;
+  S.Seconds = 0.004;
+  S.Iterations = 400;
+  S.Tasks = 400;
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec and environment parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PolicySpec, ParsesValidSpecs) {
+  PolicyConfig Cfg;
+  EXPECT_EQ(policy::parsePolicySpec("threshold", Cfg), nullptr);
+  EXPECT_EQ(Cfg.Kind, PolicyKind::Threshold);
+  EXPECT_EQ(policy::parsePolicySpec("bandit", Cfg), nullptr);
+  EXPECT_EQ(Cfg.Kind, PolicyKind::Bandit);
+  const struct {
+    const char *Spec;
+    Technique Want;
+  } FixedCases[] = {
+      {"fixed:barrier", Technique::Barrier},
+      {"fixed:domore", Technique::Domore},
+      {"fixed:domore-dup", Technique::DomoreDup},
+      {"fixed:dup", Technique::DomoreDup},
+      {"fixed:speccross", Technique::SpecCross},
+  };
+  for (const auto &C : FixedCases) {
+    EXPECT_EQ(policy::parsePolicySpec(C.Spec, Cfg), nullptr) << C.Spec;
+    EXPECT_EQ(Cfg.Kind, PolicyKind::Fixed) << C.Spec;
+    EXPECT_EQ(Cfg.FixedTech, C.Want) << C.Spec;
+  }
+}
+
+TEST(PolicySpec, RejectsGarbageWithGrammar) {
+  PolicyConfig Cfg;
+  for (const char *Bad :
+       {"", "Threshold", "bandits", "fixed", "fixed:", "fixed:doall",
+        "threshold ", "fixed:barrier,domore"}) {
+    const char *Err = policy::parsePolicySpec(Bad, Cfg);
+    ASSERT_NE(Err, nullptr) << "'" << Bad << "' parsed";
+    EXPECT_NE(std::string(Err).find("threshold"), std::string::npos);
+  }
+}
+
+TEST(PolicyEnvDeathTest, MalformedPolicyExits2) {
+  EnvGuard G1("CIP_POLICY");
+  setenv("CIP_POLICY", "fastest-please", 1);
+  PolicyConfig Cfg;
+  EXPECT_EXIT(policy::configFromEnv(Cfg), testing::ExitedWithCode(2),
+              "CIP_POLICY='fastest-please' is invalid");
+}
+
+TEST(PolicyEnvDeathTest, MalformedWindowExits2) {
+  EnvGuard G1("CIP_POLICY"), G2("CIP_POLICY_WINDOW");
+  setenv("CIP_POLICY", "threshold", 1);
+  PolicyConfig Cfg;
+  for (const char *Bad : {"0", "-4", "8x", ""}) {
+    setenv("CIP_POLICY_WINDOW", Bad, 1);
+    EXPECT_EXIT(policy::configFromEnv(Cfg), testing::ExitedWithCode(2),
+                "CIP_POLICY_WINDOW")
+        << Bad;
+  }
+}
+
+TEST(PolicyEnvDeathTest, MalformedSeedExits2) {
+  EnvGuard G1("CIP_POLICY"), G2("CIP_POLICY_SEED");
+  setenv("CIP_POLICY", "bandit", 1);
+  setenv("CIP_POLICY_SEED", "0xbeef", 1);
+  PolicyConfig Cfg;
+  EXPECT_EXIT(policy::configFromEnv(Cfg), testing::ExitedWithCode(2),
+              "CIP_POLICY_SEED");
+}
+
+TEST(PolicyEnv, ReadsFullConfig) {
+  EnvGuard G1("CIP_POLICY"), G2("CIP_POLICY_WINDOW"), G3("CIP_POLICY_SEED");
+  setenv("CIP_POLICY", "bandit", 1);
+  setenv("CIP_POLICY_WINDOW", "16", 1);
+  setenv("CIP_POLICY_SEED", "7", 1);
+  PolicyConfig Cfg;
+  ASSERT_TRUE(policy::configFromEnv(Cfg));
+  EXPECT_EQ(Cfg.Kind, PolicyKind::Bandit);
+  EXPECT_EQ(Cfg.WindowEpochs, 16u);
+  EXPECT_EQ(Cfg.Seed, 7u);
+}
+
+TEST(PolicyEnv, UnsetPolicyLeavesConfigUntouched) {
+  EnvGuard G1("CIP_POLICY"), G2("CIP_POLICY_WINDOW");
+  unsetenv("CIP_POLICY");
+  // Refinement knobs without CIP_POLICY are ignored, not an error: the
+  // compiled-in default stays in force.
+  setenv("CIP_POLICY_WINDOW", "definitely-not-a-number", 1);
+  PolicyConfig Cfg;
+  Cfg.WindowEpochs = 123;
+  EXPECT_FALSE(policy::configFromEnv(Cfg));
+  EXPECT_EQ(Cfg.WindowEpochs, 123u);
+}
+
+//===----------------------------------------------------------------------===//
+// Threshold policy
+//===----------------------------------------------------------------------===//
+
+TEST(ThresholdPolicy, NeverFlipFlopsWithinDwell) {
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Threshold;
+  Cfg.ConfirmWindows = 1;
+  Cfg.MinDwellWindows = 3;
+  PolicyEngine E(Cfg, AllTechniques);
+  Decision D = E.initial();
+  EXPECT_EQ(D.Tech, Technique::SpecCross); // optimistic start
+
+  // Adversarial signal stream: whatever runs, the cutoffs indicate leaving
+  // it (high abort rate on SPECCROSS, zero conflict density elsewhere), at
+  // identical measured cost so only hysteresis restrains switching.
+  std::vector<std::uint32_t> SwitchWindows;
+  for (std::uint32_t W = 0; W < 40; ++W) {
+    RegionStats S = statsFor(D.Tech, W);
+    if (D.Tech == Technique::SpecCross)
+      S.Misspeculations = 2; // abort rate 0.5 > AbortRateHigh
+    else
+      S.SyncConditions = 0; // density 0 < ConflictLow
+    D = E.observe(S);
+    if (D.Switched)
+      SwitchWindows.push_back(W);
+  }
+  ASSERT_GE(SwitchWindows.size(), 2u) << "stream should provoke switches";
+  for (std::size_t I = 1; I < SwitchWindows.size(); ++I)
+    EXPECT_GE(SwitchWindows[I] - SwitchWindows[I - 1], Cfg.MinDwellWindows)
+        << "switch at window " << SwitchWindows[I] << " violates dwell";
+}
+
+TEST(ThresholdPolicy, ConfirmWindowsFiltersOneWindowBlips) {
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Threshold;
+  Cfg.ConfirmWindows = 2;
+  Cfg.MinDwellWindows = 0;
+  PolicyEngine E(Cfg, AllTechniques);
+  Decision D = E.initial();
+  ASSERT_EQ(D.Tech, Technique::SpecCross);
+
+  // One bad window, then clean again: must not switch.
+  RegionStats Bad = statsFor(Technique::SpecCross, 0);
+  Bad.Misspeculations = 4;
+  D = E.observe(Bad);
+  EXPECT_FALSE(D.Switched);
+  EXPECT_STREQ(D.Reason, "confirming");
+  RegionStats Clean = statsFor(Technique::SpecCross, 1);
+  D = E.observe(Clean);
+  EXPECT_FALSE(D.Switched);
+  EXPECT_EQ(D.Tech, Technique::SpecCross);
+
+  // Two consecutive bad windows: now it goes.
+  Bad.Window = 2;
+  D = E.observe(Bad);
+  EXPECT_FALSE(D.Switched);
+  Bad.Window = 3;
+  D = E.observe(Bad);
+  EXPECT_TRUE(D.Switched);
+  EXPECT_STREQ(D.Reason, "abort-rate-high");
+}
+
+TEST(ThresholdPolicy, MeasuredSlowerGuardBlocksKnownBadSwitch) {
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Threshold;
+  Cfg.ConfirmWindows = 1;
+  Cfg.MinDwellWindows = 1;
+  PolicyEngine E(Cfg, AllTechniques);
+  Decision D = E.initial();
+  ASSERT_EQ(D.Tech, Technique::SpecCross);
+
+  // SPECCROSS measures 10x slower than what follows, and aborts.
+  RegionStats Spec = statsFor(Technique::SpecCross, 0);
+  Spec.Seconds = 0.040;
+  Spec.Misspeculations = 4;
+  D = E.observe(Spec);
+  ASSERT_TRUE(D.Switched);
+  ASSERT_EQ(D.Tech, Technique::Domore);
+
+  // DOMORE runs conflict-free — the cutoff wants SPECCROSS back, but the
+  // measurement says no.
+  bool SawGuard = false;
+  for (std::uint32_t W = 1; W < 8; ++W) {
+    RegionStats Dom = statsFor(Technique::Domore, W);
+    Dom.SyncConditions = 0;
+    D = E.observe(Dom);
+    EXPECT_FALSE(D.Switched) << "window " << W;
+    EXPECT_EQ(D.Tech, Technique::Domore);
+    if (std::string(D.Reason) == "measured-slower")
+      SawGuard = true;
+  }
+  EXPECT_TRUE(SawGuard);
+}
+
+TEST(ThresholdPolicy, SchedulerSaturationDuplicatesScheduler) {
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Threshold;
+  Cfg.ConfirmWindows = 1;
+  Cfg.MinDwellWindows = 0;
+  PolicyEngine E(Cfg, AllTechniques &
+                          ~policy::techniqueBit(Technique::SpecCross));
+  Decision D = E.initial();
+  ASSERT_EQ(D.Tech, Technique::Domore); // fallback: speccross inapplicable
+
+  RegionStats S = statsFor(Technique::Domore, 0);
+  S.SyncConditions = 200; // conflicts manifest
+  S.SchedulerRatioPercent = 80.0;
+  D = E.observe(S);
+  EXPECT_TRUE(D.Switched);
+  EXPECT_EQ(D.Tech, Technique::DomoreDup);
+  EXPECT_STREQ(D.Reason, "scheduler-saturated");
+}
+
+//===----------------------------------------------------------------------===//
+// Bandit policy
+//===----------------------------------------------------------------------===//
+
+TEST(BanditPolicy, RoundRobinInitCoversEveryApplicableArm) {
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Bandit;
+  PolicyEngine E(Cfg, AllTechniques);
+  Decision D = E.initial();
+  std::vector<Technique> Order{D.Tech};
+  for (std::uint32_t W = 0; W < 3; ++W) {
+    D = E.observe(statsFor(D.Tech, W));
+    Order.push_back(D.Tech);
+  }
+  EXPECT_EQ(Order, (std::vector<Technique>{
+                       Technique::Barrier, Technique::Domore,
+                       Technique::DomoreDup, Technique::SpecCross}));
+}
+
+TEST(BanditPolicy, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t Seed) {
+    PolicyConfig Cfg;
+    Cfg.Kind = PolicyKind::Bandit;
+    Cfg.Seed = Seed;
+    PolicyEngine E(Cfg, AllTechniques);
+    std::vector<std::string> Log;
+    Decision D = E.initial();
+    for (std::uint32_t W = 0; W < 32; ++W) {
+      RegionStats S = statsFor(D.Tech, W);
+      // Deterministic per-technique cost so the stream is a pure function
+      // of the decision sequence.
+      S.Seconds = 0.001 * (1.0 + static_cast<double>(D.Tech));
+      D = E.observe(S);
+      Log.push_back(std::string(policy::techniqueName(D.Tech)) + "/" +
+                    D.Reason + (D.Explore ? "/explore" : ""));
+    }
+    return Log;
+  };
+  EXPECT_EQ(run(42), run(42));
+  // And the exploit choice converges on the cheapest arm (barrier here).
+  const std::vector<std::string> Log = run(7);
+  EXPECT_NE(std::find(Log.begin(), Log.end(), "barrier/exploit"), Log.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::uint64_t sequentialChecksum(workloads::Workload &W) {
+  W.reset();
+  return harness::runSequential(W).Checksum;
+}
+
+} // namespace
+
+TEST(Adaptive, EveryPolicyMatchesSequentialOnPhaseShift) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+
+  std::vector<PolicyConfig> Configs;
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    PolicyConfig Cfg;
+    Cfg.Kind = PolicyKind::Fixed;
+    Cfg.FixedTech = static_cast<Technique>(T);
+    Configs.push_back(Cfg);
+  }
+  PolicyConfig Thr;
+  Thr.Kind = PolicyKind::Threshold;
+  Configs.push_back(Thr);
+  PolicyConfig Ban;
+  Ban.Kind = PolicyKind::Bandit;
+  Configs.push_back(Ban);
+
+  for (const PolicyConfig &Cfg : Configs) {
+    W.reset();
+    harness::AdaptiveStats St;
+    const harness::ExecResult R = harness::runAdaptive(W, 3, Cfg, &St);
+    EXPECT_EQ(R.Checksum, Want)
+        << policy::policyKindName(Cfg.Kind) << " windows=" << St.Windows;
+    EXPECT_EQ(St.Decisions.size(), St.Windows);
+  }
+}
+
+TEST(Adaptive, ChecksumHoldsOnFactoryWorkload) {
+  const auto W = workloads::makeWorkload("jacobi", workloads::Scale::Test);
+  ASSERT_NE(W, nullptr);
+  const std::uint64_t Want = sequentialChecksum(*W);
+  for (PolicyKind K : {PolicyKind::Threshold, PolicyKind::Bandit}) {
+    PolicyConfig Cfg;
+    Cfg.Kind = K;
+    Cfg.WindowEpochs = 3; // deliberately not a divisor of the epoch count
+    W->reset();
+    const harness::ExecResult R = harness::runAdaptive(*W, 3, Cfg);
+    EXPECT_EQ(R.Checksum, Want) << policy::policyKindName(K);
+  }
+}
+
+TEST(Adaptive, ThresholdSwitchesOnPhaseShift) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Threshold;
+  Cfg.WindowEpochs = W.numEpochs() / 16; // phases span several windows
+  W.reset();
+  harness::AdaptiveStats St;
+  const harness::ExecResult R = harness::runAdaptive(W, 3, Cfg, &St);
+  EXPECT_EQ(R.Checksum, Want);
+
+  // The conflict-heavy phase must chase the optimistic SPECCROSS start out.
+  EXPECT_GE(St.Switches.size(), 1u);
+  // Log invariants: every window accounted for, switch flags consistent.
+  std::uint32_t Epochs = 0, Flagged = 0;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+    Epochs += D.NumEpochs;
+    Flagged += D.Switched ? 1 : 0;
+  }
+  EXPECT_EQ(Epochs, W.numEpochs());
+  EXPECT_EQ(Flagged, St.Switches.size());
+}
+
+TEST(Adaptive, WindowNotDividingEpochsCoversRemainder) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+  PolicyConfig Cfg;
+  Cfg.Kind = PolicyKind::Fixed;
+  Cfg.FixedTech = Technique::Domore;
+  Cfg.WindowEpochs = 5; // 32 = 6*5 + 2
+  W.reset();
+  harness::AdaptiveStats St;
+  const harness::ExecResult R = harness::runAdaptive(W, 3, Cfg, &St);
+  EXPECT_EQ(R.Checksum, Want);
+  std::uint32_t Epochs = 0;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions)
+    Epochs += D.NumEpochs;
+  EXPECT_EQ(Epochs, W.numEpochs());
+  EXPECT_EQ(St.Decisions.back().NumEpochs, 2u);
+}
+
+TEST(Adaptive, EnvHookRoutesThroughPolicyEngine) {
+  EnvGuard G1("CIP_POLICY"), G2("CIP_POLICY_WINDOW"), G3("CIP_POLICY_SEED");
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+
+  unsetenv("CIP_POLICY");
+  harness::ExecResult R;
+  EXPECT_FALSE(harness::runAdaptiveFromEnv(W, 3, R));
+
+  setenv("CIP_POLICY", "fixed:barrier", 1);
+  setenv("CIP_POLICY_WINDOW", "4", 1);
+  W.reset();
+  harness::AdaptiveStats St;
+  ASSERT_TRUE(harness::runAdaptiveFromEnv(W, 3, R, &St));
+  EXPECT_EQ(R.Checksum, Want);
+  EXPECT_EQ(St.Windows, W.numEpochs() / 4);
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions)
+    EXPECT_STREQ(D.Technique, "barrier");
+}
+
+//===----------------------------------------------------------------------===//
+// Vtables and warm-carry plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(TechniqueVtable, RowsEnumerateConsistently) {
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    const Technique Tech = static_cast<Technique>(T);
+    const harness::TechniqueVtable &Row = harness::techniqueVtable(Tech);
+    EXPECT_EQ(Row.Tech, Tech);
+    EXPECT_STREQ(Row.Name, policy::techniqueName(Tech));
+    EXPECT_NE(Row.RunWindow, nullptr);
+    EXPECT_NE(Row.CarryNote, nullptr);
+    EXPECT_GT(std::string(Row.CarryNote).size(), 0u);
+  }
+  // The warm-carry legality table (Adaptive.h): shadow allocation and
+  // checkpoint registry carry; barrier and the duplicated scheduler don't.
+  EXPECT_FALSE(harness::techniqueVtable(Technique::Barrier).WarmCarry);
+  EXPECT_TRUE(harness::techniqueVtable(Technique::Domore).WarmCarry);
+  EXPECT_FALSE(harness::techniqueVtable(Technique::DomoreDup).WarmCarry);
+  EXPECT_TRUE(harness::techniqueVtable(Technique::SpecCross).WarmCarry);
+}
+
+TEST(TechniqueVtable, ApplicabilityMaskAlwaysIncludesBarrier) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint32_t Mask = harness::applicabilityMask(W);
+  EXPECT_TRUE(Mask & policy::techniqueBit(Technique::Barrier));
+  EXPECT_TRUE(Mask & policy::techniqueBit(Technique::Domore));
+  EXPECT_TRUE(Mask & policy::techniqueBit(Technique::SpecCross));
+}
+
+TEST(TechniqueVtable, ShadowCarryReusesAllocation) {
+  domore::ShadowCarry Carry;
+  domore::DenseShadowMemory &D1 = Carry.dense(128);
+  domore::DenseShadowMemory &D2 = Carry.dense(128);
+  EXPECT_EQ(&D1, &D2) << "same size must reuse the allocation";
+  domore::DenseShadowMemory &D3 = Carry.dense(256);
+  EXPECT_EQ(D3.size(), 256u) << "size change must reallocate";
+  domore::HashShadowMemory &H1 = Carry.hash();
+  domore::HashShadowMemory &H2 = Carry.hash();
+  EXPECT_EQ(&H1, &H2);
+}
+
+TEST(StagedTechniques, TableMatchesEntryPoints) {
+  std::size_t Count = 0;
+  const harness::StagedTechnique *Rows = harness::stagedTechniques(Count);
+  ASSERT_EQ(Count, 3u);
+  EXPECT_STREQ(Rows[0].Name, "sequential");
+  EXPECT_STREQ(Rows[1].Name, "doacross");
+  EXPECT_STREQ(Rows[2].Name, "dswp");
+
+  // Each row actually runs the loop: same tokens, same side effects.
+  for (std::size_t R = 0; R < Count; ++R) {
+    ASSERT_NE(Rows[R].Run, nullptr);
+    std::vector<std::int64_t> Sums(8, 0);
+    harness::StagedLoop L;
+    L.NumIterations = 64;
+    L.Traverse = [](std::uint64_t I) {
+      return static_cast<std::int64_t>(I * 3 + 1);
+    };
+    L.Work = [&Sums](std::uint64_t I, std::int64_t Token) {
+      Sums[I % Sums.size()] += Token;
+    };
+    const double Secs = Rows[R].Run(L, 2);
+    EXPECT_GE(Secs, 0.0);
+    std::int64_t Total = 0;
+    for (std::int64_t S : Sums)
+      Total += S;
+    EXPECT_EQ(Total, 64 * 63 / 2 * 3 + 64) << Rows[R].Name;
+  }
+}

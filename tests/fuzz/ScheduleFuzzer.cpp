@@ -8,11 +8,13 @@
 
 #include "domore/DomoreRuntime.h"
 #include "domore/Schedule.h"
+#include "harness/Adaptive.h"
 #include "speccross/Checkpoint.h"
 #include "speccross/SpecCrossRuntime.h"
 #include "support/Chaos.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "workloads/Workload.h"
 
 #include <atomic>
 #include <cinttypes>
@@ -32,6 +34,8 @@ const char *fuzz::engineName(Engine E) {
     return "domore-dup";
   case Engine::SpecCross:
     return "speccross";
+  case Engine::Adaptive:
+    return "adaptive";
   }
   return "unknown";
 }
@@ -43,6 +47,8 @@ bool fuzz::parseEngine(std::string_view Name, Engine &Out) {
     Out = Engine::DomoreDup;
   else if (Name == "speccross")
     Out = Engine::SpecCross;
+  else if (Name == "adaptive")
+    Out = Engine::Adaptive;
   else
     return false;
   return true;
@@ -474,6 +480,122 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Adaptive cases
+//===----------------------------------------------------------------------===//
+
+/// The SpecCase workload behind the workloads::Workload interface, so the
+/// adaptive harness can run it: within-epoch tasks touch disjoint addresses
+/// (every technique's contract) while cross-epoch ownership rotation makes
+/// the order of epochs semantically load-bearing for every window boundary.
+class AdaptiveCaseWorkload final : public workloads::Workload {
+public:
+  explicit AdaptiveCaseWorkload(const SpecCase &C) : C(C), Data(C.N) {
+    reset();
+  }
+
+  const char *name() const override { return "fuzz-adaptive"; }
+
+  void reset() override {
+    for (std::size_t A = 0; A < C.N; ++A)
+      Data[A].store(C.Init[A], std::memory_order_relaxed);
+  }
+
+  std::uint32_t numEpochs() const override { return C.Epochs; }
+  std::size_t numTasks(std::uint32_t E) const override { return C.Tasks[E]; }
+
+  void runTask(std::uint32_t E, std::size_t K) override {
+    for (const Access &A : C.Accesses[E][K])
+      applyAccess(Data, A);
+  }
+
+  void taskAddresses(std::uint32_t E, std::size_t K,
+                     std::vector<std::uint64_t> &Addrs) const override {
+    for (const Access &A : C.Accesses[E][K])
+      Addrs.push_back(A.Addr);
+  }
+
+  std::uint64_t addressSpaceSize() const override { return C.N; }
+
+  void registerState(speccross::CheckpointRegistry &Reg) override {
+    Reg.registerRegion(Data.data(), Data.size() * sizeof(Data.front()));
+  }
+
+  std::uint64_t checksum() const override {
+    std::uint64_t H = 0xcbf29ce484222325ULL;
+    for (const auto &V : Data) {
+      const std::uint64_t X = V.load(std::memory_order_relaxed);
+      H = workloads::hashBytes(&X, sizeof(X), H);
+    }
+    return H;
+  }
+
+  const std::vector<std::atomic<std::uint64_t>> &data() const { return Data; }
+
+private:
+  const SpecCase &C;
+  std::vector<std::atomic<std::uint64_t>> Data;
+};
+
+FuzzResult runAdaptiveCase(std::uint64_t Seed, const FuzzOptions &Opt) {
+  const SpecCase C = generateSpecCase(Seed);
+
+  std::vector<std::uint64_t> Expected = C.Init;
+  for (std::uint32_t E = 0; E < C.Epochs; ++E)
+    for (const auto &Task : C.Accesses[E])
+      for (const Access &A : Task)
+        applyAccess(Expected, A);
+
+  AdaptiveCaseWorkload W(C);
+
+  // Seed-derived policy: the bandit's round-robin start plus exploration
+  // visits every technique, and 1..3-epoch windows put switch boundaries at
+  // arbitrary epochs; every fourth seed runs the threshold policy so its
+  // cutoff/hysteresis path sees fuzz traffic too.
+  policy::PolicyConfig Cfg;
+  if (Seed % 4 == 3) {
+    Cfg.Kind = policy::PolicyKind::Threshold;
+  } else {
+    Cfg.Kind = policy::PolicyKind::Bandit;
+    Cfg.Seed = Seed;
+  }
+  Cfg.WindowEpochs = 1 + static_cast<std::uint32_t>(Seed % 3);
+
+  harness::AdaptiveStats St;
+  const harness::ExecResult R =
+      harness::runAdaptive(W, Opt.Workers + 1, Cfg, &St);
+
+  FuzzResult Result;
+  std::string Report;
+  compareMemory(Expected, W.data(), Report);
+  appendCheck(Report, R.Checksum == W.checksum(),
+              "result checksum vs workload digest", W.checksum(), R.Checksum);
+
+  // Decision-log invariants: every epoch governed by exactly one decision,
+  // in order, and the switch log consistent with the decisions' flags.
+  std::uint64_t Covered = 0;
+  std::uint64_t Flagged = 0;
+  bool Ordered = true;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+    Ordered = Ordered && D.FirstEpoch == Covered;
+    Covered += D.NumEpochs;
+    Flagged += D.Switched ? 1 : 0;
+  }
+  appendCheck(Report, Ordered && Covered == C.Epochs,
+              "decisions cover every epoch once", C.Epochs, Covered);
+  appendCheck(Report, St.Windows == St.Decisions.size(), "window count",
+              St.Decisions.size(), St.Windows);
+  appendCheck(Report, Flagged == St.Switches.size(),
+              "switched decisions vs switch events", St.Switches.size(),
+              Flagged);
+  if (!Report.empty()) {
+    Result.Ok = false;
+    Result.Failure = Report;
+    Result.Repro = reproCommand(Seed, Opt);
+  }
+  return Result;
+}
+
 } // namespace
 
 FuzzResult fuzz::runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt) {
@@ -484,6 +606,8 @@ FuzzResult fuzz::runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt) {
     return runDomoreCase(Seed, Opt);
   case Engine::SpecCross:
     return runSpecCrossCase(Seed, Opt);
+  case Engine::Adaptive:
+    return runAdaptiveCase(Seed, Opt);
   }
   return {};
 }

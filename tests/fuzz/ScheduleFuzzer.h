@@ -23,6 +23,12 @@
 ///    disjoint addresses by construction; cross-epoch conflicts are dialed
 ///    in through an ownership rotation), plus rollback accounting bounds
 ///    and "forced misspeculation really aborted" when injection is on.
+///  * Adaptive: the same SPECCROSS-shaped workload through the policy
+///    engine (harness/Adaptive.h) with a seed-derived policy and window
+///    size, so mid-run technique switches land at arbitrary epoch
+///    boundaries — final memory equality plus decision-log invariants
+///    (every epoch governed by exactly one decision, switch flags
+///    consistent with the switch log).
 ///
 /// The same seed can be replayed across engine configurations — MaxBatch,
 /// thread-pool substrate, signature scheme, chaos seed — which is what the
@@ -43,13 +49,14 @@
 namespace cip {
 namespace fuzz {
 
-/// Engine under differential test.
-enum class Engine { Domore, DomoreDup, SpecCross };
+/// Engine under differential test. Adaptive is the policy-driven harness
+/// executor switching among the other three plus the barrier baseline.
+enum class Engine { Domore, DomoreDup, SpecCross, Adaptive };
 
 const char *engineName(Engine E);
 
-/// Parses "domore", "domore-dup", or "speccross". Returns false on other
-/// input.
+/// Parses "domore", "domore-dup", "speccross", or "adaptive". Returns false
+/// on other input.
 bool parseEngine(std::string_view Name, Engine &Out);
 
 const char *schemeName(speccross::SignatureScheme S);

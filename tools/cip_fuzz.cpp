@@ -15,6 +15,8 @@
 ///     -DCIP_CHAOS_HOOKS=ON)
 ///   * speccross: scheme {range, bloom, smallset} x pool {on, off} x chaos
 ///     {off, seed-derived}
+///   * adaptive: pool {on, off} x chaos {off, seed-derived}; the policy and
+///     window size are derived from the seed inside the fuzzer
 ///
 /// Any axis can be pinned from the command line, which is exactly what the
 /// repro command printed on failure does:
@@ -47,7 +49,7 @@ struct DriverOptions {
   std::uint64_t NumSeeds = 256;
   bool SingleSeed = false;
   std::vector<Engine> Engines = {Engine::Domore, Engine::DomoreDup,
-                                 Engine::SpecCross};
+                                 Engine::SpecCross, Engine::Adaptive};
   // Pinned axes: negative / zero sentinel = sweep the default matrix.
   int Workers = 0;          // 0 = derive from seed (2..4)
   long MaxBatch = -1;       // -1 = sweep {1, 16}
@@ -65,7 +67,7 @@ void usage(const char *Prog) {
       "  --seeds=N         number of seeds to sweep (default 256)\n"
       "  --first-seed=K    first seed of the sweep (default 1)\n"
       "  --seed=S          run exactly one seed\n"
-      "  --engines=a,b     subset of domore,domore-dup,speccross\n"
+      "  --engines=a,b     subset of domore,domore-dup,speccross,adaptive\n"
       "  --workers=W       pin the worker count (default: seed-derived 2..4)\n"
       "  --maxbatch=B      pin DOMORE MaxBatch (default: sweep 1 and 16)\n"
       "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
@@ -203,6 +205,16 @@ int main(int Argc, char **Argv) {
               F.Scheme = Scheme;
               Configs.push_back(F);
             }
+      } else if (E == Engine::Adaptive) {
+        for (bool Pool : PoolAxis)
+          for (std::uint64_t Chaos : ChaosAxis) {
+            FuzzOptions F;
+            F.Eng = E;
+            F.Workers = Workers;
+            F.UsePool = Pool;
+            F.ChaosSeed = Chaos;
+            Configs.push_back(F);
+          }
       } else {
         std::vector<std::size_t> Batches;
         if (O.MaxBatch > 0)

@@ -11,7 +11,9 @@ RegionTelemetry::finish() when the CIP_REPORT environment knob is set
   * an ASCII bar chart per nonempty latency histogram,
   * the DOMORE conflict heatmap as a (dep tid -> tid) matrix plus the
     hottest conflicting address buckets,
-  * one block per SPECCROSS abort with the full forensics record.
+  * one block per SPECCROSS abort with the full forensics record,
+  * the adaptive policy engine's decision timeline and switch events
+    (one line per window; present for regions run under harness/Adaptive).
 
 Purely presentational: validation lives in validate_bench_json.py --report.
 """
@@ -118,6 +120,36 @@ def print_abort(index, abort):
           f"{abort['round_end_epoch']})")
 
 
+def print_policy(decisions, switches):
+    if not decisions:
+        return
+    total = sum(d["window_seconds"] for d in decisions)
+    overhead = sum(d["decision_ns"] for d in decisions) + \
+        sum(s["teardown_ns"] for s in switches)
+    print(f"  policy: {len(decisions)} windows, {len(switches)} switches, "
+          f"decision+teardown overhead {format_ns(overhead)}")
+    for dec in decisions:
+        flags = []
+        if dec["switched"]:
+            flags.append("switch")
+        if dec["explore"]:
+            flags.append("explore")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"    win {dec['window']:>3} epochs {dec['first_epoch']}+"
+              f"{dec['num_epochs']}: {dec['technique']:<10} "
+              f"{dec['reason']:<22} "
+              f"{format_ns(dec['window_seconds'] * 1e9):>9} "
+              f"abort_rate={dec['abort_rate']:.3f} "
+              f"density={dec['conflict_density']:.3f}{suffix}")
+    for event in switches:
+        carry = "warm-carry" if event["warm_carry"] else "full teardown"
+        print(f"    switch at win {event['window']}: {event['from']} -> "
+              f"{event['to']} ({event['reason']}, {carry}, "
+              f"teardown {format_ns(event['teardown_ns'])})")
+    if total > 0:
+        print(f"    window execution total {format_ns(total * 1e9)}")
+
+
 def render(path):
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -134,6 +166,9 @@ def render(path):
             print_abort(index, abort)
     else:
         print("  aborts: none")
+    # Older reports predate the policy log; render it when present.
+    print_policy(report.get("policy_decisions", []),
+                 report.get("switch_events", []))
 
 
 def main():

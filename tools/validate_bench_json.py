@@ -18,6 +18,12 @@ section 8). Checks the required keys, that every histogram's bucket edges
 strictly increase and bucket counts sum to the histogram count, that the
 heatmap's pair counts sum to total_conflicts, and every abort record's
 forensics fields.
+
+Both modes validate the adaptive policy engine's decision/switch logs
+(DESIGN.md §11): bench rows whose scheme is adaptive-* must carry
+policy_decisions and switch_events arrays (optional elsewhere), every run
+report carries both, and the number of decisions marked switched must equal
+the number of switch events.
 """
 
 import json
@@ -60,8 +66,12 @@ HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
 
 ABORT_CAUSES = {"signature_overlap", "injected", "timeout"}
 
-SCHEMES = {"sequential", "barrier", "domore", "speccross"}
+SCHEMES = {"sequential", "barrier", "domore", "domore-dup", "speccross",
+           "adaptive-threshold", "adaptive-bandit"}
 SCALES = {"test", "train", "ref"}
+
+# policy::techniqueName values — what decision/switch records may name.
+TECHNIQUES = {"barrier", "domore", "domore-dup", "speccross"}
 
 
 def fail(where, msg):
@@ -173,6 +183,72 @@ def validate_abort(where, abort):
         fail(where, "round_first_epoch beyond round_end_epoch")
 
 
+def check_number(where, obj, key):
+    if key not in obj:
+        fail(where, f"missing key '{key}'")
+    value = obj[key]
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or \
+            value < 0:
+        fail(where, f"key '{key}' must be a non-negative number")
+    return value
+
+
+def check_bool(where, obj, key):
+    if not isinstance(obj.get(key), bool):
+        fail(where, f"key '{key}' must be a boolean")
+    return obj[key]
+
+
+def validate_policy_decision(where, dec):
+    if not isinstance(dec, dict):
+        fail(where, "policy decision is not an object")
+    for key in ["window", "first_epoch", "num_epochs", "decision_ns"]:
+        check_uint(where, dec, key)
+    if dec.get("technique") not in TECHNIQUES:
+        fail(where, f"unknown technique '{dec.get('technique')}'")
+    if not isinstance(dec.get("reason"), str) or not dec["reason"]:
+        fail(where, "missing decision reason")
+    check_bool(where, dec, "explore")
+    check_bool(where, dec, "switched")
+    for key in ["window_seconds", "abort_rate", "conflict_density"]:
+        check_number(where, dec, key)
+
+
+def validate_switch_event(where, event):
+    if not isinstance(event, dict):
+        fail(where, "switch event is not an object")
+    check_uint(where, event, "window")
+    for key in ["from", "to"]:
+        if event.get(key) not in TECHNIQUES:
+            fail(where, f"unknown technique '{event.get(key)}' in '{key}'")
+    if event["from"] == event["to"]:
+        fail(where, f"switch event from '{event['from']}' to itself")
+    if not isinstance(event.get("reason"), str) or not event["reason"]:
+        fail(where, "missing switch reason")
+    check_bool(where, event, "warm_carry")
+    check_uint(where, event, "teardown_ns")
+
+
+def validate_policy_log(where, obj, required):
+    """The policy engine's decision/switch arrays (bench rows for the
+    adaptive schemes, every run report). The two arrays must agree: each
+    decision marked switched corresponds to one switch event."""
+    present = "policy_decisions" in obj or "switch_events" in obj
+    if not present and not required:
+        return
+    for key in ["policy_decisions", "switch_events"]:
+        if key not in obj or not isinstance(obj[key], list):
+            fail(where, f"missing '{key}' array")
+    for index, dec in enumerate(obj["policy_decisions"]):
+        validate_policy_decision(f"{where} policy decision {index}", dec)
+    for index, event in enumerate(obj["switch_events"]):
+        validate_switch_event(f"{where} switch event {index}", event)
+    switched = sum(1 for d in obj["policy_decisions"] if d["switched"])
+    if switched != len(obj["switch_events"]):
+        fail(where, f"{switched} decisions marked switched but "
+                    f"{len(obj['switch_events'])} switch events")
+
+
 def validate_report(path):
     with open(path, encoding="utf-8") as handle:
         try:
@@ -207,6 +283,7 @@ def validate_report(path):
         fail(path, "missing abort array")
     for index, abort in enumerate(report["aborts"]):
         validate_abort(f"{path} abort {index}", abort)
+    validate_policy_log(path, report, required=True)
     return len(report["aborts"]), report["heatmap"]["total_conflicts"]
 
 
@@ -243,6 +320,10 @@ def validate_row(line_no, row):
     # dispatch_batch reuses the summary shape; its values are batch sizes
     # (iterations per DOMORE WorkRange message), not nanoseconds.
     validate_hist_summary(f"{where} dispatch_batch", row["dispatch_batch"])
+    # Adaptive rows carry the policy engine's decision and switch logs;
+    # other schemes may omit them.
+    validate_policy_log(where, row,
+                        required=row["scheme"].startswith("adaptive-"))
 
 
 def main():
