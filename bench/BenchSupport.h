@@ -190,6 +190,16 @@ public:
     return It == Baselines.end() ? 0.0 : It->second;
   }
 
+  /// Appends one pre-rendered JSON Lines row. The region-server traffic
+  /// bench builds its own row shape (the server-* schemes carry a "server"
+  /// throughput/latency object) and lands it through the same sink.
+  void writeLine(const std::string &Line) {
+    if (!File)
+      return;
+    std::fprintf(File, "%s\n", Line.c_str());
+    std::fflush(File);
+  }
+
   void record(const workloads::Workload &W, const char *Scheme,
               unsigned Threads, unsigned Reps, double Seconds, double Speedup,
               const telemetry::CounterTotals &Counters,

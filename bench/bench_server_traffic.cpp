@@ -1,0 +1,487 @@
+//===- bench/bench_server_traffic.cpp - Region-server traffic bench ------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The region-server experiment (DESIGN.md §12): many clients submitting
+/// parallel-region invocations against one machine-wide worker budget.
+/// An open-loop arrival schedule — seeded exponential interarrivals, no
+/// wall-clock randomness in the schedule itself — drives a mixed workload
+/// stream (jacobi/loopdep/cg, rotating barrier/DOMORE/SPECCROSS/adaptive
+/// techniques) at three offered loads (~0.3x, ~0.8x, ~1.5x the calibrated
+/// sequential capacity) through three invocation disciplines:
+///
+///  * server-serialized — one region at a time at full budget width: the
+///    repo's historical behavior (the global pool serializes top-level
+///    regions). Under concurrent traffic, every request queues behind
+///    every other request's full-width run.
+///  * server-oversub   — every client invokes immediately at full width
+///    with no arbitration (pool bypassed, spawn budget lifted): the
+///    "parallelize everything" strawman that oversubscribes the machine.
+///  * server-gated     — the RegionServer: bounded-queue admission, FIFO
+///    worker arbitration, and the should_invoc gate degrading
+///    below-minimum-width grants to narrow-barrier or sequential runs.
+///
+/// Reported per load level: achieved throughput and p50/p95/p99 request
+/// latency (completion minus *scheduled* arrival, so backlog shows up as
+/// latency). Percentiles come from the shared bucket-interpolation helper
+/// (HistogramData::percentileNs), the same estimator tools/cip_report.py
+/// prints. Every request's checksum is compared against the workload's
+/// sequential reference — a mismatch is a correctness bug and exits 1.
+/// The gate lines mirror ISSUE acceptance (at the saturating load, gated
+/// >= 1.2x serialized throughput AND gated p99 < oversubscribed p99) but
+/// timing misses exit 0: CI runs this as a non-fatal report, like
+/// compare_bench.py.
+///
+/// Extra knobs beyond the BenchSupport set (strict, garbage exits 2):
+///   CIP_BENCH_REQUESTS  requests per load level (default 48; CI smoke
+///                       uses a small value so CIP_REPORT stays cheap)
+///   CIP_SERVER_WORKERS  the worker budget (default here: 4, the paper's
+///                       smallest evaluated machine share)
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "server/RegionServer.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cip;
+using namespace cip::bench;
+
+namespace {
+
+constexpr unsigned NumClients = 4;
+constexpr std::uint64_t ScheduleSeed = 0x5eedc0ffee5eedULL;
+
+const char *const MixNames[] = {"jacobi", "loopdep", "cg"};
+constexpr unsigned MixSize = 3;
+
+unsigned requestsPerLoad() {
+  if (const char *S = std::getenv("CIP_BENCH_REQUESTS")) {
+    unsigned V = 0;
+    if (!parseEnvUnsigned(S, V))
+      benchEnvError("CIP_BENCH_REQUESTS", S,
+                    "a positive request count per load level");
+    return V;
+  }
+  return 48;
+}
+
+/// One scheduled invocation: what to run, how, and when it is *supposed*
+/// to arrive (seconds from the run start).
+struct TrafficRequest {
+  unsigned Mix = 0;           ///< index into MixNames
+  policy::Technique Tech = policy::Technique::Barrier;
+  bool Adaptive = false;      ///< route through the policy engine instead
+  double ArrivalS = 0.0;
+};
+
+/// The same seeded schedule drives all three disciplines at one load
+/// level, so they compete on identical traffic.
+std::vector<TrafficRequest> makeSchedule(unsigned N, double Lambda) {
+  std::vector<TrafficRequest> Out(N);
+  Xoshiro256StarStar Rng(ScheduleSeed);
+  double T = 0.0;
+  for (unsigned I = 0; I < N; ++I) {
+    const double U = Rng.nextDouble();
+    T += -std::log(1.0 - U) / Lambda; // exponential interarrival
+    Out[I].ArrivalS = T;
+    Out[I].Mix = static_cast<unsigned>(Rng.nextBelow(MixSize));
+    Out[I].Adaptive = I % 4 == 3;
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Out[I].Tech = policy::Technique::Barrier;
+      break;
+    case 1:
+      Out[I].Tech = policy::Technique::Domore;
+      break;
+    default:
+      Out[I].Tech = policy::Technique::SpecCross;
+      break;
+    }
+  }
+  return Out;
+}
+
+/// Runs one request's region the way the server would run a full-width
+/// grant (same vtable rows, same adaptive engine), for the two disciplines
+/// that bypass the server.
+void runUnmanaged(workloads::Workload &W, const TrafficRequest &Req,
+                  unsigned Width, const policy::PolicyConfig &Policy) {
+  if (Req.Adaptive) {
+    (void)harness::runAdaptive(W, Width, Policy);
+    return;
+  }
+  policy::Technique Tech = Req.Tech;
+  if (!(harness::applicabilityMask(W) & policy::techniqueBit(Tech)))
+    Tech = policy::Technique::Barrier;
+  const harness::TechniqueVtable &V = harness::techniqueVtable(Tech);
+  harness::AdaptiveContext Ctx;
+  Ctx.NumThreads = Width;
+  Ctx.Scheme = W.preferredSignature();
+  if (Tech == policy::Technique::SpecCross)
+    W.registerState(Ctx.Registry);
+  (void)V.RunWindow(Ctx, W);
+}
+
+/// What one discipline produced at one load level.
+struct TrafficResult {
+  double MakespanS = 0.0;
+  telemetry::HistogramData LatencyNs; ///< completion - scheduled arrival
+  server::ServerStats Stats;          ///< synthesized for unmanaged modes
+  bool ChecksumOk = true;
+};
+
+double percentileMs(const telemetry::HistogramData &H, double Q) {
+  return static_cast<double>(H.percentileNs(Q)) / 1e6;
+}
+
+/// Drives one discipline over \p Schedule with NumClients open-loop client
+/// threads (requests round-robin across clients, each client honoring its
+/// scheduled arrival times). \p Run executes one request on the client's
+/// private workload instance and returns the post-run checksum.
+template <typename RunFn>
+TrafficResult driveClients(const std::vector<TrafficRequest> &Schedule,
+                           const std::vector<std::uint64_t> &Expected,
+                           RunFn &&Run) {
+  TrafficResult Res;
+  std::mutex Mu; // guards LatencyNs merging and ChecksumOk
+  std::atomic<bool> Ok{true};
+  const std::uint64_t StartNs = nowNanos();
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      // Per-client private instances: concurrent disciplines mutate
+      // workload state from many threads, so nothing is shared.
+      std::unique_ptr<workloads::Workload> Mine[MixSize];
+      for (unsigned M = 0; M < MixSize; ++M)
+        Mine[M] = workloads::makeWorkload(MixNames[M], benchScale());
+      telemetry::HistogramData Local;
+      for (std::size_t I = C; I < Schedule.size(); I += NumClients) {
+        const TrafficRequest &Req = Schedule[I];
+        const std::uint64_t Due =
+            StartNs + static_cast<std::uint64_t>(Req.ArrivalS * 1e9);
+        const std::uint64_t Now = nowNanos();
+        if (Now < Due)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(Due - Now));
+        workloads::Workload &W = *Mine[Req.Mix];
+        W.reset();
+        const std::uint64_t Sum = Run(W, Req);
+        if (Sum != Expected[Req.Mix])
+          Ok.store(false, std::memory_order_relaxed);
+        // Open-loop latency: completion against the *scheduled* arrival,
+        // so time spent behind a backlog is charged to the discipline.
+        const std::uint64_t Done = nowNanos();
+        const std::uint64_t Lat = Done > Due ? Done - Due : 0;
+        Local.Buckets[telemetry::histBucketOf(Lat)] += 1;
+        Local.SumNs += Lat;
+        if (Lat > Local.MaxNs)
+          Local.MaxNs = Lat;
+      }
+      std::lock_guard<std::mutex> L(Mu);
+      Res.LatencyNs += Local;
+    });
+  for (auto &T : Clients)
+    T.join();
+  Res.MakespanS = static_cast<double>(nowNanos() - StartNs) / 1e9;
+  Res.ChecksumOk = Ok.load();
+  return Res;
+}
+
+TrafficResult runSerialized(const std::vector<TrafficRequest> &Schedule,
+                            const std::vector<std::uint64_t> &Expected,
+                            unsigned Workers,
+                            const policy::PolicyConfig &Policy) {
+  std::mutex RegionMu; // one region at a time, full width
+  TrafficResult Res = driveClients(
+      Schedule, Expected,
+      [&](workloads::Workload &W, const TrafficRequest &Req) {
+        std::lock_guard<std::mutex> L(RegionMu);
+        runUnmanaged(W, Req, Workers, Policy);
+        return W.checksum();
+      });
+  Res.Stats.Submitted = Res.Stats.Completed = Schedule.size();
+  Res.Stats.QueueWait = Res.LatencyNs;
+  return Res;
+}
+
+TrafficResult runOversubscribed(const std::vector<TrafficRequest> &Schedule,
+                                const std::vector<std::uint64_t> &Expected,
+                                unsigned Workers,
+                                const policy::PolicyConfig &Policy) {
+  // No arbitration at all: every client forks a full-width region the
+  // moment its request arrives. The global pool would serialize them, so
+  // this discipline runs on the spawned-thread substrate with the budget
+  // cap lifted — the unbounded behavior the server exists to prevent.
+  const bool PrevBypass = ThreadPool::bypassed();
+  const unsigned PrevCap = ThreadPool::spawnCap();
+  ThreadPool::setBypass(true);
+  ThreadPool::setSpawnCap(0xffffffffu);
+  TrafficResult Res = driveClients(
+      Schedule, Expected,
+      [&](workloads::Workload &W, const TrafficRequest &Req) {
+        runUnmanaged(W, Req, Workers, Policy);
+        return W.checksum();
+      });
+  ThreadPool::setBypass(PrevBypass);
+  ThreadPool::setSpawnCap(PrevCap);
+  Res.Stats.Submitted = Res.Stats.Completed = Schedule.size();
+  Res.Stats.QueueWait = Res.LatencyNs;
+  return Res;
+}
+
+TrafficResult runGated(const std::vector<TrafficRequest> &Schedule,
+                       const std::vector<std::uint64_t> &Expected,
+                       unsigned Workers,
+                       const policy::PolicyConfig &Policy) {
+  server::ServerConfig Cfg;
+  Cfg.Workers = Workers;
+  const server::ServerConfig Resolved = server::configFromEnv(Cfg);
+  server::RegionServer Server(Resolved);
+  TrafficResult Res = driveClients(
+      Schedule, Expected,
+      [&](workloads::Workload &W, const TrafficRequest &Req) {
+        server::RegionRequest R;
+        R.W = &W;
+        R.Tech = Req.Tech;
+        if (Req.Adaptive)
+          R.Policy = &Policy;
+        R.Width = 0; // ask for the whole budget; the gate right-sizes
+        const server::RequestResult Out = Server.submit(R);
+        return Out.Status == server::RequestStatus::Completed ? Out.Checksum
+                                                              : ~0ULL;
+      });
+  Server.shutdown();
+  Res.Stats = Server.stats();
+  return Res;
+}
+
+/// Emits the server-* JSON row for one (discipline, load) cell. The row's
+/// wait_hist is the request-latency distribution; the server object carries
+/// the throughput/latency payload tools/validate_bench_json.py checks.
+void recordTraffic(const char *LoadName, const char *Scheme, unsigned Workers,
+                   double OfferedRps, const TrafficResult &R) {
+  BenchJson &J = BenchJson::instance();
+  if (!J.enabled())
+    return;
+  const double Thr =
+      R.MakespanS > 0.0
+          ? static_cast<double>(R.Stats.Completed) / R.MakespanS
+          : 0.0;
+  telemetry::json::Writer Wr;
+  Wr.beginObject();
+  Wr.key("workload");
+  Wr.value(LoadName);
+  Wr.key("scheme");
+  Wr.value(Scheme);
+  Wr.key("threads");
+  Wr.value(Workers);
+  Wr.key("scale");
+  Wr.value(benchScaleName());
+  Wr.key("reps");
+  Wr.value(1u);
+  Wr.key("seconds");
+  Wr.value(R.MakespanS);
+  Wr.key("speedup");
+  Wr.value(0.0);
+  // Counters synthesized from the traffic stats, so the rows carry them in
+  // CIP_TELEMETRY=0 builds too (every completed request passed admission;
+  // the unmanaged disciplines get the equivalent synthetic accounting).
+  telemetry::CounterTotals Counters;
+  Counters.Values[static_cast<unsigned>(telemetry::Counter::ServerAdmitted)] =
+      R.Stats.Completed;
+  Counters.Values[static_cast<unsigned>(telemetry::Counter::ServerRejected)] =
+      R.Stats.Rejected;
+  Counters.Values[static_cast<unsigned>(telemetry::Counter::ServerDegraded)] =
+      R.Stats.DegradedNarrow + R.Stats.DegradedSequential;
+  Counters.Values[static_cast<unsigned>(
+      telemetry::Counter::ServerQueueWaitNs)] = R.Stats.QueueWait.SumNs;
+  Wr.key("counters");
+  Wr.beginObject();
+  for (unsigned C = 0; C < telemetry::NumCounters; ++C) {
+    Wr.key(telemetry::counterName(static_cast<telemetry::Counter>(C)));
+    Wr.value(Counters.Values[C]);
+  }
+  Wr.endObject();
+  const auto HistSummary = [&Wr](const char *Key,
+                                 const telemetry::HistogramData &H) {
+    Wr.key(Key);
+    Wr.beginObject();
+    Wr.key("count");
+    Wr.value(H.count());
+    Wr.key("sum_ns");
+    Wr.value(H.SumNs);
+    Wr.key("max_ns");
+    Wr.value(H.MaxNs);
+    Wr.key("p50_ns");
+    Wr.value(H.quantileNs(0.50));
+    Wr.key("p90_ns");
+    Wr.value(H.quantileNs(0.90));
+    Wr.key("p99_ns");
+    Wr.value(H.quantileNs(0.99));
+    Wr.endObject();
+  };
+  HistSummary("wait_hist", R.LatencyNs);
+  HistSummary("dispatch_batch", telemetry::HistogramData());
+  Wr.key("server");
+  Wr.beginObject();
+  Wr.key("offered_rps");
+  Wr.value(OfferedRps);
+  Wr.key("throughput_rps");
+  Wr.value(Thr);
+  Wr.key("submitted");
+  Wr.value(R.Stats.Submitted);
+  Wr.key("completed");
+  Wr.value(R.Stats.Completed);
+  Wr.key("rejected");
+  Wr.value(R.Stats.Rejected);
+  Wr.key("degraded_sequential");
+  Wr.value(R.Stats.DegradedSequential);
+  Wr.key("degraded_narrow");
+  Wr.value(R.Stats.DegradedNarrow);
+  Wr.key("p50_ms");
+  Wr.value(percentileMs(R.LatencyNs, 0.50));
+  Wr.key("p95_ms");
+  Wr.value(percentileMs(R.LatencyNs, 0.95));
+  Wr.key("p99_ms");
+  Wr.value(percentileMs(R.LatencyNs, 0.99));
+  Wr.endObject();
+  Wr.endObject();
+  J.writeLine(Wr.str());
+}
+
+void printCell(const char *Scheme, double OfferedRps,
+               const TrafficResult &R) {
+  const double Thr =
+      R.MakespanS > 0.0
+          ? static_cast<double>(R.Stats.Completed) / R.MakespanS
+          : 0.0;
+  std::printf("  %-18s  offered %7.1f r/s  achieved %7.1f r/s  "
+              "p50 %8.2f ms  p95 %8.2f ms  p99 %8.2f ms",
+              Scheme, OfferedRps, Thr, percentileMs(R.LatencyNs, 0.50),
+              percentileMs(R.LatencyNs, 0.95), percentileMs(R.LatencyNs, 0.99));
+  if (R.Stats.DegradedSequential + R.Stats.DegradedNarrow +
+      R.Stats.Rejected)
+    std::printf("  [degraded seq %llu narrow %llu, rejected %llu]",
+                static_cast<unsigned long long>(R.Stats.DegradedSequential),
+                static_cast<unsigned long long>(R.Stats.DegradedNarrow),
+                static_cast<unsigned long long>(R.Stats.Rejected));
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const unsigned Requests = requestsPerLoad();
+  server::ServerConfig BudgetProbe;
+  BudgetProbe.Workers = 4; // default budget; CIP_SERVER_WORKERS overrides
+  const unsigned Workers = server::configFromEnv(BudgetProbe).Workers;
+
+  policy::PolicyConfig Policy;
+  Policy.Kind = policy::PolicyKind::Threshold;
+  policy::configFromEnv(Policy);
+
+  std::printf("Region-server traffic: %u requests/load, %u clients, "
+              "budget %u workers, scale %s\n",
+              Requests, NumClients, Workers, benchScaleName());
+  printRule();
+
+  // Calibrate: mean sequential service time over the mix gives the
+  // one-worker capacity the offered loads are expressed against.
+  std::vector<std::uint64_t> Expected(MixSize);
+  double MeanServiceS = 0.0;
+  for (unsigned M = 0; M < MixSize; ++M) {
+    auto W = workloads::makeWorkload(MixNames[M], benchScale());
+    W->reset();
+    const harness::ExecResult Seq = harness::runSequential(*W);
+    Expected[M] = Seq.Checksum;
+    MeanServiceS += Seq.Seconds;
+  }
+  MeanServiceS /= MixSize;
+  const double CapacityRps = MeanServiceS > 0.0 ? 1.0 / MeanServiceS : 1000.0;
+  std::printf("calibration: mean sequential service %.3f ms => capacity "
+              "%.1f req/s\n",
+              MeanServiceS * 1e3, CapacityRps);
+  printRule();
+
+  struct Level {
+    const char *Name;
+    double Factor;
+  };
+  const Level Levels[] = {
+      {"traffic-low", 0.3}, {"traffic-mid", 0.8}, {"traffic-sat", 1.5}};
+
+  bool ChecksumOk = true;
+  double SatThrSerialized = 0.0, SatThrGated = 0.0;
+  double SatP99Oversub = 0.0, SatP99Gated = 0.0;
+
+  for (const Level &L : Levels) {
+    const double Lambda = CapacityRps * L.Factor;
+    const std::vector<TrafficRequest> Schedule =
+        makeSchedule(Requests, Lambda);
+    std::printf("%s (%.1fx capacity):\n", L.Name, L.Factor);
+
+    const TrafficResult Ser =
+        runSerialized(Schedule, Expected, Workers, Policy);
+    printCell("server-serialized", Lambda, Ser);
+    recordTraffic(L.Name, "server-serialized", Workers, Lambda, Ser);
+
+    const TrafficResult Ovr =
+        runOversubscribed(Schedule, Expected, Workers, Policy);
+    printCell("server-oversub", Lambda, Ovr);
+    recordTraffic(L.Name, "server-oversub", Workers, Lambda, Ovr);
+
+    const TrafficResult Gat = runGated(Schedule, Expected, Workers, Policy);
+    printCell("server-gated", Lambda, Gat);
+    recordTraffic(L.Name, "server-gated", Workers, Lambda, Gat);
+
+    ChecksumOk = ChecksumOk && Ser.ChecksumOk && Ovr.ChecksumOk &&
+                 Gat.ChecksumOk;
+    if (std::strcmp(L.Name, "traffic-sat") == 0) {
+      SatThrSerialized =
+          Ser.MakespanS > 0.0
+              ? static_cast<double>(Ser.Stats.Completed) / Ser.MakespanS
+              : 0.0;
+      SatThrGated =
+          Gat.MakespanS > 0.0
+              ? static_cast<double>(Gat.Stats.Completed) / Gat.MakespanS
+              : 0.0;
+      SatP99Oversub = percentileMs(Ovr.LatencyNs, 0.99);
+      SatP99Gated = percentileMs(Gat.LatencyNs, 0.99);
+    }
+    printRule();
+  }
+
+  if (!ChecksumOk) {
+    std::fprintf(stderr, "error: request checksum diverged from sequential "
+                         "execution — the server broke a region\n");
+    return 1;
+  }
+  std::printf("checksums: every request identical to sequential "
+              "(degraded requests included)\n");
+
+  const double ThrRatio =
+      SatThrSerialized > 0.0 ? SatThrGated / SatThrSerialized : 0.0;
+  std::printf("gate: saturating throughput gated/serialized = %.2fx "
+              "(need >= 1.20x) %s\n",
+              ThrRatio, ThrRatio >= 1.20 ? "PASS" : "MISS");
+  std::printf("gate: saturating p99 gated %.2f ms vs oversubscribed %.2f ms "
+              "(need lower) %s\n",
+              SatP99Gated, SatP99Oversub,
+              SatP99Gated < SatP99Oversub ? "PASS" : "MISS");
+  return 0;
+}

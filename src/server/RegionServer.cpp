@@ -1,0 +1,351 @@
+//===- server/RegionServer.cpp - Concurrent region invocations -----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/RegionServer.h"
+
+#include "harness/Executor.h"
+#include "support/Chaos.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace cip;
+using namespace cip::server;
+using cip::telemetry::Counter;
+using cip::telemetry::EventKind;
+using cip::telemetry::Hist;
+
+//===----------------------------------------------------------------------===//
+// Environment knobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+[[noreturn]] void serverEnvError(const char *Var, const char *Value,
+                                 const char *Expected) {
+  std::fprintf(stderr, "error: %s='%s' is invalid: expected %s\n", Var, Value,
+               Expected);
+  // _Exit, not exit: matches the CIP_CHAOS/CIP_POLICY convention — a config
+  // error wants immediate, clean-status death without running
+  // atexit/destructors while runtime threads may be live.
+  std::_Exit(2);
+}
+
+bool parseDecimal(const char *S, std::uint64_t &Out) {
+  if (!*S)
+    return false;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End != '\0' || std::strchr(S, '-'))
+    return false;
+  Out = static_cast<std::uint64_t>(V);
+  return true;
+}
+
+/// Strictly parses \p Var as a positive worker/slot count.
+unsigned envPositive(const char *Var, const char *Expected, unsigned Fallback) {
+  const char *S = std::getenv(Var);
+  if (!S)
+    return Fallback;
+  std::uint64_t V = 0;
+  if (!parseDecimal(S, V) || V == 0 || V > 0xffffffffULL)
+    serverEnvError(Var, S, Expected);
+  return static_cast<unsigned>(V);
+}
+
+unsigned resolveWorkers(unsigned Workers) {
+  if (Workers)
+    return Workers;
+  const unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+} // namespace
+
+ServerConfig server::configFromEnv(ServerConfig Base) {
+  Base.Workers = envPositive("CIP_SERVER_WORKERS",
+                             "a positive total worker budget", Base.Workers);
+  Base.QueueCapacity =
+      envPositive("CIP_SERVER_QUEUE", "a positive submission queue capacity",
+                  Base.QueueCapacity);
+  Base.MinWorkers =
+      envPositive("CIP_SERVER_MIN_WORKERS",
+                  "a positive minimum profitable width", Base.MinWorkers);
+  if (const char *S = std::getenv("CIP_SERVER_ADMISSION")) {
+    if (std::strcmp(S, "block") == 0)
+      Base.Admission = AdmissionPolicy::Block;
+    else if (std::strcmp(S, "reject") == 0)
+      Base.Admission = AdmissionPolicy::Reject;
+    else
+      serverEnvError("CIP_SERVER_ADMISSION", S, "'block' or 'reject'");
+  }
+  Base.Workers = resolveWorkers(Base.Workers);
+  // Nested regions that escape the leased lanes fall back to spawned
+  // threads; cap that path with the same machine budget the server
+  // arbitrates, so no code path exceeds CIP_SERVER_WORKERS live workers.
+  ThreadPool::setSpawnCap(Base.Workers);
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// RegionServer
+//===----------------------------------------------------------------------===//
+
+/// The should_invoc gate's verdict for one head-of-queue request.
+struct RegionServer::Decision {
+  enum class Mode : unsigned {
+    Parallel,   ///< requested technique at the granted width
+    Narrow,     ///< degraded: plain barrier at the free width
+    Sequential, ///< degraded: sequential in the caller's thread, no grant
+  };
+  Mode M = Mode::Sequential;
+  unsigned Granted = 0;
+  unsigned EffMin = 1; ///< the minimum width the gate compared against
+};
+
+RegionServer::RegionServer(const ServerConfig &Config)
+    : Cfg(Config), Tel("server", 1) {
+  Cfg.Workers = resolveWorkers(Cfg.Workers);
+  if (Cfg.QueueCapacity == 0)
+    Cfg.QueueCapacity = 1;
+  Free = Cfg.Workers;
+  if (Tel.tracing())
+    Tel.nameLane(0, "admission");
+}
+
+RegionServer::~RegionServer() { shutdown(); }
+
+unsigned RegionServer::availableWorkers() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Free;
+}
+
+unsigned RegionServer::workersInUse() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Cfg.Workers - Free;
+}
+
+unsigned RegionServer::queueDepth() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return QueueDepth;
+}
+
+ServerStats RegionServer::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+bool RegionServer::decideLocked(const RegionRequest &Req, Decision &Out) {
+  // Normalize the request against the budget: a width of 0 asks for
+  // everything, and the minimum profitable width can never exceed what was
+  // asked for (or what exists).
+  const unsigned Width =
+      Req.Width ? (Req.Width < Cfg.Workers ? Req.Width : Cfg.Workers)
+                : Cfg.Workers;
+  unsigned EffMin = Req.MinWorkers ? Req.MinWorkers : Cfg.MinWorkers;
+  if (EffMin == 0)
+    EffMin = 1;
+  if (EffMin > Width)
+    EffMin = Width;
+  Out.EffMin = EffMin;
+
+  if (Free >= EffMin) {
+    Out.M = Decision::Mode::Parallel;
+    Out.Granted = Width < Free ? Width : Free;
+    return true;
+  }
+  if (!Cfg.AllowDegrade)
+    return false; // hold the queue head until the minimum width frees
+  // The should_invoc gate, mirroring cpf's getNumAvailableWorkers()
+  // fallback: below the profitable width, take what little is free as a
+  // plain barrier region, or run sequentially in the caller's own thread —
+  // never park the invocation waiting for the machine to drain.
+  if (Free >= 2) {
+    Out.M = Decision::Mode::Narrow;
+    Out.Granted = Free;
+    return true;
+  }
+  Out.M = Decision::Mode::Sequential;
+  Out.Granted = 0;
+  return true;
+}
+
+RequestResult RegionServer::submit(const RegionRequest &Req) {
+  assert(Req.W && "request without a workload");
+  const std::uint64_t T0 = nowNanos();
+  Decision D;
+  std::uint64_t WaitNs = 0;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    ++Stats.Submitted;
+
+    const auto RejectLocked = [&]() -> RequestResult {
+      ++Stats.Rejected;
+      Tel.add(0, Counter::ServerRejected);
+      Tel.instant(0, EventKind::ServerReject, QueueDepth);
+      if (ShuttingDown)
+        DrainCv.notify_all();
+      RequestResult R;
+      R.Status = RequestStatus::Rejected;
+      R.QueueWaitNs = nowNanos() - T0;
+      return R;
+    };
+
+    if (ShuttingDown)
+      return RejectLocked();
+
+    // Admission: the submission queue is bounded.
+    if (QueueDepth >= Cfg.QueueCapacity) {
+      if (Cfg.Admission == AdmissionPolicy::Reject)
+        return RejectLocked();
+      SpaceCv.wait(L, [this] {
+        return ShuttingDown || QueueDepth < Cfg.QueueCapacity;
+      });
+      if (ShuttingDown)
+        return RejectLocked();
+    }
+
+    // Admitted: take a FIFO ticket and wait for the arbitration turn. Only
+    // the serving ticket evaluates the gate, so grants are strictly FIFO
+    // and a starved head request cannot be overtaken.
+    ++QueueDepth;
+    const std::uint64_t Ticket = NextTicket++;
+    GrantCv.wait(L, [&] {
+      return ShuttingDown ||
+             (ServingTicket == Ticket && decideLocked(Req, D));
+    });
+    --QueueDepth;
+    if (ShuttingDown) {
+      SpaceCv.notify_one();
+      return RejectLocked();
+    }
+
+    ++ServingTicket;
+    Free -= D.Granted;
+    ++InFlight;
+    WaitNs = nowNanos() - T0;
+
+    // Per-request admission telemetry (the trace ring is single-writer;
+    // Mu is that writer).
+    Tel.add(0, Counter::ServerAdmitted);
+    Tel.add(0, Counter::ServerQueueWaitNs, WaitNs);
+    Tel.recordHist(0, Hist::ServerQueueNs, WaitNs);
+    Tel.instant(0, EventKind::ServerAdmit, D.Granted, WaitNs);
+    if (D.M != Decision::Mode::Parallel) {
+      Tel.add(0, Counter::ServerDegraded);
+      Tel.instant(0, EventKind::ServerDegrade, Free + D.Granted, D.EffMin);
+    }
+    // Self-maintained twin of the telemetry histogram so the traffic bench
+    // reports queue-wait percentiles in CIP_TELEMETRY=0 builds too.
+    Stats.QueueWait.Buckets[telemetry::histBucketOf(WaitNs)] += 1;
+    Stats.QueueWait.SumNs += WaitNs;
+    if (WaitNs > Stats.QueueWait.MaxNs)
+      Stats.QueueWait.MaxNs = WaitNs;
+  }
+  // The grant decision advanced ServingTicket and may have freed a queue
+  // slot: wake the next waiter in line and one queue-full submitter.
+  GrantCv.notify_all();
+  SpaceCv.notify_one();
+
+  CIP_CHAOS_POINT(ServerAdmit);
+  RequestResult R = executeGrant(Req, D);
+  R.QueueWaitNs = WaitNs;
+  CIP_CHAOS_POINT(ServerRelease);
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Free += D.Granted;
+    --InFlight;
+    ++Stats.Completed;
+    if (D.M == Decision::Mode::Narrow)
+      ++Stats.DegradedNarrow;
+    else if (D.M == Decision::Mode::Sequential)
+      ++Stats.DegradedSequential;
+    if (ShuttingDown && InFlight == 0)
+      DrainCv.notify_all();
+  }
+  // Returned workers may unblock the head of the queue.
+  GrantCv.notify_all();
+  return R;
+}
+
+RequestResult RegionServer::executeGrant(const RegionRequest &Req,
+                                         const Decision &D) {
+  RequestResult R;
+  R.Status = RequestStatus::Completed;
+  R.Granted = D.Granted;
+  R.Degraded = D.M != Decision::Mode::Parallel;
+
+  workloads::Workload &W = *Req.W;
+  harness::ExecResult Exec;
+
+  if (D.M == Decision::Mode::Sequential) {
+    // No grant at all: the caller's own thread runs the untouched
+    // sequential original, exactly cpf's should_invoc fallback path.
+    R.Technique = "sequential";
+    Exec = harness::runSequential(W);
+  } else {
+    // Granted regions execute on a dedicated lane lease, so concurrent
+    // grants genuinely overlap instead of serializing on the global
+    // fork/join pool. (The SPECCROSS checker thread rides outside the
+    // lease: it is a coordination thread, blocked except when validating,
+    // and the paper's worker budget counts workers.)
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(D.Granted);
+    ThreadPool::LeaseScope Scope(Lanes);
+    if (D.M == Decision::Mode::Narrow) {
+      R.Technique = "barrier";
+      Exec = harness::runBarrier(W, D.Granted);
+    } else if (Req.Policy) {
+      R.Technique = "adaptive";
+      Exec = harness::runAdaptive(W, D.Granted, *Req.Policy);
+    } else {
+      // Fixed technique through the harness vtable — the same dispatch
+      // rows the adaptive executor uses. Techniques the workload does not
+      // support fall back to the always-applicable barrier row.
+      policy::Technique Tech = Req.Tech;
+      if (!(harness::applicabilityMask(W) & policy::techniqueBit(Tech)))
+        Tech = policy::Technique::Barrier;
+      const harness::TechniqueVtable &V = harness::techniqueVtable(Tech);
+      harness::AdaptiveContext Ctx;
+      Ctx.NumThreads = D.Granted;
+      Ctx.Scheme = W.preferredSignature();
+      if (Tech == policy::Technique::SpecCross)
+        W.registerState(Ctx.Registry);
+      R.Technique = V.Name;
+      Exec = V.RunWindow(Ctx, W);
+    }
+  }
+
+  R.Seconds = Exec.Seconds;
+  // The vtable window runners leave Checksum unset (the adaptive executor
+  // computes it once at region end); the server's contract is a checksum on
+  // every result, so digest uniformly here.
+  R.Checksum = W.checksum();
+  return R;
+}
+
+void RegionServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Finished)
+      return;
+    ShuttingDown = true;
+  }
+  // Every queued waiter and queue-full submitter drains via rejection.
+  GrantCv.notify_all();
+  SpaceCv.notify_all();
+  std::unique_lock<std::mutex> L(Mu);
+  DrainCv.wait(L, [this] { return InFlight == 0 && QueueDepth == 0; });
+  if (!Finished) {
+    Finished = true;
+    Tel.finish();
+  }
+}

@@ -1,0 +1,237 @@
+//===- server/RegionServer.h - Concurrent region invocations ---*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived region server: many client threads submit parallel-region
+/// invocation requests, and the server runs them *concurrently* against one
+/// machine-wide worker budget. Every executor below this layer assumes it
+/// owns the machine; this is the layer that makes that assumption safe when
+/// it no longer holds — the repo's analogue of cpf's MTCG invocation guard,
+/// where generated code checks `getNumAvailableWorkers()` and falls back to
+/// the sequential original when workers are scarce, and of task-based
+/// runtimes that multiplex many parallelized programs onto one scheduler
+/// (Fonseca et al., PAPERS.md).
+///
+/// Three cooperating pieces (DESIGN.md §12):
+///
+///  * **Admission control**: a bounded submission queue (CIP_SERVER_QUEUE).
+///    When it is full, a submission either blocks for space or is rejected
+///    outright (AdmissionPolicy). Admitted requests are served strictly
+///    FIFO by ticket.
+///
+///  * **Worker arbitration**: a single budget of CIP_SERVER_WORKERS workers.
+///    Each request asks for a width; the head-of-queue request is granted
+///    min(width, free) workers when at least its minimum profitable width
+///    is free, and the grant returns to the budget when the region
+///    completes. Granted regions execute on dedicated ThreadPool lane
+///    leases, so disjoint grants genuinely overlap instead of serializing
+///    on the global fork/join pool.
+///
+///  * **The should_invoc gate**: when fewer than MinWorkers are free, the
+///    request is not parked until the machine drains — mirroring cpf, the
+///    gate *degrades* it on the spot: to a narrower plain-barrier region
+///    when at least two workers are free, else to sequential execution in
+///    the caller's own thread (consuming no budget at all). Degraded
+///    execution is checksum-identical to the requested technique; only the
+///    time-to-result changes. Degradation can be disabled per request
+///    stream (AllowDegrade=false), in which case the head waits for budget.
+///
+/// Execution of a grant goes through the harness TechniqueVtable, so both
+/// fixed techniques and the adaptive policy engine work per request.
+/// Per-request queue-wait, admission, degrade, and reject events land in
+/// the server's RegionTelemetry ("server" region): counters and the
+/// server_queue_ns histogram for bench JSON, instants for Chrome traces,
+/// everything for CIP_REPORT run reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SERVER_REGIONSERVER_H
+#define CIP_SERVER_REGIONSERVER_H
+
+#include "harness/Adaptive.h"
+#include "policy/Policy.h"
+#include "telemetry/Histogram.h"
+#include "telemetry/Telemetry.h"
+#include "workloads/Workload.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cip {
+namespace server {
+
+/// What a full submission queue does to the next submission.
+enum class AdmissionPolicy : unsigned {
+  Block,  ///< wait until a queue slot frees (backpressure onto the client)
+  Reject, ///< fail the submission immediately (load shedding)
+};
+
+/// Server-wide configuration. The environment knobs (strict, garbage exits
+/// 2 like every CIP_* knob):
+///
+///   CIP_SERVER_WORKERS      total worker budget (default: hardware
+///                           concurrency, at least 1)
+///   CIP_SERVER_QUEUE        submission queue capacity (default 64)
+///   CIP_SERVER_MIN_WORKERS  default minimum profitable width for requests
+///                           that do not specify one (default 2)
+///   CIP_SERVER_ADMISSION    block | reject (default block)
+struct ServerConfig {
+  /// Total worker budget arbitrated across concurrent regions. 0 means
+  /// hardware concurrency (at least 1).
+  unsigned Workers = 0;
+  /// Bounded submission queue capacity (requests admitted but not yet
+  /// granted). Must be at least 1.
+  unsigned QueueCapacity = 64;
+  /// Default minimum profitable width: requests granted fewer workers than
+  /// this degrade (or wait, when degradation is off).
+  unsigned MinWorkers = 2;
+  /// What a full queue does to the next submission.
+  AdmissionPolicy Admission = AdmissionPolicy::Block;
+  /// When false, the should_invoc gate never degrades: the head request
+  /// waits until its minimum width is free (tests use this to build
+  /// deterministic backlogs).
+  bool AllowDegrade = true;
+};
+
+/// Overrides \p Base from the CIP_SERVER_* environment knobs (see
+/// ServerConfig) and resolves Workers=0 to hardware concurrency. Also
+/// installs the resolved budget as the ThreadPool spawn-fallback cap, so
+/// nested regions escaping to spawned threads respect the same machine
+/// budget. Malformed values exit 2.
+ServerConfig configFromEnv(ServerConfig Base = ServerConfig());
+
+/// One parallel-region invocation request.
+struct RegionRequest {
+  /// The region to run. The submitting client owns it; it must stay alive
+  /// until submit() returns and must not be concurrently submitted.
+  workloads::Workload *W = nullptr;
+  /// Requested technique, used when \c Policy is null.
+  policy::Technique Tech = policy::Technique::Barrier;
+  /// Non-null routes the grant through the adaptive policy engine
+  /// (runAdaptive) instead of the fixed-technique vtable row.
+  const policy::PolicyConfig *Policy = nullptr;
+  /// Requested worker width. 0 means the whole budget.
+  unsigned Width = 0;
+  /// Minimum profitable width for this region; 0 means the server default
+  /// (ServerConfig::MinWorkers).
+  unsigned MinWorkers = 0;
+};
+
+/// How a submission ended.
+enum class RequestStatus : unsigned {
+  Completed, ///< ran to completion (possibly degraded); Checksum is valid
+  Rejected,  ///< never ran: queue full under Reject, or server shut down
+};
+
+/// What one submission produced.
+struct RequestResult {
+  RequestStatus Status = RequestStatus::Rejected;
+  /// True when the should_invoc gate degraded the request below its
+  /// requested technique (narrower barrier or sequential).
+  bool Degraded = false;
+  /// Static name of what actually ran: a techniqueVtable Name, "adaptive",
+  /// or "sequential"; "" when rejected.
+  const char *Technique = "";
+  /// Workers granted from the budget (0 for sequential degradation).
+  unsigned Granted = 0;
+  /// Nanoseconds from submission to the grant/degrade decision (includes
+  /// any time blocked on a full queue).
+  std::uint64_t QueueWaitNs = 0;
+  /// Execution wall time (the engine's own timing).
+  double Seconds = 0.0;
+  /// Post-execution workload checksum — bit-identical to sequential
+  /// execution for every path, degraded ones included.
+  std::uint64_t Checksum = 0;
+};
+
+/// Aggregate server statistics (one consistent snapshot).
+struct ServerStats {
+  std::uint64_t Submitted = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t Rejected = 0;
+  /// Completed via the narrower plain-barrier degrade path.
+  std::uint64_t DegradedNarrow = 0;
+  /// Completed sequentially in the caller's thread.
+  std::uint64_t DegradedSequential = 0;
+  /// Per-request queue-wait distribution (submission to grant decision).
+  telemetry::HistogramData QueueWait;
+};
+
+/// The server. Thread-safe: any number of client threads may call submit()
+/// concurrently; each call runs its region (in the calling thread for
+/// degraded-sequential grants, on leased pool lanes otherwise) and returns
+/// when the region completes. See the file comment for the state machine.
+class RegionServer {
+public:
+  explicit RegionServer(const ServerConfig &Config);
+  ~RegionServer();
+
+  RegionServer(const RegionServer &) = delete;
+  RegionServer &operator=(const RegionServer &) = delete;
+
+  /// Submits one region invocation and blocks until it completes (or is
+  /// rejected). Safe to call from many threads concurrently.
+  RequestResult submit(const RegionRequest &Req);
+
+  /// Workers currently free in the budget — the cpf
+  /// getNumAvailableWorkers() mirror clients may consult before choosing a
+  /// width. Advisory: the value may change before a subsequent submit().
+  unsigned availableWorkers() const;
+
+  /// Workers currently granted to in-flight regions.
+  unsigned workersInUse() const;
+
+  /// Requests admitted but not yet granted (tests and load monitors).
+  unsigned queueDepth() const;
+
+  const ServerConfig &config() const { return Cfg; }
+
+  /// Consistent snapshot of the aggregate statistics.
+  ServerStats stats() const;
+
+  /// Drains the server: queued-but-ungranted requests are rejected, new
+  /// submissions fail, and the call blocks until every in-flight region
+  /// completes. Finishes the server telemetry region (trace/report export).
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+private:
+  struct Decision;
+
+  /// Evaluates the should_invoc gate for the head-of-queue request under
+  /// Mu. Returns false when the request must keep waiting (degradation off
+  /// and the minimum width not free).
+  bool decideLocked(const RegionRequest &Req, Decision &Out);
+
+  RequestResult executeGrant(const RegionRequest &Req, const Decision &D);
+
+  ServerConfig Cfg;
+
+  mutable std::mutex Mu;
+  std::condition_variable GrantCv; ///< queued requests park here
+  std::condition_variable SpaceCv; ///< queue-full blocked submitters
+  std::condition_variable DrainCv; ///< shutdown waits for in-flight here
+
+  unsigned Free = 0;          ///< workers not granted to any region
+  unsigned QueueDepth = 0;    ///< admitted, not yet granted
+  std::uint64_t NextTicket = 0;
+  std::uint64_t ServingTicket = 0; ///< FIFO: only this ticket may decide
+  unsigned InFlight = 0;      ///< granted, still executing
+  bool ShuttingDown = false;
+  bool Finished = false; ///< telemetry finished (shutdown ran)
+
+  ServerStats Stats;
+
+  /// Single-lane control region: every record happens under Mu (the trace
+  /// ring is single-writer; the admission lock is that writer).
+  telemetry::RegionTelemetry Tel;
+};
+
+} // namespace server
+} // namespace cip
+
+#endif // CIP_SERVER_REGIONSERVER_H

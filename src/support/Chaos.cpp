@@ -52,6 +52,10 @@ const char *chaos::siteName(Site S) {
     return "policy-decide";
   case Site::PolicySwitch:
     return "policy-switch";
+  case Site::ServerAdmit:
+    return "server-admit";
+  case Site::ServerRelease:
+    return "server-release";
   case Site::NumSites:
     break;
   }

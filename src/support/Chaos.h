@@ -75,6 +75,8 @@ enum class Site : std::uint32_t {
   Restore,         ///< Checkpoint: before copying the snapshot back
   PolicyDecide,    ///< adaptive harness: before consulting the policy engine
   PolicySwitch,    ///< adaptive harness: before tearing down for a switch
+  ServerAdmit,     ///< RegionServer: after a grant, before execution starts
+  ServerRelease,   ///< RegionServer: before returning a grant to the budget
   NumSites
 };
 

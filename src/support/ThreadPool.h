@@ -21,9 +21,27 @@
 /// testbed pinned threads, and pinning keeps the scheduler/worker cache
 /// affinity stable across invocations.
 ///
-/// Nested regions (a pool lane itself calling run) fall back to plainly
-/// spawned threads: the pool serializes top-level regions, and a lane
-/// blocking on its own pool would deadlock.
+/// Two escape hatches exist beside the serialized generation-dispatch path:
+///
+///  * **Lane leases** (\c acquireLanes / \c Lease): a dedicated subset of
+///    parked lanes granted to one region so *multiple* regions can run
+///    concurrently under one machine budget — the substrate the region
+///    server (src/server) arbitrates. Leased lanes have their own per-lane
+///    dispatch mailboxes, so disjoint leases never contend on the global
+///    generation counter, and \c LeaseScope routes a thread's `runThreads`
+///    calls onto its granted lanes without the engines knowing.
+///
+///  * **Budget-capped spawn fallback**: nested regions (a pool or lease
+///    lane itself calling run) and bypass mode (CIP_POOL=0) fall back to
+///    plainly spawned threads — a lane blocking on its own pool would
+///    deadlock. Historically this fallback spawned unboundedly; it now
+///    draws from an aggregate token budget (\c setSpawnCap, installed from
+///    the strictly-parsed CIP_SERVER_WORKERS knob by the region server), so
+///    concurrent nested regions cannot stampede the machine. A single
+///    region wider than the whole budget still gets every thread it asks
+///    for — its bodies may synchronize with each other (barriers, queues),
+///    so running them in fewer-than-N chunks could deadlock; the cap bounds
+///    the *aggregate* across regions, never one region's internal width.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,15 +92,33 @@ public:
     Cv.notify_all();
     for (auto &T : Lanes)
       T.join();
+    stopLeaseLanes();
   }
+
+  class Lease;
 
   /// Runs \p Body(tid) for every tid in [0, N) on persistent lanes and
   /// blocks until all have returned. Top-level regions are serialized;
   /// calls from inside a pool lane (nested fork/join) transparently fall
-  /// back to freshly spawned threads.
+  /// back to budget-capped spawned threads. A thread holding a \c
+  /// LeaseScope runs on its lease's dedicated lanes instead, concurrently
+  /// with other leases.
   template <typename Callable> void run(unsigned N, Callable &&Body) {
     assert(N > 0 && "need at least one thread");
     if (InPoolLane || Bypass.load(std::memory_order_relaxed)) {
+      runSpawned(N, Body);
+      return;
+    }
+    if (Lease *L = ActiveLease) {
+      // Server-granted region: dispatch on the lease's dedicated lanes.
+      // A request wider than the grant (engines always size themselves to
+      // the granted width, so this is a misuse guard, not a fast path)
+      // overflows into the budgeted spawn fallback rather than deadlocking
+      // on lanes the lease does not own.
+      if (N <= L->size()) {
+        L->run(N, Body);
+        return;
+      }
       runSpawned(N, Body);
       return;
     }
@@ -132,6 +168,186 @@ public:
   }
   static bool bypassed() { return Bypass.load(std::memory_order_relaxed); }
 
+  //===--------------------------------------------------------------------===//
+  // Spawn-fallback budget
+  //===--------------------------------------------------------------------===//
+
+  /// Caps the aggregate number of concurrently-live spawn-fallback threads
+  /// (nested regions and CIP_POOL=0 bypass). The region server installs the
+  /// strictly-parsed CIP_SERVER_WORKERS value here so nested regions it did
+  /// not grant cannot exceed the machine budget; the default is permissive
+  /// (2x hardware concurrency, at least 8) so standalone engine runs behave
+  /// as before. A single region wider than the cap still spawns every
+  /// thread it needs (see file comment); \p Cap is clamped to >= 1.
+  static void setSpawnCap(unsigned Cap) {
+    SpawnState &S = spawnState();
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      S.Cap = Cap ? Cap : 1;
+    }
+    S.Cv.notify_all();
+  }
+  static unsigned spawnCap() {
+    SpawnState &S = spawnState();
+    std::lock_guard<std::mutex> L(S.Mu);
+    return S.Cap;
+  }
+
+  /// Spawn-fallback threads alive right now / the high-water mark since the
+  /// last \c resetSpawnHighWater (regression tests assert the mark never
+  /// exceeds the installed budget).
+  static unsigned spawnedLive() {
+    SpawnState &S = spawnState();
+    std::lock_guard<std::mutex> L(S.Mu);
+    return S.Live;
+  }
+  static unsigned spawnHighWater() {
+    SpawnState &S = spawnState();
+    std::lock_guard<std::mutex> L(S.Mu);
+    return S.HighWater;
+  }
+  static void resetSpawnHighWater() {
+    SpawnState &S = spawnState();
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.HighWater = S.Live;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Lane leases
+  //===--------------------------------------------------------------------===//
+
+  /// A dedicated subset of parked lanes granted to one region. Holds its
+  /// lanes until destroyed (or \c release()); \c run dispatches fork/join
+  /// bodies onto them, repeatedly if the region has several phases.
+  /// Disjoint leases dispatch and complete fully concurrently — unlike the
+  /// global generation pool, which serializes top-level regions. Leased
+  /// lanes count as pool lanes, so a nested run() from inside a leased body
+  /// falls back to the budgeted spawn path exactly like the global pool.
+  class Lease {
+  public:
+    Lease() = default;
+
+    Lease(Lease &&O) noexcept : Pool(O.Pool), LaneIdx(std::move(O.LaneIdx)) {
+      O.Pool = nullptr;
+      O.LaneIdx.clear();
+    }
+    Lease &operator=(Lease &&O) noexcept {
+      if (this != &O) {
+        release();
+        Pool = O.Pool;
+        LaneIdx = std::move(O.LaneIdx);
+        O.Pool = nullptr;
+        O.LaneIdx.clear();
+      }
+      return *this;
+    }
+
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    ~Lease() { release(); }
+
+    bool valid() const { return Pool != nullptr; }
+    unsigned size() const { return static_cast<unsigned>(LaneIdx.size()); }
+
+    /// Returns every lane to the pool's free list. Idempotent. The caller
+    /// must have joined its last run() (run blocks until completion, so
+    /// this holds by construction for well-formed use).
+    void release() {
+      if (!Pool)
+        return;
+      Pool->releaseLanes(LaneIdx);
+      LaneIdx.clear();
+      Pool = nullptr;
+    }
+
+    /// Runs \p Body(tid) for tid in [0, N) on this lease's lanes and blocks
+    /// until all have returned. \p N must not exceed size().
+    template <typename Callable> void run(unsigned N, Callable &&Body) {
+      assert(Pool && "run on a released lease");
+      assert(N > 0 && "need at least one thread");
+      assert(N <= LaneIdx.size() && "region wider than the lease");
+
+      using Fn = std::remove_reference_t<Callable>;
+      BodyFn Dispatch = [](void *Ctx, unsigned Tid) {
+        (*static_cast<Fn *>(Ctx))(Tid);
+      };
+      void *Ctx =
+          const_cast<void *>(static_cast<const void *>(std::addressof(Body)));
+
+      Completion Done;
+      Done.Remaining.store(N, std::memory_order_relaxed);
+      for (unsigned I = 0; I < N; ++I)
+        Pool->dispatchLeaseLane(LaneIdx[I], Dispatch, Ctx, I, &Done);
+
+      // Spin briefly for short regions, then park until the last check-in.
+      Backoff B;
+      for (unsigned I = 0; I < CallerSpinSteps; ++I) {
+        if (Done.Remaining.load(std::memory_order_acquire) == 0)
+          return;
+        B.pause();
+      }
+      std::unique_lock<std::mutex> L(Done.Mu);
+      Done.Cv.wait(L, [&Done] {
+        return Done.Remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+
+  private:
+    friend class ThreadPool;
+
+    ThreadPool *Pool = nullptr;
+    std::vector<unsigned> LaneIdx; // indices into LeaseLanes
+  };
+
+  /// Acquires \p K dedicated lanes (reusing parked ones, spawning the
+  /// rest). Never blocks: budget arbitration — who may hold how many lanes
+  /// at once — is the region server's job, not the pool's; the pool only
+  /// keeps the grant exclusive. \p K == 0 yields an invalid lease.
+  Lease acquireLanes(unsigned K) {
+    Lease L;
+    if (K == 0)
+      return L;
+    L.Pool = this;
+    L.LaneIdx.reserve(K);
+    std::lock_guard<std::mutex> G(LeaseMu);
+    while (!FreeLeaseLanes.empty() && L.LaneIdx.size() < K) {
+      L.LaneIdx.push_back(FreeLeaseLanes.back());
+      FreeLeaseLanes.pop_back();
+    }
+    while (L.LaneIdx.size() < K) {
+      const unsigned Idx = static_cast<unsigned>(LeaseLanes.size());
+      LeaseLanes.push_back(std::make_unique<LeaseLane>());
+      LeaseLane &Lane = *LeaseLanes.back();
+      Lane.T = std::thread([&Lane] { leaseLaneMain(Lane); });
+      L.LaneIdx.push_back(Idx);
+    }
+    return L;
+  }
+
+  /// Installs \p L as the calling thread's dispatch target: for the scope's
+  /// lifetime, run()/runThreads on this thread executes on the lease's
+  /// dedicated lanes instead of the serialized global pool. The region
+  /// server wraps each granted region execution in one of these, so the
+  /// engines' fork/join calls land on their grant without modification.
+  class LeaseScope {
+  public:
+    explicit LeaseScope(Lease &L) : Prev(ActiveLease) { ActiveLease = &L; }
+    ~LeaseScope() { ActiveLease = Prev; }
+
+    LeaseScope(const LeaseScope &) = delete;
+    LeaseScope &operator=(const LeaseScope &) = delete;
+
+  private:
+    Lease *Prev;
+  };
+
+  /// Lease lanes currently alive (parked or granted; monotone).
+  unsigned leaseLaneCount() const {
+    std::lock_guard<std::mutex> G(LeaseMu);
+    return static_cast<unsigned>(LeaseLanes.size());
+  }
+
 private:
   using BodyFn = void (*)(void *, unsigned);
 
@@ -145,15 +361,79 @@ private:
     return S && std::strcmp(S, "0") == 0;
   }
 
-  /// Plain spawn-and-join fallback for nested regions.
+  //===--------------------------------------------------------------------===//
+  // Spawn fallback (nested regions, bypass mode)
+  //===--------------------------------------------------------------------===//
+
+  struct SpawnState {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    unsigned Cap = defaultSpawnCap();
+    unsigned Live = 0;
+    unsigned HighWater = 0;
+  };
+
+  static unsigned defaultSpawnCap() {
+    const unsigned HW = std::thread::hardware_concurrency();
+    return HW > 4 ? 2 * HW : 8;
+  }
+
+  static SpawnState &spawnState() {
+    static SpawnState S;
+    return S;
+  }
+
+  /// Blocks until \p N spawn tokens are available, then takes them. A
+  /// request wider than the whole budget takes every token and
+  /// oversubscribes (a region's bodies may synchronize with each other, so
+  /// its width is indivisible; the cap bounds the aggregate across
+  /// regions). Threads that are themselves fallback workers skip the
+  /// budget: their region already holds tokens, and waiting for tokens the
+  /// parent region cannot release before they finish would self-deadlock.
+  static unsigned acquireSpawnTokens(unsigned N) {
+    if (InFallbackThread)
+      return 0;
+    SpawnState &S = spawnState();
+    std::unique_lock<std::mutex> L(S.Mu);
+    const unsigned Want = N < S.Cap ? N : S.Cap;
+    S.Cv.wait(L, [&S, Want] { return S.Live + Want <= S.Cap; });
+    S.Live += Want;
+    if (S.Live > S.HighWater)
+      S.HighWater = S.Live;
+    return Want;
+  }
+
+  static void releaseSpawnTokens(unsigned Taken) {
+    if (Taken == 0)
+      return;
+    SpawnState &S = spawnState();
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      S.Live -= Taken;
+    }
+    S.Cv.notify_all();
+  }
+
+  /// Plain spawn-and-join fallback for nested regions and bypass mode,
+  /// throttled by the aggregate token budget (see acquireSpawnTokens).
   template <typename Callable>
   static void runSpawned(unsigned N, Callable &Body) {
+    const unsigned Taken = acquireSpawnTokens(N);
     std::vector<std::thread> Threads;
     Threads.reserve(N);
     for (unsigned Tid = 0; Tid < N; ++Tid)
-      Threads.emplace_back([&Body, Tid] { Body(Tid); });
+      Threads.emplace_back([&Body, Tid] {
+        // Fallback workers are nested-region workers: a run() from inside
+        // one must take the spawn path again (the generation pool would
+        // deadlock behind its own ancestor), and skips the token budget
+        // (see acquireSpawnTokens).
+        InPoolLane = true;
+        InFallbackThread = true;
+        Body(Tid);
+      });
     for (auto &T : Threads)
       T.join();
+    releaseSpawnTokens(Taken);
   }
 
   void ensureLanes(unsigned N) {
@@ -217,8 +497,124 @@ private:
     }
   }
 
-  /// Set inside pool lanes so nested run() calls detect themselves.
+  //===--------------------------------------------------------------------===//
+  // Lease lanes: per-lane dispatch mailboxes
+  //===--------------------------------------------------------------------===//
+
+  /// One region's completion latch, stack-allocated in Lease::run so
+  /// concurrent leases never share completion state.
+  struct Completion {
+    std::atomic<unsigned> Remaining{0};
+    std::mutex Mu;
+    std::condition_variable Cv;
+  };
+
+  /// A parked lane with its own dispatch mailbox. Unlike the generation
+  /// pool — one broadcast channel, all lanes, one region at a time — each
+  /// lease lane is dispatched point-to-point, so disjoint lane subsets run
+  /// different regions concurrently. Dispatch fields are guarded by Mu;
+  /// Gen bumps announce a new dispatch (same lost-wakeup discipline as the
+  /// generation pool's condvar).
+  struct LeaseLane {
+    std::thread T;
+    std::mutex Mu;
+    std::condition_variable Cv;
+    std::uint64_t Gen = 0;
+    bool Stop = false;
+    BodyFn Body = nullptr;
+    void *Ctx = nullptr;
+    unsigned Tid = 0;
+    Completion *Done = nullptr;
+  };
+
+  void dispatchLeaseLane(unsigned Idx, BodyFn Body, void *Ctx, unsigned Tid,
+                         Completion *Done) {
+    LeaseLane &L = *LeaseLanes[Idx];
+    {
+      std::lock_guard<std::mutex> G(L.Mu);
+      L.Body = Body;
+      L.Ctx = Ctx;
+      L.Tid = Tid;
+      L.Done = Done;
+      ++L.Gen;
+    }
+    L.Cv.notify_one();
+  }
+
+  static void leaseLaneMain(LeaseLane &L) {
+    InPoolLane = true;
+    std::uint64_t SeenGen = 0;
+    while (true) {
+      BodyFn Body;
+      void *Ctx;
+      unsigned Tid;
+      Completion *Done;
+      {
+        // Spin briefly for the next dispatch, then park. Lease lanes serve
+        // server traffic with queueing upstream, so the spin window is the
+        // short one (caller-sized, not the hot generation-lane one).
+        Backoff B;
+        bool Ready = false;
+        for (unsigned I = 0; I < CallerSpinSteps; ++I) {
+          std::lock_guard<std::mutex> G(L.Mu);
+          if (L.Stop || L.Gen != SeenGen) {
+            Ready = true;
+            break;
+          }
+          B.pause();
+        }
+        std::unique_lock<std::mutex> G(L.Mu);
+        if (!Ready)
+          L.Cv.wait(G, [&L, SeenGen] { return L.Stop || L.Gen != SeenGen; });
+        if (L.Stop)
+          return;
+        SeenGen = L.Gen;
+        Body = L.Body;
+        Ctx = L.Ctx;
+        Tid = L.Tid;
+        Done = L.Done;
+      }
+      CIP_CHAOS_POINT(PoolHandoff);
+      Body(Ctx, Tid);
+      if (Done->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> G(Done->Mu);
+        Done->Cv.notify_all();
+      }
+    }
+  }
+
+  void releaseLanes(const std::vector<unsigned> &Idx) {
+    std::lock_guard<std::mutex> G(LeaseMu);
+    for (unsigned I : Idx)
+      FreeLeaseLanes.push_back(I);
+  }
+
+  void stopLeaseLanes() {
+    std::vector<std::unique_ptr<LeaseLane>> ToJoin;
+    {
+      std::lock_guard<std::mutex> G(LeaseMu);
+      ToJoin.swap(LeaseLanes);
+      FreeLeaseLanes.clear();
+    }
+    for (auto &L : ToJoin) {
+      {
+        std::lock_guard<std::mutex> LaneG(L->Mu);
+        L->Stop = true;
+      }
+      L->Cv.notify_all();
+      L->T.join();
+    }
+  }
+
+  /// Set inside pool lanes (generation, lease, and spawn-fallback workers)
+  /// so nested run() calls detect themselves.
   static inline thread_local bool InPoolLane = false;
+  /// Set inside spawn-fallback workers: doubly-nested regions skip the
+  /// token budget (their parent holds tokens; waiting would self-deadlock).
+  static inline thread_local bool InFallbackThread = false;
+  /// The lease run()/runThreads on this thread dispatches to, when inside a
+  /// LeaseScope.
+  static inline thread_local Lease *ActiveLease = nullptr;
 
   static constexpr unsigned CallerSpinSteps = 256;
   static constexpr unsigned LaneSpinSteps = 1024;
@@ -236,6 +632,10 @@ private:
   void *DispatchCtx = nullptr;
   unsigned ActiveLanes = 0;
   const bool PinLanes;
+
+  mutable std::mutex LeaseMu; // guards LeaseLanes growth and the free list
+  std::vector<std::unique_ptr<LeaseLane>> LeaseLanes;
+  std::vector<unsigned> FreeLeaseLanes;
 };
 
 } // namespace cip

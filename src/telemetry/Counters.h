@@ -82,9 +82,20 @@ enum class Counter : unsigned {
   RecoveryNs,
   /// Nanoseconds threads idled at non-speculative barriers (Fig 4.3).
   BarrierWaitNs,
+  /// Region-server requests admitted and granted parallel workers.
+  ServerAdmitted,
+  /// Region-server requests rejected (queue full under the Reject policy,
+  /// or submitted during/after shutdown).
+  ServerRejected,
+  /// Admitted requests the should_invoc gate degraded below their
+  /// requested technique (narrower barrier or sequential in the caller).
+  ServerDegraded,
+  /// Total nanoseconds admitted requests spent queued before their grant
+  /// (sum over requests; the per-request distribution is ServerQueueNs).
+  ServerQueueWaitNs,
 };
 
-inline constexpr unsigned NumCounters = 20;
+inline constexpr unsigned NumCounters = 24;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *counterName(Counter C) {
@@ -95,7 +106,8 @@ inline const char *counterName(Counter C) {
       "epochs_entered",       "throttle_spins",     "check_requests",
       "signature_comparisons", "misspeculations",   "epochs_reexecuted",
       "checkpoints_taken",    "checkpoint_bytes",   "checkpoint_ns",
-      "recovery_ns",          "barrier_wait_ns"};
+      "recovery_ns",          "barrier_wait_ns",    "server_admitted",
+      "server_rejected",      "server_degraded",    "server_queue_wait_ns"};
   const unsigned I = static_cast<unsigned>(C);
   assert(I < NumCounters && "counter out of range");
   return Names[I];

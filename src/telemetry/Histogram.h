@@ -62,15 +62,20 @@ enum class Hist : unsigned {
   /// tuning. The only non-nanosecond distribution: bucket values are
   /// iteration counts.
   DispatchBatch,
+  /// One region-server request's wait from submission to grant (or to its
+  /// should_invoc degrade decision) — the admission-queue latency the
+  /// traffic bench reports percentiles of.
+  ServerQueueNs,
 };
 
-inline constexpr unsigned NumHistograms = 7;
+inline constexpr unsigned NumHistograms = 8;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *histName(Hist H) {
   static const char *const Names[NumHistograms] = {
       "sched_stall_ns", "worker_wait_ns",   "queue_full_ns",  "epoch_ns",
-      "check_ns",       "barrier_wait_ns", "dispatch_batch"};
+      "check_ns",       "barrier_wait_ns", "dispatch_batch",
+      "server_queue_ns"};
   const unsigned I = static_cast<unsigned>(H);
   assert(I < NumHistograms && "histogram kind out of range");
   return Names[I];
@@ -143,6 +148,46 @@ struct HistogramData {
         const std::uint64_t Hi = histBucketHiNs(I);
         return Hi < MaxNs ? Hi : MaxNs;
       }
+    }
+    return MaxNs;
+  }
+
+  /// Interpolated percentile estimate: finds the bucket holding the rank-
+  /// \p Q observation and places it linearly between the bucket's edges by
+  /// the rank's position inside the bucket's count (assuming observations
+  /// spread uniformly within a bucket — the standard log-bucket estimate,
+  /// and what tools/cip_report.py mirrors over exported bucket tables).
+  /// Log-bucket edges double, so the estimate is within 2x of the true
+  /// value, and usually much closer; quantileNs is the conservative
+  /// upper-edge variant. The top bucket's open upper edge is capped at the
+  /// true recorded maximum. Returns 0 when empty. \p Q in (0, 1].
+  std::uint64_t percentileNs(double Q) const {
+    const std::uint64_t N = count();
+    if (N == 0)
+      return 0;
+    if (Q > 1.0)
+      Q = 1.0;
+    double Rank = Q * static_cast<double>(N);
+    if (Rank < 1.0)
+      Rank = 1.0;
+    std::uint64_t Seen = 0;
+    for (unsigned I = 0; I < HistogramBuckets; ++I) {
+      if (Buckets[I] == 0)
+        continue;
+      const std::uint64_t Lo = histBucketLoNs(I);
+      std::uint64_t Hi = histBucketHiNs(I);
+      if (Hi > MaxNs)
+        Hi = MaxNs; // top bucket is open-ended; the true max bounds it
+      if (Hi < Lo)
+        Hi = Lo;
+      if (static_cast<double>(Seen + Buckets[I]) >= Rank) {
+        const double Into =
+            (Rank - static_cast<double>(Seen)) /
+            static_cast<double>(Buckets[I]); // in (0, 1]
+        return Lo + static_cast<std::uint64_t>(
+                        Into * static_cast<double>(Hi - Lo) + 0.5);
+      }
+      Seen += Buckets[I];
     }
     return MaxNs;
   }

@@ -53,9 +53,12 @@ enum class EventKind : std::uint16_t {
   SyncFlow,    ///< flow arrow for a forwarded sync condition (arg0=flow id)
   PolicyDecision, ///< adaptive policy decision (arg0=window, arg1=technique)
   PolicySwitch,   ///< adaptive technique switch (arg0=from, arg1=to)
+  ServerAdmit,    ///< server granted a request (arg0=granted, arg1=wait ns)
+  ServerDegrade,  ///< should_invoc degraded a request (arg0=free, arg1=min)
+  ServerReject,   ///< server rejected a request (arg0=queue depth)
 };
 
-inline constexpr unsigned NumEventKinds = 18;
+inline constexpr unsigned NumEventKinds = 21;
 
 inline const char *eventName(EventKind K) {
   static const char *const Names[NumEventKinds] = {
@@ -63,7 +66,8 @@ inline const char *eventName(EventKind K) {
       "sync_wait", "task",      "epoch",      "throttle",
       "queue_full", "sig_check", "misspec",   "checkpoint",
       "rollback", "reexec",     "barrier_wait", "sync_flow",
-      "policy_decision", "policy_switch"};
+      "policy_decision", "policy_switch", "server_admit",
+      "server_degrade", "server_reject"};
   const unsigned I = static_cast<unsigned>(K);
   assert(I < NumEventKinds && "event kind out of range");
   return Names[I];

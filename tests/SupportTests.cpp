@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <thread>
@@ -391,6 +392,109 @@ TEST(ThreadPool, ConcurrentTopLevelRegionsSerialize) {
   A.join();
   B.join();
   EXPECT_EQ(Total.load(), 20u * 3 + 20u * 2);
+}
+
+TEST(ThreadPool, LeasedLanesRunRegionsOfAnyNarrowerWidth) {
+  // A lane lease owns its lanes exclusively; runThreads from the leasing
+  // thread dispatches onto them for any width up to the lease size.
+  ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(3);
+  ThreadPool::LeaseScope Scope(Lanes);
+  for (unsigned Width : {3u, 1u, 2u, 3u}) {
+    std::atomic<unsigned> Mask{0};
+    runThreads(Width, [&](unsigned Tid) { Mask.fetch_or(1u << Tid); });
+    EXPECT_EQ(Mask.load(), (1u << Width) - 1);
+  }
+}
+
+TEST(ThreadPool, DisjointLeasesOverlapInsteadOfSerializing) {
+  // Two leases from two threads must run truly concurrently: each region
+  // waits for the other region to start before finishing. If leased
+  // regions serialized on the global pool, neither could complete.
+  std::atomic<bool> AStarted{false}, BStarted{false};
+  std::atomic<bool> Failed{false};
+  const auto AwaitOrFail = [&](std::atomic<bool> &Flag) {
+    const auto Deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!Flag.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() > Deadline) {
+        Failed.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  };
+  std::thread A([&] {
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(2);
+    ThreadPool::LeaseScope Scope(Lanes);
+    runThreads(2, [&](unsigned Tid) {
+      if (Tid == 0) {
+        AStarted.store(true, std::memory_order_release);
+        AwaitOrFail(BStarted);
+      }
+    });
+  });
+  std::thread B([&] {
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(2);
+    ThreadPool::LeaseScope Scope(Lanes);
+    runThreads(2, [&](unsigned Tid) {
+      if (Tid == 0) {
+        BStarted.store(true, std::memory_order_release);
+        AwaitOrFail(AStarted);
+      }
+    });
+  });
+  A.join();
+  B.join();
+  EXPECT_FALSE(Failed.load()) << "leased regions never overlapped";
+}
+
+TEST(ThreadPool, ReleasedLeaseLanesAreReused) {
+  {
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(3);
+    (void)Lanes;
+  }
+  const unsigned After = ThreadPool::global().leaseLaneCount();
+  // Re-acquiring fewer lanes than were just released must not spawn more.
+  ThreadPool::Lease Again = ThreadPool::global().acquireLanes(2);
+  EXPECT_EQ(Again.size(), 2u);
+  EXPECT_EQ(ThreadPool::global().leaseLaneCount(), After);
+}
+
+TEST(ThreadPool, NestedRegionsRespectSpawnBudgetCap) {
+  // Regression for the server worker budget: nested regions falling back
+  // to spawned threads are throttled by the cap, so concurrent nested
+  // fan-outs never exceed CIP_SERVER_WORKERS live spawned workers.
+  const unsigned PrevCap = ThreadPool::spawnCap();
+  ThreadPool::setSpawnCap(3);
+  ThreadPool::resetSpawnHighWater();
+  std::atomic<unsigned> Inner{0};
+  std::thread A([&] {
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(2);
+    ThreadPool::LeaseScope Scope(Lanes);
+    runThreads(2, [&](unsigned) {
+      runThreads(3, [&](unsigned) { Inner.fetch_add(1); });
+    });
+  });
+  std::thread B([&] {
+    ThreadPool::Lease Lanes = ThreadPool::global().acquireLanes(2);
+    ThreadPool::LeaseScope Scope(Lanes);
+    runThreads(2, [&](unsigned) {
+      runThreads(2, [&](unsigned) { Inner.fetch_add(1); });
+    });
+  });
+  A.join();
+  B.join();
+  EXPECT_EQ(Inner.load(), 2u * 3 + 2u * 2);
+  EXPECT_LE(ThreadPool::spawnHighWater(), 3u);
+  ThreadPool::setSpawnCap(PrevCap);
+}
+
+TEST(ThreadPool, SpawnCapClampsToAtLeastOne) {
+  const unsigned PrevCap = ThreadPool::spawnCap();
+  EXPECT_GE(PrevCap, 1u);
+  ThreadPool::setSpawnCap(0); // clamped: a zero budget would deadlock
+  EXPECT_EQ(ThreadPool::spawnCap(), 1u);
+  ThreadPool::setSpawnCap(PrevCap);
 }
 
 #include "support/Backoff.h"

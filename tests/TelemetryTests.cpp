@@ -168,6 +168,54 @@ TEST(Histogram, MergeAndQuantiles) {
   EXPECT_EQ(HistogramData().quantileNs(0.5), 0u);
 }
 
+TEST(Histogram, InterpolatedPercentiles) {
+  // Empty histogram: every percentile is 0.
+  EXPECT_EQ(HistogramData().percentileNs(0.5), 0u);
+  EXPECT_EQ(HistogramData().percentileNs(0.99), 0u);
+
+  // A single observation lands exactly on itself regardless of Q: with one
+  // count in the bucket the interpolation spans [lo, min(hi, MaxNs)] and
+  // the max cap pins hi to the true value.
+  HistogramData One;
+  One.Buckets[histBucketOf(700)] = 1;
+  One.SumNs = 700;
+  One.MaxNs = 700;
+  EXPECT_EQ(One.percentileNs(0.01), 700u);
+  EXPECT_EQ(One.percentileNs(1.0), 700u);
+
+  // Bucket-0 boundary: zeros interpolate to zero.
+  HistogramData Zeros;
+  Zeros.Buckets[0] = 10;
+  EXPECT_EQ(Zeros.percentileNs(0.5), 0u);
+  EXPECT_EQ(Zeros.percentileNs(1.0), 0u);
+
+  // 90 observations in bucket [64, 127], 10 in [512, 1023] with max 600:
+  // p50 interpolates inside the fast bucket (between its edges, unlike
+  // quantileNs which pins to the upper edge), p99 inside the slow bucket
+  // capped by the true max.
+  HistogramData D;
+  D.Buckets[histBucketOf(100)] = 90;
+  D.Buckets[histBucketOf(600)] = 10;
+  D.MaxNs = 600;
+  const std::uint64_t P50 = D.percentileNs(0.50);
+  EXPECT_GE(P50, histBucketLoNs(histBucketOf(100)));
+  EXPECT_LE(P50, histBucketHiNs(histBucketOf(100)));
+  const std::uint64_t P99 = D.percentileNs(0.99);
+  EXPECT_GE(P99, histBucketLoNs(histBucketOf(600)));
+  EXPECT_LE(P99, 600u);
+  EXPECT_EQ(D.percentileNs(1.0), 600u);
+  // Percentiles are monotone in Q.
+  EXPECT_LE(D.percentileNs(0.25), P50);
+  EXPECT_LE(P50, D.percentileNs(0.95));
+
+  // The open-ended top bucket is capped at the recorded max, not 2^63.
+  HistogramData Top;
+  Top.Buckets[HistogramBuckets - 1] = 4;
+  Top.MaxNs = ~std::uint64_t{0} - 3;
+  EXPECT_LE(Top.percentileNs(0.5), Top.MaxNs);
+  EXPECT_GE(Top.percentileNs(0.5), histBucketLoNs(HistogramBuckets - 1));
+}
+
 TEST(Histogram, ConcurrentRecordMergesExactly) {
   constexpr unsigned Lanes = 4;
   constexpr unsigned PerLane = 20000;

@@ -9,6 +9,7 @@
 #include "domore/DomoreRuntime.h"
 #include "domore/Schedule.h"
 #include "harness/Adaptive.h"
+#include "server/RegionServer.h"
 #include "speccross/Checkpoint.h"
 #include "speccross/SpecCrossRuntime.h"
 #include "support/Chaos.h"
@@ -20,6 +21,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,8 @@ const char *fuzz::engineName(Engine E) {
     return "speccross";
   case Engine::Adaptive:
     return "adaptive";
+  case Engine::Server:
+    return "server";
   }
   return "unknown";
 }
@@ -49,6 +53,8 @@ bool fuzz::parseEngine(std::string_view Name, Engine &Out) {
     Out = Engine::SpecCross;
   else if (Name == "adaptive")
     Out = Engine::Adaptive;
+  else if (Name == "server")
+    Out = Engine::Server;
   else
     return false;
   return true;
@@ -596,6 +602,138 @@ FuzzResult runAdaptiveCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   return Result;
 }
 
+//===----------------------------------------------------------------------===//
+// Server cases
+//===----------------------------------------------------------------------===//
+
+/// Concurrent multi-client traffic through the region server: several
+/// client threads submit the same seed-generated workload shape (private
+/// instances) with seed-derived techniques, widths, and minimum widths,
+/// against a seed-derived budget and a deliberately small queue. The
+/// differential oracle is per request — every result checksum must equal
+/// the sequential reference, degraded grants included — plus conservation
+/// invariants on the server's books (every submission accounted for, the
+/// budget fully returned, post-shutdown submissions rejected).
+FuzzResult runServerCase(std::uint64_t Seed, const FuzzOptions &Opt) {
+  const SpecCase C = generateSpecCase(Seed);
+  Xoshiro256StarStar Rng(Seed ^ 0x5e12e12345e12e12ULL);
+
+  // Sequential reference checksum for this workload shape.
+  AdaptiveCaseWorkload Ref(C);
+  for (std::uint32_t E = 0; E < C.Epochs; ++E)
+    for (std::size_t K = 0; K < C.Tasks[E]; ++K)
+      Ref.runTask(E, K);
+  const std::uint64_t ExpectedSum = Ref.checksum();
+
+  server::ServerConfig Cfg;
+  Cfg.Workers = 2 + static_cast<unsigned>(Rng.nextBelow(3)); // 2..4
+  Cfg.QueueCapacity = 1 + static_cast<unsigned>(Rng.nextBelow(6));
+  Cfg.MinWorkers = 1 + static_cast<unsigned>(Rng.nextBelow(3)); // 1..3
+  Cfg.Admission = server::AdmissionPolicy::Block; // no load shedding:
+  Cfg.AllowDegrade = true; // every submission must therefore complete
+
+  policy::PolicyConfig Policy;
+  Policy.Kind = policy::PolicyKind::Threshold;
+  Policy.WindowEpochs = 1 + static_cast<std::uint32_t>(Seed % 3);
+
+  const unsigned NumClients = 2 + static_cast<unsigned>(Rng.nextBelow(2));
+  const unsigned PerClient = 2 + static_cast<unsigned>(Rng.nextBelow(3));
+
+  // Per-request plans drawn up front so the RNG stream is independent of
+  // thread interleaving (replay determinism).
+  struct Plan {
+    policy::Technique Tech;
+    bool Adaptive;
+    unsigned Width;
+    unsigned MinWorkers;
+  };
+  std::vector<std::vector<Plan>> Plans(NumClients);
+  for (auto &ClientPlans : Plans)
+    for (unsigned I = 0; I < PerClient; ++I) {
+      Plan P;
+      static constexpr policy::Technique Techs[] = {
+          policy::Technique::Barrier, policy::Technique::Domore,
+          policy::Technique::DomoreDup, policy::Technique::SpecCross};
+      P.Tech = Techs[Rng.nextBelow(4)];
+      P.Adaptive = Rng.nextBool(0.25);
+      P.Width = static_cast<unsigned>(Rng.nextBelow(Cfg.Workers + 1)); // 0=all
+      P.MinWorkers = static_cast<unsigned>(Rng.nextBelow(Cfg.MinWorkers + 1));
+      ClientPlans.push_back(P);
+    }
+
+  std::string Report;
+  std::uint64_t BadResults = 0;
+  {
+    server::RegionServer Server(Cfg);
+    std::atomic<std::uint64_t> Bad{0};
+    std::vector<std::thread> Clients;
+    for (unsigned Cl = 0; Cl < NumClients; ++Cl)
+      Clients.emplace_back([&, Cl] {
+        AdaptiveCaseWorkload W(C);
+        for (const Plan &P : Plans[Cl]) {
+          W.reset();
+          server::RegionRequest Req;
+          Req.W = &W;
+          Req.Tech = P.Tech;
+          if (P.Adaptive)
+            Req.Policy = &Policy;
+          Req.Width = P.Width;
+          Req.MinWorkers = P.MinWorkers;
+          const server::RequestResult R = Server.submit(Req);
+          if (R.Status != server::RequestStatus::Completed ||
+              R.Checksum != ExpectedSum)
+            Bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    for (auto &T : Clients)
+      T.join();
+    BadResults = Bad.load();
+
+    const std::uint64_t Total = std::uint64_t{NumClients} * PerClient;
+    const server::ServerStats S = Server.stats();
+    appendCheck(Report, BadResults == 0,
+                "requests completed with the sequential checksum", Total,
+                Total - BadResults);
+    appendCheck(Report, S.Submitted == Total, "submissions accounted", Total,
+                S.Submitted);
+    appendCheck(Report, S.Completed == Total,
+                "blocking admission completes every submission", Total,
+                S.Completed);
+    appendCheck(Report, S.Rejected == 0, "no rejections under Block", 0,
+                S.Rejected);
+    appendCheck(Report,
+                S.DegradedNarrow + S.DegradedSequential <= S.Completed,
+                "degraded bounded by completed", S.Completed,
+                S.DegradedNarrow + S.DegradedSequential);
+    appendCheck(Report, S.QueueWait.count() == S.Completed,
+                "queue-wait histogram entries", S.Completed,
+                S.QueueWait.count());
+    appendCheck(Report, Server.workersInUse() == 0,
+                "budget fully returned after drain", 0,
+                Server.workersInUse());
+    appendCheck(Report, Server.availableWorkers() == Cfg.Workers,
+                "free workers equal the budget after drain", Cfg.Workers,
+                Server.availableWorkers());
+
+    Server.shutdown();
+    AdaptiveCaseWorkload After(C);
+    server::RegionRequest Late;
+    Late.W = &After;
+    const bool LateRejected =
+        Server.submit(Late).Status == server::RequestStatus::Rejected;
+    appendCheck(Report, LateRejected, "post-shutdown submissions rejected", 1,
+                LateRejected ? 1 : 0);
+  }
+
+  FuzzResult R;
+  if (!Report.empty()) {
+    R.Ok = false;
+    R.Failure = Report;
+    R.Repro = reproCommand(Seed, Opt);
+  }
+  return R;
+}
+
 } // namespace
 
 FuzzResult fuzz::runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt) {
@@ -608,6 +746,8 @@ FuzzResult fuzz::runFuzzCase(std::uint64_t Seed, const FuzzOptions &Opt) {
     return runSpecCrossCase(Seed, Opt);
   case Engine::Adaptive:
     return runAdaptiveCase(Seed, Opt);
+  case Engine::Server:
+    return runServerCase(Seed, Opt);
   }
   return {};
 }

@@ -51,12 +51,15 @@ namespace fuzz {
 
 /// Engine under differential test. Adaptive is the policy-driven harness
 /// executor switching among the other three plus the barrier baseline.
-enum class Engine { Domore, DomoreDup, SpecCross, Adaptive };
+/// Server funnels concurrent multi-client submissions of the same workload
+/// shape through the region server (admission, arbitration, should_invoc
+/// degradation) with a seed-derived budget/queue/technique mix.
+enum class Engine { Domore, DomoreDup, SpecCross, Adaptive, Server };
 
 const char *engineName(Engine E);
 
-/// Parses "domore", "domore-dup", "speccross", or "adaptive". Returns false
-/// on other input.
+/// Parses "domore", "domore-dup", "speccross", "adaptive", or "server".
+/// Returns false on other input.
 bool parseEngine(std::string_view Name, Engine &Out);
 
 const char *schemeName(speccross::SignatureScheme S);

@@ -17,6 +17,9 @@
 ///     {off, seed-derived}
 ///   * adaptive: pool {on, off} x chaos {off, seed-derived}; the policy and
 ///     window size are derived from the seed inside the fuzzer
+///   * server: pool {on, off} x chaos {off, seed-derived}; the budget,
+///     queue capacity, client count, and per-request technique/width mix
+///     are derived from the seed inside the fuzzer
 ///
 /// Any axis can be pinned from the command line, which is exactly what the
 /// repro command printed on failure does:
@@ -49,7 +52,8 @@ struct DriverOptions {
   std::uint64_t NumSeeds = 256;
   bool SingleSeed = false;
   std::vector<Engine> Engines = {Engine::Domore, Engine::DomoreDup,
-                                 Engine::SpecCross, Engine::Adaptive};
+                                 Engine::SpecCross, Engine::Adaptive,
+                                 Engine::Server};
   // Pinned axes: negative / zero sentinel = sweep the default matrix.
   int Workers = 0;          // 0 = derive from seed (2..4)
   long MaxBatch = -1;       // -1 = sweep {1, 16}
@@ -67,7 +71,8 @@ void usage(const char *Prog) {
       "  --seeds=N         number of seeds to sweep (default 256)\n"
       "  --first-seed=K    first seed of the sweep (default 1)\n"
       "  --seed=S          run exactly one seed\n"
-      "  --engines=a,b     subset of domore,domore-dup,speccross,adaptive\n"
+      "  --engines=a,b     subset of "
+      "domore,domore-dup,speccross,adaptive,server\n"
       "  --workers=W       pin the worker count (default: seed-derived 2..4)\n"
       "  --maxbatch=B      pin DOMORE MaxBatch (default: sweep 1 and 16)\n"
       "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
@@ -205,7 +210,7 @@ int main(int Argc, char **Argv) {
               F.Scheme = Scheme;
               Configs.push_back(F);
             }
-      } else if (E == Engine::Adaptive) {
+      } else if (E == Engine::Adaptive || E == Engine::Server) {
         for (bool Pool : PoolAxis)
           for (std::uint64_t Chaos : ChaosAxis) {
             FuzzOptions F;

@@ -31,6 +31,7 @@ HIST_ORDER = [
     "check_ns",
     "barrier_wait_ns",
     "dispatch_batch",
+    "server_queue_ns",
 ]
 
 
@@ -58,6 +59,28 @@ def print_counters(counters):
             print(f"    {key:<{width}}  {value:>14}")
 
 
+def interp_percentile(hist, q):
+    """Interpolated percentile over the report's occupied-bucket table: the
+    Python mirror of HistogramData::percentileNs (src/telemetry/Histogram.h).
+    Each bucket's lower edge is recovered from its upper edge le via
+    (le + 1) // 2, since buckets span [2^(k-1), 2^k - 1]; the rank-q
+    observation is placed linearly inside its bucket."""
+    count = hist["count"]
+    if not count:
+        return 0
+    rank = max(1.0, q * count)
+    seen = 0
+    for bucket in hist["buckets"]:
+        le = bucket["le_ns"]
+        lo = 0 if le == 0 else (le + 1) // 2
+        lo = min(lo, le)
+        if seen + bucket["count"] >= rank:
+            into = (rank - seen) / bucket["count"]
+            return lo + into * (le - lo)
+        seen += bucket["count"]
+    return hist["max_ns"]
+
+
 def print_histogram(name, hist):
     count = hist["count"]
     if not count:
@@ -68,6 +91,7 @@ def print_histogram(name, hist):
     mean = hist["sum_ns"] / count
     print(f"  {name}: n={count} mean={fmt(mean)} "
           f"p50={fmt(hist['p50_ns'])} p90={fmt(hist['p90_ns'])} "
+          f"p95~={fmt(interp_percentile(hist, 0.95))} "
           f"p99={fmt(hist['p99_ns'])} max={fmt(hist['max_ns'])}")
     buckets = hist["buckets"]
     peak = max(b["count"] for b in buckets)

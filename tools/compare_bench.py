@@ -33,7 +33,9 @@ import sys
 
 
 def load_rows(path):
-    """Fastest seconds and speedup per (workload, scheme, threads, scale)."""
+    """Fastest seconds and speedup per (workload, scheme, threads, scale).
+    Server traffic rows additionally carry their 'server' payload so the
+    summary can report throughput/latency movement, not just makespan."""
     rows = {}
     with open(path, encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
@@ -56,7 +58,7 @@ def load_rows(path):
                       file=sys.stderr)
                 sys.exit(2)
             if key not in rows or seconds < rows[key][0]:
-                rows[key] = (seconds, speedup)
+                rows[key] = (seconds, speedup, row.get("server"))
     if not rows:
         print(f"error: {path}: no rows", file=sys.stderr)
         sys.exit(2)
@@ -103,8 +105,18 @@ def main():
         if key not in current:
             print(f"missing: {key_name(key)} (in baseline, not in current)")
             continue
-        base_s, _ = baseline[key]
-        cur_s, _ = current[key]
+        base_s, _, base_srv = baseline[key]
+        cur_s, _, cur_srv = current[key]
+        if base_srv and cur_srv:
+            # Server traffic rows: what matters is achieved throughput and
+            # tail latency, not the makespan the slowdown gate compares.
+            tput = (cur_srv["throughput_rps"] / base_srv["throughput_rps"]
+                    if base_srv["throughput_rps"] > 0 else 0.0)
+            print(f"server {key_name(key)}: throughput "
+                  f"{base_srv['throughput_rps']:.1f} -> "
+                  f"{cur_srv['throughput_rps']:.1f} req/s ({tput:.2f}x), "
+                  f"p99 {base_srv['p99_ms']:.2f}ms -> "
+                  f"{cur_srv['p99_ms']:.2f}ms")
         if base_s <= 0 or cur_s <= 0:
             continue
         ratio = cur_s / base_s

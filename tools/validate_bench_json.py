@@ -50,6 +50,10 @@ COUNTER_KEYS = [
     "checkpoint_ns",
     "recovery_ns",
     "barrier_wait_ns",
+    "server_admitted",
+    "server_rejected",
+    "server_degraded",
+    "server_queue_wait_ns",
 ]
 
 HIST_KEYS = [
@@ -60,6 +64,7 @@ HIST_KEYS = [
     "check_ns",
     "barrier_wait_ns",
     "dispatch_batch",
+    "server_queue_ns",
 ]
 
 HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
@@ -67,7 +72,8 @@ HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
 ABORT_CAUSES = {"signature_overlap", "injected", "timeout"}
 
 SCHEMES = {"sequential", "barrier", "domore", "domore-dup", "speccross",
-           "adaptive-threshold", "adaptive-bandit"}
+           "adaptive-threshold", "adaptive-bandit",
+           "server-serialized", "server-oversub", "server-gated"}
 SCALES = {"test", "train", "ref"}
 
 # policy::techniqueName values — what decision/switch records may name.
@@ -287,6 +293,29 @@ def validate_report(path):
     return len(report["aborts"]), report["heatmap"]["total_conflicts"]
 
 
+def validate_server(where, server):
+    """The region-server traffic payload carried by server-* bench rows:
+    offered vs achieved throughput plus the request-latency percentiles."""
+    if not isinstance(server, dict):
+        fail(where, "server is not an object")
+    for key in ["offered_rps", "throughput_rps",
+                "p50_ms", "p95_ms", "p99_ms"]:
+        check_number(where, server, key)
+    completed = check_uint(where, server, "completed")
+    rejected = check_uint(where, server, "rejected")
+    degraded_seq = check_uint(where, server, "degraded_sequential")
+    degraded_narrow = check_uint(where, server, "degraded_narrow")
+    submitted = check_uint(where, server, "submitted")
+    if completed + rejected != submitted:
+        fail(where, f"completed {completed} + rejected {rejected} "
+                    f"!= submitted {submitted}")
+    if degraded_seq + degraded_narrow > completed:
+        fail(where, "more degraded requests than completed requests")
+    if server["p50_ms"] > server["p95_ms"] or \
+            server["p95_ms"] > server["p99_ms"]:
+        fail(where, "latency percentiles must be non-decreasing")
+
+
 def validate_row(line_no, row):
     where = f"line {line_no}"
     if not isinstance(row, dict):
@@ -324,6 +353,13 @@ def validate_row(line_no, row):
     # other schemes may omit them.
     validate_policy_log(where, row,
                         required=row["scheme"].startswith("adaptive-"))
+    # Server traffic rows carry the throughput/latency payload.
+    if row["scheme"].startswith("server-"):
+        if "server" not in row:
+            fail(where, "server-* row missing 'server' object")
+        validate_server(f"{where} server", row["server"])
+    elif "server" in row:
+        fail(where, f"scheme '{row['scheme']}' must not carry 'server'")
 
 
 def main():
