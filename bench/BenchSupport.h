@@ -316,6 +316,33 @@ public:
         Wr.endObject();
       }
       Wr.endArray();
+      // Plan provenance (DESIGN.md §13): cold runs carry the defaults
+      // (loaded=false, source "none"), profiled/planned runs the plan's
+      // predictions — so a bench JSON row alone says whether the policy
+      // started warm and from what.
+      Wr.key("plan");
+      Wr.beginObject();
+      Wr.key("loaded");
+      Wr.value(Policy->Plan.Loaded);
+      Wr.key("profiled");
+      Wr.value(Policy->Plan.Profiled);
+      Wr.key("source");
+      Wr.value(Policy->Plan.Source);
+      Wr.key("path");
+      Wr.value(Policy->Plan.Path);
+      Wr.key("initial");
+      Wr.value(Policy->Plan.InitialTechnique);
+      Wr.key("predicted_sec_per_epoch");
+      Wr.value(Policy->Plan.PredictedSecondsPerEpoch);
+      Wr.key("sequential_sec_per_epoch");
+      Wr.value(Policy->Plan.SequentialSecondsPerEpoch);
+      Wr.key("spec_distance");
+      Wr.value(Policy->Plan.SpecDistance);
+      Wr.key("max_batch_hint");
+      Wr.value(Policy->Plan.MaxBatchHint);
+      Wr.key("min_dependence_distance");
+      Wr.value(Policy->Plan.MinDependenceDistance);
+      Wr.endObject();
     }
     Wr.endObject();
     std::fprintf(File, "%s\n", Wr.str().c_str());

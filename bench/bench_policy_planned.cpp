@@ -1,0 +1,342 @@
+//===- bench/bench_policy_planned.cpp - Profile-guided warm start bench --===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-guided planning experiment (DESIGN.md §13): what a plan file
+/// buys is *time to steady state*. A cold-started policy burns its opening
+/// windows discovering the right technique (round-robin bandit pulls,
+/// threshold confirmation windows); a warm-started one begins on the plan's
+/// technique with seeded arm estimates. This bench measures the difference
+/// on two regimes:
+///
+///  * phaseshift — the adaptive showcase: regimes alternate, so a wrong
+///    opening technique costs a whole discovery cycle;
+///  * cg — the paper's irregular workload (Table 5.3's 72.4% manifest
+///    rate): uniform regime, so the entire benefit is the opening windows.
+///
+/// Three schemes per workload, all on the seeded bandit so cold vs planned
+/// differ only in the warm start:
+///
+///  * adaptive-profile — the calibration run itself (sequential probe plus
+///    one window per applicable technique, then warm-started execution);
+///    its plan feeds the planned scheme in-memory;
+///  * adaptive-cold    — cold start, round-robin discovery;
+///  * adaptive-planned — warm-started from the profile run's plan.
+///
+/// Time-to-steady-state TTS(rep) is the cumulative window time through the
+/// first policy window (in the run's opening regime) whose sec/epoch is
+/// within 10% of that rep's own steady state (the mean over the tail
+/// quarter of same-regime windows). Min-over-reps on both sides of every
+/// ratio, as everywhere in this bench suite. The gate lines mirror ISSUE
+/// acceptance but the bench always exits 0 on timing grounds — checksum
+/// mismatches exit 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "harness/Adaptive.h"
+#include "workloads/CG.h"
+#include "workloads/PhaseShift.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+using namespace cip;
+using namespace cip::bench;
+
+namespace {
+
+struct AdaptiveRun {
+  harness::ExecResult Best;
+  harness::AdaptiveStats Stats;
+  std::vector<harness::AdaptiveStats> AllStats;
+  plan::RegionPlan Plan; ///< best rep's emitted plan (profile scheme only)
+};
+
+AdaptiveRun runScheme(workloads::Workload &W, unsigned Threads, unsigned Reps,
+                      const policy::PolicyConfig &Cfg,
+                      const plan::RegionPlan *Plan, bool Profile) {
+  AdaptiveRun Out;
+  for (unsigned R = 0; R < Reps; ++R) {
+    W.reset();
+    harness::AdaptiveRunOptions Opts;
+    plan::RegionPlan Emitted;
+    if (Profile)
+      Opts.PlanOut = &Emitted; // in-memory: the bench never touches disk
+    if (Plan) {
+      Opts.Plan = Plan;
+      Opts.PlanSource = "file";
+      Opts.PlanPath = "(in-memory)";
+    }
+    harness::AdaptiveStats St;
+    harness::ExecResult Res = harness::runAdaptive(W, Threads, Cfg, &St, Opts);
+    if (R == 0 || Res.Seconds < Out.Best.Seconds) {
+      Out.Best = Res;
+      Out.Stats = St;
+      if (Profile)
+        Out.Plan = Emitted;
+    }
+    Out.AllStats.push_back(std::move(St));
+  }
+  return Out;
+}
+
+void checkChecksum(const char *What, const harness::ExecResult &Res,
+                   std::uint64_t Want) {
+  if (Res.Checksum == Want)
+    return;
+  std::fprintf(stderr,
+               "error: %s checksum %016llx != sequential %016llx — "
+               "the executor broke cross-epoch ordering\n",
+               What, static_cast<unsigned long long>(Res.Checksum),
+               static_cast<unsigned long long>(Want));
+  std::exit(1);
+}
+
+bool isCalibration(const telemetry::PolicyDecisionRecord &D) {
+  return std::strcmp(D.Reason, "calibrate") == 0;
+}
+
+/// The opening regime of one rep: the phase (heavy or free) of its first
+/// policy window. Null \p PS (cg) means one uniform regime.
+bool inOpeningRegime(const workloads::PhaseShiftWorkload *PS,
+                     const telemetry::PolicyDecisionRecord &First,
+                     const telemetry::PolicyDecisionRecord &D) {
+  return !PS || PS->heavyPhase(D.FirstEpoch) == PS->heavyPhase(First.FirstEpoch);
+}
+
+/// One rep's time-to-steady-state analysis. The TTS threshold is a *common*
+/// floor (best steady-state sec/epoch across every scheme at this thread
+/// count): judging each run against its own tail would hand a uniformly
+/// slow run a trivial TTS. The first-window ratio stays against the rep's
+/// own steady state (the ISSUE gate: does the warm start open at its own
+/// settled speed).
+struct TtsResult {
+  double SteadySecPerEpoch = 0.0; ///< tail-quarter mean, opening regime
+  double Tts = 0.0;               ///< cumulative seconds to within-10%-of-floor
+  double FirstWindowRatio = 0.0;  ///< first policy window sec/epoch / steady
+};
+
+bool analyzeRep(const harness::AdaptiveStats &St,
+                const workloads::PhaseShiftWorkload *PS, double Floor,
+                TtsResult &Out) {
+  // Policy windows (calibration excluded) in the rep's opening regime.
+  std::vector<const telemetry::PolicyDecisionRecord *> Regime;
+  const telemetry::PolicyDecisionRecord *First = nullptr;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+    if (isCalibration(D))
+      continue;
+    if (!First)
+      First = &D;
+    if (inOpeningRegime(PS, *First, D))
+      Regime.push_back(&D);
+  }
+  if (!First || Regime.empty())
+    return false;
+
+  // Steady state: mean sec/epoch over the tail quarter (at least one
+  // window) of the opening regime's windows — this rep's own floor.
+  const std::size_t Tail = Regime.size() >= 4 ? Regime.size() / 4 : 1;
+  double Sum = 0.0;
+  for (std::size_t I = Regime.size() - Tail; I < Regime.size(); ++I)
+    Sum += Regime[I]->WindowSeconds /
+           static_cast<double>(Regime[I]->NumEpochs);
+  Out.SteadySecPerEpoch = Sum / static_cast<double>(Tail);
+  if (Out.SteadySecPerEpoch <= 0.0)
+    return false;
+
+  const double FirstPerEpoch =
+      First->WindowSeconds / static_cast<double>(First->NumEpochs);
+  Out.FirstWindowRatio = FirstPerEpoch / Out.SteadySecPerEpoch;
+
+  // TTS: cumulative time (calibration windows fully charged) through the
+  // first opening-regime policy window within 10% of the common floor.
+  double Cum = 0.0;
+  Out.Tts = 0.0;
+  bool Found = false;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+    Cum += D.WindowSeconds;
+    if (Found || isCalibration(D) || !inOpeningRegime(PS, *First, D))
+      continue;
+    const double PerEpoch =
+        D.WindowSeconds / static_cast<double>(D.NumEpochs);
+    if (PerEpoch <= 1.10 * Floor) {
+      Out.Tts = Cum;
+      Found = true;
+    }
+  }
+  if (!Found)
+    Out.Tts = Cum; // never reached the floor: charge the whole run
+  return true;
+}
+
+/// Min over reps of one scheme's own tail steady state (the common-floor
+/// ingredient).
+double schemeSteady(const AdaptiveRun &Run,
+                    const workloads::PhaseShiftWorkload *PS) {
+  double Best = -1.0;
+  for (const harness::AdaptiveStats &St : Run.AllStats) {
+    TtsResult R;
+    if (!analyzeRep(St, PS, /*Floor=*/1.0, R))
+      continue;
+    if (Best < 0.0 || R.SteadySecPerEpoch < Best)
+      Best = R.SteadySecPerEpoch;
+  }
+  return Best;
+}
+
+/// Min-over-reps TTS and first-window ratio for one scheme's runs.
+struct SchemeTts {
+  double Tts = -1.0;
+  double FirstWindowRatio = -1.0;
+};
+
+SchemeTts schemeTts(const AdaptiveRun &Run,
+                    const workloads::PhaseShiftWorkload *PS, double Floor) {
+  SchemeTts Out;
+  for (const harness::AdaptiveStats &St : Run.AllStats) {
+    TtsResult R;
+    if (!analyzeRep(St, PS, Floor, R))
+      continue;
+    if (Out.Tts < 0.0 || R.Tts < Out.Tts)
+      Out.Tts = R.Tts;
+    if (Out.FirstWindowRatio < 0.0 ||
+        R.FirstWindowRatio < Out.FirstWindowRatio)
+      Out.FirstWindowRatio = R.FirstWindowRatio;
+  }
+  return Out;
+}
+
+void benchWorkload(workloads::Workload &W,
+                   const workloads::PhaseShiftWorkload *PS,
+                   std::uint32_t WindowEpochs,
+                   const std::vector<unsigned> &Threads, unsigned Reps) {
+  std::printf("\n== %s: %u epochs, window %u epochs ==\n", W.name(),
+              W.numEpochs(), WindowEpochs);
+
+  const double SeqSeconds = sequentialSeconds(W, Reps);
+  const std::uint64_t SeqSum = W.checksum();
+  std::printf("%-20s %9.3f ms\n", "sequential", SeqSeconds * 1e3);
+
+  for (unsigned T : Threads) {
+    if (T < 2) {
+      std::printf("\n-- %u thread: skipped (windowed techniques need a "
+                  "worker besides the control thread)\n", T);
+      continue;
+    }
+    std::printf("\n-- %u threads --\n", T);
+
+    // All three schemes on the seeded bandit: cold vs planned then differ
+    // only in the warm start (the cold bandit's opening windows are
+    // deterministic round-robin pulls — the cost the plan removes).
+    policy::PolicyConfig Cfg;
+    Cfg.Kind = policy::PolicyKind::Bandit;
+    Cfg.WindowEpochs = WindowEpochs;
+    Cfg.Seed = 1;
+
+    AdaptiveRun Profile =
+        runScheme(W, T, Reps, Cfg, /*Plan=*/nullptr, /*Profile=*/true);
+    checkChecksum("adaptive-profile", Profile.Best, SeqSum);
+    recordAdaptiveRun(W, "adaptive-profile", T, Reps, Profile.Best,
+                      Profile.Stats);
+
+    AdaptiveRun Cold =
+        runScheme(W, T, Reps, Cfg, /*Plan=*/nullptr, /*Profile=*/false);
+    checkChecksum("adaptive-cold", Cold.Best, SeqSum);
+    recordAdaptiveRun(W, "adaptive-cold", T, Reps, Cold.Best, Cold.Stats);
+
+    AdaptiveRun Planned =
+        runScheme(W, T, Reps, Cfg, &Profile.Plan, /*Profile=*/false);
+    checkChecksum("adaptive-planned", Planned.Best, SeqSum);
+    recordAdaptiveRun(W, "adaptive-planned", T, Reps, Planned.Best,
+                      Planned.Stats);
+
+    // Common floor: the best steady-state sec/epoch any scheme reached.
+    double Floor = -1.0;
+    for (const AdaptiveRun *Run : {&Profile, &Cold, &Planned}) {
+      const double S = schemeSteady(*Run, PS);
+      if (S > 0.0 && (Floor < 0.0 || S < Floor))
+        Floor = S;
+    }
+    const SchemeTts ProfileT = schemeTts(Profile, PS, Floor);
+    const SchemeTts ColdT = schemeTts(Cold, PS, Floor);
+    const SchemeTts PlannedT = schemeTts(Planned, PS, Floor);
+
+    const struct {
+      const char *Label;
+      const AdaptiveRun *Run;
+      const SchemeTts *T;
+    } Rows[] = {
+        {"adaptive-profile", &Profile, &ProfileT},
+        {"adaptive-cold", &Cold, &ColdT},
+        {"adaptive-planned", &Planned, &PlannedT},
+    };
+    for (const auto &Row : Rows)
+      std::printf("%-20s %9.3f ms  %5.2fx seq  switches=%-2zu  TTS %8.3f "
+                  "ms  first-window %.3fx steady  (initial %s)\n",
+                  Row.Label, Row.Run->Best.Seconds * 1e3,
+                  SeqSeconds / Row.Run->Best.Seconds,
+                  Row.Run->Stats.Switches.size(), Row.T->Tts * 1e3,
+                  Row.T->FirstWindowRatio,
+                  Row.Run->Stats.Plan.InitialTechnique.empty()
+                      ? "(cold)"
+                      : Row.Run->Stats.Plan.InitialTechnique.c_str());
+
+    // The acceptance gates (ISSUE): informative here, read at the
+    // designated 4-thread point — always exit 0 on timing grounds.
+    if (T == 4) {
+      printRule();
+      const bool FirstOk =
+          PlannedT.FirstWindowRatio > 0.0 && PlannedT.FirstWindowRatio <= 1.10;
+      std::printf("gate: %s planned first policy window within 10%% of "
+                  "steady state: %.3fx %s\n",
+                  W.name(), PlannedT.FirstWindowRatio,
+                  FirstOk ? "PASS" : "MISS");
+      const double TtsSpeedup =
+          ColdT.Tts > 0.0 && PlannedT.Tts > 0.0 ? ColdT.Tts / PlannedT.Tts
+                                                : 0.0;
+      std::printf("gate: %s planned time-to-steady-state speedup over cold: "
+                  "%.2fx %s\n",
+                  W.name(), TtsSpeedup, TtsSpeedup >= 1.2 ? "PASS" : "MISS");
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  const workloads::Scale S = benchScale();
+  const unsigned Reps = benchReps();
+
+  // The acceptance experiment runs at four threads; CIP_BENCH_THREADS
+  // overrides for exploration.
+  std::vector<unsigned> Threads{4};
+  if (std::getenv("CIP_BENCH_THREADS"))
+    Threads = benchThreads();
+
+  std::printf("Profile-guided planning: time to steady state, cold vs "
+              "warm-started (DESIGN.md §13)\n");
+  std::printf("scale %s, reps %u\n", benchScaleName(), Reps);
+  printRule();
+
+  {
+    workloads::PhaseShiftParams P = workloads::PhaseShiftParams::forScale(S);
+    workloads::PhaseShiftWorkload W(P);
+    const std::uint32_t WindowEpochs = P.PhaseLen >= 4 ? P.PhaseLen / 4 : 1;
+    benchWorkload(W, &W, WindowEpochs, Threads, Reps);
+  }
+  {
+    workloads::CGParams P = workloads::CGParams::forScale(S);
+    workloads::CGWorkload W(P);
+    // Uniform regime: size windows for ~16 decisions over the run.
+    const std::uint32_t NE = W.numEpochs();
+    const std::uint32_t WindowEpochs = NE >= 16 ? NE / 16 : 1;
+    benchWorkload(W, nullptr, WindowEpochs, Threads, Reps);
+  }
+  return 0;
+}

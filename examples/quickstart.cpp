@@ -181,6 +181,18 @@ int main() {
               Adp.Seconds, Seq.Seconds / Adp.Seconds, Ada.Windows,
               Ada.Switches.size(),
               Ada.Decisions.empty() ? "?" : Ada.Decisions.back().Technique);
+  // Profile-guided planning: CIP_PROFILE=<dir> calibrates and writes the
+  // region's plan file; CIP_PLAN=<path|dir> warm-starts from one.
+  if (Ada.Plan.Profiled)
+    std::printf("plan:             profiled -> %s (initial %s, predicted "
+                "%.3fs/epoch)\n",
+                Ada.Plan.Path.empty() ? "(in-memory)" : Ada.Plan.Path.c_str(),
+                Ada.Plan.InitialTechnique.c_str(),
+                Ada.Plan.PredictedSecondsPerEpoch);
+  else if (Ada.Plan.Loaded)
+    std::printf("plan:             warm-started from %s (%s, initial %s)\n",
+                Ada.Plan.Path.c_str(), Ada.Plan.Source.c_str(),
+                Ada.Plan.InitialTechnique.c_str());
 
   const bool AllMatch =
       Bar.Checksum == Seq.Checksum && Spec.Checksum == Seq.Checksum &&

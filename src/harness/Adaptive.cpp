@@ -8,9 +8,14 @@
 
 #include "support/Chaos.h"
 #include "support/Timer.h"
+#include "telemetry/DependenceDistance.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 using namespace cip;
@@ -90,6 +95,8 @@ ExecResult runDomoreWindow(AdaptiveContext &Ctx, Workload &View) {
   domore::DomoreConfig Config;
   Config.NumWorkers = windowWorkers(Ctx);
   Config.Carry = &Ctx.Carry; // warm-carry: reuse the shadow allocation
+  if (Ctx.PlanMaxBatch) // plan hint; CIP_MAX_BATCH still wins in the runtime
+    Config.MaxBatch = Ctx.PlanMaxBatch;
 
   ExecResult R;
   const std::uint64_t Begin = nowNanos();
@@ -118,6 +125,8 @@ ExecResult runSpecCrossWindow(AdaptiveContext &Ctx, Workload &View) {
   speccross::SpecConfig Config;
   Config.NumWorkers = windowWorkers(Ctx);
   Config.Scheme = Ctx.Scheme;
+  if (Ctx.PlanSpecDistance) // plan throttle (0 keeps the unthrottled default)
+    Config.SpecDistance = Ctx.PlanSpecDistance;
 
   ExecResult R;
   const std::uint64_t Begin = nowNanos();
@@ -206,12 +215,14 @@ std::uint32_t harness::applicabilityMask(const Workload &W) {
 
 ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
                                 const policy::PolicyConfig &Cfg,
-                                AdaptiveStats *StatsOut) {
+                                AdaptiveStats *StatsOut,
+                                const AdaptiveRunOptions &Opts) {
   assert(NumThreads > 0 && "need at least one thread");
   assert(Cfg.WindowEpochs > 0 && "window must contain at least one epoch");
 
   const std::uint32_t NE = W.numEpochs();
-  policy::PolicyEngine Engine(Cfg, applicabilityMask(W));
+  const std::uint32_t Mask = applicabilityMask(W);
+  policy::PolicyEngine Engine(Cfg, Mask);
 
   AdaptiveContext Ctx;
   Ctx.NumThreads = NumThreads;
@@ -229,14 +240,205 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
   ExecResult Out;
   AdaptiveStats St;
 
-  CIP_CHAOS_POINT(PolicyDecide);
-  std::uint64_t T0 = nowNanos();
-  policy::Decision D = Engine.initial();
-  std::uint64_t LastDecisionNs = nowNanos() - T0;
-  St.DecisionNanos += LastDecisionNs;
-
+  const bool Profiling = !Opts.ProfileDir.empty() || Opts.PlanOut;
   std::uint32_t First = 0;
   std::uint32_t Window = 0;
+  // Last executed window's technique name; seeds the switch bookkeeping
+  // across the calibration → policy transition.
+  const char *PrevName = nullptr;
+  plan::RegionPlan Emitted;
+  policy::Technique PlanInitial = policy::Technique::Barrier;
+
+  if (Profiling) {
+    // Walk the declared address stream through the dependence-distance
+    // estimator before running anything: taskAddresses is read-only, so
+    // this observes exactly the cross-epoch reuse the run will execute.
+    // Task numbering is global and monotone (prologues excluded — they are
+    // serialized by construction and carry no cross-epoch distance).
+    telemetry::DependenceDistanceEstimator Est;
+    {
+      std::vector<std::uint64_t> Addrs;
+      std::uint64_t Task = 0;
+      for (std::uint32_t E = 0; E < NE; ++E) {
+        const std::size_t NT = W.numTasks(E);
+        for (std::size_t T = 0; T < NT; ++T, ++Task) {
+          Addrs.clear();
+          W.taskAddresses(E, T, Addrs);
+          for (std::uint64_t A : Addrs)
+            Est.observe(E, Task, A);
+        }
+      }
+    }
+
+    plan::RegionPlan P;
+    P.Region = W.name();
+    P.Threads = NumThreads;
+
+    // Calibration schedule: one sequential probe, then one window per
+    // applicable technique in enum order. A region shorter than the sweep
+    // truncates it (unmeasured rows stay Measured=false in the plan).
+    // Calibration windows execute real region work — the run's checksum
+    // stays bit-identical to every other executor.
+    std::vector<int> Steps; // -1 = sequential probe, else Technique index
+    Steps.push_back(-1);
+    for (unsigned T = 0; T < policy::NumTechniques; ++T)
+      if (Mask & policy::techniqueBit(static_cast<policy::Technique>(T)))
+        Steps.push_back(static_cast<int>(T));
+
+    for (int Step : Steps) {
+      if (First >= NE)
+        break;
+      const std::uint32_t Count = std::min(Cfg.WindowEpochs, NE - First);
+      WindowView View(W, First, Count);
+      ExecResult R;
+      policy::RegionStats S;
+      const char *Name = "sequential";
+      if (Step < 0) {
+        R = harness::runSequential(View);
+        P.SequentialSecondsPerEpoch = R.Seconds / Count;
+      } else {
+        const policy::Technique T = static_cast<policy::Technique>(Step);
+        const TechniqueVtable &V = techniqueVtable(T);
+        Name = V.Name;
+        Ctx.LastDomore = domore::DomoreStats{};
+        Ctx.LastSpec = speccross::SpecStats{};
+        R = V.RunWindow(Ctx, View);
+        S = makeStats(T, Window, First, Count, R, View, Ctx);
+        plan::TechniqueCalibration &C = P.Techniques[Step];
+        C.Measured = true;
+        C.SecondsPerEpoch = R.Seconds / Count;
+        C.AbortRate = S.abortRate();
+        C.ConflictDensity = S.conflictDensity();
+        C.SchedulerRatioPercent = S.SchedulerRatioPercent;
+        if (T == policy::Technique::Domore && S.MeanDispatchBatch > 0.0)
+          P.MaxBatchHint = static_cast<std::uint32_t>(
+              std::clamp(S.MeanDispatchBatch + 0.5, 1.0, 64.0));
+      }
+      St.ExecSeconds += R.Seconds;
+      Out.BarrierIdleNanos += R.BarrierIdleNanos;
+      Out.Telemetry += R.Telemetry;
+      Out.WaitHist += R.WaitHist;
+      Out.DispatchBatch += R.DispatchBatch;
+
+      telemetry::PolicyDecisionRecord Rec;
+      Rec.Window = Window;
+      Rec.FirstEpoch = First;
+      Rec.NumEpochs = Count;
+      Rec.Technique = Name;
+      Rec.Reason = "calibrate";
+      Rec.Switched = PrevName && std::strcmp(PrevName, Name) != 0;
+      Rec.WindowSeconds = R.Seconds;
+      Rec.AbortRate = S.abortRate();
+      Rec.ConflictDensity = S.conflictDensity();
+      Rec.DecisionNs = 0;
+      Tel.recordDecision(Rec);
+      Tel.instant(0, EventKind::PolicyDecision, Window,
+                  Step < 0 ? policy::NumTechniques
+                           : static_cast<std::uint64_t>(Step));
+      St.Decisions.push_back(Rec);
+      ++St.Windows;
+
+      if (Rec.Switched) {
+        telemetry::SwitchEventRecord SE;
+        SE.Window = Window;
+        SE.From = PrevName;
+        SE.To = Name;
+        SE.Reason = "calibrate";
+        SE.WarmCarry =
+            Step >= 0 &&
+            techniqueVtable(static_cast<policy::Technique>(Step)).WarmCarry;
+        SE.TeardownNs = 0;
+        Tel.recordSwitch(SE);
+        St.Switches.push_back(SE);
+      }
+      PrevName = Name;
+      First += Count;
+      ++Window;
+    }
+
+    // Distill the sweep into the plan: the cheapest measured technique is
+    // the initial pick and its cost the prediction; the estimator sets the
+    // SPECCROSS throttle (0-sentinel = unthrottled — JSON never carries
+    // uint64 max).
+    P.CalibrationEpochs = First;
+    double BestSec = std::numeric_limits<double>::infinity();
+    for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+      const plan::TechniqueCalibration &C = P.Techniques[T];
+      if (C.Measured && C.SecondsPerEpoch < BestSec) {
+        BestSec = C.SecondsPerEpoch;
+        P.Initial = static_cast<policy::Technique>(T);
+        P.PredictedSecondsPerEpoch = C.SecondsPerEpoch;
+      }
+    }
+    if (!Est.conflictFree()) {
+      P.MinDependenceDistance = Est.minTaskDistance();
+      P.MinEpochDistance = Est.minEpochDistance();
+      P.ConflictingAddresses = Est.conflictingAddresses();
+    }
+    const std::uint64_t Dist = Est.recommendedSpecDistance(windowWorkers(Ctx));
+    P.SpecDistance =
+        Dist == std::numeric_limits<std::uint64_t>::max() ? 0 : Dist;
+
+    Emitted = P;
+    PlanInitial = P.Initial;
+    Engine.warmStart(plan::warmStartFrom(P));
+    Ctx.PlanSpecDistance = P.SpecDistance;
+    Ctx.PlanMaxBatch = P.MaxBatchHint;
+
+    St.Plan.Profiled = true;
+    St.Plan.Source = "profile";
+    St.Plan.InitialTechnique = policy::techniqueName(P.Initial);
+    St.Plan.PredictedSecondsPerEpoch = P.PredictedSecondsPerEpoch;
+    St.Plan.SequentialSecondsPerEpoch = P.SequentialSecondsPerEpoch;
+    St.Plan.SpecDistance = P.SpecDistance;
+    St.Plan.MaxBatchHint = P.MaxBatchHint;
+    St.Plan.MinDependenceDistance = P.MinDependenceDistance;
+  } else if (Opts.Plan) {
+    PlanInitial = Opts.Plan->Initial;
+    Engine.warmStart(plan::warmStartFrom(*Opts.Plan));
+    Ctx.PlanSpecDistance = Opts.Plan->SpecDistance;
+    Ctx.PlanMaxBatch = Opts.Plan->MaxBatchHint;
+
+    St.Plan.Loaded = true;
+    St.Plan.Source = Opts.PlanSource;
+    St.Plan.Path = Opts.PlanPath;
+    St.Plan.InitialTechnique = policy::techniqueName(Opts.Plan->Initial);
+    St.Plan.PredictedSecondsPerEpoch = Opts.Plan->PredictedSecondsPerEpoch;
+    St.Plan.SequentialSecondsPerEpoch = Opts.Plan->SequentialSecondsPerEpoch;
+    St.Plan.SpecDistance = Opts.Plan->SpecDistance;
+    St.Plan.MaxBatchHint = Opts.Plan->MaxBatchHint;
+    St.Plan.MinDependenceDistance = Opts.Plan->MinDependenceDistance;
+  }
+
+  policy::Decision D;
+  std::uint64_t LastDecisionNs = 0;
+  bool PendingSwitch = false;
+  if (First < NE) {
+    CIP_CHAOS_POINT(PolicyDecide);
+    const std::uint64_t T0 = nowNanos();
+    D = Engine.initial();
+    LastDecisionNs = nowNanos() - T0;
+    St.DecisionNanos += LastDecisionNs;
+
+    // Calibration → policy transition: initial() never reports Switched,
+    // so the boundary is recorded manually when the technique changes.
+    if (PrevName) {
+      const TechniqueVtable &V0 = techniqueVtable(D.Tech);
+      if (std::strcmp(PrevName, V0.Name) != 0) {
+        PendingSwitch = true;
+        telemetry::SwitchEventRecord SE;
+        SE.Window = Window;
+        SE.From = PrevName;
+        SE.To = V0.Name;
+        SE.Reason = D.Reason;
+        SE.WarmCarry = V0.WarmCarry;
+        SE.TeardownNs = 0;
+        Tel.recordSwitch(SE);
+        St.Switches.push_back(SE);
+      }
+    }
+  }
+
   while (First < NE) {
     const std::uint32_t Count = std::min(Cfg.WindowEpochs, NE - First);
     WindowView View(W, First, Count);
@@ -261,7 +463,8 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Rec.Technique = V.Name;
     Rec.Reason = D.Reason;
     Rec.Explore = D.Explore;
-    Rec.Switched = D.Switched;
+    Rec.Switched = D.Switched || PendingSwitch;
+    PendingSwitch = false;
     Rec.WindowSeconds = R.Seconds;
     Rec.AbortRate = S.abortRate();
     Rec.ConflictDensity = S.conflictDensity();
@@ -278,7 +481,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
       break;
 
     CIP_CHAOS_POINT(PolicyDecide);
-    T0 = nowNanos();
+    const std::uint64_t T0 = nowNanos();
     const policy::Decision Next = Engine.observe(S);
     LastDecisionNs = nowNanos() - T0;
     St.DecisionNanos += LastDecisionNs;
@@ -316,6 +519,27 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
   Out.Seconds = St.ExecSeconds +
                 static_cast<double>(St.DecisionNanos + St.TeardownNanos) * 1e-9;
   Out.Checksum = W.checksum();
+
+  if (Profiling) {
+    if (Opts.PlanOut)
+      *Opts.PlanOut = Emitted;
+    if (!Opts.ProfileDir.empty()) {
+      std::string PathOut, Err;
+      if (!plan::savePlan(Emitted, Opts.ProfileDir, PathOut, Err)) {
+        std::fprintf(
+            stderr,
+            "error: CIP_PROFILE='%s' is invalid: expected a writable plan "
+            "directory (%s)\n",
+            Opts.ProfileDir.c_str(), Err.c_str());
+        std::_Exit(2);
+      }
+      St.Plan.Path = PathOut;
+    }
+  }
+  if (St.Plan.Loaded || St.Plan.Profiled)
+    Tel.instant(0, EventKind::PlanLoad, St.Plan.Loaded ? 1 : 0,
+                static_cast<std::uint64_t>(PlanInitial));
+  Tel.recordPlan(St.Plan);
   Tel.finish();
   if (StatsOut)
     *StatsOut = std::move(St);
@@ -325,8 +549,23 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
 bool harness::runAdaptiveFromEnv(workloads::Workload &W, unsigned NumThreads,
                                  ExecResult &Out, AdaptiveStats *StatsOut) {
   policy::PolicyConfig Cfg;
-  if (!policy::configFromEnv(Cfg))
+  const bool HavePolicy = policy::configFromEnv(Cfg);
+
+  // CIP_PROFILE beats CIP_PLAN: a calibration run measures from scratch and
+  // must not be steered by a stale plan.
+  AdaptiveRunOptions Opts;
+  plan::RegionPlan Loaded;
+  if (!plan::profileDirFromEnv(Opts.ProfileDir) &&
+      plan::planFromEnv(W.name(), Loaded, &Opts.PlanPath, &Opts.PlanSource))
+    Opts.Plan = &Loaded;
+
+  if (!HavePolicy && Opts.ProfileDir.empty() && !Opts.Plan)
     return false;
-  Out = runAdaptive(W, NumThreads, Cfg, StatsOut);
+  // CIP_PROFILE / CIP_PLAN without CIP_POLICY still route through the
+  // adaptive executor, under the default threshold policy — profiling and
+  // warm-starting should not require picking a policy by hand.
+  if (!HavePolicy)
+    Cfg.Kind = policy::PolicyKind::Threshold;
+  Out = runAdaptive(W, NumThreads, Cfg, StatsOut, Opts);
   return true;
 }

@@ -40,10 +40,12 @@
 #define CIP_HARNESS_ADAPTIVE_H
 
 #include "harness/Executor.h"
+#include "policy/Plan.h"
 #include "policy/Policy.h"
 #include "telemetry/RunReport.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cip {
@@ -69,6 +71,13 @@ struct AdaptiveContext {
   /// the technique fills its own and leaves the other default.
   domore::DomoreStats LastDomore;
   speccross::SpecStats LastSpec;
+
+  /// Plan-applied knobs (0 = leave the engine default). SpecDistance
+  /// throttles speculative windows; MaxBatch hints DOMORE dispatch
+  /// coalescing (CIP_MAX_BATCH, when set, still overrides the hint — the
+  /// env knob is resolved inside the DOMORE runtime).
+  std::uint64_t PlanSpecDistance = 0;
+  std::uint32_t PlanMaxBatch = 0;
 };
 
 /// One uniform dispatch row per technique: how the adaptive harness runs a
@@ -109,6 +118,28 @@ struct AdaptiveStats {
   std::uint64_t DecisionNanos = 0;
   /// Time spent on switch-boundary teardown/setup bookkeeping.
   std::uint64_t TeardownNanos = 0;
+  /// Plan provenance of this run: loaded / profiled / cold (DESIGN.md §13).
+  telemetry::PlanRecord Plan;
+};
+
+/// Optional plan wiring for one adaptive run. Default-constructed options
+/// reproduce the historical behavior exactly (cold start, no profiling).
+struct AdaptiveRunOptions {
+  /// Warm-start from this plan: the policy engine is seeded before its
+  /// first decision, and the plan's SpecDistance / MaxBatchHint apply to
+  /// the window runners. The plan must outlive the run.
+  const plan::RegionPlan *Plan = nullptr;
+  /// Provenance of \c Plan for reports/JSON: "file" | "dir" | "none".
+  const char *PlanSource = "none";
+  /// Resolved path \c Plan was loaded from ("" when none).
+  std::string PlanPath;
+  /// Non-empty: this is a profiling run — prepend the calibration sweep and
+  /// write <ProfileDir>/<region>.plan.json (an unwritable directory exits 2,
+  /// like every CIP_* misconfiguration).
+  std::string ProfileDir;
+  /// Non-null: also (or instead) return the emitted plan in-memory — the
+  /// fuzzer profiles without touching the filesystem.
+  plan::RegionPlan *PlanOut = nullptr;
 };
 
 /// Runs \p W end to end under the adaptive executor with \p NumThreads
@@ -119,15 +150,21 @@ struct AdaptiveStats {
 /// other executor — the tests enforce it).
 ExecResult runAdaptive(workloads::Workload &W, unsigned NumThreads,
                        const policy::PolicyConfig &Cfg,
-                       AdaptiveStats *StatsOut = nullptr);
+                       AdaptiveStats *StatsOut = nullptr,
+                       const AdaptiveRunOptions &Opts = {});
 
-/// The CIP_POLICY hook: when the environment selects a policy
-/// (CIP_POLICY=fixed:<tech>|threshold|bandit, with CIP_POLICY_WINDOW and
-/// CIP_POLICY_SEED refining it), runs \p W under the adaptive executor and
-/// returns true; otherwise returns false without touching \p Out. Callers
-/// with a fixed-strategy default (examples, drivers, re-registered test
-/// configs) consult this first, so setting CIP_POLICY reroutes them through
-/// the policy engine without a rebuild. Malformed values exit 2.
+/// The CIP_POLICY / CIP_PROFILE / CIP_PLAN hook: when the environment
+/// selects a policy (CIP_POLICY=fixed:<tech>|threshold|bandit, with
+/// CIP_POLICY_WINDOW and CIP_POLICY_SEED refining it), requests a profiling
+/// run (CIP_PROFILE=<dir>), or supplies a plan (CIP_PLAN=<path|dir>), runs
+/// \p W under the adaptive executor and returns true; otherwise returns
+/// false without touching \p Out. CIP_PROFILE takes precedence over
+/// CIP_PLAN (a calibration run must not be steered by a stale plan);
+/// CIP_PROFILE / CIP_PLAN without CIP_POLICY run under the default
+/// threshold policy. Callers with a fixed-strategy default (examples,
+/// drivers, re-registered test configs) consult this first, so setting any
+/// of the three reroutes them through the policy engine without a rebuild.
+/// Malformed values exit 2.
 bool runAdaptiveFromEnv(workloads::Workload &W, unsigned NumThreads,
                         ExecResult &Out, AdaptiveStats *StatsOut = nullptr);
 

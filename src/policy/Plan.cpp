@@ -1,0 +1,327 @@
+//===- policy/Plan.cpp - Profile-guided region plans ---------------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/Plan.h"
+
+#include "telemetry/Json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+
+using namespace cip;
+using namespace cip::plan;
+namespace json = cip::telemetry::json;
+
+//===----------------------------------------------------------------------===//
+// Warm-start distillation
+//===----------------------------------------------------------------------===//
+
+policy::WarmStart plan::warmStartFrom(const RegionPlan &P) {
+  policy::WarmStart WS;
+  WS.HasInitial = true;
+  WS.Initial = P.Initial;
+  WS.HoldWindows = P.HoldWindows;
+  for (unsigned T = 0; T < policy::NumTechniques; ++T)
+    if (P.Techniques[T].Measured)
+      WS.SecondsPerEpoch[T] = P.Techniques[T].SecondsPerEpoch;
+  return WS;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string plan::renderPlan(const RegionPlan &P) {
+  json::Writer W;
+  W.beginObject();
+  W.key("plan_version");
+  W.value(P.Version);
+  W.key("region");
+  W.value(P.Region);
+  W.key("threads");
+  W.value(P.Threads);
+  W.key("calibration_epochs");
+  W.value(P.CalibrationEpochs);
+  W.key("initial");
+  W.value(policy::techniqueName(P.Initial));
+  W.key("hold_windows");
+  W.value(P.HoldWindows);
+  W.key("techniques");
+  W.beginObject();
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    const TechniqueCalibration &C = P.Techniques[T];
+    W.key(policy::techniqueName(static_cast<policy::Technique>(T)));
+    W.beginObject();
+    W.key("measured");
+    W.value(C.Measured);
+    W.key("sec_per_epoch");
+    W.value(C.SecondsPerEpoch);
+    W.key("abort_rate");
+    W.value(C.AbortRate);
+    W.key("conflict_density");
+    W.value(C.ConflictDensity);
+    W.key("scheduler_ratio");
+    W.value(C.SchedulerRatioPercent);
+    W.endObject();
+  }
+  W.endObject();
+  W.key("sequential_sec_per_epoch");
+  W.value(P.SequentialSecondsPerEpoch);
+  W.key("predicted_sec_per_epoch");
+  W.value(P.PredictedSecondsPerEpoch);
+  W.key("min_dependence_distance");
+  W.value(P.MinDependenceDistance);
+  W.key("min_epoch_distance");
+  W.value(P.MinEpochDistance);
+  W.key("conflicting_addresses");
+  W.value(P.ConflictingAddresses);
+  W.key("spec_distance");
+  W.value(P.SpecDistance);
+  W.key("max_batch_hint");
+  W.value(P.MaxBatchHint);
+  W.endObject();
+  std::string Out = W.take();
+  Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Strict parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Field extractors: each returns false when the member is absent or has
+/// the wrong type/sign, so parsePlan can answer with one static grammar
+/// string instead of threading per-field diagnostics.
+bool getNumber(const json::Value &Obj, const char *Key, double &Out) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || !V->isNumber() || V->Number < 0.0)
+    return false;
+  Out = V->Number;
+  return true;
+}
+
+bool getU64(const json::Value &Obj, const char *Key, std::uint64_t &Out) {
+  double D = 0.0;
+  if (!getNumber(Obj, Key, D))
+    return false;
+  Out = static_cast<std::uint64_t>(D);
+  return true;
+}
+
+bool getU32(const json::Value &Obj, const char *Key, std::uint32_t &Out) {
+  double D = 0.0;
+  if (!getNumber(Obj, Key, D) || D > 4294967295.0)
+    return false;
+  Out = static_cast<std::uint32_t>(D);
+  return true;
+}
+
+bool getBool(const json::Value &Obj, const char *Key, bool &Out) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || V->T != json::Value::Type::Bool)
+    return false;
+  Out = V->Bool;
+  return true;
+}
+
+bool getString(const json::Value &Obj, const char *Key, std::string &Out) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || !V->isString())
+    return false;
+  Out = V->String;
+  return true;
+}
+
+} // namespace
+
+const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
+  static const char *const Grammar =
+      "a plan_version 1 region plan object (see DESIGN.md section 13)";
+  static const char *const VersionErr =
+      "plan_version 1 (re-profile with this build's CIP_PROFILE)";
+
+  json::Value Doc;
+  if (!json::parse(Text, Doc) || !Doc.isObject())
+    return Grammar;
+
+  RegionPlan P;
+  std::uint32_t Version = 0;
+  if (!getU32(Doc, "plan_version", Version))
+    return Grammar;
+  if (Version != PlanVersion)
+    return VersionErr;
+  P.Version = Version;
+
+  std::string Initial;
+  std::uint32_t Threads = 0;
+  if (!getString(Doc, "region", P.Region) ||
+      !getU32(Doc, "threads", Threads) ||
+      !getU32(Doc, "calibration_epochs", P.CalibrationEpochs) ||
+      !getString(Doc, "initial", Initial) ||
+      !getU32(Doc, "hold_windows", P.HoldWindows) ||
+      !policy::parseTechnique(Initial, P.Initial))
+    return Grammar;
+  P.Threads = Threads;
+
+  const json::Value *Techs = Doc.find("techniques");
+  if (!Techs || !Techs->isObject())
+    return Grammar;
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    const json::Value *Row =
+        Techs->find(policy::techniqueName(static_cast<policy::Technique>(T)));
+    if (!Row || !Row->isObject())
+      return Grammar;
+    TechniqueCalibration &C = P.Techniques[T];
+    if (!getBool(*Row, "measured", C.Measured) ||
+        !getNumber(*Row, "sec_per_epoch", C.SecondsPerEpoch) ||
+        !getNumber(*Row, "abort_rate", C.AbortRate) ||
+        !getNumber(*Row, "conflict_density", C.ConflictDensity) ||
+        !getNumber(*Row, "scheduler_ratio", C.SchedulerRatioPercent))
+      return Grammar;
+  }
+
+  if (!getNumber(Doc, "sequential_sec_per_epoch",
+                 P.SequentialSecondsPerEpoch) ||
+      !getNumber(Doc, "predicted_sec_per_epoch", P.PredictedSecondsPerEpoch) ||
+      !getU64(Doc, "min_dependence_distance", P.MinDependenceDistance) ||
+      !getU32(Doc, "min_epoch_distance", P.MinEpochDistance) ||
+      !getU64(Doc, "conflicting_addresses", P.ConflictingAddresses) ||
+      !getU64(Doc, "spec_distance", P.SpecDistance) ||
+      !getU32(Doc, "max_batch_hint", P.MaxBatchHint))
+    return Grammar;
+
+  Out = P;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Files
+//===----------------------------------------------------------------------===//
+
+std::string plan::planPath(const std::string &Dir, const std::string &Region) {
+  std::string P = Dir;
+  if (!P.empty() && P.back() != '/')
+    P += '/';
+  P += Region;
+  P += ".plan.json";
+  return P;
+}
+
+bool plan::savePlan(const RegionPlan &P, const std::string &Dir,
+                    std::string &PathOut, std::string &Err) {
+  const std::string Path = planPath(Dir, P.Region);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = Path + ": " + std::strerror(errno);
+    return false;
+  }
+  const std::string Doc = renderPlan(P);
+  const bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size();
+  if (std::fclose(F) != 0 || !Ok) {
+    Err = Path + ": write failed";
+    return false;
+  }
+  PathOut = Path;
+  return true;
+}
+
+bool plan::loadPlanFile(const std::string &Path, RegionPlan &Out,
+                        std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    Err = Path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  std::size_t N = 0;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  if (const char *Expected = parsePlan(Text, Out)) {
+    Err = Path + ": expected " + Expected;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Environment knobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+[[noreturn]] void planEnvError(const char *Var, const char *Value,
+                               const std::string &Expected) {
+  std::fprintf(stderr, "error: %s='%s' is invalid: expected %s\n", Var, Value,
+               Expected.c_str());
+  // _Exit, not exit: matches the CIP_CHAOS/CIP_POLICY convention — a config
+  // error wants immediate, clean-status death without running
+  // atexit/destructors while runtime threads may be live.
+  std::_Exit(2);
+}
+
+enum class PathKind { Missing, File, Directory };
+
+PathKind classifyPath(const char *Path) {
+  struct stat St;
+  if (::stat(Path, &St) != 0)
+    return PathKind::Missing;
+  return S_ISDIR(St.st_mode) ? PathKind::Directory : PathKind::File;
+}
+
+} // namespace
+
+bool plan::profileDirFromEnv(std::string &Dir) {
+  const char *S = std::getenv("CIP_PROFILE");
+  if (!S || !*S)
+    return false;
+  if (classifyPath(S) != PathKind::Directory)
+    planEnvError("CIP_PROFILE", S,
+                 "an existing directory to write <region>.plan.json into");
+  Dir = S;
+  return true;
+}
+
+bool plan::planFromEnv(const std::string &Region, RegionPlan &Out,
+                       std::string *PathOut, const char **SourceOut) {
+  const char *S = std::getenv("CIP_PLAN");
+  if (!S || !*S)
+    return false;
+
+  std::string Path = S;
+  const char *Source = "file";
+  switch (classifyPath(S)) {
+  case PathKind::Missing:
+    planEnvError("CIP_PLAN", S, "an existing plan file or plan directory");
+  case PathKind::Directory:
+    // Per-region resolution: a region the directory has no plan for starts
+    // cold — a mixed workload set profiles incrementally.
+    Path = planPath(S, Region);
+    if (classifyPath(Path.c_str()) == PathKind::Missing)
+      return false;
+    Source = "dir";
+    break;
+  case PathKind::File:
+    break;
+  }
+
+  std::string Err;
+  RegionPlan P;
+  if (!loadPlanFile(Path, P, Err))
+    planEnvError("CIP_PLAN", S, Err);
+  if (PathOut)
+    *PathOut = Path;
+  if (SourceOut)
+    *SourceOut = Source;
+  Out = P;
+  return true;
+}

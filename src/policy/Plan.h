@@ -1,0 +1,163 @@
+//===- policy/Plan.h - Profile-guided region plans -------------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-region *plan files*: the profile → plan → parallelize loop
+/// (DESIGN.md §13). The dissertation picks each region's technique and
+/// SPECCROSS throttle from an offline profiling run (Table 5.3 measures the
+/// minimum dependence distance on the train input); this subsystem is that
+/// loop made first-class. A profiling run (`CIP_PROFILE=<dir>`) drives the
+/// region through a short calibration sweep — one window per applicable
+/// technique plus a sequential probe — walks the declared address stream
+/// through a minimum-dependence-distance estimator, and emits one versioned
+/// JSON plan file per region. A later run (`CIP_PLAN=<path|dir>`) loads the
+/// plan and warm-starts every consumer:
+///
+///  * the adaptive executor starts on the plan's technique,
+///  * the threshold policy pre-arms its hysteresis dwell,
+///  * the bandit seeds its arm estimates from the measured costs instead of
+///    round-robin pulls,
+///  * speculative windows apply the plan's throttle distance and DOMORE
+///    windows its MaxBatch hint,
+///  * the region server's should_invoc gate weighs degradation against the
+///    plan's predicted region duration instead of only instantaneous free
+///    width.
+///
+/// File format (strict; see renderPlan/parsePlan):
+///   <dir>/<region>.plan.json, one object, plan_version 1:
+///   {"plan_version":1, "region":..., "threads":..., "calibration_epochs":...,
+///    "initial":"<technique>", "hold_windows":...,
+///    "techniques":{"barrier":{"measured":...,"sec_per_epoch":...,
+///       "abort_rate":...,"conflict_density":...,"scheduler_ratio":...}, x4},
+///    "sequential_sec_per_epoch":..., "predicted_sec_per_epoch":...,
+///    "min_dependence_distance":..., "min_epoch_distance":...,
+///    "conflicting_addresses":..., "spec_distance":..., "max_batch_hint":...}
+/// Sentinel encoding: 0 means "none" for min_dependence_distance
+/// (conflict-free / unmeasured), spec_distance (unthrottled), and
+/// max_batch_hint (engine default) — JSON carries no uint64 max.
+///
+/// Environment knobs (strict; garbage exits 2 like every CIP_* knob):
+///   CIP_PROFILE=<dir>       calibrate and emit <dir>/<region>.plan.json
+///                           (the directory must already exist)
+///   CIP_PLAN=<path|dir>     warm-start from a plan file, or resolve
+///                           <dir>/<region>.plan.json per region — a miss
+///                           in a directory is a cold start, a named file
+///                           that is missing or malformed exits 2
+///
+/// Layering: cip::plan lives in the policy library, strictly above the
+/// engines (the CI `nm` check extends to cip::plan symbols); JSON comes
+/// from telemetry/Json.h, which is compiled in every configuration
+/// (CIP_TELEMETRY=0 only stubs the probe API, not the JSON support).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_POLICY_PLAN_H
+#define CIP_POLICY_PLAN_H
+
+#include "policy/Policy.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cip {
+namespace plan {
+
+/// Bumped whenever the plan schema changes shape; loaders reject any other
+/// version (a stale plan silently steering a new runtime is a config bug).
+inline constexpr std::uint32_t PlanVersion = 1;
+
+/// One technique's calibration measurements. Unmeasured rows (the sweep was
+/// truncated, or the technique is inapplicable to the region) keep
+/// Measured = false and zeros.
+struct TechniqueCalibration {
+  bool Measured = false;
+  double SecondsPerEpoch = 0.0;
+  double AbortRate = 0.0;        ///< SPECCROSS: misspeculations per epoch
+  double ConflictDensity = 0.0;  ///< DOMORE: sync conditions per iteration
+  double SchedulerRatioPercent = 0.0; ///< DOMORE: scheduler busy ratio
+};
+
+/// Everything a profiling run learned about one region, and every prior a
+/// consumer warm-starts from.
+struct RegionPlan {
+  std::uint32_t Version = PlanVersion;
+  std::string Region;                ///< workload name the plan was made for
+  unsigned Threads = 0;              ///< thread budget of the calibration run
+  std::uint32_t CalibrationEpochs = 0; ///< epochs the sweep consumed
+  policy::Technique Initial = policy::Technique::Barrier; ///< cheapest measured
+  /// Threshold-policy hysteresis prior: dwell this many windows on Initial.
+  std::uint32_t HoldWindows = 2;
+  TechniqueCalibration Techniques[policy::NumTechniques];
+  /// Sequential probe cost; the duration gate's degradation alternative.
+  double SequentialSecondsPerEpoch = 0.0;
+  /// Initial's calibrated cost — the plan's prediction for a planned run.
+  double PredictedSecondsPerEpoch = 0.0;
+  /// Dependence-distance profile (0 = conflict-free / unmeasured).
+  std::uint64_t MinDependenceDistance = 0; ///< global task numbers
+  std::uint32_t MinEpochDistance = 0;
+  std::uint64_t ConflictingAddresses = 0;
+  /// SPECCROSS throttle to apply (0 = unthrottled, the SpecConfig default).
+  std::uint64_t SpecDistance = 0;
+  /// DOMORE MaxBatch to apply (0 = engine default; CIP_MAX_BATCH still
+  /// overrides either way).
+  std::uint32_t MaxBatchHint = 0;
+
+  /// Predicted wall time of a planned / sequential run of \p Epochs epochs
+  /// (0 when the plan lacks the measurement) — what the server's duration
+  /// gate weighs holding against degrading.
+  double predictedSeconds(std::uint32_t Epochs) const {
+    return PredictedSecondsPerEpoch * static_cast<double>(Epochs);
+  }
+  double predictedSequentialSeconds(std::uint32_t Epochs) const {
+    return SequentialSecondsPerEpoch * static_cast<double>(Epochs);
+  }
+};
+
+/// Distills \p P into the policy engine's warm-start prior (see
+/// policy::WarmStart for the per-policy semantics).
+policy::WarmStart warmStartFrom(const RegionPlan &P);
+
+/// Renders \p P as its canonical JSON document (newline-terminated).
+std::string renderPlan(const RegionPlan &P);
+
+/// Strictly parses one plan document: every field required, correct types,
+/// exact version, all four technique rows present, no negative numbers.
+/// Returns nullptr on success or a static description of what was expected
+/// (same contract as policy::parsePolicySpec).
+const char *parsePlan(const std::string &Text, RegionPlan &Out);
+
+/// `<Dir>/<Region>.plan.json`.
+std::string planPath(const std::string &Dir, const std::string &Region);
+
+/// Writes \p P to planPath(Dir, P.Region). Returns true and sets \p PathOut
+/// on success; false with \p Err describing the failure (unwritable
+/// directory, ...).
+bool savePlan(const RegionPlan &P, const std::string &Dir,
+              std::string &PathOut, std::string &Err);
+
+/// Reads and strictly parses \p Path. Returns true on success; false with
+/// \p Err (missing file, parse error, version mismatch).
+bool loadPlanFile(const std::string &Path, RegionPlan &Out, std::string &Err);
+
+/// CIP_PROFILE: returns true and sets \p Dir when a profiling run is
+/// requested. The value must name an existing directory; anything else
+/// prints `error: CIP_PROFILE=...` and exits 2.
+bool profileDirFromEnv(std::string &Dir);
+
+/// CIP_PLAN resolution for one region: returns true with \p Out filled when
+/// a plan was loaded. A directory without a plan for \p Region returns
+/// false (cold start). A named file that is missing, malformed, or the
+/// wrong version prints `error: CIP_PLAN=...` and exits 2. \p PathOut /
+/// \p SourceOut (when non-null) receive the resolved path and "file" or
+/// "dir".
+bool planFromEnv(const std::string &Region, RegionPlan &Out,
+                 std::string *PathOut = nullptr,
+                 const char **SourceOut = nullptr);
+
+} // namespace plan
+} // namespace cip
+
+#endif // CIP_POLICY_PLAN_H

@@ -96,12 +96,37 @@ Decision PolicyEngine::hold(const char *Reason) {
   return D;
 }
 
+void PolicyEngine::warmStart(const WarmStart &WS) {
+  assert(!Started && "warmStart() after initial()");
+  Warm = WS;
+  if (Warm.HasInitial && !applicable(Warm.Initial))
+    Warm.HasInitial = false; // the plan was made for a different region shape
+  // Seed the arm estimates (the bandit's values, the threshold policy's
+  // measured-cost record) from the calibration sweep: one synthetic pull
+  // per measured arm, reward = -seconds/epoch.
+  for (unsigned T = 0; T < NumTechniques; ++T) {
+    const double Sec = WS.SecondsPerEpoch[T];
+    if (Sec > 0.0 && applicable(static_cast<Technique>(T))) {
+      Pulls[T] = 1;
+      MeanReward[T] = -Sec;
+    }
+  }
+}
+
 Decision PolicyEngine::initial() {
   switch (Cfg.Kind) {
   case PolicyKind::Fixed:
     return switchTo(applicable(Cfg.FixedTech) ? Cfg.FixedTech : fallback(),
                     "fixed");
   case PolicyKind::Threshold:
+    // Profile-guided warm start: begin on the plan's calibrated technique
+    // with the dwell pre-armed (the plan is the confirmation evidence the
+    // hysteresis would otherwise have to accumulate online).
+    if (Warm.HasInitial) {
+      Decision D = switchTo(Warm.Initial, "plan-warm");
+      DwellLeft = Warm.HoldWindows ? Warm.HoldWindows : Cfg.MinDwellWindows;
+      return D;
+    }
     // Optimistic start: speculation is the cheapest technique while it
     // holds (no scheduler thread, no per-iteration shadow probes); the
     // abort-rate cutoff walks it back as soon as the input disagrees.
@@ -109,15 +134,27 @@ Decision PolicyEngine::initial() {
       return switchTo(Technique::SpecCross, "optimistic-start");
     return switchTo(fallback(), "optimistic-start");
   case PolicyKind::Bandit: {
-    // Round-robin initialization: pull every applicable arm once, in enum
-    // order, before epsilon-greedy takes over.
+    // Round-robin initialization: pull every applicable arm that a warm
+    // start has not already seeded, once each, in enum order, before
+    // epsilon-greedy takes over.
     while (InitArm < NumTechniques &&
-           !applicable(static_cast<Technique>(InitArm)))
+           (!applicable(static_cast<Technique>(InitArm)) ||
+            Pulls[InitArm] > 0))
       ++InitArm;
-    const Technique First = InitArm < NumTechniques
-                                ? static_cast<Technique>(InitArm++)
-                                : Technique::Barrier;
-    return switchTo(First, "bandit-init");
+    if (InitArm < NumTechniques)
+      return switchTo(static_cast<Technique>(InitArm++), "bandit-init");
+    // Every applicable arm is seeded (full calibration sweep): exploit the
+    // measured best from window zero.
+    unsigned Best = NumTechniques;
+    for (unsigned T = 0; T < NumTechniques; ++T) {
+      if (!applicable(static_cast<Technique>(T)) || Pulls[T] == 0)
+        continue;
+      if (Best == NumTechniques || MeanReward[T] > MeanReward[Best])
+        Best = T;
+    }
+    return switchTo(Best < NumTechniques ? static_cast<Technique>(Best)
+                                         : Technique::Barrier,
+                    "plan-warm");
   }
   }
   CIP_UNREACHABLE("unknown policy kind");
@@ -220,9 +257,12 @@ Decision PolicyEngine::banditObserve(const RegionStats &S) {
   // Credit the arm that just ran.
   creditArm(S);
 
-  // Finish round-robin initialization first.
+  // Finish round-robin initialization first — skipping arms a profile
+  // warm start already seeded (cold runs never have a pulled arm ahead of
+  // InitArm, so the extra condition is behavior-neutral without a plan).
   while (InitArm < NumTechniques &&
-         !applicable(static_cast<Technique>(InitArm)))
+         (!applicable(static_cast<Technique>(InitArm)) ||
+          Pulls[InitArm] > 0))
     ++InitArm;
   if (InitArm < NumTechniques)
     return switchTo(static_cast<Technique>(InitArm++), "bandit-init");

@@ -187,10 +187,35 @@ struct PolicyConfig {
   std::uint32_t MinDwellWindows = 2;
 };
 
+/// A profile-guided warm start: the distillation of a plan::RegionPlan into
+/// exactly what the engine consumes (kept here, below the plan subsystem,
+/// so Policy.h never includes Plan.h — plan::warmStartFrom() builds one).
+/// Applied via PolicyEngine::warmStart() before initial():
+///
+///  * all policies seed their measured-cost record (Pulls/MeanReward) from
+///    the calibration sweep's per-technique seconds-per-epoch;
+///  * Threshold starts on \c Initial (reason "plan-warm") with the
+///    hysteresis dwell pre-armed for \c HoldWindows instead of the blind
+///    optimistic start;
+///  * Bandit skips round-robin initialization for every seeded arm and goes
+///    straight to epsilon-greedy over the calibrated estimates;
+///  * Fixed keeps its configured technique — the seeded record still primes
+///    the SlowerMargin guard should the config later switch kinds.
+struct WarmStart {
+  bool HasInitial = false;
+  Technique Initial = Technique::Barrier;
+  /// Calibrated mean seconds per epoch per technique; a value <= 0 means
+  /// unmeasured (that arm still gets a round-robin pull).
+  double SecondsPerEpoch[NumTechniques] = {};
+  /// Threshold hysteresis prior: windows to dwell on \c Initial before the
+  /// cutoffs may switch away (0 = the config's MinDwellWindows).
+  std::uint32_t HoldWindows = 0;
+};
+
 /// One verdict. \c Reason is a static string ("optimistic-start",
 /// "abort-rate-high", "conflict-density-low", "scheduler-saturated",
-/// "measured-slower", "explore", "exploit", "fixed", ...) safe to retain
-/// beyond the engine.
+/// "measured-slower", "explore", "exploit", "fixed", "plan-warm", ...) safe
+/// to retain beyond the engine.
 struct Decision {
   Technique Tech = Technique::Barrier;
   bool Switched = false; ///< differs from the previous window's technique
@@ -211,6 +236,13 @@ public:
 
   Technique current() const { return Cur; }
   const PolicyConfig &config() const { return Cfg; }
+
+  /// Applies a profile-guided prior (see WarmStart). Must be called before
+  /// initial(); an inapplicable Initial is ignored (the policy falls back
+  /// to its cold start), seeded costs for inapplicable arms are dropped.
+  void warmStart(const WarmStart &WS);
+  /// True when warmStart() installed a usable initial technique.
+  bool warmStarted() const { return Warm.HasInitial; }
 
   /// The verdict for the first window (no signals yet): the fixed technique,
   /// the threshold policy's optimistic start (SPECCROSS where applicable),
@@ -249,6 +281,10 @@ private:
   double MeanReward[NumTechniques] = {};
   std::uint32_t InitArm = 0; ///< next unexplored arm during round-robin init
   Xoshiro256StarStar Rng{1};
+
+  /// Profile-guided prior (HasInitial false until warmStart() installs a
+  /// usable one; the seeded arm estimates live in Pulls/MeanReward above).
+  WarmStart Warm;
 };
 
 /// Parses one CIP_POLICY specification into \p Out (Kind and FixedTech

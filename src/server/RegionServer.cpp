@@ -12,6 +12,7 @@
 #include "support/Timer.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -143,7 +144,8 @@ ServerStats RegionServer::stats() const {
   return Stats;
 }
 
-bool RegionServer::decideLocked(const RegionRequest &Req, Decision &Out) {
+bool RegionServer::decideLocked(const RegionRequest &Req, Decision &Out,
+                                bool HoldActive) {
   // Normalize the request against the budget: a width of 0 asks for
   // everything, and the minimum profitable width can never exceed what was
   // asked for (or what exists).
@@ -164,6 +166,8 @@ bool RegionServer::decideLocked(const RegionRequest &Req, Decision &Out) {
   }
   if (!Cfg.AllowDegrade)
     return false; // hold the queue head until the minimum width frees
+  if (HoldActive)
+    return false; // duration gate: the plan predicts waiting beats degrading
   // The should_invoc gate, mirroring cpf's getNumAvailableWorkers()
   // fallback: below the profitable width, take what little is free as a
   // plain barrier region, or run sequentially in the caller's own thread —
@@ -181,8 +185,25 @@ bool RegionServer::decideLocked(const RegionRequest &Req, Decision &Out) {
 RequestResult RegionServer::submit(const RegionRequest &Req) {
   assert(Req.W && "request without a workload");
   const std::uint64_t T0 = nowNanos();
+  // The plan duration gate's hold budget: the predicted parallel benefit
+  // for this region's epochs. A request worth holding is one whose
+  // degraded (ultimately sequential) execution is predicted to cost more
+  // than parking it until budget frees — so the hold is bounded by exactly
+  // that predicted difference. 0 (no plan, no predicted benefit, or
+  // degradation disabled anyway) keeps the instantaneous gate.
+  std::uint64_t HoldNs = 0;
+  if (Req.Plan && Cfg.AllowDegrade) {
+    const std::uint32_t Epochs = Req.W->numEpochs();
+    const double BenefitSec = Req.Plan->predictedSequentialSeconds(Epochs) -
+                              Req.Plan->predictedSeconds(Epochs);
+    if (BenefitSec > 0.0)
+      HoldNs = static_cast<std::uint64_t>(BenefitSec * 1e9);
+  }
+  const auto HoldDeadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(HoldNs);
   Decision D;
   std::uint64_t WaitNs = 0;
+  bool Held = false;
   {
     std::unique_lock<std::mutex> L(Mu);
     ++Stats.Submitted;
@@ -218,10 +239,28 @@ RequestResult RegionServer::submit(const RegionRequest &Req) {
     // and a starved head request cannot be overtaken.
     ++QueueDepth;
     const std::uint64_t Ticket = NextTicket++;
-    GrantCv.wait(L, [&] {
-      return ShuttingDown ||
-             (ServingTicket == Ticket && decideLocked(Req, D));
-    });
+    bool HoldActive = HoldNs > 0;
+    for (;;) {
+      if (ShuttingDown)
+        break;
+      if (ServingTicket == Ticket && decideLocked(Req, D, HoldActive))
+        break;
+      if (ServingTicket == Ticket && HoldActive && !Held) {
+        // First time the gate would have degraded: the hold begins.
+        Held = true;
+        ++Stats.PlanHeld;
+        Tel.instant(0, EventKind::ServerHold, Free, HoldNs);
+      }
+      if (HoldActive) {
+        if (GrantCv.wait_until(L, HoldDeadline) == std::cv_status::timeout) {
+          HoldActive = false; // budget spent: degrade as usual from here on
+          if (Held)
+            ++Stats.PlanHoldExpired;
+        }
+      } else {
+        GrantCv.wait(L);
+      }
+    }
     --QueueDepth;
     if (ShuttingDown) {
       SpaceCv.notify_one();
@@ -258,6 +297,7 @@ RequestResult RegionServer::submit(const RegionRequest &Req) {
   CIP_CHAOS_POINT(ServerAdmit);
   RequestResult R = executeGrant(Req, D);
   R.QueueWaitNs = WaitNs;
+  R.PlanHeld = Held;
   CIP_CHAOS_POINT(ServerRelease);
 
   {

@@ -119,6 +119,15 @@ struct RegionRequest {
   /// Minimum profitable width for this region; 0 means the server default
   /// (ServerConfig::MinWorkers).
   unsigned MinWorkers = 0;
+  /// Non-null: a profile-guided plan for this region (DESIGN.md §13). The
+  /// should_invoc gate then weighs degradation against the plan's predicted
+  /// region duration: instead of degrading on the spot, the request is
+  /// *held* at the head of the queue for up to the predicted parallel
+  /// benefit (predicted sequential minus predicted planned time for the
+  /// region's epochs) before the gate falls back to degrading as usual.
+  /// The plan must stay alive until submit() returns. Null keeps the
+  /// instantaneous cpf-style gate.
+  const plan::RegionPlan *Plan = nullptr;
 };
 
 /// How a submission ended.
@@ -133,6 +142,10 @@ struct RequestResult {
   /// True when the should_invoc gate degraded the request below its
   /// requested technique (narrower barrier or sequential).
   bool Degraded = false;
+  /// True when the plan's duration gate held this request instead of
+  /// degrading it immediately (whether budget later freed or the hold
+  /// expired into degradation).
+  bool PlanHeld = false;
   /// Static name of what actually ran: a techniqueVtable Name, "adaptive",
   /// or "sequential"; "" when rejected.
   const char *Technique = "";
@@ -157,6 +170,10 @@ struct ServerStats {
   std::uint64_t DegradedNarrow = 0;
   /// Completed sequentially in the caller's thread.
   std::uint64_t DegradedSequential = 0;
+  /// Requests the plan duration gate held instead of degrading on the spot.
+  std::uint64_t PlanHeld = 0;
+  /// Held requests whose hold budget expired (they then degraded as usual).
+  std::uint64_t PlanHoldExpired = 0;
   /// Per-request queue-wait distribution (submission to grant decision).
   telemetry::HistogramData QueueWait;
 };
@@ -203,9 +220,10 @@ private:
   struct Decision;
 
   /// Evaluates the should_invoc gate for the head-of-queue request under
-  /// Mu. Returns false when the request must keep waiting (degradation off
-  /// and the minimum width not free).
-  bool decideLocked(const RegionRequest &Req, Decision &Out);
+  /// Mu. Returns false when the request must keep waiting: degradation off
+  /// and the minimum width not free, or — with \p HoldActive — a plan's
+  /// duration gate still holding out for budget (see RegionRequest::Plan).
+  bool decideLocked(const RegionRequest &Req, Decision &Out, bool HoldActive);
 
   RequestResult executeGrant(const RegionRequest &Req, const Decision &D);
 

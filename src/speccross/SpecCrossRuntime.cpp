@@ -311,6 +311,14 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
                 "worker clock must be monotone across epochs");
       CIP_CHAOS_POINT(ClockPublish);
       R.Clocks[Tid].Value.store(packClock(E, 0), std::memory_order_release);
+      // Entering epoch E promises that every task this worker will still
+      // start is numbered >= Prefix[E]. Publishing that floor matters when
+      // the worker owns no task for a stretch of epochs (fewer tasks than
+      // workers): leaders would otherwise throttle against its stale
+      // watermark from the last epoch it ran in, and a small SpecDistance
+      // can then deadlock the whole round.
+      if (R.Started[Tid].Value.load(std::memory_order_relaxed) < Prefix[E])
+        R.Started[Tid].Value.store(Prefix[E], std::memory_order_release);
       if (R.Abort.load(std::memory_order_acquire))
         break;
       Tel.begin(Tid, EventKind::Epoch, E);

@@ -283,8 +283,13 @@ public:
       // Spin briefly for short regions, then park until the last check-in.
       Backoff B;
       for (unsigned I = 0; I < CallerSpinSteps; ++I) {
-        if (Done.Remaining.load(std::memory_order_acquire) == 0)
+        if (Done.Remaining.load(std::memory_order_acquire) == 0) {
+          // The final check-in decrements with Done.Mu held, so draining
+          // the mutex here keeps this stack-allocated latch alive until
+          // the notifier is fully out of it.
+          std::lock_guard<std::mutex> L(Done.Mu);
           return;
+        }
         B.pause();
       }
       std::unique_lock<std::mutex> L(Done.Mu);
@@ -529,7 +534,15 @@ private:
 
   void dispatchLeaseLane(unsigned Idx, BodyFn Body, void *Ctx, unsigned Tid,
                          Completion *Done) {
-    LeaseLane &L = *LeaseLanes[Idx];
+    // LeaseLane objects are address-stable behind unique_ptr, but the
+    // vector's buffer is not: a concurrent acquireLanes growing it
+    // reallocates under LeaseMu, so resolving the pointer needs the lock.
+    LeaseLane *LanePtr;
+    {
+      std::lock_guard<std::mutex> G(LeaseMu);
+      LanePtr = LeaseLanes[Idx].get();
+    }
+    LeaseLane &L = *LanePtr;
     {
       std::lock_guard<std::mutex> G(L.Mu);
       L.Body = Body;
@@ -576,9 +589,16 @@ private:
       }
       CIP_CHAOS_POINT(PoolHandoff);
       Body(Ctx, Tid);
-      if (Done->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // The Completion lives on the lease caller's stack, and the caller
+      // may return (and destroy it) the instant Remaining reads zero. The
+      // decrement therefore happens with Mu held: once zero is visible,
+      // this thread already owns Mu, and both caller exits — the condvar
+      // wait and the spin fast path — reacquire Mu before returning, so
+      // the latch outlives the notify.
+      {
         std::lock_guard<std::mutex> G(Done->Mu);
-        Done->Cv.notify_all();
+        if (Done->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          Done->Cv.notify_all();
       }
     }
   }

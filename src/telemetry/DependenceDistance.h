@@ -1,0 +1,117 @@
+//===- telemetry/DependenceDistance.h - Min-dependence profiling -*- C++ -*-==//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming minimum-dependence-distance estimator — the profiling-mode
+/// analogue of the dissertation's offline dependence profiler (Table 5.3
+/// sets the SPECCROSS throttle from the profiled minimum distance). The
+/// plan emitter feeds it every (epoch, global task number, abstract
+/// address) access a workload declares through taskAddresses() — the same
+/// abstract-address artifact DOMORE's shadow probes and SPECCROSS's range
+/// logs consume — and it tracks, per address, the most recent toucher,
+/// yielding:
+///
+///  * the minimum *cross-epoch* dependence distance in global task numbers
+///    (the unit speccross::SpecConfig::SpecDistance throttles in), and
+///  * the minimum distance in epochs (how close the nearest conflicting
+///    invocations are), plus conflict volume for density estimates.
+///
+/// Same-epoch re-touches are ignored: tasks within one epoch are
+/// independent by the DOALL contract, so only cross-invocation pairs
+/// constrain speculation.
+///
+/// Header-only plain code (no telemetry-library linkage) so profiling
+/// works identically in CIP_TELEMETRY=0 builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_TELEMETRY_DEPENDENCEDISTANCE_H
+#define CIP_TELEMETRY_DEPENDENCEDISTANCE_H
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+namespace cip {
+namespace telemetry {
+
+class DependenceDistanceEstimator {
+public:
+  /// Feeds one declared access: task number \p GlobalTask (monotonically
+  /// increasing across the whole region) of epoch \p Epoch touches abstract
+  /// address \p Addr.
+  void observe(std::uint32_t Epoch, std::uint64_t GlobalTask,
+               std::uint64_t Addr) {
+    auto [It, Inserted] = Last.try_emplace(Addr, Obs{Epoch, GlobalTask, false});
+    if (Inserted)
+      return;
+    Obs &O = It->second;
+    if (O.Epoch != Epoch) {
+      const std::uint64_t TaskDist = GlobalTask - O.Task;
+      const std::uint32_t EpochDist = Epoch - O.Epoch;
+      if (TaskDist < MinTaskDist)
+        MinTaskDist = TaskDist;
+      if (EpochDist < MinEpochDist)
+        MinEpochDist = EpochDist;
+      ++Conflicts;
+      if (!O.Conflicted) {
+        O.Conflicted = true;
+        ++ConflictAddrs;
+      }
+    }
+    O.Epoch = Epoch;
+    O.Task = GlobalTask;
+  }
+
+  /// True when no address was touched by two different epochs.
+  bool conflictFree() const {
+    return MinTaskDist == std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Minimum cross-epoch distance in global task numbers; uint64 max when
+  /// conflict-free (mirrors speccross::ProfileResult).
+  std::uint64_t minTaskDistance() const { return MinTaskDist; }
+
+  /// Minimum cross-epoch distance in epochs; uint32 max when conflict-free.
+  std::uint32_t minEpochDistance() const { return MinEpochDist; }
+
+  /// Total cross-epoch conflicting accesses observed.
+  std::uint64_t crossEpochConflicts() const { return Conflicts; }
+
+  /// Distinct addresses that conflicted across epochs at least once.
+  std::uint64_t conflictingAddresses() const { return ConflictAddrs; }
+
+  /// The speculative throttle distance to plan from this profile — the
+  /// same rule as speccross::ProfileResult::recommendedSpecDistance: two
+  /// tasks of slack below the minimum observed distance (the runtime
+  /// compares against each worker's last *started* task), floored at one
+  /// task of lead per worker so the region never serializes; unthrottled
+  /// when conflict-free.
+  std::uint64_t recommendedSpecDistance(std::uint32_t NumWorkers) const {
+    if (conflictFree())
+      return std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t D = MinTaskDist >= 2 ? MinTaskDist - 2 : 0;
+    return D < NumWorkers ? NumWorkers : D;
+  }
+
+private:
+  struct Obs {
+    std::uint32_t Epoch = 0;
+    std::uint64_t Task = 0;
+    bool Conflicted = false; ///< already counted in ConflictAddrs
+  };
+
+  std::unordered_map<std::uint64_t, Obs> Last;
+  std::uint64_t MinTaskDist = std::numeric_limits<std::uint64_t>::max();
+  std::uint32_t MinEpochDist = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t Conflicts = 0;
+  std::uint64_t ConflictAddrs = 0;
+};
+
+} // namespace telemetry
+} // namespace cip
+
+#endif // CIP_TELEMETRY_DEPENDENCEDISTANCE_H

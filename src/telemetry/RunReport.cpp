@@ -190,6 +190,31 @@ std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
   }
   W.endArray();
 
+  const PlanRecord &P = R.planRecord();
+  W.key("plan");
+  W.beginObject();
+  W.key("loaded");
+  W.value(P.Loaded);
+  W.key("profiled");
+  W.value(P.Profiled);
+  W.key("source");
+  W.value(P.Source);
+  W.key("path");
+  W.value(P.Path);
+  W.key("initial");
+  W.value(P.InitialTechnique);
+  W.key("predicted_sec_per_epoch");
+  W.value(P.PredictedSecondsPerEpoch);
+  W.key("sequential_sec_per_epoch");
+  W.value(P.SequentialSecondsPerEpoch);
+  W.key("spec_distance");
+  W.value(P.SpecDistance);
+  W.key("max_batch_hint");
+  W.value(P.MaxBatchHint);
+  W.key("min_dependence_distance");
+  W.value(P.MinDependenceDistance);
+  W.endObject();
+
   W.key("switch_events");
   W.beginArray();
   for (const SwitchEventRecord &S : R.switches()) {

@@ -259,6 +259,40 @@ struct SwitchEventRecord {
 };
 
 //===----------------------------------------------------------------------===//
+// Profile-guided plan provenance
+//===----------------------------------------------------------------------===//
+
+/// How one region run relates to the profile-guided planning loop
+/// (DESIGN.md §13): whether a plan file warm-started it, where the plan
+/// came from, whether the run was itself a calibration/profiling run, and
+/// the headline plan values the consumers acted on. Recorded once per
+/// region by the adaptive harness; exported as the `plan` object in run
+/// reports and bench JSON rows, and as a PlanLoad trace instant. Plain
+/// data so CIP_TELEMETRY=0 statistics structs can carry it.
+struct PlanRecord {
+  bool Loaded = false;   ///< a plan warm-started this run
+  bool Profiled = false; ///< this run was a calibration/profiling run
+  /// Where the plan came from: "file" (CIP_PLAN named it), "dir" (resolved
+  /// from a CIP_PLAN directory by region name), "profile" (emitted by this
+  /// run), or "none".
+  std::string Source = "none";
+  std::string Path;             ///< plan file loaded or emitted ("" if none)
+  std::string InitialTechnique; ///< technique the run started on
+  /// The plan's parallel cost prediction, seconds per epoch (0 = none).
+  double PredictedSecondsPerEpoch = 0.0;
+  /// The plan's sequential cost prediction (0 = none) — what the server's
+  /// duration gate weighs degradation against.
+  double SequentialSecondsPerEpoch = 0.0;
+  /// SPECCROSS throttle distance the plan applied (0 = unthrottled).
+  std::uint64_t SpecDistance = 0;
+  /// DOMORE MaxBatch hint the plan applied (0 = engine default).
+  std::uint32_t MaxBatchHint = 0;
+  /// Profiled minimum cross-epoch dependence distance in global task
+  /// numbers (0 = conflict-free or unmeasured).
+  std::uint64_t MinDependenceDistance = 0;
+};
+
+//===----------------------------------------------------------------------===//
 // Run report rendering
 //===----------------------------------------------------------------------===//
 

@@ -116,6 +116,8 @@ void RegionTelemetry::recordSwitch(const SwitchEventRecord &S) {
   SwitchLog.push_back(S);
 }
 
+void RegionTelemetry::recordPlan(const PlanRecord &P) { PlanInfo = P; }
+
 std::vector<PolicyDecisionRecord> RegionTelemetry::decisions() const {
   std::lock_guard<std::mutex> G(PolicyMu);
   return DecisionLog;

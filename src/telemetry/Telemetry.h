@@ -113,6 +113,11 @@ public:
   void recordDecision(const PolicyDecisionRecord &D);
   void recordSwitch(const SwitchEventRecord &S);
 
+  /// Files the region's profile-guided plan provenance (at most once per
+  /// region; the adaptive harness records it before finish()). Exported as
+  /// the `plan` object in the run report.
+  void recordPlan(const PlanRecord &P);
+
   /// True when this run records trace events (CIP_TRACE set or forced).
   bool tracing() const { return !Rings.empty(); }
   /// True when finish() will write a run report (CIP_REPORT set or forced).
@@ -161,6 +166,10 @@ public:
   std::vector<PolicyDecisionRecord> decisions() const;
   std::vector<SwitchEventRecord> switches() const;
 
+  /// The plan provenance recorded by recordPlan() (defaults — loaded=false,
+  /// source="none" — when the region never consulted a plan).
+  const PlanRecord &planRecord() const { return PlanInfo; }
+
   /// Snapshots every lane's ring (call after region threads have joined).
   std::vector<LaneSnapshot> snapshotLanes() const;
 
@@ -193,6 +202,7 @@ private:
   mutable std::mutex PolicyMu;
   std::vector<PolicyDecisionRecord> DecisionLog;
   std::vector<SwitchEventRecord> SwitchLog;
+  PlanRecord PlanInfo;
   bool Finished = false;
 };
 
@@ -274,6 +284,7 @@ public:
   void recordAbort(const AbortRecord &) {}
   void recordDecision(const PolicyDecisionRecord &) {}
   void recordSwitch(const SwitchEventRecord &) {}
+  void recordPlan(const PlanRecord &) {}
   bool tracing() const { return false; }
   bool reporting() const { return false; }
   void begin(unsigned, EventKind, std::uint64_t = 0, std::uint64_t = 0) {}
@@ -289,6 +300,7 @@ public:
   std::vector<AbortRecord> aborts() const { return {}; }
   std::vector<PolicyDecisionRecord> decisions() const { return {}; }
   std::vector<SwitchEventRecord> switches() const { return {}; }
+  PlanRecord planRecord() const { return {}; }
   std::vector<LaneSnapshot> snapshotLanes() const { return {}; }
   std::string finish() { return {}; }
   std::string reportPath() const { return {}; }

@@ -56,9 +56,11 @@ enum class EventKind : std::uint16_t {
   ServerAdmit,    ///< server granted a request (arg0=granted, arg1=wait ns)
   ServerDegrade,  ///< should_invoc degraded a request (arg0=free, arg1=min)
   ServerReject,   ///< server rejected a request (arg0=queue depth)
+  PlanLoad,       ///< plan warm-start applied (arg0=loaded, arg1=technique)
+  ServerHold,     ///< duration gate held a request (arg0=free, arg1=hold ns)
 };
 
-inline constexpr unsigned NumEventKinds = 21;
+inline constexpr unsigned NumEventKinds = 23;
 
 inline const char *eventName(EventKind K) {
   static const char *const Names[NumEventKinds] = {
@@ -67,7 +69,7 @@ inline const char *eventName(EventKind K) {
       "queue_full", "sig_check", "misspec",   "checkpoint",
       "rollback", "reexec",     "barrier_wait", "sync_flow",
       "policy_decision", "policy_switch", "server_admit",
-      "server_degrade", "server_reject"};
+      "server_degrade", "server_reject", "plan_load", "server_hold"};
   const unsigned I = static_cast<unsigned>(K);
   assert(I < NumEventKinds && "event kind out of range");
   return Names[I];

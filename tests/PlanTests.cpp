@@ -1,0 +1,596 @@
+//===- tests/PlanTests.cpp - Profile-guided planning tests ---------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+//
+// The plan subsystem (DESIGN.md §13): render/parse round-trips, strict
+// parsing (every field required, exact version), file and environment
+// resolution including the exit-2 death contract, the dependence-distance
+// estimator, and the end-to-end profile → plan → warm-start loop — a
+// planned run must stay bit-identical to sequential execution while
+// starting on the plan's technique.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Adaptive.h"
+#include "harness/Executor.h"
+#include "policy/Plan.h"
+#include "policy/Policy.h"
+#include "telemetry/DependenceDistance.h"
+#include "workloads/PhaseShift.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+using namespace cip;
+using plan::RegionPlan;
+using policy::Technique;
+
+namespace {
+
+/// Saves one environment variable on construction and restores it on
+/// destruction (same idiom as PolicyTests/ServerTests), so tests can
+/// mutate CIP_PROFILE/CIP_PLAN/CIP_POLICY* freely.
+class EnvGuard {
+public:
+  explicit EnvGuard(const char *Name) : Name(Name) {
+    if (const char *V = std::getenv(Name)) {
+      Saved = V;
+      Had = true;
+    }
+  }
+  ~EnvGuard() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+/// A fresh temporary directory, removed (with its plan files) on teardown.
+class TempDir {
+public:
+  TempDir() {
+    char Tmpl[] = "/tmp/cip-plan-test-XXXXXX";
+    char *Got = mkdtemp(Tmpl);
+    EXPECT_NE(Got, nullptr);
+    if (Got)
+      Dir = Got;
+  }
+  ~TempDir() {
+    if (Dir.empty())
+      return;
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    [[maybe_unused]] int Rc = std::system(Cmd.c_str());
+  }
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+/// A plan with a distinctive value in every field, for round-trip checks.
+RegionPlan samplePlan() {
+  RegionPlan P;
+  P.Region = "sample";
+  P.Threads = 3;
+  P.CalibrationEpochs = 10;
+  P.Initial = Technique::DomoreDup;
+  P.HoldWindows = 4;
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    plan::TechniqueCalibration &C = P.Techniques[T];
+    C.Measured = T != 0;
+    C.SecondsPerEpoch = 0.001 * (T + 1);
+    C.AbortRate = 0.125 * T;
+    C.ConflictDensity = 0.25 * T;
+    C.SchedulerRatioPercent = 10.0 * T;
+  }
+  P.SequentialSecondsPerEpoch = 0.005;
+  P.PredictedSecondsPerEpoch = 0.003;
+  P.MinDependenceDistance = 62;
+  P.MinEpochDistance = 1;
+  P.ConflictingAddresses = 128;
+  P.SpecDistance = 60;
+  P.MaxBatchHint = 8;
+  return P;
+}
+
+std::uint64_t sequentialChecksum(workloads::Workload &W) {
+  W.reset();
+  const std::uint64_t Sum = harness::runSequential(W).Checksum;
+  W.reset();
+  return Sum;
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fwrite(Text.data(), 1, Text.size(), F), Text.size());
+  ASSERT_EQ(std::fclose(F), 0);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Render / parse round-trip and strictness
+//===----------------------------------------------------------------------===//
+
+TEST(PlanFormat, RoundTripPreservesEveryField) {
+  const RegionPlan P = samplePlan();
+  const std::string Doc = plan::renderPlan(P);
+  EXPECT_EQ(Doc.back(), '\n');
+
+  RegionPlan Q;
+  ASSERT_EQ(plan::parsePlan(Doc, Q), nullptr) << Doc;
+  EXPECT_EQ(Q.Version, P.Version);
+  EXPECT_EQ(Q.Region, P.Region);
+  EXPECT_EQ(Q.Threads, P.Threads);
+  EXPECT_EQ(Q.CalibrationEpochs, P.CalibrationEpochs);
+  EXPECT_EQ(Q.Initial, P.Initial);
+  EXPECT_EQ(Q.HoldWindows, P.HoldWindows);
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    EXPECT_EQ(Q.Techniques[T].Measured, P.Techniques[T].Measured) << T;
+    EXPECT_DOUBLE_EQ(Q.Techniques[T].SecondsPerEpoch,
+                     P.Techniques[T].SecondsPerEpoch) << T;
+    EXPECT_DOUBLE_EQ(Q.Techniques[T].AbortRate, P.Techniques[T].AbortRate);
+    EXPECT_DOUBLE_EQ(Q.Techniques[T].ConflictDensity,
+                     P.Techniques[T].ConflictDensity) << T;
+    EXPECT_DOUBLE_EQ(Q.Techniques[T].SchedulerRatioPercent,
+                     P.Techniques[T].SchedulerRatioPercent) << T;
+  }
+  EXPECT_DOUBLE_EQ(Q.SequentialSecondsPerEpoch, P.SequentialSecondsPerEpoch);
+  EXPECT_DOUBLE_EQ(Q.PredictedSecondsPerEpoch, P.PredictedSecondsPerEpoch);
+  EXPECT_EQ(Q.MinDependenceDistance, P.MinDependenceDistance);
+  EXPECT_EQ(Q.MinEpochDistance, P.MinEpochDistance);
+  EXPECT_EQ(Q.ConflictingAddresses, P.ConflictingAddresses);
+  EXPECT_EQ(Q.SpecDistance, P.SpecDistance);
+  EXPECT_EQ(Q.MaxBatchHint, P.MaxBatchHint);
+}
+
+TEST(PlanFormat, RejectsGarbageWithGrammar) {
+  RegionPlan Out;
+  for (const char *Bad : {"", "not json", "[]", "{}", "42",
+                          "{\"plan_version\":\"1\"}"}) {
+    const char *Err = plan::parsePlan(Bad, Out);
+    ASSERT_NE(Err, nullptr) << "'" << Bad << "' parsed";
+    EXPECT_NE(std::string(Err).find("plan_version 1"), std::string::npos);
+  }
+}
+
+TEST(PlanFormat, RejectsWrongVersionWithReprofileHint) {
+  RegionPlan P = samplePlan();
+  P.Version = plan::PlanVersion + 1;
+  RegionPlan Out;
+  const char *Err = plan::parsePlan(plan::renderPlan(P), Out);
+  ASSERT_NE(Err, nullptr);
+  EXPECT_NE(std::string(Err).find("re-profile"), std::string::npos);
+}
+
+TEST(PlanFormat, EveryFieldRequired) {
+  const std::string Valid = plan::renderPlan(samplePlan());
+  RegionPlan Out;
+  ASSERT_EQ(plan::parsePlan(Valid, Out), nullptr);
+  // Renaming any one key (top-level, technique row, or row member) must
+  // fail the whole parse — loaders never guess at defaults.
+  for (const char *Key :
+       {"\"region\"", "\"threads\"", "\"calibration_epochs\"", "\"initial\"",
+        "\"hold_windows\"", "\"techniques\"", "\"domore-dup\"",
+        "\"measured\"", "\"sec_per_epoch\"", "\"sequential_sec_per_epoch\"",
+        "\"predicted_sec_per_epoch\"", "\"min_dependence_distance\"",
+        "\"min_epoch_distance\"", "\"conflicting_addresses\"",
+        "\"spec_distance\"", "\"max_batch_hint\""}) {
+    std::string Doc = Valid;
+    const std::size_t At = Doc.find(Key);
+    ASSERT_NE(At, std::string::npos) << Key;
+    Doc.replace(At, 2, "\"X");
+    EXPECT_NE(plan::parsePlan(Doc, Out), nullptr) << Key;
+  }
+}
+
+TEST(PlanFormat, RejectsUnknownInitialTechnique) {
+  std::string Doc = plan::renderPlan(samplePlan());
+  const std::size_t At = Doc.find("\"domore-dup\"");
+  ASSERT_NE(At, std::string::npos);
+  Doc.replace(At, std::strlen("\"domore-dup\""), "\"doall\"");
+  RegionPlan Out;
+  EXPECT_NE(plan::parsePlan(Doc, Out), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Files
+//===----------------------------------------------------------------------===//
+
+TEST(PlanFiles, PathJoinsDirAndRegion) {
+  EXPECT_EQ(plan::planPath("/tmp/x", "cg"), "/tmp/x/cg.plan.json");
+  EXPECT_EQ(plan::planPath("/tmp/x/", "cg"), "/tmp/x/cg.plan.json");
+}
+
+TEST(PlanFiles, SaveThenLoadRoundTrips) {
+  TempDir Dir;
+  const RegionPlan P = samplePlan();
+  std::string Path, Err;
+  ASSERT_TRUE(plan::savePlan(P, Dir.path(), Path, Err)) << Err;
+  EXPECT_EQ(Path, plan::planPath(Dir.path(), "sample"));
+
+  RegionPlan Q;
+  ASSERT_TRUE(plan::loadPlanFile(Path, Q, Err)) << Err;
+  EXPECT_EQ(Q.Initial, P.Initial);
+  EXPECT_EQ(Q.SpecDistance, P.SpecDistance);
+}
+
+TEST(PlanFiles, SaveIntoMissingDirectoryFails) {
+  std::string Path, Err;
+  EXPECT_FALSE(plan::savePlan(samplePlan(), "/nonexistent-cip-dir", Path,
+                              Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(PlanFiles, LoadReportsParseErrorWithPath) {
+  TempDir Dir;
+  const std::string Path = plan::planPath(Dir.path(), "bad");
+  writeFile(Path, "{\"plan_version\":1}\n");
+  RegionPlan Out;
+  std::string Err;
+  EXPECT_FALSE(plan::loadPlanFile(Path, Out, Err));
+  EXPECT_NE(Err.find(Path), std::string::npos);
+  EXPECT_NE(Err.find("plan_version 1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment knobs: cold paths and the exit-2 death contract
+//===----------------------------------------------------------------------===//
+
+TEST(PlanEnv, UnsetMeansNoProfilingAndColdStart) {
+  EnvGuard G1("CIP_PROFILE"), G2("CIP_PLAN");
+  unsetenv("CIP_PROFILE");
+  unsetenv("CIP_PLAN");
+  std::string Dir;
+  EXPECT_FALSE(plan::profileDirFromEnv(Dir));
+  RegionPlan Out;
+  EXPECT_FALSE(plan::planFromEnv("relax", Out));
+}
+
+TEST(PlanEnv, DirectoryMissIsAColdStartNotAnError) {
+  EnvGuard G("CIP_PLAN");
+  TempDir Dir;
+  setenv("CIP_PLAN", Dir.path().c_str(), 1);
+  RegionPlan Out;
+  EXPECT_FALSE(plan::planFromEnv("never-profiled", Out));
+}
+
+TEST(PlanEnv, DirectoryHitResolvesPerRegion) {
+  EnvGuard G("CIP_PLAN");
+  TempDir Dir;
+  std::string Path, Err;
+  ASSERT_TRUE(plan::savePlan(samplePlan(), Dir.path(), Path, Err)) << Err;
+  setenv("CIP_PLAN", Dir.path().c_str(), 1);
+
+  RegionPlan Out;
+  std::string Resolved;
+  const char *Source = nullptr;
+  ASSERT_TRUE(plan::planFromEnv("sample", Out, &Resolved, &Source));
+  EXPECT_EQ(Resolved, Path);
+  EXPECT_STREQ(Source, "dir");
+  EXPECT_EQ(Out.Initial, Technique::DomoreDup);
+}
+
+using PlanEnvDeathTest = ::testing::Test;
+
+TEST(PlanEnvDeathTest, ProfileDirMustExist) {
+  EnvGuard G("CIP_PROFILE");
+  setenv("CIP_PROFILE", "/nonexistent-cip-profile-dir", 1);
+  std::string Dir;
+  EXPECT_EXIT(plan::profileDirFromEnv(Dir), testing::ExitedWithCode(2),
+              "CIP_PROFILE");
+}
+
+TEST(PlanEnvDeathTest, ProfileDirMustBeADirectory) {
+  EnvGuard G("CIP_PROFILE");
+  TempDir Dir;
+  const std::string File = Dir.path() + "/not-a-dir";
+  writeFile(File, "x");
+  setenv("CIP_PROFILE", File.c_str(), 1);
+  std::string Out;
+  EXPECT_EXIT(plan::profileDirFromEnv(Out), testing::ExitedWithCode(2),
+              "existing directory");
+}
+
+TEST(PlanEnvDeathTest, NamedPlanFileMustExist) {
+  EnvGuard G("CIP_PLAN");
+  setenv("CIP_PLAN", "/nonexistent-cip.plan.json", 1);
+  RegionPlan Out;
+  EXPECT_EXIT(plan::planFromEnv("relax", Out), testing::ExitedWithCode(2),
+              "CIP_PLAN");
+}
+
+TEST(PlanEnvDeathTest, GarbagePlanFileExitsWithGrammar) {
+  EnvGuard G("CIP_PLAN");
+  TempDir Dir;
+  const std::string Path = plan::planPath(Dir.path(), "relax");
+  writeFile(Path, "{\"not\": \"a plan\"}\n");
+  setenv("CIP_PLAN", Path.c_str(), 1);
+  RegionPlan Out;
+  EXPECT_EXIT(plan::planFromEnv("relax", Out), testing::ExitedWithCode(2),
+              "plan_version 1");
+}
+
+TEST(PlanEnvDeathTest, VersionMismatchExitsWithReprofileHint) {
+  EnvGuard G("CIP_PLAN");
+  TempDir Dir;
+  RegionPlan P = samplePlan();
+  P.Region = "relax";
+  P.Version = plan::PlanVersion + 1;
+  writeFile(plan::planPath(Dir.path(), "relax"), plan::renderPlan(P));
+  setenv("CIP_PLAN", plan::planPath(Dir.path(), "relax").c_str(), 1);
+  RegionPlan Out;
+  EXPECT_EXIT(plan::planFromEnv("relax", Out), testing::ExitedWithCode(2),
+              "re-profile");
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence-distance estimator
+//===----------------------------------------------------------------------===//
+
+TEST(DependenceDistance, ConflictFreeStaysUnthrottled) {
+  telemetry::DependenceDistanceEstimator Est;
+  // Distinct addresses per epoch: no cross-epoch pair shares state.
+  Est.observe(0, 0, 100);
+  Est.observe(0, 1, 101);
+  Est.observe(1, 2, 200);
+  Est.observe(1, 3, 201);
+  EXPECT_TRUE(Est.conflictFree());
+  EXPECT_EQ(Est.crossEpochConflicts(), 0u);
+  EXPECT_EQ(Est.recommendedSpecDistance(4),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(DependenceDistance, MeasuresMinimumCrossEpochDistance) {
+  telemetry::DependenceDistanceEstimator Est;
+  Est.observe(0, 0, 7);  // epoch 0 writes addr 7 at task 0
+  Est.observe(0, 1, 7);  // same-epoch re-touch: ignored (DOALL contract)
+  Est.observe(1, 5, 7);  // epoch 1 task 5: distance 5 - 1 = 4 tasks
+  Est.observe(3, 9, 7);  // epoch 3 task 9: distance 4 tasks, 2 epochs
+  EXPECT_FALSE(Est.conflictFree());
+  EXPECT_EQ(Est.minTaskDistance(), 4u);
+  EXPECT_EQ(Est.minEpochDistance(), 1u);
+  EXPECT_EQ(Est.crossEpochConflicts(), 2u);
+  EXPECT_EQ(Est.conflictingAddresses(), 1u);
+  // Two tasks of slack below the minimum: 4 - 2 = 2.
+  EXPECT_EQ(Est.recommendedSpecDistance(2), 2u);
+}
+
+TEST(DependenceDistance, ThrottleFlooredAtOneTaskPerWorker) {
+  telemetry::DependenceDistanceEstimator Est;
+  Est.observe(0, 0, 1);
+  Est.observe(1, 1, 1); // distance 1: tighter than the 2-task slack
+  EXPECT_EQ(Est.minTaskDistance(), 1u);
+  EXPECT_EQ(Est.recommendedSpecDistance(4), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiling end-to-end: calibrate, emit, stay bit-identical
+//===----------------------------------------------------------------------===//
+
+TEST(Profiling, EmitsPlanAndMatchesSequential) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+
+  policy::PolicyConfig Cfg;
+  Cfg.Kind = policy::PolicyKind::Threshold;
+  Cfg.WindowEpochs = 2;
+  harness::AdaptiveRunOptions Opts;
+  RegionPlan P;
+  Opts.PlanOut = &P;
+  harness::AdaptiveStats St;
+  const harness::ExecResult R = harness::runAdaptive(W, 3, Cfg, &St, Opts);
+
+  // Calibration windows execute real work — the run stays bit-identical.
+  EXPECT_EQ(R.Checksum, Want);
+  EXPECT_TRUE(St.Plan.Profiled);
+  EXPECT_EQ(St.Plan.Source, "profile");
+  EXPECT_EQ(P.Region, W.name());
+  EXPECT_EQ(P.Threads, 3u);
+  EXPECT_GT(P.CalibrationEpochs, 0u);
+  EXPECT_GT(P.PredictedSecondsPerEpoch, 0.0);
+  EXPECT_GT(P.SequentialSecondsPerEpoch, 0.0);
+  // The initial pick is the cheapest measured technique.
+  const plan::TechniqueCalibration &Best =
+      P.Techniques[static_cast<unsigned>(P.Initial)];
+  EXPECT_TRUE(Best.Measured);
+  for (unsigned T = 0; T < policy::NumTechniques; ++T) {
+    if (P.Techniques[T].Measured) {
+      EXPECT_LE(Best.SecondsPerEpoch, P.Techniques[T].SecondsPerEpoch) << T;
+    }
+  }
+  // Dependence profile consistency: conflicts and throttle go together.
+  EXPECT_EQ(P.MinDependenceDistance == 0, P.ConflictingAddresses == 0);
+  if (P.MinDependenceDistance > 0) {
+    EXPECT_GT(P.SpecDistance, 0u);
+  }
+
+  // Calibration windows are logged with their own reason, and the decision
+  // log invariants hold across the calibration -> policy transition.
+  ASSERT_FALSE(St.Decisions.empty());
+  EXPECT_STREQ(St.Decisions.front().Reason, "calibrate");
+  std::uint32_t Epochs = 0, Flagged = 0;
+  for (const telemetry::PolicyDecisionRecord &D : St.Decisions) {
+    Epochs += D.NumEpochs;
+    Flagged += D.Switched ? 1 : 0;
+  }
+  EXPECT_EQ(Epochs, W.numEpochs());
+  EXPECT_EQ(Flagged, St.Switches.size());
+}
+
+TEST(Profiling, EnvRoundTripWritesAndLoadsPlanFile) {
+  EnvGuard G1("CIP_PROFILE"), G2("CIP_PLAN"), G3("CIP_POLICY");
+  TempDir Dir;
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+
+  // CIP_PROFILE alone is enough to route through the adaptive harness.
+  unsetenv("CIP_POLICY");
+  unsetenv("CIP_PLAN");
+  setenv("CIP_PROFILE", Dir.path().c_str(), 1);
+  harness::ExecResult R;
+  harness::AdaptiveStats St;
+  ASSERT_TRUE(harness::runAdaptiveFromEnv(W, 3, R, &St));
+  EXPECT_EQ(R.Checksum, Want);
+  EXPECT_TRUE(St.Plan.Profiled);
+  const std::string Path = plan::planPath(Dir.path(), W.name());
+  EXPECT_EQ(St.Plan.Path, Path);
+
+  RegionPlan P;
+  std::string Err;
+  ASSERT_TRUE(plan::loadPlanFile(Path, P, Err)) << Err;
+  EXPECT_EQ(P.Region, W.name());
+
+  // Warm-start from the named file, then from the directory.
+  unsetenv("CIP_PROFILE");
+  for (const char *Value : {Path.c_str(), Dir.path().c_str()}) {
+    setenv("CIP_PLAN", Value, 1);
+    W.reset();
+    harness::AdaptiveStats Warm;
+    harness::ExecResult RW;
+    ASSERT_TRUE(harness::runAdaptiveFromEnv(W, 3, RW, &Warm)) << Value;
+    EXPECT_EQ(RW.Checksum, Want) << Value;
+    EXPECT_TRUE(Warm.Plan.Loaded) << Value;
+    EXPECT_EQ(Warm.Plan.Path, Path) << Value;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-start semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Profiles \p W in memory and returns the emitted plan.
+RegionPlan profileInMemory(workloads::Workload &W, policy::PolicyKind Kind) {
+  policy::PolicyConfig Cfg;
+  Cfg.Kind = Kind;
+  Cfg.WindowEpochs = 2;
+  Cfg.Seed = 7;
+  harness::AdaptiveRunOptions Opts;
+  RegionPlan P;
+  Opts.PlanOut = &P;
+  W.reset();
+  harness::runAdaptive(W, 3, Cfg, nullptr, Opts);
+  W.reset();
+  return P;
+}
+
+harness::AdaptiveStats runWarm(workloads::Workload &W,
+                               policy::PolicyKind Kind, const RegionPlan &P,
+                               std::uint64_t &Checksum) {
+  policy::PolicyConfig Cfg;
+  Cfg.Kind = Kind;
+  Cfg.WindowEpochs = 2;
+  Cfg.Seed = 7;
+  harness::AdaptiveRunOptions Opts;
+  Opts.Plan = &P;
+  Opts.PlanSource = "file";
+  Opts.PlanPath = "(in-memory)";
+  W.reset();
+  harness::AdaptiveStats St;
+  Checksum = harness::runAdaptive(W, 3, Cfg, &St, Opts).Checksum;
+  W.reset();
+  return St;
+}
+
+} // namespace
+
+TEST(WarmStart, ThresholdStartsOnPlanInitialAndStaysCorrect) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+  const RegionPlan P = profileInMemory(W, policy::PolicyKind::Threshold);
+
+  std::uint64_t Sum = 0;
+  const harness::AdaptiveStats St =
+      runWarm(W, policy::PolicyKind::Threshold, P, Sum);
+  EXPECT_EQ(Sum, Want);
+  EXPECT_TRUE(St.Plan.Loaded);
+  ASSERT_FALSE(St.Decisions.empty());
+  EXPECT_STREQ(St.Decisions.front().Technique,
+               policy::techniqueName(P.Initial));
+  EXPECT_STREQ(St.Decisions.front().Reason, "plan-warm");
+}
+
+TEST(WarmStart, BanditFirstWindowIsDeterministicallyPlanned) {
+  workloads::PhaseShiftWorkload W(
+      workloads::PhaseShiftParams::forScale(workloads::Scale::Test));
+  const std::uint64_t Want = sequentialChecksum(W);
+  const RegionPlan P = profileInMemory(W, policy::PolicyKind::Bandit);
+
+  // Cold bandit: the first window is a round-robin exploration pull, not
+  // the plan's pick.
+  policy::PolicyConfig Cold;
+  Cold.Kind = policy::PolicyKind::Bandit;
+  Cold.WindowEpochs = 2;
+  Cold.Seed = 7;
+  W.reset();
+  harness::AdaptiveStats ColdSt;
+  const std::uint64_t ColdSum = harness::runAdaptive(W, 3, Cold, &ColdSt).Checksum;
+  EXPECT_EQ(ColdSum, Want);
+  ASSERT_FALSE(ColdSt.Decisions.empty());
+  EXPECT_STRNE(ColdSt.Decisions.front().Reason, "plan-warm");
+
+  // Warm bandit: the measured costs seed every arm, so the first window
+  // deterministically exploits the plan's technique — run twice to pin it.
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    std::uint64_t Sum = 0;
+    const harness::AdaptiveStats St =
+        runWarm(W, policy::PolicyKind::Bandit, P, Sum);
+    EXPECT_EQ(Sum, Want);
+    ASSERT_FALSE(St.Decisions.empty());
+    EXPECT_STREQ(St.Decisions.front().Technique,
+                 policy::techniqueName(P.Initial)) << Rep;
+    EXPECT_STREQ(St.Decisions.front().Reason, "plan-warm") << Rep;
+  }
+}
+
+TEST(WarmStart, PlannedChecksumEqualsUnplannedOnFactoryWorkloads) {
+  for (const char *Name : {"phaseshift", "cg"}) {
+    const auto W = workloads::makeWorkload(Name, workloads::Scale::Test);
+    ASSERT_NE(W, nullptr) << Name;
+    const std::uint64_t Want = sequentialChecksum(*W);
+    const RegionPlan P = profileInMemory(*W, policy::PolicyKind::Threshold);
+    for (policy::PolicyKind Kind :
+         {policy::PolicyKind::Threshold, policy::PolicyKind::Bandit}) {
+      std::uint64_t Sum = 0;
+      runWarm(*W, Kind, P, Sum);
+      EXPECT_EQ(Sum, Want)
+          << Name << "/" << policy::policyKindName(Kind);
+    }
+  }
+}
+
+TEST(WarmStart, ForeignInitialStaysSound) {
+  // A stale or foreign plan may name a technique the profile never measured
+  // (or the region does not support — the engine drops an inapplicable
+  // prior). Either way the warm-started run must stay bit-identical.
+  const auto W = workloads::makeWorkload("phaseshift", workloads::Scale::Test);
+  ASSERT_NE(W, nullptr);
+  const std::uint64_t Want = sequentialChecksum(*W);
+  RegionPlan P = profileInMemory(*W, policy::PolicyKind::Threshold);
+  P.Initial = Technique::SpecCross;
+  P.Techniques[static_cast<unsigned>(Technique::SpecCross)] = {};
+  std::uint64_t Sum = 0;
+  runWarm(*W, policy::PolicyKind::Threshold, P, Sum);
+  EXPECT_EQ(Sum, Want);
+}

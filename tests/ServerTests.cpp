@@ -303,6 +303,93 @@ TEST(RegionServer, DegradesToNarrowBarrierWhenBelowMinWidth) {
   EXPECT_EQ(Server.stats().DegradedNarrow, 1u);
 }
 
+TEST(RegionServer, PlanHoldWaitsForBudgetInsteadOfDegrading) {
+  // The duration gate (DESIGN.md §13): a plan predicting a large parallel
+  // benefit makes should_invoc hold the request at the head of the queue
+  // rather than degrade it, up to the predicted benefit.
+  ServerConfig Cfg;
+  Cfg.Workers = 3;
+  Cfg.MinWorkers = 2;
+  RegionServer Server(Cfg);
+
+  GateWorkload Gate;
+  std::thread Holder(
+      [&] { (void)Server.submit(gateRequest(Gate, 3)); });
+  Gate.waitEntered();
+  ASSERT_EQ(Server.availableWorkers(), 0u);
+
+  auto W = workloads::makeWorkload("loopdep", workloads::Scale::Test);
+  plan::RegionPlan Plan;
+  Plan.Region = W->name();
+  Plan.SequentialSecondsPerEpoch = 10.0; // waiting is predicted far cheaper
+  Plan.PredictedSecondsPerEpoch = 0.001;
+  RegionRequest Req;
+  Req.W = W.get();
+  Req.Tech = policy::Technique::Domore;
+  Req.Width = 3;
+  Req.Plan = &Plan;
+  RequestResult R;
+  std::thread Submitter([&] { R = Server.submit(Req); });
+
+  // Rendezvous with the hold actually engaging before releasing budget.
+  while (Server.stats().PlanHeld == 0)
+    std::this_thread::yield();
+  Gate.release();
+  Holder.join();
+  Submitter.join();
+
+  EXPECT_EQ(R.Status, RequestStatus::Completed);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_TRUE(R.PlanHeld);
+  EXPECT_STRNE(R.Technique, "sequential");
+  EXPECT_EQ(R.Checksum, sequentialChecksum("loopdep"));
+  const ServerStats S = Server.stats();
+  EXPECT_EQ(S.PlanHeld, 1u);
+  EXPECT_EQ(S.PlanHoldExpired, 0u);
+  EXPECT_EQ(S.DegradedSequential, 0u);
+}
+
+TEST(RegionServer, PlanHoldExpiresThenDegrades) {
+  // A plan predicting only a sliver of benefit bounds the hold to that
+  // sliver: the deadline passes, the gate falls back to instantaneous
+  // should_invoc, and the request degrades as it would have cold.
+  ServerConfig Cfg;
+  Cfg.Workers = 3;
+  Cfg.MinWorkers = 2;
+  RegionServer Server(Cfg);
+
+  GateWorkload Gate;
+  std::thread Holder(
+      [&] { (void)Server.submit(gateRequest(Gate, 3)); });
+  Gate.waitEntered();
+  ASSERT_EQ(Server.availableWorkers(), 0u);
+
+  auto W = workloads::makeWorkload("loopdep", workloads::Scale::Test);
+  plan::RegionPlan Plan;
+  Plan.Region = W->name();
+  Plan.SequentialSecondsPerEpoch = 2e-6; // microseconds of predicted benefit
+  Plan.PredictedSecondsPerEpoch = 1e-6;
+  RegionRequest Req;
+  Req.W = W.get();
+  Req.Tech = policy::Technique::Domore;
+  Req.Width = 3;
+  Req.Plan = &Plan;
+  const RequestResult R = Server.submit(Req);
+
+  EXPECT_EQ(R.Status, RequestStatus::Completed);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_TRUE(R.PlanHeld);
+  EXPECT_STREQ(R.Technique, "sequential");
+  EXPECT_EQ(R.Checksum, sequentialChecksum("loopdep"));
+
+  Gate.release();
+  Holder.join();
+  const ServerStats S = Server.stats();
+  EXPECT_EQ(S.PlanHeld, 1u);
+  EXPECT_EQ(S.PlanHoldExpired, 1u);
+  EXPECT_EQ(S.DegradedSequential, 1u);
+}
+
 TEST(RegionServer, AdaptivePolicyRequestsRunPerRegion) {
   ServerConfig Cfg;
   Cfg.Workers = 3;

@@ -235,6 +235,44 @@ TEST(SpecCrossRuntime, ThrottledSpeculationAvoidsMisspeculation) {
   EXPECT_EQ(S.Misspeculations, 0u);
 }
 
+TEST(SpecCrossRuntime, NarrowEpochsUnderSmallSpecDistanceDoNotDeadlock) {
+  // Regression: most epochs here are narrower than the worker count, so
+  // workers 1..3 own no task for seven-epoch stretches. The throttle used
+  // to compare leaders against those workers' stale started-task
+  // watermarks; with a SpecDistance at the NumWorkers floor (what a
+  // profiled plan emits for close conflicts) every worker ended up
+  // spinning on every other and the round never finished. Workers now
+  // publish a Prefix[E] floor on epoch entry, so this must terminate.
+  const std::uint32_t Epochs = 64;
+  const std::uint32_t Width = 4;
+  std::vector<std::uint32_t> Cells(Epochs * Width, 0);
+  CheckpointRegistry Reg;
+  Reg.registerBuffer(Cells);
+  SpecRegion R;
+  R.NumEpochs = Epochs;
+  R.NumTasks = [](std::uint32_t E) {
+    return static_cast<std::size_t>(E % 8 == 0 ? 4 : 1);
+  };
+  R.RunTask = [&](std::uint32_t E, std::size_t T) {
+    Cells[E * Width + T] += 1;
+  };
+  R.TaskAddresses = [&](std::uint32_t E, std::size_t T,
+                        std::vector<std::uint64_t> &Addrs) {
+    Addrs.push_back(E * Width + T); // unique per task: conflict-free
+  };
+  R.Checkpoints = &Reg;
+  SpecConfig Cfg;
+  Cfg.NumWorkers = 4;
+  Cfg.SpecDistance = 4; // the NumWorkers floor a plan applies
+  Cfg.CheckpointIntervalEpochs = 16;
+  const SpecStats S = runSpecCross(R, Cfg);
+  EXPECT_EQ(S.Misspeculations, 0u);
+  for (std::uint32_t E = 0; E < Epochs; ++E)
+    for (std::uint32_t T = 0; T < Width; ++T)
+      EXPECT_EQ(Cells[E * Width + T], T < (E % 8 == 0 ? 4u : 1u) ? 1u : 0u)
+          << "epoch " << E << " task " << T;
+}
+
 TEST(SpecCrossRuntime, NonSpeculativeModeMatchesSequential) {
   const auto Expected = sequentialResult(ChainRegion(40, 8, true));
   ChainRegion C(40, 8, true);

@@ -594,6 +594,35 @@ FuzzResult runAdaptiveCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   appendCheck(Report, Flagged == St.Switches.size(),
               "switched decisions vs switch events", St.Switches.size(),
               Flagged);
+
+  // Plan axis (DESIGN.md §13): profile the same case in memory, then
+  // warm-start from the just-emitted plan. Calibration windows execute
+  // real work and warm-starts only reorder technique choices, so both
+  // runs must leave memory and checksum identical to the cold run.
+  {
+    plan::RegionPlan Plan;
+    harness::AdaptiveRunOptions Profile;
+    Profile.PlanOut = &Plan;
+    AdaptiveCaseWorkload WP(C);
+    const harness::ExecResult RP =
+        harness::runAdaptive(WP, Opt.Workers + 1, Cfg, nullptr, Profile);
+    compareMemory(Expected, WP.data(), Report);
+    appendCheck(Report, RP.Checksum == WP.checksum(),
+                "profiled checksum vs workload digest", WP.checksum(),
+                RP.Checksum);
+
+    harness::AdaptiveRunOptions Warm;
+    Warm.Plan = &Plan;
+    Warm.PlanSource = "file";
+    Warm.PlanPath = "(in-memory)";
+    AdaptiveCaseWorkload WW(C);
+    const harness::ExecResult RW =
+        harness::runAdaptive(WW, Opt.Workers + 1, Cfg, nullptr, Warm);
+    compareMemory(Expected, WW.data(), Report);
+    appendCheck(Report, RW.Checksum == R.Checksum,
+                "planned vs cold checksum", R.Checksum, RW.Checksum);
+  }
+
   if (!Report.empty()) {
     Result.Ok = false;
     Result.Failure = Report;

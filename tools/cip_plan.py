@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Render or validate CIP region plan files (DESIGN.md section 13).
+
+Usage: cip_plan.py [--validate] <plan.json | plan-dir> ...
+
+A plan file is the JSON document emitted by a CIP_PROFILE calibration run
+(<region>.plan.json): the measured cost of each technique on this machine,
+the recommended initial technique, the dependence-distance profile, and the
+throttle/batch hints the runtime warm-starts from. Directory arguments are
+expanded to every *.plan.json inside them (non-recursive), mirroring how
+CIP_PLAN=<dir> resolves per-region plans.
+
+Default mode pretty-prints each plan as a table. --validate prints one
+"<path>: OK" line per valid plan and nothing else; any invalid plan is
+reported on stderr and the exit status is 1. Validation mirrors the C++
+loader (plan::parsePlan) exactly: every field is required, types are
+strict, numbers must be non-negative, and the version must match — a plan
+this script accepts is a plan the runtime accepts, and vice versa.
+
+Sentinels: 0 means "none" for min_dependence_distance (conflict-free),
+spec_distance (unthrottled), and max_batch_hint (engine default).
+"""
+
+import json
+import os
+import sys
+
+PLAN_VERSION = 1
+
+# policy::techniqueName order — Technique enum values 0..3.
+TECHNIQUES = ["barrier", "domore", "domore-dup", "speccross"]
+
+# Same static diagnostics the C++ parser answers with.
+GRAMMAR = "a plan_version 1 region plan object (see DESIGN.md section 13)"
+VERSION_ERR = "plan_version 1 (re-profile with this build's CIP_PROFILE)"
+
+
+def get_number(obj, key):
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or \
+            value < 0:
+        return None
+    return float(value)
+
+
+def get_u64(obj, key):
+    value = get_number(obj, key)
+    return None if value is None else int(value)
+
+
+def get_u32(obj, key):
+    value = get_number(obj, key)
+    if value is None or value > 4294967295.0:
+        return None
+    return int(value)
+
+
+def get_bool(obj, key):
+    value = obj.get(key)
+    return value if isinstance(value, bool) else None
+
+
+def get_string(obj, key):
+    value = obj.get(key)
+    return value if isinstance(value, str) else None
+
+
+def parse_plan(text):
+    """Mirror of plan::parsePlan: returns (plan, None) or (None, expected)
+    where `expected` is the same grammar string the runtime prints."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return None, GRAMMAR
+    if not isinstance(doc, dict):
+        return None, GRAMMAR
+
+    version = get_u32(doc, "plan_version")
+    if version is None:
+        return None, GRAMMAR
+    if version != PLAN_VERSION:
+        return None, VERSION_ERR
+
+    plan = {"plan_version": version}
+    plan["region"] = get_string(doc, "region")
+    plan["threads"] = get_u32(doc, "threads")
+    plan["calibration_epochs"] = get_u32(doc, "calibration_epochs")
+    plan["initial"] = get_string(doc, "initial")
+    plan["hold_windows"] = get_u32(doc, "hold_windows")
+    if None in plan.values() or plan["initial"] not in TECHNIQUES:
+        return None, GRAMMAR
+
+    techs = doc.get("techniques")
+    if not isinstance(techs, dict):
+        return None, GRAMMAR
+    plan["techniques"] = {}
+    for name in TECHNIQUES:
+        row = techs.get(name)
+        if not isinstance(row, dict):
+            return None, GRAMMAR
+        cal = {
+            "measured": get_bool(row, "measured"),
+            "sec_per_epoch": get_number(row, "sec_per_epoch"),
+            "abort_rate": get_number(row, "abort_rate"),
+            "conflict_density": get_number(row, "conflict_density"),
+            "scheduler_ratio": get_number(row, "scheduler_ratio"),
+        }
+        if None in cal.values():
+            return None, GRAMMAR
+        plan["techniques"][name] = cal
+
+    tail = {
+        "sequential_sec_per_epoch": get_number(doc,
+                                               "sequential_sec_per_epoch"),
+        "predicted_sec_per_epoch": get_number(doc, "predicted_sec_per_epoch"),
+        "min_dependence_distance": get_u64(doc, "min_dependence_distance"),
+        "min_epoch_distance": get_u32(doc, "min_epoch_distance"),
+        "conflicting_addresses": get_u64(doc, "conflicting_addresses"),
+        "spec_distance": get_u64(doc, "spec_distance"),
+        "max_batch_hint": get_u32(doc, "max_batch_hint"),
+    }
+    if None in tail.values():
+        return None, GRAMMAR
+    plan.update(tail)
+    return plan, None
+
+
+def or_none(value, fmt="{}"):
+    return fmt.format(value) if value else "none"
+
+
+def render_plan(path, plan):
+    print(f"{path}")
+    print(f"  region {plan['region']}  (plan_version {plan['plan_version']}, "
+          f"threads {plan['threads']}, calibrated over "
+          f"{plan['calibration_epochs']} epochs)")
+    print(f"  {'technique':<12} {'measured':>8} {'sec/epoch':>12} "
+          f"{'abort':>8} {'conflict':>9} {'sched%':>7}")
+    for name in TECHNIQUES:
+        cal = plan["techniques"][name]
+        marker = " <- initial" if name == plan["initial"] else ""
+        if cal["measured"]:
+            print(f"  {name:<12} {'yes':>8} {cal['sec_per_epoch']:>12.6f} "
+                  f"{cal['abort_rate']:>8.3f} {cal['conflict_density']:>9.3f} "
+                  f"{cal['scheduler_ratio']:>7.1f}{marker}")
+        else:
+            print(f"  {name:<12} {'no':>8} {'-':>12} {'-':>8} {'-':>9} "
+                  f"{'-':>7}{marker}")
+    seq = plan["sequential_sec_per_epoch"]
+    pred = plan["predicted_sec_per_epoch"]
+    speedup = f" ({seq / pred:.2f}x vs sequential)" if pred > 0 else ""
+    print(f"  predicted {pred:.6f} sec/epoch, sequential {seq:.6f}"
+          f"{speedup}; hold {plan['hold_windows']} windows")
+    print(f"  dependences: min task distance "
+          f"{or_none(plan['min_dependence_distance'])}, min epoch distance "
+          f"{or_none(plan['min_epoch_distance'])}, "
+          f"{plan['conflicting_addresses']} conflicting addresses")
+    print(f"  hints: spec_distance "
+          f"{or_none(plan['spec_distance'])} (0=unthrottled), "
+          f"max_batch {or_none(plan['max_batch_hint'])} (0=engine default)")
+
+
+def expand(args):
+    paths = []
+    for arg in args:
+        if os.path.isdir(arg):
+            found = sorted(os.path.join(arg, name)
+                           for name in os.listdir(arg)
+                           if name.endswith(".plan.json"))
+            if not found:
+                print(f"error: {arg}: no *.plan.json files", file=sys.stderr)
+                sys.exit(1)
+            paths.extend(found)
+        else:
+            paths.append(arg)
+    return paths
+
+
+def main():
+    args = sys.argv[1:]
+    validate = "--validate" in args
+    args = [a for a in args if a != "--validate"]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    status = 0
+    for index, path in enumerate(expand(args)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as err:
+            print(f"error: {path}: {err.strerror}", file=sys.stderr)
+            status = 1
+            continue
+        plan, expected = parse_plan(text)
+        if plan is None:
+            print(f"error: {path}: expected {expected}", file=sys.stderr)
+            status = 1
+            continue
+        if validate:
+            print(f"{path}: OK")
+        else:
+            if index:
+                print()
+            render_plan(path, plan)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,9 @@ with a default threshold of 1.4: bench timings on shared CI machines are
 noisy, so this gate is meant to catch step-function regressions (a lost
 fast path, an accidental O(n^2)), not single-digit-percent drift — the
 committed baseline exists to make the *trajectory* visible, not to freeze
-it. Missing and new keys are reported but never fatal.
+it. Rows present in only one input (a bench lane that silently stopped
+running, or new rows missing from the committed baseline) are listed as
+explicit warning: lines and counted in the summary, but never fatal.
 
 Exits 0 regardless of slowdowns unless --fail is given (CI runs it as a
 non-fatal report step; --fail is for local bisection).
@@ -101,9 +103,16 @@ def main():
     slowdowns = []
     improvements = []
     speedups = []
+    only_baseline = sorted(k for k in baseline if k not in current)
+    only_current = sorted(k for k in current if k not in baseline)
+    for key in only_baseline:
+        print(f"warning: {key_name(key)} only in baseline — lane missing "
+              f"from current run")
+    for key in only_current:
+        print(f"warning: {key_name(key)} only in current — not in the "
+              f"committed baseline (regenerate it?)")
     for key in sorted(baseline):
         if key not in current:
-            print(f"missing: {key_name(key)} (in baseline, not in current)")
             continue
         base_s, _, base_srv = baseline[key]
         cur_s, _, cur_srv = current[key]
@@ -127,17 +136,16 @@ def main():
             slowdowns.append(line)
         elif ratio < 1.0 / threshold:
             improvements.append(line)
-    for key in sorted(current):
-        if key not in baseline:
-            print(f"new: {key_name(key)} (not in baseline)")
-
     for line in improvements:
         print(f"faster: {line}")
     for line in slowdowns:
         print(f"SLOWDOWN: {line}")
     matched = sum(1 for k in baseline if k in current)
     print(f"compared {matched} keys against threshold {threshold:.2f}x: "
-          f"{len(slowdowns)} slowdowns, {len(improvements)} improvements")
+          f"{len(slowdowns)} slowdowns, {len(improvements)} improvements, "
+          f"{len(only_baseline) + len(only_current)} unmatched rows "
+          f"({len(only_baseline)} baseline-only, "
+          f"{len(only_current)} current-only)")
     geomean = None
     if speedups:
         geomean = math.exp(sum(math.log(s) for s, _ in speedups)

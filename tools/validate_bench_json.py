@@ -23,7 +23,13 @@ Both modes validate the adaptive policy engine's decision/switch logs
 (DESIGN.md §11): bench rows whose scheme is adaptive-* must carry
 policy_decisions and switch_events arrays (optional elsewhere), every run
 report carries both, and the number of decisions marked switched must equal
-the number of switch events.
+the number of switch events. Decision/switch records may additionally name
+"sequential" — the profiling mode's calibration probe (DESIGN.md §13).
+
+Both modes also validate the plan provenance object (DESIGN.md §13):
+adaptive-* bench rows and every run report carry "plan", whose
+loaded/profiled/source fields must be mutually consistent (a cold run is
+{loaded:false, profiled:false, source:"none"}).
 """
 
 import json
@@ -73,11 +79,24 @@ ABORT_CAUSES = {"signature_overlap", "injected", "timeout"}
 
 SCHEMES = {"sequential", "barrier", "domore", "domore-dup", "speccross",
            "adaptive-threshold", "adaptive-bandit",
+           "adaptive-profile", "adaptive-cold", "adaptive-planned",
            "server-serialized", "server-oversub", "server-gated"}
 SCALES = {"test", "train", "ref"}
 
 # policy::techniqueName values — what decision/switch records may name.
 TECHNIQUES = {"barrier", "domore", "domore-dup", "speccross"}
+
+# Decision/switch records may additionally name the profiling mode's
+# sequential calibration probe (DESIGN.md §13).
+DECISION_TECHNIQUES = TECHNIQUES | {"sequential"}
+
+# plan.source values and which loaded/profiled combination each implies.
+PLAN_SOURCES = {
+    "none": (False, False),
+    "file": (True, False),
+    "dir": (True, False),
+    "profile": (False, True),
+}
 
 
 def fail(where, msg):
@@ -210,7 +229,7 @@ def validate_policy_decision(where, dec):
         fail(where, "policy decision is not an object")
     for key in ["window", "first_epoch", "num_epochs", "decision_ns"]:
         check_uint(where, dec, key)
-    if dec.get("technique") not in TECHNIQUES:
+    if dec.get("technique") not in DECISION_TECHNIQUES:
         fail(where, f"unknown technique '{dec.get('technique')}'")
     if not isinstance(dec.get("reason"), str) or not dec["reason"]:
         fail(where, "missing decision reason")
@@ -225,7 +244,7 @@ def validate_switch_event(where, event):
         fail(where, "switch event is not an object")
     check_uint(where, event, "window")
     for key in ["from", "to"]:
-        if event.get(key) not in TECHNIQUES:
+        if event.get(key) not in DECISION_TECHNIQUES:
             fail(where, f"unknown technique '{event.get(key)}' in '{key}'")
     if event["from"] == event["to"]:
         fail(where, f"switch event from '{event['from']}' to itself")
@@ -253,6 +272,35 @@ def validate_policy_log(where, obj, required):
     if switched != len(obj["switch_events"]):
         fail(where, f"{switched} decisions marked switched but "
                     f"{len(obj['switch_events'])} switch events")
+
+
+def validate_plan(where, obj, required):
+    """The plan provenance object (DESIGN.md §13): who warm-started this
+    run, from where, and with what predictions. Cold runs carry the
+    defaults; the loaded/profiled flags must agree with source."""
+    if "plan" not in obj:
+        if required:
+            fail(where, "missing 'plan' object")
+        return
+    plan = obj["plan"]
+    if not isinstance(plan, dict):
+        fail(where, "plan is not an object")
+    loaded = check_bool(where, plan, "loaded")
+    profiled = check_bool(where, plan, "profiled")
+    if plan.get("source") not in PLAN_SOURCES:
+        fail(where, f"unknown plan source '{plan.get('source')}'")
+    if PLAN_SOURCES[plan["source"]] != (loaded, profiled):
+        fail(where, f"plan source '{plan['source']}' inconsistent with "
+                    f"loaded={loaded} profiled={profiled}")
+    for key in ["path", "initial"]:
+        if not isinstance(plan.get(key), str):
+            fail(where, f"plan key '{key}' must be a string")
+    if (loaded or profiled) and plan["initial"] not in TECHNIQUES:
+        fail(where, f"unknown plan initial technique '{plan['initial']}'")
+    for key in ["predicted_sec_per_epoch", "sequential_sec_per_epoch"]:
+        check_number(where, plan, key)
+    for key in ["spec_distance", "max_batch_hint", "min_dependence_distance"]:
+        check_uint(where, plan, key)
 
 
 def validate_report(path):
@@ -290,6 +338,7 @@ def validate_report(path):
     for index, abort in enumerate(report["aborts"]):
         validate_abort(f"{path} abort {index}", abort)
     validate_policy_log(path, report, required=True)
+    validate_plan(path, report, required=True)
     return len(report["aborts"]), report["heatmap"]["total_conflicts"]
 
 
@@ -353,6 +402,8 @@ def validate_row(line_no, row):
     # other schemes may omit them.
     validate_policy_log(where, row,
                         required=row["scheme"].startswith("adaptive-"))
+    # Adaptive rows carry the plan provenance object (DESIGN.md §13).
+    validate_plan(where, row, required=row["scheme"].startswith("adaptive-"))
     # Server traffic rows carry the throughput/latency payload.
     if row["scheme"].startswith("server-"):
         if "server" not in row:
