@@ -1,0 +1,419 @@
+//===- bench/bench_raw_speed.cpp - Hot-engine raw-speed gates ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two workloads the raw-speed pass (DESIGN.md §14) is gated on, shaped
+/// after what the conflict-attribution profiler flags as each engine's
+/// saturation point:
+///
+///  * raw-shadow: a DOMORE region whose scheduler slice is the ceiling
+///    (Table 5.2's bad end). Every iteration touches a handful of
+///    pseudo-random addresses in a DRAM-resident dense address space, and
+///    the task body is just those few read-modify-writes — so the serial
+///    detect-and-record stage (one dependent shadow probe per address, each
+///    a likely cache miss) dominates the region. This is the case the
+///    sharded two-stage scheduler pipelines: partition + prefetch first,
+///    then shard-local probes with the misses overlapped.
+///
+///  * raw-sigcheck: a SPECCROSS region that saturates the checker thread.
+///    Epochs carry many small tasks whose bodies are near-free, so the
+///    workers outrun the checker and the region's critical path is the
+///    checker's pairwise signature scanning over the full speculative
+///    window. Task address ranges are disjoint by construction: every
+///    comparison is a miss, which is exactly the all-scan case the SoA
+///    batch kernels accelerate (a hit would end the scan early).
+///
+/// CI runs this binary twice — once with the raw-speed substrates off
+/// (CIP_SHADOW_SHARDS=1 CIP_SIMD=0) and once on (CIP_SHADOW_SHARDS=8
+/// CIP_SIMD=1) — and gates the two timings with
+/// `compare_bench.py --min-speedup 1.15`. Checksums are compared against
+/// the sequential execution either way, so the gate cannot pass on a run
+/// that broke semantics.
+///
+/// Bench rows carry the engines' new accounting: DOMORE rows a
+/// "shadow_shards" object (shard count plus the per-shard conflict split,
+/// which sums to the region's sync conditions), SPECCROSS rows a
+/// "batch_check" object (whether the batched kernels ran, how many spans
+/// they scanned, and the batch-width histogram summary).
+/// tools/validate_bench_json.py checks both shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Scheduler-saturated DOMORE region. Each task read-modify-writes
+/// AddrsPerTask cells of a dense array sized well past L3, at addresses
+/// drawn from a per-epoch bijection of the address space: within an epoch
+/// every task's addresses are distinct (the DOALL contract), while across
+/// epochs the bijections differ, so iterations collide pseudo-randomly and
+/// the scheduler earns real sync conditions. The updates commute (integer
+/// adds), so every runtime-legal interleaving checksums identically.
+class RawShadowWorkload : public Workload {
+public:
+  static constexpr unsigned AddrsPerTask = 4;
+
+  explicit RawShadowWorkload(Scale S) {
+    switch (S) {
+    case Scale::Test:
+      Epochs = 6;
+      Tasks = 24000;
+      SpaceBits = 20;
+      break;
+    case Scale::Train:
+      Epochs = 10;
+      Tasks = 120000;
+      SpaceBits = 22;
+      break;
+    case Scale::Ref:
+      Epochs = 16;
+      Tasks = 320000;
+      SpaceBits = 23;
+      break;
+    }
+    Data.assign(std::size_t(1) << SpaceBits, 0);
+    reset();
+  }
+
+  const char *name() const override { return "raw-shadow"; }
+  void reset() override { std::fill(Data.begin(), Data.end(), 0); }
+  std::uint32_t numEpochs() const override { return Epochs; }
+  std::size_t numTasks(std::uint32_t) const override { return Tasks; }
+
+  void runTask(std::uint32_t Epoch, std::size_t Task) override {
+    for (unsigned I = 0; I < AddrsPerTask; ++I)
+      Data[addrOf(Epoch, Task, I)] += (Task * AddrsPerTask + I) | 1;
+  }
+
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override {
+    for (unsigned I = 0; I < AddrsPerTask; ++I)
+      Addrs.push_back(addrOf(Epoch, Task, I));
+  }
+
+  std::uint64_t addressSpaceSize() const override { return Data.size(); }
+  void registerState(speccross::CheckpointRegistry &Reg) override {
+    Reg.registerBuffer(Data);
+  }
+  std::uint64_t checksum() const override {
+    return hashBytes(Data.data(), Data.size() * sizeof(Data[0]));
+  }
+  bool speccrossApplicable() const override { return false; }
+
+private:
+  /// Bijection of [0, 2^SpaceBits): multiply by a per-epoch odd constant,
+  /// xor a per-epoch mask. Keeps each epoch's Tasks * AddrsPerTask
+  /// addresses distinct (they stay below the space size) while decorrelating
+  /// the epochs from each other.
+  std::uint64_t addrOf(std::uint32_t Epoch, std::size_t Task,
+                       unsigned I) const {
+    const std::uint64_t Odd = splitmix64(Epoch) | 1;
+    const std::uint64_t Mask = splitmix64(Epoch + 0x51ed2701ULL);
+    const std::uint64_t X = Task * AddrsPerTask + I;
+    return ((X * Odd) ^ Mask) & (Data.size() - 1);
+  }
+
+  std::uint32_t Epochs = 0;
+  std::size_t Tasks = 0;
+  unsigned SpaceBits = 0;
+  std::vector<std::uint64_t> Data;
+};
+
+/// Checker-saturated SPECCROSS region. Many epochs of many tiny tasks;
+/// each task claims a small contiguous address range disjoint from every
+/// other task's in every epoch, so no comparison ever hits and the checker
+/// scans every compared epoch log end to end — the pure-throughput case for
+/// the batch kernels. The bodies are single stores into task-private slots,
+/// so the checker thread, not the workers, is the critical path.
+class RawSigcheckWorkload : public Workload {
+public:
+  static constexpr unsigned Span = 8;
+
+  explicit RawSigcheckWorkload(Scale S) {
+    switch (S) {
+    case Scale::Test:
+      Epochs = 36;
+      Tasks = 512;
+      break;
+    case Scale::Train:
+      Epochs = 80;
+      Tasks = 768;
+      break;
+    case Scale::Ref:
+      Epochs = 200;
+      Tasks = 768;
+      break;
+    }
+    Out.assign(std::size_t(Epochs) * Tasks, 0);
+    reset();
+  }
+
+  const char *name() const override { return "raw-sigcheck"; }
+  void reset() override { std::fill(Out.begin(), Out.end(), 0); }
+  std::uint32_t numEpochs() const override { return Epochs; }
+  std::size_t numTasks(std::uint32_t) const override { return Tasks; }
+
+  void runTask(std::uint32_t Epoch, std::size_t Task) override {
+    Out[std::size_t(Epoch) * Tasks + Task] =
+        splitmix64((std::uint64_t(Epoch) << 32) | Task);
+  }
+
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override {
+    // (Task, Epoch)-major so the range is unique across the whole run.
+    const std::uint64_t Base = (Task * Epochs + Epoch) * std::uint64_t(Span);
+    for (unsigned I = 0; I < Span; ++I)
+      Addrs.push_back(Base + I);
+  }
+
+  std::uint64_t addressSpaceSize() const override { return 0; } // sparse
+  void registerState(speccross::CheckpointRegistry &Reg) override {
+    Reg.registerBuffer(Out);
+  }
+  std::uint64_t checksum() const override {
+    return hashBytes(Out.data(), Out.size() * sizeof(Out[0]));
+  }
+  bool domoreApplicable() const override { return false; }
+
+private:
+  std::uint32_t Epochs = 0;
+  std::size_t Tasks = 0;
+  std::vector<std::uint64_t> Out;
+};
+
+void writeHistSummary(telemetry::json::Writer &Wr, const char *Key,
+                      const telemetry::HistogramData &H) {
+  Wr.key(Key);
+  Wr.beginObject();
+  Wr.key("count");
+  Wr.value(H.count());
+  Wr.key("sum_ns");
+  Wr.value(H.SumNs);
+  Wr.key("max_ns");
+  Wr.value(H.MaxNs);
+  Wr.key("p50_ns");
+  Wr.value(H.quantileNs(0.50));
+  Wr.key("p90_ns");
+  Wr.value(H.quantileNs(0.90));
+  Wr.key("p99_ns");
+  Wr.value(H.quantileNs(0.99));
+  Wr.endObject();
+}
+
+/// Opens a bench row shaped exactly like BenchJson::record's, leaving the
+/// object unterminated so the caller can append its engine payload (the
+/// server traffic bench sets the precedent for custom row shapes).
+void beginRawRow(telemetry::json::Writer &Wr, const Workload &W,
+                 const char *Scheme, unsigned Threads, unsigned Reps,
+                 const harness::ExecResult &Best) {
+  const double Base = BenchJson::instance().sequentialBaseline(W.name());
+  Wr.beginObject();
+  Wr.key("workload");
+  Wr.value(W.name());
+  Wr.key("scheme");
+  Wr.value(Scheme);
+  Wr.key("threads");
+  Wr.value(Threads);
+  Wr.key("scale");
+  Wr.value(benchScaleName());
+  Wr.key("reps");
+  Wr.value(Reps);
+  Wr.key("seconds");
+  Wr.value(Best.Seconds);
+  Wr.key("speedup");
+  Wr.value(Best.Seconds > 0.0 && Base > 0.0 ? Base / Best.Seconds : 0.0);
+  Wr.key("counters");
+  Wr.beginObject();
+  for (unsigned C = 0; C < telemetry::NumCounters; ++C) {
+    Wr.key(telemetry::counterName(static_cast<telemetry::Counter>(C)));
+    Wr.value(Best.Telemetry.Values[C]);
+  }
+  Wr.endObject();
+  writeHistSummary(Wr, "wait_hist", Best.WaitHist);
+  writeHistSummary(Wr, "dispatch_batch", Best.DispatchBatch);
+}
+
+void recordDomoreRow(const Workload &W, unsigned Threads, unsigned Reps,
+                     const harness::ExecResult &Best,
+                     const domore::DomoreStats &Stats) {
+  BenchJson &J = BenchJson::instance();
+  if (!J.enabled())
+    return;
+  telemetry::json::Writer Wr;
+  beginRawRow(Wr, W, "domore", Threads, Reps, Best);
+  // The sharded-scheduler accounting (DESIGN.md §14): how many shards the
+  // detect-and-record stage ran with and how the sync conditions split
+  // across them. Populated regardless of CIP_TELEMETRY.
+  Wr.key("shadow_shards");
+  Wr.beginObject();
+  Wr.key("shards");
+  Wr.value(Stats.ShadowShards);
+  Wr.key("sync_conditions");
+  Wr.value(Stats.SyncConditions);
+  Wr.key("conflicts");
+  Wr.beginArray();
+  for (std::uint64_t C : Stats.ShardConflicts)
+    Wr.value(C);
+  Wr.endArray();
+  Wr.endObject();
+  Wr.endObject();
+  J.writeLine(Wr.str());
+}
+
+void recordSpeccrossRow(const Workload &W, unsigned Threads, unsigned Reps,
+                        const harness::ExecResult &Best,
+                        const speccross::SpecStats &Stats) {
+  BenchJson &J = BenchJson::instance();
+  if (!J.enabled())
+    return;
+  telemetry::json::Writer Wr;
+  beginRawRow(Wr, W, "speccross", Threads, Reps, Best);
+  // The batched-checker accounting (DESIGN.md §14). The counts come from
+  // the runtime itself; the width histogram is telemetry, so it is empty
+  // (count 0) in CIP_TELEMETRY=0 builds.
+  Wr.key("batch_check");
+  Wr.beginObject();
+  Wr.key("enabled");
+  Wr.value(Stats.BatchCheckEnabled);
+  Wr.key("batch_checks");
+  Wr.value(Stats.BatchChecks);
+  Wr.key("signature_comparisons");
+  Wr.value(Stats.SignatureComparisons);
+  writeHistSummary(Wr, "batch_width", Stats.BatchWidth);
+  Wr.endObject();
+  Wr.endObject();
+  J.writeLine(Wr.str());
+}
+
+[[noreturn]] void checksumMismatch(const Workload &W, const char *Scheme,
+                                   std::uint64_t Got, std::uint64_t Want) {
+  std::fprintf(stderr,
+               "error: %s/%s checksum %016" PRIx64 " != sequential %016" PRIx64
+               "\n",
+               W.name(), Scheme, Got, Want);
+  std::exit(1);
+}
+
+} // namespace
+
+int main() {
+  const auto Threads = benchThreads();
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+
+  std::printf("=== Raw speed: the two hot engines (DESIGN.md sec. 14) ===\n");
+  std::printf("(shadow shards: CIP_SHADOW_SHARDS or serial; batched "
+              "checking: CIP_SIMD or on; %u reps min)\n\n",
+              Reps);
+
+  // --- raw-shadow: scheduler-saturated DOMORE --------------------------
+  {
+    RawShadowWorkload W(S);
+    const double Seq = sequentialSeconds(W, Reps);
+    W.reset();
+    const std::uint64_t Want = harness::runSequential(W).Checksum;
+    std::printf("%s  (seq %.3fs, %llu iterations x %u probes over a "
+                "%.1fM-entry dense space)\n",
+                W.name(), Seq,
+                static_cast<unsigned long long>(W.totalTasks()),
+                RawShadowWorkload::AddrsPerTask,
+                double(W.addressSpaceSize()) / (1 << 20));
+    printSeriesHeader("  series", Threads);
+    std::vector<double> Sp;
+    for (unsigned T : Threads) {
+      harness::ExecResult Best;
+      domore::DomoreStats BestStats;
+      for (unsigned R = 0; R < Reps; ++R) {
+        W.reset();
+        domore::DomoreStats Stats;
+        harness::ExecResult Cur = harness::runDomore(
+            W, T, domore::PolicyKind::RoundRobin, &Stats);
+        if (R == 0 || Cur.Seconds < Best.Seconds) {
+          Best = Cur;
+          BestStats = Stats;
+        }
+      }
+      if (Best.Checksum != Want)
+        checksumMismatch(W, "domore", Best.Checksum, Want);
+      recordDomoreRow(W, T, Reps, Best, BestStats);
+      Sp.push_back(Seq / Best.Seconds);
+      if (T == Threads.back())
+        std::printf("  t=%u: shards %u, scheduler %.1f%%, sync conds %llu\n",
+                    T, BestStats.ShadowShards,
+                    BestStats.schedulerRatioPercent(),
+                    static_cast<unsigned long long>(BestStats.SyncConditions));
+    }
+    printSeriesRow("  DOMORE", Sp);
+    printRule();
+  }
+
+  // --- raw-sigcheck: checker-saturated SPECCROSS -----------------------
+  {
+    RawSigcheckWorkload W(S);
+    const double Seq = sequentialSeconds(W, Reps);
+    W.reset();
+    const std::uint64_t Want = harness::runSequential(W).Checksum;
+    std::printf("%s  (seq %.3fs, %llu tasks, disjoint %u-address ranges: "
+                "every comparison scans)\n",
+                W.name(), Seq,
+                static_cast<unsigned long long>(W.totalTasks()),
+                RawSigcheckWorkload::Span);
+    printSeriesHeader("  series", Threads);
+    std::vector<double> Sp;
+    for (unsigned T : Threads) {
+      harness::ExecResult Best;
+      speccross::SpecStats BestStats;
+      for (unsigned R = 0; R < Reps; ++R) {
+        W.reset();
+        speccross::SpecConfig Cfg;
+        Cfg.NumWorkers = T > 1 ? T - 1 : 1;
+        Cfg.Scheme = W.preferredSignature();
+        Cfg.MaxEpochLead = 8; // widen the window: more scanning per check
+        speccross::SpecStats Stats;
+        harness::ExecResult Cur = harness::runSpecCross(
+            W, Cfg, speccross::SpecMode::Speculation, &Stats);
+        if (R == 0 || Cur.Seconds < Best.Seconds) {
+          Best = Cur;
+          BestStats = Stats;
+        }
+      }
+      if (Best.Checksum != Want)
+        checksumMismatch(W, "speccross", Best.Checksum, Want);
+      recordSpeccrossRow(W, T, Reps, Best, BestStats);
+      Sp.push_back(Seq / Best.Seconds);
+      if (T == Threads.back())
+        std::printf("  t=%u: batched %s, %llu comparisons in %llu batch "
+                    "spans, %llu misspecs\n",
+                    T, BestStats.BatchCheckEnabled ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        BestStats.SignatureComparisons),
+                    static_cast<unsigned long long>(BestStats.BatchChecks),
+                    static_cast<unsigned long long>(BestStats.Misspeculations));
+    }
+    printSeriesRow("  SPECCROSS", Sp);
+    printRule();
+  }
+
+  std::printf("(gate: run twice — CIP_SHADOW_SHARDS=1 CIP_SIMD=0 vs "
+              "CIP_SHADOW_SHARDS=8 CIP_SIMD=1 — and compare with "
+              "compare_bench.py --min-speedup 1.15)\n");
+  return 0;
+}

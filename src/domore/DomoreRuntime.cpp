@@ -12,7 +12,9 @@
 #include "support/Timer.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -90,6 +92,31 @@ std::size_t effectiveMaxBatch(const DomoreConfig &Config) {
   return Config.MaxBatch > 0 ? Config.MaxBatch : 1;
 }
 
+/// Effective shadow shard count: the CIP_SHADOW_SHARDS environment knob
+/// (strict: a positive integer <= 4096, anything else exits 2) overrides
+/// the config; 0/1 means the serial single-probe scheduler.
+std::uint32_t effectiveShadowShards(const DomoreConfig &Config) {
+  static const std::uint32_t EnvOverride = [] {
+    const char *S = std::getenv("CIP_SHADOW_SHARDS");
+    if (!S || !*S)
+      return std::uint32_t{0};
+    char *End = nullptr;
+    const unsigned long long N = std::strtoull(S, &End, 10);
+    if (!End || *End != '\0' || N == 0 || N > 4096) {
+      std::fprintf(stderr,
+                   "error: CIP_SHADOW_SHARDS='%s' is invalid: expected a "
+                   "positive shard count <= 4096 (1 selects the serial "
+                   "scheduler)\n",
+                   S);
+      std::_Exit(2);
+    }
+    return static_cast<std::uint32_t>(N);
+  }();
+  if (EnvOverride > 0)
+    return EnvOverride;
+  return Config.ShadowShards > 0 ? Config.ShadowShards : 1;
+}
+
 /// Spin-waits until \p Slot reports completion of combined iteration
 /// \p Iter or beyond.
 void waitForIteration(const ProgressSlot &Slot, std::int64_t Iter) {
@@ -142,6 +169,101 @@ void produceBatchCounted(SPSCQueue<Message> &Q, const Message *Items,
   }
 }
 
+/// The dispatch half of the scheduler, shared by the serial and sharded
+/// variants so their worker-visible protocol is the *same code*: pending-run
+/// coalescing, the flush rules, and sync-condition shipping. The invariant
+/// every rule serves: nothing — no sync condition, no scheduler prologue
+/// wait — ever waits on an iteration that is still inside a pending run.
+class DispatchState {
+public:
+  DispatchState(const DomoreConfig &Config,
+                std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues,
+                telemetry::RegionTelemetry &Tel, unsigned Lane)
+      : Queues(Queues), Tel(Tel), Lane(Lane),
+        MaxBatch(effectiveMaxBatch(Config)), Pending(Config.NumWorkers) {}
+
+  /// Ships worker \p W's pending run as one WorkRange message. Everything
+  /// that might wait on one of its iterations calls this first, so by the
+  /// time a wait exists its target range is in the worker's queue.
+  void flushRun(std::uint32_t W) {
+    PendingRun &R = Pending[W];
+    if (!R.Active)
+      return;
+    CIP_CHECK(R.Count > 0, "active pending run with no iterations");
+    // Stretch the flush-decided -> range-enqueued window: any wait that
+    // races ahead of this enqueue targets an undispatched iteration.
+    CIP_CHAOS_POINT(Dispatch);
+    produceCounted(*Queues[W],
+                   Message{Message::Work, /*DepTid=*/0, R.CombinedBase,
+                           R.Invocation, R.Count, R.FirstLocal, 0},
+                   Tel, Lane);
+    Tel.recordHist(Lane, Hist::DispatchBatch, R.Count);
+    Tel.add(Lane, Counter::IterationsDispatched, R.Count);
+    Tel.instant(Lane, EventKind::Dispatch, R.Invocation,
+                static_cast<std::uint64_t>(R.CombinedBase));
+    R.Active = false;
+  }
+
+  /// Flushes \p W's run iff it still holds combined iteration \p Iter — the
+  /// rule every wait source applies before waiting.
+  void flushIfHolds(std::uint32_t W, std::int64_t Iter) {
+    if (Pending[W].Active && Iter >= Pending[W].CombinedBase)
+      flushRun(W);
+  }
+
+  /// Ships the sync conditions of one iteration bound for \p Tid. A sync
+  /// condition never enters a queue while an iteration it depends on — or
+  /// an earlier iteration of its own worker — is still in a pending run:
+  /// flush the dependence sources (their range tails then cover DepIter)
+  /// and the target's own run (queue order keeps earlier work ahead of the
+  /// wait), then ship every condition with one cursor update.
+  void shipSyncs(std::uint32_t Tid, std::vector<Message> &SyncBuf) {
+    flushRun(Tid);
+    for (Message &M : SyncBuf) {
+      flushIfHolds(M.DepTid, M.Iter);
+      M.Flow = NextFlow++;
+      Tel.flowBegin(Lane, M.Flow);
+    }
+    produceBatchCounted(*Queues[Tid], SyncBuf.data(), SyncBuf.size(), Tel,
+                        Lane);
+  }
+
+  /// Appends combined iteration \p Combined — local iteration \p It of
+  /// invocation \p Inv, bound for \p Tid — to \p Tid's pending run, starting
+  /// a new run when assignment stops being contiguous and flushing at the
+  /// batching bound.
+  void extend(std::uint32_t Tid, std::uint32_t Inv, std::uint64_t It,
+              std::int64_t Combined) {
+    PendingRun &R = Pending[Tid];
+    if (R.Active && R.Invocation == Inv &&
+        R.CombinedBase + R.Count == Combined && R.FirstLocal + R.Count == It) {
+      ++R.Count;
+    } else {
+      flushRun(Tid);
+      R.Active = true;
+      R.Invocation = Inv;
+      R.Count = 1;
+      R.FirstLocal = It;
+      R.CombinedBase = Combined;
+    }
+    if (R.Count >= MaxBatch)
+      flushRun(Tid);
+  }
+
+  void flushAll() {
+    for (std::uint32_t W = 0; W < Pending.size(); ++W)
+      flushRun(W);
+  }
+
+private:
+  std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues;
+  telemetry::RegionTelemetry &Tel;
+  const unsigned Lane;
+  const std::size_t MaxBatch;
+  std::vector<PendingRun> Pending;
+  std::uint64_t NextFlow = 1;
+};
+
 /// Looks up every address of the current iteration in \p Shadow, emits sync
 /// conditions for cross-worker conflicts via
 /// \p EmitSync(DepTid, DepIter, Addr), and records the new accessor.
@@ -187,35 +309,11 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
                   std::vector<ProgressSlot> &Progress, DomoreStats &Stats,
                   telemetry::RegionTelemetry &Tel) {
   const unsigned Lane = Config.NumWorkers; // scheduler lane
-  const std::size_t MaxBatch = effectiveMaxBatch(Config);
   std::vector<std::uint64_t> Addrs;
-  std::vector<PendingRun> Pending(Config.NumWorkers);
+  DispatchState Dispatch(Config, Queues, Tel, Lane);
   std::vector<Message> SyncBuf;
   std::int64_t Combined = 0;
-  std::uint64_t NextFlow = 1;
   Stopwatch Busy;
-
-  // Ships worker W's pending run as one WorkRange message. Everything that
-  // might wait on one of its iterations calls this first, so by the time a
-  // wait exists its target range is in the worker's queue.
-  const auto FlushRun = [&](std::uint32_t W) {
-    PendingRun &R = Pending[W];
-    if (!R.Active)
-      return;
-    CIP_CHECK(R.Count > 0, "active pending run with no iterations");
-    // Stretch the flush-decided -> range-enqueued window: any wait that
-    // races ahead of this enqueue targets an undispatched iteration.
-    CIP_CHAOS_POINT(Dispatch);
-    produceCounted(*Queues[W],
-                   Message{Message::Work, /*DepTid=*/0, R.CombinedBase,
-                           R.Invocation, R.Count, R.FirstLocal, 0},
-                   Tel, Lane);
-    Tel.recordHist(Lane, Hist::DispatchBatch, R.Count);
-    Tel.add(Lane, Counter::IterationsDispatched, R.Count);
-    Tel.instant(Lane, EventKind::Dispatch, R.Invocation,
-                static_cast<std::uint64_t>(R.CombinedBase));
-    R.Active = false;
-  };
 
   for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
     // Before running the sequential outer-loop code, respect dependences
@@ -229,9 +327,7 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
           continue;
         // The scheduler must not wait on an iteration it has not yet
         // dispatched: flush the run that still holds it.
-        if (Pending[Prev.Tid].Active &&
-            Prev.Iter >= Pending[Prev.Tid].CombinedBase)
-          FlushRun(Prev.Tid);
+        Dispatch.flushIfHolds(Prev.Tid, Prev.Iter);
         if (!iterationDone(Progress[Prev.Tid], Prev.Iter)) {
           telemetry::TimedScope Stall(Tel, Lane, Counter::SchedulerStallNs,
                                       Hist::SchedStallNs, EventKind::SchedStall,
@@ -267,53 +363,191 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
         Tel.add(Lane, Counter::ShadowConflicts, Conflicts);
       Busy.stop();
 
-      if (CIP_UNLIKELY(!SyncBuf.empty())) {
-        // A sync condition never enters a queue while an iteration it
-        // depends on — or an earlier iteration of its own worker — is
-        // still in a pending run: flush the dependence sources (their
-        // range tails then cover DepIter) and the target's own run (queue
-        // order keeps earlier work ahead of the wait), then ship every
-        // condition of this iteration with one cursor update.
-        FlushRun(Tid);
-        for (Message &M : SyncBuf) {
-          if (Pending[M.DepTid].Active &&
-              M.Iter >= Pending[M.DepTid].CombinedBase)
-            FlushRun(M.DepTid);
-          M.Flow = NextFlow++;
-          Tel.flowBegin(Lane, M.Flow);
-        }
-        produceBatchCounted(*Queues[Tid], SyncBuf.data(), SyncBuf.size(), Tel,
-                            Lane);
-      }
-
-      PendingRun &R = Pending[Tid];
-      if (R.Active && R.Invocation == Inv &&
-          R.CombinedBase + R.Count == Combined &&
-          R.FirstLocal + R.Count == It) {
-        ++R.Count;
-      } else {
-        FlushRun(Tid);
-        R.Active = true;
-        R.Invocation = Inv;
-        R.Count = 1;
-        R.FirstLocal = It;
-        R.CombinedBase = Combined;
-      }
-      if (R.Count >= MaxBatch)
-        FlushRun(Tid);
+      if (CIP_UNLIKELY(!SyncBuf.empty()))
+        Dispatch.shipSyncs(Tid, SyncBuf);
+      Dispatch.extend(Tid, Inv, It, Combined);
       ++Combined;
     }
     Tel.end(Lane, EventKind::Invocation, Inv);
     ++Stats.Invocations;
   }
 
-  for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
-    FlushRun(W);
+  Dispatch.flushAll();
   for (auto &Q : Queues)
     Q->produce(Message{Message::End, 0, -1, 0, 0, 0, 0});
 
   Stats.Iterations = static_cast<std::uint64_t>(Combined);
   Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
+  Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
+}
+
+/// The sharded scheduler thread body (DESIGN.md §14): identical
+/// worker-visible protocol (DispatchState is shared code), but the
+/// detect-and-record stage runs as a two-stage software pipeline over blocks
+/// of iterations. Stage 1 (partition) runs computeAddr + the policy pick for
+/// the whole block, routes each probe to its address's shard, and issues a
+/// prefetch for the exact shadow slot the probe will touch; stage 2 (probe)
+/// then walks each shard's bucket — by then the prefetches have landed, so
+/// the dependent loads that serialize the serial scheduler overlap across
+/// shards here. Stage 3 merges per-shard findings back into iteration order
+/// and dispatches.
+///
+/// Determinism argument: every address maps to exactly one shard and each
+/// bucket preserves iteration order, so probe (J, Addr) observes precisely
+/// the updates of earlier iterations (and earlier same-iteration
+/// occurrences) of Addr — the same last-accessor the serial scheduler sees.
+/// The merge walks iterations in order and drains each shard's findings
+/// (also iteration-ordered) per iteration, so the dispatched sync-condition
+/// multiset per iteration is identical; only the within-iteration emission
+/// order changes (shard-grouped instead of address-ordered), and each sync
+/// is an independent wait shipped before the iteration's work, so that
+/// order is semantically irrelevant. Blocks never span invocation edges, so
+/// the shadow is fully up to date when a prologue probes it.
+template <typename ShardedT>
+void runSchedulerSharded(
+    const LoopNest &Nest, const DomoreConfig &Config, ShardedT &Shadow,
+    SchedulePolicy &Policy,
+    std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues,
+    std::vector<ProgressSlot> &Progress, DomoreStats &Stats,
+    telemetry::RegionTelemetry &Tel) {
+  const unsigned Lane = Config.NumWorkers; // scheduler lane
+  const std::uint32_t NumShards = Shadow.numShards();
+  /// Iterations per pipeline block: enough probes in flight to cover DRAM
+  /// latency, small enough that partition-stage state stays cache-resident.
+  constexpr std::size_t BlockIters = 128;
+
+  /// One probe routed to a shard, in iteration-then-address order.
+  struct ShardProbe {
+    std::uint32_t Seq; ///< block-local iteration index
+    std::uint64_t Addr;
+  };
+  /// One cross-worker conflict a shard probe found.
+  struct ShardConflict {
+    std::uint32_t Seq;
+    std::uint32_t DepTid;
+    std::int64_t DepIter;
+    std::uint64_t Addr;
+  };
+
+  std::vector<std::uint64_t> Addrs;
+  std::vector<std::uint32_t> Tids;
+  Tids.reserve(BlockIters);
+  std::vector<std::vector<ShardProbe>> Buckets(NumShards);
+  std::vector<std::vector<ShardConflict>> Found(NumShards);
+  std::vector<std::size_t> Cursor(NumShards);
+  std::vector<std::uint64_t> PerShardConflicts(NumShards, 0);
+  DispatchState Dispatch(Config, Queues, Tel, Lane);
+  std::vector<Message> SyncBuf;
+  std::int64_t Combined = 0;
+  Stopwatch Busy;
+
+  for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
+    // Prologue probes read the shadow serially; sound because the block
+    // loop below drains the pipeline before the invocation ends.
+    if (Nest.PrologueAddresses) {
+      Addrs.clear();
+      Nest.PrologueAddresses(Inv, Addrs);
+      for (std::uint64_t Addr : Addrs) {
+        const ShadowEntry Prev = Shadow.lookup(Addr);
+        if (!Prev.valid())
+          continue;
+        Dispatch.flushIfHolds(Prev.Tid, Prev.Iter);
+        if (!iterationDone(Progress[Prev.Tid], Prev.Iter)) {
+          telemetry::TimedScope Stall(Tel, Lane, Counter::SchedulerStallNs,
+                                      Hist::SchedStallNs, EventKind::SchedStall,
+                                      Prev.Tid,
+                                      static_cast<std::uint64_t>(Prev.Iter));
+          waitForIteration(Progress[Prev.Tid], Prev.Iter);
+        }
+        ++Stats.PrologueWaits;
+        Tel.add(Lane, Counter::PrologueWaits);
+      }
+    }
+
+    Tel.begin(Lane, EventKind::Invocation, Inv);
+    Busy.start();
+    const std::size_t NumIters = Nest.BeginInvocation(Inv);
+    Busy.stop();
+
+    for (std::size_t Block = 0; Block < NumIters;) {
+      const std::size_t BlockLen = std::min(BlockIters, NumIters - Block);
+      Busy.start();
+
+      // Stage 1: partition. computeAddr may run ahead of shadow updates
+      // because it is side-effect free and every policy is stateless.
+      Tids.clear();
+      for (std::uint32_t S = 0; S < NumShards; ++S) {
+        Buckets[S].clear();
+        Found[S].clear();
+      }
+      for (std::size_t J = 0; J < BlockLen; ++J) {
+        Addrs.clear();
+        Nest.ComputeAddr(Inv, Block + J, Addrs);
+        Tids.push_back(
+            Policy.pick(Combined + static_cast<std::int64_t>(J), Addrs));
+        for (std::uint64_t Addr : Addrs) {
+          const std::uint32_t S = Shadow.shardOf(Addr);
+          Shadow.prefetch(S, Addr);
+          Buckets[S].push_back(ShardProbe{static_cast<std::uint32_t>(J), Addr});
+        }
+      }
+
+      // Stage 2: probe each shard's bucket in iteration order.
+      for (std::uint32_t S = 0; S < NumShards; ++S) {
+        for (const ShardProbe &P : Buckets[S]) {
+          const ShadowEntry Prev = Shadow.shardLookup(S, P.Addr);
+          const std::uint32_t Tid = Tids[P.Seq];
+          if (Prev.valid() && Prev.Tid != Tid)
+            Found[S].push_back(
+                ShardConflict{P.Seq, Prev.Tid, Prev.Iter, P.Addr});
+          Shadow.shardUpdate(S, P.Addr, Tid,
+                             Combined + static_cast<std::int64_t>(P.Seq));
+        }
+      }
+      Busy.stop();
+
+      // Stage 3: deterministic merge back into iteration order + dispatch.
+      // Stretch the probes-done -> merge-dispatched window: a protocol bug
+      // here would ship a sync condition against an unflushed range.
+      CIP_CHAOS_POINT(ShardMerge);
+      std::fill(Cursor.begin(), Cursor.end(), 0);
+      for (std::size_t J = 0; J < BlockLen; ++J) {
+        const std::uint32_t Tid = Tids[J];
+        SyncBuf.clear();
+        for (std::uint32_t S = 0; S < NumShards; ++S) {
+          const auto &F = Found[S];
+          std::size_t &C = Cursor[S];
+          while (C < F.size() && F[C].Seq == J) {
+            Tel.recordConflict(F[C].DepTid, Tid, F[C].Addr);
+            SyncBuf.push_back(
+                Message{Message::Sync, F[C].DepTid, F[C].DepIter, 0, 0, 0, 0});
+            ++PerShardConflicts[S];
+            ++C;
+          }
+        }
+        if (CIP_UNLIKELY(!SyncBuf.empty())) {
+          Stats.SyncConditions += SyncBuf.size();
+          Tel.add(Lane, Counter::ShadowConflicts, SyncBuf.size());
+          Dispatch.shipSyncs(Tid, SyncBuf);
+        }
+        Dispatch.extend(Tid, Inv, Block + J,
+                        Combined + static_cast<std::int64_t>(J));
+      }
+      Combined += static_cast<std::int64_t>(BlockLen);
+      Block += BlockLen;
+    }
+    Tel.end(Lane, EventKind::Invocation, Inv);
+    ++Stats.Invocations;
+  }
+
+  Dispatch.flushAll();
+  for (auto &Q : Queues)
+    Q->produce(Message{Message::End, 0, -1, 0, 0, 0, 0});
+
+  Stats.Iterations = static_cast<std::uint64_t>(Combined);
+  Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
+  Stats.ShadowShards = NumShards;
+  Stats.ShardConflicts = std::move(PerShardConflicts);
   Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
 }
 
@@ -412,13 +646,22 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
 
   const double Begin = static_cast<double>(nowNanos());
   runThreads(Config.NumWorkers + 1, [&](unsigned ThreadIdx) {
-    if (ThreadIdx == Config.NumWorkers)
-      runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats,
-                   Tel);
-    else
+    if (ThreadIdx == Config.NumWorkers) {
+      if constexpr (ShadowT::Sharded)
+        runSchedulerSharded(Nest, Config, Shadow, *Policy, Queues, Progress,
+                            Stats, Tel);
+      else
+        runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats,
+                     Tel);
+    } else {
       runWorker(Nest, ThreadIdx, *Queues[ThreadIdx], Progress, Tel);
+    }
   });
   Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+  if constexpr (!ShadowT::Sharded) {
+    Stats.ShadowShards = 1;
+    Stats.ShardConflicts = {Stats.SyncConditions};
+  }
   Stats.Telemetry = Tel.totals();
   Stats.ConflictPairs = Tel.heatmapPairs();
   Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
@@ -431,11 +674,26 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
 
 DomoreStats domore::runDomore(const LoopNest &Nest,
                               const DomoreConfig &Config) {
+  const std::uint32_t Shards = effectiveShadowShards(Config);
   if (Nest.AddressSpaceSize > 0) {
+    if (Shards > 1) {
+      if (Config.Carry)
+        return runWithShadow(
+            Nest, Config,
+            Config.Carry->shardedDense(Nest.AddressSpaceSize, Shards));
+      ShardedDenseShadowMemory Shadow(Nest.AddressSpaceSize, Shards);
+      return runWithShadow(Nest, Config, Shadow);
+    }
     if (Config.Carry)
       return runWithShadow(Nest, Config,
                            Config.Carry->dense(Nest.AddressSpaceSize));
     DenseShadowMemory Shadow(Nest.AddressSpaceSize);
+    return runWithShadow(Nest, Config, Shadow);
+  }
+  if (Shards > 1) {
+    if (Config.Carry)
+      return runWithShadow(Nest, Config, Config.Carry->shardedHash(Shards));
+    ShardedHashShadowMemory Shadow(Shards);
     return runWithShadow(Nest, Config, Shadow);
   }
   if (Config.Carry)
@@ -547,6 +805,10 @@ DomoreStats domore::runDomoreDuplicated(const LoopNest &Nest,
     assert(SyncsPerWorker[W] == SyncsPerWorker[0] &&
            "duplicated schedulers disagree on the conflict count");
   Stats.SyncConditions = SyncsPerWorker[0];
+  // Sharding never applies here: each duplicated worker already owns a
+  // private, contention-free shadow.
+  Stats.ShadowShards = 1;
+  Stats.ShardConflicts = {Stats.SyncConditions};
   Stats.Telemetry = Tel.totals();
   Stats.ConflictPairs = Tel.heatmapPairs();
   Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);

@@ -120,6 +120,16 @@ struct DomoreStats {
   /// \c Iterations). Empty with CIP_TELEMETRY=0 and for the duplicated
   /// variant, which has no scheduler->worker messages.
   telemetry::HistogramData DispatchBatch;
+
+  /// Number of shadow-memory shards the scheduler ran with (1 = the serial
+  /// single-probe detect-and-record path).
+  std::uint32_t ShadowShards = 1;
+
+  /// Per-shard conflict heatmap: sync conditions attributed to the shard
+  /// whose probe detected them. Always sums to \c SyncConditions; a single
+  /// entry on the serial path. Unlike \c ConflictPairs this is populated
+  /// regardless of CIP_TELEMETRY (the sharded scheduler counts them anyway).
+  std::vector<std::uint64_t> ShardConflicts;
 };
 
 /// Which scheduling policy the engine should construct.
@@ -151,9 +161,32 @@ public:
     return Hash;
   }
 
+  /// A cleared sharded dense shadow. Reallocates when either the address
+  /// space size or the shard count changes.
+  ShardedDenseShadowMemory &shardedDense(std::size_t Size,
+                                         std::uint32_t Shards) {
+    if (!ShardedDense || ShardedDense->size() != Size ||
+        ShardedDense->numShards() != Shards)
+      ShardedDense = std::make_unique<ShardedDenseShadowMemory>(Size, Shards);
+    else
+      ShardedDense->clear();
+    return *ShardedDense;
+  }
+
+  /// A cleared sharded hash shadow; per-shard table capacities persist.
+  ShardedHashShadowMemory &shardedHash(std::uint32_t Shards) {
+    if (!ShardedHash || ShardedHash->numShards() != Shards)
+      ShardedHash = std::make_unique<ShardedHashShadowMemory>(Shards);
+    else
+      ShardedHash->clear();
+    return *ShardedHash;
+  }
+
 private:
   std::unique_ptr<DenseShadowMemory> Dense;
   HashShadowMemory Hash;
+  std::unique_ptr<ShardedDenseShadowMemory> ShardedDense;
+  std::unique_ptr<ShardedHashShadowMemory> ShardedHash;
 };
 
 /// Configuration for one DOMORE execution.
@@ -170,6 +203,15 @@ struct DomoreConfig {
   /// when set, overrides this for every run — CI uses it to keep the legacy
   /// path covered.
   std::size_t MaxBatch = 16;
+  /// Number of shadow-memory shards for the scheduler's detect-and-record
+  /// stage. 0 or 1 selects the serial single-probe scheduler; N > 1 runs
+  /// the two-stage pipelined scheduler over an N-way sharded shadow
+  /// (DESIGN.md §14) — same sync conditions, better memory-level
+  /// parallelism. The CIP_SHADOW_SHARDS environment variable (a positive
+  /// integer <= 4096), when set, overrides this for every run; a malformed
+  /// value exits 2. runDomoreDuplicated ignores sharding: its per-worker
+  /// private shadows are already contention-free.
+  std::uint32_t ShadowShards = 0;
   /// Optional warm-carry storage owned by the caller. When set, runDomore
   /// draws its (cleared) shadow memory from here instead of constructing a
   /// fresh one. runDomoreDuplicated ignores it: every duplicated worker

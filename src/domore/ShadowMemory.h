@@ -13,13 +13,23 @@
 /// and O(1) amortized updates, since every scheduled iteration probes it for
 /// every address in its computeAddr set.
 ///
-/// Two implementations are provided behind one interface:
+/// Implementations behind one interface:
 ///  * \c DenseShadowMemory — direct-indexed array for workloads whose
 ///    abstract addresses are array element ids in a known range (every
 ///    benchmark in Table 5.1 is of this form; this mirrors the paper's
-///    "shadow array").
+///    "shadow array"). Clearing is O(1) via generation stamping: each
+///    update records the current generation, and entries from older
+///    generations read as invalid.
 ///  * \c HashShadowMemory — open-addressing exact-key hash table for
 ///    pointer-shaped address spaces.
+///  * \c ShardedDenseShadowMemory / \c ShardedHashShadowMemory — the same
+///    substrates partitioned into N independent shards by address, so the
+///    scheduler's detect-and-record stage can be pipelined: a partition
+///    stage routes each probe to its shard (issuing prefetches), and a
+///    per-shard probe stage walks each shard's probes in iteration order
+///    (DESIGN.md §14). Every address maps to exactly one shard, so the
+///    per-address last-accessor history — the only state dependence
+///    detection reads — is identical to the serial substrate's.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,31 +59,64 @@ struct ShadowEntry {
 /// Direct-indexed shadow memory over abstract addresses [0, Size).
 class DenseShadowMemory {
 public:
+  static constexpr bool Sharded = false;
+
   explicit DenseShadowMemory(std::size_t Size) : Entries(Size) {}
 
-  /// Returns the last-accessor record for \p Addr (invalid if untouched).
+  /// Returns the last-accessor record for \p Addr (invalid if untouched
+  /// since the last clear()).
   ShadowEntry lookup(std::uint64_t Addr) const {
     assert(Addr < Entries.size() && "shadow address out of range");
-    return Entries[Addr];
+    const Slot &S = Entries[Addr];
+    if (S.Gen != CurrentGen)
+      return ShadowEntry();
+    return ShadowEntry{S.Tid, S.Iter};
   }
 
   /// Records that combined iteration \p Iter, scheduled to \p Tid, accesses
   /// \p Addr.
   void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter) {
     assert(Addr < Entries.size() && "shadow address out of range");
-    Entries[Addr] = ShadowEntry{Tid, Iter};
+    Entries[Addr] = Slot{Tid, CurrentGen, Iter};
   }
 
-  /// Forgets all recorded accesses.
+  /// Hints the cache that \p Addr is about to be probed.
+  void prefetch(std::uint64_t Addr) const {
+    assert(Addr < Entries.size() && "shadow address out of range");
+    CIP_PREFETCH(&Entries[Addr]);
+  }
+
+  /// Forgets all recorded accesses. O(1): bumps the live generation, so
+  /// slots stamped with any older generation read as invalid. When the
+  /// 32-bit counter wraps (once per 2^32 - 1 clears) a slot written exactly
+  /// 2^32 clears ago would alias the new generation, so the wrap pays one
+  /// hard O(Size) reset to stay exact.
   void clear() {
-    for (auto &E : Entries)
-      E = ShadowEntry();
+    if (CIP_LIKELY(++CurrentGen != 0))
+      return;
+    for (auto &S : Entries)
+      S = Slot();
+    CurrentGen = 1;
   }
 
   std::size_t size() const { return Entries.size(); }
 
+  /// Test hook: jump the generation counter forward (monotone only) so unit
+  /// tests can exercise the wrap path without 2^32 - 1 clears.
+  void setGenerationForTesting(std::uint32_t Gen) {
+    assert(Gen >= CurrentGen && "generation must advance monotonically");
+    CurrentGen = Gen;
+  }
+
 private:
-  std::vector<ShadowEntry> Entries;
+  struct Slot {
+    std::uint32_t Tid = 0;
+    std::uint32_t Gen = 0; // 0 is never a live generation
+    std::int64_t Iter = ShadowEntry::InvalidIter;
+  };
+
+  std::vector<Slot> Entries;
+  std::uint32_t CurrentGen = 1;
 };
 
 /// Exact-key open-addressing (linear probing) shadow memory for sparse or
@@ -81,21 +124,21 @@ private:
 /// so dependence detection stays sound.
 class HashShadowMemory {
 public:
+  static constexpr bool Sharded = false;
+
   explicit HashShadowMemory(std::size_t ExpectedEntries = 1024);
 
   ShadowEntry lookup(std::uint64_t Addr) const;
   void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter);
   void clear();
 
+  /// Hints the cache that \p Addr's home slot is about to be probed. Only a
+  /// hint: linear probing may continue past the prefetched line.
+  void prefetch(std::uint64_t Addr) const {
+    CIP_PREFETCH(&Slots[hashAddr(Addr) & (Slots.size() - 1)]);
+  }
+
   std::size_t size() const { return Live; }
-
-private:
-  struct Slot {
-    std::uint64_t Addr = EmptyKey;
-    ShadowEntry Entry;
-  };
-
-  static constexpr std::uint64_t EmptyKey = ~std::uint64_t{0};
 
   static std::uint64_t hashAddr(std::uint64_t A) {
     // Fibonacci hashing; addresses are often sequential, so mix well.
@@ -105,10 +148,134 @@ private:
     return A;
   }
 
+private:
+  struct Slot {
+    std::uint64_t Addr = EmptyKey;
+    ShadowEntry Entry;
+  };
+
+  static constexpr std::uint64_t EmptyKey = ~std::uint64_t{0};
+
   void grow();
 
   std::vector<Slot> Slots;
   std::size_t Live = 0;
+};
+
+/// Dense shadow striped across \p NumShards independent shards:
+/// shard(Addr) = Addr % NumShards, with Addr / NumShards as the index inside
+/// the shard. Striding by shard count keeps each shard's footprint at
+/// ceil(Size / NumShards) regardless of address locality.
+class ShardedDenseShadowMemory {
+public:
+  static constexpr bool Sharded = true;
+
+  ShardedDenseShadowMemory(std::size_t Size, std::uint32_t NumShards)
+      : Space(Size) {
+    assert(NumShards > 0 && "need at least one shard");
+    const std::size_t PerShard = (Size + NumShards - 1) / NumShards;
+    Shards.reserve(NumShards);
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Shards.emplace_back(PerShard);
+  }
+
+  std::uint32_t numShards() const {
+    return static_cast<std::uint32_t>(Shards.size());
+  }
+  std::uint32_t shardOf(std::uint64_t Addr) const {
+    return static_cast<std::uint32_t>(Addr % Shards.size());
+  }
+
+  ShadowEntry shardLookup(std::uint32_t Shard, std::uint64_t Addr) const {
+    return Shards[Shard].lookup(Addr / Shards.size());
+  }
+  void shardUpdate(std::uint32_t Shard, std::uint64_t Addr, std::uint32_t Tid,
+                   std::int64_t Iter) {
+    Shards[Shard].update(Addr / Shards.size(), Tid, Iter);
+  }
+  void prefetch(std::uint32_t Shard, std::uint64_t Addr) const {
+    Shards[Shard].prefetch(Addr / Shards.size());
+  }
+
+  /// Unsharded probes for serial contexts (invocation prologues).
+  ShadowEntry lookup(std::uint64_t Addr) const {
+    return shardLookup(shardOf(Addr), Addr);
+  }
+  void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter) {
+    shardUpdate(shardOf(Addr), Addr, Tid, Iter);
+  }
+
+  void clear() {
+    for (auto &S : Shards)
+      S.clear();
+  }
+
+  /// The striped address space size (not per-shard capacity).
+  std::size_t size() const { return Space; }
+
+private:
+  std::size_t Space;
+  std::vector<DenseShadowMemory> Shards;
+};
+
+/// Hash shadow partitioned across \p NumShards independent tables. The shard
+/// is picked from the *high* bits of the Fibonacci mix, while each table's
+/// slot index uses the low bits, so partitioning does not correlate with
+/// (and thus cluster) the within-shard probe sequence.
+class ShardedHashShadowMemory {
+public:
+  static constexpr bool Sharded = true;
+
+  explicit ShardedHashShadowMemory(std::uint32_t NumShards,
+                                   std::size_t ExpectedEntriesPerShard = 256) {
+    assert(NumShards > 0 && "need at least one shard");
+    Shards.reserve(NumShards);
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Shards.emplace_back(ExpectedEntriesPerShard);
+  }
+
+  std::uint32_t numShards() const {
+    return static_cast<std::uint32_t>(Shards.size());
+  }
+  std::uint32_t shardOf(std::uint64_t Addr) const {
+    return static_cast<std::uint32_t>(
+        (HashShadowMemory::hashAddr(Addr) >> 32) % Shards.size());
+  }
+
+  ShadowEntry shardLookup(std::uint32_t Shard, std::uint64_t Addr) const {
+    return Shards[Shard].lookup(Addr);
+  }
+  void shardUpdate(std::uint32_t Shard, std::uint64_t Addr, std::uint32_t Tid,
+                   std::int64_t Iter) {
+    Shards[Shard].update(Addr, Tid, Iter);
+  }
+  void prefetch(std::uint32_t Shard, std::uint64_t Addr) const {
+    Shards[Shard].prefetch(Addr);
+  }
+
+  /// Unsharded probes for serial contexts (invocation prologues).
+  ShadowEntry lookup(std::uint64_t Addr) const {
+    return shardLookup(shardOf(Addr), Addr);
+  }
+  void update(std::uint64_t Addr, std::uint32_t Tid, std::int64_t Iter) {
+    shardUpdate(shardOf(Addr), Addr, Tid, Iter);
+  }
+
+  void clear() {
+    for (auto &S : Shards)
+      S.clear();
+  }
+
+  /// Total live entries across shards.
+  std::size_t size() const {
+    std::size_t Total = 0;
+    for (const auto &S : Shards)
+      Total += S.size();
+    return Total;
+  }
+
+private:
+  std::vector<HashShadowMemory> Shards;
 };
 
 } // namespace domore

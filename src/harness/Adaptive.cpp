@@ -97,6 +97,8 @@ ExecResult runDomoreWindow(AdaptiveContext &Ctx, Workload &View) {
   Config.Carry = &Ctx.Carry; // warm-carry: reuse the shadow allocation
   if (Ctx.PlanMaxBatch) // plan hint; CIP_MAX_BATCH still wins in the runtime
     Config.MaxBatch = Ctx.PlanMaxBatch;
+  if (Ctx.PlanShadowShards) // plan hint; CIP_SHADOW_SHARDS still wins
+    Config.ShadowShards = Ctx.PlanShadowShards;
 
   ExecResult R;
   const std::uint64_t Begin = nowNanos();
@@ -313,6 +315,13 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
         if (T == policy::Technique::Domore && S.MeanDispatchBatch > 0.0)
           P.MaxBatchHint = static_cast<std::uint32_t>(
               std::clamp(S.MeanDispatchBatch + 0.5, 1.0, 64.0));
+        // Scheduler-bound regions (the Table 5.2 failure mode) are the ones
+        // the sharded detect-and-record stage unthrottles; recommend it when
+        // the calibration window measured the scheduler busy for a third or
+        // more of the region.
+        if (T == policy::Technique::Domore &&
+            S.SchedulerRatioPercent >= 33.0)
+          P.ShadowShards = 8;
       }
       St.ExecSeconds += R.Seconds;
       Out.BarrierIdleNanos += R.BarrierIdleNanos;
@@ -384,6 +393,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Engine.warmStart(plan::warmStartFrom(P));
     Ctx.PlanSpecDistance = P.SpecDistance;
     Ctx.PlanMaxBatch = P.MaxBatchHint;
+    Ctx.PlanShadowShards = P.ShadowShards;
 
     St.Plan.Profiled = true;
     St.Plan.Source = "profile";
@@ -392,12 +402,14 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.SequentialSecondsPerEpoch = P.SequentialSecondsPerEpoch;
     St.Plan.SpecDistance = P.SpecDistance;
     St.Plan.MaxBatchHint = P.MaxBatchHint;
+    St.Plan.ShadowShards = P.ShadowShards;
     St.Plan.MinDependenceDistance = P.MinDependenceDistance;
   } else if (Opts.Plan) {
     PlanInitial = Opts.Plan->Initial;
     Engine.warmStart(plan::warmStartFrom(*Opts.Plan));
     Ctx.PlanSpecDistance = Opts.Plan->SpecDistance;
     Ctx.PlanMaxBatch = Opts.Plan->MaxBatchHint;
+    Ctx.PlanShadowShards = Opts.Plan->ShadowShards;
 
     St.Plan.Loaded = true;
     St.Plan.Source = Opts.PlanSource;
@@ -407,6 +419,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.SequentialSecondsPerEpoch = Opts.Plan->SequentialSecondsPerEpoch;
     St.Plan.SpecDistance = Opts.Plan->SpecDistance;
     St.Plan.MaxBatchHint = Opts.Plan->MaxBatchHint;
+    St.Plan.ShadowShards = Opts.Plan->ShadowShards;
     St.Plan.MinDependenceDistance = Opts.Plan->MinDependenceDistance;
   }
 

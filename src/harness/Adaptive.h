@@ -78,6 +78,9 @@ struct AdaptiveContext {
   /// env knob is resolved inside the DOMORE runtime).
   std::uint64_t PlanSpecDistance = 0;
   std::uint32_t PlanMaxBatch = 0;
+  /// Shadow-shard count for DOMORE windows (0 = serial scheduler;
+  /// CIP_SHADOW_SHARDS, when set, still overrides the hint).
+  std::uint32_t PlanShadowShards = 0;
 };
 
 /// One uniform dispatch row per technique: how the adaptive harness runs a

@@ -85,6 +85,8 @@ std::string plan::renderPlan(const RegionPlan &P) {
   W.value(P.SpecDistance);
   W.key("max_batch_hint");
   W.value(P.MaxBatchHint);
+  W.key("shadow_shards");
+  W.value(P.ShadowShards);
   W.endObject();
   std::string Out = W.take();
   Out += '\n';
@@ -144,9 +146,9 @@ bool getString(const json::Value &Obj, const char *Key, std::string &Out) {
 
 const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
   static const char *const Grammar =
-      "a plan_version 1 region plan object (see DESIGN.md section 13)";
+      "a plan_version 2 region plan object (see DESIGN.md section 13)";
   static const char *const VersionErr =
-      "plan_version 1 (re-profile with this build's CIP_PROFILE)";
+      "plan_version 2 (re-profile with this build's CIP_PROFILE)";
 
   json::Value Doc;
   if (!json::parse(Text, Doc) || !Doc.isObject())
@@ -195,7 +197,8 @@ const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
       !getU32(Doc, "min_epoch_distance", P.MinEpochDistance) ||
       !getU64(Doc, "conflicting_addresses", P.ConflictingAddresses) ||
       !getU64(Doc, "spec_distance", P.SpecDistance) ||
-      !getU32(Doc, "max_batch_hint", P.MaxBatchHint))
+      !getU32(Doc, "max_batch_hint", P.MaxBatchHint) ||
+      !getU32(Doc, "shadow_shards", P.ShadowShards))
     return Grammar;
 
   Out = P;

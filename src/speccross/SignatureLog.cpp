@@ -1,0 +1,41 @@
+//===- speccross/SignatureLog.cpp - SIMD dispatch & knob parsing ---------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "speccross/SignatureLog.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace cip;
+using namespace cip::speccross;
+
+bool detail::avx2Available() {
+#if defined(__x86_64__)
+  static const bool Avail = __builtin_cpu_supports("avx2");
+  return Avail;
+#else
+  return false;
+#endif
+}
+
+bool detail::batchCheckFromEnv(bool Default) {
+  const char *S = std::getenv("CIP_SIMD");
+  if (!S || !*S)
+    return Default;
+  if (std::strcmp(S, "0") == 0)
+    return false;
+  if (std::strcmp(S, "1") == 0)
+    return true;
+  std::fprintf(stderr,
+               "error: CIP_SIMD='%s' is invalid: expected 0 (scalar "
+               "signature checking) or 1 (batched)\n",
+               S);
+  // _Exit, not exit: engines may construct while other threads are live,
+  // and running atexit/destructors from here trips std::terminate. A
+  // config error wants immediate, clean-status death.
+  std::_Exit(2);
+}

@@ -1,0 +1,439 @@
+//===- speccross/SignatureLog.h - SoA epoch signature logs -----*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structure-of-arrays storage for one (worker, epoch) signature log, plus
+/// the batched overlap kernels behind the SPECCROSS checker's fast path
+/// (DESIGN.md §14). The serial checker walks an epoch log one signature at
+/// a time through \c Sig::overlaps — a pointer-chasing loop whose body is a
+/// handful of compares. \c SignatureLog keeps each scheme's comparison keys
+/// in contiguous per-field planes so \c batchFirstOverlap can test a whole
+/// chunk of candidates per trip with straight-line vector code:
+///
+///  * Range: Min and Max planes; overlap is two unsigned compares plus an
+///    empty-slot exclusion, reduced over 4 slots per AVX2 step.
+///  * Bloom: plane-major filter words (plane w holds word w of every slot);
+///    overlap is a wide AND-then-OR reduction across the planes.
+///  * SmallSet: signatures stay AoS for the exact pairwise confirm, but a
+///    Min/Max plane pair prefilters chunks so the expensive exact test only
+///    runs on range-intersecting candidates.
+///
+/// Every kernel is a *first-hit scan*: it returns the smallest index in
+/// [Begin, End) whose signature overlaps, or \c npos — exactly what the
+/// scalar loop computes, so checker semantics (which pair aborts, the
+/// forensics record, the comparison count) are bit-identical in both modes.
+/// The scalar \c firstOverlap stays as the forensics-friendly fallback and
+/// the differential oracle for the property tests.
+///
+/// Dispatch: the compile baseline is plain x86-64, so the AVX2 kernels are
+/// compiled per-function with a target attribute and selected at runtime
+/// via a cached cpuid probe (\c detail::avx2Available). The generic chunked
+/// kernels are plain autovectorizable C++ and serve every other machine.
+/// \c CIP_SIMD=0 disables batching entirely (the checker then runs the
+/// scalar scan); see \c detail::batchCheckFromEnv.
+///
+/// Concurrency contract (unchanged from the AoS logs): logs are pre-sized
+/// before workers start and never reallocate; worker w writes slot K via
+/// \c set and publishes it with its subsequent clock/Done release store;
+/// the checker only scans epochs the publishing clocks already cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_SPECCROSS_SIGNATURELOG_H
+#define CIP_SPECCROSS_SIGNATURELOG_H
+
+#include "speccross/Signature.h"
+#include "support/Compiler.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace cip {
+namespace speccross {
+
+namespace detail {
+
+/// True when the running CPU supports AVX2 (cached cpuid probe). The wide
+/// kernels carry a per-function target("avx2") attribute, so they exist in
+/// every build but may only be entered behind this check.
+bool avx2Available();
+
+/// Effective batch-check setting: the CIP_SIMD environment variable
+/// ("0" = scalar checker, "1" = batched checker), when set, overrides
+/// \p Default (SpecConfig::BatchCheck); any other value exits 2.
+bool batchCheckFromEnv(bool Default);
+
+} // namespace detail
+
+/// One (worker, epoch) signature log. The primary template is the generic
+/// array-of-structures fallback for user-provided signature schemes: its
+/// batch kernel is just the scalar scan, so correctness never depends on a
+/// scheme-specific specialization existing. The three built-in schemes
+/// specialize below with real SoA layouts.
+template <typename Sig> class SignatureLog {
+public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void resize(std::size_t N) { Sigs.assign(N, Sig()); }
+  std::size_t size() const { return Sigs.size(); }
+
+  void set(std::size_t K, const Sig &S) { Sigs[K] = S; }
+  Sig get(std::size_t K) const { return Sigs[K]; }
+
+  bool overlapsAt(const Sig &Mine, std::size_t K) const {
+    return Mine.overlaps(Sigs[K]);
+  }
+
+  /// Smallest K in [Begin, End) with overlapsAt(Mine, K), else npos.
+  std::size_t firstOverlap(const Sig &Mine, std::size_t Begin,
+                           std::size_t End) const {
+    for (std::size_t K = Begin; K < End; ++K)
+      if (Mine.overlaps(Sigs[K]))
+        return K;
+    return npos;
+  }
+
+  std::size_t batchFirstOverlap(const Sig &Mine, std::size_t Begin,
+                                std::size_t End) const {
+    return firstOverlap(Mine, Begin, End);
+  }
+
+private:
+  std::vector<Sig> Sigs;
+};
+
+/// Range signatures: Min/Max planes. An empty slot keeps the default
+/// Min > Max encoding (Min = ~0, Max = 0), so the batch predicate's
+/// Mn[K] <= Mx[K] term excludes exactly the slots the scalar
+/// RangeSignature::overlaps rejects as empty.
+template <> class SignatureLog<RangeSignature> {
+public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void resize(std::size_t N) {
+    Mins.assign(N, ~std::uint64_t{0});
+    Maxs.assign(N, 0);
+  }
+  std::size_t size() const { return Mins.size(); }
+
+  void set(std::size_t K, const RangeSignature &S) {
+    Mins[K] = S.Min;
+    Maxs[K] = S.Max;
+  }
+  RangeSignature get(std::size_t K) const {
+    RangeSignature S;
+    S.Min = Mins[K];
+    S.Max = Maxs[K];
+    return S;
+  }
+
+  bool overlapsAt(const RangeSignature &Mine, std::size_t K) const {
+    return Mine.overlaps(get(K));
+  }
+
+  std::size_t firstOverlap(const RangeSignature &Mine, std::size_t Begin,
+                           std::size_t End) const {
+    if (Mine.empty())
+      return npos;
+    const std::uint64_t *Mn = Mins.data();
+    const std::uint64_t *Mx = Maxs.data();
+    for (std::size_t K = Begin; K < End; ++K)
+      if (Mine.Min <= Mx[K] && Mn[K] <= Mine.Max && Mn[K] <= Mx[K])
+        return K;
+    return npos;
+  }
+
+  std::size_t batchFirstOverlap(const RangeSignature &Mine, std::size_t Begin,
+                                std::size_t End) const {
+    if (Mine.empty())
+      return npos;
+#if defined(__x86_64__)
+    if (detail::avx2Available())
+      return firstOverlapAvx2(Mine, Begin, End);
+#endif
+    const std::uint64_t *Mn = Mins.data();
+    const std::uint64_t *Mx = Maxs.data();
+    constexpr std::size_t Chunk = 16;
+    std::size_t K = Begin;
+    // Branchless any-hit accumulation per chunk (autovectorizable); a hit
+    // chunk falls through to the scalar scan that pins the first index.
+    for (; K + Chunk <= End; K += Chunk) {
+      std::uint64_t Any = 0;
+      for (std::size_t I = 0; I < Chunk; ++I) {
+        const std::size_t J = K + I;
+        Any |= static_cast<std::uint64_t>(
+            (Mine.Min <= Mx[J]) & (Mn[J] <= Mine.Max) & (Mn[J] <= Mx[J]));
+      }
+      if (Any)
+        break;
+    }
+    for (; K < End; ++K)
+      if (Mine.Min <= Mx[K] && Mn[K] <= Mine.Max && Mn[K] <= Mx[K])
+        return K;
+    return npos;
+  }
+
+private:
+#if defined(__x86_64__)
+  /// 4 slots per step. _mm256_cmpgt_epi64 is a signed compare, so both
+  /// sides are sign-flipped (x ^ 2^63 preserves unsigned order in signed
+  /// space). A lane *misses* when the range test fails or the slot is
+  /// empty; a not-all-miss group drops to the scalar scan for the first.
+  __attribute__((target("avx2"))) std::size_t
+  firstOverlapAvx2(const RangeSignature &Mine, std::size_t Begin,
+                   std::size_t End) const {
+    const std::uint64_t *Mn = Mins.data();
+    const std::uint64_t *Mx = Maxs.data();
+    const __m256i Flip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    const __m256i MineMin = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(Mine.Min)), Flip);
+    const __m256i MineMax = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(Mine.Max)), Flip);
+    std::size_t K = Begin;
+    for (; K + 4 <= End; K += 4) {
+      const __m256i Lo = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Mn + K)), Flip);
+      const __m256i Hi = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Mx + K)), Flip);
+      const __m256i A = _mm256_cmpgt_epi64(MineMin, Hi); // Mine.Min > Mx[K]
+      const __m256i B = _mm256_cmpgt_epi64(Lo, MineMax); // Mn[K] > Mine.Max
+      const __m256i C = _mm256_cmpgt_epi64(Lo, Hi);      // empty slot
+      const __m256i Miss = _mm256_or_si256(A, _mm256_or_si256(B, C));
+      if (_mm256_movemask_epi8(Miss) != -1)
+        break;
+    }
+    for (; K < End; ++K)
+      if (Mine.Min <= Mx[K] && Mn[K] <= Mine.Max && Mn[K] <= Mx[K])
+        return K;
+    return npos;
+  }
+#endif
+
+  std::vector<std::uint64_t> Mins;
+  std::vector<std::uint64_t> Maxs;
+};
+
+/// Bloom signatures: plane-major word storage — plane w is the contiguous
+/// run Planes[w*N .. w*N + N), holding filter word w of every slot. Overlap
+/// at K is "any plane's word ANDs nonzero against Mine's", which the batch
+/// kernel evaluates as an OR-of-ANDs reduction over the planes (OR of ANDs
+/// is nonzero iff some individual AND is — the exact scalar predicate).
+template <unsigned Words> class SignatureLog<BloomSignatureT<Words>> {
+public:
+  using Sig = BloomSignatureT<Words>;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void resize(std::size_t N) {
+    Count = N;
+    Planes.assign(static_cast<std::size_t>(Words) * N, 0);
+  }
+  std::size_t size() const { return Count; }
+
+  void set(std::size_t K, const Sig &S) {
+    for (unsigned W = 0; W < Words; ++W)
+      Planes[W * Count + K] = S.Bits[W];
+  }
+  Sig get(std::size_t K) const {
+    Sig S;
+    for (unsigned W = 0; W < Words; ++W)
+      S.Bits[W] = Planes[W * Count + K];
+    return S;
+  }
+
+  bool overlapsAt(const Sig &Mine, std::size_t K) const {
+    for (unsigned W = 0; W < Words; ++W)
+      if ((Mine.Bits[W] & Planes[W * Count + K]) != 0)
+        return true;
+    return false;
+  }
+
+  std::size_t firstOverlap(const Sig &Mine, std::size_t Begin,
+                           std::size_t End) const {
+    for (std::size_t K = Begin; K < End; ++K)
+      if (overlapsAt(Mine, K))
+        return K;
+    return npos;
+  }
+
+  std::size_t batchFirstOverlap(const Sig &Mine, std::size_t Begin,
+                                std::size_t End) const {
+#if defined(__x86_64__)
+    if (detail::avx2Available())
+      return firstOverlapAvx2(Mine, Begin, End);
+#endif
+    const std::uint64_t *P = Planes.data();
+    constexpr std::size_t Chunk = 16;
+    std::size_t K = Begin;
+    for (; K + Chunk <= End; K += Chunk) {
+      std::uint64_t Any = 0;
+      for (std::size_t I = 0; I < Chunk; ++I) {
+        std::uint64_t Acc = 0;
+        for (unsigned W = 0; W < Words; ++W)
+          Acc |= Mine.Bits[W] & P[W * Count + K + I];
+        Any |= Acc;
+      }
+      if (Any)
+        break;
+    }
+    for (; K < End; ++K)
+      if (overlapsAt(Mine, K))
+        return K;
+    return npos;
+  }
+
+private:
+#if defined(__x86_64__)
+  __attribute__((target("avx2"))) std::size_t
+  firstOverlapAvx2(const Sig &Mine, std::size_t Begin, std::size_t End) const {
+    const std::uint64_t *P = Planes.data();
+    __m256i MineW[Words];
+    for (unsigned W = 0; W < Words; ++W)
+      MineW[W] = _mm256_set1_epi64x(static_cast<long long>(Mine.Bits[W]));
+    std::size_t K = Begin;
+    for (; K + 4 <= End; K += 4) {
+      __m256i Acc = _mm256_setzero_si256();
+      for (unsigned W = 0; W < Words; ++W) {
+        const __m256i Pk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(P + W * Count + K));
+        Acc = _mm256_or_si256(Acc, _mm256_and_si256(MineW[W], Pk));
+      }
+      const __m256i Zero = _mm256_cmpeq_epi64(Acc, _mm256_setzero_si256());
+      if (_mm256_movemask_epi8(Zero) != -1)
+        break; // some lane's reduction is nonzero: scalar scan pins it
+    }
+    for (; K < End; ++K)
+      if (overlapsAt(Mine, K))
+        return K;
+    return npos;
+  }
+#endif
+
+  std::size_t Count = 0;
+  std::vector<std::uint64_t> Planes;
+};
+
+/// Small-set signatures: the exact pairwise confirm needs the full address
+/// array, so signatures stay AoS — but a Min/Max plane pair mirrors each
+/// slot's range so chunks can be *prefiltered* with the vector range test.
+/// Slots failing the prefilter are exactly those the scalar overlaps
+/// rejects through its empty / ranges-disjoint early-outs; surviving
+/// candidates are decided by the real scalar overlaps (which handles the
+/// Overflowed degradation and the exact pairwise compare). A chunk whose
+/// candidates all fail the confirm continues to the next chunk — it must
+/// not fall back to a scalar scan of the remainder, or the work saved by
+/// the prefilter would vanish on false-candidate-heavy logs.
+template <unsigned Cap> class SignatureLog<SmallSetSignatureT<Cap>> {
+public:
+  using Sig = SmallSetSignatureT<Cap>;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void resize(std::size_t N) {
+    Sigs.assign(N, Sig());
+    Mins.assign(N, ~std::uint64_t{0});
+    Maxs.assign(N, 0);
+  }
+  std::size_t size() const { return Sigs.size(); }
+
+  void set(std::size_t K, const Sig &S) {
+    Sigs[K] = S;
+    Mins[K] = S.Min;
+    Maxs[K] = S.Max;
+  }
+  Sig get(std::size_t K) const { return Sigs[K]; }
+
+  bool overlapsAt(const Sig &Mine, std::size_t K) const {
+    return Mine.overlaps(Sigs[K]);
+  }
+
+  std::size_t firstOverlap(const Sig &Mine, std::size_t Begin,
+                           std::size_t End) const {
+    for (std::size_t K = Begin; K < End; ++K)
+      if (Mine.overlaps(Sigs[K]))
+        return K;
+    return npos;
+  }
+
+  std::size_t batchFirstOverlap(const Sig &Mine, std::size_t Begin,
+                                std::size_t End) const {
+    if (Mine.empty())
+      return npos;
+#if defined(__x86_64__)
+    if (detail::avx2Available())
+      return firstOverlapAvx2(Mine, Begin, End);
+#endif
+    const std::uint64_t *Mn = Mins.data();
+    const std::uint64_t *Mx = Maxs.data();
+    constexpr std::size_t Chunk = 16;
+    std::size_t K = Begin;
+    for (; K + Chunk <= End; K += Chunk) {
+      std::uint64_t Any = 0;
+      for (std::size_t I = 0; I < Chunk; ++I) {
+        const std::size_t J = K + I;
+        Any |= static_cast<std::uint64_t>(
+            (Mine.Min <= Mx[J]) & (Mn[J] <= Mine.Max) & (Mn[J] <= Mx[J]));
+      }
+      if (!Any)
+        continue;
+      for (std::size_t I = 0; I < Chunk; ++I)
+        if (Mine.overlaps(Sigs[K + I]))
+          return K + I;
+    }
+    for (; K < End; ++K)
+      if (Mine.overlaps(Sigs[K]))
+        return K;
+    return npos;
+  }
+
+private:
+#if defined(__x86_64__)
+  __attribute__((target("avx2"))) std::size_t
+  firstOverlapAvx2(const Sig &Mine, std::size_t Begin, std::size_t End) const {
+    const std::uint64_t *Mn = Mins.data();
+    const std::uint64_t *Mx = Maxs.data();
+    const __m256i Flip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    const __m256i MineMin = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(Mine.Min)), Flip);
+    const __m256i MineMax = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(Mine.Max)), Flip);
+    std::size_t K = Begin;
+    for (; K + 4 <= End; K += 4) {
+      const __m256i Lo = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Mn + K)), Flip);
+      const __m256i Hi = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Mx + K)), Flip);
+      const __m256i A = _mm256_cmpgt_epi64(MineMin, Hi);
+      const __m256i B = _mm256_cmpgt_epi64(Lo, MineMax);
+      const __m256i C = _mm256_cmpgt_epi64(Lo, Hi);
+      const __m256i Miss = _mm256_or_si256(A, _mm256_or_si256(B, C));
+      if (_mm256_movemask_epi8(Miss) == -1)
+        continue;
+      for (std::size_t I = 0; I < 4; ++I)
+        if (Mine.overlaps(Sigs[K + I]))
+          return K + I;
+    }
+    for (; K < End; ++K)
+      if (Mine.overlaps(Sigs[K]))
+        return K;
+    return npos;
+  }
+#endif
+
+  std::vector<Sig> Sigs;
+  std::vector<std::uint64_t> Mins;
+  std::vector<std::uint64_t> Maxs;
+};
+
+} // namespace speccross
+} // namespace cip
+
+#endif // CIP_SPECCROSS_SIGNATURELOG_H

@@ -24,6 +24,7 @@
 
 #include "speccross/SpecCrossRuntime.h"
 
+#include "speccross/SignatureLog.h"
 #include "support/Backoff.h"
 #include "support/Barrier.h"
 #include "support/Chaos.h"
@@ -87,6 +88,7 @@ template <typename Sig> class Engine {
 public:
   Engine(const SpecRegion &Region, const SpecConfig &Config)
       : Region(Region), Config(Config), W(Config.NumWorkers),
+        Batched(detail::batchCheckFromEnv(Config.BatchCheck)),
         Tel("speccross", Config.NumWorkers + 2) {
     assert(W > 0 && W <= MaxWorkers && "worker count out of range");
     assert(Region.NumTasks && Region.RunTask && Region.TaskAddresses &&
@@ -109,6 +111,7 @@ public:
     SpecStats Stats;
     Stats.Epochs = Region.NumEpochs;
     Stats.Tasks = Prefix.back();
+    Stats.BatchCheckEnabled = Batched;
     const double Begin = static_cast<double>(nowNanos());
 
     const unsigned Control = W + 1;
@@ -171,6 +174,7 @@ public:
     Stats.Aborts = Tel.aborts();
     Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
     Stats.CheckLatency = Tel.histTotals(Hist::CheckNs);
+    Stats.BatchWidth = Tel.histTotals(Hist::BatchWidth);
     Tel.finish();
     return Stats;
   }
@@ -215,6 +219,9 @@ private:
   const SpecRegion &Region;
   const SpecConfig &Config;
   const std::uint32_t W;
+  /// Effective batch-check setting (Config.BatchCheck + CIP_SIMD override),
+  /// resolved once so every round of a run checks the same way.
+  const bool Batched;
 
   /// Lanes: workers 0..W-1, checker = W, control (checkpoint/rollback) = W+1.
   telemetry::RegionTelemetry Tel;
@@ -246,9 +253,10 @@ template <typename Sig> struct Round {
   std::vector<PaddedFlag> Done;
   std::atomic<bool> Abort{false};
 
-  /// Logs[w][e - First][k]: signature of worker w's k-th local task of
-  /// epoch e. Written by w, published by w's subsequent clock/Done store.
-  std::vector<std::vector<std::vector<Sig>>> Logs;
+  /// Logs[w][e - First]: SoA signature log of worker w's epoch-e tasks,
+  /// slot k the k-th local task. Written by w (set), published by w's
+  /// subsequent clock/Done store.
+  std::vector<std::vector<SignatureLog<Sig>>> Logs;
   std::vector<std::unique_ptr<SPSCQueue<Request>>> Queues;
 
 #if CIP_TELEMETRY
@@ -292,6 +300,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
 
   std::atomic<std::uint64_t> CheckRequests{0};
   std::atomic<std::uint64_t> Comparisons{0};
+  std::atomic<std::uint64_t> BatchChecks{0};
   std::atomic<bool> InjectionFired{false};
   const std::uint64_t TasksBefore = Tel.totals().get(Counter::TasksExecuted);
   const std::uint64_t RoundStartNs = nowNanos();
@@ -400,13 +409,15 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         Tel.end(Tid, EventKind::Task);
         Tel.add(Tid, Counter::TasksExecuted);
 
-        // exit_task: log the signature and ship the checking request.
+        // exit_task: log the signature and ship the checking request. The
+        // signature is built locally, then scattered into the SoA log's
+        // field planes in one set().
         Addrs.clear();
         Region.TaskAddresses(E, T, Addrs);
-        Sig &Slot = R.Logs[Tid][E - First][K];
-        Slot.clear();
+        Sig Built;
         for (std::uint64_t A : Addrs)
-          Slot.add(A);
+          Built.add(A);
+        R.Logs[Tid][E - First].set(K, Built);
 #if CIP_TELEMETRY
         RangeSignature &RangeSlot = R.RangeLogs[Tid][E - First][K];
         RangeSlot.clear();
@@ -445,6 +456,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
     std::vector<VectorFifo<Request>> Pending(W);
     std::uint64_t LocalRequests = 0;
     std::uint64_t LocalComparisons = 0;
+    std::uint64_t LocalBatches = 0;
 
     auto passedEpoch = [&](std::uint32_t O, std::uint32_t Epoch) {
       if (R.Done[O].Value.load(std::memory_order_acquire))
@@ -494,7 +506,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
       telemetry::TimedScope Check(Tel, Checker, Counter::SchedulerBusyNs,
                                   Hist::CheckNs, EventKind::SigCheck, Q.Epoch,
                                   Q.Task);
-      const Sig &Mine = R.Logs[Q.Tid][Q.Epoch - First][Q.Task];
+      const Sig Mine = R.Logs[Q.Tid][Q.Epoch - First].get(Q.Task);
       for (std::uint32_t O = 0; O < W && !R.Abort; ++O) {
         if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
           continue;
@@ -505,33 +517,47 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         for (std::uint32_t E = std::max(E0, First);
              E < Q.Epoch + CompareThrough; ++E) {
           const auto &EpochLog = R.Logs[O][E - First];
-          std::size_t KBegin = E == E0 ? T0 : 0;
-          for (std::size_t K = KBegin; K < EpochLog.size(); ++K) {
-            ++LocalComparisons;
-            if (Mine.overlaps(EpochLog[K])) {
-              if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
-                telemetry::AbortRecord &A = R.AbortInfo;
-                A.Cause = telemetry::AbortCause::SignatureOverlap;
-                A.EarlierEpoch = E;
-                A.EarlierTid = O;
-                A.EarlierTask = static_cast<std::uint32_t>(K);
-                A.LaterEpoch = Q.Epoch;
-                A.LaterTid = Q.Tid;
-                A.LaterTask = Q.Task;
-                A.SignatureBucket = overlapHint(Mine, EpochLog[K]);
-                A.Scheme = Sig::schemeName();
-#if CIP_TELEMETRY
-                // Exact recheck: did the two tasks' true address ranges
-                // overlap, or was the signature hit a false positive?
-                A.ExactConfirmed = R.RangeLogs[Q.Tid][Q.Epoch - First][Q.Task]
-                                       .overlaps(R.RangeLogs[O][E - First][K]);
-#endif
-              }
-              Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
-              R.Abort.store(true, std::memory_order_release);
-              return;
-            }
+          const std::size_t KBegin = E == E0 ? T0 : 0;
+          const std::size_t KEnd = EpochLog.size();
+          if (KBegin >= KEnd)
+            continue;
+          constexpr std::size_t npos = SignatureLog<Sig>::npos;
+          const std::size_t HitK =
+              Batched ? EpochLog.batchFirstOverlap(Mine, KBegin, KEnd)
+                      : EpochLog.firstOverlap(Mine, KBegin, KEnd);
+          // Both scans visit the same signatures a serial loop would have
+          // (everything up to and including the first hit), so the
+          // comparison count is mode-independent.
+          const std::size_t Width =
+              HitK != npos ? HitK - KBegin + 1 : KEnd - KBegin;
+          LocalComparisons += Width;
+          if (Batched) {
+            ++LocalBatches;
+            Tel.recordHist(Checker, Hist::BatchWidth, Width);
           }
+          if (HitK == npos)
+            continue;
+          if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
+            telemetry::AbortRecord &A = R.AbortInfo;
+            A.Cause = telemetry::AbortCause::SignatureOverlap;
+            A.EarlierEpoch = E;
+            A.EarlierTid = O;
+            A.EarlierTask = static_cast<std::uint32_t>(HitK);
+            A.LaterEpoch = Q.Epoch;
+            A.LaterTid = Q.Tid;
+            A.LaterTask = Q.Task;
+            A.SignatureBucket = overlapHint(Mine, EpochLog.get(HitK));
+            A.Scheme = Sig::schemeName();
+#if CIP_TELEMETRY
+            // Exact recheck: did the two tasks' true address ranges
+            // overlap, or was the signature hit a false positive?
+            A.ExactConfirmed = R.RangeLogs[Q.Tid][Q.Epoch - First][Q.Task]
+                                   .overlaps(R.RangeLogs[O][E - First][HitK]);
+#endif
+          }
+          Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
+          R.Abort.store(true, std::memory_order_release);
+          return;
         }
       }
     };
@@ -589,6 +615,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
     }
     CheckRequests.fetch_add(LocalRequests, std::memory_order_relaxed);
     Comparisons.fetch_add(LocalComparisons, std::memory_order_relaxed);
+    BatchChecks.fetch_add(LocalBatches, std::memory_order_relaxed);
     Tel.add(Checker, Counter::CheckRequests, LocalRequests);
     Tel.add(Checker, Counter::SignatureComparisons, LocalComparisons);
   };
@@ -602,6 +629,7 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
 
   Stats.CheckRequests += CheckRequests.load(std::memory_order_relaxed);
   Stats.SignatureComparisons += Comparisons.load(std::memory_order_relaxed);
+  Stats.BatchChecks += BatchChecks.load(std::memory_order_relaxed);
   if (R.Abort.load(std::memory_order_acquire)) {
     if (InjectionFired.load(std::memory_order_relaxed))
       Injected = true;

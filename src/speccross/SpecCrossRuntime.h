@@ -126,6 +126,14 @@ struct SpecConfig {
   /// same-epoch pairs because DOALL-planned epochs are independent by
   /// construction — this flag exists to measure exactly that advantage.
   bool TmStyleValidation = false;
+
+  /// Batched signature checking (DESIGN.md §14): the checker scans each
+  /// compared epoch log with the SoA batch-overlap kernels instead of the
+  /// scalar one-signature-at-a-time loop. Semantics are identical — same
+  /// first overlapping pair, same comparison count — only throughput
+  /// differs. The CIP_SIMD environment variable (0 = scalar, 1 = batched),
+  /// when set, overrides this for every run; a malformed value exits 2.
+  bool BatchCheck = true;
 };
 
 /// Execution statistics (Table 5.3 columns plus recovery accounting).
@@ -134,8 +142,16 @@ struct SpecStats {
   std::uint64_t Tasks = 0;
   /// Checking requests processed by the checker thread.
   std::uint64_t CheckRequests = 0;
-  /// Pairwise signature comparisons the checker performed.
+  /// Pairwise signature comparisons the checker performed. Identical in
+  /// batched and scalar modes (the batch kernels count the signatures a
+  /// first-hit scan would have visited) — the property tests enforce it.
   std::uint64_t SignatureComparisons = 0;
+  /// Batch-kernel invocations: one per (request, compared epoch) span the
+  /// checker scanned with batchFirstOverlap. 0 when batching is off.
+  std::uint64_t BatchChecks = 0;
+  /// Whether this run checked with the batched kernels (config + CIP_SIMD
+  /// override, resolved once at engine construction).
+  bool BatchCheckEnabled = false;
   std::uint64_t Misspeculations = 0;
   std::uint64_t CheckpointsTaken = 0;
   /// Epochs re-executed non-speculatively after rollbacks.
@@ -167,6 +183,12 @@ struct SpecStats {
   /// the signal the adaptive policy layer reads as checking-request
   /// pressure. Empty with CIP_TELEMETRY=0.
   telemetry::HistogramData CheckLatency;
+
+  /// Distribution of batch-kernel span widths: pairwise comparisons one
+  /// batchFirstOverlap call covered (values are pair counts, not
+  /// nanoseconds; they sum to SignatureComparisons when batching is on).
+  /// Empty with CIP_TELEMETRY=0 or when batching is off.
+  telemetry::HistogramData BatchWidth;
 };
 
 /// Result of a profiling run (§4.4): the minimum cross-epoch dependence

@@ -56,6 +56,8 @@ const char *chaos::siteName(Site S) {
     return "server-admit";
   case Site::ServerRelease:
     return "server-release";
+  case Site::ShardMerge:
+    return "shard-merge";
   case Site::NumSites:
     break;
   }

@@ -77,6 +77,8 @@ enum class Site : std::uint32_t {
   PolicySwitch,    ///< adaptive harness: before tearing down for a switch
   ServerAdmit,     ///< RegionServer: after a grant, before execution starts
   ServerRelease,   ///< RegionServer: before returning a grant to the budget
+  ShardMerge,      ///< DOMORE sharded scheduler: probe stage done, before the
+                   ///< deterministic per-iteration merge dispatches
   NumSites
 };
 

@@ -27,11 +27,18 @@
 #define CIP_UNLIKELY(X) __builtin_expect(!!(X), 0)
 #define CIP_NOINLINE __attribute__((noinline))
 #define CIP_ALWAYS_INLINE inline __attribute__((always_inline))
+/// Read-prefetch hint for pointer \p P: starts the cache fill now so a
+/// dependent load issued a few hundred instructions later hits. The pipelined
+/// shadow-memory probe stage leans on this for memory-level parallelism.
+#define CIP_PREFETCH(P) __builtin_prefetch((P), 0, 1)
 #else
 #define CIP_LIKELY(X) (X)
 #define CIP_UNLIKELY(X) (X)
 #define CIP_NOINLINE
 #define CIP_ALWAYS_INLINE inline
+#define CIP_PREFETCH(P)                                                        \
+  do {                                                                         \
+  } while (false)
 #endif
 
 /// Marks a point in code that must never be reached. Prints a diagnostic and

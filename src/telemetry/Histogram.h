@@ -66,16 +66,21 @@ enum class Hist : unsigned {
   /// should_invoc degrade decision) — the admission-queue latency the
   /// traffic bench reports percentiles of.
   ServerQueueNs,
+  /// Width of one batched SPECCROSS signature-comparison span: pairwise
+  /// comparisons one batchFirstOverlap kernel call covered (up to and
+  /// including the hit). Like DispatchBatch, not nanoseconds: bucket values
+  /// are pair counts.
+  BatchWidth,
 };
 
-inline constexpr unsigned NumHistograms = 8;
+inline constexpr unsigned NumHistograms = 9;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *histName(Hist H) {
   static const char *const Names[NumHistograms] = {
-      "sched_stall_ns", "worker_wait_ns",   "queue_full_ns",  "epoch_ns",
-      "check_ns",       "barrier_wait_ns", "dispatch_batch",
-      "server_queue_ns"};
+      "sched_stall_ns", "worker_wait_ns",  "queue_full_ns",
+      "epoch_ns",       "check_ns",        "barrier_wait_ns",
+      "dispatch_batch", "server_queue_ns", "batch_width"};
   const unsigned I = static_cast<unsigned>(H);
   assert(I < NumHistograms && "histogram kind out of range");
   return Names[I];

@@ -211,6 +211,8 @@ std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
   W.value(P.SpecDistance);
   W.key("max_batch_hint");
   W.value(P.MaxBatchHint);
+  W.key("shadow_shards");
+  W.value(P.ShadowShards);
   W.key("min_dependence_distance");
   W.value(P.MinDependenceDistance);
   W.endObject();

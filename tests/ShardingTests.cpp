@@ -1,0 +1,525 @@
+//===- tests/ShardingTests.cpp - Sharded shadow & batched checking -------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equivalence tests for the two DESIGN.md §14 fast paths:
+///
+///  * the sharded shadow-memory scheduler must reproduce the serial
+///    scheduler's sync conditions, ordering, and final memory exactly, for
+///    every shard count, on both the dense and the hash substrate;
+///  * SignatureLog::batchFirstOverlap must agree bit-for-bit with the
+///    scalar firstOverlap on randomized signature sets for all three
+///    schemes, and the engine's comparison accounting must be identical
+///    with batching on and off.
+///
+/// Plus unit coverage for the generation-stamped O(1) DenseShadowMemory
+/// clear, including its 32-bit wrap path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+#include "domore/ShadowMemory.h"
+#include "speccross/Checkpoint.h"
+#include "speccross/Signature.h"
+#include "speccross/SignatureLog.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+using namespace cip;
+using namespace cip::domore;
+
+//===----------------------------------------------------------------------===//
+// Generation-stamped lazy clear
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowMemory, DenseLazyClearInvalidatesStaleGenerations) {
+  DenseShadowMemory S(32);
+  for (std::uint64_t A = 0; A < 32; ++A)
+    S.update(A, static_cast<std::uint32_t>(A % 3),
+             static_cast<std::int64_t>(A));
+  // clear() does not touch the slots — it bumps the generation — yet every
+  // stale-generation entry must read as invalid.
+  S.clear();
+  for (std::uint64_t A = 0; A < 32; ++A)
+    EXPECT_FALSE(S.lookup(A).valid()) << "stale entry survived clear: " << A;
+  // Fresh updates in the new generation are visible again, and untouched
+  // neighbors stay invalid.
+  S.update(5, 2, 40);
+  ASSERT_TRUE(S.lookup(5).valid());
+  EXPECT_EQ(S.lookup(5).Tid, 2u);
+  EXPECT_EQ(S.lookup(5).Iter, 40);
+  EXPECT_FALSE(S.lookup(4).valid());
+  EXPECT_FALSE(S.lookup(6).valid());
+}
+
+TEST(ShadowMemory, DenseRepeatedClearsStayExact) {
+  DenseShadowMemory S(4);
+  for (int Round = 0; Round < 100; ++Round) {
+    EXPECT_FALSE(S.lookup(1).valid());
+    S.update(1, 0, Round);
+    EXPECT_TRUE(S.lookup(1).valid());
+    S.clear();
+  }
+}
+
+TEST(ShadowMemory, DenseGenerationWrapFallsBackToHardReset) {
+  DenseShadowMemory S(8);
+  // Jump to the last representable generation; the entry written here would
+  // alias a future lazily-bumped generation if the wrap were not handled.
+  S.setGenerationForTesting(0xffffffffu);
+  S.update(3, 7, 123);
+  ASSERT_TRUE(S.lookup(3).valid());
+  S.clear(); // wraps: must pay the O(Size) reset, not alias generation 0/1
+  for (std::uint64_t A = 0; A < 8; ++A)
+    EXPECT_FALSE(S.lookup(A).valid()) << "entry aliased across wrap: " << A;
+  S.update(3, 1, 456);
+  ASSERT_TRUE(S.lookup(3).valid());
+  EXPECT_EQ(S.lookup(3).Tid, 1u);
+  EXPECT_EQ(S.lookup(3).Iter, 456);
+  // Lazy clears keep working after the wrap.
+  S.clear();
+  EXPECT_FALSE(S.lookup(3).valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded substrates agree with the serial ones on every probe
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives the same pseudo-random update/lookup stream through a serial
+/// shadow and a sharded one; every lookup must agree, and the sharded
+/// accessors must be consistent with their own shardOf routing.
+template <typename Serial, typename ShardedT>
+void compareSubstrates(Serial &Ref, ShardedT &Sharded, std::uint64_t MaxAddr,
+                       std::uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed);
+  for (int Op = 0; Op < 4000; ++Op) {
+    const std::uint64_t Addr = Rng.nextBelow(MaxAddr);
+    if (Rng.nextBool(0.6)) {
+      const std::uint32_t Tid = static_cast<std::uint32_t>(Rng.nextBelow(8));
+      const std::int64_t Iter = Op;
+      Ref.update(Addr, Tid, Iter);
+      Sharded.shardUpdate(Sharded.shardOf(Addr), Addr, Tid, Iter);
+    }
+    const ShadowEntry E = Ref.lookup(Addr);
+    const ShadowEntry G = Sharded.shardLookup(Sharded.shardOf(Addr), Addr);
+    const ShadowEntry U = Sharded.lookup(Addr); // unsharded convenience probe
+    EXPECT_EQ(E.valid(), G.valid());
+    EXPECT_EQ(G.valid(), U.valid());
+    if (E.valid() && G.valid()) {
+      EXPECT_EQ(E.Tid, G.Tid);
+      EXPECT_EQ(E.Iter, G.Iter);
+      EXPECT_EQ(G.Tid, U.Tid);
+      EXPECT_EQ(G.Iter, U.Iter);
+    }
+    if (Op == 2000) {
+      Ref.clear();
+      Sharded.clear();
+    }
+  }
+}
+
+} // namespace
+
+TEST(ShadowMemory, ShardedDenseMatchesSerialSubstrate) {
+  for (std::uint32_t Shards : {1u, 2u, 8u}) {
+    constexpr std::uint64_t Space = 100; // not a multiple of any shard count
+    DenseShadowMemory Ref(Space);
+    ShardedDenseShadowMemory Sharded(Space, Shards);
+    EXPECT_EQ(Sharded.numShards(), Shards);
+    EXPECT_EQ(Sharded.size(), Space);
+    compareSubstrates(Ref, Sharded, Space, 1000 + Shards);
+  }
+}
+
+TEST(ShadowMemory, ShardedHashMatchesSerialSubstrate) {
+  for (std::uint32_t Shards : {1u, 2u, 8u}) {
+    HashShadowMemory Ref(/*ExpectedEntries=*/16);
+    ShardedHashShadowMemory Sharded(Shards, /*ExpectedEntriesPerShard=*/16);
+    EXPECT_EQ(Sharded.numShards(), Shards);
+    // Pointer-shaped sparse addresses: inject ids through a big odd stride.
+    Xoshiro256StarStar Rng(2000 + Shards);
+    for (int Op = 0; Op < 2000; ++Op) {
+      const std::uint64_t Addr =
+          Rng.nextBelow(500) * 0x9e3779b97f4a7c15ULL + 3;
+      const std::uint32_t Tid = static_cast<std::uint32_t>(Rng.nextBelow(8));
+      Ref.update(Addr, Tid, Op);
+      Sharded.shardUpdate(Sharded.shardOf(Addr), Addr, Tid, Op);
+      const ShadowEntry E = Ref.lookup(Addr);
+      const ShadowEntry G = Sharded.lookup(Addr);
+      ASSERT_TRUE(E.valid() && G.valid());
+      EXPECT_EQ(E.Tid, G.Tid);
+      EXPECT_EQ(E.Iter, G.Iter);
+    }
+    EXPECT_EQ(Sharded.size(), Ref.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded scheduler == serial scheduler, end to end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Same shape as DomoreTests' ConflictHarness: per-element append logs make
+/// any ordering violation visible, and the full log contents double as a
+/// deterministic memory image to compare across scheduler variants.
+struct ShardHarness {
+  ShardHarness(std::uint32_t NumInv, std::uint32_t IterPerInv,
+               std::uint64_t Space, std::uint64_t Seed, bool SparseAddrs)
+      : NumInv(NumInv), IterPerInv(IterPerInv), Space(Space),
+        SparseAddrs(SparseAddrs) {
+    Xoshiro256StarStar Rng(Seed);
+    Elements.resize(static_cast<std::size_t>(NumInv) * IterPerInv);
+    std::vector<std::uint64_t> Pool(Space);
+    std::iota(Pool.begin(), Pool.end(), 0u);
+    // Distinct elements within one invocation (the DOALL inner loop).
+    for (std::uint32_t Inv = 0; Inv < NumInv; ++Inv)
+      for (std::uint32_t It = 0; It < IterPerInv; ++It) {
+        const std::size_t Pick = It + Rng.nextBelow(Space - It);
+        std::swap(Pool[It], Pool[Pick]);
+        Elements[static_cast<std::size_t>(Inv) * IterPerInv + It] = Pool[It];
+      }
+    Log.resize(Space);
+  }
+
+  std::uint64_t addrOf(std::uint64_t Element) const {
+    // Sparse mode forces the hash substrate's pointer-shaped space.
+    return SparseAddrs ? Element * 0x9e3779b97f4a7c15ULL + 1 : Element;
+  }
+
+  LoopNest nest() {
+    LoopNest N;
+    N.NumInvocations = NumInv;
+    N.AddressSpaceSize = SparseAddrs ? 0 : Space;
+    N.BeginInvocation = [this](std::uint32_t) {
+      return static_cast<std::size_t>(IterPerInv);
+    };
+    N.ComputeAddr = [this](std::uint32_t Inv, std::size_t It,
+                           std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(addrOf(elementOf(Inv, It)));
+    };
+    N.Work = [this](std::uint32_t Inv, std::size_t It) {
+      const std::int64_t Combined =
+          static_cast<std::int64_t>(Inv) * IterPerInv +
+          static_cast<std::int64_t>(It);
+      Log[elementOf(Inv, It)].push_back(Combined);
+    };
+    return N;
+  }
+
+  std::uint64_t elementOf(std::uint32_t Inv, std::size_t It) const {
+    return Elements[static_cast<std::size_t>(Inv) * IterPerInv + It];
+  }
+
+  bool ordered() const {
+    for (const auto &L : Log)
+      for (std::size_t I = 1; I < L.size(); ++I)
+        if (L[I - 1] >= L[I])
+          return false;
+    return true;
+  }
+
+  std::uint32_t NumInv, IterPerInv;
+  std::uint64_t Space;
+  bool SparseAddrs;
+  std::vector<std::uint64_t> Elements;
+  std::vector<std::vector<std::int64_t>> Log;
+};
+
+std::uint64_t sumOf(const std::vector<std::uint64_t> &V) {
+  std::uint64_t Total = 0;
+  for (std::uint64_t X : V)
+    Total += X;
+  return Total;
+}
+
+/// Runs the same workload serially (ShadowShards = 0) and under every
+/// sharded count, asserting identical sync conditions, identical final
+/// memory (the append logs), and coherent per-shard accounting.
+void checkShardedEquivalence(bool SparseAddrs, PolicyKind Policy) {
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  C.Policy = Policy;
+
+  ShardHarness Serial(40, 8, 64, 99, SparseAddrs);
+  C.ShadowShards = 0;
+  const DomoreStats Base = runDomore(Serial.nest(), C);
+  EXPECT_TRUE(Serial.ordered());
+  EXPECT_EQ(Base.ShadowShards, 1u);
+  ASSERT_EQ(Base.ShardConflicts.size(), 1u);
+  EXPECT_EQ(sumOf(Base.ShardConflicts), Base.SyncConditions);
+
+  for (std::uint32_t Shards : {1u, 2u, 8u}) {
+    ShardHarness H(40, 8, 64, 99, SparseAddrs);
+    C.ShadowShards = Shards;
+    const DomoreStats S = runDomore(H.nest(), C);
+    EXPECT_TRUE(H.ordered()) << "shards=" << Shards;
+    EXPECT_EQ(S.SyncConditions, Base.SyncConditions) << "shards=" << Shards;
+    EXPECT_EQ(S.Iterations, Base.Iterations);
+    EXPECT_EQ(H.Log, Serial.Log) << "final memory diverged, shards=" << Shards;
+    EXPECT_EQ(S.ShadowShards, Shards == 0 ? 1u : Shards);
+    ASSERT_EQ(S.ShardConflicts.size(), S.ShadowShards);
+    EXPECT_EQ(sumOf(S.ShardConflicts), S.SyncConditions)
+        << "per-shard attribution must cover every sync condition";
+  }
+}
+
+} // namespace
+
+TEST(ShardedRuntime, DenseSubstrateMatchesSerialAcrossShardCounts) {
+  checkShardedEquivalence(/*SparseAddrs=*/false, PolicyKind::RoundRobin);
+}
+
+TEST(ShardedRuntime, HashSubstrateMatchesSerialAcrossShardCounts) {
+  checkShardedEquivalence(/*SparseAddrs=*/true, PolicyKind::HashOwner);
+}
+
+TEST(ShardedRuntime, OwnerComputePolicyAlsoMatches) {
+  checkShardedEquivalence(/*SparseAddrs=*/false, PolicyKind::OwnerCompute);
+}
+
+//===----------------------------------------------------------------------===//
+// batchFirstOverlap == firstOverlap, property-tested per scheme
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using speccross::BloomSignature;
+using speccross::RangeSignature;
+using speccross::SignatureLog;
+using speccross::SmallSetSignature;
+
+template <typename Sig> Sig randomSignature(Xoshiro256StarStar &Rng) {
+  Sig S;
+  if (Rng.nextBool(0.15))
+    return S; // empty
+  // Clustered addresses so overlaps are common but not universal; 12
+  // occasionally overflows SmallSetSignature's capacity of 8.
+  const std::uint64_t Base = Rng.nextBelow(96);
+  const std::uint64_t Count = 1 + Rng.nextBelow(12);
+  for (std::uint64_t I = 0; I < Count; ++I)
+    S.add(Base + Rng.nextBelow(24));
+  return S;
+}
+
+/// Exhaustively compares the batched and scalar scans over every [Begin,
+/// End) window of randomized logs whose sizes straddle the SIMD width and
+/// the fallback chunk size.
+template <typename Sig> void checkBatchAgreesWithScalar(std::uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed);
+  for (const std::size_t N : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{33}, std::size_t{70}}) {
+    SignatureLog<Sig> Log;
+    Log.resize(N);
+    ASSERT_EQ(Log.size(), N);
+    for (std::size_t K = 0; K < N; ++K)
+      Log.set(K, randomSignature<Sig>(Rng));
+    for (int Trial = 0; Trial < 8; ++Trial) {
+      const Sig Mine = randomSignature<Sig>(Rng);
+      for (std::size_t Begin = 0; Begin <= N; ++Begin)
+        for (std::size_t End = Begin; End <= N; ++End) {
+          const std::size_t Scalar = Log.firstOverlap(Mine, Begin, End);
+          const std::size_t Batch = Log.batchFirstOverlap(Mine, Begin, End);
+          ASSERT_EQ(Batch, Scalar)
+              << "size=" << N << " window=[" << Begin << "," << End << ")";
+          // The contract: smallest hit in-window, and really a hit.
+          if (Scalar != SignatureLog<Sig>::npos) {
+            ASSERT_GE(Scalar, Begin);
+            ASSERT_LT(Scalar, End);
+            ASSERT_TRUE(Mine.overlaps(Log.get(Scalar)));
+          }
+        }
+    }
+  }
+}
+
+} // namespace
+
+TEST(SignatureLogProperty, RangeBatchAgreesWithScalar) {
+  checkBatchAgreesWithScalar<RangeSignature>(0xa11ce);
+}
+
+TEST(SignatureLogProperty, BloomBatchAgreesWithScalar) {
+  checkBatchAgreesWithScalar<BloomSignature>(0xb0b);
+}
+
+TEST(SignatureLogProperty, SmallSetBatchAgreesWithScalar) {
+  checkBatchAgreesWithScalar<SmallSetSignature>(0xcafe);
+}
+
+TEST(SignatureLogProperty, RoundTripsSignaturesExactly) {
+  // SoA storage must reproduce the signature it was handed: get(set(x)) is
+  // identity as far as overlaps() can observe, including overflowed
+  // small-sets and empty slots.
+  Xoshiro256StarStar Rng(77);
+  SignatureLog<SmallSetSignature> Log;
+  Log.resize(32);
+  std::vector<SmallSetSignature> Originals(32);
+  for (std::size_t K = 0; K < 32; ++K) {
+    Originals[K] = randomSignature<SmallSetSignature>(Rng);
+    Log.set(K, Originals[K]);
+  }
+  for (std::size_t K = 0; K < 32; ++K)
+    for (int Probe = 0; Probe < 16; ++Probe) {
+      const SmallSetSignature Q = randomSignature<SmallSetSignature>(Rng);
+      EXPECT_EQ(Q.overlaps(Log.get(K)), Q.overlaps(Originals[K]));
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level equivalence: batching must not change any observable
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using speccross::CheckpointRegistry;
+using speccross::SpecConfig;
+using speccross::SpecMode;
+using speccross::SpecRegion;
+using speccross::SpecStats;
+
+/// Region with a dialable conflict: per-task private cells, plus — when
+/// \p WithConflicts — one shared slot the designated task of each epoch
+/// read-modify-writes, so the checker has real overlaps to find (same shape
+/// as SpecCrossTests' ChainRegion).
+struct ConflictRegion {
+  ConflictRegion(std::uint32_t Epochs, std::uint32_t Tasks,
+                 bool WithConflicts)
+      : Epochs(Epochs), Tasks(Tasks), WithConflicts(WithConflicts),
+        Cells(Tasks, 0), Shared(1) {
+    Shared[0].store(1, std::memory_order_relaxed);
+  }
+
+  SpecRegion region(CheckpointRegistry &Reg) {
+    Reg.registerBuffer(Cells);
+    Reg.registerBuffer(Shared);
+    SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [this](std::uint32_t E, std::size_t T) {
+      Cells[T] += 1;
+      if (WithConflicts && T == E % 2)
+        Shared[0].store(Shared[0].load(std::memory_order_relaxed) + 1 +
+                            Cells[T] % 3,
+                        std::memory_order_relaxed);
+    };
+    R.TaskAddresses = [this](std::uint32_t E, std::size_t T,
+                             std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(T);
+      if (WithConflicts && T == E % 2)
+        Addrs.push_back(Tasks + 1); // the shared slot
+    };
+    R.Checkpoints = &Reg;
+    return R;
+  }
+
+  std::vector<std::uint32_t> state() const {
+    std::vector<std::uint32_t> S = Cells;
+    S.push_back(Shared[0].load(std::memory_order_relaxed));
+    return S;
+  }
+
+  std::uint32_t Epochs, Tasks;
+  bool WithConflicts;
+  std::vector<std::uint32_t> Cells;
+  std::vector<std::atomic<std::uint32_t>> Shared;
+};
+
+std::vector<std::uint32_t> sequentialSpecResult(std::uint32_t Epochs,
+                                                std::uint32_t Tasks,
+                                                bool WithConflicts) {
+  ConflictRegion C(Epochs, Tasks, WithConflicts);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  for (std::uint32_t E = 0; E < R.NumEpochs; ++E)
+    for (std::size_t T = 0; T < R.NumTasks(E); ++T)
+      R.RunTask(E, T);
+  return C.state();
+}
+
+SpecStats runConflictRegion(speccross::SignatureScheme Scheme, bool Batched,
+                            bool WithConflicts,
+                            std::vector<std::uint32_t> &StateOut) {
+  ConflictRegion C(12, 6, WithConflicts);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Config;
+  Config.NumWorkers = 3;
+  Config.Scheme = Scheme;
+  Config.BatchCheck = Batched;
+  Config.CheckpointIntervalEpochs = 3;
+  const SpecStats S = runSpecCross(R, Config, SpecMode::Speculation);
+  StateOut = C.state();
+  return S;
+}
+
+} // namespace
+
+TEST(SimdEquivalence, BatchedAndScalarCheckingAgreeOnEveryScheme) {
+  // The env override would defeat the per-config comparison below.
+  unsetenv("CIP_SIMD");
+  for (const speccross::SignatureScheme Scheme :
+       {speccross::SignatureScheme::Range, speccross::SignatureScheme::Bloom,
+        speccross::SignatureScheme::SmallSet}) {
+    // Conflict-free region: no aborts, so the round structure — and with it
+    // the exact set of (request, epoch) spans the checker compares — is
+    // deterministic. Comparison accounting is defined to be
+    // mode-independent (the batched scan counts the span up to and
+    // including the first hit, exactly what the scalar loop visits), so the
+    // totals must match.
+    const std::vector<std::uint32_t> CleanRef =
+        sequentialSpecResult(12, 6, /*WithConflicts=*/false);
+    std::vector<std::uint32_t> States[2];
+    SpecStats Stats[2];
+    for (const bool Batched : {false, true}) {
+      Stats[Batched] =
+          runConflictRegion(Scheme, Batched, /*WithConflicts=*/false,
+                            States[Batched]);
+      EXPECT_EQ(Stats[Batched].BatchCheckEnabled, Batched);
+      EXPECT_EQ(States[Batched], CleanRef);
+      EXPECT_EQ(Stats[Batched].Misspeculations, 0u);
+    }
+    EXPECT_EQ(Stats[0].SignatureComparisons, Stats[1].SignatureComparisons);
+    EXPECT_EQ(Stats[0].Epochs, Stats[1].Epochs);
+    EXPECT_EQ(Stats[0].Tasks, Stats[1].Tasks);
+    EXPECT_EQ(Stats[0].BatchChecks, 0u) << "scalar mode must not batch";
+    if (Stats[1].SignatureComparisons > 0) {
+      EXPECT_GT(Stats[1].BatchChecks, 0u);
+    }
+    EXPECT_LE(Stats[1].BatchChecks, Stats[1].SignatureComparisons);
+
+    // Conflict-heavy region: *when* a round aborts is inherently racy, so
+    // per-run counter totals vary — what must hold in both modes is the
+    // semantic contract: rollback plus re-execution always lands on the
+    // sequential result.
+    const std::vector<std::uint32_t> ConflictRef =
+        sequentialSpecResult(12, 6, /*WithConflicts=*/true);
+    for (const bool Batched : {false, true}) {
+      std::vector<std::uint32_t> State;
+      const SpecStats S =
+          runConflictRegion(Scheme, Batched, /*WithConflicts=*/true, State);
+      EXPECT_EQ(State, ConflictRef)
+          << "batched=" << Batched << ": recovery diverged from sequential";
+      EXPECT_EQ(S.BatchCheckEnabled, Batched);
+      if (!Batched) {
+        EXPECT_EQ(S.BatchChecks, 0u);
+      }
+    }
+  }
+}

@@ -89,10 +89,11 @@ std::string fuzz::reproCommand(std::uint64_t Seed, const FuzzOptions &Opt) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "tools/cip_fuzz --seed=%" PRIu64
-                " --engines=%s --workers=%u --maxbatch=%zu --pool=%d"
-                " --chaos=%" PRIu64 " --scheme=%s",
+                " --engines=%s --workers=%u --maxbatch=%zu --shards=%u"
+                " --pool=%d --chaos=%" PRIu64 " --scheme=%s --simd=%d",
                 Seed, engineName(Opt.Eng), Opt.Workers, Opt.MaxBatch,
-                Opt.UsePool ? 1 : 0, Opt.ChaosSeed, schemeName(Opt.Scheme));
+                Opt.Shards, Opt.UsePool ? 1 : 0, Opt.ChaosSeed,
+                schemeName(Opt.Scheme), Opt.Simd ? 1 : 0);
   return Buf;
 }
 
@@ -330,6 +331,7 @@ FuzzResult runDomoreCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   Config.Policy = C.Policy;
   Config.QueueCapacity = C.QueueCapacity;
   Config.MaxBatch = Opt.MaxBatch;
+  Config.ShadowShards = Opt.Shards;
 
   const domore::DomoreStats Stats = Opt.Eng == Engine::DomoreDup
                                         ? runDomoreDuplicated(Nest, Config)
@@ -448,6 +450,7 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   speccross::SpecConfig Config;
   Config.NumWorkers = Opt.Workers;
   Config.Scheme = Opt.Scheme;
+  Config.BatchCheck = Opt.Simd;
   Config.CheckpointIntervalEpochs = C.CheckpointInterval;
   Config.InjectMisspecAtEpoch = C.InjectAt;
 

@@ -73,6 +73,13 @@ struct FuzzOptions {
   std::uint32_t Workers = 3;
   /// DOMORE dispatch batching bound (1 = legacy one-message-per-iteration).
   std::size_t MaxBatch = 16;
+  /// DOMORE shadow-memory shard count (0 = the serial scheduler). Nonzero
+  /// runs the sharded two-stage scheduler, whose sync conditions must still
+  /// match the sequential shadow replay exactly.
+  std::uint32_t Shards = 0;
+  /// SPECCROSS batched signature checking (false = scalar first-overlap
+  /// scan). Both modes must produce identical results and comparison counts.
+  bool Simd = true;
   /// false forces the spawn-and-join thread substrate (ThreadPool bypass).
   bool UsePool = true;
   /// Schedule-chaos seed; 0 = no injection. Only perturbs anything in a

@@ -10,11 +10,11 @@
 /// differential-oracle failure with a copy-pasteable repro command.
 ///
 /// Default matrix per seed:
-///   * domore, domore-dup: MaxBatch {1, 16} x pool {on, off} x chaos {off,
-///     seed-derived} (the chaos axis collapses in builds without
-///     -DCIP_CHAOS_HOOKS=ON)
-///   * speccross: scheme {range, bloom, smallset} x pool {on, off} x chaos
-///     {off, seed-derived}
+///   * domore, domore-dup: MaxBatch {1, 16} x shards {0 = serial, 4} x pool
+///     {on, off} x chaos {off, seed-derived} (the chaos axis collapses in
+///     builds without -DCIP_CHAOS_HOOKS=ON)
+///   * speccross: scheme {range, bloom, smallset} x simd {batched, scalar}
+///     x pool {on, off} x chaos {off, seed-derived}
 ///   * adaptive: pool {on, off} x chaos {off, seed-derived}; the policy and
 ///     window size are derived from the seed inside the fuzzer
 ///   * server: pool {on, off} x chaos {off, seed-derived}; the budget,
@@ -57,6 +57,8 @@ struct DriverOptions {
   // Pinned axes: negative / zero sentinel = sweep the default matrix.
   int Workers = 0;          // 0 = derive from seed (2..4)
   long MaxBatch = -1;       // -1 = sweep {1, 16}
+  long Shards = -1;         // -1 = sweep {0 = serial, 4}
+  int Simd = -1;            // -1 = sweep {1, 0}
   int Pool = -1;            // -1 = sweep {1, 0}
   long long Chaos = -1;     // -1 = sweep {0, derived}; >=0 pins
   int SchemeSet = 0;        // nonzero = pinned
@@ -75,6 +77,9 @@ void usage(const char *Prog) {
       "domore,domore-dup,speccross,adaptive,server\n"
       "  --workers=W       pin the worker count (default: seed-derived 2..4)\n"
       "  --maxbatch=B      pin DOMORE MaxBatch (default: sweep 1 and 16)\n"
+      "  --shards=S        pin DOMORE shadow shards, 0 = serial scheduler\n"
+      "                    (default: sweep 0 and 4)\n"
+      "  --simd=0|1        pin SPECCROSS batched checking (default: sweep)\n"
       "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
       "  --chaos=C         pin the chaos seed, 0 = off (default: sweep)\n"
       "  --scheme=S        pin the SPECCROSS scheme: range|bloom|smallset\n"
@@ -120,6 +125,10 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       O.Workers = std::atoi(Value("--workers=").c_str());
     else if (Arg.rfind("--maxbatch=", 0) == 0)
       O.MaxBatch = std::atol(Value("--maxbatch=").c_str());
+    else if (Arg.rfind("--shards=", 0) == 0)
+      O.Shards = std::atol(Value("--shards=").c_str());
+    else if (Arg.rfind("--simd=", 0) == 0)
+      O.Simd = std::atoi(Value("--simd=").c_str());
     else if (Arg.rfind("--pool=", 0) == 0)
       O.Pool = std::atoi(Value("--pool=").c_str());
     else if (Arg.rfind("--chaos=", 0) == 0)
@@ -199,17 +208,22 @@ int main(int Argc, char **Argv) {
           Schemes = {speccross::SignatureScheme::Range,
                      speccross::SignatureScheme::Bloom,
                      speccross::SignatureScheme::SmallSet};
+        const std::vector<bool> SimdAxis =
+            O.Simd >= 0 ? std::vector<bool>{O.Simd != 0}
+                        : std::vector<bool>{true, false};
         for (auto Scheme : Schemes)
-          for (bool Pool : PoolAxis)
-            for (std::uint64_t Chaos : ChaosAxis) {
-              FuzzOptions F;
-              F.Eng = E;
-              F.Workers = Workers;
-              F.UsePool = Pool;
-              F.ChaosSeed = Chaos;
-              F.Scheme = Scheme;
-              Configs.push_back(F);
-            }
+          for (bool Simd : SimdAxis)
+            for (bool Pool : PoolAxis)
+              for (std::uint64_t Chaos : ChaosAxis) {
+                FuzzOptions F;
+                F.Eng = E;
+                F.Workers = Workers;
+                F.UsePool = Pool;
+                F.ChaosSeed = Chaos;
+                F.Scheme = Scheme;
+                F.Simd = Simd;
+                Configs.push_back(F);
+              }
       } else if (E == Engine::Adaptive || E == Engine::Server) {
         for (bool Pool : PoolAxis)
           for (std::uint64_t Chaos : ChaosAxis) {
@@ -226,17 +240,23 @@ int main(int Argc, char **Argv) {
           Batches = {static_cast<std::size_t>(O.MaxBatch)};
         else
           Batches = {1, 16};
+        const std::vector<std::uint32_t> ShardAxis =
+            O.Shards >= 0 ? std::vector<std::uint32_t>{
+                                static_cast<std::uint32_t>(O.Shards)}
+                          : std::vector<std::uint32_t>{0, 4};
         for (std::size_t Batch : Batches)
-          for (bool Pool : PoolAxis)
-            for (std::uint64_t Chaos : ChaosAxis) {
-              FuzzOptions F;
-              F.Eng = E;
-              F.Workers = Workers;
-              F.MaxBatch = Batch;
-              F.UsePool = Pool;
-              F.ChaosSeed = Chaos;
-              Configs.push_back(F);
-            }
+          for (std::uint32_t Shards : ShardAxis)
+            for (bool Pool : PoolAxis)
+              for (std::uint64_t Chaos : ChaosAxis) {
+                FuzzOptions F;
+                F.Eng = E;
+                F.Workers = Workers;
+                F.MaxBatch = Batch;
+                F.Shards = Shards;
+                F.UsePool = Pool;
+                F.ChaosSeed = Chaos;
+                Configs.push_back(F);
+              }
       }
 
       for (const FuzzOptions &F : Configs) {

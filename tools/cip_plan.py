@@ -18,21 +18,22 @@ strict, numbers must be non-negative, and the version must match — a plan
 this script accepts is a plan the runtime accepts, and vice versa.
 
 Sentinels: 0 means "none" for min_dependence_distance (conflict-free),
-spec_distance (unthrottled), and max_batch_hint (engine default).
+spec_distance (unthrottled), max_batch_hint (engine default), and
+shadow_shards (serial scheduler).
 """
 
 import json
 import os
 import sys
 
-PLAN_VERSION = 1
+PLAN_VERSION = 2
 
 # policy::techniqueName order — Technique enum values 0..3.
 TECHNIQUES = ["barrier", "domore", "domore-dup", "speccross"]
 
 # Same static diagnostics the C++ parser answers with.
-GRAMMAR = "a plan_version 1 region plan object (see DESIGN.md section 13)"
-VERSION_ERR = "plan_version 1 (re-profile with this build's CIP_PROFILE)"
+GRAMMAR = "a plan_version 2 region plan object (see DESIGN.md section 13)"
+VERSION_ERR = "plan_version 2 (re-profile with this build's CIP_PROFILE)"
 
 
 def get_number(obj, key):
@@ -118,6 +119,7 @@ def parse_plan(text):
         "conflicting_addresses": get_u64(doc, "conflicting_addresses"),
         "spec_distance": get_u64(doc, "spec_distance"),
         "max_batch_hint": get_u32(doc, "max_batch_hint"),
+        "shadow_shards": get_u32(doc, "shadow_shards"),
     }
     if None in tail.values():
         return None, GRAMMAR
@@ -157,7 +159,8 @@ def render_plan(path, plan):
           f"{plan['conflicting_addresses']} conflicting addresses")
     print(f"  hints: spec_distance "
           f"{or_none(plan['spec_distance'])} (0=unthrottled), "
-          f"max_batch {or_none(plan['max_batch_hint'])} (0=engine default)")
+          f"max_batch {or_none(plan['max_batch_hint'])} (0=engine default), "
+          f"shadow_shards {or_none(plan['shadow_shards'])} (0=serial)")
 
 
 def expand(args):

@@ -30,6 +30,12 @@ Both modes also validate the plan provenance object (DESIGN.md §13):
 adaptive-* bench rows and every run report carry "plan", whose
 loaded/profiled/source fields must be mutually consistent (a cold run is
 {loaded:false, profiled:false, source:"none"}).
+
+Bench rows may additionally carry the raw-speed payloads (DESIGN.md §14):
+"shadow_shards" on domore/domore-dup rows (per-shard conflict split summing
+to the region's sync conditions) and "batch_check" on speccross rows
+(batched-kernel accounting plus the batch_width histogram summary). Both
+are validated when present and rejected on any other scheme.
 """
 
 import json
@@ -71,6 +77,7 @@ HIST_KEYS = [
     "barrier_wait_ns",
     "dispatch_batch",
     "server_queue_ns",
+    "batch_width",
 ]
 
 HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
@@ -365,6 +372,56 @@ def validate_server(where, server):
         fail(where, "latency percentiles must be non-decreasing")
 
 
+def validate_shadow_shards(where, shards):
+    """The sharded shadow-memory payload DOMORE rows may carry (DESIGN.md
+    §14): the shard count and the per-shard conflict split, which must sum
+    to the region's sync conditions. Populated by the runtime itself, so it
+    is exact in CIP_TELEMETRY=0 builds too."""
+    if not isinstance(shards, dict):
+        fail(where, "shadow_shards is not an object")
+    count = check_uint(where, shards, "shards")
+    if count < 1:
+        fail(where, "shard count must be at least 1")
+    syncs = check_uint(where, shards, "sync_conditions")
+    if "conflicts" not in shards or not isinstance(shards["conflicts"], list):
+        fail(where, "missing per-shard conflicts array")
+    if len(shards["conflicts"]) != count:
+        fail(where, f"{len(shards['conflicts'])} conflict entries for "
+                    f"{count} shards")
+    total = 0
+    for index, value in enumerate(shards["conflicts"]):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(where, f"conflicts[{index}] must be a non-negative integer")
+        total += value
+    if total != syncs:
+        fail(where, f"per-shard conflicts sum to {total}, "
+                    f"sync_conditions is {syncs}")
+
+
+def validate_batch_check(where, batch):
+    """The batched signature-checking payload SPECCROSS rows may carry
+    (DESIGN.md §14). The counts come from the runtime; the batch_width
+    histogram is telemetry, so its count is either 0 (CIP_TELEMETRY=0) or
+    exactly one entry per batch span scanned."""
+    if not isinstance(batch, dict):
+        fail(where, "batch_check is not an object")
+    enabled = check_bool(where, batch, "enabled")
+    checks = check_uint(where, batch, "batch_checks")
+    comparisons = check_uint(where, batch, "signature_comparisons")
+    if not enabled and checks != 0:
+        fail(where, f"{checks} batch_checks recorded with batching disabled")
+    if checks > comparisons:
+        fail(where, f"batch_checks {checks} exceeds signature_comparisons "
+                    f"{comparisons}")
+    if "batch_width" not in batch:
+        fail(where, "missing batch_width histogram summary")
+    validate_hist_summary(f"{where} batch_width", batch["batch_width"])
+    width_count = batch["batch_width"]["count"]
+    if width_count not in (0, checks):
+        fail(where, f"batch_width count {width_count} matches neither 0 "
+                    f"(telemetry off) nor batch_checks {checks}")
+
+
 def validate_row(line_no, row):
     where = f"line {line_no}"
     if not isinstance(row, dict):
@@ -411,6 +468,19 @@ def validate_row(line_no, row):
         validate_server(f"{where} server", row["server"])
     elif "server" in row:
         fail(where, f"scheme '{row['scheme']}' must not carry 'server'")
+    # The raw-speed payloads (DESIGN.md §14): DOMORE rows may carry the
+    # sharded-shadow accounting, SPECCROSS rows the batched-checker
+    # accounting; neither belongs on any other scheme.
+    if "shadow_shards" in row:
+        if row["scheme"] not in ("domore", "domore-dup"):
+            fail(where, f"scheme '{row['scheme']}' must not carry "
+                        f"'shadow_shards'")
+        validate_shadow_shards(f"{where} shadow_shards", row["shadow_shards"])
+    if "batch_check" in row:
+        if row["scheme"] != "speccross":
+            fail(where, f"scheme '{row['scheme']}' must not carry "
+                        f"'batch_check'")
+        validate_batch_check(f"{where} batch_check", row["batch_check"])
 
 
 def main():
