@@ -340,6 +340,10 @@ public:
       Wr.value(Policy->Plan.SpecDistance);
       Wr.key("max_batch_hint");
       Wr.value(Policy->Plan.MaxBatchHint);
+      Wr.key("shadow_shards");
+      Wr.value(Policy->Plan.ShadowShards);
+      Wr.key("sched_threads");
+      Wr.value(Policy->Plan.SchedThreads);
       Wr.key("min_dependence_distance");
       Wr.value(Policy->Plan.MinDependenceDistance);
       Wr.endObject();

@@ -26,19 +26,27 @@
 ///    comparison is a miss, which is exactly the all-scan case the SoA
 ///    batch kernels accelerate (a hit would end the scan early).
 ///
-/// CI runs this binary twice — once with the raw-speed substrates off
-/// (CIP_SHADOW_SHARDS=1 CIP_SIMD=0) and once on (CIP_SHADOW_SHARDS=8
-/// CIP_SIMD=1) — and gates the two timings with
-/// `compare_bench.py --min-speedup 1.15`. Checksums are compared against
-/// the sequential execution either way, so the gate cannot pass on a run
-/// that broke semantics.
+/// CI runs this binary in env-pinned pairs and gates each pair with
+/// `compare_bench.py --min-speedup 1.15`:
 ///
-/// Bench rows carry the engines' new accounting: DOMORE rows a
-/// "shadow_shards" object (shard count plus the per-shard conflict split,
-/// which sums to the region's sync conditions), SPECCROSS rows a
-/// "batch_check" object (whether the batched kernels ran, how many spans
-/// they scanned, and the batch-width histogram summary).
-/// tools/validate_bench_json.py checks both shapes.
+///  * raw-speed substrates: CIP_SHADOW_SHARDS=1 CIP_SIMD=0 against
+///    CIP_SHADOW_SHARDS=8 CIP_SIMD=1 (DESIGN.md §14);
+///  * scheduler team: CIP_SHADOW_SHARDS=8 CIP_SCHED_THREADS=1 against
+///    CIP_SHADOW_SHARDS=8 CIP_SCHED_THREADS=4 on raw-shadow, where the
+///    probe stage is the ceiling a team splits (DESIGN.md §15; needs
+///    real cores — the gate runs on multi-core CI, not in the
+///    single-core determinism jobs).
+///
+/// Checksums are compared against the sequential execution either way, so
+/// no gate can pass on a run that broke semantics.
+///
+/// Bench rows carry the engines' accounting: DOMORE rows a
+/// "shadow_shards" object (shard count, scheduler-team size, and the
+/// per-shard conflict split, which sums to the region's sync conditions),
+/// SPECCROSS rows a "batch_check" object (whether the batched kernels ran,
+/// the checker-lane count, how many spans the kernels scanned, and the
+/// batch-width histogram summary). tools/validate_bench_json.py checks
+/// both shapes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -266,6 +274,8 @@ void recordDomoreRow(const Workload &W, unsigned Threads, unsigned Reps,
   Wr.beginObject();
   Wr.key("shards");
   Wr.value(Stats.ShadowShards);
+  Wr.key("sched_threads");
+  Wr.value(Stats.SchedThreads);
   Wr.key("sync_conditions");
   Wr.value(Stats.SyncConditions);
   Wr.key("conflicts");
@@ -293,6 +303,8 @@ void recordSpeccrossRow(const Workload &W, unsigned Threads, unsigned Reps,
   Wr.beginObject();
   Wr.key("enabled");
   Wr.value(Stats.BatchCheckEnabled);
+  Wr.key("check_lanes");
+  Wr.value(Stats.CheckLanes);
   Wr.key("batch_checks");
   Wr.value(Stats.BatchChecks);
   Wr.key("signature_comparisons");
@@ -356,8 +368,9 @@ int main() {
       recordDomoreRow(W, T, Reps, Best, BestStats);
       Sp.push_back(Seq / Best.Seconds);
       if (T == Threads.back())
-        std::printf("  t=%u: shards %u, scheduler %.1f%%, sync conds %llu\n",
-                    T, BestStats.ShadowShards,
+        std::printf("  t=%u: shards %u, sched threads %u, scheduler %.1f%%, "
+                    "sync conds %llu\n",
+                    T, BestStats.ShadowShards, BestStats.SchedThreads,
                     BestStats.schedulerRatioPercent(),
                     static_cast<unsigned long long>(BestStats.SyncConditions));
     }
@@ -400,9 +413,10 @@ int main() {
       recordSpeccrossRow(W, T, Reps, Best, BestStats);
       Sp.push_back(Seq / Best.Seconds);
       if (T == Threads.back())
-        std::printf("  t=%u: batched %s, %llu comparisons in %llu batch "
-                    "spans, %llu misspecs\n",
+        std::printf("  t=%u: batched %s, %u lanes, %llu comparisons in %llu "
+                    "batch spans, %llu misspecs\n",
                     T, BestStats.BatchCheckEnabled ? "yes" : "no",
+                    BestStats.CheckLanes,
                     static_cast<unsigned long long>(
                         BestStats.SignatureComparisons),
                     static_cast<unsigned long long>(BestStats.BatchChecks),
@@ -412,8 +426,9 @@ int main() {
     printRule();
   }
 
-  std::printf("(gate: run twice — CIP_SHADOW_SHARDS=1 CIP_SIMD=0 vs "
-              "CIP_SHADOW_SHARDS=8 CIP_SIMD=1 — and compare with "
-              "compare_bench.py --min-speedup 1.15)\n");
+  std::printf("(gates: CIP_SHADOW_SHARDS=1 CIP_SIMD=0 vs CIP_SHADOW_SHARDS=8 "
+              "CIP_SIMD=1, and CIP_SHADOW_SHARDS=8 CIP_SCHED_THREADS=1 vs "
+              "=4 — each pair compared with compare_bench.py "
+              "--min-speedup 1.15)\n");
   return 0;
 }

@@ -117,6 +117,31 @@ std::uint32_t effectiveShadowShards(const DomoreConfig &Config) {
   return Config.ShadowShards > 0 ? Config.ShadowShards : 1;
 }
 
+/// Effective scheduler-team size: the CIP_SCHED_THREADS environment knob
+/// (strict: a positive integer <= 64, anything else exits 2) overrides the
+/// config; 0/1 means one scheduler thread probing every shard.
+std::uint32_t effectiveSchedThreads(const DomoreConfig &Config) {
+  static const std::uint32_t EnvOverride = [] {
+    const char *S = std::getenv("CIP_SCHED_THREADS");
+    if (!S || !*S)
+      return std::uint32_t{0};
+    char *End = nullptr;
+    const unsigned long long N = std::strtoull(S, &End, 10);
+    if (!End || *End != '\0' || N == 0 || N > 64) {
+      std::fprintf(stderr,
+                   "error: CIP_SCHED_THREADS='%s' is invalid: expected a "
+                   "positive scheduler-thread count <= 64 (1 selects the "
+                   "single-scheduler path)\n",
+                   S);
+      std::_Exit(2);
+    }
+    return static_cast<std::uint32_t>(N);
+  }();
+  if (EnvOverride > 0)
+    return EnvOverride;
+  return Config.SchedThreads > 0 ? Config.SchedThreads : 1;
+}
+
 /// Spin-waits until \p Slot reports completion of combined iteration
 /// \p Iter or beyond.
 void waitForIteration(const ProgressSlot &Slot, std::int64_t Iter) {
@@ -381,6 +406,120 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
   Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
 }
 
+/// One probe routed to a shard, in iteration-then-address order.
+struct ShardProbe {
+  std::uint32_t Seq; ///< block-local iteration index
+  std::uint64_t Addr;
+};
+/// One cross-worker conflict a shard probe found.
+struct ShardConflict {
+  std::uint32_t Seq;
+  std::uint32_t DepTid;
+  std::int64_t DepIter;
+  std::uint64_t Addr;
+};
+
+struct alignas(CacheLineBytes) PaddedGen {
+  std::atomic<std::uint64_t> Value{0};
+};
+
+/// Hand-off state of one scheduler team (DESIGN.md §15). The lead
+/// partitions a block, publishes it with one BlockGen release store, probes
+/// its own shard group, and waits for every member's DoneGen before
+/// merging; members spin on BlockGen, probe their groups, and answer on
+/// their DoneGen slot. The two generation edges carry all the
+/// happens-before the block protocol needs: BlockGen (release by lead,
+/// acquire by members) publishes the buckets, picks, and cleared findings;
+/// DoneGen (release by member, acquire by lead) publishes each member's
+/// findings and shard updates back before the merge — and before the lead's
+/// next-block writes, so consecutive blocks never race either.
+struct TeamShared {
+  /// Block inputs; pointers are set once by the lead before the first
+  /// hand-off, the pointees are rewritten per block under BlockGen.
+  const std::vector<std::uint32_t> *Tids = nullptr;
+  std::vector<std::vector<ShardProbe>> *Buckets = nullptr;
+  std::vector<std::vector<ShardConflict>> *Found = nullptr;
+  /// Combined iteration number of the block's first iteration.
+  std::int64_t Combined = 0;
+  /// Set (before the final BlockGen bump) when the region is over.
+  std::atomic<bool> Quit{false};
+  /// Lead -> members: a new block's buckets are ready.
+  alignas(CacheLineBytes) std::atomic<std::uint64_t> BlockGen{0};
+  /// Member m -> lead: member m finished probing this generation.
+  std::vector<PaddedGen> DoneGen;
+
+  explicit TeamShared(std::uint32_t Members) : DoneGen(Members) {}
+
+  /// Member m's contiguous shard group is [groupBegin(m), groupBegin(m+1)).
+  /// Empty groups are legal (team wider than the shard count).
+  static std::uint32_t groupBegin(std::uint32_t Member, std::uint32_t Team,
+                                  std::uint32_t NumShards) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(NumShards) * Member) / Team);
+  }
+};
+
+/// Probes shards [SBegin, SEnd) of one partitioned block — the
+/// detect-and-record stage every team member (lead included) runs over its
+/// own group. Returns the number of conflicts appended to \p Found.
+template <typename ShardedT>
+std::uint64_t probeShardRange(ShardedT &Shadow,
+                              const std::vector<std::uint32_t> &Tids,
+                              std::vector<std::vector<ShardProbe>> &Buckets,
+                              std::vector<std::vector<ShardConflict>> &Found,
+                              std::int64_t Combined, std::uint32_t SBegin,
+                              std::uint32_t SEnd) {
+  std::uint64_t Conflicts = 0;
+  for (std::uint32_t S = SBegin; S < SEnd; ++S) {
+    for (const ShardProbe &P : Buckets[S]) {
+      const ShadowEntry Prev = Shadow.shardLookup(S, P.Addr);
+      const std::uint32_t Tid = Tids[P.Seq];
+      if (Prev.valid() && Prev.Tid != Tid) {
+        Found[S].push_back(ShardConflict{P.Seq, Prev.Tid, Prev.Iter, P.Addr});
+        ++Conflicts;
+      }
+      Shadow.shardUpdate(S, P.Addr, Tid,
+                         Combined + static_cast<std::int64_t>(P.Seq));
+    }
+  }
+  return Conflicts;
+}
+
+/// A non-lead scheduler-team member: waits for each block hand-off, probes
+/// its own shard group, and reports back on its DoneGen slot. Lane =
+/// NumWorkers + Member.
+template <typename ShardedT>
+void runSchedulerMember(ShardedT &Shadow, TeamShared &Shared,
+                        std::uint32_t Member, std::uint32_t SBegin,
+                        std::uint32_t SEnd, telemetry::RegionTelemetry &Tel,
+                        unsigned Lane) {
+  std::uint64_t Seen = 0;
+  while (true) {
+    std::uint64_t Gen = Shared.BlockGen.load(std::memory_order_acquire);
+    if (Gen == Seen) {
+      const std::uint64_t IdleBegin = nowNanos();
+      Backoff B;
+      do {
+        B.pause();
+        Gen = Shared.BlockGen.load(std::memory_order_acquire);
+      } while (Gen == Seen);
+      Tel.add(Lane, Counter::SchedTeamIdleNs, nowNanos() - IdleBegin);
+    }
+    if (Shared.Quit.load(std::memory_order_acquire))
+      return;
+    // Stretch the hand-off-observed -> probe-started window: a protocol bug
+    // here would let the lead merge findings this member has not written.
+    CIP_CHAOS_POINT(TeamProbe);
+    const std::uint64_t C =
+        probeShardRange(Shadow, *Shared.Tids, *Shared.Buckets, *Shared.Found,
+                        Shared.Combined, SBegin, SEnd);
+    if (C)
+      Tel.add(Lane, Counter::SchedTeamConflicts, C);
+    Shared.DoneGen[Member].Value.store(Gen, std::memory_order_release);
+    Seen = Gen;
+  }
+}
+
 /// The sharded scheduler thread body (DESIGN.md §14): identical
 /// worker-visible protocol (DispatchState is shared code), but the
 /// detect-and-record stage runs as a two-stage software pipeline over blocks
@@ -403,31 +542,26 @@ void runScheduler(const LoopNest &Nest, const DomoreConfig &Config,
 /// is an independent wait shipped before the iteration's work, so that
 /// order is semantically irrelevant. Blocks never span invocation edges, so
 /// the shadow is fully up to date when a prologue probes it.
+///
+/// With \p Team > 1 this thread is the *lead* of a scheduler team
+/// (DESIGN.md §15): stage 2 is split by shard group — the lead publishes
+/// the partitioned block through \p Shared, probes its own group while the
+/// members probe theirs, and waits for every member before stage 3. The
+/// merge itself is byte-for-byte the single-scheduler merge, and each shard
+/// is still probed by exactly one thread in bucket (iteration) order, so
+/// the emitted sync-condition stream is bit-identical for every team size.
 template <typename ShardedT>
 void runSchedulerSharded(
     const LoopNest &Nest, const DomoreConfig &Config, ShardedT &Shadow,
     SchedulePolicy &Policy,
     std::vector<std::unique_ptr<SPSCQueue<Message>>> &Queues,
     std::vector<ProgressSlot> &Progress, DomoreStats &Stats,
-    telemetry::RegionTelemetry &Tel) {
+    telemetry::RegionTelemetry &Tel, std::uint32_t Team, TeamShared &Shared) {
   const unsigned Lane = Config.NumWorkers; // scheduler lane
   const std::uint32_t NumShards = Shadow.numShards();
   /// Iterations per pipeline block: enough probes in flight to cover DRAM
   /// latency, small enough that partition-stage state stays cache-resident.
   constexpr std::size_t BlockIters = 128;
-
-  /// One probe routed to a shard, in iteration-then-address order.
-  struct ShardProbe {
-    std::uint32_t Seq; ///< block-local iteration index
-    std::uint64_t Addr;
-  };
-  /// One cross-worker conflict a shard probe found.
-  struct ShardConflict {
-    std::uint32_t Seq;
-    std::uint32_t DepTid;
-    std::int64_t DepIter;
-    std::uint64_t Addr;
-  };
 
   std::vector<std::uint64_t> Addrs;
   std::vector<std::uint32_t> Tids;
@@ -440,6 +574,16 @@ void runSchedulerSharded(
   std::vector<Message> SyncBuf;
   std::int64_t Combined = 0;
   Stopwatch Busy;
+
+  // Team hand-off wiring: pointers set once (before the first hand-off),
+  // pointees rewritten per block under the BlockGen edge. The lead's own
+  // shard group is [0, LeadEnd).
+  Shared.Tids = &Tids;
+  Shared.Buckets = &Buckets;
+  Shared.Found = &Found;
+  const std::uint32_t LeadEnd =
+      Team > 1 ? TeamShared::groupBegin(1, Team, NumShards) : NumShards;
+  std::uint64_t BlockGen = 0;
 
   for (std::uint32_t Inv = 0; Inv < Nest.NumInvocations; ++Inv) {
     // Prologue probes read the shadow serially; sound because the block
@@ -492,19 +636,33 @@ void runSchedulerSharded(
         }
       }
 
-      // Stage 2: probe each shard's bucket in iteration order.
-      for (std::uint32_t S = 0; S < NumShards; ++S) {
-        for (const ShardProbe &P : Buckets[S]) {
-          const ShadowEntry Prev = Shadow.shardLookup(S, P.Addr);
-          const std::uint32_t Tid = Tids[P.Seq];
-          if (Prev.valid() && Prev.Tid != Tid)
-            Found[S].push_back(
-                ShardConflict{P.Seq, Prev.Tid, Prev.Iter, P.Addr});
-          Shadow.shardUpdate(S, P.Addr, Tid,
-                             Combined + static_cast<std::int64_t>(P.Seq));
+      // Stage 2: probe each shard's bucket in iteration order — every shard
+      // by this thread on the serial path, split into contiguous shard
+      // groups across the team otherwise. Either way each shard is probed
+      // by exactly one thread, so per-shard findings stay iteration-ordered.
+      if (Team > 1) {
+        Shared.Combined = Combined;
+        Shared.BlockGen.store(++BlockGen, std::memory_order_release);
+        const std::uint64_t C = probeShardRange(Shadow, Tids, Buckets, Found,
+                                                Combined, 0, LeadEnd);
+        if (C)
+          Tel.add(Lane, Counter::SchedTeamConflicts, C);
+        Busy.stop();
+        for (std::uint32_t M = 1; M < Team; ++M) {
+          if (Shared.DoneGen[M].Value.load(std::memory_order_acquire) ==
+              BlockGen)
+            continue;
+          const std::uint64_t IdleBegin = nowNanos();
+          Backoff B;
+          while (Shared.DoneGen[M].Value.load(std::memory_order_acquire) !=
+                 BlockGen)
+            B.pause();
+          Tel.add(Lane, Counter::SchedTeamIdleNs, nowNanos() - IdleBegin);
         }
+      } else {
+        probeShardRange(Shadow, Tids, Buckets, Found, Combined, 0, NumShards);
+        Busy.stop();
       }
-      Busy.stop();
 
       // Stage 3: deterministic merge back into iteration order + dispatch.
       // Stretch the probes-done -> merge-dispatched window: a protocol bug
@@ -540,6 +698,13 @@ void runSchedulerSharded(
     ++Stats.Invocations;
   }
 
+  // Release the team before the End broadcast: Quit first, then one final
+  // BlockGen bump so members parked on the generation edge observe it.
+  if (Team > 1) {
+    Shared.Quit.store(true, std::memory_order_release);
+    Shared.BlockGen.store(BlockGen + 1, std::memory_order_release);
+  }
+
   Dispatch.flushAll();
   for (auto &Q : Queues)
     Q->produce(Message{Message::End, 0, -1, 0, 0, 0, 0});
@@ -548,6 +713,7 @@ void runSchedulerSharded(
   Stats.SchedulerBusySeconds = Busy.elapsedSeconds();
   Stats.ShadowShards = NumShards;
   Stats.ShardConflicts = std::move(PerShardConflicts);
+  Stats.SchedThreads = Team;
   Tel.add(Lane, Counter::SchedulerBusyNs, Busy.elapsedNanos());
 }
 
@@ -631,28 +797,46 @@ DomoreStats runWithShadow(const LoopNest &Nest, const DomoreConfig &Config,
   DomoreStats Stats;
   std::unique_ptr<SchedulePolicy> Policy = makePolicy(Nest, Config);
 
+  // Resolve the team knob unconditionally so a malformed CIP_SCHED_THREADS
+  // exits 2 on every DOMORE path; the team itself only forms on the sharded
+  // scheduler (the serial scheduler has no probe stage to split).
+  const std::uint32_t TeamKnob = effectiveSchedThreads(Config);
+  const std::uint32_t Team = ShadowT::Sharded ? TeamKnob : 1;
+
   std::vector<std::unique_ptr<SPSCQueue<Message>>> Queues;
   for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
     Queues.push_back(
         std::make_unique<SPSCQueue<Message>>(Config.QueueCapacity));
   std::vector<ProgressSlot> Progress(Config.NumWorkers);
+  TeamShared Shared(Team);
 
-  telemetry::RegionTelemetry Tel("domore", Config.NumWorkers + 1);
+  telemetry::RegionTelemetry Tel("domore", Config.NumWorkers + Team);
   if (Tel.tracing()) {
     for (std::uint32_t W = 0; W < Config.NumWorkers; ++W)
       Tel.nameLane(W, "worker " + std::to_string(W));
     Tel.nameLane(Config.NumWorkers, "scheduler");
+    for (std::uint32_t M = 1; M < Team; ++M)
+      Tel.nameLane(Config.NumWorkers + M, "scheduler " + std::to_string(M));
   }
 
   const double Begin = static_cast<double>(nowNanos());
-  runThreads(Config.NumWorkers + 1, [&](unsigned ThreadIdx) {
+  runThreads(Config.NumWorkers + Team, [&](unsigned ThreadIdx) {
     if (ThreadIdx == Config.NumWorkers) {
       if constexpr (ShadowT::Sharded)
         runSchedulerSharded(Nest, Config, Shadow, *Policy, Queues, Progress,
-                            Stats, Tel);
+                            Stats, Tel, Team, Shared);
       else
         runScheduler(Nest, Config, Shadow, *Policy, Queues, Progress, Stats,
                      Tel);
+    } else if (ThreadIdx > Config.NumWorkers) {
+      if constexpr (ShadowT::Sharded) {
+        const std::uint32_t M = ThreadIdx - Config.NumWorkers;
+        runSchedulerMember(
+            Shadow, Shared, M,
+            TeamShared::groupBegin(M, Team, Shadow.numShards()),
+            TeamShared::groupBegin(M + 1, Team, Shadow.numShards()), Tel,
+            ThreadIdx);
+      }
     } else {
       runWorker(Nest, ThreadIdx, *Queues[ThreadIdx], Progress, Tel);
     }

@@ -130,6 +130,11 @@ struct DomoreStats {
   /// entry on the serial path. Unlike \c ConflictPairs this is populated
   /// regardless of CIP_TELEMETRY (the sharded scheduler counts them anyway).
   std::vector<std::uint64_t> ShardConflicts;
+
+  /// Number of scheduler threads the detect stage ran with (1 = one
+  /// scheduler thread, today's serial probe loop; N > 1 = the scheduler
+  /// team of DESIGN.md §15, each member probing its own shard group).
+  std::uint32_t SchedThreads = 1;
 };
 
 /// Which scheduling policy the engine should construct.
@@ -212,6 +217,18 @@ struct DomoreConfig {
   /// value exits 2. runDomoreDuplicated ignores sharding: its per-worker
   /// private shadows are already contention-free.
   std::uint32_t ShadowShards = 0;
+  /// Number of scheduler threads for the sharded detect stage (DESIGN.md
+  /// §15). 0 or 1 keeps one scheduler thread probing every shard; N > 1
+  /// runs a scheduler *team* — the lead partitions each block, every member
+  /// (lead included) probes its own contiguous shard group, and the lead
+  /// merges the findings in the same deterministic iteration order, so the
+  /// emitted sync conditions are bit-identical to the serial path for every
+  /// team size. Only effective when the sharded scheduler runs (ShadowShards
+  /// > 1); members beyond the shard count own empty groups. The
+  /// CIP_SCHED_THREADS environment variable (a positive integer <= 64),
+  /// when set, overrides this for every run; a malformed value exits 2.
+  /// runDomoreDuplicated ignores it, like sharding.
+  std::uint32_t SchedThreads = 0;
   /// Optional warm-carry storage owned by the caller. When set, runDomore
   /// draws its (cleared) shadow memory from here instead of constructing a
   /// fresh one. runDomoreDuplicated ignores it: every duplicated worker

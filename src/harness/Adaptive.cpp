@@ -99,6 +99,8 @@ ExecResult runDomoreWindow(AdaptiveContext &Ctx, Workload &View) {
     Config.MaxBatch = Ctx.PlanMaxBatch;
   if (Ctx.PlanShadowShards) // plan hint; CIP_SHADOW_SHARDS still wins
     Config.ShadowShards = Ctx.PlanShadowShards;
+  if (Ctx.PlanSchedThreads) // plan hint; CIP_SCHED_THREADS still wins
+    Config.SchedThreads = Ctx.PlanSchedThreads;
 
   ExecResult R;
   const std::uint64_t Begin = nowNanos();
@@ -318,10 +320,13 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
         // Scheduler-bound regions (the Table 5.2 failure mode) are the ones
         // the sharded detect-and-record stage unthrottles; recommend it when
         // the calibration window measured the scheduler busy for a third or
-        // more of the region.
+        // more of the region, and a two-thread scheduler team (DESIGN.md
+        // §15) to split the probe stage across the recommended shards.
         if (T == policy::Technique::Domore &&
-            S.SchedulerRatioPercent >= 33.0)
+            S.SchedulerRatioPercent >= 33.0) {
           P.ShadowShards = 8;
+          P.SchedThreads = 2;
+        }
       }
       St.ExecSeconds += R.Seconds;
       Out.BarrierIdleNanos += R.BarrierIdleNanos;
@@ -394,6 +399,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Ctx.PlanSpecDistance = P.SpecDistance;
     Ctx.PlanMaxBatch = P.MaxBatchHint;
     Ctx.PlanShadowShards = P.ShadowShards;
+    Ctx.PlanSchedThreads = P.SchedThreads;
 
     St.Plan.Profiled = true;
     St.Plan.Source = "profile";
@@ -403,6 +409,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.SpecDistance = P.SpecDistance;
     St.Plan.MaxBatchHint = P.MaxBatchHint;
     St.Plan.ShadowShards = P.ShadowShards;
+    St.Plan.SchedThreads = P.SchedThreads;
     St.Plan.MinDependenceDistance = P.MinDependenceDistance;
   } else if (Opts.Plan) {
     PlanInitial = Opts.Plan->Initial;
@@ -410,6 +417,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Ctx.PlanSpecDistance = Opts.Plan->SpecDistance;
     Ctx.PlanMaxBatch = Opts.Plan->MaxBatchHint;
     Ctx.PlanShadowShards = Opts.Plan->ShadowShards;
+    Ctx.PlanSchedThreads = Opts.Plan->SchedThreads;
 
     St.Plan.Loaded = true;
     St.Plan.Source = Opts.PlanSource;
@@ -420,6 +428,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.SpecDistance = Opts.Plan->SpecDistance;
     St.Plan.MaxBatchHint = Opts.Plan->MaxBatchHint;
     St.Plan.ShadowShards = Opts.Plan->ShadowShards;
+    St.Plan.SchedThreads = Opts.Plan->SchedThreads;
     St.Plan.MinDependenceDistance = Opts.Plan->MinDependenceDistance;
   }
 

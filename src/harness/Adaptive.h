@@ -81,6 +81,9 @@ struct AdaptiveContext {
   /// Shadow-shard count for DOMORE windows (0 = serial scheduler;
   /// CIP_SHADOW_SHARDS, when set, still overrides the hint).
   std::uint32_t PlanShadowShards = 0;
+  /// Scheduler-team size for DOMORE windows (0 = one scheduler thread;
+  /// CIP_SCHED_THREADS, when set, still overrides the hint).
+  std::uint32_t PlanSchedThreads = 0;
 };
 
 /// One uniform dispatch row per technique: how the adaptive harness runs a

@@ -87,6 +87,8 @@ std::string plan::renderPlan(const RegionPlan &P) {
   W.value(P.MaxBatchHint);
   W.key("shadow_shards");
   W.value(P.ShadowShards);
+  W.key("sched_threads");
+  W.value(P.SchedThreads);
   W.endObject();
   std::string Out = W.take();
   Out += '\n';
@@ -146,9 +148,9 @@ bool getString(const json::Value &Obj, const char *Key, std::string &Out) {
 
 const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
   static const char *const Grammar =
-      "a plan_version 2 region plan object (see DESIGN.md section 13)";
+      "a plan_version 3 region plan object (see DESIGN.md section 13)";
   static const char *const VersionErr =
-      "plan_version 2 (re-profile with this build's CIP_PROFILE)";
+      "plan_version 3 (re-profile with this build's CIP_PROFILE)";
 
   json::Value Doc;
   if (!json::parse(Text, Doc) || !Doc.isObject())
@@ -198,7 +200,8 @@ const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
       !getU64(Doc, "conflicting_addresses", P.ConflictingAddresses) ||
       !getU64(Doc, "spec_distance", P.SpecDistance) ||
       !getU32(Doc, "max_batch_hint", P.MaxBatchHint) ||
-      !getU32(Doc, "shadow_shards", P.ShadowShards))
+      !getU32(Doc, "shadow_shards", P.ShadowShards) ||
+      !getU32(Doc, "sched_threads", P.SchedThreads))
     return Grammar;
 
   Out = P;

@@ -27,19 +27,19 @@
 ///    width.
 ///
 /// File format (strict; see renderPlan/parsePlan):
-///   <dir>/<region>.plan.json, one object, plan_version 2:
-///   {"plan_version":2, "region":..., "threads":..., "calibration_epochs":...,
+///   <dir>/<region>.plan.json, one object, plan_version 3:
+///   {"plan_version":3, "region":..., "threads":..., "calibration_epochs":...,
 ///    "initial":"<technique>", "hold_windows":...,
 ///    "techniques":{"barrier":{"measured":...,"sec_per_epoch":...,
 ///       "abort_rate":...,"conflict_density":...,"scheduler_ratio":...}, x4},
 ///    "sequential_sec_per_epoch":..., "predicted_sec_per_epoch":...,
 ///    "min_dependence_distance":..., "min_epoch_distance":...,
 ///    "conflicting_addresses":..., "spec_distance":..., "max_batch_hint":...,
-///    "shadow_shards":...}
+///    "shadow_shards":..., "sched_threads":...}
 /// Sentinel encoding: 0 means "none" for min_dependence_distance
 /// (conflict-free / unmeasured), spec_distance (unthrottled),
-/// max_batch_hint (engine default), and shadow_shards (serial scheduler) —
-/// JSON carries no uint64 max.
+/// max_batch_hint (engine default), shadow_shards (serial scheduler), and
+/// sched_threads (single scheduler thread) — JSON carries no uint64 max.
 ///
 /// Environment knobs (strict; garbage exits 2 like every CIP_* knob):
 ///   CIP_PROFILE=<dir>       calibrate and emit <dir>/<region>.plan.json
@@ -69,8 +69,9 @@ namespace plan {
 
 /// Bumped whenever the plan schema changes shape; loaders reject any other
 /// version (a stale plan silently steering a new runtime is a config bug).
-/// Version 2 added shadow_shards (DESIGN.md §14).
-inline constexpr std::uint32_t PlanVersion = 2;
+/// Version 2 added shadow_shards (DESIGN.md §14); version 3 added
+/// sched_threads (DESIGN.md §15).
+inline constexpr std::uint32_t PlanVersion = 3;
 
 /// One technique's calibration measurements. Unmeasured rows (the sweep was
 /// truncated, or the technique is inapplicable to the region) keep
@@ -111,6 +112,11 @@ struct RegionPlan {
   /// DomoreConfig default; CIP_SHADOW_SHARDS still overrides either way).
   /// Profiling recommends sharding for scheduler-bound regions.
   std::uint32_t ShadowShards = 0;
+  /// DOMORE scheduler-team size to apply (0 = one scheduler thread, the
+  /// DomoreConfig default; CIP_SCHED_THREADS still overrides either way).
+  /// Profiling recommends a team alongside sharding for regions whose
+  /// scheduler busy ratio dominates the region.
+  std::uint32_t SchedThreads = 0;
 
   /// Predicted wall time of a planned / sequential run of \p Epochs epochs
   /// (0 when the plan lacks the measurement) — what the server's duration

@@ -30,12 +30,15 @@
 #include "support/Chaos.h"
 #include "support/SPSCQueue.h"
 #include "support/ThreadGroup.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/VectorFifo.h"
 #include "telemetry/Telemetry.h"
 
 #include <array>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -75,6 +78,31 @@ struct alignas(CacheLineBytes) PaddedCounter {
   std::atomic<std::uint64_t> Value{0};
 };
 
+/// Effective checker-lane count: the CIP_CHECK_LANES environment knob
+/// (strict: a positive integer <= 64, anything else exits 2) overrides the
+/// config; 0/1 means the serial in-thread scan.
+std::uint32_t effectiveCheckLanes(const SpecConfig &Config) {
+  static const std::uint32_t EnvOverride = [] {
+    const char *S = std::getenv("CIP_CHECK_LANES");
+    if (!S || !*S)
+      return std::uint32_t{0};
+    char *End = nullptr;
+    const unsigned long long N = std::strtoull(S, &End, 10);
+    if (!End || *End != '\0' || N == 0 || N > 64) {
+      std::fprintf(stderr,
+                   "error: CIP_CHECK_LANES='%s' is invalid: expected a "
+                   "positive checker-lane count <= 64 (1 selects the serial "
+                   "in-thread scan)\n",
+                   S);
+      std::_Exit(2);
+    }
+    return static_cast<std::uint32_t>(N);
+  }();
+  if (EnvOverride > 0)
+    return EnvOverride;
+  return Config.CheckLanes > 0 ? Config.CheckLanes : 1;
+}
+
 /// A checking request: one per executed task (Fig 4.7).
 struct Request {
   std::uint32_t Tid = 0;
@@ -89,6 +117,7 @@ public:
   Engine(const SpecRegion &Region, const SpecConfig &Config)
       : Region(Region), Config(Config), W(Config.NumWorkers),
         Batched(detail::batchCheckFromEnv(Config.BatchCheck)),
+        Lanes(effectiveCheckLanes(Config)),
         Tel("speccross", Config.NumWorkers + 2) {
     assert(W > 0 && W <= MaxWorkers && "worker count out of range");
     assert(Region.NumTasks && Region.RunTask && Region.TaskAddresses &&
@@ -112,6 +141,7 @@ public:
     Stats.Epochs = Region.NumEpochs;
     Stats.Tasks = Prefix.back();
     Stats.BatchCheckEnabled = Batched;
+    Stats.CheckLanes = Lanes;
     const double Begin = static_cast<double>(nowNanos());
 
     const unsigned Control = W + 1;
@@ -222,6 +252,9 @@ private:
   /// Effective batch-check setting (Config.BatchCheck + CIP_SIMD override),
   /// resolved once so every round of a run checks the same way.
   const bool Batched;
+  /// Effective checker-lane count (Config.CheckLanes + CIP_CHECK_LANES
+  /// override), resolved once for the same reason. 1 = serial scan.
+  const std::uint32_t Lanes;
 
   /// Lanes: workers 0..W-1, checker = W, control (checkpoint/rollback) = W+1.
   telemetry::RegionTelemetry Tel;
@@ -458,6 +491,27 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
     std::uint64_t LocalComparisons = 0;
     std::uint64_t LocalBatches = 0;
 
+    // One comparison span of a request: worker O's epoch-E signature-log
+    // slice [KBegin, KEnd). Spans are enumerated in the exact order the
+    // serial scan visits them, so committing per-span results in list
+    // order reproduces the serial first-hit decision bit for bit.
+    struct Span {
+      std::uint32_t O;
+      std::uint32_t E;
+      std::size_t KBegin;
+      std::size_t KEnd;
+    };
+    std::vector<Span> Spans;
+    std::vector<std::size_t> SpanHit;
+
+    // Checker lanes are leased once for the whole round (acquireLanes
+    // never blocks); each request fans its spans across them. The lanes'
+    // scans are pure reads of logs the ready() gate already ordered before
+    // this thread, and the lease hand-off orders them before each lane.
+    ThreadPool::Lease Lease;
+    if (Lanes > 1)
+      Lease = ThreadPool::global().acquireLanes(Lanes);
+
     auto passedEpoch = [&](std::uint32_t O, std::uint32_t Epoch) {
       if (R.Done[O].Value.load(std::memory_order_acquire))
         return true;
@@ -507,7 +561,10 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
                                   Hist::CheckNs, EventKind::SigCheck, Q.Epoch,
                                   Q.Task);
       const Sig Mine = R.Logs[Q.Tid][Q.Epoch - First].get(Q.Task);
-      for (std::uint32_t O = 0; O < W && !R.Abort; ++O) {
+
+      // Enumerate the request's comparison spans in serial-scan order.
+      Spans.clear();
+      for (std::uint32_t O = 0; O < W; ++O) {
         if (O == Q.Tid || Q.Snapshot[O] == SnapshotDone)
           continue;
         const std::uint32_t E0 = clockEpoch(Q.Snapshot[O]);
@@ -516,49 +573,78 @@ bool Engine<Sig>::speculativeRound(std::uint32_t First, std::uint32_t End,
         const std::uint32_t T0 = clockTask(Q.Snapshot[O]);
         for (std::uint32_t E = std::max(E0, First);
              E < Q.Epoch + CompareThrough; ++E) {
-          const auto &EpochLog = R.Logs[O][E - First];
           const std::size_t KBegin = E == E0 ? T0 : 0;
-          const std::size_t KEnd = EpochLog.size();
+          const std::size_t KEnd = R.Logs[O][E - First].size();
           if (KBegin >= KEnd)
             continue;
-          constexpr std::size_t npos = SignatureLog<Sig>::npos;
-          const std::size_t HitK =
-              Batched ? EpochLog.batchFirstOverlap(Mine, KBegin, KEnd)
-                      : EpochLog.firstOverlap(Mine, KBegin, KEnd);
-          // Both scans visit the same signatures a serial loop would have
-          // (everything up to and including the first hit), so the
-          // comparison count is mode-independent.
-          const std::size_t Width =
-              HitK != npos ? HitK - KBegin + 1 : KEnd - KBegin;
-          LocalComparisons += Width;
-          if (Batched) {
-            ++LocalBatches;
-            Tel.recordHist(Checker, Hist::BatchWidth, Width);
-          }
-          if (HitK == npos)
-            continue;
-          if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
-            telemetry::AbortRecord &A = R.AbortInfo;
-            A.Cause = telemetry::AbortCause::SignatureOverlap;
-            A.EarlierEpoch = E;
-            A.EarlierTid = O;
-            A.EarlierTask = static_cast<std::uint32_t>(HitK);
-            A.LaterEpoch = Q.Epoch;
-            A.LaterTid = Q.Tid;
-            A.LaterTask = Q.Task;
-            A.SignatureBucket = overlapHint(Mine, EpochLog.get(HitK));
-            A.Scheme = Sig::schemeName();
-#if CIP_TELEMETRY
-            // Exact recheck: did the two tasks' true address ranges
-            // overlap, or was the signature hit a false positive?
-            A.ExactConfirmed = R.RangeLogs[Q.Tid][Q.Epoch - First][Q.Task]
-                                   .overlaps(R.RangeLogs[O][E - First][HitK]);
-#endif
-          }
-          Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
-          R.Abort.store(true, std::memory_order_release);
-          return;
+          Spans.push_back(Span{O, E, KBegin, KEnd});
         }
+      }
+
+      constexpr std::size_t npos = SignatureLog<Sig>::npos;
+      auto scanSpan = [&](const Span &S) {
+        const auto &EpochLog = R.Logs[S.O][S.E - First];
+        return Batched ? EpochLog.batchFirstOverlap(Mine, S.KBegin, S.KEnd)
+                       : EpochLog.firstOverlap(Mine, S.KBegin, S.KEnd);
+      };
+
+      const bool Fanned = Lanes > 1 && Spans.size() > 1;
+      if (Fanned) {
+        const unsigned N =
+            static_cast<unsigned>(std::min<std::size_t>(Lanes, Spans.size()));
+        SpanHit.assign(Spans.size(), npos);
+        Lease.run(N, [&](unsigned L) {
+          for (std::size_t I = L; I < Spans.size(); I += N)
+            SpanHit[I] = scanSpan(Spans[I]);
+        });
+        // Stretch the lane-scans-done -> serial-commit window: a protocol
+        // bug here would commit results a lane has not written yet.
+        CIP_CHAOS_POINT(CheckCommit);
+      }
+
+      // Epoch-ordered commit, identical to the serial scan: walk the spans
+      // in enumeration order, account each visited span, stop at the first
+      // hit. Lanes may have scanned spans past the hit; those results are
+      // discarded unread, so the abort decision, the comparison and batch
+      // counts, and the forensics record match serial bit for bit. Both
+      // scan kernels visit the same signatures a serial loop would have
+      // (everything up to and including the first hit), so the comparison
+      // count is mode-independent too.
+      for (std::size_t I = 0; I < Spans.size(); ++I) {
+        const Span &S = Spans[I];
+        const auto &EpochLog = R.Logs[S.O][S.E - First];
+        const std::size_t HitK = Fanned ? SpanHit[I] : scanSpan(S);
+        const std::size_t Width =
+            HitK != npos ? HitK - S.KBegin + 1 : S.KEnd - S.KBegin;
+        LocalComparisons += Width;
+        if (Batched) {
+          ++LocalBatches;
+          Tel.recordHist(Checker, Hist::BatchWidth, Width);
+        }
+        if (HitK == npos)
+          continue;
+        if (!R.AbortRecorded.exchange(true, std::memory_order_acq_rel)) {
+          telemetry::AbortRecord &A = R.AbortInfo;
+          A.Cause = telemetry::AbortCause::SignatureOverlap;
+          A.EarlierEpoch = S.E;
+          A.EarlierTid = S.O;
+          A.EarlierTask = static_cast<std::uint32_t>(HitK);
+          A.LaterEpoch = Q.Epoch;
+          A.LaterTid = Q.Tid;
+          A.LaterTask = Q.Task;
+          A.SignatureBucket = overlapHint(Mine, EpochLog.get(HitK));
+          A.Scheme = Sig::schemeName();
+#if CIP_TELEMETRY
+          // Exact recheck: did the two tasks' true address ranges
+          // overlap, or was the signature hit a false positive?
+          A.ExactConfirmed =
+              R.RangeLogs[Q.Tid][Q.Epoch - First][Q.Task].overlaps(
+                  R.RangeLogs[S.O][S.E - First][HitK]);
+#endif
+        }
+        Tel.instant(Checker, EventKind::Misspec, Q.Epoch, Q.Tid);
+        R.Abort.store(true, std::memory_order_release);
+        return;
       }
     };
 

@@ -134,6 +134,16 @@ struct SpecConfig {
   /// differs. The CIP_SIMD environment variable (0 = scalar, 1 = batched),
   /// when set, overrides this for every run; a malformed value exits 2.
   bool BatchCheck = true;
+
+  /// Checker lanes (DESIGN.md §15): 0 or 1 keeps the checker scanning each
+  /// request's comparison spans serially in its own thread; N > 1 leases N
+  /// dedicated thread-pool lanes per round and fans a request's spans
+  /// across them, committing the per-span results back in epoch order —
+  /// same abort decision, same comparison and batch accounting, same
+  /// forensics record as serial for every lane count. The CIP_CHECK_LANES
+  /// environment variable (a positive integer <= 64), when set, overrides
+  /// this for every run; a malformed value exits 2.
+  std::uint32_t CheckLanes = 0;
 };
 
 /// Execution statistics (Table 5.3 columns plus recovery accounting).
@@ -152,6 +162,10 @@ struct SpecStats {
   /// Whether this run checked with the batched kernels (config + CIP_SIMD
   /// override, resolved once at engine construction).
   bool BatchCheckEnabled = false;
+  /// Checker lanes this run scanned with (config + CIP_CHECK_LANES
+  /// override, resolved once at engine construction; 1 = the serial
+  /// in-thread scan).
+  std::uint32_t CheckLanes = 1;
   std::uint64_t Misspeculations = 0;
   std::uint64_t CheckpointsTaken = 0;
   /// Epochs re-executed non-speculatively after rollbacks.

@@ -58,6 +58,10 @@ const char *chaos::siteName(Site S) {
     return "server-release";
   case Site::ShardMerge:
     return "shard-merge";
+  case Site::TeamProbe:
+    return "team-probe";
+  case Site::CheckCommit:
+    return "check-commit";
   case Site::NumSites:
     break;
   }

@@ -79,6 +79,10 @@ enum class Site : std::uint32_t {
   ServerRelease,   ///< RegionServer: before returning a grant to the budget
   ShardMerge,      ///< DOMORE sharded scheduler: probe stage done, before the
                    ///< deterministic per-iteration merge dispatches
+  TeamProbe,       ///< DOMORE scheduler team: member observed a block
+                   ///< hand-off, before probing its shard group
+  CheckCommit,     ///< SPECCROSS checker lanes: lane scans done, before the
+                   ///< epoch-ordered serial result commit
   NumSites
 };
 

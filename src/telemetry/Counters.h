@@ -93,9 +93,18 @@ enum class Counter : unsigned {
   /// Total nanoseconds admitted requests spent queued before their grant
   /// (sum over requests; the per-request distribution is ServerQueueNs).
   ServerQueueWaitNs,
+  /// Conflicts each DOMORE scheduler-team member's shard probes detected
+  /// (per-lane attribution of the team's detect stage; the lane rows are
+  /// the per-scheduler-thread view, the total sums to the conflicts the
+  /// team probed). Zero on the serial single-scheduler path.
+  SchedTeamConflicts,
+  /// Nanoseconds scheduler-team members spent idle at the block hand-off
+  /// edges: helpers waiting for the lead's next partitioned block, the
+  /// lead waiting for helpers' probe completions. Zero on the serial path.
+  SchedTeamIdleNs,
 };
 
-inline constexpr unsigned NumCounters = 24;
+inline constexpr unsigned NumCounters = 26;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *counterName(Counter C) {
@@ -107,7 +116,8 @@ inline const char *counterName(Counter C) {
       "signature_comparisons", "misspeculations",   "epochs_reexecuted",
       "checkpoints_taken",    "checkpoint_bytes",   "checkpoint_ns",
       "recovery_ns",          "barrier_wait_ns",    "server_admitted",
-      "server_rejected",      "server_degraded",    "server_queue_wait_ns"};
+      "server_rejected",      "server_degraded",    "server_queue_wait_ns",
+      "sched_team_conflicts", "sched_team_idle_ns"};
   const unsigned I = static_cast<unsigned>(C);
   assert(I < NumCounters && "counter out of range");
   return Names[I];

@@ -213,6 +213,8 @@ std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
   W.value(P.MaxBatchHint);
   W.key("shadow_shards");
   W.value(P.ShadowShards);
+  W.key("sched_threads");
+  W.value(P.SchedThreads);
   W.key("min_dependence_distance");
   W.value(P.MinDependenceDistance);
   W.endObject();

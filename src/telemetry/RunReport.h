@@ -289,6 +289,8 @@ struct PlanRecord {
   std::uint32_t MaxBatchHint = 0;
   /// DOMORE shadow-shard hint the plan applied (0 = serial scheduler).
   std::uint32_t ShadowShards = 0;
+  /// DOMORE scheduler-team hint the plan applied (0 = single scheduler).
+  std::uint32_t SchedThreads = 0;
   /// Profiled minimum cross-epoch dependence distance in global task
   /// numbers (0 = conflict-free or unmeasured).
   std::uint64_t MinDependenceDistance = 0;

@@ -106,6 +106,7 @@ RegionPlan samplePlan() {
   P.SpecDistance = 60;
   P.MaxBatchHint = 8;
   P.ShadowShards = 4;
+  P.SchedThreads = 2;
   return P;
 }
 
@@ -160,15 +161,16 @@ TEST(PlanFormat, RoundTripPreservesEveryField) {
   EXPECT_EQ(Q.SpecDistance, P.SpecDistance);
   EXPECT_EQ(Q.MaxBatchHint, P.MaxBatchHint);
   EXPECT_EQ(Q.ShadowShards, P.ShadowShards);
+  EXPECT_EQ(Q.SchedThreads, P.SchedThreads);
 }
 
 TEST(PlanFormat, RejectsGarbageWithGrammar) {
   RegionPlan Out;
   for (const char *Bad : {"", "not json", "[]", "{}", "42",
-                          "{\"plan_version\":\"2\"}"}) {
+                          "{\"plan_version\":\"3\"}"}) {
     const char *Err = plan::parsePlan(Bad, Out);
     ASSERT_NE(Err, nullptr) << "'" << Bad << "' parsed";
-    EXPECT_NE(std::string(Err).find("plan_version 2"), std::string::npos);
+    EXPECT_NE(std::string(Err).find("plan_version 3"), std::string::npos);
   }
 }
 
@@ -193,7 +195,8 @@ TEST(PlanFormat, EveryFieldRequired) {
         "\"measured\"", "\"sec_per_epoch\"", "\"sequential_sec_per_epoch\"",
         "\"predicted_sec_per_epoch\"", "\"min_dependence_distance\"",
         "\"min_epoch_distance\"", "\"conflicting_addresses\"",
-        "\"spec_distance\"", "\"max_batch_hint\"", "\"shadow_shards\""}) {
+        "\"spec_distance\"", "\"max_batch_hint\"", "\"shadow_shards\"",
+        "\"sched_threads\""}) {
     std::string Doc = Valid;
     const std::size_t At = Doc.find(Key);
     ASSERT_NE(At, std::string::npos) << Key;
@@ -243,12 +246,12 @@ TEST(PlanFiles, SaveIntoMissingDirectoryFails) {
 TEST(PlanFiles, LoadReportsParseErrorWithPath) {
   TempDir Dir;
   const std::string Path = plan::planPath(Dir.path(), "bad");
-  writeFile(Path, "{\"plan_version\":2}\n");
+  writeFile(Path, "{\"plan_version\":3}\n");
   RegionPlan Out;
   std::string Err;
   EXPECT_FALSE(plan::loadPlanFile(Path, Out, Err));
   EXPECT_NE(Err.find(Path), std::string::npos);
-  EXPECT_NE(Err.find("plan_version 2"), std::string::npos);
+  EXPECT_NE(Err.find("plan_version 3"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -326,7 +329,7 @@ TEST(PlanEnvDeathTest, GarbagePlanFileExitsWithGrammar) {
   setenv("CIP_PLAN", Path.c_str(), 1);
   RegionPlan Out;
   EXPECT_EXIT(plan::planFromEnv("relax", Out), testing::ExitedWithCode(2),
-              "plan_version 2");
+              "plan_version 3");
 }
 
 TEST(PlanEnvDeathTest, VersionMismatchExitsWithReprofileHint) {

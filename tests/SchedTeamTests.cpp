@@ -1,0 +1,486 @@
+//===- tests/SchedTeamTests.cpp - Scheduler-team & checker-lane battery ---===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism battery for the two DESIGN.md §15 parallel detection
+/// engines. The contract under test is *bit-identical observables*:
+///
+///  * DOMORE scheduler team: for every {sched_threads} x {shadow_shards}
+///    point, the sync-condition count, the per-shard conflict attribution
+///    vector, and the final memory image must equal the serial scheduler's
+///    exactly — the team only changes who probes which shard, never what
+///    any probe sees or the order conditions are merged in.
+///  * SPECCROSS checker lanes: for every lane count, abort decisions,
+///    round accounting, and the comparison/batch counters must equal the
+///    serial in-thread scan's — lanes only overlap the span scans, the
+///    epoch-ordered commit discards anything a serial scan would not have
+///    reached.
+///
+/// Adversarial shapes ride along: every conflict confined to one shard
+/// group (the lead's and a member's), shard counts leaving most shards
+/// empty, and teams wider than the shard count (members owning empty
+/// groups must neither deadlock nor invent conflicts).
+///
+/// The assertions read CIP_SCHED_THREADS / CIP_CHECK_LANES so the same
+/// binary stays correct when CMake re-registers it with the knobs pinned
+/// (ctest -R "^schedteam/") — the env override must beat the config at
+/// every sweep point, and determinism must hold either way.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domore/DomoreRuntime.h"
+#include "speccross/Checkpoint.h"
+#include "speccross/SpecCrossRuntime.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+using namespace cip;
+using namespace cip::domore;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Env-aware expectations
+//===----------------------------------------------------------------------===//
+
+/// Numeric value of a CIP_* knob, 0 when unset (the suite is also
+/// re-registered with the knobs pinned; expectations must track that).
+std::uint32_t envKnob(const char *Name) {
+  const char *S = std::getenv(Name);
+  return S && *S ? static_cast<std::uint32_t>(std::strtoul(S, nullptr, 10))
+                 : 0;
+}
+
+/// Team size a run at \p Shards shards reports for \p Configured (env
+/// beats config, 0 means one scheduler thread). A team needs a sharded
+/// shadow: at <= 1 shard the runtime runs the unsharded substrate and one
+/// scheduler thread regardless of the knob.
+std::uint32_t expectedTeam(std::uint32_t Configured, std::uint32_t Shards) {
+  if (Shards <= 1)
+    return 1;
+  const std::uint32_t Env = envKnob("CIP_SCHED_THREADS");
+  const std::uint32_t Knob = Env ? Env : Configured;
+  return Knob > 0 ? Knob : 1;
+}
+
+/// Checker-lane count a run reports for \p Configured.
+std::uint32_t expectedLanes(std::uint32_t Configured) {
+  const std::uint32_t Env = envKnob("CIP_CHECK_LANES");
+  const std::uint32_t Knob = Env ? Env : Configured;
+  return Knob > 0 ? Knob : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// DOMORE battery
+//===----------------------------------------------------------------------===//
+
+/// Workload with a steerable address map: element E accesses address
+/// E * Stride + Offset (dense) or a pointer-shaped hash of it (sparse).
+/// Stride = shard count + Offset pins *every* address — and therefore every
+/// conflict — to dense shard `Offset`, the adversarial all-in-one-group
+/// shape. Per-element append logs make any ordering violation visible and
+/// double as the memory image compared across scheduler variants.
+struct TeamHarness {
+  TeamHarness(std::uint32_t NumInv, std::uint32_t IterPerInv,
+              std::uint64_t Space, std::uint64_t Seed, std::uint64_t Stride,
+              std::uint64_t Offset, bool SparseAddrs)
+      : NumInv(NumInv), IterPerInv(IterPerInv), Space(Space), Stride(Stride),
+        Offset(Offset), SparseAddrs(SparseAddrs) {
+    Xoshiro256StarStar Rng(Seed);
+    Elements.resize(static_cast<std::size_t>(NumInv) * IterPerInv);
+    std::vector<std::uint64_t> Pool(Space);
+    std::iota(Pool.begin(), Pool.end(), 0u);
+    // Distinct elements within one invocation (the DOALL inner loop).
+    for (std::uint32_t Inv = 0; Inv < NumInv; ++Inv)
+      for (std::uint32_t It = 0; It < IterPerInv; ++It) {
+        const std::size_t Pick = It + Rng.nextBelow(Space - It);
+        std::swap(Pool[It], Pool[Pick]);
+        Elements[static_cast<std::size_t>(Inv) * IterPerInv + It] = Pool[It];
+      }
+    Log.resize(Space);
+  }
+
+  std::uint64_t addrOf(std::uint64_t Element) const {
+    const std::uint64_t Strided = Element * Stride + Offset;
+    return SparseAddrs ? Strided * 0x9e3779b97f4a7c15ULL + 1 : Strided;
+  }
+
+  LoopNest nest() {
+    LoopNest N;
+    N.NumInvocations = NumInv;
+    N.AddressSpaceSize = SparseAddrs ? 0 : (Space - 1) * Stride + Offset + 1;
+    N.BeginInvocation = [this](std::uint32_t) {
+      return static_cast<std::size_t>(IterPerInv);
+    };
+    N.ComputeAddr = [this](std::uint32_t Inv, std::size_t It,
+                           std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(addrOf(elementOf(Inv, It)));
+    };
+    N.Work = [this](std::uint32_t Inv, std::size_t It) {
+      const std::int64_t Combined =
+          static_cast<std::int64_t>(Inv) * IterPerInv +
+          static_cast<std::int64_t>(It);
+      Log[elementOf(Inv, It)].push_back(Combined);
+    };
+    return N;
+  }
+
+  std::uint64_t elementOf(std::uint32_t Inv, std::size_t It) const {
+    return Elements[static_cast<std::size_t>(Inv) * IterPerInv + It];
+  }
+
+  bool ordered() const {
+    for (const auto &L : Log)
+      for (std::size_t I = 1; I < L.size(); ++I)
+        if (L[I - 1] >= L[I])
+          return false;
+    return true;
+  }
+
+  /// FNV-1a over the append logs: the memory-image checksum the battery
+  /// compares across sweep points (equality of Log is also asserted; the
+  /// checksum is what the fuzzer-style sweeps log on divergence).
+  std::uint64_t checksum() const {
+    std::uint64_t H = 0xcbf29ce484222325ULL;
+    const auto Mix = [&H](std::uint64_t X) {
+      for (int B = 0; B < 8; ++B) {
+        H ^= (X >> (8 * B)) & 0xff;
+        H *= 0x100000001b3ULL;
+      }
+    };
+    for (const auto &L : Log) {
+      Mix(L.size());
+      for (std::int64_t V : L)
+        Mix(static_cast<std::uint64_t>(V));
+    }
+    return H;
+  }
+
+  std::uint32_t NumInv, IterPerInv;
+  std::uint64_t Space, Stride, Offset;
+  bool SparseAddrs;
+  std::vector<std::uint64_t> Elements;
+  std::vector<std::vector<std::int64_t>> Log;
+};
+
+struct TeamShape {
+  std::uint32_t NumInv = 40;
+  std::uint32_t IterPerInv = 8;
+  std::uint64_t Space = 64;
+  std::uint64_t Seed = 7;
+  std::uint64_t Stride = 1;
+  std::uint64_t Offset = 0;
+  bool SparseAddrs = false;
+  PolicyKind Policy = PolicyKind::RoundRobin;
+};
+
+struct TeamPoint {
+  DomoreStats Stats;
+  std::vector<std::vector<std::int64_t>> Log;
+  std::uint64_t Checksum = 0;
+};
+
+TeamPoint runPoint(const TeamShape &Shape, std::uint32_t Shards,
+                   std::uint32_t Team) {
+  TeamHarness H(Shape.NumInv, Shape.IterPerInv, Shape.Space, Shape.Seed,
+                Shape.Stride, Shape.Offset, Shape.SparseAddrs);
+  DomoreConfig C;
+  C.NumWorkers = 3;
+  C.Policy = Shape.Policy;
+  C.ShadowShards = Shards;
+  C.SchedThreads = Team;
+  TeamPoint P;
+  P.Stats = runDomore(H.nest(), C);
+  EXPECT_TRUE(H.ordered()) << "shards=" << Shards << " team=" << Team;
+  P.Checksum = H.checksum();
+  P.Log = std::move(H.Log);
+  return P;
+}
+
+std::uint64_t sumOf(const std::vector<std::uint64_t> &V) {
+  std::uint64_t Total = 0;
+  for (std::uint64_t X : V)
+    Total += X;
+  return Total;
+}
+
+/// The battery core: a serial (ShadowShards = 0) reference, then — per
+/// shard count — a one-scheduler sharded reference whose per-shard conflict
+/// vector every team width must reproduce bit for bit, on top of the
+/// global invariants (sync conditions, memory image, checksum, coverage).
+void sweepTeams(const TeamShape &Shape,
+                const std::vector<std::uint32_t> &ShardAxis,
+                const std::vector<std::uint32_t> &TeamAxis) {
+  const TeamPoint Serial = runPoint(Shape, 0, 0);
+  EXPECT_EQ(Serial.Stats.ShadowShards, 1u);
+  EXPECT_EQ(Serial.Stats.SchedThreads, 1u);
+  ASSERT_EQ(Serial.Stats.ShardConflicts.size(), 1u);
+
+  for (const std::uint32_t Shards : ShardAxis) {
+    const TeamPoint Ref = runPoint(Shape, Shards, 0);
+    EXPECT_EQ(Ref.Stats.SyncConditions, Serial.Stats.SyncConditions)
+        << "shards=" << Shards;
+    EXPECT_EQ(Ref.Log, Serial.Log) << "shards=" << Shards;
+    for (const std::uint32_t Team : TeamAxis) {
+      const TeamPoint P = runPoint(Shape, Shards, Team);
+      const std::string Where =
+          "shards=" + std::to_string(Shards) + " team=" + std::to_string(Team);
+      EXPECT_EQ(P.Stats.SchedThreads, expectedTeam(Team, Shards)) << Where;
+      EXPECT_EQ(P.Stats.ShadowShards, Shards) << Where;
+      EXPECT_EQ(P.Stats.SyncConditions, Serial.Stats.SyncConditions) << Where;
+      EXPECT_EQ(P.Stats.Iterations, Serial.Stats.Iterations) << Where;
+      EXPECT_EQ(P.Checksum, Serial.Checksum) << Where;
+      EXPECT_EQ(P.Log, Serial.Log)
+          << Where << ": final memory diverged from serial";
+      // The per-shard attribution is the sync-condition *set* keyed by
+      // shard: it must match the one-scheduler sharded run exactly, not
+      // just in total.
+      EXPECT_EQ(P.Stats.ShardConflicts, Ref.Stats.ShardConflicts) << Where;
+      EXPECT_EQ(sumOf(P.Stats.ShardConflicts), P.Stats.SyncConditions)
+          << Where << ": attribution must cover every sync condition";
+    }
+  }
+}
+
+} // namespace
+
+TEST(SchedTeamBattery, DenseSweepBitIdenticalToSerial) {
+  TeamShape Shape;
+  sweepTeams(Shape, {1u, 2u, 4u, 8u}, {1u, 2u, 3u, 5u});
+}
+
+TEST(SchedTeamBattery, HashSubstrateSweepBitIdenticalToSerial) {
+  TeamShape Shape;
+  Shape.SparseAddrs = true;
+  Shape.Policy = PolicyKind::HashOwner;
+  Shape.Seed = 21;
+  sweepTeams(Shape, {2u, 8u}, {2u, 3u, 5u});
+}
+
+TEST(SchedTeamBattery, OwnerComputeSweepBitIdenticalToSerial) {
+  TeamShape Shape;
+  Shape.Policy = PolicyKind::OwnerCompute;
+  Shape.Seed = 33;
+  sweepTeams(Shape, {2u, 8u}, {2u, 4u});
+}
+
+TEST(SchedTeamBattery, AllConflictsInLeadsShardGroup) {
+  // Stride 8 at 8 shards puts every dense address in shard `Offset`.
+  // Offset 0 is the lead's own group: members probe only empty shards.
+  TeamShape Shape;
+  Shape.Stride = 8;
+  Shape.Offset = 0;
+  sweepTeams(Shape, {8u}, {2u, 3u, 8u});
+  if (!envKnob("CIP_SCHED_THREADS")) {
+    const TeamPoint P = runPoint(Shape, 8, 8);
+    ASSERT_EQ(P.Stats.ShardConflicts.size(), 8u);
+    EXPECT_EQ(P.Stats.ShardConflicts[0], P.Stats.SyncConditions);
+    for (std::size_t S = 1; S < 8; ++S)
+      EXPECT_EQ(P.Stats.ShardConflicts[S], 0u) << "shard " << S;
+  }
+}
+
+TEST(SchedTeamBattery, AllConflictsInLastMembersShardGroup) {
+  // Offset 7 pins every conflict to shard 7 — the last member's group at
+  // team 8; the lead merges findings it never produced itself.
+  TeamShape Shape;
+  Shape.Stride = 8;
+  Shape.Offset = 7;
+  sweepTeams(Shape, {8u}, {2u, 3u, 8u});
+  if (!envKnob("CIP_SCHED_THREADS")) {
+    const TeamPoint P = runPoint(Shape, 8, 8);
+    ASSERT_EQ(P.Stats.ShardConflicts.size(), 8u);
+    EXPECT_EQ(P.Stats.ShardConflicts[7], P.Stats.SyncConditions);
+    for (std::size_t S = 0; S < 7; ++S)
+      EXPECT_EQ(P.Stats.ShardConflicts[S], 0u) << "shard " << S;
+  }
+}
+
+TEST(SchedTeamBattery, TeamWiderThanShardCount) {
+  // groupBegin's proportional split hands members beyond the shard count
+  // empty [begin, end) ranges: they must join every block hand-off without
+  // deadlock and contribute nothing.
+  TeamShape Shape;
+  sweepTeams(Shape, {1u, 2u}, {3u, 5u, 8u});
+}
+
+//===----------------------------------------------------------------------===//
+// SPECCROSS checker-lane battery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using speccross::CheckpointRegistry;
+using speccross::SpecConfig;
+using speccross::SpecMode;
+using speccross::SpecRegion;
+using speccross::SpecStats;
+
+/// Same shape as ShardingTests' ConflictRegion: per-task private cells plus
+/// — when \p WithConflicts — one shared slot the designated task of each
+/// epoch read-modify-writes, so the checker has real overlaps to find.
+struct LaneRegion {
+  LaneRegion(std::uint32_t Epochs, std::uint32_t Tasks, bool WithConflicts)
+      : Epochs(Epochs), Tasks(Tasks), WithConflicts(WithConflicts),
+        Cells(Tasks, 0), Shared(1) {
+    Shared[0].store(1, std::memory_order_relaxed);
+  }
+
+  SpecRegion region(CheckpointRegistry &Reg) {
+    Reg.registerBuffer(Cells);
+    Reg.registerBuffer(Shared);
+    SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [this](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [this](std::uint32_t E, std::size_t T) {
+      Cells[T] += 1;
+      if (WithConflicts && T == E % 2)
+        Shared[0].store(Shared[0].load(std::memory_order_relaxed) + 1 +
+                            Cells[T] % 3,
+                        std::memory_order_relaxed);
+    };
+    R.TaskAddresses = [this](std::uint32_t E, std::size_t T,
+                             std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(T);
+      if (WithConflicts && T == E % 2)
+        Addrs.push_back(Tasks + 1); // the shared slot
+    };
+    R.Checkpoints = &Reg;
+    return R;
+  }
+
+  std::vector<std::uint32_t> state() const {
+    std::vector<std::uint32_t> S = Cells;
+    S.push_back(Shared[0].load(std::memory_order_relaxed));
+    return S;
+  }
+
+  std::uint32_t Epochs, Tasks;
+  bool WithConflicts;
+  std::vector<std::uint32_t> Cells;
+  std::vector<std::atomic<std::uint32_t>> Shared;
+};
+
+std::vector<std::uint32_t> sequentialLaneResult(std::uint32_t Epochs,
+                                                std::uint32_t Tasks,
+                                                bool WithConflicts) {
+  LaneRegion C(Epochs, Tasks, WithConflicts);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  for (std::uint32_t E = 0; E < R.NumEpochs; ++E)
+    for (std::size_t T = 0; T < R.NumTasks(E); ++T)
+      R.RunTask(E, T);
+  return C.state();
+}
+
+SpecStats runLaneRegion(std::uint32_t Lanes, speccross::SignatureScheme Scheme,
+                        bool WithConflicts, std::uint32_t InjectAt,
+                        std::vector<std::uint32_t> &StateOut) {
+  LaneRegion C(12, 6, WithConflicts);
+  CheckpointRegistry Reg;
+  SpecRegion R = C.region(Reg);
+  SpecConfig Config;
+  Config.NumWorkers = 3;
+  Config.Scheme = Scheme;
+  Config.CheckLanes = Lanes;
+  Config.CheckpointIntervalEpochs = 3;
+  Config.InjectMisspecAtEpoch = InjectAt;
+  const SpecStats S = runSpecCross(R, Config, SpecMode::Speculation);
+  StateOut = C.state();
+  return S;
+}
+
+constexpr std::uint32_t NoInject = ~std::uint32_t{0};
+
+} // namespace
+
+TEST(CheckerLaneBattery, CleanRegionAccountingIdenticalAcrossLaneCounts) {
+  for (const speccross::SignatureScheme Scheme :
+       {speccross::SignatureScheme::Range, speccross::SignatureScheme::Bloom,
+        speccross::SignatureScheme::SmallSet}) {
+    // Conflict-free: no aborts, so the round structure — and with it the
+    // exact comparison spans — is deterministic. Every lane count must
+    // reproduce the serial scan's accounting exactly.
+    const std::vector<std::uint32_t> Ref =
+        sequentialLaneResult(12, 6, /*WithConflicts=*/false);
+    std::vector<std::uint32_t> SerialState;
+    const SpecStats Serial = runLaneRegion(0, Scheme, /*WithConflicts=*/false,
+                                           NoInject, SerialState);
+    EXPECT_EQ(SerialState, Ref);
+    EXPECT_EQ(Serial.CheckLanes, expectedLanes(0));
+    EXPECT_EQ(Serial.Misspeculations, 0u);
+    for (const std::uint32_t Lanes : {1u, 2u, 3u, 8u}) {
+      std::vector<std::uint32_t> State;
+      const SpecStats S = runLaneRegion(Lanes, Scheme,
+                                        /*WithConflicts=*/false, NoInject,
+                                        State);
+      EXPECT_EQ(S.CheckLanes, expectedLanes(Lanes)) << "lanes=" << Lanes;
+      EXPECT_EQ(State, Ref) << "lanes=" << Lanes;
+      EXPECT_EQ(S.Misspeculations, 0u) << "lanes=" << Lanes;
+      EXPECT_EQ(S.Epochs, Serial.Epochs) << "lanes=" << Lanes;
+      EXPECT_EQ(S.Tasks, Serial.Tasks) << "lanes=" << Lanes;
+      EXPECT_EQ(S.CheckpointsTaken, Serial.CheckpointsTaken)
+          << "lanes=" << Lanes;
+      EXPECT_EQ(S.SignatureComparisons, Serial.SignatureComparisons)
+          << "lanes=" << Lanes << ": fan-out changed the comparison count";
+      EXPECT_EQ(S.BatchChecks, Serial.BatchChecks) << "lanes=" << Lanes;
+    }
+  }
+}
+
+TEST(CheckerLaneBattery, InjectedAbortDecisionIdenticalAcrossLaneCounts) {
+  // Deterministic forced misspeculation on a conflict-free region: exactly
+  // one round aborts no matter how many lanes scan, and the re-executed
+  // epoch accounting must match the serial scan's.
+  const std::vector<std::uint32_t> Ref =
+      sequentialLaneResult(12, 6, /*WithConflicts=*/false);
+  std::vector<std::uint32_t> SerialState;
+  const SpecStats Serial = runLaneRegion(0, speccross::SignatureScheme::Range,
+                                         /*WithConflicts=*/false,
+                                         /*InjectAt=*/4, SerialState);
+  EXPECT_EQ(SerialState, Ref);
+  EXPECT_EQ(Serial.Misspeculations, 1u);
+  for (const std::uint32_t Lanes : {2u, 3u, 8u}) {
+    std::vector<std::uint32_t> State;
+    const SpecStats S = runLaneRegion(Lanes, speccross::SignatureScheme::Range,
+                                      /*WithConflicts=*/false, /*InjectAt=*/4,
+                                      State);
+    EXPECT_EQ(State, Ref) << "lanes=" << Lanes;
+    EXPECT_EQ(S.Misspeculations, Serial.Misspeculations) << "lanes=" << Lanes;
+    EXPECT_EQ(S.ReexecutedEpochs, Serial.ReexecutedEpochs)
+        << "lanes=" << Lanes;
+    EXPECT_EQ(S.CheckpointsTaken, Serial.CheckpointsTaken)
+        << "lanes=" << Lanes;
+  }
+}
+
+TEST(CheckerLaneBattery, ConflictRecoveryLandsOnSequentialEveryLaneCount) {
+  // Conflict-heavy region: *when* a round aborts is inherently racy, so
+  // counters vary per run — the contract every lane count must honor is
+  // semantic: rollback plus re-execution lands on the sequential result.
+  for (const speccross::SignatureScheme Scheme :
+       {speccross::SignatureScheme::Range,
+        speccross::SignatureScheme::SmallSet}) {
+    const std::vector<std::uint32_t> Ref =
+        sequentialLaneResult(12, 6, /*WithConflicts=*/true);
+    for (const std::uint32_t Lanes : {0u, 2u, 3u}) {
+      std::vector<std::uint32_t> State;
+      const SpecStats S = runLaneRegion(Lanes, Scheme, /*WithConflicts=*/true,
+                                        NoInject, State);
+      EXPECT_EQ(State, Ref)
+          << "lanes=" << Lanes << ": recovery diverged from sequential";
+      EXPECT_EQ(S.CheckLanes, expectedLanes(Lanes));
+    }
+  }
+}

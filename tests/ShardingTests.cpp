@@ -247,15 +247,21 @@ std::uint64_t sumOf(const std::vector<std::uint64_t> &V) {
 
 /// Runs the same workload serially (ShadowShards = 0) and under every
 /// sharded count, asserting identical sync conditions, identical final
-/// memory (the append logs), and coherent per-shard accounting.
+/// memory (the append logs), and coherent per-shard accounting. Every sweep
+/// point builds its own DomoreConfig from scratch so the assertions hold in
+/// isolation — a carried-over field from a previous point (the bug this
+/// guards against) cannot silently change what a later point tests.
 void checkShardedEquivalence(bool SparseAddrs, PolicyKind Policy) {
-  DomoreConfig C;
-  C.NumWorkers = 3;
-  C.Policy = Policy;
+  const auto makeConfig = [Policy](std::uint32_t Shards) {
+    DomoreConfig C;
+    C.NumWorkers = 3;
+    C.Policy = Policy;
+    C.ShadowShards = Shards;
+    return C;
+  };
 
   ShardHarness Serial(40, 8, 64, 99, SparseAddrs);
-  C.ShadowShards = 0;
-  const DomoreStats Base = runDomore(Serial.nest(), C);
+  const DomoreStats Base = runDomore(Serial.nest(), makeConfig(0));
   EXPECT_TRUE(Serial.ordered());
   EXPECT_EQ(Base.ShadowShards, 1u);
   ASSERT_EQ(Base.ShardConflicts.size(), 1u);
@@ -263,8 +269,7 @@ void checkShardedEquivalence(bool SparseAddrs, PolicyKind Policy) {
 
   for (std::uint32_t Shards : {1u, 2u, 8u}) {
     ShardHarness H(40, 8, 64, 99, SparseAddrs);
-    C.ShadowShards = Shards;
-    const DomoreStats S = runDomore(H.nest(), C);
+    const DomoreStats S = runDomore(H.nest(), makeConfig(Shards));
     EXPECT_TRUE(H.ordered()) << "shards=" << Shards;
     EXPECT_EQ(S.SyncConditions, Base.SyncConditions) << "shards=" << Shards;
     EXPECT_EQ(S.Iterations, Base.Iterations);

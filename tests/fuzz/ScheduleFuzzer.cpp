@@ -86,14 +86,16 @@ bool fuzz::parseScheme(std::string_view Name,
 }
 
 std::string fuzz::reproCommand(std::uint64_t Seed, const FuzzOptions &Opt) {
-  char Buf[256];
+  char Buf[320];
   std::snprintf(Buf, sizeof(Buf),
                 "tools/cip_fuzz --seed=%" PRIu64
                 " --engines=%s --workers=%u --maxbatch=%zu --shards=%u"
+                " --sched-threads=%u --check-lanes=%u"
                 " --pool=%d --chaos=%" PRIu64 " --scheme=%s --simd=%d",
                 Seed, engineName(Opt.Eng), Opt.Workers, Opt.MaxBatch,
-                Opt.Shards, Opt.UsePool ? 1 : 0, Opt.ChaosSeed,
-                schemeName(Opt.Scheme), Opt.Simd ? 1 : 0);
+                Opt.Shards, Opt.SchedThreads, Opt.CheckLanes,
+                Opt.UsePool ? 1 : 0, Opt.ChaosSeed, schemeName(Opt.Scheme),
+                Opt.Simd ? 1 : 0);
   return Buf;
 }
 
@@ -332,6 +334,7 @@ FuzzResult runDomoreCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   Config.QueueCapacity = C.QueueCapacity;
   Config.MaxBatch = Opt.MaxBatch;
   Config.ShadowShards = Opt.Shards;
+  Config.SchedThreads = Opt.SchedThreads;
 
   const domore::DomoreStats Stats = Opt.Eng == Engine::DomoreDup
                                         ? runDomoreDuplicated(Nest, Config)
@@ -451,6 +454,7 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   Config.NumWorkers = Opt.Workers;
   Config.Scheme = Opt.Scheme;
   Config.BatchCheck = Opt.Simd;
+  Config.CheckLanes = Opt.CheckLanes;
   Config.CheckpointIntervalEpochs = C.CheckpointInterval;
   Config.InjectMisspecAtEpoch = C.InjectAt;
 

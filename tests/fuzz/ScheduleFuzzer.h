@@ -77,6 +77,13 @@ struct FuzzOptions {
   /// runs the sharded two-stage scheduler, whose sync conditions must still
   /// match the sequential shadow replay exactly.
   std::uint32_t Shards = 0;
+  /// DOMORE scheduler-team size (0/1 = one scheduler thread). Only takes
+  /// effect with Shards > 1; the team's sync conditions must still match
+  /// the sequential shadow replay bit for bit at every team width.
+  std::uint32_t SchedThreads = 0;
+  /// SPECCROSS checker-lane count (0/1 = the serial in-thread scan). Lane
+  /// fan-out must leave abort decisions and round accounting unchanged.
+  std::uint32_t CheckLanes = 0;
   /// SPECCROSS batched signature checking (false = scalar first-overlap
   /// scan). Both modes must produce identical results and comparison counts.
   bool Simd = true;

@@ -10,11 +10,12 @@
 /// differential-oracle failure with a copy-pasteable repro command.
 ///
 /// Default matrix per seed:
-///   * domore, domore-dup: MaxBatch {1, 16} x shards {0 = serial, 4} x pool
-///     {on, off} x chaos {off, seed-derived} (the chaos axis collapses in
-///     builds without -DCIP_CHAOS_HOOKS=ON)
+///   * domore, domore-dup: MaxBatch {1, 16} x shards {0 = serial, 4} x
+///     scheduler team {1, 2} when shards > 1 x pool {on, off} x chaos
+///     {off, seed-derived} (the chaos axis collapses in builds without
+///     -DCIP_CHAOS_HOOKS=ON)
 ///   * speccross: scheme {range, bloom, smallset} x simd {batched, scalar}
-///     x pool {on, off} x chaos {off, seed-derived}
+///     x checker lanes {1, 2} x pool {on, off} x chaos {off, seed-derived}
 ///   * adaptive: pool {on, off} x chaos {off, seed-derived}; the policy and
 ///     window size are derived from the seed inside the fuzzer
 ///   * server: pool {on, off} x chaos {off, seed-derived}; the budget,
@@ -58,6 +59,8 @@ struct DriverOptions {
   int Workers = 0;          // 0 = derive from seed (2..4)
   long MaxBatch = -1;       // -1 = sweep {1, 16}
   long Shards = -1;         // -1 = sweep {0 = serial, 4}
+  long SchedThreads = -1;   // -1 = sweep {0, 2} where shards > 1
+  long CheckLanes = -1;     // -1 = sweep {0 = serial scan, 2}
   int Simd = -1;            // -1 = sweep {1, 0}
   int Pool = -1;            // -1 = sweep {1, 0}
   long long Chaos = -1;     // -1 = sweep {0, derived}; >=0 pins
@@ -79,6 +82,11 @@ void usage(const char *Prog) {
       "  --maxbatch=B      pin DOMORE MaxBatch (default: sweep 1 and 16)\n"
       "  --shards=S        pin DOMORE shadow shards, 0 = serial scheduler\n"
       "                    (default: sweep 0 and 4)\n"
+      "  --sched-threads=T pin the DOMORE scheduler-team size, 0 = single\n"
+      "                    scheduler thread (default: sweep 0 and 2 at\n"
+      "                    shard counts > 1; teams need a sharded shadow)\n"
+      "  --check-lanes=L   pin the SPECCROSS checker-lane count, 0 = serial\n"
+      "                    in-thread scan (default: sweep 0 and 2)\n"
       "  --simd=0|1        pin SPECCROSS batched checking (default: sweep)\n"
       "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
       "  --chaos=C         pin the chaos seed, 0 = off (default: sweep)\n"
@@ -127,6 +135,10 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
       O.MaxBatch = std::atol(Value("--maxbatch=").c_str());
     else if (Arg.rfind("--shards=", 0) == 0)
       O.Shards = std::atol(Value("--shards=").c_str());
+    else if (Arg.rfind("--sched-threads=", 0) == 0)
+      O.SchedThreads = std::atol(Value("--sched-threads=").c_str());
+    else if (Arg.rfind("--check-lanes=", 0) == 0)
+      O.CheckLanes = std::atol(Value("--check-lanes=").c_str());
     else if (Arg.rfind("--simd=", 0) == 0)
       O.Simd = std::atoi(Value("--simd=").c_str());
     else if (Arg.rfind("--pool=", 0) == 0)
@@ -211,19 +223,25 @@ int main(int Argc, char **Argv) {
         const std::vector<bool> SimdAxis =
             O.Simd >= 0 ? std::vector<bool>{O.Simd != 0}
                         : std::vector<bool>{true, false};
+        const std::vector<std::uint32_t> LaneAxis =
+            O.CheckLanes >= 0 ? std::vector<std::uint32_t>{
+                                    static_cast<std::uint32_t>(O.CheckLanes)}
+                              : std::vector<std::uint32_t>{0, 2};
         for (auto Scheme : Schemes)
           for (bool Simd : SimdAxis)
-            for (bool Pool : PoolAxis)
-              for (std::uint64_t Chaos : ChaosAxis) {
-                FuzzOptions F;
-                F.Eng = E;
-                F.Workers = Workers;
-                F.UsePool = Pool;
-                F.ChaosSeed = Chaos;
-                F.Scheme = Scheme;
-                F.Simd = Simd;
-                Configs.push_back(F);
-              }
+            for (std::uint32_t Lanes : LaneAxis)
+              for (bool Pool : PoolAxis)
+                for (std::uint64_t Chaos : ChaosAxis) {
+                  FuzzOptions F;
+                  F.Eng = E;
+                  F.Workers = Workers;
+                  F.UsePool = Pool;
+                  F.ChaosSeed = Chaos;
+                  F.Scheme = Scheme;
+                  F.Simd = Simd;
+                  F.CheckLanes = Lanes;
+                  Configs.push_back(F);
+                }
       } else if (E == Engine::Adaptive || E == Engine::Server) {
         for (bool Pool : PoolAxis)
           for (std::uint64_t Chaos : ChaosAxis) {
@@ -245,18 +263,30 @@ int main(int Argc, char **Argv) {
                                 static_cast<std::uint32_t>(O.Shards)}
                           : std::vector<std::uint32_t>{0, 4};
         for (std::size_t Batch : Batches)
-          for (std::uint32_t Shards : ShardAxis)
-            for (bool Pool : PoolAxis)
-              for (std::uint64_t Chaos : ChaosAxis) {
-                FuzzOptions F;
-                F.Eng = E;
-                F.Workers = Workers;
-                F.MaxBatch = Batch;
-                F.Shards = Shards;
-                F.UsePool = Pool;
-                F.ChaosSeed = Chaos;
-                Configs.push_back(F);
-              }
+          for (std::uint32_t Shards : ShardAxis) {
+            // A scheduler team needs a sharded shadow: at shards <= 1 the
+            // runtime runs one scheduler thread regardless, so sweeping the
+            // axis there would only duplicate configurations.
+            const std::vector<std::uint32_t> SchedAxis =
+                O.SchedThreads >= 0
+                    ? std::vector<std::uint32_t>{static_cast<std::uint32_t>(
+                          O.SchedThreads)}
+                    : (Shards > 1 ? std::vector<std::uint32_t>{0, 2}
+                                  : std::vector<std::uint32_t>{0});
+            for (std::uint32_t Sched : SchedAxis)
+              for (bool Pool : PoolAxis)
+                for (std::uint64_t Chaos : ChaosAxis) {
+                  FuzzOptions F;
+                  F.Eng = E;
+                  F.Workers = Workers;
+                  F.MaxBatch = Batch;
+                  F.Shards = Shards;
+                  F.SchedThreads = Sched;
+                  F.UsePool = Pool;
+                  F.ChaosSeed = Chaos;
+                  Configs.push_back(F);
+                }
+          }
       }
 
       for (const FuzzOptions &F : Configs) {

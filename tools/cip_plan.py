@@ -18,22 +18,23 @@ strict, numbers must be non-negative, and the version must match — a plan
 this script accepts is a plan the runtime accepts, and vice versa.
 
 Sentinels: 0 means "none" for min_dependence_distance (conflict-free),
-spec_distance (unthrottled), max_batch_hint (engine default), and
-shadow_shards (serial scheduler).
+spec_distance (unthrottled), max_batch_hint (engine default),
+shadow_shards (serial scheduler), and sched_threads (single scheduler
+thread).
 """
 
 import json
 import os
 import sys
 
-PLAN_VERSION = 2
+PLAN_VERSION = 3
 
 # policy::techniqueName order — Technique enum values 0..3.
 TECHNIQUES = ["barrier", "domore", "domore-dup", "speccross"]
 
 # Same static diagnostics the C++ parser answers with.
-GRAMMAR = "a plan_version 2 region plan object (see DESIGN.md section 13)"
-VERSION_ERR = "plan_version 2 (re-profile with this build's CIP_PROFILE)"
+GRAMMAR = "a plan_version 3 region plan object (see DESIGN.md section 13)"
+VERSION_ERR = "plan_version 3 (re-profile with this build's CIP_PROFILE)"
 
 
 def get_number(obj, key):
@@ -120,6 +121,7 @@ def parse_plan(text):
         "spec_distance": get_u64(doc, "spec_distance"),
         "max_batch_hint": get_u32(doc, "max_batch_hint"),
         "shadow_shards": get_u32(doc, "shadow_shards"),
+        "sched_threads": get_u32(doc, "sched_threads"),
     }
     if None in tail.values():
         return None, GRAMMAR
@@ -160,7 +162,8 @@ def render_plan(path, plan):
     print(f"  hints: spec_distance "
           f"{or_none(plan['spec_distance'])} (0=unthrottled), "
           f"max_batch {or_none(plan['max_batch_hint'])} (0=engine default), "
-          f"shadow_shards {or_none(plan['shadow_shards'])} (0=serial)")
+          f"shadow_shards {or_none(plan['shadow_shards'])} (0=serial), "
+          f"sched_threads {or_none(plan['sched_threads'])} (0=single)")
 
 
 def expand(args):

@@ -3,6 +3,7 @@
 
 Usage: validate_bench_json.py <file.json> [--require-nonzero-counters]
        validate_bench_json.py --report <report.json> [more.json ...]
+       validate_bench_json.py --self-test
 
 Without --report, the input is bench output: one JSON object per line
 (JSON Lines) as emitted via CIP_BENCH_JSON; see DESIGN.md, section
@@ -32,10 +33,16 @@ loaded/profiled/source fields must be mutually consistent (a cold run is
 {loaded:false, profiled:false, source:"none"}).
 
 Bench rows may additionally carry the raw-speed payloads (DESIGN.md §14):
-"shadow_shards" on domore/domore-dup rows (per-shard conflict split summing
-to the region's sync conditions) and "batch_check" on speccross rows
-(batched-kernel accounting plus the batch_width histogram summary). Both
-are validated when present and rejected on any other scheme.
+"shadow_shards" on domore/domore-dup rows (shard count, scheduler-team
+size, and the per-shard conflict split summing to the region's sync
+conditions) and "batch_check" on speccross rows (batched-kernel accounting
+including the checker-lane count plus the batch_width histogram summary).
+Both are validated when present and rejected on any other scheme.
+
+With --self-test, the validator feeds itself deliberately malformed
+payloads (a scheduler team without a sharded shadow, a zero checker-lane
+count, a plan missing sched_threads, ...) and fails if any is accepted —
+the schema checks above are themselves under test.
 """
 
 import json
@@ -66,6 +73,8 @@ COUNTER_KEYS = [
     "server_rejected",
     "server_degraded",
     "server_queue_wait_ns",
+    "sched_team_conflicts",
+    "sched_team_idle_ns",
 ]
 
 HIST_KEYS = [
@@ -306,7 +315,8 @@ def validate_plan(where, obj, required):
         fail(where, f"unknown plan initial technique '{plan['initial']}'")
     for key in ["predicted_sec_per_epoch", "sequential_sec_per_epoch"]:
         check_number(where, plan, key)
-    for key in ["spec_distance", "max_batch_hint", "min_dependence_distance"]:
+    for key in ["spec_distance", "max_batch_hint", "shadow_shards",
+                "sched_threads", "min_dependence_distance"]:
         check_uint(where, plan, key)
 
 
@@ -374,14 +384,21 @@ def validate_server(where, server):
 
 def validate_shadow_shards(where, shards):
     """The sharded shadow-memory payload DOMORE rows may carry (DESIGN.md
-    §14): the shard count and the per-shard conflict split, which must sum
-    to the region's sync conditions. Populated by the runtime itself, so it
-    is exact in CIP_TELEMETRY=0 builds too."""
+    §14/§15): the shard count, the scheduler-team size the detect stage ran
+    with, and the per-shard conflict split, which must sum to the region's
+    sync conditions. Populated by the runtime itself, so it is exact in
+    CIP_TELEMETRY=0 builds too."""
     if not isinstance(shards, dict):
         fail(where, "shadow_shards is not an object")
     count = check_uint(where, shards, "shards")
     if count < 1:
         fail(where, "shard count must be at least 1")
+    team = check_uint(where, shards, "sched_threads")
+    if team < 1:
+        fail(where, "sched_threads must be at least 1")
+    if count <= 1 and team > 1:
+        fail(where, f"sched_threads {team} without a sharded shadow "
+                    f"({count} shards)")
     syncs = check_uint(where, shards, "sync_conditions")
     if "conflicts" not in shards or not isinstance(shards["conflicts"], list):
         fail(where, "missing per-shard conflicts array")
@@ -406,6 +423,8 @@ def validate_batch_check(where, batch):
     if not isinstance(batch, dict):
         fail(where, "batch_check is not an object")
     enabled = check_bool(where, batch, "enabled")
+    if check_uint(where, batch, "check_lanes") < 1:
+        fail(where, "check_lanes must be at least 1")
     checks = check_uint(where, batch, "batch_checks")
     comparisons = check_uint(where, batch, "signature_comparisons")
     if not enabled and checks != 0:
@@ -483,10 +502,114 @@ def validate_row(line_no, row):
         validate_batch_check(f"{where} batch_check", row["batch_check"])
 
 
+def self_test():
+    """Negative tests for the schema checks: every malformed payload below
+    must be rejected (fail() exits nonzero), and the matching well-formed
+    payload must pass. Run in CI so a loosened check cannot land silently."""
+    import contextlib
+    import io
+
+    def good_shards():
+        return {"shards": 8, "sched_threads": 4, "sync_conditions": 3,
+                "conflicts": [3, 0, 0, 0, 0, 0, 0, 0]}
+
+    def good_batch():
+        return {"enabled": True, "check_lanes": 2, "batch_checks": 4,
+                "signature_comparisons": 16,
+                "batch_width": {"count": 4, "sum_ns": 16, "max_ns": 4,
+                                "p50_ns": 4, "p90_ns": 4, "p99_ns": 4}}
+
+    def good_plan():
+        return {"loaded": True, "profiled": False, "source": "file",
+                "path": "plans/relax.plan.json", "initial": "domore",
+                "predicted_sec_per_epoch": 0.5,
+                "sequential_sec_per_epoch": 1.0, "spec_distance": 2,
+                "max_batch_hint": 16, "shadow_shards": 8,
+                "sched_threads": 4, "min_dependence_distance": 3}
+
+    def drop(obj, key):
+        del obj[key]
+        return obj
+
+    def put(obj, key, value):
+        obj[key] = value
+        return obj
+
+    positive = [
+        ("well-formed shadow_shards",
+         lambda: validate_shadow_shards("t", good_shards())),
+        ("serial team on an unsharded shadow",
+         lambda: validate_shadow_shards(
+             "t", {"shards": 1, "sched_threads": 1, "sync_conditions": 2,
+                   "conflicts": [2]})),
+        ("well-formed batch_check",
+         lambda: validate_batch_check("t", good_batch())),
+        ("well-formed plan",
+         lambda: validate_plan("t", {"plan": good_plan()}, required=True)),
+    ]
+    negative = [
+        ("shadow_shards missing sched_threads",
+         lambda: validate_shadow_shards("t", drop(good_shards(),
+                                                  "sched_threads"))),
+        ("sched_threads of zero",
+         lambda: validate_shadow_shards("t", put(good_shards(),
+                                                 "sched_threads", 0))),
+        ("scheduler team without a sharded shadow",
+         lambda: validate_shadow_shards(
+             "t", {"shards": 1, "sched_threads": 4, "sync_conditions": 2,
+                   "conflicts": [2]})),
+        ("conflict split not summing to sync_conditions",
+         lambda: validate_shadow_shards("t", put(good_shards(),
+                                                 "sync_conditions", 99))),
+        ("batch_check missing check_lanes",
+         lambda: validate_batch_check("t", drop(good_batch(),
+                                                "check_lanes"))),
+        ("check_lanes of zero",
+         lambda: validate_batch_check("t", put(good_batch(),
+                                               "check_lanes", 0))),
+        ("plan missing sched_threads",
+         lambda: validate_plan("t", {"plan": drop(good_plan(),
+                                                  "sched_threads")},
+                               required=True)),
+        ("negative plan sched_threads",
+         lambda: validate_plan("t", {"plan": put(good_plan(),
+                                                 "sched_threads", -1)},
+                               required=True)),
+    ]
+
+    failures = 0
+    for name, check in positive:
+        try:
+            with contextlib.redirect_stderr(io.StringIO()):
+                check()
+        except SystemExit:
+            print(f"self-test: FAIL: rejected valid payload: {name}",
+                  file=sys.stderr)
+            failures += 1
+    for name, check in negative:
+        try:
+            with contextlib.redirect_stderr(io.StringIO()):
+                check()
+        except SystemExit as err:
+            if err.code:
+                continue
+        print(f"self-test: FAIL: accepted malformed payload: {name}",
+              file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+    print(f"ok: self-test passed ({len(positive)} positive, "
+          f"{len(negative)} negative cases)")
+    return 0
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     require_nonzero = "--require-nonzero-counters" in sys.argv[1:]
     report_mode = "--report" in sys.argv[1:]
+
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
 
     if report_mode:
         if not args:
