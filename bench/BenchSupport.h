@@ -44,6 +44,7 @@
 
 #include "harness/Adaptive.h"
 #include "harness/Executor.h"
+#include "memory/CheckpointSubstrate.h"
 #include "support/Stats.h"
 #include "telemetry/Json.h"
 #include "workloads/Workload.h"
@@ -218,6 +219,11 @@ public:
     Wr.value(Threads);
     Wr.key("scale");
     Wr.value(benchScaleName());
+    // The checkpoint substrate in effect (CIP_CKPT, default eager) — only
+    // speccross rows exercise it, but stamping every row keeps the schema
+    // uniform and lets compare_bench filter substrate sweeps by key.
+    Wr.key("ckpt_substrate");
+    Wr.value(memory::substrateName(memory::activeSubstrateKind()));
     Wr.key("reps");
     Wr.value(Reps);
     Wr.key("seconds");
@@ -344,6 +350,8 @@ public:
       Wr.value(Policy->Plan.ShadowShards);
       Wr.key("sched_threads");
       Wr.value(Policy->Plan.SchedThreads);
+      Wr.key("ckpt_substrate");
+      Wr.value(Policy->Plan.CkptSubstrate);
       Wr.key("min_dependence_distance");
       Wr.value(Policy->Plan.MinDependenceDistance);
       Wr.endObject();

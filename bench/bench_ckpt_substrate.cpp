@@ -1,0 +1,156 @@
+//===- bench/bench_ckpt_substrate.cpp - Checkpoint substrate comparison --===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Head-to-head of the checkpoint substrates (DESIGN.md §16) on the
+/// bigstate workload: a large registered footprint of which every epoch
+/// dirties only a few scattered pages — the regime where eager checkpointing
+/// (copy everything, every round) loses to page-granular dirty tracking by
+/// the footprint/write-set ratio.
+///
+/// Two schemes per substrate, both taking the same number of snapshots:
+///
+///  * ckpt-direct — sequential epochs with a snapshot after each one, the
+///    snapshot calls timed directly. The row's `seconds` IS the substrate's
+///    checkpoint time, so CI gates the win with
+///      compare_bench.py eager.json pagedirty.json --min-speedup 2.0
+///    on these rows alone (grep '"scheme":"ckpt-direct"').
+///
+///  * speccross-ckpt — the full speculative engine at 4 threads with a
+///    checkpoint every epoch; `seconds` is end-to-end wall time and the
+///    row's counters carry checkpoint_ns / dirty_pages / ckpt_bytes_copied.
+///
+/// The bench also cross-checks the bit-identical-restore contract: the
+/// final checksum must match across every substrate (exit 1 otherwise).
+/// CIP_CKPT, when set, pins a single substrate; default sweeps all three
+/// (softdirty degrades to full copies on kernels without
+/// CONFIG_MEM_SOFT_DIRTY — the printed dirty-page column shows which).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "support/Timer.h"
+#include "workloads/BigState.h"
+
+using namespace cip;
+using namespace cip::bench;
+using namespace cip::workloads;
+
+namespace {
+
+struct DirectResult {
+  double CkptSeconds = 0.0;
+  std::uint64_t Snapshots = 0;
+  std::uint64_t DirtyPages = 0;
+  std::uint64_t BytesCopied = 0;
+  std::uint64_t Checksum = 0;
+};
+
+/// Sequential epochs, one timed snapshot after each: pure substrate cost at
+/// a fixed snapshot count, no engine noise.
+DirectResult runDirect(BigStateWorkload &W) {
+  DirectResult R;
+  W.reset();
+  speccross::CheckpointRegistry Reg; // substrate from CIP_CKPT
+  W.registerState(Reg);
+  for (std::uint32_t E = 0; E < W.numEpochs(); ++E) {
+    const std::uint64_t T0 = nowNanos();
+    Reg.takeSnapshot();
+    R.CkptSeconds += static_cast<double>(nowNanos() - T0) * 1e-9;
+    R.DirtyPages += Reg.lastDirtyPages();
+    R.BytesCopied += Reg.lastBytesCopied();
+    for (std::size_t T = 0, N = W.numTasks(E); T < N; ++T)
+      W.runTask(E, T);
+  }
+  // One restore + replay of the last epoch: the restore path is part of
+  // what a substrate must get right, so exercise it every run.
+  Reg.restoreSnapshot();
+  for (std::size_t T = 0, N = W.numTasks(W.numEpochs() - 1); T < N; ++T)
+    W.runTask(W.numEpochs() - 1, T);
+  R.Snapshots = Reg.snapshotsTaken();
+  R.Checksum = W.checksum();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  const unsigned Reps = benchReps();
+  const Scale S = benchScale();
+  // The acceptance comparison runs at 4 threads (3 workers + checker).
+  const unsigned Threads = 4;
+
+  std::vector<const char *> Substrates;
+  if (std::getenv("CIP_CKPT"))
+    Substrates.push_back(
+        memory::substrateName(memory::activeSubstrateKind()));
+  else
+    Substrates = {"eager", "pagedirty", "softdirty"};
+
+  BigStateWorkload Probe(BigStateParams::forScale(S));
+  std::printf("=== Checkpoint substrates on bigstate (%.1f MiB footprint, "
+              "%u epochs, %u threads) ===\n\n",
+              static_cast<double>(Probe.stateBytes()) / (1024.0 * 1024.0),
+              Probe.numEpochs(), Threads);
+  std::printf("%-10s  %9s  %11s  %11s  %11s  %9s\n", "substrate", "snaps",
+              "ckpt-ms", "ms/snap", "dirty-pages", "copied-MB");
+  printRule();
+
+  std::uint64_t WantSum = 0;
+  bool SumsAgree = true;
+  for (const char *Substrate : Substrates) {
+    setenv("CIP_CKPT", Substrate, 1);
+
+    // Scheme 1: direct substrate cost. seconds == checkpoint time.
+    BigStateWorkload W(BigStateParams::forScale(S));
+    DirectResult Best;
+    for (unsigned R = 0; R < Reps; ++R) {
+      const DirectResult Cur = runDirect(W);
+      if (R == 0 || Cur.CkptSeconds < Best.CkptSeconds)
+        Best = Cur;
+    }
+    std::printf("%-10s  %9llu  %11.3f  %11.4f  %11llu  %9.2f\n", Substrate,
+                static_cast<unsigned long long>(Best.Snapshots),
+                Best.CkptSeconds * 1e3,
+                Best.CkptSeconds * 1e3 /
+                    static_cast<double>(Best.Snapshots ? Best.Snapshots : 1),
+                static_cast<unsigned long long>(Best.DirtyPages),
+                static_cast<double>(Best.BytesCopied) / (1024.0 * 1024.0));
+    if (WantSum == 0)
+      WantSum = Best.Checksum;
+    else if (Best.Checksum != WantSum)
+      SumsAgree = false;
+
+    harness::ExecResult DirectRow;
+    DirectRow.Seconds = Best.CkptSeconds;
+    DirectRow.Checksum = Best.Checksum;
+    recordRun(W, "ckpt-direct", 1, Reps, DirectRow);
+
+    // Scheme 2: the full engine, checkpoint every epoch.
+    const harness::ExecResult Engine = bestRun(Reps, [&] {
+      W.reset();
+      speccross::SpecConfig Cfg;
+      Cfg.NumWorkers = Threads > 1 ? Threads - 1 : 1;
+      Cfg.Scheme = W.preferredSignature();
+      Cfg.CheckpointIntervalEpochs = 1;
+      return harness::runSpecCross(W, Cfg);
+    });
+    if (Engine.Checksum != WantSum)
+      SumsAgree = false;
+    recordRun(W, "speccross-ckpt", Threads, Reps, Engine);
+  }
+  printRule();
+
+  if (!SumsAgree) {
+    std::fprintf(stderr, "error: checksum diverged across substrates — a "
+                         "restore lost or corrupted committed state\n");
+    return 1;
+  }
+  std::printf("(checksum identical across %zu substrate(s); ckpt-direct "
+              "rows carry pure checkpoint time for compare_bench gating)\n",
+              Substrates.size());
+  return 0;
+}

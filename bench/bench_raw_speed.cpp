@@ -242,6 +242,10 @@ void beginRawRow(telemetry::json::Writer &Wr, const Workload &W,
   Wr.value(Threads);
   Wr.key("scale");
   Wr.value(benchScaleName());
+  // Same stamp BenchJson::record puts on every row: the substrate CIP_CKPT
+  // selects (default eager) — the schema requires it row-uniformly.
+  Wr.key("ckpt_substrate");
+  Wr.value(memory::substrateName(memory::activeSubstrateKind()));
   Wr.key("reps");
   Wr.value(Reps);
   Wr.key("seconds");

@@ -292,6 +292,11 @@ void recordTraffic(const char *LoadName, const char *Scheme, unsigned Workers,
   Wr.value(Workers);
   Wr.key("scale");
   Wr.value(benchScaleName());
+  // Same stamp BenchSupport puts on every row: the substrate CIP_CKPT
+  // selects (default eager) — the schema requires it row-uniformly even
+  // though server traffic never checkpoints.
+  Wr.key("ckpt_substrate");
+  Wr.value(memory::substrateName(memory::activeSubstrateKind()));
   Wr.key("reps");
   Wr.value(1u);
   Wr.key("seconds");

@@ -6,6 +6,7 @@
 
 #include "harness/Adaptive.h"
 
+#include "memory/CheckpointSubstrate.h"
 #include "support/Chaos.h"
 #include "support/Timer.h"
 #include "telemetry/DependenceDistance.h"
@@ -254,6 +255,12 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
   policy::Technique PlanInitial = policy::Technique::Barrier;
 
   if (Profiling) {
+    // Calibrate the checkpoint substrate alongside the techniques: auto
+    // starts page-tracking and resolves from the first measured checkpoint
+    // interval of the SPECCROSS calibration window (no-op when CIP_CKPT
+    // pins a substrate — the emitted hint then records the pin).
+    Ctx.Registry.setSubstrate(memory::SubstrateKind::Auto);
+
     // Walk the declared address stream through the dependence-distance
     // estimator before running anything: taskAddresses is read-only, so
     // this observes exactly the cross-epoch reuse the run will execute.
@@ -392,6 +399,12 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     const std::uint64_t Dist = Est.recommendedSpecDistance(windowWorkers(Ctx));
     P.SpecDistance =
         Dist == std::numeric_limits<std::uint64_t>::max() ? 0 : Dist;
+    // Substrate hint: only meaningful when a speculative window actually
+    // checkpointed ("" = none-sentinel). An unresolved auto (too few
+    // checkpoints to measure) still names the substrate it is running on.
+    if (P.Techniques[static_cast<unsigned>(policy::Technique::SpecCross)]
+            .Measured)
+      P.CkptSubstrate = Ctx.Registry.substrateName();
 
     Emitted = P;
     PlanInitial = P.Initial;
@@ -400,6 +413,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Ctx.PlanMaxBatch = P.MaxBatchHint;
     Ctx.PlanShadowShards = P.ShadowShards;
     Ctx.PlanSchedThreads = P.SchedThreads;
+    Ctx.PlanCkptSubstrate = P.CkptSubstrate; // registry already runs on it
 
     St.Plan.Profiled = true;
     St.Plan.Source = "profile";
@@ -410,6 +424,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.MaxBatchHint = P.MaxBatchHint;
     St.Plan.ShadowShards = P.ShadowShards;
     St.Plan.SchedThreads = P.SchedThreads;
+    St.Plan.CkptSubstrate = P.CkptSubstrate;
     St.Plan.MinDependenceDistance = P.MinDependenceDistance;
   } else if (Opts.Plan) {
     PlanInitial = Opts.Plan->Initial;
@@ -418,6 +433,14 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     Ctx.PlanMaxBatch = Opts.Plan->MaxBatchHint;
     Ctx.PlanShadowShards = Opts.Plan->ShadowShards;
     Ctx.PlanSchedThreads = Opts.Plan->SchedThreads;
+    Ctx.PlanCkptSubstrate = Opts.Plan->CkptSubstrate;
+    if (!Ctx.PlanCkptSubstrate.empty()) {
+      // parsePlan already validated the name; CIP_CKPT still wins (the
+      // registry ignores setSubstrate when the env pinned one).
+      memory::SubstrateKind K = memory::SubstrateKind::Eager;
+      if (memory::parseSubstrateName(Ctx.PlanCkptSubstrate.c_str(), K))
+        Ctx.Registry.setSubstrate(K);
+    }
 
     St.Plan.Loaded = true;
     St.Plan.Source = Opts.PlanSource;
@@ -429,6 +452,7 @@ ExecResult harness::runAdaptive(Workload &W, unsigned NumThreads,
     St.Plan.MaxBatchHint = Opts.Plan->MaxBatchHint;
     St.Plan.ShadowShards = Opts.Plan->ShadowShards;
     St.Plan.SchedThreads = Opts.Plan->SchedThreads;
+    St.Plan.CkptSubstrate = Opts.Plan->CkptSubstrate;
     St.Plan.MinDependenceDistance = Opts.Plan->MinDependenceDistance;
   }
 

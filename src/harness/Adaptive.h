@@ -84,6 +84,11 @@ struct AdaptiveContext {
   /// Scheduler-team size for DOMORE windows (0 = one scheduler thread;
   /// CIP_SCHED_THREADS, when set, still overrides the hint).
   std::uint32_t PlanSchedThreads = 0;
+  /// Checkpoint substrate the plan selected for speculative windows
+  /// ("" = registry default; CIP_CKPT, when set, still overrides — the env
+  /// pin is resolved inside CheckpointRegistry). Applied to Registry when
+  /// the plan is consumed, before the first speculative window.
+  std::string PlanCkptSubstrate;
 };
 
 /// One uniform dispatch row per technique: how the adaptive harness runs a

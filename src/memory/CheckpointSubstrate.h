@@ -1,0 +1,146 @@
+//===- memory/CheckpointSubstrate.h - Versioned-memory substrates -*- C++ -*-=//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable checkpoint substrates for the SPECCROSS registry (DESIGN.md
+/// §16). The paper's runtime forks the whole process and pays only COW
+/// traffic for pages actually written; the original reproduction substituted
+/// an eager memcpy of every registered byte, whose cost is proportional to
+/// *registered* state and therefore caps speculative footprint. This layer
+/// restores the paper's cost model in-process: a substrate owns the
+/// snapshot/restore mechanics behind a uniform interface, and two of the
+/// three implementations track writes at page granularity so checkpoints
+/// copy only the *written* set:
+///
+///  - \c EagerCopy   memcpy of every registered byte (the old behavior).
+///  - \c PageDirty   registered pages are mprotect(PROT_READ)-ed after each
+///                   snapshot; a SIGSEGV handler records the faulting page
+///                   in a lock-free dirty bitmap and re-enables writes, so
+///                   each snapshot/restore touches only dirty pages.
+///  - \c SoftDirty   Linux soft-dirty bits (/proc/self/clear_refs,
+///                   /proc/self/pagemap bit 55): no signal handler, used
+///                   automatically under sanitizers where the fault path is
+///                   off-limits.
+///
+/// Substrates are selected by the strict \c CIP_CKPT environment knob
+/// (eager|pagedirty|softdirty|auto — garbage exits 2) or programmatically;
+/// \c Auto is resolved by the CheckpointRegistry façade from the measured
+/// dirty ratio of the first checkpoint interval, never by this layer.
+///
+/// Layering: cip_memory depends only on cip_support. The SPECCROSS engine
+/// consumes it through the CheckpointRegistry façade; nothing here may
+/// reference cip::speccross, cip::policy, or cip::server (CI checks with
+/// `nm`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_MEMORY_CHECKPOINT_SUBSTRATE_H
+#define CIP_MEMORY_CHECKPOINT_SUBSTRATE_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cip {
+namespace memory {
+
+/// One registered mutable region. Plain span; ownership stays with the
+/// workload. Regions need not be page-aligned — substrates that track pages
+/// clamp every copy to the registered byte range, so sub-page and unaligned
+/// regions restore bit-identically.
+struct RegionDesc {
+  unsigned char *Ptr = nullptr;
+  std::size_t Bytes = 0;
+};
+
+/// Substrate selection. \c Auto never reaches createSubstrate(): the façade
+/// resolves it to a concrete kind from the first interval's dirty ratio.
+enum class SubstrateKind : std::uint32_t {
+  Eager,
+  PageDirty,
+  SoftDirty,
+  Auto,
+};
+
+/// Canonical knob spelling for \p K ("eager", "pagedirty", ...).
+const char *substrateName(SubstrateKind K);
+
+/// Parses a CIP_CKPT value. Returns true and sets \p Out on success.
+bool parseSubstrateName(const char *Name, SubstrateKind &Out);
+
+/// Strict CIP_CKPT pickup: unset/empty returns false; a valid spelling sets
+/// \p Out and returns true; garbage prints the project-standard diagnostic
+/// and exits 2. Read per call (not cached) so benches and the fuzzer can
+/// sweep substrates within one process.
+bool substrateFromEnv(SubstrateKind &Out);
+
+/// Substrate kinds that are unsafe in this build are remapped here:
+/// sanitizer builds (-DCIP_SANITIZE=...) own the SIGSEGV path, so PageDirty
+/// degrades to SoftDirty. Identity otherwise.
+SubstrateKind remapForBuild(SubstrateKind K);
+
+/// One checkpoint substrate: the snapshot/restore mechanics over a region
+/// set, plus per-snapshot accounting. Not thread-safe: setRegions, snapshot,
+/// and restore are called from the control path while workers are quiescent.
+/// PageDirty additionally fields write faults from concurrently running
+/// workers; that path is lock-free and touches only the dirty bitmap.
+class CheckpointSubstrate {
+public:
+  virtual ~CheckpointSubstrate();
+
+  virtual SubstrateKind kind() const = 0;
+  const char *name() const { return substrateName(kind()); }
+
+  /// Replaces the tracked region set. Drops any snapshot and write-tracking
+  /// state; the next takeSnapshot() is a full copy.
+  virtual void setRegions(const std::vector<RegionDesc> &Regions) = 0;
+
+  /// Captures the current contents of every region. The first call after
+  /// setRegions copies everything; later calls may copy only pages written
+  /// since the previous snapshot (the backing store is maintained
+  /// incrementally, so it always holds a complete image).
+  virtual void takeSnapshot() = 0;
+
+  /// Restores every region to the last snapshot. Only meaningful after a
+  /// takeSnapshot(); the façade guards the ordering.
+  virtual void restoreSnapshot() = 0;
+
+  /// Pages copied by the last takeSnapshot() (for Eager: every page).
+  virtual std::uint64_t lastDirtyPages() const = 0;
+
+  /// Bytes copied by the last takeSnapshot().
+  virtual std::uint64_t lastBytesCopied() const = 0;
+
+  /// Total pages spanned by the tracked regions (dirty-ratio denominator).
+  virtual std::uint64_t trackedPages() const = 0;
+
+  /// Write faults fielded since the last drain (PageDirty only; 0 for
+  /// substrates without a fault path).
+  virtual std::uint64_t faultCount() const { return 0; }
+
+  /// Appends the per-fault handler latencies (ns) recorded since the last
+  /// drain to \p Out and forgets them. Called from the control path at
+  /// snapshot time — never from the handler.
+  virtual void drainFaultNs(std::vector<std::uint64_t> &Out) { (void)Out; }
+};
+
+/// Builds a concrete substrate. \p K must not be Auto.
+std::unique_ptr<CheckpointSubstrate> createSubstrate(SubstrateKind K);
+
+/// The substrate kind the CIP_CKPT environment selects right now, after the
+/// build remap, with \p Default when the knob is unset. For bench JSON rows
+/// and reports; never caches.
+SubstrateKind activeSubstrateKind(SubstrateKind Default = SubstrateKind::Eager);
+
+/// Page size used by the page-tracking substrates (sysconf, cached).
+std::size_t pageSize();
+
+} // namespace memory
+} // namespace cip
+
+#endif // CIP_MEMORY_CHECKPOINT_SUBSTRATE_H

@@ -1,0 +1,59 @@
+//===- memory/EagerCopy.cpp - Full-copy checkpoint substrate -------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/Substrates.h"
+
+#include <cstring>
+
+using namespace cip;
+using namespace cip::memory;
+
+std::size_t memory::layoutRegions(const std::vector<RegionDesc> &In,
+                                  std::vector<TrackedRegion> &Out,
+                                  std::uint64_t &TotalPages) {
+  const std::size_t PS = pageSize();
+  Out.clear();
+  Out.reserve(In.size());
+  std::size_t TotalBytes = 0;
+  TotalPages = 0;
+  for (const RegionDesc &R : In) {
+    assert(R.Ptr && R.Bytes > 0 && "facade rejects degenerate regions");
+    TrackedRegion T;
+    T.Ptr = R.Ptr;
+    T.Bytes = R.Bytes;
+    const std::uintptr_t Begin = reinterpret_cast<std::uintptr_t>(R.Ptr);
+    T.PageStart = Begin - (Begin % PS);
+    const std::uintptr_t End = Begin + R.Bytes;
+    T.PageEnd = End % PS ? End + PS - End % PS : End;
+    T.NumPages = (T.PageEnd - T.PageStart) / PS;
+    T.BackingOffset = TotalBytes;
+    TotalBytes += R.Bytes;
+    TotalPages += T.NumPages;
+    Out.push_back(T);
+  }
+  return TotalBytes;
+}
+
+void EagerCopySubstrate::setRegions(const std::vector<RegionDesc> &In) {
+  TotalBytes = layoutRegions(In, Regions, TotalPages);
+  Backing.clear();
+  LastDirtyPages = 0;
+  LastBytesCopied = 0;
+}
+
+void EagerCopySubstrate::takeSnapshot() {
+  Backing.resize(TotalBytes);
+  for (const TrackedRegion &R : Regions)
+    std::memcpy(Backing.data() + R.BackingOffset, R.Ptr, R.Bytes);
+  LastDirtyPages = TotalPages;
+  LastBytesCopied = TotalBytes;
+}
+
+void EagerCopySubstrate::restoreSnapshot() {
+  CIP_CHECK(Backing.size() == TotalBytes, "restore without a snapshot");
+  for (const TrackedRegion &R : Regions)
+    std::memcpy(R.Ptr, Backing.data() + R.BackingOffset, R.Bytes);
+}

@@ -1,0 +1,406 @@
+//===- memory/PageDirty.cpp - mprotect/SIGSEGV dirty tracking ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Signal-handler safety rules (DESIGN.md §16):
+///
+///  - Everything the handler reads or writes — the active-instance table,
+///    each instance's region table, dirty bitmaps, and fault-latency ring —
+///    lives either in static storage or in a dedicated anonymous mapping,
+///    never on a page that could be inside (or share a page-aligned edge
+///    with) a tracked region. Tracked pages are PROT_READ while armed, and a
+///    write fault raised *inside* the SIGSEGV handler, where SIGSEGV is
+///    blocked, is instant process death.
+///  - The handler calls only async-signal-safe primitives: relaxed/acq
+///    atomics, clock_gettime, mprotect, sigaction/raise on the not-ours
+///    path. No allocation, no locks, no stdio.
+///  - Protection state only *tightens* (RW -> R) on the control path while
+///    workers are quiescent (snapshot/restore/teardown); the handler only
+///    loosens it (R -> RW) after recording the page, so a racing second
+///    fault on the same page at worst records the same bit twice.
+///  - A fault the table does not claim chains to the previously installed
+///    disposition, so sanitizer/crash handlers keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memory/Substrates.h"
+
+#include "support/Chaos.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <time.h>
+
+using namespace cip;
+using namespace cip::memory;
+
+namespace {
+
+/// Handler-visible view of one tracked region: its page-aligned span and the
+/// words of the shared dirty bitmap covering it.
+struct HandlerRegion {
+  std::uintptr_t PageStart;
+  std::uintptr_t PageEnd;
+  std::atomic<std::uint64_t> *Bits;
+};
+
+constexpr std::size_t MaxHandlerRegions = 256;
+constexpr std::size_t FaultRingSize = 4096;
+
+} // namespace
+
+/// The per-instance control block the SIGSEGV handler works against. Lives
+/// at the head of one anonymous mapping; the dirty-bitmap words follow it in
+/// the same mapping. Published to the active table with a release store only
+/// after it is fully built, and unpublished before teardown.
+struct PageDirtySubstrate::HandlerBlock {
+  std::size_t PageSize;
+  std::size_t NumRegions;
+  HandlerRegion Regions[MaxHandlerRegions];
+  std::atomic<std::uint64_t> Faults;
+  std::atomic<std::uint64_t> FaultsDrained;
+  std::atomic<std::uint32_t> RingHead;
+  std::atomic<std::uint64_t> RingNs[FaultRingSize];
+  // Bitmap words follow, pointed into by Regions[i].Bits.
+};
+
+namespace {
+
+/// Active control blocks, scanned by the handler. Fixed static table so the
+/// handler never touches heap-managed memory; 64 concurrently *armed*
+/// registries is far beyond what the region server's worker budget admits.
+constexpr int MaxActiveBlocks = 64;
+std::atomic<PageDirtySubstrate::HandlerBlock *> ActiveBlocks[MaxActiveBlocks];
+
+std::atomic<bool> HandlerInstalled{false};
+struct sigaction PreviousSegv;
+
+std::uint64_t nowNs() {
+  struct timespec TS;
+  ::clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<std::uint64_t>(TS.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(TS.tv_nsec);
+}
+
+/// Hands an unclaimed fault to whatever disposition was installed before
+/// ours. Restoring the previous sigaction and returning re-raises the fault
+/// at the same instruction under that disposition.
+void chainUnclaimed(int Sig, siginfo_t *Info, void *Ctx) {
+  if ((PreviousSegv.sa_flags & SA_SIGINFO) && PreviousSegv.sa_sigaction) {
+    PreviousSegv.sa_sigaction(Sig, Info, Ctx);
+    return;
+  }
+  if (!(PreviousSegv.sa_flags & SA_SIGINFO) && PreviousSegv.sa_handler &&
+      PreviousSegv.sa_handler != SIG_DFL && PreviousSegv.sa_handler != SIG_IGN) {
+    PreviousSegv.sa_handler(Sig);
+    return;
+  }
+  ::sigaction(SIGSEGV, &PreviousSegv, nullptr);
+}
+
+void segvHandler(int Sig, siginfo_t *Info, void *Ctx) {
+  const std::uintptr_t Addr = reinterpret_cast<std::uintptr_t>(Info->si_addr);
+  const std::uint64_t T0 = nowNs();
+  bool Claimed = false;
+  std::uintptr_t FaultPage = 0;
+  std::size_t FaultPageSize = 0;
+  PageDirtySubstrate::HandlerBlock *Owner = nullptr;
+  for (int I = 0; I < MaxActiveBlocks; ++I) {
+    PageDirtySubstrate::HandlerBlock *B =
+        ActiveBlocks[I].load(std::memory_order_acquire);
+    if (!B)
+      continue;
+    for (std::size_t R = 0; R < B->NumRegions; ++R) {
+      const HandlerRegion &HR = B->Regions[R];
+      if (Addr < HR.PageStart || Addr >= HR.PageEnd)
+        continue;
+      // Record before re-enabling writes: a racing thread that slips a
+      // store in after the mprotect below must still find the bit set.
+      CIP_CHAOS_POINT(FaultRecord);
+      const std::size_t Page = (Addr - HR.PageStart) / B->PageSize;
+      HR.Bits[Page >> 6].fetch_or(std::uint64_t{1} << (Page & 63),
+                                  std::memory_order_relaxed);
+      // Edge pages of distinct sub-page regions can coincide; every
+      // overlapping region (any instance) gets its bit before the single
+      // unprotect, so none of them loses the write.
+      Claimed = true;
+      FaultPage = HR.PageStart + Page * B->PageSize;
+      FaultPageSize = B->PageSize;
+      if (!Owner)
+        Owner = B;
+    }
+  }
+  if (!Claimed) {
+    chainUnclaimed(Sig, Info, Ctx);
+    return;
+  }
+  ::mprotect(reinterpret_cast<void *>(FaultPage), FaultPageSize,
+             PROT_READ | PROT_WRITE);
+  Owner->Faults.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t Slot =
+      Owner->RingHead.fetch_add(1, std::memory_order_relaxed) %
+      FaultRingSize;
+  Owner->RingNs[Slot].store(nowNs() - T0, std::memory_order_relaxed);
+}
+
+void installHandlerOnce() {
+  bool Expected = false;
+  if (!HandlerInstalled.compare_exchange_strong(Expected, true,
+                                                std::memory_order_acq_rel))
+    return;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_sigaction = segvHandler;
+  SA.sa_flags = SA_SIGINFO;
+  sigemptyset(&SA.sa_mask);
+  if (::sigaction(SIGSEGV, &SA, &PreviousSegv) != 0) {
+    std::fprintf(stderr,
+                 "error: pagedirty checkpoint substrate: sigaction(SIGSEGV) "
+                 "failed: %s\n",
+                 std::strerror(errno));
+    std::_Exit(2);
+  }
+}
+
+void publishBlock(PageDirtySubstrate::HandlerBlock *B) {
+  for (int I = 0; I < MaxActiveBlocks; ++I) {
+    PageDirtySubstrate::HandlerBlock *Expected = nullptr;
+    if (ActiveBlocks[I].compare_exchange_strong(Expected, B,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed))
+      return;
+  }
+  std::fprintf(stderr,
+               "error: pagedirty checkpoint substrate: more than %d armed "
+               "registries in one process\n",
+               MaxActiveBlocks);
+  std::_Exit(2);
+}
+
+void unpublishBlock(PageDirtySubstrate::HandlerBlock *B) {
+  for (int I = 0; I < MaxActiveBlocks; ++I) {
+    PageDirtySubstrate::HandlerBlock *Expected = B;
+    if (ActiveBlocks[I].compare_exchange_strong(Expected, nullptr,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed))
+      return;
+  }
+}
+
+void protectSpan(std::uintptr_t Begin, std::uintptr_t End, int Prot) {
+  if (Begin >= End)
+    return;
+  if (::mprotect(reinterpret_cast<void *>(Begin), End - Begin, Prot) != 0) {
+    std::fprintf(stderr,
+                 "error: pagedirty checkpoint substrate: mprotect(%p, %zu) "
+                 "failed: %s\n",
+                 reinterpret_cast<void *>(Begin),
+                 static_cast<std::size_t>(End - Begin), std::strerror(errno));
+    std::_Exit(2);
+  }
+}
+
+/// Loosens a span back to read-write at teardown, tolerating spans the
+/// client has already handed back to the OS: a registry may outlive its
+/// registered buffers (glibc munmaps large freed chunks out from under the
+/// tracker), and mprotect on an unmapped span fails with ENOMEM. That is
+/// safe to ignore exactly here — an unmapped span cannot fault, and any
+/// future mapping at the same address starts writable. Every other errno,
+/// and every *tightening* mprotect, stays fatal via protectSpan.
+void unprotectSpanAtTeardown(std::uintptr_t Begin, std::uintptr_t End) {
+  if (Begin >= End)
+    return;
+  if (::mprotect(reinterpret_cast<void *>(Begin), End - Begin,
+                 PROT_READ | PROT_WRITE) != 0 &&
+      errno != ENOMEM) {
+    std::fprintf(stderr,
+                 "error: pagedirty checkpoint substrate: teardown mprotect"
+                 "(%p, %zu) failed: %s\n",
+                 reinterpret_cast<void *>(Begin),
+                 static_cast<std::size_t>(End - Begin), std::strerror(errno));
+    std::_Exit(2);
+  }
+}
+
+} // namespace
+
+PageDirtySubstrate::~PageDirtySubstrate() {
+  teardownTracking();
+  if (Block)
+    ::munmap(Block, BlockBytes);
+}
+
+void PageDirtySubstrate::teardownTracking() {
+  if (!Tracking)
+    return;
+  // Unprotect before unpublishing: once pages are writable no new fault can
+  // arrive, so the handler never sees a protected page without a block.
+  for (const TrackedRegion &R : Regions)
+    unprotectSpanAtTeardown(R.PageStart, R.PageEnd);
+  unpublishBlock(Block);
+  Tracking = false;
+}
+
+void PageDirtySubstrate::buildHandlerBlock() {
+  if (Block) {
+    ::munmap(Block, BlockBytes);
+    Block = nullptr;
+    BlockBytes = 0;
+  }
+  if (Regions.empty())
+    return;
+  if (Regions.size() > MaxHandlerRegions) {
+    std::fprintf(stderr,
+                 "error: pagedirty checkpoint substrate: %zu regions exceeds "
+                 "the handler table capacity (%zu)\n",
+                 Regions.size(), MaxHandlerRegions);
+    std::_Exit(2);
+  }
+  std::size_t BitmapWords = 0;
+  for (const TrackedRegion &R : Regions)
+    BitmapWords += (R.NumPages + 63) / 64;
+  BlockBytes = sizeof(HandlerBlock) +
+               BitmapWords * sizeof(std::atomic<std::uint64_t>);
+  void *Mem = ::mmap(nullptr, BlockBytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED) {
+    std::fprintf(stderr,
+                 "error: pagedirty checkpoint substrate: mmap(%zu) failed: "
+                 "%s\n",
+                 BlockBytes, std::strerror(errno));
+    std::_Exit(2);
+  }
+  Block = new (Mem) HandlerBlock();
+  Block->PageSize = pageSize();
+  Block->NumRegions = Regions.size();
+  auto *Words = reinterpret_cast<std::atomic<std::uint64_t> *>(
+      reinterpret_cast<unsigned char *>(Mem) + sizeof(HandlerBlock));
+  std::size_t WordOffset = 0;
+  for (std::size_t I = 0; I < Regions.size(); ++I) {
+    Block->Regions[I] = {Regions[I].PageStart, Regions[I].PageEnd,
+                         Words + WordOffset};
+    WordOffset += (Regions[I].NumPages + 63) / 64;
+  }
+}
+
+void PageDirtySubstrate::setRegions(const std::vector<RegionDesc> &In) {
+  teardownTracking();
+  TotalBytes = layoutRegions(In, Regions, TotalPages);
+  buildHandlerBlock();
+  Backing.clear();
+  LastDirtyPages = 0;
+  LastBytesCopied = 0;
+}
+
+void PageDirtySubstrate::syncDirtyPages(bool ToBacking, std::uint64_t &Pages,
+                                        std::uint64_t &Bytes) {
+  const std::size_t PS = pageSize();
+  for (std::size_t RI = 0; RI < Regions.size(); ++RI) {
+    const TrackedRegion &R = Regions[RI];
+    // Block->Regions is index-aligned with Regions by construction; matching
+    // by address would confuse sub-page regions sharing a start page.
+    HandlerRegion *HR = &Block->Regions[RI];
+    const std::size_t Words = (R.NumPages + 63) / 64;
+    const std::uintptr_t Begin = reinterpret_cast<std::uintptr_t>(R.Ptr);
+    const std::uintptr_t End = Begin + R.Bytes;
+    for (std::size_t W = 0; W < Words; ++W) {
+      std::uint64_t Bits = HR->Bits[W].load(std::memory_order_relaxed);
+      if (!Bits)
+        continue;
+      HR->Bits[W].store(0, std::memory_order_relaxed);
+      while (Bits) {
+        const unsigned Bit = __builtin_ctzll(Bits);
+        Bits &= Bits - 1;
+        const std::size_t Page = W * 64 + Bit;
+        const std::uintptr_t PageBegin = R.PageStart + Page * PS;
+        // Clamp to the registered bytes: edge pages may cover co-located
+        // heap objects that are not ours to save or restore.
+        const std::uintptr_t CopyBegin = PageBegin > Begin ? PageBegin : Begin;
+        std::uintptr_t CopyEnd = PageBegin + PS;
+        if (CopyEnd > End)
+          CopyEnd = End;
+        if (CopyBegin < CopyEnd) {
+          unsigned char *Mem = reinterpret_cast<unsigned char *>(CopyBegin);
+          unsigned char *Back =
+              Backing.data() + R.BackingOffset + (CopyBegin - Begin);
+          if (ToBacking)
+            std::memcpy(Back, Mem, CopyEnd - CopyBegin);
+          else
+            std::memcpy(Mem, Back, CopyEnd - CopyBegin);
+          Bytes += CopyEnd - CopyBegin;
+        }
+        ++Pages;
+        protectSpan(PageBegin, PageBegin + PS, PROT_READ);
+      }
+    }
+  }
+}
+
+void PageDirtySubstrate::takeSnapshot() {
+  if (!Tracking) {
+    // First snapshot after (re)registration: full copy, then arm tracking by
+    // write-protecting every tracked page and publishing the control block.
+    Backing.resize(TotalBytes);
+    for (const TrackedRegion &R : Regions)
+      std::memcpy(Backing.data() + R.BackingOffset, R.Ptr, R.Bytes);
+    LastDirtyPages = TotalPages;
+    LastBytesCopied = TotalBytes;
+    if (Regions.empty())
+      return;
+    installHandlerOnce();
+    publishBlock(Block);
+    for (const TrackedRegion &R : Regions)
+      protectSpan(R.PageStart, R.PageEnd, PROT_READ);
+    Tracking = true;
+    return;
+  }
+  std::uint64_t Pages = 0, Bytes = 0;
+  syncDirtyPages(/*ToBacking=*/true, Pages, Bytes);
+  LastDirtyPages = Pages;
+  LastBytesCopied = Bytes;
+}
+
+void PageDirtySubstrate::restoreSnapshot() {
+  CIP_CHECK(Tracking || Backing.size() == TotalBytes,
+            "restore without a snapshot");
+  if (!Tracking) {
+    for (const TrackedRegion &R : Regions)
+      std::memcpy(R.Ptr, Backing.data() + R.BackingOffset, R.Bytes);
+    return;
+  }
+  // Pages dirtied since the snapshot are exactly the set bits; restoring
+  // them from the backing and re-protecting re-arms tracking with the
+  // memory image equal to the snapshot.
+  std::uint64_t Pages = 0, Bytes = 0;
+  syncDirtyPages(/*ToBacking=*/false, Pages, Bytes);
+}
+
+std::uint64_t PageDirtySubstrate::faultCount() const {
+  if (!Block)
+    return 0;
+  return Block->Faults.load(std::memory_order_relaxed) -
+         Block->FaultsDrained.load(std::memory_order_relaxed);
+}
+
+void PageDirtySubstrate::drainFaultNs(std::vector<std::uint64_t> &Out) {
+  if (!Block)
+    return;
+  // Control-path only; workers are quiescent, so Head is stable. The ring
+  // keeps the most recent FaultRingSize samples — enough for a latency
+  // histogram; the counter still reports every fault.
+  const std::uint32_t Head = Block->RingHead.load(std::memory_order_relaxed);
+  const std::uint32_t N =
+      Head < FaultRingSize ? Head : static_cast<std::uint32_t>(FaultRingSize);
+  for (std::uint32_t I = 0; I < N; ++I)
+    Out.push_back(Block->RingNs[I].load(std::memory_order_relaxed));
+  Block->RingHead.store(0, std::memory_order_relaxed);
+  Block->FaultsDrained.store(Block->Faults.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+}

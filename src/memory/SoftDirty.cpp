@@ -1,0 +1,234 @@
+//===- memory/SoftDirty.cpp - Soft-dirty-bit checkpoint substrate --------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Linux soft-dirty tracking: writing "4" to /proc/self/clear_refs clears a
+/// per-PTE "written since" bit for the whole process; /proc/self/pagemap
+/// bit 55 reports it per page. Snapshot scans the tracked page spans, copies
+/// only dirty pages, and re-clears. No signal handler and no protection
+/// changes, so this is the substrate sanitizer builds get (the sanitizers
+/// own the SIGSEGV path).
+///
+/// Two sharp edges, both handled conservatively:
+///  - clear_refs is process-wide. Concurrent instances would wipe each
+///    other's bits, so every clear bumps a global epoch; an instance whose
+///    recorded epoch is stale falls back to a full copy for that snapshot
+///    and re-arms.
+///  - Kernels without CONFIG_MEM_SOFT_DIRTY ignore the bit. A one-time
+///    write-probe on a scratch mapping detects this; unsupported kernels
+///    get full copies every snapshot (correct, just eager).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memory/Substrates.h"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace cip;
+using namespace cip::memory;
+
+namespace {
+
+constexpr std::uint64_t SoftDirtyBit = std::uint64_t{1} << 55;
+
+/// Global clear-epoch: bumped by every clear_refs write so concurrent
+/// instances can detect that their bits were wiped.
+std::atomic<std::uint64_t> ClearEpoch{1};
+
+bool writeClearRefs() {
+  const int Fd = ::open("/proc/self/clear_refs", O_WRONLY);
+  if (Fd < 0)
+    return false;
+  const bool Ok = ::write(Fd, "4", 1) == 1;
+  ::close(Fd);
+  return Ok;
+}
+
+/// Reads the pagemap entries for [VAddr, VAddr + N pages) into Out.
+/// Returns false on any short read (treat as "tracking unavailable").
+bool readPagemap(int Fd, std::uintptr_t VAddr, std::uint64_t *Out,
+                 std::size_t N) {
+  const std::size_t PS = pageSize();
+  const off_t Offset = static_cast<off_t>(VAddr / PS) * 8;
+  std::size_t Done = 0;
+  while (Done < N) {
+    const ssize_t Got =
+        ::pread(Fd, Out + Done, (N - Done) * 8, Offset + Done * 8);
+    if (Got <= 0 || Got % 8 != 0)
+      return false;
+    Done += static_cast<std::size_t>(Got) / 8;
+  }
+  return true;
+}
+
+/// One-time kernel support probe: on a scratch page, cleared bits must read
+/// clear and a write must set them again. Kernels without
+/// CONFIG_MEM_SOFT_DIRTY fail one of the two legs.
+bool probeSoftDirty() {
+  const std::size_t PS = pageSize();
+  void *Probe = ::mmap(nullptr, PS, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Probe == MAP_FAILED)
+    return false;
+  *static_cast<volatile unsigned char *>(Probe) = 1; // fault the page in
+  bool Ok = false;
+  const int Fd = ::open("/proc/self/pagemap", O_RDONLY);
+  if (Fd >= 0 && writeClearRefs()) {
+    ClearEpoch.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t Entry = 0;
+    const std::uintptr_t VA = reinterpret_cast<std::uintptr_t>(Probe);
+    if (readPagemap(Fd, VA, &Entry, 1) && !(Entry & SoftDirtyBit)) {
+      *static_cast<volatile unsigned char *>(Probe) = 2;
+      if (readPagemap(Fd, VA, &Entry, 1) && (Entry & SoftDirtyBit))
+        Ok = true;
+    }
+  }
+  if (Fd >= 0)
+    ::close(Fd);
+  ::munmap(Probe, PS);
+  return Ok;
+}
+
+} // namespace
+
+bool SoftDirtySubstrate::kernelSupported() {
+  static const bool Supported = probeSoftDirty();
+  return Supported;
+}
+
+SoftDirtySubstrate::~SoftDirtySubstrate() {
+  if (PagemapFd >= 0)
+    ::close(PagemapFd);
+}
+
+void SoftDirtySubstrate::setRegions(const std::vector<RegionDesc> &In) {
+  TotalBytes = layoutRegions(In, Regions, TotalPages);
+  Backing.clear();
+  Tracking = false;
+  MyClearEpoch = 0;
+  LastDirtyPages = 0;
+  LastBytesCopied = 0;
+}
+
+void SoftDirtySubstrate::arm() {
+  if (!kernelSupported())
+    return;
+  if (PagemapFd < 0)
+    PagemapFd = ::open("/proc/self/pagemap", O_RDONLY);
+  if (PagemapFd < 0 || !writeClearRefs()) {
+    MyClearEpoch = 0;
+    return;
+  }
+  MyClearEpoch = ClearEpoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool SoftDirtySubstrate::armed() const {
+  return MyClearEpoch != 0 && PagemapFd >= 0 &&
+         ClearEpoch.load(std::memory_order_relaxed) == MyClearEpoch;
+}
+
+void SoftDirtySubstrate::fullCopy(bool ToBacking, std::uint64_t &Pages,
+                                  std::uint64_t &Bytes) {
+  for (const TrackedRegion &R : Regions) {
+    if (ToBacking)
+      std::memcpy(Backing.data() + R.BackingOffset, R.Ptr, R.Bytes);
+    else
+      std::memcpy(R.Ptr, Backing.data() + R.BackingOffset, R.Bytes);
+  }
+  Pages = TotalPages;
+  Bytes = TotalBytes;
+}
+
+void SoftDirtySubstrate::scanDirty(bool ToBacking, std::uint64_t &Pages,
+                                   std::uint64_t &Bytes) {
+  const std::size_t PS = pageSize();
+  std::uint64_t Entries[1024];
+  for (const TrackedRegion &R : Regions) {
+    const std::uintptr_t Begin = reinterpret_cast<std::uintptr_t>(R.Ptr);
+    const std::uintptr_t End = Begin + R.Bytes;
+    std::size_t Page = 0;
+    while (Page < R.NumPages) {
+      const std::size_t Chunk = R.NumPages - Page < 1024 ? R.NumPages - Page
+                                                         : std::size_t{1024};
+      if (!readPagemap(PagemapFd, R.PageStart + Page * PS, Entries, Chunk)) {
+        // Scan failure mid-stream: fall back to copying the rest of this
+        // region eagerly — correctness over incrementality.
+        const std::uintptr_t From = R.PageStart + Page * PS;
+        const std::uintptr_t CopyBegin = From > Begin ? From : Begin;
+        if (CopyBegin < End) {
+          const std::size_t Off = CopyBegin - Begin;
+          if (ToBacking)
+            std::memcpy(Backing.data() + R.BackingOffset + Off,
+                        R.Ptr + Off, End - CopyBegin);
+          else
+            std::memcpy(R.Ptr + Off, Backing.data() + R.BackingOffset + Off,
+                        End - CopyBegin);
+          Bytes += End - CopyBegin;
+        }
+        Pages += R.NumPages - Page;
+        break;
+      }
+      for (std::size_t I = 0; I < Chunk; ++I) {
+        if (!(Entries[I] & SoftDirtyBit))
+          continue;
+        const std::uintptr_t PageBegin = R.PageStart + (Page + I) * PS;
+        const std::uintptr_t CopyBegin = PageBegin > Begin ? PageBegin : Begin;
+        std::uintptr_t CopyEnd = PageBegin + PS;
+        if (CopyEnd > End)
+          CopyEnd = End;
+        if (CopyBegin < CopyEnd) {
+          const std::size_t Off = CopyBegin - Begin;
+          if (ToBacking)
+            std::memcpy(Backing.data() + R.BackingOffset + Off,
+                        R.Ptr + Off, CopyEnd - CopyBegin);
+          else
+            std::memcpy(R.Ptr + Off, Backing.data() + R.BackingOffset + Off,
+                        CopyEnd - CopyBegin);
+          Bytes += CopyEnd - CopyBegin;
+        }
+        ++Pages;
+      }
+      Page += Chunk;
+    }
+  }
+}
+
+void SoftDirtySubstrate::takeSnapshot() {
+  std::uint64_t Pages = 0, Bytes = 0;
+  Backing.resize(TotalBytes);
+  if (!Tracking || !armed()) {
+    // First snapshot, wiped bits (another instance cleared), or no kernel
+    // support: full copy, then (re-)arm.
+    fullCopy(/*ToBacking=*/true, Pages, Bytes);
+    Tracking = true;
+  } else {
+    // Workers are quiescent here, so nothing writes between the scan and
+    // the re-clear below — no window where a write escapes both.
+    scanDirty(/*ToBacking=*/true, Pages, Bytes);
+  }
+  arm();
+  LastDirtyPages = Pages;
+  LastBytesCopied = Bytes;
+}
+
+void SoftDirtySubstrate::restoreSnapshot() {
+  CIP_CHECK(Tracking && Backing.size() == TotalBytes,
+            "restore without a snapshot");
+  std::uint64_t Pages = 0, Bytes = 0;
+  if (!armed()) {
+    fullCopy(/*ToBacking=*/false, Pages, Bytes);
+  } else {
+    // Pages written since the snapshot are exactly the soft-dirty ones;
+    // restoring those re-establishes the snapshot image everywhere.
+    scanDirty(/*ToBacking=*/false, Pages, Bytes);
+  }
+  // The memory now equals the snapshot; re-arm so the next snapshot copies
+  // only what the re-executed epochs write.
+  arm();
+}

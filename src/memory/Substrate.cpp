@@ -1,0 +1,111 @@
+//===- memory/Substrate.cpp - Substrate selection and factory ------------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/CheckpointSubstrate.h"
+#include "memory/Substrates.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace cip;
+using namespace cip::memory;
+
+CheckpointSubstrate::~CheckpointSubstrate() = default;
+
+const char *memory::substrateName(SubstrateKind K) {
+  switch (K) {
+  case SubstrateKind::Eager:
+    return "eager";
+  case SubstrateKind::PageDirty:
+    return "pagedirty";
+  case SubstrateKind::SoftDirty:
+    return "softdirty";
+  case SubstrateKind::Auto:
+    return "auto";
+  }
+  CIP_UNREACHABLE("unknown substrate kind");
+}
+
+bool memory::parseSubstrateName(const char *Name, SubstrateKind &Out) {
+  if (!Name)
+    return false;
+  if (std::strcmp(Name, "eager") == 0) {
+    Out = SubstrateKind::Eager;
+    return true;
+  }
+  if (std::strcmp(Name, "pagedirty") == 0) {
+    Out = SubstrateKind::PageDirty;
+    return true;
+  }
+  if (std::strcmp(Name, "softdirty") == 0) {
+    Out = SubstrateKind::SoftDirty;
+    return true;
+  }
+  if (std::strcmp(Name, "auto") == 0) {
+    Out = SubstrateKind::Auto;
+    return true;
+  }
+  return false;
+}
+
+bool memory::substrateFromEnv(SubstrateKind &Out) {
+  const char *S = std::getenv("CIP_CKPT");
+  if (!S || !*S)
+    return false;
+  if (!parseSubstrateName(S, Out)) {
+    std::fprintf(stderr,
+                 "error: CIP_CKPT='%s' is invalid: expected eager, pagedirty, "
+                 "softdirty, or auto\n",
+                 S);
+    // _Exit, not exit: a registry may be constructed on a pool lane while
+    // other threads are live; atexit/destructors from here trip
+    // std::terminate. A config error wants immediate, clean-status death.
+    std::_Exit(2);
+  }
+  return true;
+}
+
+SubstrateKind memory::remapForBuild(SubstrateKind K) {
+#ifdef CIP_SANITIZE_BUILD
+  // Sanitizer runtimes install their own SIGSEGV machinery and instrument
+  // around mprotect; the fault-driven substrate is off-limits there
+  // (DESIGN.md §16), so it degrades to the pagemap-based one.
+  if (K == SubstrateKind::PageDirty)
+    return SubstrateKind::SoftDirty;
+#endif
+  return K;
+}
+
+std::unique_ptr<CheckpointSubstrate> memory::createSubstrate(SubstrateKind K) {
+  switch (remapForBuild(K)) {
+  case SubstrateKind::Eager:
+    return std::make_unique<EagerCopySubstrate>();
+  case SubstrateKind::PageDirty:
+    return std::make_unique<PageDirtySubstrate>();
+  case SubstrateKind::SoftDirty:
+    return std::make_unique<SoftDirtySubstrate>();
+  case SubstrateKind::Auto:
+    break;
+  }
+  CIP_UNREACHABLE("Auto must be resolved by the facade before construction");
+}
+
+SubstrateKind memory::activeSubstrateKind(SubstrateKind Default) {
+  SubstrateKind K = Default;
+  substrateFromEnv(K);
+  return remapForBuild(K);
+}
+
+std::size_t memory::pageSize() {
+  static const std::size_t Size = [] {
+    const long N = ::sysconf(_SC_PAGESIZE);
+    return N > 0 ? static_cast<std::size_t>(N) : std::size_t{4096};
+  }();
+  return Size;
+}

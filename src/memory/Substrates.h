@@ -1,0 +1,156 @@
+//===- memory/Substrates.h - Concrete substrate classes --------*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three concrete checkpoint substrates behind createSubstrate().
+/// Internal to cip_memory and its tests; consumers program against
+/// memory/CheckpointSubstrate.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_MEMORY_SUBSTRATES_H
+#define CIP_MEMORY_SUBSTRATES_H
+
+#include "memory/CheckpointSubstrate.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cip {
+namespace memory {
+
+/// Page-aligned span covering an arbitrary byte region, plus the offsets a
+/// substrate needs to copy the region's bytes to/from a backing store. All
+/// three substrates share this bookkeeping shape.
+struct TrackedRegion {
+  unsigned char *Ptr = nullptr;
+  std::size_t Bytes = 0;
+  std::uintptr_t PageStart = 0; ///< pageFloor(Ptr)
+  std::uintptr_t PageEnd = 0;   ///< pageCeil(Ptr + Bytes)
+  std::size_t NumPages = 0;
+  std::size_t BackingOffset = 0; ///< region-granular offset into the backing
+};
+
+/// Computes the page-aligned bookkeeping for \p Regions into \p Out and
+/// returns the total byte count; \p TotalPages receives the page-span sum.
+std::size_t layoutRegions(const std::vector<RegionDesc> &Regions,
+                          std::vector<TrackedRegion> &Out,
+                          std::uint64_t &TotalPages);
+
+/// The original behavior: every snapshot/restore memcpys every registered
+/// byte. No tracking state, no platform dependencies; the baseline the
+/// page-granular substrates are measured against (bench_ckpt_substrate).
+class EagerCopySubstrate final : public CheckpointSubstrate {
+public:
+  SubstrateKind kind() const override { return SubstrateKind::Eager; }
+  void setRegions(const std::vector<RegionDesc> &Regions) override;
+  void takeSnapshot() override;
+  void restoreSnapshot() override;
+  std::uint64_t lastDirtyPages() const override { return LastDirtyPages; }
+  std::uint64_t lastBytesCopied() const override { return LastBytesCopied; }
+  std::uint64_t trackedPages() const override { return TotalPages; }
+
+private:
+  std::vector<TrackedRegion> Regions;
+  std::vector<unsigned char> Backing;
+  std::size_t TotalBytes = 0;
+  std::uint64_t TotalPages = 0;
+  std::uint64_t LastDirtyPages = 0;
+  std::uint64_t LastBytesCopied = 0;
+};
+
+/// mprotect/SIGSEGV write tracking. After each snapshot the registered page
+/// span is mapped read-only; the first write to a page faults, the handler
+/// records the page in a lock-free bitmap and re-enables writes, and the
+/// next snapshot/restore copies only the recorded pages. The handler-visible
+/// control block (region table, bitmaps, fault-latency ring) lives in a
+/// dedicated anonymous mapping so the handler can never itself write a
+/// tracked — hence read-only — page. See DESIGN.md §16 for the
+/// signal-handler safety rules.
+class PageDirtySubstrate final : public CheckpointSubstrate {
+public:
+  PageDirtySubstrate() = default;
+  ~PageDirtySubstrate() override;
+  SubstrateKind kind() const override { return SubstrateKind::PageDirty; }
+  void setRegions(const std::vector<RegionDesc> &Regions) override;
+  void takeSnapshot() override;
+  void restoreSnapshot() override;
+  std::uint64_t lastDirtyPages() const override { return LastDirtyPages; }
+  std::uint64_t lastBytesCopied() const override { return LastBytesCopied; }
+  std::uint64_t trackedPages() const override { return TotalPages; }
+  std::uint64_t faultCount() const override;
+  void drainFaultNs(std::vector<std::uint64_t> &Out) override;
+
+  /// Defined in PageDirty.cpp; the layout is the handler's ABI. Public so
+  /// the file-scope handler and publish helpers can name it.
+  struct HandlerBlock;
+
+private:
+  void teardownTracking();
+  void buildHandlerBlock();
+  /// Copies dirty pages between regions and backing (ToBacking selects the
+  /// direction), clears their bits, re-protects them, and updates stats.
+  void syncDirtyPages(bool ToBacking, std::uint64_t &Pages,
+                      std::uint64_t &Bytes);
+
+  std::vector<TrackedRegion> Regions;
+  std::vector<unsigned char> Backing;
+  HandlerBlock *Block = nullptr;
+  std::size_t BlockBytes = 0;
+  bool Tracking = false;
+  std::size_t TotalBytes = 0;
+  std::uint64_t TotalPages = 0;
+  std::uint64_t LastDirtyPages = 0;
+  std::uint64_t LastBytesCopied = 0;
+};
+
+/// Linux soft-dirty bits: snapshot scans /proc/self/pagemap (bit 55) for
+/// pages written since the previous "echo 4 > /proc/self/clear_refs", so no
+/// signal handler is involved — the substrate sanitizer builds use.
+/// clear_refs is process-wide, so concurrent SoftDirty instances guard each
+/// other with a global clear-epoch: an instance whose bits were wiped by
+/// another's clear falls back to a full copy for that snapshot. Kernels
+/// without CONFIG_MEM_SOFT_DIRTY are detected by a write-probe at first use;
+/// unavailable means every snapshot is a full copy (correct, just eager).
+class SoftDirtySubstrate final : public CheckpointSubstrate {
+public:
+  SoftDirtySubstrate() = default;
+  ~SoftDirtySubstrate() override;
+  SubstrateKind kind() const override { return SubstrateKind::SoftDirty; }
+  void setRegions(const std::vector<RegionDesc> &Regions) override;
+  void takeSnapshot() override;
+  void restoreSnapshot() override;
+  std::uint64_t lastDirtyPages() const override { return LastDirtyPages; }
+  std::uint64_t lastBytesCopied() const override { return LastBytesCopied; }
+  std::uint64_t trackedPages() const override { return TotalPages; }
+
+  /// True when the kernel supports soft-dirty tracking (probe result);
+  /// exposed so tests can tell incremental mode from the full-copy fallback.
+  static bool kernelSupported();
+
+private:
+  void fullCopy(bool ToBacking, std::uint64_t &Pages, std::uint64_t &Bytes);
+  void scanDirty(bool ToBacking, std::uint64_t &Pages, std::uint64_t &Bytes);
+  /// Clears the process soft-dirty bits and records the global epoch; the
+  /// next scan is valid only while no other instance has cleared since.
+  void arm();
+  bool armed() const;
+
+  std::vector<TrackedRegion> Regions;
+  std::vector<unsigned char> Backing;
+  int PagemapFd = -1;
+  bool Tracking = false;
+  std::uint64_t MyClearEpoch = 0;
+  std::size_t TotalBytes = 0;
+  std::uint64_t TotalPages = 0;
+  std::uint64_t LastDirtyPages = 0;
+  std::uint64_t LastBytesCopied = 0;
+};
+
+} // namespace memory
+} // namespace cip
+
+#endif // CIP_MEMORY_SUBSTRATES_H

@@ -6,6 +6,7 @@
 
 #include "policy/Plan.h"
 
+#include "memory/CheckpointSubstrate.h"
 #include "telemetry/Json.h"
 
 #include <cerrno>
@@ -89,6 +90,8 @@ std::string plan::renderPlan(const RegionPlan &P) {
   W.value(P.ShadowShards);
   W.key("sched_threads");
   W.value(P.SchedThreads);
+  W.key("ckpt_substrate");
+  W.value(P.CkptSubstrate);
   W.endObject();
   std::string Out = W.take();
   Out += '\n';
@@ -148,9 +151,9 @@ bool getString(const json::Value &Obj, const char *Key, std::string &Out) {
 
 const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
   static const char *const Grammar =
-      "a plan_version 3 region plan object (see DESIGN.md section 13)";
+      "a plan_version 4 region plan object (see DESIGN.md section 13)";
   static const char *const VersionErr =
-      "plan_version 3 (re-profile with this build's CIP_PROFILE)";
+      "plan_version 4 (re-profile with this build's CIP_PROFILE)";
 
   json::Value Doc;
   if (!json::parse(Text, Doc) || !Doc.isObject())
@@ -201,8 +204,16 @@ const char *plan::parsePlan(const std::string &Text, RegionPlan &Out) {
       !getU64(Doc, "spec_distance", P.SpecDistance) ||
       !getU32(Doc, "max_batch_hint", P.MaxBatchHint) ||
       !getU32(Doc, "shadow_shards", P.ShadowShards) ||
-      !getU32(Doc, "sched_threads", P.SchedThreads))
+      !getU32(Doc, "sched_threads", P.SchedThreads) ||
+      !getString(Doc, "ckpt_substrate", P.CkptSubstrate))
     return Grammar;
+  if (!P.CkptSubstrate.empty()) {
+    // The hint must name a real substrate ("" is the none-sentinel); a typo
+    // silently falling back to the default would defeat the warm start.
+    memory::SubstrateKind K;
+    if (!memory::parseSubstrateName(P.CkptSubstrate.c_str(), K))
+      return Grammar;
+  }
 
   Out = P;
   return nullptr;

@@ -27,19 +27,21 @@
 ///    width.
 ///
 /// File format (strict; see renderPlan/parsePlan):
-///   <dir>/<region>.plan.json, one object, plan_version 3:
-///   {"plan_version":3, "region":..., "threads":..., "calibration_epochs":...,
+///   <dir>/<region>.plan.json, one object, plan_version 4:
+///   {"plan_version":4, "region":..., "threads":..., "calibration_epochs":...,
 ///    "initial":"<technique>", "hold_windows":...,
 ///    "techniques":{"barrier":{"measured":...,"sec_per_epoch":...,
 ///       "abort_rate":...,"conflict_density":...,"scheduler_ratio":...}, x4},
 ///    "sequential_sec_per_epoch":..., "predicted_sec_per_epoch":...,
 ///    "min_dependence_distance":..., "min_epoch_distance":...,
 ///    "conflicting_addresses":..., "spec_distance":..., "max_batch_hint":...,
-///    "shadow_shards":..., "sched_threads":...}
+///    "shadow_shards":..., "sched_threads":..., "ckpt_substrate":"..."}
 /// Sentinel encoding: 0 means "none" for min_dependence_distance
 /// (conflict-free / unmeasured), spec_distance (unthrottled),
 /// max_batch_hint (engine default), shadow_shards (serial scheduler), and
 /// sched_threads (single scheduler thread) — JSON carries no uint64 max.
+/// ckpt_substrate's none-sentinel is the empty string; otherwise it names a
+/// checkpoint substrate ("eager", "pagedirty", "softdirty").
 ///
 /// Environment knobs (strict; garbage exits 2 like every CIP_* knob):
 ///   CIP_PROFILE=<dir>       calibrate and emit <dir>/<region>.plan.json
@@ -70,8 +72,9 @@ namespace plan {
 /// Bumped whenever the plan schema changes shape; loaders reject any other
 /// version (a stale plan silently steering a new runtime is a config bug).
 /// Version 2 added shadow_shards (DESIGN.md §14); version 3 added
-/// sched_threads (DESIGN.md §15).
-inline constexpr std::uint32_t PlanVersion = 3;
+/// sched_threads (DESIGN.md §15); version 4 added ckpt_substrate
+/// (DESIGN.md §16).
+inline constexpr std::uint32_t PlanVersion = 4;
 
 /// One technique's calibration measurements. Unmeasured rows (the sweep was
 /// truncated, or the technique is inapplicable to the region) keep
@@ -117,6 +120,11 @@ struct RegionPlan {
   /// Profiling recommends a team alongside sharding for regions whose
   /// scheduler busy ratio dominates the region.
   std::uint32_t SchedThreads = 0;
+  /// Checkpoint substrate to apply to speculative windows ("" = registry
+  /// default; CIP_CKPT still overrides either way). Profiling measures the
+  /// region's dirty ratio under an auto registry and emits what it resolved
+  /// to, so warm starts skip the measurement interval (DESIGN.md §16).
+  std::string CkptSubstrate;
 
   /// Predicted wall time of a planned / sequential run of \p Epochs epochs
   /// (0 when the plan lacks the measurement) — what the server's duration

@@ -8,39 +8,113 @@
 
 #include "support/Chaos.h"
 
-#include <cstring>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace cip;
 using namespace cip::speccross;
 
+CheckpointRegistry::CheckpointRegistry(memory::SubstrateKind Default) {
+  memory::SubstrateKind Kind = Default;
+  EnvPinned = memory::substrateFromEnv(Kind);
+  if (Kind == memory::SubstrateKind::Auto) {
+    // Auto starts on the page-tracking substrate (remapped under
+    // sanitizers) and resolves after the first measured interval.
+    AutoPending = true;
+    Kind = memory::SubstrateKind::PageDirty;
+  }
+  Substrate = memory::createSubstrate(Kind);
+}
+
 void CheckpointRegistry::registerRegion(void *Ptr, std::size_t Bytes) {
-  assert(Ptr != nullptr && "cannot register a null region");
-  assert(Bytes > 0 && "cannot register an empty region");
-  Regions.push_back(
-      Region{static_cast<unsigned char *>(Ptr), Bytes, TotalBytes});
+  if (Ptr == nullptr || Bytes == 0) {
+    std::fprintf(stderr,
+                 "error: CheckpointRegistry::registerRegion(%p, %zu) is "
+                 "invalid: a region must cover at least one byte\n",
+                 Ptr, Bytes);
+    // _Exit, not exit: registration can run on a pool lane while other
+    // threads are live; atexit/destructors from here trip std::terminate.
+    std::_Exit(2);
+  }
+  auto *Begin = static_cast<unsigned char *>(Ptr);
+  const unsigned char *End = Begin + Bytes;
+  for (std::size_t I = 0; I < Regions.size(); ++I) {
+    const memory::RegionDesc &R = Regions[I];
+    if (Begin < R.Ptr + R.Bytes && R.Ptr < End) {
+      std::fprintf(stderr,
+                   "error: CheckpointRegistry::registerRegion(%p, %zu) "
+                   "overlaps region #%zu (%p, %zu): each mutable byte must "
+                   "be registered exactly once or snapshots would copy it "
+                   "twice\n",
+                   Ptr, Bytes, I, static_cast<void *>(R.Ptr), R.Bytes);
+      std::_Exit(2);
+    }
+  }
+  Regions.push_back(memory::RegionDesc{Begin, Bytes});
   TotalBytes += Bytes;
   SnapshotValid = false;
+  Substrate->setRegions(Regions);
 }
 
 void CheckpointRegistry::clear() {
   Regions.clear();
-  SnapshotStorage.clear();
   TotalBytes = 0;
   SnapshotValid = false;
+  Substrate->setRegions(Regions);
+}
+
+void CheckpointRegistry::setSubstrate(memory::SubstrateKind K) {
+  if (EnvPinned)
+    return; // env wins over programmatic selection, like every CIP_* knob
+  if (!AutoPending && K != memory::SubstrateKind::Auto &&
+      memory::remapForBuild(K) == Substrate->kind())
+    return;
+  AutoPending = false;
+  if (K == memory::SubstrateKind::Auto) {
+    AutoPending = true;
+    AutoSnapshots = 0;
+    K = memory::SubstrateKind::PageDirty;
+  }
+  Substrate = memory::createSubstrate(K);
+  Substrate->setRegions(Regions);
+  SnapshotValid = false;
+}
+
+void CheckpointRegistry::resolveAuto() {
+  // Called right after the second snapshot: lastDirtyPages() is the first
+  // interval's measured write set. A dense writer pays page-tracking
+  // overhead for no copy savings — switch it to eager; sparse writers stay.
+  AutoPending = false;
+  const std::uint64_t Tracked = Substrate->trackedPages();
+  if (Tracked == 0)
+    return;
+  const double Ratio =
+      static_cast<double>(Substrate->lastDirtyPages()) /
+      static_cast<double>(Tracked);
+  if (Ratio <= AutoDenseRatio)
+    return;
+  Substrate = memory::createSubstrate(memory::SubstrateKind::Eager);
+  Substrate->setRegions(Regions);
+  // Re-capture with the new substrate so the snapshot stays restorable;
+  // workers are quiescent at checkpoint rounds, so the image matches the
+  // snapshot just taken. Not counted: the protocol took one checkpoint.
+  Substrate->takeSnapshot();
 }
 
 void CheckpointRegistry::takeSnapshot() {
   CIP_CHAOS_POINT(Snapshot);
-  SnapshotStorage.resize(TotalBytes);
-  for (const Region &R : Regions)
-    std::memcpy(SnapshotStorage.data() + R.SnapshotOffset, R.Ptr, R.Bytes);
+  Substrate->takeSnapshot();
+  CIP_CHAOS_POINT(SnapshotCommit);
   SnapshotValid = true;
   ++Snapshots;
+  // The second auto snapshot is the first with interval-dirty accounting.
+  if (AutoPending && ++AutoSnapshots >= 2)
+    resolveAuto();
 }
 
 void CheckpointRegistry::restoreSnapshot() {
   CIP_CHECK(SnapshotValid, "restore without a snapshot");
   CIP_CHAOS_POINT(Restore);
-  for (const Region &R : Regions)
-    std::memcpy(R.Ptr, SnapshotStorage.data() + R.SnapshotOffset, R.Bytes);
+  Substrate->restoreSnapshot();
 }

@@ -8,33 +8,51 @@
 /// Checkpoint/restore of the speculative region's mutable state
 /// (dissertation §4.2.2). The paper checkpoints by forking the whole process
 /// and recovering with kill/longjmp; forking from a multithreaded C++
-/// process is a portability minefield, so this reproduction substitutes a
-/// cooperative scheme with the same observable protocol and cost model:
+/// process is a portability minefield, so this reproduction substitutes
+/// in-process substrates with the same observable protocol (DESIGN.md §2):
 /// workloads *register* every mutable buffer the speculative region can
-/// write; taking a checkpoint copies the registered bytes aside (cost
-/// proportional to state size, like fork's eager page-table work plus COW
-/// traffic); restoring copies them back (recovery cost proportional to state
-/// size plus thread respawn, as measured in Fig 5.3). The substitution is
-/// recorded in DESIGN.md §2.
+/// write, and a pluggable substrate (src/memory, DESIGN.md §16) captures and
+/// restores it. The page-granular substrates (pagedirty, softdirty) recover
+/// the paper's COW cost model — checkpoint cost proportional to the pages
+/// actually *written* per interval, not to the registered footprint — while
+/// eager keeps the original copy-everything behavior.
+///
+/// CheckpointRegistry is a thin façade: it owns the region list, the
+/// snapshot-validity protocol, and the checkpoint count; the substrate owns
+/// the copy mechanics. Selection: the strict \c CIP_CKPT environment knob
+/// (eager|pagedirty|softdirty|auto — garbage exits 2, env wins over
+/// setSubstrate) or setSubstrate(); \c auto starts page-tracking and
+/// switches to eager after the first interval if the measured dirty ratio
+/// says the region rewrites most of its footprint anyway.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CIP_SPECCROSS_CHECKPOINT_H
 #define CIP_SPECCROSS_CHECKPOINT_H
 
+#include "memory/CheckpointSubstrate.h"
 #include "support/Compiler.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace cip {
 namespace speccross {
 
-/// Registry of mutable memory regions plus a one-deep snapshot buffer.
+/// Registry of mutable memory regions plus a one-deep snapshot held by a
+/// pluggable checkpoint substrate.
 class CheckpointRegistry {
 public:
+  /// Resolves the substrate from CIP_CKPT when set, else \p Default.
+  explicit CheckpointRegistry(
+      memory::SubstrateKind Default = memory::SubstrateKind::Eager);
+
   /// Registers \p Bytes bytes starting at \p Ptr as mutable speculative
-  /// state. Call before the region starts executing.
+  /// state. Call before the region starts executing. Zero-byte, null, and
+  /// overlapping registrations are configuration errors: diagnostic on
+  /// stderr, exit 2. Registering after takeSnapshot() invalidates the
+  /// snapshot; the next takeSnapshot() covers the new region set.
   void registerRegion(void *Ptr, std::size_t Bytes);
 
   /// Convenience: registers the contents of a vector-like buffer.
@@ -46,12 +64,13 @@ public:
   /// Drops all registered regions and the snapshot.
   void clear();
 
-  /// Copies every registered region into the snapshot buffer, replacing any
-  /// previous snapshot.
+  /// Captures the registered regions into the substrate's snapshot,
+  /// replacing any previous snapshot. Page-tracking substrates copy only
+  /// pages written since the previous snapshot.
   void takeSnapshot();
 
-  /// Copies the snapshot back into the registered regions. A snapshot must
-  /// have been taken.
+  /// Restores the registered regions to the snapshot. A snapshot must have
+  /// been taken.
   void restoreSnapshot();
 
   bool hasSnapshot() const { return SnapshotValid; }
@@ -61,18 +80,50 @@ public:
   /// Number of snapshots taken so far (checkpoint count for Fig 5.3).
   std::uint64_t snapshotsTaken() const { return Snapshots; }
 
-private:
-  struct Region {
-    unsigned char *Ptr;
-    std::size_t Bytes;
-    std::size_t SnapshotOffset;
-  };
+  /// Re-selects the substrate. Ignored when CIP_CKPT pinned one (env wins,
+  /// matching every other CIP_* knob); drops any existing snapshot
+  /// otherwise. This is what plan warm-starts call (plan v4
+  /// \c ckpt_substrate hint).
+  void setSubstrate(memory::SubstrateKind K);
 
-  std::vector<Region> Regions;
-  std::vector<unsigned char> SnapshotStorage;
+  /// The substrate executing right now ("eager", "pagedirty", "softdirty" —
+  /// auto reports what it resolved to so far).
+  const char *substrateName() const { return Substrate->name(); }
+  memory::SubstrateKind substrateKind() const { return Substrate->kind(); }
+
+  /// True while an \c auto selection is still measuring its first interval.
+  bool autoPending() const { return AutoPending; }
+
+  /// Accounting for the last takeSnapshot(): pages/bytes actually copied,
+  /// the page span of all regions, and the PageDirty fault path. Feeds the
+  /// dirty_pages / ckpt_bytes_copied counters and the ckpt_fault_ns
+  /// histogram in the engine.
+  std::uint64_t lastDirtyPages() const { return Substrate->lastDirtyPages(); }
+  std::uint64_t lastBytesCopied() const {
+    return Substrate->lastBytesCopied();
+  }
+  std::uint64_t trackedPages() const { return Substrate->trackedPages(); }
+  std::uint64_t faultCount() const { return Substrate->faultCount(); }
+  void drainFaultNs(std::vector<std::uint64_t> &Out) {
+    Substrate->drainFaultNs(Out);
+  }
+
+  /// Dirty ratio an \c auto selection switches to eager above: rewriting
+  /// most of the footprint every interval makes page tracking pure
+  /// overhead.
+  static constexpr double AutoDenseRatio = 0.5;
+
+private:
+  void resolveAuto();
+
+  std::vector<memory::RegionDesc> Regions;
+  std::unique_ptr<memory::CheckpointSubstrate> Substrate;
   std::size_t TotalBytes = 0;
   bool SnapshotValid = false;
+  bool AutoPending = false;
+  bool EnvPinned = false;
   std::uint64_t Snapshots = 0;
+  std::uint64_t AutoSnapshots = 0; ///< snapshots since auto was armed
 };
 
 } // namespace speccross

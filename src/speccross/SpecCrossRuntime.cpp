@@ -173,8 +173,21 @@ public:
         Stats.CheckpointSeconds += Ckpt.elapsedSeconds();
         ++Stats.CheckpointsTaken;
         Tel.add(Control, Counter::CheckpointsTaken);
+        // CheckpointBytes keeps the eager cost model (registered footprint
+        // per checkpoint); DirtyPages/CkptBytesCopied report what the
+        // substrate actually moved, so their gap is the page-granular win.
         Tel.add(Control, Counter::CheckpointBytes,
                 Region.Checkpoints->totalBytes());
+        Tel.add(Control, Counter::DirtyPages,
+                Region.Checkpoints->lastDirtyPages());
+        Tel.add(Control, Counter::CkptBytesCopied,
+                Region.Checkpoints->lastBytesCopied());
+#if CIP_TELEMETRY
+        FaultNsScratch.clear();
+        Region.Checkpoints->drainFaultNs(FaultNsScratch);
+        for (const std::uint64_t Ns : FaultNsScratch)
+          Tel.recordHist(Control, Hist::CkptFaultNs, Ns);
+#endif
       }
       if (!speculativeRound(First, End, Stats)) {
         Tel.instant(Control, EventKind::Misspec, First, End);
@@ -200,6 +213,7 @@ public:
       First = End;
     }
     Stats.TotalSeconds = (static_cast<double>(nowNanos()) - Begin) * 1e-9;
+    Stats.CkptSubstrate = Region.Checkpoints->substrateName();
     Stats.Telemetry = Tel.totals();
     Stats.Aborts = Tel.aborts();
     Stats.WorkerWait = Tel.histTotals(Hist::WorkerWaitNs);
@@ -261,6 +275,9 @@ private:
 
   std::vector<std::size_t> TasksPerEpoch;
   std::vector<std::uint64_t> Prefix;
+  /// Scratch for draining the checkpoint substrate's fault-latency samples
+  /// into the telemetry histogram at checkpoint rounds.
+  std::vector<std::uint64_t> FaultNsScratch;
 
   /// Fault injection fires at most once per run().
   bool Injected = false;

@@ -174,6 +174,12 @@ struct SpecStats {
   double CheckpointSeconds = 0.0;
   double RecoverySeconds = 0.0;
 
+  /// Checkpoint substrate that executed this run ("eager", "pagedirty",
+  /// "softdirty" — a static string from memory::substrateName); empty when
+  /// the region ran without a registry. An \c auto selection reports what
+  /// it resolved to by the end of the run.
+  const char *CkptSubstrate = "";
+
   /// Aggregated telemetry counters for the region (throttle/barrier wait
   /// attribution, checker activity, checkpoint volume). All-zero when the
   /// library was built with CIP_TELEMETRY=0; otherwise the checker and

@@ -48,6 +48,10 @@ const char *chaos::siteName(Site S) {
     return "snapshot";
   case Site::Restore:
     return "restore";
+  case Site::FaultRecord:
+    return "fault-record";
+  case Site::SnapshotCommit:
+    return "snapshot-commit";
   case Site::PolicyDecide:
     return "policy-decide";
   case Site::PolicySwitch:

@@ -73,6 +73,10 @@ enum class Site : std::uint32_t {
   ThrottleSpin,    ///< SPECCROSS: inside the speculative-range throttle
   Snapshot,        ///< Checkpoint: before copying state aside
   Restore,         ///< Checkpoint: before copying the snapshot back
+  FaultRecord,     ///< PageDirty substrate: fault claimed, before the dirty
+                   ///< bit is recorded and the page re-enabled
+  SnapshotCommit,  ///< Checkpoint: substrate copy done, before the façade
+                   ///< marks the snapshot valid
   PolicyDecide,    ///< adaptive harness: before consulting the policy engine
   PolicySwitch,    ///< adaptive harness: before tearing down for a switch
   ServerAdmit,     ///< RegionServer: after a grant, before execution starts

@@ -102,9 +102,20 @@ enum class Counter : unsigned {
   /// edges: helpers waiting for the lead's next partitioned block, the
   /// lead waiting for helpers' probe completions. Zero on the serial path.
   SchedTeamIdleNs,
+  /// Pages the checkpoint substrate copied while taking checkpoints. Eager
+  /// copies the full registered page span every time; the page-tracking
+  /// substrates (DESIGN.md §16) count only pages written since the previous
+  /// snapshot, so DirtyPages / (CheckpointsTaken * tracked pages) is the
+  /// measured dirty ratio.
+  DirtyPages,
+  /// Bytes the checkpoint substrate actually copied while taking
+  /// checkpoints. CheckpointBytes keeps its historical meaning (registered
+  /// footprint per checkpoint, fork's eager cost model); the gap between
+  /// the two is what page-granular versioning saved.
+  CkptBytesCopied,
 };
 
-inline constexpr unsigned NumCounters = 26;
+inline constexpr unsigned NumCounters = 28;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *counterName(Counter C) {
@@ -117,7 +128,8 @@ inline const char *counterName(Counter C) {
       "checkpoints_taken",    "checkpoint_bytes",   "checkpoint_ns",
       "recovery_ns",          "barrier_wait_ns",    "server_admitted",
       "server_rejected",      "server_degraded",    "server_queue_wait_ns",
-      "sched_team_conflicts", "sched_team_idle_ns"};
+      "sched_team_conflicts", "sched_team_idle_ns", "dirty_pages",
+      "ckpt_bytes_copied"};
   const unsigned I = static_cast<unsigned>(C);
   assert(I < NumCounters && "counter out of range");
   return Names[I];

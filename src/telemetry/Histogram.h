@@ -71,16 +71,23 @@ enum class Hist : unsigned {
   /// including the hit). Like DispatchBatch, not nanoseconds: bucket values
   /// are pair counts.
   BatchWidth,
+  /// One write-fault's handling latency in the PageDirty checkpoint
+  /// substrate (SIGSEGV entry to page re-enabled): the per-page tax the
+  /// fault-driven substrate pays for copying only dirty pages. Empty for
+  /// eager/softdirty. Drained from the substrate's lock-free sample ring at
+  /// checkpoint rounds, never recorded from the signal handler.
+  CkptFaultNs,
 };
 
-inline constexpr unsigned NumHistograms = 9;
+inline constexpr unsigned NumHistograms = 10;
 
 /// Stable machine-readable name (snake_case; the JSON export key).
 inline const char *histName(Hist H) {
   static const char *const Names[NumHistograms] = {
       "sched_stall_ns", "worker_wait_ns",  "queue_full_ns",
       "epoch_ns",       "check_ns",        "barrier_wait_ns",
-      "dispatch_batch", "server_queue_ns", "batch_width"};
+      "dispatch_batch", "server_queue_ns", "batch_width",
+      "ckpt_fault_ns"};
   const unsigned I = static_cast<unsigned>(H);
   assert(I < NumHistograms && "histogram kind out of range");
   return Names[I];

@@ -215,6 +215,8 @@ std::string cip::telemetry::renderRunReport(const RegionTelemetry &R,
   W.value(P.ShadowShards);
   W.key("sched_threads");
   W.value(P.SchedThreads);
+  W.key("ckpt_substrate");
+  W.value(P.CkptSubstrate);
   W.key("min_dependence_distance");
   W.value(P.MinDependenceDistance);
   W.endObject();

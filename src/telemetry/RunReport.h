@@ -291,6 +291,9 @@ struct PlanRecord {
   std::uint32_t ShadowShards = 0;
   /// DOMORE scheduler-team hint the plan applied (0 = single scheduler).
   std::uint32_t SchedThreads = 0;
+  /// Checkpoint-substrate hint the plan applied to speculative windows
+  /// ("" = registry default; DESIGN.md §16).
+  std::string CkptSubstrate;
   /// Profiled minimum cross-epoch dependence distance in global task
   /// numbers (0 = conflict-free or unmeasured).
   std::uint64_t MinDependenceDistance = 0;

@@ -1,0 +1,105 @@
+//===- workloads/BigState.h - Large-state sparse-write workload -*- C++ -*-===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint-substrate stress input (DESIGN.md §16): a large registered
+/// footprint of which each epoch writes only a small, scattered fraction.
+/// Eager checkpointing copies the whole footprint every round regardless of
+/// what changed, so its cost scales with state size; the page-dirty
+/// substrates copy only the written pages, so their cost scales with the
+/// write set. This workload makes the gap as wide as Table 5.1's sparse
+/// codes do in practice (bench_ckpt_substrate measures it).
+///
+/// Structure: the state vector is divided into one contiguous *stripe* per
+/// task. Task t of epoch e writes \c WritesPerTask cells inside its own
+/// stripe, at offsets (e * W + k) * Step mod StripeLen with Step coprime to
+/// StripeLen — a full-period stride generator, so tasks of one epoch write
+/// disjoint cells (the DOALL contract) and *consecutive epochs are disjoint
+/// too* until the generator wraps (StripeLen >= Epochs * W by
+/// construction). Speculation therefore never aborts on its own; every
+/// checkpoint round dirties at most Tasks * WritesPerTask scattered pages
+/// of a footprint thousands of pages big.
+///
+/// Each write is a read-modify-write of its cell, so a restore that loses a
+/// committed byte — or restores one byte too many — changes the digest.
+/// checksum() re-derives the exact write set from the generator and hashes
+/// those cells (plus the stripe boundaries), so it stays O(total writes)
+/// instead of O(footprint) while still covering every byte a correct run
+/// may touch. Registered with the factory as "bigstate" but absent from
+/// allWorkloadNames(): it is a checkpoint-bench instrument, not a Table 5.1
+/// benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CIP_WORKLOADS_BIGSTATE_H
+#define CIP_WORKLOADS_BIGSTATE_H
+
+#include "workloads/Workload.h"
+
+namespace cip {
+namespace workloads {
+
+struct BigStateParams {
+  std::uint32_t Epochs = 12;
+  std::uint32_t Tasks = 8;
+  /// Cells (doubles) per task stripe; total footprint = Tasks * StripeLen.
+  /// Must exceed Epochs * WritesPerTask so the stride generator never wraps
+  /// within a run (keeps all epochs pairwise write-disjoint).
+  std::uint32_t StripeLen = 16384;
+  /// Scattered cells each task writes per epoch.
+  std::uint32_t WritesPerTask = 4;
+  /// Per-write compute grain (burnFlops chain length).
+  unsigned WorkFlops = 32;
+
+  static BigStateParams forScale(Scale S);
+};
+
+/// See file comment.
+class BigStateWorkload final : public Workload {
+public:
+  explicit BigStateWorkload(const BigStateParams &P);
+
+  const char *name() const override { return "bigstate"; }
+  void reset() override;
+  std::uint32_t numEpochs() const override { return Params.Epochs; }
+  std::size_t numTasks(std::uint32_t) const override { return Params.Tasks; }
+  void runTask(std::uint32_t Epoch, std::size_t Task) override;
+  void taskAddresses(std::uint32_t Epoch, std::size_t Task,
+                     std::vector<std::uint64_t> &Addrs) const override;
+  std::uint64_t addressSpaceSize() const override {
+    return static_cast<std::uint64_t>(Params.Tasks) * Params.StripeLen;
+  }
+  void registerState(speccross::CheckpointRegistry &Reg) override;
+  std::uint64_t checksum() const override;
+
+  /// Sparse scattered writes dominate; a dense shadow over the full
+  /// footprint would make DOMORE's probe stage the benchmark instead of
+  /// the checkpoint substrate under test.
+  bool domoreApplicable() const override { return false; }
+
+  /// Writes scatter across a whole stripe, so a min/max range signature
+  /// would cover the stripe and neighbor-epoch ranges would always overlap.
+  speccross::SignatureScheme preferredSignature() const override {
+    return speccross::SignatureScheme::Bloom;
+  }
+
+  /// Registered bytes (for benches reporting footprint vs copied bytes).
+  std::size_t stateBytes() const { return State.size() * sizeof(double); }
+
+private:
+  /// Stripe-relative cell index of write \p K of (\p Epoch, \p Task).
+  std::size_t cellOf(std::uint32_t Epoch, std::size_t Task,
+                     std::uint32_t K) const;
+
+  BigStateParams Params;
+  std::size_t Step = 1; // stride, coprime to StripeLen
+  std::vector<double> State;
+};
+
+} // namespace workloads
+} // namespace cip
+
+#endif // CIP_WORKLOADS_BIGSTATE_H

@@ -6,6 +6,7 @@
 
 #include "workloads/Workload.h"
 
+#include "workloads/BigState.h"
 #include "workloads/BlackScholes.h"
 #include "workloads/CG.h"
 #include "workloads/Eclat.h"
@@ -63,6 +64,9 @@ std::unique_ptr<Workload> workloads::makeWorkload(const std::string &Name,
   // adaptive policy engine's phase-shifting stress input.
   if (Name == "phaseshift")
     return std::make_unique<PhaseShiftWorkload>(PhaseShiftParams::forScale(S));
+  // Also off-table: the checkpoint-substrate stress input (DESIGN.md §16).
+  if (Name == "bigstate")
+    return std::make_unique<BigStateWorkload>(BigStateParams::forScale(S));
   if (Name == "cg")
     return std::make_unique<CGWorkload>(CGParams::forScale(S));
   if (Name == "equake")

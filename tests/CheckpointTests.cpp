@@ -1,0 +1,417 @@
+//===- tests/CheckpointTests.cpp - Checkpoint substrate battery ----------===//
+//
+// Part of the cross-invocation-parallelism reproduction of Huang et al.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint-substrate battery (DESIGN.md §16): every substrate ×
+/// {clean run, injected mid-epoch abort, abort-then-recovery} must produce
+/// bit-identical restores and the same snapshotsTaken(), including regions
+/// that straddle page boundaries and sub-page (<4KiB, unaligned) regions.
+/// Plus the registry's registration hardening (zero-byte, null, and
+/// overlapping registrations exit 2), the strict CIP_CKPT knob, the env-pin
+/// precedence, and the auto dirty-ratio resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memory/CheckpointSubstrate.h"
+#include "speccross/Checkpoint.h"
+#include "speccross/SpecCrossRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cip;
+using namespace cip::speccross;
+
+namespace {
+
+/// Saves/restores one environment variable around a test.
+class EnvGuard {
+public:
+  explicit EnvGuard(const char *Name) : Name(Name) {
+    if (const char *V = std::getenv(Name)) {
+      Saved = V;
+      Had = true;
+    }
+  }
+  ~EnvGuard() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+const std::vector<memory::SubstrateKind> &allSubstrates() {
+  static const std::vector<memory::SubstrateKind> Kinds = {
+      memory::SubstrateKind::Eager, memory::SubstrateKind::PageDirty,
+      memory::SubstrateKind::SoftDirty};
+  return Kinds;
+}
+
+/// Three deliberately awkward regions inside one arena: a page-aligned
+/// multi-page block, a sub-page unaligned block, and a block straddling a
+/// page boundary. The bytes between them are canaries a clamped restore
+/// must never touch.
+struct AwkwardRegions {
+  explicit AwkwardRegions()
+      : Page(memory::pageSize()), Arena(8 * Page + 64, 0) {
+    // Region 0: two whole pages, page-aligned within the arena.
+    unsigned char *Base = Arena.data();
+    unsigned char *Aligned = Base + (Page - reinterpret_cast<std::uintptr_t>(
+                                                Base) % Page) % Page;
+    R[0] = {Aligned, 2 * Page};
+    // Region 1: sub-page (<4KiB) and unaligned — starts 7 bytes into a page.
+    R[1] = {Aligned + 3 * Page + 7, 1000};
+    // Region 2: 128 bytes straddling a page boundary.
+    R[2] = {Aligned + 5 * Page - 64, 128};
+    std::uint64_t X = 0x243f6a8885a308d3ULL;
+    for (auto &B : Arena) {
+      X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+      B = static_cast<unsigned char>(X >> 56);
+    }
+  }
+
+  void registerAll(CheckpointRegistry &Reg) {
+    for (const auto &Desc : R)
+      Reg.registerRegion(Desc.Ptr, Desc.Bytes);
+  }
+
+  std::vector<std::vector<unsigned char>> image() const {
+    std::vector<std::vector<unsigned char>> Out;
+    for (const auto &Desc : R)
+      Out.emplace_back(Desc.Ptr, Desc.Ptr + Desc.Bytes);
+    return Out;
+  }
+
+  void scribble(unsigned Salt) {
+    for (const auto &Desc : R)
+      for (std::size_t I = 0; I < Desc.Bytes; I += 1 + I % 3)
+        Desc.Ptr[I] = static_cast<unsigned char>(Desc.Ptr[I] + Salt + I);
+  }
+
+  const std::size_t Page;
+  std::vector<unsigned char> Arena;
+  memory::RegionDesc R[3];
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bit-identical restores over awkward region shapes
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointSubstrates, AwkwardRegionsRestoreBitIdentically) {
+  // Mid-epoch abort at the registry level: snapshot, partially overwrite
+  // the regions (the abandoned speculative work), restore — every
+  // registered byte must come back, and every unregistered neighbor byte
+  // (canaries sharing pages with the regions) must keep its current value.
+  for (memory::SubstrateKind K : allSubstrates()) {
+    SCOPED_TRACE(memory::substrateName(K));
+    AwkwardRegions A;
+    CheckpointRegistry Reg;
+    Reg.setSubstrate(K);
+    A.registerAll(Reg);
+    Reg.takeSnapshot();
+    const auto Want = A.image();
+
+    A.scribble(13);
+    // Canary: a byte on the same page as the unaligned region but outside
+    // it; restore must clamp to the registered range.
+    unsigned char *Canary = A.R[1].Ptr + A.R[1].Bytes + 5;
+    *Canary = 0xEE;
+
+    Reg.restoreSnapshot();
+    const auto Got = A.image();
+    for (int I = 0; I < 3; ++I)
+      EXPECT_EQ(Got[I], Want[I]) << "region " << I;
+    EXPECT_EQ(*Canary, 0xEE) << "restore touched an unregistered byte";
+  }
+}
+
+TEST(CheckpointSubstrates, AbortThenRecoveryAcrossIntervals) {
+  // Abort-then-recovery: after a restore, the region keeps executing and
+  // checkpointing; the next interval's snapshot/restore must still be
+  // bit-identical (write tracking has to survive a rollback intact).
+  std::vector<std::uint64_t> Snaps;
+  for (memory::SubstrateKind K : allSubstrates()) {
+    SCOPED_TRACE(memory::substrateName(K));
+    AwkwardRegions A;
+    CheckpointRegistry Reg;
+    Reg.setSubstrate(K);
+    A.registerAll(Reg);
+
+    Reg.takeSnapshot();
+    A.scribble(1); // speculative work that will be aborted
+    Reg.restoreSnapshot();
+
+    A.scribble(2); // recovery: committed re-execution
+    Reg.takeSnapshot();
+    const auto Want = A.image();
+    A.scribble(3); // next interval aborts too
+    Reg.restoreSnapshot();
+
+    const auto Got = A.image();
+    for (int I = 0; I < 3; ++I)
+      EXPECT_EQ(Got[I], Want[I]) << "region " << I;
+    Snaps.push_back(Reg.snapshotsTaken());
+  }
+  for (std::size_t I = 1; I < Snaps.size(); ++I)
+    EXPECT_EQ(Snaps[I], Snaps[0]) << "substrate " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine battery: every substrate under the speculative runtime
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Conflict-free engine run (task T always owns address T) on every
+/// substrate; with \p Inject, one epoch mid-run is forced to misspeculate,
+/// so the run aborts, restores, and recovers non-speculatively.
+void runEngineBattery(bool Inject) {
+  const std::uint32_t Epochs = 24;
+  const std::uint32_t Tasks = 6;
+
+  std::vector<std::uint32_t> Expected(Tasks, 0);
+  for (std::uint32_t E = 0; E < Epochs; ++E)
+    for (std::uint32_t T = 0; T < Tasks; ++T)
+      Expected[T] += E + T + 1;
+
+  std::vector<std::uint64_t> Snaps;
+  for (memory::SubstrateKind K : allSubstrates()) {
+    SCOPED_TRACE(memory::substrateName(K));
+    std::vector<std::uint32_t> Cells(Tasks, 0);
+    CheckpointRegistry Reg;
+    Reg.setSubstrate(K);
+    Reg.registerBuffer(Cells);
+
+    SpecRegion R;
+    R.NumEpochs = Epochs;
+    R.NumTasks = [Tasks](std::uint32_t) {
+      return static_cast<std::size_t>(Tasks);
+    };
+    R.RunTask = [&Cells](std::uint32_t E, std::size_t T) {
+      Cells[T] += E + static_cast<std::uint32_t>(T) + 1;
+    };
+    R.TaskAddresses = [](std::uint32_t, std::size_t T,
+                         std::vector<std::uint64_t> &Addrs) {
+      Addrs.push_back(T);
+    };
+    R.Checkpoints = &Reg;
+
+    SpecConfig Cfg;
+    Cfg.NumWorkers = 3;
+    Cfg.CheckpointIntervalEpochs = 8;
+    if (Inject)
+      Cfg.InjectMisspecAtEpoch = 12; // inside the second round
+    const SpecStats S = runSpecCross(R, Cfg);
+
+    EXPECT_EQ(Cells, Expected);
+    EXPECT_EQ(S.Epochs, Epochs);
+    if (Inject)
+      EXPECT_GE(S.Misspeculations, 1u);
+    else
+      EXPECT_EQ(S.Misspeculations, 0u);
+    Snaps.push_back(Reg.snapshotsTaken());
+  }
+  // The snapshot protocol is substrate-independent: same region, same
+  // interval, same injected abort => same count everywhere.
+  for (std::size_t I = 1; I < Snaps.size(); ++I)
+    EXPECT_EQ(Snaps[I], Snaps[0]) << "substrate " << I;
+}
+
+} // namespace
+
+TEST(CheckpointSubstrates, CleanEngineRunMatchesSequential) {
+  runEngineBattery(false);
+}
+
+TEST(CheckpointSubstrates, InjectedAbortRecoversOnEverySubstrate) {
+  runEngineBattery(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Accounting: page-granular snapshots copy only the written set
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointSubstrates, PageDirtyCopiesOnlyWrittenPages) {
+  CheckpointRegistry Reg;
+  Reg.setSubstrate(memory::SubstrateKind::PageDirty);
+  if (Reg.substrateKind() != memory::SubstrateKind::PageDirty)
+    GTEST_SKIP() << "fault-driven substrate remapped in this build";
+
+  const std::size_t Page = memory::pageSize();
+  std::vector<unsigned char> Big(64 * Page, 1);
+  Reg.registerBuffer(Big);
+
+  Reg.takeSnapshot(); // first snapshot: full copy
+  EXPECT_EQ(Reg.lastDirtyPages(), Reg.trackedPages());
+
+  Big[0] = 2;            // page 0
+  Big[10 * Page] = 3;    // page 10
+  Reg.takeSnapshot();    // second: only the two written pages
+  EXPECT_LE(Reg.lastDirtyPages(), 3u);
+  EXPECT_GE(Reg.lastDirtyPages(), 2u);
+  EXPECT_LE(Reg.lastBytesCopied(), 3 * Page);
+  EXPECT_GT(Reg.faultCount() + 1, 1u); // faults drained or counted, not UB
+
+  Big[20 * Page] = 4;
+  Reg.restoreSnapshot();
+  EXPECT_EQ(Big[20 * Page], 1);
+  EXPECT_EQ(Big[0], 2);
+}
+
+TEST(CheckpointSubstrates, EagerAlwaysCopiesEverything) {
+  CheckpointRegistry Reg;
+  Reg.setSubstrate(memory::SubstrateKind::Eager);
+  const std::size_t Page = memory::pageSize();
+  std::vector<unsigned char> Big(16 * Page, 1);
+  Reg.registerBuffer(Big);
+  Reg.takeSnapshot();
+  Big[0] = 2;
+  Reg.takeSnapshot();
+  EXPECT_EQ(Reg.lastDirtyPages(), Reg.trackedPages());
+  EXPECT_EQ(Reg.lastBytesCopied(), Big.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Selection: setSubstrate, CIP_CKPT pin, auto resolution
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointSubstrates, EnvPinWinsOverProgrammaticSelection) {
+  EnvGuard G("CIP_CKPT");
+  setenv("CIP_CKPT", "eager", 1);
+  CheckpointRegistry Reg;
+  EXPECT_STREQ(Reg.substrateName(), "eager");
+  Reg.setSubstrate(memory::SubstrateKind::PageDirty);
+  EXPECT_STREQ(Reg.substrateName(), "eager") << "env pin must win";
+}
+
+TEST(CheckpointSubstrates, AutoResolvesDenseWritersToEager) {
+  EnvGuard G("CIP_CKPT");
+  unsetenv("CIP_CKPT");
+  CheckpointRegistry Reg;
+  Reg.setSubstrate(memory::SubstrateKind::Auto);
+  EXPECT_TRUE(Reg.autoPending());
+
+  const std::size_t Page = memory::pageSize();
+  std::vector<unsigned char> Big(16 * Page, 1);
+  Reg.registerBuffer(Big);
+  Reg.takeSnapshot();
+  // Dense interval: rewrite the whole footprint, so the measured dirty
+  // ratio is ~1.0 > AutoDenseRatio and page tracking is pure overhead.
+  for (auto &B : Big)
+    ++B;
+  Reg.takeSnapshot();
+  EXPECT_FALSE(Reg.autoPending());
+  EXPECT_EQ(Reg.substrateKind(), memory::SubstrateKind::Eager);
+  EXPECT_EQ(Reg.snapshotsTaken(), 2u);
+  // The resolved substrate's snapshot must still be restorable.
+  Big[Page] = 0;
+  Reg.restoreSnapshot();
+  EXPECT_EQ(Big[Page], 2);
+}
+
+TEST(CheckpointSubstrates, AutoKeepsPageTrackingForSparseWriters) {
+  EnvGuard G("CIP_CKPT");
+  unsetenv("CIP_CKPT");
+  // Only meaningful where the fault-driven substrate is real: under the
+  // sanitizer remap (or a kernel without soft-dirty) the page tracker
+  // reports full copies and auto legitimately resolves to eager.
+  {
+    CheckpointRegistry Probe;
+    Probe.setSubstrate(memory::SubstrateKind::PageDirty);
+    if (Probe.substrateKind() != memory::SubstrateKind::PageDirty)
+      GTEST_SKIP() << "fault-driven substrate remapped in this build";
+  }
+  CheckpointRegistry Reg;
+  Reg.setSubstrate(memory::SubstrateKind::Auto);
+  const std::size_t Page = memory::pageSize();
+  std::vector<unsigned char> Big(64 * Page, 1);
+  Reg.registerBuffer(Big);
+  Reg.takeSnapshot();
+  Big[0] = 2; // sparse: one page out of 64
+  Reg.takeSnapshot();
+  EXPECT_FALSE(Reg.autoPending());
+  EXPECT_EQ(Reg.substrateKind(), memory::SubstrateKind::PageDirty);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration hardening and the strict CIP_CKPT knob
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointDeathTest, ZeroByteRegistrationExits2) {
+  std::vector<int> A = {1};
+  EXPECT_EXIT(
+      {
+        CheckpointRegistry Reg;
+        Reg.registerRegion(A.data(), 0);
+      },
+      testing::ExitedWithCode(2), "at least one byte");
+}
+
+TEST(CheckpointDeathTest, NullRegistrationExits2) {
+  EXPECT_EXIT(
+      {
+        CheckpointRegistry Reg;
+        Reg.registerRegion(nullptr, 64);
+      },
+      testing::ExitedWithCode(2), "invalid");
+}
+
+TEST(CheckpointDeathTest, OverlappingRegistrationExits2) {
+  std::vector<unsigned char> Buf(256, 0);
+  EXPECT_EXIT(
+      {
+        CheckpointRegistry Reg;
+        Reg.registerRegion(Buf.data(), 128);
+        Reg.registerRegion(Buf.data() + 64, 128);
+      },
+      testing::ExitedWithCode(2), "overlaps region #0");
+}
+
+TEST(CheckpointDeathTest, GarbageCkptKnobExits2) {
+  EXPECT_EXIT(
+      {
+        setenv("CIP_CKPT", "copy-on-write", 1);
+        CheckpointRegistry Reg;
+      },
+      testing::ExitedWithCode(2), "CIP_CKPT='copy-on-write' is invalid");
+}
+
+TEST(Checkpoint, RegistrationAfterSnapshotInvalidatesIt) {
+  for (memory::SubstrateKind K : allSubstrates()) {
+    SCOPED_TRACE(memory::substrateName(K));
+    std::vector<std::uint32_t> A(2048, 7);
+    std::vector<std::uint32_t> B(512, 9);
+    CheckpointRegistry Reg;
+    Reg.setSubstrate(K);
+    Reg.registerBuffer(A);
+    Reg.takeSnapshot();
+    EXPECT_TRUE(Reg.hasSnapshot());
+
+    Reg.registerBuffer(B);
+    EXPECT_FALSE(Reg.hasSnapshot()) << "a grown region set cannot be "
+                                       "restored from the old snapshot";
+    EXPECT_EQ(Reg.numRegions(), 2u);
+
+    Reg.takeSnapshot();
+    A[0] = 1;
+    B[0] = 2;
+    Reg.restoreSnapshot();
+    EXPECT_EQ(A[0], 7u);
+    EXPECT_EQ(B[0], 9u);
+  }
+}

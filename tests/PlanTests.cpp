@@ -15,6 +15,7 @@
 
 #include "harness/Adaptive.h"
 #include "harness/Executor.h"
+#include "memory/CheckpointSubstrate.h"
 #include "policy/Plan.h"
 #include "policy/Policy.h"
 #include "telemetry/DependenceDistance.h"
@@ -107,6 +108,7 @@ RegionPlan samplePlan() {
   P.MaxBatchHint = 8;
   P.ShadowShards = 4;
   P.SchedThreads = 2;
+  P.CkptSubstrate = "pagedirty";
   return P;
 }
 
@@ -162,6 +164,7 @@ TEST(PlanFormat, RoundTripPreservesEveryField) {
   EXPECT_EQ(Q.MaxBatchHint, P.MaxBatchHint);
   EXPECT_EQ(Q.ShadowShards, P.ShadowShards);
   EXPECT_EQ(Q.SchedThreads, P.SchedThreads);
+  EXPECT_EQ(Q.CkptSubstrate, P.CkptSubstrate);
 }
 
 TEST(PlanFormat, RejectsGarbageWithGrammar) {
@@ -170,8 +173,24 @@ TEST(PlanFormat, RejectsGarbageWithGrammar) {
                           "{\"plan_version\":\"3\"}"}) {
     const char *Err = plan::parsePlan(Bad, Out);
     ASSERT_NE(Err, nullptr) << "'" << Bad << "' parsed";
-    EXPECT_NE(std::string(Err).find("plan_version 3"), std::string::npos);
+    EXPECT_NE(std::string(Err).find("plan_version 4"), std::string::npos);
   }
+}
+
+TEST(PlanFormat, RejectsUnknownCkptSubstrate) {
+  // "" is the none-sentinel and must round-trip; any other value must name
+  // a real substrate — a typo silently ignored would defeat the warm start.
+  RegionPlan P = samplePlan();
+  P.CkptSubstrate = "";
+  RegionPlan Out;
+  EXPECT_EQ(plan::parsePlan(plan::renderPlan(P), Out), nullptr);
+  EXPECT_TRUE(Out.CkptSubstrate.empty());
+
+  std::string Doc = plan::renderPlan(samplePlan());
+  const std::size_t At = Doc.find("\"pagedirty\"");
+  ASSERT_NE(At, std::string::npos);
+  Doc.replace(At, std::strlen("\"pagedirty\""), "\"page-dirty\"");
+  EXPECT_NE(plan::parsePlan(Doc, Out), nullptr);
 }
 
 TEST(PlanFormat, RejectsWrongVersionWithReprofileHint) {
@@ -196,7 +215,7 @@ TEST(PlanFormat, EveryFieldRequired) {
         "\"predicted_sec_per_epoch\"", "\"min_dependence_distance\"",
         "\"min_epoch_distance\"", "\"conflicting_addresses\"",
         "\"spec_distance\"", "\"max_batch_hint\"", "\"shadow_shards\"",
-        "\"sched_threads\""}) {
+        "\"sched_threads\"", "\"ckpt_substrate\""}) {
     std::string Doc = Valid;
     const std::size_t At = Doc.find(Key);
     ASSERT_NE(At, std::string::npos) << Key;
@@ -251,7 +270,7 @@ TEST(PlanFiles, LoadReportsParseErrorWithPath) {
   std::string Err;
   EXPECT_FALSE(plan::loadPlanFile(Path, Out, Err));
   EXPECT_NE(Err.find(Path), std::string::npos);
-  EXPECT_NE(Err.find("plan_version 3"), std::string::npos);
+  EXPECT_NE(Err.find("plan_version 4"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -329,7 +348,7 @@ TEST(PlanEnvDeathTest, GarbagePlanFileExitsWithGrammar) {
   setenv("CIP_PLAN", Path.c_str(), 1);
   RegionPlan Out;
   EXPECT_EXIT(plan::planFromEnv("relax", Out), testing::ExitedWithCode(2),
-              "plan_version 3");
+              "plan_version 4");
 }
 
 TEST(PlanEnvDeathTest, VersionMismatchExitsWithReprofileHint) {
@@ -425,6 +444,16 @@ TEST(Profiling, EmitsPlanAndMatchesSequential) {
   EXPECT_EQ(P.MinDependenceDistance == 0, P.ConflictingAddresses == 0);
   if (P.MinDependenceDistance > 0) {
     EXPECT_GT(P.SpecDistance, 0u);
+  }
+  // Substrate hint: present exactly when a speculative window checkpointed,
+  // and always a parseable substrate name (never the auto placeholder).
+  const bool SpecMeasured =
+      P.Techniques[static_cast<unsigned>(Technique::SpecCross)].Measured;
+  EXPECT_EQ(P.CkptSubstrate.empty(), !SpecMeasured);
+  if (!P.CkptSubstrate.empty()) {
+    memory::SubstrateKind K = memory::SubstrateKind::Auto;
+    EXPECT_TRUE(memory::parseSubstrateName(P.CkptSubstrate.c_str(), K));
+    EXPECT_NE(K, memory::SubstrateKind::Auto);
   }
 
   // Calibration windows are logged with their own reason, and the decision

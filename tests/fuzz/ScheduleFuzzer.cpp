@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -91,24 +92,51 @@ std::string fuzz::reproCommand(std::uint64_t Seed, const FuzzOptions &Opt) {
                 "tools/cip_fuzz --seed=%" PRIu64
                 " --engines=%s --workers=%u --maxbatch=%zu --shards=%u"
                 " --sched-threads=%u --check-lanes=%u"
-                " --pool=%d --chaos=%" PRIu64 " --scheme=%s --simd=%d",
+                " --pool=%d --chaos=%" PRIu64 " --scheme=%s --simd=%d"
+                " --ckpt=%s",
                 Seed, engineName(Opt.Eng), Opt.Workers, Opt.MaxBatch,
                 Opt.Shards, Opt.SchedThreads, Opt.CheckLanes,
                 Opt.UsePool ? 1 : 0, Opt.ChaosSeed, schemeName(Opt.Scheme),
-                Opt.Simd ? 1 : 0);
+                Opt.Simd ? 1 : 0, memory::substrateName(Opt.Ckpt));
   return Buf;
 }
 
 namespace {
 
-/// Applies the per-run substrate knobs (thread pool bypass, chaos seed) and
-/// restores the previous settings on scope exit, so matrix runs in one
-/// process never leak configuration into each other.
+/// Scoped CIP_CKPT pin. Every CheckpointRegistry re-reads the knob at
+/// construction, so setting the environment here is the delivery mechanism
+/// for the fuzzer's checkpoint-substrate axis (and for the cross-substrate
+/// restore oracle, which re-pins mid-case). Restores the previous value —
+/// including "unset" — on scope exit.
+class CkptEnvPin {
+public:
+  explicit CkptEnvPin(memory::SubstrateKind K) {
+    if (const char *Env = std::getenv("CIP_CKPT")) {
+      HadPrev = true;
+      Prev = Env;
+    }
+    setenv("CIP_CKPT", memory::substrateName(K), 1);
+  }
+  ~CkptEnvPin() {
+    if (HadPrev)
+      setenv("CIP_CKPT", Prev.c_str(), 1);
+    else
+      unsetenv("CIP_CKPT");
+  }
+
+private:
+  bool HadPrev = false;
+  std::string Prev;
+};
+
+/// Applies the per-run substrate knobs (thread pool bypass, chaos seed,
+/// checkpoint substrate) and restores the previous settings on scope exit,
+/// so matrix runs in one process never leak configuration into each other.
 class SubstrateGuard {
 public:
   explicit SubstrateGuard(const FuzzOptions &Opt)
       : PrevBypass(ThreadPool::bypassed()),
-        PrevChaosSeed(chaos::currentSeed()) {
+        PrevChaosSeed(chaos::currentSeed()), Ckpt(Opt.Ckpt) {
     ThreadPool::setBypass(!Opt.UsePool);
     chaos::configure(Opt.ChaosSeed);
   }
@@ -120,6 +148,7 @@ public:
 private:
   const bool PrevBypass;
   const std::uint64_t PrevChaosSeed;
+  const CkptEnvPin Ckpt;
 };
 
 /// One memory access of a generated workload: `Data[Addr] = Data[Addr]*Mul
@@ -428,28 +457,6 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
       for (const Access &A : Task)
         applyAccess(Expected, A);
 
-  std::vector<std::atomic<std::uint64_t>> Data(C.N);
-  for (std::size_t A = 0; A < C.N; ++A)
-    Data[A].store(C.Init[A], std::memory_order_relaxed);
-
-  speccross::CheckpointRegistry Checkpoints;
-  Checkpoints.registerRegion(Data.data(),
-                             Data.size() * sizeof(Data.front()));
-
-  speccross::SpecRegion Region;
-  Region.NumEpochs = C.Epochs;
-  Region.NumTasks = [&C](std::uint32_t E) { return C.Tasks[E]; };
-  Region.RunTask = [&C, &Data](std::uint32_t E, std::size_t K) {
-    for (const Access &A : C.Accesses[E][K])
-      applyAccess(Data, A);
-  };
-  Region.TaskAddresses = [&C](std::uint32_t E, std::size_t K,
-                              std::vector<std::uint64_t> &Addrs) {
-    for (const Access &A : C.Accesses[E][K])
-      Addrs.push_back(A.Addr);
-  };
-  Region.Checkpoints = &Checkpoints;
-
   speccross::SpecConfig Config;
   Config.NumWorkers = Opt.Workers;
   Config.Scheme = Opt.Scheme;
@@ -458,8 +465,33 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   Config.CheckpointIntervalEpochs = C.CheckpointInterval;
   Config.InjectMisspecAtEpoch = C.InjectAt;
 
-  const speccross::SpecStats Stats =
-      runSpecCross(Region, Config, speccross::SpecMode::Speculation);
+  // One engine run over a private memory image. The registry re-reads
+  // CIP_CKPT at construction, so whichever substrate is pinned in the
+  // environment at call time backs every checkpoint of the run.
+  const auto RunEngine = [&](std::vector<std::atomic<std::uint64_t>> &Mem) {
+    speccross::CheckpointRegistry Checkpoints;
+    Checkpoints.registerRegion(Mem.data(), Mem.size() * sizeof(Mem.front()));
+
+    speccross::SpecRegion Region;
+    Region.NumEpochs = C.Epochs;
+    Region.NumTasks = [&C](std::uint32_t E) { return C.Tasks[E]; };
+    Region.RunTask = [&C, &Mem](std::uint32_t E, std::size_t K) {
+      for (const Access &A : C.Accesses[E][K])
+        applyAccess(Mem, A);
+    };
+    Region.TaskAddresses = [&C](std::uint32_t E, std::size_t K,
+                                std::vector<std::uint64_t> &Addrs) {
+      for (const Access &A : C.Accesses[E][K])
+        Addrs.push_back(A.Addr);
+    };
+    Region.Checkpoints = &Checkpoints;
+    return runSpecCross(Region, Config, speccross::SpecMode::Speculation);
+  };
+
+  std::vector<std::atomic<std::uint64_t>> Data(C.N);
+  for (std::size_t A = 0; A < C.N; ++A)
+    Data[A].store(C.Init[A], std::memory_order_relaxed);
+  const speccross::SpecStats Stats = RunEngine(Data);
 
   const std::uint64_t Rounds =
       (C.Epochs + C.CheckpointInterval - 1) / C.CheckpointInterval;
@@ -481,10 +513,39 @@ FuzzResult runSpecCrossCase(std::uint64_t Seed, const FuzzOptions &Opt) {
   appendCheck(Report, Stats.ReexecutedEpochs <= C.Epochs,
               "re-executed epochs bounded by epochs", C.Epochs,
               Stats.ReexecutedEpochs);
-  if (C.InjectAt < C.Epochs)
+  if (C.InjectAt < C.Epochs) {
     appendCheck(Report, Stats.Misspeculations >= 1,
                 "forced misspeculation must abort at least one round", 1,
                 Stats.Misspeculations);
+
+    // Restore oracle (DESIGN.md §16): the injected abort forces a rollback,
+    // so replay the same case on the complementary eager/page-granular
+    // substrate. A page-granular restore that drops or over-restores bytes
+    // leaves a different final image than the eager full copy; both must be
+    // bit-identical to the sequential oracle at the same snapshot count.
+    const memory::SubstrateKind Other =
+        Opt.Ckpt == memory::SubstrateKind::Eager
+            ? memory::SubstrateKind::PageDirty
+            : memory::SubstrateKind::Eager;
+    const CkptEnvPin Pin(Other);
+    std::vector<std::atomic<std::uint64_t>> Cross(C.N);
+    for (std::size_t A = 0; A < C.N; ++A)
+      Cross[A].store(C.Init[A], std::memory_order_relaxed);
+    const speccross::SpecStats CrossStats = RunEngine(Cross);
+    std::string CrossReport;
+    if (!compareMemory(Expected, Cross, CrossReport)) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf),
+                    "restore oracle: %s replay of the injected abort "
+                    "diverges —\n",
+                    memory::substrateName(Other));
+      Report += Buf;
+      Report += CrossReport;
+    }
+    appendCheck(Report, CrossStats.CheckpointsTaken == Stats.CheckpointsTaken,
+                "snapshots taken match across substrates",
+                Stats.CheckpointsTaken, CrossStats.CheckpointsTaken);
+  }
   if (!Report.empty()) {
     R.Ok = false;
     R.Failure = Report;

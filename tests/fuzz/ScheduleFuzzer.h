@@ -31,7 +31,8 @@
 ///    consistent with the switch log).
 ///
 /// The same seed can be replayed across engine configurations — MaxBatch,
-/// thread-pool substrate, signature scheme, chaos seed — which is what the
+/// thread-pool substrate, signature scheme, checkpoint substrate, chaos
+/// seed — which is what the
 /// `tools/cip_fuzz` driver and the CI sanitizer matrix do. Every failure
 /// carries a one-line repro command.
 ///
@@ -40,6 +41,7 @@
 #ifndef CIP_TESTS_FUZZ_SCHEDULEFUZZER_H
 #define CIP_TESTS_FUZZ_SCHEDULEFUZZER_H
 
+#include "memory/CheckpointSubstrate.h"
 #include "speccross/Signature.h"
 
 #include <cstdint>
@@ -94,6 +96,12 @@ struct FuzzOptions {
   std::uint64_t ChaosSeed = 0;
   /// SPECCROSS signature scheme (ignored by the DOMORE engines).
   speccross::SignatureScheme Scheme = speccross::SignatureScheme::Range;
+  /// Checkpoint substrate (DESIGN.md §16) the speculative engines run on;
+  /// delivered via CIP_CKPT, which every CheckpointRegistry re-reads at
+  /// construction. Ignored by the DOMORE engines. Injected-abort SPECCROSS
+  /// cases additionally replay on the complementary page-granular/eager
+  /// substrate and demand a bit-identical final image (restore oracle).
+  memory::SubstrateKind Ckpt = memory::SubstrateKind::Eager;
 };
 
 struct FuzzResult {

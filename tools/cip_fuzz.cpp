@@ -15,8 +15,12 @@
 ///     {off, seed-derived} (the chaos axis collapses in builds without
 ///     -DCIP_CHAOS_HOOKS=ON)
 ///   * speccross: scheme {range, bloom, smallset} x simd {batched, scalar}
-///     x checker lanes {1, 2} x pool {on, off} x chaos {off, seed-derived}
-///   * adaptive: pool {on, off} x chaos {off, seed-derived}; the policy and
+///     x checker lanes {1, 2} x checkpoint substrate {eager, pagedirty} x
+///     pool {on, off} x chaos {off, seed-derived}; injected-abort cases
+///     additionally replay on the complementary substrate inside the fuzzer
+///     (the eager-vs-pagedirty restore oracle)
+///   * adaptive: checkpoint substrate {eager, pagedirty} x pool {on, off} x
+///     chaos {off, seed-derived}; the policy and
 ///     window size are derived from the seed inside the fuzzer
 ///   * server: pool {on, off} x chaos {off, seed-derived}; the budget,
 ///     queue capacity, client count, and per-request technique/width mix
@@ -33,6 +37,7 @@
 
 #include "tests/fuzz/ScheduleFuzzer.h"
 
+#include "memory/CheckpointSubstrate.h"
 #include "support/Chaos.h"
 
 #include <cinttypes>
@@ -66,6 +71,8 @@ struct DriverOptions {
   long long Chaos = -1;     // -1 = sweep {0, derived}; >=0 pins
   int SchemeSet = 0;        // nonzero = pinned
   speccross::SignatureScheme Scheme = speccross::SignatureScheme::Range;
+  int CkptSet = 0;          // nonzero = pinned
+  memory::SubstrateKind Ckpt = memory::SubstrateKind::Eager;
   bool Verbose = false;
 };
 
@@ -91,6 +98,10 @@ void usage(const char *Prog) {
       "  --pool=0|1        pin the thread-pool substrate (default: sweep)\n"
       "  --chaos=C         pin the chaos seed, 0 = off (default: sweep)\n"
       "  --scheme=S        pin the SPECCROSS scheme: range|bloom|smallset\n"
+      "  --ckpt=S          pin the checkpoint substrate (DESIGN.md §16):\n"
+      "                    eager|pagedirty|softdirty|auto (default:\n"
+      "                    speccross and adaptive sweep eager and pagedirty;\n"
+      "                    the checkpoint-free engines run eager)\n"
       "  --verbose         print every configuration as it runs\n",
       Prog);
 }
@@ -151,6 +162,12 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &O) {
         return false;
       }
       O.SchemeSet = 1;
+    } else if (Arg.rfind("--ckpt=", 0) == 0) {
+      if (!memory::parseSubstrateName(Value("--ckpt=").c_str(), O.Ckpt)) {
+        std::fprintf(stderr, "error: unknown substrate in '%s'\n", Argv[I]);
+        return false;
+      }
+      O.CkptSet = 1;
     } else if (Arg == "--verbose")
       O.Verbose = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -210,6 +227,18 @@ int main(int Argc, char **Argv) {
         O.Pool >= 0 ? std::vector<bool>{O.Pool != 0}
                     : std::vector<bool>{true, false};
 
+    // The checkpoint axis only multiplies the engines that checkpoint
+    // (speccross, adaptive); the DOMORE engines and the server honor a pin
+    // but default to eager rather than doubling their matrices for a knob
+    // they never exercise (the server's speccross grants do checkpoint, but
+    // those paths are the same registries the speccross axis already runs).
+    const std::vector<memory::SubstrateKind> CkptAxis =
+        O.CkptSet ? std::vector<memory::SubstrateKind>{O.Ckpt}
+                  : std::vector<memory::SubstrateKind>{
+                        memory::SubstrateKind::Eager,
+                        memory::SubstrateKind::PageDirty};
+    const std::vector<memory::SubstrateKind> CkptPin = {O.Ckpt};
+
     for (Engine E : O.Engines) {
       std::vector<FuzzOptions> Configs;
       if (E == Engine::SpecCross) {
@@ -230,28 +259,32 @@ int main(int Argc, char **Argv) {
         for (auto Scheme : Schemes)
           for (bool Simd : SimdAxis)
             for (std::uint32_t Lanes : LaneAxis)
-              for (bool Pool : PoolAxis)
-                for (std::uint64_t Chaos : ChaosAxis) {
-                  FuzzOptions F;
-                  F.Eng = E;
-                  F.Workers = Workers;
-                  F.UsePool = Pool;
-                  F.ChaosSeed = Chaos;
-                  F.Scheme = Scheme;
-                  F.Simd = Simd;
-                  F.CheckLanes = Lanes;
-                  Configs.push_back(F);
-                }
+              for (auto Ckpt : CkptAxis)
+                for (bool Pool : PoolAxis)
+                  for (std::uint64_t Chaos : ChaosAxis) {
+                    FuzzOptions F;
+                    F.Eng = E;
+                    F.Workers = Workers;
+                    F.UsePool = Pool;
+                    F.ChaosSeed = Chaos;
+                    F.Scheme = Scheme;
+                    F.Simd = Simd;
+                    F.CheckLanes = Lanes;
+                    F.Ckpt = Ckpt;
+                    Configs.push_back(F);
+                  }
       } else if (E == Engine::Adaptive || E == Engine::Server) {
-        for (bool Pool : PoolAxis)
-          for (std::uint64_t Chaos : ChaosAxis) {
-            FuzzOptions F;
-            F.Eng = E;
-            F.Workers = Workers;
-            F.UsePool = Pool;
-            F.ChaosSeed = Chaos;
-            Configs.push_back(F);
-          }
+        for (auto Ckpt : E == Engine::Adaptive ? CkptAxis : CkptPin)
+          for (bool Pool : PoolAxis)
+            for (std::uint64_t Chaos : ChaosAxis) {
+              FuzzOptions F;
+              F.Eng = E;
+              F.Workers = Workers;
+              F.UsePool = Pool;
+              F.ChaosSeed = Chaos;
+              F.Ckpt = Ckpt;
+              Configs.push_back(F);
+            }
       } else {
         std::vector<std::size_t> Batches;
         if (O.MaxBatch > 0)
@@ -284,6 +317,7 @@ int main(int Argc, char **Argv) {
                   F.SchedThreads = Sched;
                   F.UsePool = Pool;
                   F.ChaosSeed = Chaos;
+                  F.Ckpt = O.Ckpt; // honored but checkpoint-free
                   Configs.push_back(F);
                 }
           }

@@ -27,14 +27,18 @@ import json
 import os
 import sys
 
-PLAN_VERSION = 3
+PLAN_VERSION = 4
 
 # policy::techniqueName order — Technique enum values 0..3.
 TECHNIQUES = ["barrier", "domore", "domore-dup", "speccross"]
 
+# memory::substrateName spellings the ckpt_substrate hint may carry; ""
+# is the none-sentinel (the profiling run never measured SPECCROSS).
+CKPT_SUBSTRATES = ["eager", "pagedirty", "softdirty", "auto"]
+
 # Same static diagnostics the C++ parser answers with.
-GRAMMAR = "a plan_version 3 region plan object (see DESIGN.md section 13)"
-VERSION_ERR = "plan_version 3 (re-profile with this build's CIP_PROFILE)"
+GRAMMAR = "a plan_version 4 region plan object (see DESIGN.md section 13)"
+VERSION_ERR = "plan_version 4 (re-profile with this build's CIP_PROFILE)"
 
 
 def get_number(obj, key):
@@ -122,8 +126,14 @@ def parse_plan(text):
         "max_batch_hint": get_u32(doc, "max_batch_hint"),
         "shadow_shards": get_u32(doc, "shadow_shards"),
         "sched_threads": get_u32(doc, "sched_threads"),
+        "ckpt_substrate": get_string(doc, "ckpt_substrate"),
     }
     if None in tail.values():
+        return None, GRAMMAR
+    # The hint must name a real substrate ("" is the none-sentinel); a typo
+    # silently falling back to the default would defeat the warm start.
+    if tail["ckpt_substrate"] and tail["ckpt_substrate"] not in \
+            CKPT_SUBSTRATES:
         return None, GRAMMAR
     plan.update(tail)
     return plan, None
@@ -163,7 +173,8 @@ def render_plan(path, plan):
           f"{or_none(plan['spec_distance'])} (0=unthrottled), "
           f"max_batch {or_none(plan['max_batch_hint'])} (0=engine default), "
           f"shadow_shards {or_none(plan['shadow_shards'])} (0=serial), "
-          f"sched_threads {or_none(plan['sched_threads'])} (0=single)")
+          f"sched_threads {or_none(plan['sched_threads'])} (0=single), "
+          f"ckpt_substrate {or_none(plan['ckpt_substrate'])}")
 
 
 def expand(args):

@@ -11,6 +11,8 @@ RegionTelemetry::finish() when the CIP_REPORT environment knob is set
   * an ASCII bar chart per nonempty latency histogram,
   * the DOMORE conflict heatmap as a (dep tid -> tid) matrix plus the
     hottest conflicting address buckets,
+  * the checkpoint-substrate summary (snapshots, dirty pages, bytes
+    copied, PageDirty write-fault latency) when the region checkpointed,
   * one block per SPECCROSS abort with the full forensics record,
   * the adaptive policy engine's decision timeline and switch events
     (one line per window; present for regions run under harness/Adaptive).
@@ -32,6 +34,7 @@ HIST_ORDER = [
     "barrier_wait_ns",
     "dispatch_batch",
     "server_queue_ns",
+    "ckpt_fault_ns",
 ]
 
 
@@ -144,6 +147,28 @@ def print_abort(index, abort):
           f"{abort['round_end_epoch']})")
 
 
+def print_checkpoint(counters, fault_hist):
+    """Checkpoint-substrate summary (DESIGN.md §16): how much each snapshot
+    copied and what the PageDirty fault path cost. Derived entirely from
+    the counters, so it renders for old and new reports alike."""
+    snaps = counters.get("checkpoints_taken", 0)
+    if not snaps:
+        return
+    pages = counters.get("dirty_pages", 0)
+    copied = counters.get("ckpt_bytes_copied", 0)
+    ckpt_ns = counters.get("checkpoint_ns", 0)
+    print(f"  checkpointing: {snaps} snapshots, "
+          f"{pages} dirty pages ({pages / snaps:.1f}/snap), "
+          f"{copied / (1 << 20):.2f} MiB copied, "
+          f"mean snapshot {format_ns(ckpt_ns / snaps)}")
+    faults = fault_hist.get("count", 0) if fault_hist else 0
+    if faults:
+        print(f"    write faults: {faults}, "
+              f"p50 {format_ns(fault_hist['p50_ns'])}, "
+              f"p99 {format_ns(fault_hist['p99_ns'])}, "
+              f"max {format_ns(fault_hist['max_ns'])}")
+
+
 def print_policy(decisions, switches):
     if not decisions:
         return
@@ -182,7 +207,10 @@ def render(path):
           f"{report['lanes']} lanes")
     print_counters(report["counters"])
     for name in HIST_ORDER:
-        print_histogram(name, report["histograms"][name])
+        if name in report["histograms"]:
+            print_histogram(name, report["histograms"][name])
+    print_checkpoint(report["counters"],
+                     report["histograms"].get("ckpt_fault_ns"))
     print_heatmap(report["heatmap"], report["lane_names"])
     aborts = report["aborts"]
     if aborts:

@@ -39,6 +39,12 @@ conditions) and "batch_check" on speccross rows (batched-kernel accounting
 including the checker-lane count plus the batch_width histogram summary).
 Both are validated when present and rejected on any other scheme.
 
+Checkpoint-substrate schema (DESIGN.md §16): every bench row carries
+"ckpt_substrate" (the substrate CIP_CKPT selected at record time), the
+counter set includes dirty_pages / ckpt_bytes_copied, the histogram set
+includes ckpt_fault_ns, and the plan object carries the plan-v4
+"ckpt_substrate" hint ("" = no hint distilled).
+
 With --self-test, the validator feeds itself deliberately malformed
 payloads (a scheduler team without a sharded shadow, a zero checker-lane
 count, a plan missing sched_threads, ...) and fails if any is accepted —
@@ -75,6 +81,8 @@ COUNTER_KEYS = [
     "server_queue_wait_ns",
     "sched_team_conflicts",
     "sched_team_idle_ns",
+    "dirty_pages",
+    "ckpt_bytes_copied",
 ]
 
 HIST_KEYS = [
@@ -87,6 +95,7 @@ HIST_KEYS = [
     "dispatch_batch",
     "server_queue_ns",
     "batch_width",
+    "ckpt_fault_ns",
 ]
 
 HIST_SUMMARY_KEYS = ["count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"]
@@ -96,8 +105,15 @@ ABORT_CAUSES = {"signature_overlap", "injected", "timeout"}
 SCHEMES = {"sequential", "barrier", "domore", "domore-dup", "speccross",
            "adaptive-threshold", "adaptive-bandit",
            "adaptive-profile", "adaptive-cold", "adaptive-planned",
-           "server-serialized", "server-oversub", "server-gated"}
+           "server-serialized", "server-oversub", "server-gated",
+           "ckpt-direct", "speccross-ckpt"}
 SCALES = {"test", "train", "ref"}
+
+# Checkpoint substrates (DESIGN.md §16). Every row names the substrate
+# CIP_CKPT selects at record time; "auto" appears only when the knob pins
+# auto and no registry has resolved it yet. The plan hint (plan v4) may be
+# "" — profiling runs that never measured SPECCROSS emit no hint.
+CKPT_SUBSTRATES = {"eager", "pagedirty", "softdirty", "auto"}
 
 # policy::techniqueName values — what decision/switch records may name.
 TECHNIQUES = {"barrier", "domore", "domore-dup", "speccross"}
@@ -318,6 +334,15 @@ def validate_plan(where, obj, required):
     for key in ["spec_distance", "max_batch_hint", "shadow_shards",
                 "sched_threads", "min_dependence_distance"]:
         check_uint(where, plan, key)
+    # Plan v4: the checkpoint-substrate hint ("" = the profiling run never
+    # measured SPECCROSS, so no hint was distilled).
+    if "ckpt_substrate" not in plan or \
+            not isinstance(plan["ckpt_substrate"], str):
+        fail(where, "plan key 'ckpt_substrate' must be a string")
+    if plan["ckpt_substrate"] and \
+            plan["ckpt_substrate"] not in CKPT_SUBSTRATES:
+        fail(where, f"unknown plan ckpt_substrate "
+                    f"'{plan['ckpt_substrate']}'")
 
 
 def validate_report(path):
@@ -441,6 +466,17 @@ def validate_batch_check(where, batch):
                     f"(telemetry off) nor batch_checks {checks}")
 
 
+def validate_row_ckpt_substrate(where, row):
+    """Every bench row names the checkpoint substrate active at record time
+    (DESIGN.md §16); rows predating plan v4 do not exist in current output,
+    so the key is required."""
+    if "ckpt_substrate" not in row or \
+            not isinstance(row["ckpt_substrate"], str):
+        fail(where, "key 'ckpt_substrate' must be a string")
+    if row["ckpt_substrate"] not in CKPT_SUBSTRATES:
+        fail(where, f"unknown ckpt_substrate '{row['ckpt_substrate']}'")
+
+
 def validate_row(line_no, row):
     where = f"line {line_no}"
     if not isinstance(row, dict):
@@ -465,6 +501,7 @@ def validate_row(line_no, row):
         fail(where, f"unknown scheme '{row['scheme']}'")
     if row["scale"] not in SCALES:
         fail(where, f"unknown scale '{row['scale']}'")
+    validate_row_ckpt_substrate(where, row)
     if row["threads"] < 1 or row["reps"] < 1:
         fail(where, "threads and reps must be positive")
     if row["seconds"] < 0:
@@ -525,7 +562,11 @@ def self_test():
                 "predicted_sec_per_epoch": 0.5,
                 "sequential_sec_per_epoch": 1.0, "spec_distance": 2,
                 "max_batch_hint": 16, "shadow_shards": 8,
-                "sched_threads": 4, "min_dependence_distance": 3}
+                "sched_threads": 4, "min_dependence_distance": 3,
+                "ckpt_substrate": "pagedirty"}
+
+    def good_counters():
+        return {key: 0 for key in COUNTER_KEYS}
 
     def drop(obj, key):
         del obj[key]
@@ -546,6 +587,15 @@ def self_test():
          lambda: validate_batch_check("t", good_batch())),
         ("well-formed plan",
          lambda: validate_plan("t", {"plan": good_plan()}, required=True)),
+        ("plan without a checkpoint hint",
+         lambda: validate_plan("t", {"plan": put(good_plan(),
+                                                 "ckpt_substrate", "")},
+                               required=True)),
+        ("well-formed row substrate",
+         lambda: validate_row_ckpt_substrate(
+             "t", {"ckpt_substrate": "softdirty"})),
+        ("full counter set with dirty-page accounting",
+         lambda: validate_counters("t", good_counters())),
     ]
     negative = [
         ("shadow_shards missing sched_threads",
@@ -575,6 +625,26 @@ def self_test():
          lambda: validate_plan("t", {"plan": put(good_plan(),
                                                  "sched_threads", -1)},
                                required=True)),
+        ("plan missing ckpt_substrate",
+         lambda: validate_plan("t", {"plan": drop(good_plan(),
+                                                  "ckpt_substrate")},
+                               required=True)),
+        ("plan with a misspelled substrate",
+         lambda: validate_plan("t", {"plan": put(good_plan(),
+                                                 "ckpt_substrate",
+                                                 "page-dirty")},
+                               required=True)),
+        ("row missing ckpt_substrate",
+         lambda: validate_row_ckpt_substrate("t", {})),
+        ("row with an unknown substrate",
+         lambda: validate_row_ckpt_substrate(
+             "t", {"ckpt_substrate": "fork"})),
+        ("counters missing dirty_pages",
+         lambda: validate_counters("t", drop(good_counters(),
+                                             "dirty_pages"))),
+        ("counters missing ckpt_bytes_copied",
+         lambda: validate_counters("t", drop(good_counters(),
+                                             "ckpt_bytes_copied"))),
     ]
 
     failures = 0
